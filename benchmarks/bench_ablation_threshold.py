@@ -1,0 +1,66 @@
+"""Ablation: sensitivity to the 0.5 m asset-failure threshold.
+
+The paper assumes an asset fails when inundation exceeds 0.5 m (typical
+switch height).  This sweep re-runs the hurricane-only analysis across
+thresholds from 0.25 m to 1.5 m, showing how the headline red
+probability moves and that the Honolulu/Waiau correlation -- the driver
+of every qualitative conclusion -- is threshold-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.states import OperationalState as S
+from repro.core.threat import HURRICANE
+from repro.geo.oahu import HONOLULU_CC, WAIAU_CC
+from repro.hazards.fragility import ThresholdFragility
+from repro.scada.architectures import CONFIG_2
+from repro.scada.placement import PLACEMENT_WAIAU
+
+THRESHOLDS_M = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5]
+
+
+def sweep(standard_ensemble):
+    rows = []
+    for threshold in THRESHOLDS_M:
+        fragility = ThresholdFragility(threshold)
+        analysis = CompoundThreatAnalysis(standard_ensemble, fragility=fragility)
+        profile = analysis.run(CONFIG_2, PLACEMENT_WAIAU, HURRICANE)
+        hon = np.array(
+            [r.depth_at(HONOLULU_CC) > threshold for r in standard_ensemble]
+        )
+        wai = np.array(
+            [r.depth_at(WAIAU_CC) > threshold for r in standard_ensemble]
+        )
+        rows.append(
+            {
+                "threshold": threshold,
+                "p_red": profile.probability(S.RED),
+                "correlated": bool(np.array_equal(hon, wai)),
+            }
+        )
+    return rows
+
+
+def test_ablation_failure_threshold(benchmark, standard_ensemble):
+    rows = benchmark(sweep, standard_ensemble)
+
+    print()
+    print("Failure-threshold sensitivity (hurricane only, configuration \"2\"):")
+    print(f"  {'threshold':>9s} {'P(red)':>8s} {'Hon==Waiau':>11s}")
+    for row in rows:
+        print(
+            f"  {row['threshold']:8.2f}m {row['p_red']:8.1%} "
+            f"{str(row['correlated']):>11s}"
+        )
+
+    p_by_threshold = [row["p_red"] for row in rows]
+    # Monotone: a laxer threshold cannot flood more assets.
+    assert all(b <= a + 1e-12 for a, b in zip(p_by_threshold, p_by_threshold[1:]))
+    # The paper's threshold sits in the sweep and matches the calibration.
+    paper_row = next(row for row in rows if row["threshold"] == 0.5)
+    assert 0.07 <= paper_row["p_red"] <= 0.12
+    # The qualitative driver is threshold-independent.
+    assert all(row["correlated"] for row in rows)

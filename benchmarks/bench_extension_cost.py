@@ -1,0 +1,62 @@
+"""Extension: total annual cost -- does resilience pay for itself?
+
+Combines the deployment cost model with the timeline extension's
+downtime distributions: for each architecture, capital cost plus expected
+outage losses under the full compound threat.  The answer quantifies the
+paper's qualitative ranking: "6+6+6" is the most expensive to build and
+the cheapest to own once compound events are on the risk register.
+"""
+
+from __future__ import annotations
+
+from repro.core.threat import HURRICANE_INTRUSION_ISOLATION
+from repro.core.timeline import CompoundEventTimeline, TimelineParams
+from repro.scada.architectures import PAPER_CONFIGURATIONS
+from repro.scada.cost import assess_total_cost
+from repro.scada.placement import PLACEMENT_WAIAU
+
+REALIZATIONS = 300
+
+
+def assess_all(ensemble):
+    timeline = CompoundEventTimeline(TimelineParams())
+    assessments = {}
+    for arch in PAPER_CONFIGURATIONS:
+        dist = timeline.downtime_distribution(
+            arch, PLACEMENT_WAIAU, ensemble, HURRICANE_INTRUSION_ISOLATION, seed=3
+        )
+        assessments[arch.name] = assess_total_cost(
+            arch,
+            mean_unavailable_h_per_event=dist.mean_unavailable_h,
+            mean_unsafe_h_per_event=dist.mean_unsafe_h,
+        )
+    return assessments
+
+
+def test_extension_total_cost(benchmark, standard_ensemble):
+    ensemble = standard_ensemble.subset(REALIZATIONS)
+    assessments = benchmark.pedantic(
+        assess_all, args=(ensemble,), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        "Total annual cost under compound threats "
+        "(k$/yr; 1 event per 4 years, 150 k$/outage-hour):"
+    )
+    print(f"  {'config':8s} {'deploy':>9s} {'risk':>9s} {'total':>9s}")
+    for name, a in assessments.items():
+        print(
+            f"  {name:8s} {a.annual_deployment_cost:9.0f} "
+            f"{a.expected_annual_outage_cost:9.0f} {a.total_annual_cost:9.0f}"
+        )
+
+    # Capex ordering is the intuitive one...
+    deploy = {n: a.annual_deployment_cost for n, a in assessments.items()}
+    assert deploy["2"] < deploy["6"] < deploy["6-6"] < deploy["6+6+6"]
+    # ...but on total cost the intrusion-tolerant multi-site architectures
+    # beat both the unprotected ones (gray hours are expensive) and the
+    # single-site "6" (which eats the whole isolation every event).
+    total = {n: a.total_annual_cost for n, a in assessments.items()}
+    assert total["6+6+6"] < total["6"]
+    assert total["6-6"] < total["2"]

@@ -1,0 +1,24 @@
+"""Figure 6: operational profiles under the hurricane alone.
+
+Paper: all five configurations are 90.5% green / 9.5% red -- the backup
+control center at Waiau adds nothing because its flooding is perfectly
+correlated with Honolulu's.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, run_figure
+from repro.core.states import OperationalState as S
+
+
+def test_fig06_hurricane(benchmark, analysis, placements, standard_ensemble):
+    profiles = benchmark(run_figure, analysis, placements["waiau"], "hurricane")
+    print_figure("Figure 6: Hurricane (Honolulu + Waiau + DRFortress)", profiles)
+
+    p = standard_ensemble.flood_probability("Honolulu Control Center")
+    reference = profiles["2"]
+    assert abs(reference.probability(S.GREEN) - (1 - p)) < 1e-9
+    assert abs(reference.probability(S.RED) - p) < 1e-9
+    # The paper's headline: every configuration has the identical profile.
+    for name, profile in profiles.items():
+        assert profile.almost_equal(reference), name

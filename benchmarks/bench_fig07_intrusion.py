@@ -1,0 +1,31 @@
+"""Figure 7: hurricane + server intrusion.
+
+Paper: "2" and "2-2" drop to 0% green (90.5% gray, 9.5% red -- the
+attack cannot reach 100% gray because flooded control centers leave no
+server to intrude); the intrusion-tolerant configurations keep exactly
+their hurricane-only profiles.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, run_figure
+from repro.core.states import OperationalState as S
+
+
+def test_fig07_hurricane_intrusion(benchmark, analysis, placements, standard_ensemble):
+    profiles = benchmark(
+        run_figure, analysis, placements["waiau"], "hurricane+intrusion"
+    )
+    print_figure(
+        "Figure 7: Hurricane + Server Intrusion (Honolulu + Waiau + DRFortress)",
+        profiles,
+    )
+
+    p = standard_ensemble.flood_probability("Honolulu Control Center")
+    for weak in ("2", "2-2"):
+        assert profiles[weak].probability(S.GREEN) == 0.0
+        assert abs(profiles[weak].probability(S.GRAY) - (1 - p)) < 1e-9
+        assert abs(profiles[weak].probability(S.RED) - p) < 1e-9
+    baseline = run_figure(analysis, placements["waiau"], "hurricane")
+    for tolerant in ("6", "6-6", "6+6+6"):
+        assert profiles[tolerant].almost_equal(baseline[tolerant]), tolerant

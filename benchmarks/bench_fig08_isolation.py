@@ -1,0 +1,30 @@
+"""Figure 8: hurricane + site isolation.
+
+Paper: single-site configurations ("2", "6") are 100% red; primary-backup
+("2-2", "6-6") convert survivals to orange (failover downtime); only
+"6+6+6" shows no degradation versus the hurricane alone.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, run_figure
+from repro.core.states import OperationalState as S
+
+
+def test_fig08_hurricane_isolation(benchmark, analysis, placements, standard_ensemble):
+    profiles = benchmark(
+        run_figure, analysis, placements["waiau"], "hurricane+isolation"
+    )
+    print_figure(
+        "Figure 8: Hurricane + Site Isolation (Honolulu + Waiau + DRFortress)",
+        profiles,
+    )
+
+    p = standard_ensemble.flood_probability("Honolulu Control Center")
+    for single in ("2", "6"):
+        assert profiles[single].probability(S.RED) == 1.0
+    for pb in ("2-2", "6-6"):
+        assert abs(profiles[pb].probability(S.ORANGE) - (1 - p)) < 1e-9
+        assert abs(profiles[pb].probability(S.RED) - p) < 1e-9
+    baseline = run_figure(analysis, placements["waiau"], "hurricane")
+    assert profiles["6+6+6"].almost_equal(baseline["6+6+6"])

@@ -1,0 +1,32 @@
+"""Figure 9: the full compound threat (hurricane + intrusion + isolation).
+
+Paper: "2"/"2-2" end red or gray everywhere; "6" is 100% red; "6-6" is
+the minimum survivable configuration (90.5% orange); "6+6+6" keeps 90.5%
+green -- and *no* architecture reaches 100% green, the paper's headline
+conclusion.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, run_figure
+from repro.core.states import OperationalState as S
+
+
+def test_fig09_full_compound(benchmark, analysis, placements, standard_ensemble):
+    profiles = benchmark(
+        run_figure, analysis, placements["waiau"], "hurricane+intrusion+isolation"
+    )
+    print_figure(
+        "Figure 9: Hurricane + Intrusion + Isolation (Honolulu + Waiau + DRFortress)",
+        profiles,
+    )
+
+    p = standard_ensemble.flood_probability("Honolulu Control Center")
+    for weak in ("2", "2-2"):
+        assert abs(profiles[weak].probability(S.GRAY) - (1 - p)) < 1e-9
+        assert abs(profiles[weak].probability(S.RED) - p) < 1e-9
+    assert profiles["6"].probability(S.RED) == 1.0
+    assert abs(profiles["6-6"].probability(S.ORANGE) - (1 - p)) < 1e-9
+    assert abs(profiles["6+6+6"].probability(S.GREEN) - (1 - p)) < 1e-9
+    for name, profile in profiles.items():
+        assert profile.probability(S.GREEN) < 1.0, name

@@ -1,0 +1,26 @@
+"""Figure 10: hurricane alone with the backup control center at Kahe.
+
+Paper: the red probability of "2-2"/"6-6" converts entirely to orange
+(Kahe never floods when Honolulu does) and "6+6+6" becomes 100% green.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, run_figure
+from repro.core.states import OperationalState as S
+
+
+def test_fig10_kahe_hurricane(benchmark, analysis, placements, standard_ensemble):
+    profiles = benchmark(run_figure, analysis, placements["kahe"], "hurricane")
+    print_figure("Figure 10: Hurricane (Honolulu + Kahe + DRFortress)", profiles)
+
+    p = standard_ensemble.flood_probability("Honolulu Control Center")
+    for pb in ("2-2", "6-6"):
+        assert abs(profiles[pb].probability(S.GREEN) - (1 - p)) < 1e-9
+        assert abs(profiles[pb].probability(S.ORANGE) - p) < 1e-9
+        assert profiles[pb].probability(S.RED) == 0.0
+    assert profiles["6+6+6"].probability(S.GREEN) == 1.0
+    # Single-site configurations are indifferent to the backup location.
+    waiau = run_figure(analysis, placements["waiau"], "hurricane")
+    for single in ("2", "6"):
+        assert profiles[single].almost_equal(waiau[single])

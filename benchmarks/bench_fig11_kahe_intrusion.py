@@ -1,0 +1,29 @@
+"""Figure 11: hurricane + server intrusion with the Kahe backup.
+
+Paper: "6-6" uses the Kahe backup to restore operation when Honolulu
+floods (orange), and "6+6+6" maintains continuous availability -- 100%
+green -- because at least two sites always survive.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, run_figure
+from repro.core.states import OperationalState as S
+
+
+def test_fig11_kahe_intrusion(benchmark, analysis, placements, standard_ensemble):
+    profiles = benchmark(
+        run_figure, analysis, placements["kahe"], "hurricane+intrusion"
+    )
+    print_figure(
+        "Figure 11: Hurricane + Server Intrusion (Honolulu + Kahe + DRFortress)",
+        profiles,
+    )
+
+    p = standard_ensemble.flood_probability("Honolulu Control Center")
+    assert abs(profiles["6-6"].probability(S.GREEN) - (1 - p)) < 1e-9
+    assert abs(profiles["6-6"].probability(S.ORANGE) - p) < 1e-9
+    assert profiles["6+6+6"].probability(S.GREEN) == 1.0
+    # The integrity corollary: a hurricane-proof backup makes the
+    # non-intrusion-tolerant "2-2" *always* compromisable.
+    assert profiles["2-2"].probability(S.GRAY) == 1.0

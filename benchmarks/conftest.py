@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures: the standard ensemble and analyses.
+
+Every paper-figure benchmark consumes the same 1000-realization standard
+ensemble (generated once per session) so timings measure the analysis
+step, and each bench *prints* the rows/series the corresponding paper
+figure reports (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.threat import PAPER_SCENARIOS, get_scenario
+from repro.hazards.hurricane.standard import standard_oahu_ensemble
+from repro.scada.architectures import PAPER_CONFIGURATIONS
+from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU
+from repro.viz import profile_chart
+
+
+@pytest.fixture(scope="session")
+def standard_ensemble():
+    return standard_oahu_ensemble()
+
+
+@pytest.fixture(scope="session")
+def analysis(standard_ensemble):
+    return CompoundThreatAnalysis(standard_ensemble)
+
+
+@pytest.fixture(scope="session")
+def placements():
+    return {"waiau": PLACEMENT_WAIAU, "kahe": PLACEMENT_KAHE}
+
+
+def run_figure(analysis, placement, scenario_name):
+    """Profiles of all five configurations for one figure."""
+    scenario = get_scenario(scenario_name)
+    return {
+        arch.name: analysis.run(arch, placement, scenario)
+        for arch in PAPER_CONFIGURATIONS
+    }
+
+
+def print_figure(title, profiles):
+    print()
+    print(profile_chart(profiles, title=title))
+
+
+__all__ = [
+    "run_figure",
+    "print_figure",
+    "PAPER_CONFIGURATIONS",
+    "PAPER_SCENARIOS",
+]

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""What losing SCADA costs the grid: coupling the two analyses.
+
+The paper scores architectures by operational state; this study converts
+those states into megawatts.  After a hurricane, transmission
+contingencies are likely.  With SCADA operational, operators redispatch
+and the island rides through an N-1 outage; with SCADA down (red) or
+untrusted (gray), blind dispatch cascades.
+
+For every architecture and threat scenario we combine:
+
+* P(SCADA can control the grid) -- green, plus orange after the failover
+  delay -- from the compound-threat analysis, with
+* the average load served across all N-1 contingencies, with and without
+  SCADA control, from the DC power-flow cascade model,
+
+into the expected fraction of island load served given a post-storm
+contingency.
+
+Usage::
+
+    python examples/grid_impact_study.py
+"""
+
+from repro import (
+    PAPER_CONFIGURATIONS,
+    PAPER_SCENARIOS,
+    PLACEMENT_WAIAU,
+    CompoundThreatAnalysis,
+    standard_oahu_ensemble,
+)
+from repro.core.states import OperationalState
+from repro.grid import build_oahu_grid, n_minus_1_report
+
+
+def main() -> None:
+    # --- Grid side: value of control under N-1 ---------------------------
+    grid = build_oahu_grid()
+    report = n_minus_1_report(grid)
+    served_with = sum(e.served_fraction_with_scada for e in report) / len(report)
+    served_without = sum(e.served_fraction_without_scada for e in report) / len(report)
+    worst = min(report, key=lambda e: e.served_fraction_without_scada)
+
+    print("Grid model: average load served over all N-1 contingencies")
+    print(f"  with SCADA control:    {served_with:.1%}")
+    print(f"  without SCADA control: {served_without:.1%}")
+    print(
+        f"  worst single outage ({worst.line[0]} -- {worst.line[1]}): "
+        f"{worst.served_fraction_with_scada:.1%} vs "
+        f"{worst.served_fraction_without_scada:.1%}"
+    )
+    print()
+
+    # --- SCADA side: P(control available) per architecture/scenario ------
+    ensemble = standard_oahu_ensemble()
+    analysis = CompoundThreatAnalysis(ensemble)
+
+    print(
+        "Expected load served given one post-storm transmission contingency\n"
+        "(placement: Honolulu + Waiau + DRFortress)\n"
+    )
+    header = f"{'configuration':15s}" + "".join(
+        f"{s.name:>32s}" for s in PAPER_SCENARIOS
+    )
+    print(header)
+    for arch in PAPER_CONFIGURATIONS:
+        cells = [f"{arch.name:15s}"]
+        for scenario in PAPER_SCENARIOS:
+            profile = analysis.run(arch, PLACEMENT_WAIAU, scenario)
+            # Orange restores control after minutes; on the hours-long
+            # timescale of post-storm grid operations it counts as
+            # controlled.  Gray control is worse than none: operators
+            # cannot trust it, so treat it as uncontrolled.
+            p_control = profile.probability(
+                OperationalState.GREEN
+            ) + profile.probability(OperationalState.ORANGE)
+            expected = p_control * served_with + (1 - p_control) * served_without
+            cells.append(f"{expected:>32.1%}")
+        print("".join(cells))
+    print()
+    print(
+        "Reading: intrusion tolerance (6-family) preserves ~15 points of\n"
+        "expected served load under intrusion scenarios, and only 6+6+6\n"
+        "holds its value under the full compound threat."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Two hazards, one framework — and what the colors cost in hours.
+
+The paper's threat model is disaster-generic. This study (1) runs the
+identical analysis pipeline on a *hurricane* ensemble and an *earthquake*
+ensemble, showing how the hazard's spatial correlation structure decides
+whether a backup control center is worth anything, and (2) rolls the
+full compound threat out in time, reporting the downtime hours each
+architecture costs per event.
+
+Usage::
+
+    python examples/multi_hazard_timeline_study.py
+"""
+
+from repro import (
+    PAPER_CONFIGURATIONS,
+    CompoundThreatAnalysis,
+    standard_oahu_ensemble,
+)
+from repro.core.stats import compare_profiles, required_realizations
+from repro.core.states import OperationalState
+from repro.core.threat import HURRICANE, HURRICANE_INTRUSION_ISOLATION
+from repro.core.timeline import CompoundEventTimeline, TimelineParams
+from repro.geo.oahu import HONOLULU_CC, WAIAU_CC, build_oahu_catalog
+from repro.hazards.earthquake import (
+    EarthquakeGenerator,
+    seismic_fragility,
+    standard_oahu_fault,
+)
+from repro.scada.placement import PLACEMENT_WAIAU
+from repro.viz import profile_chart
+
+
+def main() -> None:
+    # --- 1. Hurricane vs. earthquake through the same pipeline ----------
+    hurricane = standard_oahu_ensemble(count=500)
+    quake = EarthquakeGenerator(
+        build_oahu_catalog(), standard_oahu_fault()
+    ).generate(count=500, seed=42)
+
+    hurricane_analysis = CompoundThreatAnalysis(hurricane)
+    quake_analysis = CompoundThreatAnalysis(quake, fragility=seismic_fragility())
+
+    print("Correlation structure decides the value of the Waiau backup:")
+    print(
+        f"  hurricane:  P(Waiau fails | Honolulu fails) = "
+        f"{hurricane.conditional_flood_probability(WAIAU_CC, HONOLULU_CC):.0%}"
+    )
+    hon_hits = [r for r in quake if HONOLULU_CC in r.failed_assets()]
+    both = sum(1 for r in hon_hits if WAIAU_CC in r.failed_assets())
+    print(
+        f"  earthquake: P(Waiau fails | Honolulu fails) = "
+        f"{both / len(hon_hits):.0%}\n"
+    )
+
+    for label, analysis in (("HURRICANE", hurricane_analysis), ("EARTHQUAKE", quake_analysis)):
+        profiles = {
+            arch.name: analysis.run(arch, PLACEMENT_WAIAU, HURRICANE)
+            for arch in PAPER_CONFIGURATIONS
+        }
+        print(profile_chart(profiles, title=f"{label} (disaster only)"))
+        print()
+
+    quake_2_2 = quake_analysis.run(
+        PAPER_CONFIGURATIONS[1], PLACEMENT_WAIAU, HURRICANE
+    )
+    hurricane_2_2 = hurricane_analysis.run(
+        PAPER_CONFIGURATIONS[1], PLACEMENT_WAIAU, HURRICANE
+    )
+    test = compare_profiles(quake_2_2, hurricane_2_2, OperationalState.ORANGE)
+    print(
+        "Statistically, the backup's orange contribution differs between the\n"
+        f"hazards with p = {test.p_value:.2g} "
+        f"(difference {test.difference:+.1%}).  Detecting an effect this size\n"
+        f"needs >= {required_realizations(max(0.001, quake_2_2.probability(OperationalState.ORANGE)), 0.001)} "
+        "realizations per ensemble -- the paper's 1000 is comfortable.\n"
+    )
+
+    # --- 2. From colors to hours ------------------------------------------
+    timeline = CompoundEventTimeline(
+        TimelineParams(
+            attack_delay_h=6.0,
+            isolation_duration_h=48.0,
+            cold_activation_h=10.0 / 60.0,
+            site_repair_median_h=72.0,
+            intrusion_cleanup_h=24.0,
+        )
+    )
+    print("Downtime per full compound event (hurricane ensemble, 14-day horizon):")
+    print(f"  {'config':8s} {'mean':>8s} {'median':>8s} {'p95':>8s} {'unsafe':>8s}")
+    for arch in PAPER_CONFIGURATIONS:
+        dist = timeline.downtime_distribution(
+            arch,
+            PLACEMENT_WAIAU,
+            hurricane.subset(300),
+            HURRICANE_INTRUSION_ISOLATION,
+            seed=3,
+        )
+        print(
+            f"  {arch.name:8s} {dist.mean_unavailable_h:7.1f}h "
+            f"{dist.quantile_unavailable_h(0.5):7.1f}h "
+            f"{dist.quantile_unavailable_h(0.95):7.1f}h "
+            f"{dist.mean_unsafe_h:7.1f}h"
+        )
+    print(
+        "\nReading: '6' eats the entire 48 h denial-of-service in every event;\n"
+        "'6-6' converts it to a 10-minute failover; '6+6+6' rides through the\n"
+        "median event with zero downtime. Only the double-flood tail remains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The full Oahu case study: every figure of the paper, plus exports.
+
+Reproduces Figures 6-11 as text charts, compares the Waiau and Kahe
+backup placements, and writes the results to ``oahu_results_waiau.json``
+/ ``oahu_results_kahe.json`` and the ensemble to ``oahu_ensemble.csv``
+for downstream use.
+
+Usage::
+
+    python examples/oahu_case_study.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import (
+    PAPER_CONFIGURATIONS,
+    PAPER_SCENARIOS,
+    PLACEMENT_KAHE,
+    PLACEMENT_WAIAU,
+    CompoundThreatAnalysis,
+    standard_oahu_ensemble,
+)
+from repro.core.states import OperationalState
+from repro.geo.oahu import HONOLULU_CC, WAIAU_CC
+from repro.io.realization_io import save_ensemble_csv
+from repro.io.results_io import save_matrix_json
+from repro.viz import profile_chart
+from repro.viz_svg import save_profile_chart_svg
+
+FIGURES = [
+    ("Figure 6: Hurricane", "waiau", "hurricane"),
+    ("Figure 7: Hurricane + Server Intrusion", "waiau", "hurricane+intrusion"),
+    ("Figure 8: Hurricane + Site Isolation", "waiau", "hurricane+isolation"),
+    (
+        "Figure 9: Hurricane + Server Intrusion + Site Isolation",
+        "waiau",
+        "hurricane+intrusion+isolation",
+    ),
+    ("Figure 10: Hurricane (Kahe backup)", "kahe", "hurricane"),
+    ("Figure 11: Hurricane + Server Intrusion (Kahe backup)", "kahe", "hurricane+intrusion"),
+]
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    ensemble = standard_oahu_ensemble()
+    analysis = CompoundThreatAnalysis(ensemble)
+
+    # --- The data-level facts the case study rests on -------------------
+    p_hon = ensemble.flood_probability(HONOLULU_CC)
+    p_wai_given_hon = ensemble.conditional_flood_probability(WAIAU_CC, HONOLULU_CC)
+    print("Hurricane data facts (paper Section VI-A):")
+    print(f"  P(Honolulu CC floods)            = {p_hon:.1%}  (paper: 9.5%)")
+    print(f"  P(Waiau floods | Honolulu floods) = {p_wai_given_hon:.0%}  (paper: 100%)")
+    print()
+
+    # --- Run both placements --------------------------------------------
+    matrices = {
+        "waiau": analysis.run_matrix(PAPER_CONFIGURATIONS, PLACEMENT_WAIAU, PAPER_SCENARIOS),
+        "kahe": analysis.run_matrix(PAPER_CONFIGURATIONS, PLACEMENT_KAHE, PAPER_SCENARIOS),
+    }
+
+    for number, (title, placement_key, scenario) in enumerate(FIGURES, start=6):
+        profiles = matrices[placement_key].scenario_profiles(scenario)
+        print(profile_chart(profiles, title=title))
+        print()
+        save_profile_chart_svg(profiles, out_dir / f"figure_{number:02d}.svg", title)
+
+    # --- Headline conclusions --------------------------------------------
+    full = matrices["waiau"].get("hurricane+intrusion+isolation", "6+6+6")
+    print("Conclusions:")
+    print(
+        "  Best architecture (6+6+6) under the full compound threat: "
+        f"green {full.probability(OperationalState.GREEN):.1%} -- "
+        "no existing architecture guarantees uninterrupted operation."
+    )
+    kahe_full = matrices["kahe"].get("hurricane", "6+6+6")
+    print(
+        "  Moving the second control center to Kahe makes 6+6+6 fully green "
+        f"under the hurricane: {kahe_full.probability(OperationalState.GREEN):.1%}."
+    )
+
+    # --- Exports ----------------------------------------------------------
+    save_ensemble_csv(ensemble, out_dir / "oahu_ensemble.csv")
+    save_matrix_json(matrices["waiau"], out_dir / "oahu_results_waiau.json")
+    save_matrix_json(matrices["kahe"], out_dir / "oahu_results_kahe.json")
+    print(f"\nwrote ensemble, results, and figure_06..11.svg to {out_dir.resolve()}")
+
+
+if __name__ == "__main__":
+    main()

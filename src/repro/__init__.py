@@ -1,0 +1,99 @@
+"""Data-centric analysis of compound threats to power-grid SCADA systems.
+
+A reproduction of Bommareddy et al., "Data-Centric Analysis of Compound
+Threats to Critical Infrastructure Control Systems" (DSN-W 2022): a
+compound threat model (hurricane + follow-on cyberattack), a data-centric
+evaluation framework, and the Oahu, Hawaii case study -- together with
+every substrate the analysis depends on (hurricane surge simulation,
+synthetic island geography, SCADA architecture models, an
+intrusion-tolerant replication engine, a WAN attack model, and a power
+grid).
+
+Quickstart::
+
+    from repro import (
+        CompoundThreatAnalysis, PAPER_CONFIGURATIONS, PAPER_SCENARIOS,
+        PLACEMENT_WAIAU, standard_oahu_ensemble, format_matrix_report,
+    )
+
+    ensemble = standard_oahu_ensemble()         # 1000 realizations
+    analysis = CompoundThreatAnalysis(ensemble)
+    matrix = analysis.run_matrix(
+        PAPER_CONFIGURATIONS, PLACEMENT_WAIAU, PAPER_SCENARIOS
+    )
+    print(format_matrix_report(matrix))
+"""
+
+from repro.core import (
+    PAPER_SCENARIOS,
+    CompoundThreatAnalysis,
+    CyberAttackBudget,
+    ExhaustiveAttacker,
+    OperationalProfile,
+    OperationalState,
+    ProbabilisticAttacker,
+    ScenarioMatrix,
+    SystemState,
+    ThreatScenario,
+    WorstCaseAttacker,
+    evaluate,
+    format_matrix_report,
+    get_scenario,
+    initial_state,
+)
+from repro.geo import oahu_case_study
+from repro.hazards import LogisticFragility, ThresholdFragility
+from repro.hazards.hurricane import (
+    EnsembleGenerator,
+    HurricaneEnsemble,
+    HurricaneScenarioSpec,
+    standard_oahu_ensemble,
+)
+from repro.scada import (
+    PAPER_CONFIGURATIONS,
+    PLACEMENT_KAHE,
+    PLACEMENT_WAIAU,
+    ArchitectureSpec,
+    FailoverPolicy,
+    Placement,
+    get_architecture,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core framework
+    "CompoundThreatAnalysis",
+    "OperationalState",
+    "OperationalProfile",
+    "ScenarioMatrix",
+    "SystemState",
+    "initial_state",
+    "evaluate",
+    "ThreatScenario",
+    "CyberAttackBudget",
+    "PAPER_SCENARIOS",
+    "get_scenario",
+    "WorstCaseAttacker",
+    "ExhaustiveAttacker",
+    "ProbabilisticAttacker",
+    "format_matrix_report",
+    # hazard substrate
+    "HurricaneEnsemble",
+    "HurricaneScenarioSpec",
+    "EnsembleGenerator",
+    "standard_oahu_ensemble",
+    "ThresholdFragility",
+    "LogisticFragility",
+    # SCADA substrate
+    "ArchitectureSpec",
+    "PAPER_CONFIGURATIONS",
+    "get_architecture",
+    "Placement",
+    "PLACEMENT_WAIAU",
+    "PLACEMENT_KAHE",
+    "FailoverPolicy",
+    # geography
+    "oahu_case_study",
+]

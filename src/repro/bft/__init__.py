@@ -1,0 +1,39 @@
+"""Simulated intrusion-tolerant (BFT) replication engine."""
+
+from repro.bft.client import SCADAClient
+from repro.bft.engine import BFTCluster, ClusterSpec, RunReport
+from repro.bft.messages import (
+    ClientRequest,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    SyncRequest,
+    SyncResponse,
+    ViewChange,
+    digest_of,
+)
+from repro.bft.network_sim import NetworkParams, SimNetwork
+from repro.bft.recovery import ProactiveRecoveryScheduler
+from repro.bft.replica import Behavior, Replica
+
+__all__ = [
+    "SCADAClient",
+    "BFTCluster",
+    "ClusterSpec",
+    "RunReport",
+    "Behavior",
+    "Replica",
+    "ProactiveRecoveryScheduler",
+    "SimNetwork",
+    "NetworkParams",
+    "ClientRequest",
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "ViewChange",
+    "NewView",
+    "SyncRequest",
+    "SyncResponse",
+    "digest_of",
+]

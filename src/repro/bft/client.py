@@ -1,0 +1,145 @@
+"""The SCADA client side of the replication protocol.
+
+An intrusion-tolerant client cannot trust any single replica: it
+broadcasts its request to all replicas and accepts an outcome only once
+``f + 1`` replicas report the *same* execution -- at least one of them is
+correct, so the reported outcome really was ordered.  This module
+implements that confirmation rule and measures end-to-end latency, the
+metric operators experience as "command round-trip time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bft.messages import ClientRequest, digest_of
+from repro.bft.replica import Replica
+from repro.des.simulator import Simulator
+from repro.errors import ProtocolError
+
+
+@dataclass
+class _PendingRequest:
+    submitted_at: float
+    replies: dict[str, set[int]] = field(default_factory=dict)
+    confirmed_at: float | None = None
+    confirmed_digest: str | None = None
+
+
+class SCADAClient:
+    """Broadcasts requests and confirms them with an f+1 reply quorum."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        replicas: list[Replica],
+        f: int,
+        reply_latency_ms: float = 1.0,
+    ) -> None:
+        if not replicas:
+            raise ProtocolError("client needs replicas to talk to")
+        if f < 0:
+            raise ProtocolError("f cannot be negative")
+        if reply_latency_ms <= 0:
+            raise ProtocolError("reply latency must be positive")
+        self.simulator = simulator
+        self.replicas = list(replicas)
+        self.f = f
+        self.reply_latency_ms = reply_latency_ms
+        self._pending: dict[int, _PendingRequest] = {}
+        self._next_id = 0
+        for replica in self.replicas:
+            self._hook(replica)
+
+    def _hook(self, replica: Replica) -> None:
+        previous = replica.on_execute
+
+        def forward(seq: int, digest: str, payload: str) -> None:
+            if previous is not None:
+                previous(seq, digest, payload)
+            request_id = _request_id_of(digest)
+            if request_id is None or request_id not in self._pending:
+                return
+            self.simulator.schedule(
+                self.reply_latency_ms,
+                lambda: self.receive_reply(replica.id, request_id, digest),
+            )
+
+        replica.on_execute = forward
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: str, at_ms: float = 0.0) -> int:
+        """Schedule a request broadcast; returns the request id."""
+        request_id = self._next_id
+        self._next_id += 1
+        request = ClientRequest(request_id, payload)
+
+        def broadcast() -> None:
+            self._pending[request_id] = _PendingRequest(
+                submitted_at=self.simulator.now
+            )
+            for replica in self.replicas:
+                if not replica.network.is_down(replica.id):
+                    replica.submit(request)
+
+        self.simulator.schedule_at(at_ms, broadcast)
+        return request_id
+
+    def receive_reply(self, replica_id: int, request_id: int, digest: str) -> None:
+        """Record one replica's execution report."""
+        pending = self._pending.get(request_id)
+        if pending is None or pending.confirmed_at is not None:
+            return
+        voters = pending.replies.setdefault(digest, set())
+        voters.add(replica_id)
+        if len(voters) >= self.f + 1:
+            pending.confirmed_at = self.simulator.now
+            pending.confirmed_digest = digest
+
+    # ------------------------------------------------------------------
+    def is_confirmed(self, request_id: int) -> bool:
+        pending = self._pending.get(request_id)
+        return pending is not None and pending.confirmed_at is not None
+
+    def latency_ms(self, request_id: int) -> float:
+        pending = self._pending.get(request_id)
+        if pending is None or pending.confirmed_at is None:
+            raise ProtocolError(f"request {request_id} is not confirmed")
+        return pending.confirmed_at - pending.submitted_at
+
+    @property
+    def confirmed_count(self) -> int:
+        return sum(1 for p in self._pending.values() if p.confirmed_at is not None)
+
+    @property
+    def submitted_count(self) -> int:
+        return len(self._pending)
+
+    def latency_stats_ms(self) -> dict[str, float]:
+        """Mean / median / p95 confirmation latency over confirmed requests."""
+        latencies = [
+            p.confirmed_at - p.submitted_at
+            for p in self._pending.values()
+            if p.confirmed_at is not None
+        ]
+        if not latencies:
+            raise ProtocolError("no confirmed requests to report on")
+        arr = np.array(latencies)
+        return {
+            "mean": float(np.mean(arr)),
+            "median": float(np.median(arr)),
+            "p95": float(np.quantile(arr, 0.95)),
+        }
+
+
+def _request_id_of(digest: str) -> int | None:
+    """Recover the request id from a digest (``d<id>:<payload>``)."""
+    if not digest.startswith("d"):
+        return None
+    head = digest[1:].split(":", 1)[0]
+    try:
+        return int(head)
+    except ValueError:
+        return None

@@ -1,0 +1,201 @@
+"""The BFT cluster harness: build, fault-inject, run, and check.
+
+Assembles replicas across sites on the simulated network, drives a client
+workload, optionally injects the compound-threat faults (flooded sites,
+isolated sites, Byzantine replicas, proactive recovery), and checks the
+two properties the analysis framework's Table-I rules assume:
+
+* **safety** -- all correct replicas execute the same digest at every
+  sequence number they share, and
+* **liveness** -- correct replicas in connected, surviving sites execute
+  the whole workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bft.messages import ClientRequest
+from repro.bft.network_sim import NetworkParams, SimNetwork
+from repro.bft.recovery import ProactiveRecoveryScheduler
+from repro.bft.replica import Behavior, Replica
+from repro.des.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.scada.replication import replicas_for_safety
+
+
+@dataclass
+class ClusterSpec:
+    """Shape of a replication deployment for the engine."""
+
+    sites: tuple[str, ...] = ("control-center",)
+    replicas_per_site: int = 6
+    f: int = 1
+    k: int = 1
+    request_timeout_ms: float = 400.0
+    network: NetworkParams = field(default_factory=NetworkParams)
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ProtocolError("cluster needs at least one site")
+        if self.replicas_per_site < 1:
+            raise ProtocolError("each site needs at least one replica")
+        total = len(self.sites) * self.replicas_per_site
+        if total < replicas_for_safety(self.f, self.k):
+            raise ProtocolError(
+                f"{total} replicas cannot tolerate f={self.f}, k={self.k}"
+            )
+
+    @property
+    def total_replicas(self) -> int:
+        return len(self.sites) * self.replicas_per_site
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one workload run."""
+
+    requests_submitted: int
+    executed_counts: dict[int, int]
+    safety_ok: bool
+    live_replica_ids: tuple[int, ...]
+    messages_sent: int
+    messages_delivered: int
+    recoveries_completed: int
+
+    @property
+    def ordered_everywhere(self) -> bool:
+        """All live correct replicas executed the full workload."""
+        return all(
+            self.executed_counts[rid] >= self.requests_submitted
+            for rid in self.live_replica_ids
+        )
+
+
+class BFTCluster:
+    """A deployed replication group under simulation."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec | None = None,
+        byzantine: dict[int, Behavior] | None = None,
+    ) -> None:
+        self.spec = spec or ClusterSpec()
+        byzantine = byzantine or {}
+        if len(byzantine) > self.spec.f:
+            raise ProtocolError(
+                f"{len(byzantine)} Byzantine replicas exceed the tolerance "
+                f"f={self.spec.f}; the run would be outside the model"
+            )
+        self.simulator = Simulator()
+        site_of = {}
+        for index, site in enumerate(self.spec.sites):
+            for j in range(self.spec.replicas_per_site):
+                site_of[index * self.spec.replicas_per_site + j] = site
+        self.network = SimNetwork(self.simulator, site_of, self.spec.network)
+        n = self.spec.total_replicas
+        self.replicas: list[Replica] = []
+        for rid in range(n):
+            behavior = byzantine.get(rid, Behavior.CORRECT)
+            replica = Replica(
+                rid,
+                n,
+                self.spec.f,
+                self.spec.k,
+                self.network,
+                self.simulator,
+                behavior=behavior,
+                request_timeout_ms=self.spec.request_timeout_ms,
+            )
+            self.network.attach(rid, replica.on_message)
+            self.replicas.append(replica)
+        self.recovery: ProactiveRecoveryScheduler | None = None
+        self._submitted = 0
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def flood_site(self, site: str) -> None:
+        """Hurricane damage: every replica in the site goes down."""
+        for replica in self.replicas:
+            if self.network.site_of[replica.id] == site:
+                self.network.set_down(replica.id, True)
+
+    def isolate_site(self, site: str) -> None:
+        """Network attack: the site cannot talk to the other sites."""
+        self.network.isolate_site(site)
+
+    def enable_proactive_recovery(
+        self, period_ms: float = 2000.0, recovery_duration_ms: float = 300.0
+    ) -> None:
+        correct = [r for r in self.replicas if r.is_correct]
+        self.recovery = ProactiveRecoveryScheduler(
+            self.simulator, self.network, correct, period_ms, recovery_duration_ms
+        )
+        self.recovery.start()
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+    def submit_workload(
+        self, count: int, interval_ms: float = 50.0, start_ms: float = 0.0
+    ) -> None:
+        """Schedule ``count`` client requests, one every ``interval_ms``."""
+        if count < 1:
+            raise ProtocolError("workload needs at least one request")
+        for i in range(count):
+            request = ClientRequest(self._submitted + i, f"update-{self._submitted + i}")
+
+            def submit(req: ClientRequest = request) -> None:
+                # The client broadcasts to all replicas (the standard
+                # intrusion-tolerant client pattern: it cannot trust any
+                # single replica to forward).
+                for replica in self.replicas:
+                    if not self.network.is_down(replica.id):
+                        replica.submit(req)
+
+            self.simulator.schedule(start_ms + i * interval_ms, submit)
+        self._submitted += count
+
+    def run(self, duration_ms: float = 10_000.0) -> RunReport:
+        """Run the simulation and report outcome + property checks."""
+        self.simulator.run(until=duration_ms)
+        return RunReport(
+            requests_submitted=self._submitted,
+            executed_counts={r.id: len(r.executed) for r in self.replicas},
+            safety_ok=self.check_safety(),
+            live_replica_ids=tuple(r.id for r in self.live_correct_replicas()),
+            messages_sent=self.network.messages_sent,
+            messages_delivered=self.network.messages_delivered,
+            recoveries_completed=(
+                self.recovery.recoveries_completed if self.recovery else 0
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Property checks
+    # ------------------------------------------------------------------
+    def live_correct_replicas(self) -> list[Replica]:
+        """Correct replicas that are up and in a non-isolated site."""
+        isolated = self.network._isolated_sites
+        return [
+            r
+            for r in self.replicas
+            if r.is_correct
+            and not self.network.is_down(r.id)
+            and self.network.site_of[r.id] not in isolated
+        ]
+
+    def check_safety(self) -> bool:
+        """No two correct replicas disagree at any executed sequence."""
+        by_seq: dict[int, str] = {}
+        for replica in self.replicas:
+            if not replica.is_correct:
+                continue
+            for seq, digest, _ in replica.executed:
+                if by_seq.setdefault(seq, digest) != digest:
+                    return False
+        return True
+
+    def executed_payloads(self, replica_id: int) -> list[str]:
+        return [payload for _, _, payload in self.replicas[replica_id].executed]

@@ -1,0 +1,123 @@
+"""Protocol messages for the intrusion-tolerant replication engine.
+
+The engine simulates a PBFT-style three-phase ordering protocol (the
+lineage behind the paper's "6" and "6+6+6" configurations): pre-prepare /
+prepare / commit, plus a simplified view change and recovery state sync.
+Digests stand in for cryptographic hashes; in the simulation they are
+plain strings, which is sound because the network model delivers messages
+unmodified (the adversary acts through Byzantine *replicas*, not the
+channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """An update submitted by the SCADA client (e.g. a control command)."""
+
+    request_id: int
+    payload: str
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """Primary's ordering proposal for a request."""
+
+    view: int
+    seq: int
+    digest: str
+    request: ClientRequest
+    sender: int
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """A replica's echo that it accepted the primary's proposal."""
+
+    view: int
+    seq: int
+    digest: str
+    sender: int
+
+
+@dataclass(frozen=True)
+class Commit:
+    """A replica's vote to commit a prepared proposal."""
+
+    view: int
+    seq: int
+    digest: str
+    sender: int
+
+
+@dataclass(frozen=True)
+class PreparedProof:
+    """Evidence that (seq, digest) was prepared in some view."""
+
+    view: int
+    seq: int
+    digest: str
+    request: ClientRequest
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """A replica's vote to move to ``new_view``."""
+
+    new_view: int
+    sender: int
+    prepared: tuple[PreparedProof, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New primary's announcement, carrying entries to re-propose."""
+
+    view: int
+    sender: int
+    preprepares: tuple[PrePrepare, ...]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A replica's vote that its log prefix up to ``seq`` is stable."""
+
+    seq: int
+    log_digest: str
+    sender: int
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """A recovering replica asking peers for the executed log."""
+
+    sender: int
+
+
+@dataclass(frozen=True)
+class SyncResponse:
+    """A peer's copy of its executed log for a recovering replica."""
+
+    sender: int
+    executed: tuple[tuple[int, str, str], ...]  # (seq, digest, payload)
+
+
+Message = (
+    ClientRequest
+    | PrePrepare
+    | Prepare
+    | Commit
+    | Checkpoint
+    | ViewChange
+    | NewView
+    | SyncRequest
+    | SyncResponse
+)
+
+
+def digest_of(request: ClientRequest) -> str:
+    """The stand-in digest of a request (stable and collision-free here)."""
+    return f"d{request.request_id}:{request.payload}"

@@ -1,0 +1,125 @@
+"""Simulated message network for the replication engine.
+
+Replicas are attached to *sites* (control centers / data centers).  The
+network delivers every message after a fixed latency -- intra-site
+traffic faster than inter-site -- unless a drop rule applies:
+
+* a **down** replica (crashed, flooded, or mid-recovery) neither sends
+  nor receives;
+* an **isolated site** exchanges no traffic with other sites (the paper's
+  site-isolation attack), while intra-site traffic still flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.des.simulator import Simulator
+from repro.errors import NetworkModelError
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    intra_site_latency_ms: float = 1.0
+    inter_site_latency_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.intra_site_latency_ms <= 0 or self.inter_site_latency_ms <= 0:
+            raise NetworkModelError("latencies must be positive")
+
+
+class SimNetwork:
+    """Delivers messages between replicas over simulated time."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        site_of: dict[int, str],
+        params: NetworkParams | None = None,
+    ) -> None:
+        if not site_of:
+            raise NetworkModelError("network needs at least one replica")
+        self.simulator = simulator
+        self.site_of = dict(site_of)
+        self.params = params or NetworkParams()
+        self._handlers: dict[int, Callable[[int, object], None]] = {}
+        self._down: set[int] = set()
+        self._isolated_sites: set[str] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Wiring and fault injection
+    # ------------------------------------------------------------------
+    def attach(self, replica_id: int, handler: Callable[[int, object], None]) -> None:
+        """Register the message handler of a replica."""
+        if replica_id not in self.site_of:
+            raise NetworkModelError(f"replica {replica_id} has no site")
+        self._handlers[replica_id] = handler
+
+    def set_down(self, replica_id: int, down: bool) -> None:
+        """Crash/restore a replica (flood damage or proactive recovery)."""
+        if replica_id not in self.site_of:
+            raise NetworkModelError(f"unknown replica {replica_id}")
+        if down:
+            self._down.add(replica_id)
+        else:
+            self._down.discard(replica_id)
+
+    def is_down(self, replica_id: int) -> bool:
+        return replica_id in self._down
+
+    def isolate_site(self, site: str) -> None:
+        """Cut a site off from all other sites (site-isolation attack)."""
+        if site not in self.site_of.values():
+            raise NetworkModelError(f"unknown site {site!r}")
+        self._isolated_sites.add(site)
+
+    def heal_site(self, site: str) -> None:
+        self._isolated_sites.discard(site)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliverable(self, src: int, dst: int) -> bool:
+        if src in self._down or dst in self._down:
+            return False
+        src_site = self.site_of[src]
+        dst_site = self.site_of[dst]
+        if src_site != dst_site and (
+            src_site in self._isolated_sites or dst_site in self._isolated_sites
+        ):
+            return False
+        return True
+
+    def send(self, src: int, dst: int, message: object) -> None:
+        """Deliver ``message`` from ``src`` to ``dst`` after the latency.
+
+        Deliverability is evaluated at *delivery* time, so messages in
+        flight when a site is isolated are dropped too (conservative).
+        """
+        if dst not in self._handlers:
+            raise NetworkModelError(f"replica {dst} is not attached")
+        self.messages_sent += 1
+        same_site = self.site_of[src] == self.site_of[dst]
+        latency = (
+            self.params.intra_site_latency_ms
+            if same_site
+            else self.params.inter_site_latency_ms
+        )
+
+        def deliver() -> None:
+            if not self._deliverable(src, dst):
+                return
+            self.messages_delivered += 1
+            self._handlers[dst](src, message)
+
+        self.simulator.schedule(latency, deliver)
+
+    def broadcast(self, src: int, message: object, include_self: bool = True) -> None:
+        """Send ``message`` to every attached replica (optionally self)."""
+        for dst in sorted(self._handlers):
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, message)

@@ -1,0 +1,480 @@
+"""The replica state machine of the intrusion-tolerant ordering protocol.
+
+A simulation-faithful PBFT-style replica sized ``n = 3f + 2k + 1`` with
+quorum ``2f + k + 1``: three-phase ordering (pre-prepare / prepare /
+commit), a simplified view change that rotates out an unresponsive or
+equivocating primary, quorum checkpointing with protocol-state garbage
+collection, and a state-sync path used after proactive recovery.  The
+goal is to *demonstrate* the fault-tolerance properties the analysis
+framework assumes of the "6"-family architectures -- safety with up to
+``f`` Byzantine replicas and ``k`` concurrently recovering -- not to be
+a deployable implementation (digests stand in for cryptography).
+
+Byzantine behaviours modelled:
+
+* ``SILENT``     -- the replica sends nothing at all (fail-stop-like, but
+  unannounced).
+* ``EQUIVOCATE`` -- as primary it proposes conflicting orderings to
+  different halves of the cluster; as backup it votes for every digest it
+  sees.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable
+
+from repro.bft.messages import (
+    Checkpoint,
+    ClientRequest,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    PreparedProof,
+    SyncRequest,
+    SyncResponse,
+    ViewChange,
+    digest_of,
+)
+from repro.des.simulator import EventHandle, Simulator
+from repro.errors import ProtocolError
+from repro.scada.replication import quorum_size, replicas_for_safety
+
+if TYPE_CHECKING:
+    from repro.bft.network_sim import SimNetwork
+
+
+class Behavior(enum.Enum):
+    CORRECT = "correct"
+    SILENT = "silent"
+    EQUIVOCATE = "equivocate"
+
+
+class Replica:
+    """One replica of the ordering group."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        n: int,
+        f: int,
+        k: int,
+        network: "SimNetwork",
+        simulator: Simulator,
+        behavior: Behavior = Behavior.CORRECT,
+        request_timeout_ms: float = 400.0,
+        max_timeout_attempts: int = 10,
+        checkpoint_interval: int = 20,
+    ) -> None:
+        if n < replicas_for_safety(f, k):
+            raise ProtocolError(
+                f"n={n} too small for f={f}, k={k} "
+                f"(need {replicas_for_safety(f, k)})"
+            )
+        if not 0 <= replica_id < n:
+            raise ProtocolError(f"replica id {replica_id} outside [0, {n})")
+        self.id = replica_id
+        self.n = n
+        self.f = f
+        self.k = k
+        self.quorum = quorum_size(n, f)
+        self.network = network
+        self.simulator = simulator
+        self.behavior = behavior
+        self.request_timeout_ms = request_timeout_ms
+        self.max_timeout_attempts = max_timeout_attempts
+        if checkpoint_interval < 1:
+            raise ProtocolError("checkpoint interval must be positive")
+        self.checkpoint_interval = checkpoint_interval
+
+        self.view = 0
+        self.next_seq = 0
+        self.accepted: dict[int, PrePrepare] = {}
+        self.requests: dict[str, ClientRequest] = {}
+        self.prepare_votes: dict[tuple[int, int, str], set[int]] = {}
+        self.commit_votes: dict[tuple[int, int, str], set[int]] = {}
+        self.commit_sent: set[tuple[int, int, str]] = set()
+        self.committed: dict[int, tuple[str, str]] = {}  # seq -> (digest, payload)
+        self.executed: list[tuple[int, str, str]] = []
+        self.executed_digests: set[str] = set()
+        self.next_exec = 0
+        self.pending: dict[int, ClientRequest] = {}
+        self.timers: dict[int, EventHandle] = {}
+        self.timeout_attempts: dict[int, int] = {}
+        self.view_votes: dict[int, dict[int, ViewChange]] = {}
+        self.voted_for_view: set[int] = set()
+        self.max_voted_view = 0
+        self.announced_views: set[int] = set()
+        self.sync_responses: dict[int, SyncResponse] = {}
+        self.checkpoint_votes: dict[tuple[int, str], set[int]] = {}
+        self.stable_checkpoint_seq = 0
+        # Optional hook fired on each fresh execution (used by the
+        # client's reply path): on_execute(seq, digest, payload).
+        self.on_execute: "Callable[[int, str, str], None] | None" = None
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    def primary_of(self, view: int) -> int:
+        return view % self.n
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary_of(self.view) == self.id
+
+    @property
+    def is_correct(self) -> bool:
+        return self.behavior is Behavior.CORRECT
+
+    @property
+    def _view_changing(self) -> bool:
+        """Whether this replica has voted to leave its current view.
+
+        While view-changing, a correct replica stops participating in
+        ordering (the PBFT rule that protects the quorum-intersection
+        argument across views).
+        """
+        return self.max_voted_view > self.view
+
+    # ------------------------------------------------------------------
+    # Client path
+    # ------------------------------------------------------------------
+    def submit(self, request: ClientRequest) -> None:
+        """Client hands the request to this replica."""
+        if self.behavior is Behavior.SILENT:
+            return
+        digest = digest_of(request)
+        self.requests[digest] = request
+        if self._already_ordered(digest):
+            return
+        self.pending[request.request_id] = request
+        self._arm_timer(request)
+        if self.is_primary:
+            self._propose(request)
+
+    def _already_ordered(self, digest: str) -> bool:
+        return any(d == digest for d, _ in self.committed.values()) or any(
+            d == digest for _, d, _ in self.executed
+        )
+
+    def _arm_timer(self, request: ClientRequest) -> None:
+        if request.request_id in self.timers:
+            self.timers[request.request_id].cancel()
+        self.timers[request.request_id] = self.simulator.schedule(
+            self.request_timeout_ms, lambda: self._on_timeout(request.request_id)
+        )
+
+    def _on_timeout(self, request_id: int) -> None:
+        if request_id not in self.pending or not self.is_correct:
+            return
+        attempts = self.timeout_attempts.get(request_id, 0) + 1
+        self.timeout_attempts[request_id] = attempts
+        if attempts > self.max_timeout_attempts:
+            # Give up: an unorderable request (e.g. a forged duplicate a
+            # Byzantine primary injected into half the cluster) must not
+            # drive view changes forever.  Real clients retransmit.
+            self.pending.pop(request_id, None)
+            timer = self.timers.pop(request_id, None)
+            if timer is not None:
+                timer.cancel()
+            return
+        # The current primary failed us: vote to rotate.  Escalate past
+        # views already voted for, so a run of failed primaries (e.g. an
+        # entire isolated site) is eventually skipped.
+        self._vote_view_change(max(self.view, self.max_voted_view) + 1)
+        request = self.pending[request_id]
+        self._arm_timer(request)
+
+    # ------------------------------------------------------------------
+    # Ordering: pre-prepare / prepare / commit
+    # ------------------------------------------------------------------
+    def _propose(self, request: ClientRequest) -> None:
+        digest = digest_of(request)
+        seq = self.next_seq
+        self.next_seq += 1
+        if self.behavior is Behavior.EQUIVOCATE:
+            # Conflicting proposals to the two halves of the cluster.
+            fake = ClientRequest(request.request_id, request.payload + "-forged")
+            pp_a = PrePrepare(self.view, seq, digest, request, self.id)
+            pp_b = PrePrepare(self.view, seq, digest_of(fake), fake, self.id)
+            for dst in range(self.n):
+                self.network.send(self.id, dst, pp_a if dst % 2 == 0 else pp_b)
+            return
+        self.network.broadcast(
+            self.id, PrePrepare(self.view, seq, digest, request, self.id)
+        )
+
+    def on_message(self, src: int, message: object) -> None:
+        if self.behavior is Behavior.SILENT:
+            return
+        if isinstance(message, PrePrepare):
+            self._handle_preprepare(message)
+        elif isinstance(message, Prepare):
+            self._handle_prepare(message)
+        elif isinstance(message, Commit):
+            self._handle_commit(message)
+        elif isinstance(message, Checkpoint):
+            self._handle_checkpoint(message)
+        elif isinstance(message, ViewChange):
+            self._handle_viewchange(message)
+        elif isinstance(message, NewView):
+            self._handle_newview(message)
+        elif isinstance(message, SyncRequest):
+            self._handle_sync_request(message)
+        elif isinstance(message, SyncResponse):
+            self._handle_sync_response(message)
+        else:
+            raise ProtocolError(f"unknown message {type(message).__name__}")
+
+    def _handle_preprepare(self, pp: PrePrepare) -> None:
+        if pp.view != self.view or pp.sender != self.primary_of(pp.view):
+            return
+        if self._view_changing:
+            return
+        existing = self.accepted.get(pp.seq)
+        if existing is not None and existing.digest != pp.digest:
+            # Equivocating primary caught red-handed: demand rotation.
+            if self.is_correct:
+                self._vote_view_change(self.view + 1)
+            return
+        self.accepted[pp.seq] = pp
+        self.requests[pp.digest] = pp.request
+        self.pending.setdefault(pp.request.request_id, pp.request)
+        if pp.request.request_id not in self.timers:
+            self._arm_timer(pp.request)
+        # The pre-prepare counts as the primary's own prepare vote.
+        self._record_prepare(pp.view, pp.seq, pp.digest, pp.sender)
+        if self.behavior is Behavior.EQUIVOCATE:
+            # Vote for everything: maximum mischief within f replicas.
+            self.network.broadcast(
+                self.id, Prepare(pp.view, pp.seq, pp.digest, self.id)
+            )
+            return
+        self.network.broadcast(self.id, Prepare(pp.view, pp.seq, pp.digest, self.id))
+
+    def _handle_prepare(self, prepare: Prepare) -> None:
+        if prepare.view != self.view or self._view_changing:
+            return
+        self._record_prepare(prepare.view, prepare.seq, prepare.digest, prepare.sender)
+
+    def _record_prepare(self, view: int, seq: int, digest: str, sender: int) -> None:
+        key = (view, seq, digest)
+        votes = self.prepare_votes.setdefault(key, set())
+        votes.add(sender)
+        # A replica's own prepare is implicit once it accepted the
+        # pre-prepare for this digest.
+        accepted = self.accepted.get(seq)
+        if accepted is not None and accepted.digest == digest:
+            votes.add(self.id)
+        if len(votes) >= self.quorum and key not in self.commit_sent:
+            self.commit_sent.add(key)
+            self.network.broadcast(self.id, Commit(view, seq, digest, self.id))
+
+    def _handle_commit(self, commit: Commit) -> None:
+        if commit.view != self.view or self._view_changing:
+            return
+        key = (commit.view, commit.seq, commit.digest)
+        votes = self.commit_votes.setdefault(key, set())
+        votes.add(commit.sender)
+        if key in self.commit_sent:
+            votes.add(self.id)
+        if len(votes) >= self.quorum:
+            self._mark_committed(commit.seq, commit.digest)
+
+    def _mark_committed(self, seq: int, digest: str) -> None:
+        previous = self.committed.get(seq)
+        if previous is not None and previous[0] != digest:
+            raise ProtocolError(
+                f"replica {self.id}: conflicting commits at seq {seq} "
+                f"({previous[0]} vs {digest}) -- quorum intersection violated"
+            )
+        request = self.requests.get(digest)
+        payload = request.payload if request is not None else ""
+        self.committed[seq] = (digest, payload)
+        self._try_execute()
+
+    def _try_execute(self) -> None:
+        while self.next_exec in self.committed:
+            digest, payload = self.committed[self.next_exec]
+            # Apply-once semantics: a request re-ordered at a second
+            # sequence number after a view change is not re-executed.
+            if digest not in self.executed_digests:
+                self.executed_digests.add(digest)
+                self.executed.append((self.next_exec, digest, payload))
+                if self.on_execute is not None and self.is_correct:
+                    self.on_execute(self.next_exec, digest, payload)
+            request = self.requests.get(digest)
+            if request is not None:
+                self.pending.pop(request.request_id, None)
+                timer = self.timers.pop(request.request_id, None)
+                if timer is not None:
+                    timer.cancel()
+            self.next_exec += 1
+            if (
+                self.next_exec % self.checkpoint_interval == 0
+                and self.is_correct
+            ):
+                self._emit_checkpoint(self.next_exec)
+
+    # ------------------------------------------------------------------
+    # View change
+    # ------------------------------------------------------------------
+    def _prepared_proofs(self) -> tuple[PreparedProof, ...]:
+        proofs: dict[int, PreparedProof] = {}
+        for (view, seq, digest), votes in self.prepare_votes.items():
+            if len(votes) >= self.quorum and digest in self.requests:
+                current = proofs.get(seq)
+                if current is None or view > current.view:
+                    proofs[seq] = PreparedProof(
+                        view, seq, digest, self.requests[digest]
+                    )
+        return tuple(proofs[s] for s in sorted(proofs))
+
+    def _vote_view_change(self, new_view: int) -> None:
+        if new_view <= self.view or new_view in self.voted_for_view:
+            return
+        self.voted_for_view.add(new_view)
+        self.max_voted_view = max(self.max_voted_view, new_view)
+        vc = ViewChange(new_view, self.id, self._prepared_proofs())
+        self.network.broadcast(self.id, vc)
+
+    def _handle_viewchange(self, vc: ViewChange) -> None:
+        if vc.new_view <= self.view:
+            return
+        votes = self.view_votes.setdefault(vc.new_view, {})
+        votes[vc.sender] = vc
+        # Join once f+1 others want out: someone correct has evidence.
+        if len(votes) > self.f and self.is_correct and vc.new_view > self.max_voted_view:
+            self._vote_view_change(vc.new_view)
+        if (
+            len(votes) >= self.quorum
+            and self.primary_of(vc.new_view) == self.id
+            and vc.new_view not in self.announced_views
+            and vc.new_view >= self.max_voted_view
+            and self.is_correct
+        ):
+            self._announce_new_view(vc.new_view, votes)
+
+    def _announce_new_view(self, new_view: int, votes: dict[int, ViewChange]) -> None:
+        self.announced_views.add(new_view)
+        self._enter_view(new_view)
+        # Re-propose every prepared entry (highest view wins per seq).
+        best: dict[int, PreparedProof] = {}
+        for vc in votes.values():
+            for proof in vc.prepared:
+                current = best.get(proof.seq)
+                if current is None or proof.view > current.view:
+                    best[proof.seq] = proof
+        preprepares = []
+        max_seq = self.next_exec - 1
+        for seq in sorted(best):
+            proof = best[seq]
+            max_seq = max(max_seq, seq)
+            preprepares.append(
+                PrePrepare(new_view, seq, proof.digest, proof.request, self.id)
+            )
+        self.next_seq = max_seq + 1
+        self.network.broadcast(
+            self.id, NewView(new_view, self.id, tuple(preprepares))
+        )
+        # Propose requests that never made it anywhere.
+        covered = {digest_of(p.request) for p in best.values()}
+        covered |= {d for d, _ in self.committed.values()}
+        for request in sorted(self.pending.values(), key=lambda r: r.request_id):
+            if digest_of(request) not in covered:
+                self._propose(request)
+
+    def _enter_view(self, new_view: int) -> None:
+        self.view = new_view
+        self.max_voted_view = max(self.max_voted_view, new_view)
+        self.accepted = {
+            seq: pp for seq, pp in self.accepted.items() if seq < self.next_exec
+        }
+
+    def _handle_newview(self, nv: NewView) -> None:
+        if nv.view <= self.view or nv.sender != self.primary_of(nv.view):
+            return
+        if nv.view < self.max_voted_view:
+            # Already committed to a later view change; joining an older
+            # view would resurrect the quorum we abandoned.
+            return
+        self._enter_view(nv.view)
+        for request in self.pending.values():
+            self._arm_timer(request)
+        for pp in nv.preprepares:
+            self._handle_preprepare(pp)
+
+    # ------------------------------------------------------------------
+    # Checkpointing and log truncation
+    # ------------------------------------------------------------------
+    def _log_digest_at(self, seq: int) -> str:
+        """Summary digest of the executed prefix ending before ``seq``."""
+        last = ""
+        for executed_seq, digest, _ in reversed(self.executed):
+            if executed_seq < seq:
+                last = digest
+                break
+        return f"ckpt:{seq}:{last}"
+
+    def _emit_checkpoint(self, seq: int) -> None:
+        self.network.broadcast(
+            self.id, Checkpoint(seq, self._log_digest_at(seq), self.id)
+        )
+
+    def _handle_checkpoint(self, checkpoint: Checkpoint) -> None:
+        if checkpoint.seq <= self.stable_checkpoint_seq:
+            return
+        key = (checkpoint.seq, checkpoint.log_digest)
+        votes = self.checkpoint_votes.setdefault(key, set())
+        votes.add(checkpoint.sender)
+        if len(votes) >= self.quorum:
+            self._stabilize_checkpoint(checkpoint.seq)
+
+    def _stabilize_checkpoint(self, seq: int) -> None:
+        """Quorum agrees the prefix below ``seq`` is durable: truncate."""
+        self.stable_checkpoint_seq = max(self.stable_checkpoint_seq, seq)
+        self.accepted = {
+            s: pp for s, pp in self.accepted.items() if s >= seq
+        }
+        self.prepare_votes = {
+            k: v for k, v in self.prepare_votes.items() if k[1] >= seq
+        }
+        self.commit_votes = {
+            k: v for k, v in self.commit_votes.items() if k[1] >= seq
+        }
+        self.commit_sent = {k for k in self.commit_sent if k[1] >= seq}
+        self.checkpoint_votes = {
+            k: v for k, v in self.checkpoint_votes.items() if k[0] > seq
+        }
+        # Committed entries below the stable checkpoint are reflected in
+        # the executed log; drop the staging copies.
+        self.committed = {
+            s: entry for s, entry in self.committed.items() if s >= seq
+        }
+
+    # ------------------------------------------------------------------
+    # Recovery state sync
+    # ------------------------------------------------------------------
+    def begin_resync(self) -> None:
+        """Called after proactive recovery: fetch missed state from peers."""
+        if self.behavior is Behavior.SILENT:
+            return
+        self.sync_responses = {}
+        self.network.broadcast(self.id, SyncRequest(self.id), include_self=False)
+
+    def _handle_sync_request(self, request: SyncRequest) -> None:
+        response = SyncResponse(self.id, tuple(self.executed))
+        self.network.send(self.id, request.sender, response)
+
+    def _handle_sync_response(self, response: SyncResponse) -> None:
+        self.sync_responses[response.sender] = response
+        # Adopt any entry vouched for by more than f peers.
+        votes: dict[tuple[int, str, str], int] = {}
+        for resp in self.sync_responses.values():
+            for entry in resp.executed:
+                votes[entry] = votes.get(entry, 0) + 1
+        for (seq, digest, payload), count in sorted(votes.items()):
+            if count > self.f and seq not in self.committed:
+                self.committed[seq] = (digest, payload)
+        self._try_execute()

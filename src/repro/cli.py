@@ -1,0 +1,372 @@
+"""Command-line interface: ``compound-threats`` / ``python -m repro``.
+
+Subcommands mirror the paper's workflow:
+
+* ``ensemble``    -- generate the hurricane realizations (CSV output).
+* ``analyze``     -- run one placement x scenario set and print tables.
+* ``figures``     -- regenerate every paper figure as text charts.
+* ``siting``      -- rank backup control-center locations.
+* ``bft-demo``    -- run the replication engine under compound faults.
+* ``grid-impact`` -- quantify SCADA value via N-1 cascade analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.report import format_matrix_csv, format_matrix_report
+from repro.core.threat import PAPER_SCENARIOS, get_scenario
+from repro.errors import ReproError
+from repro.geo.oahu import HONOLULU_CC
+from repro.hazards.hurricane.standard import (
+    DEFAULT_REALIZATIONS,
+    DEFAULT_SEED,
+    standard_oahu_ensemble,
+    standard_oahu_generator,
+)
+from repro.io.realization_io import load_ensemble_csv, save_ensemble_csv
+from repro.scada.architectures import PAPER_CONFIGURATIONS, get_architecture
+from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU
+from repro.viz import profile_chart
+
+_PLACEMENTS = {"waiau": PLACEMENT_WAIAU, "kahe": PLACEMENT_KAHE}
+
+
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    if args.scenario_file:
+        from repro.geo.oahu import build_oahu_catalog, build_oahu_region
+        from repro.hazards.hurricane.ensemble import EnsembleGenerator
+        from repro.hazards.hurricane.inundation import ExtensionParams
+        from repro.hazards.hurricane.standard import OAHU_SOUTH_SHORE_BASIN
+        from repro.io.scenario_io import load_scenario_json
+
+        generator = EnsembleGenerator(
+            region=build_oahu_region(),
+            catalog=build_oahu_catalog(),
+            scenario=load_scenario_json(args.scenario_file),
+            extension_params=ExtensionParams(basins=(OAHU_SOUTH_SHORE_BASIN,)),
+        )
+    else:
+        generator = standard_oahu_generator()
+    ensemble = generator.generate(count=args.count, seed=args.seed)
+    save_ensemble_csv(ensemble, args.output)
+    p = ensemble.flood_probability(HONOLULU_CC)
+    print(
+        f"wrote {len(ensemble)} realizations to {args.output} "
+        f"(Honolulu CC flood probability: {p:.1%})"
+    )
+    return 0
+
+
+def _load_or_generate(args: argparse.Namespace):
+    if getattr(args, "ensemble", None):
+        return load_ensemble_csv(args.ensemble)
+    return standard_oahu_ensemble()
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    ensemble = _load_or_generate(args)
+    analysis = CompoundThreatAnalysis(ensemble)
+    placement = _PLACEMENTS[args.placement]
+    architectures = (
+        [get_architecture(name) for name in args.config]
+        if args.config
+        else list(PAPER_CONFIGURATIONS)
+    )
+    scenarios = (
+        [get_scenario(name) for name in args.scenario]
+        if args.scenario
+        else list(PAPER_SCENARIOS)
+    )
+    matrix = analysis.run_matrix(architectures, placement, scenarios)
+    if args.csv:
+        print(format_matrix_csv(matrix))
+    else:
+        print(format_matrix_report(matrix))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    ensemble = _load_or_generate(args)
+    analysis = CompoundThreatAnalysis(ensemble)
+    figures = [
+        ("Figure 6: Hurricane (Honolulu + Waiau + DRFortress)", PLACEMENT_WAIAU, "hurricane"),
+        ("Figure 7: Hurricane + Server Intrusion", PLACEMENT_WAIAU, "hurricane+intrusion"),
+        ("Figure 8: Hurricane + Site Isolation", PLACEMENT_WAIAU, "hurricane+isolation"),
+        (
+            "Figure 9: Hurricane + Server Intrusion + Site Isolation",
+            PLACEMENT_WAIAU,
+            "hurricane+intrusion+isolation",
+        ),
+        ("Figure 10: Hurricane (Honolulu + Kahe + DRFortress)", PLACEMENT_KAHE, "hurricane"),
+        (
+            "Figure 11: Hurricane + Server Intrusion (Kahe backup)",
+            PLACEMENT_KAHE,
+            "hurricane+intrusion",
+        ),
+    ]
+    for title, placement, scenario_name in figures:
+        scenario = get_scenario(scenario_name)
+        profiles = {
+            arch.name: analysis.run(arch, placement, scenario)
+            for arch in PAPER_CONFIGURATIONS
+        }
+        print(profile_chart(profiles, title=title))
+        print()
+    return 0
+
+
+def _cmd_siting(args: argparse.Namespace) -> int:
+    from repro.siting.candidates import control_site_candidates
+    from repro.siting.objectives import (
+        GREEN_OBJECTIVE,
+        OPERATIONAL_OBJECTIVE,
+        SAFETY_OBJECTIVE,
+    )
+    from repro.siting.optimizer import PlacementOptimizer
+
+    objectives = {
+        "green": GREEN_OBJECTIVE,
+        "operational": OPERATIONAL_OBJECTIVE,
+        "safety": SAFETY_OBJECTIVE,
+    }
+    ensemble = _load_or_generate(args)
+    analysis = CompoundThreatAnalysis(ensemble)
+    from repro.geo.oahu import build_oahu_catalog
+
+    catalog = build_oahu_catalog()
+    candidates = control_site_candidates(
+        catalog, include_plants=args.include_plants
+    )
+    optimizer = PlacementOptimizer(
+        analysis,
+        get_architecture(args.config),
+        list(PAPER_SCENARIOS),
+        objectives[args.objective],
+    )
+    ranked = optimizer.rank_backups(primary=args.primary, candidates=candidates)
+    print(f"Backup ranking for {args.config!r} (objective: {args.objective}):")
+    for i, result in enumerate(ranked, 1):
+        print(f"  {i}. {result.placement.backup}: {result.score:.4f}")
+    return 0
+
+
+def _cmd_bft_demo(args: argparse.Namespace) -> int:
+    from repro.bft.engine import BFTCluster, ClusterSpec
+    from repro.bft.replica import Behavior
+
+    spec = ClusterSpec(
+        sites=("control-center-1", "control-center-2", "data-center"),
+        replicas_per_site=6,
+    )
+    cluster = BFTCluster(spec, byzantine={args.byzantine: Behavior.EQUIVOCATE})
+    if args.flood_site:
+        cluster.flood_site(args.flood_site)
+    if args.isolate_site:
+        cluster.isolate_site(args.isolate_site)
+    cluster.enable_proactive_recovery()
+    cluster.submit_workload(args.requests, interval_ms=50.0)
+    report = cluster.run(duration_ms=60_000.0)
+    print(f"requests submitted:   {report.requests_submitted}")
+    print(f"safety preserved:     {report.safety_ok}")
+    print(f"workload ordered:     {report.ordered_everywhere}")
+    print(f"proactive recoveries: {report.recoveries_completed}")
+    print(f"messages delivered:   {report.messages_delivered}")
+    return 0 if report.safety_ok else 1
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core.timeline import CompoundEventTimeline, TimelineParams
+
+    ensemble = _load_or_generate(args)
+    if args.realizations < len(ensemble):
+        ensemble = ensemble.subset(args.realizations)
+    timeline = CompoundEventTimeline(
+        TimelineParams(
+            attack_delay_h=args.attack_delay_hours,
+            isolation_duration_h=args.isolation_hours,
+            site_repair_median_h=args.repair_hours,
+        )
+    )
+    scenario = get_scenario(args.scenario)
+    placement = _PLACEMENTS[args.placement]
+    print(
+        f"Downtime per compound event ({scenario.name}, "
+        f"{len(ensemble)} realizations, 14-day horizon):"
+    )
+    print(f"{'configuration':15s} {'mean':>9s} {'median':>9s} {'p95':>9s} {'unsafe':>9s}")
+    for arch in PAPER_CONFIGURATIONS:
+        dist = timeline.downtime_distribution(
+            arch, placement, ensemble, scenario, seed=args.seed
+        )
+        print(
+            f"{arch.name:15s} {dist.mean_unavailable_h:8.1f}h "
+            f"{dist.quantile_unavailable_h(0.5):8.1f}h "
+            f"{dist.quantile_unavailable_h(0.95):8.1f}h "
+            f"{dist.mean_unsafe_h:8.1f}h"
+        )
+    return 0
+
+
+def _cmd_earthquake(args: argparse.Namespace) -> int:
+    from repro.geo.oahu import build_oahu_catalog
+    from repro.hazards.earthquake import (
+        EarthquakeGenerator,
+        seismic_fragility,
+        standard_oahu_fault,
+    )
+
+    generator = EarthquakeGenerator(build_oahu_catalog(), standard_oahu_fault())
+    ensemble = generator.generate(count=args.count, seed=args.seed)
+    analysis = CompoundThreatAnalysis(
+        ensemble, fragility=seismic_fragility(args.capacity_g)
+    )
+    placement = _PLACEMENTS[args.placement]
+    matrix = analysis.run_matrix(
+        list(PAPER_CONFIGURATIONS), placement, list(PAPER_SCENARIOS)
+    )
+    print(
+        f"Earthquake compound-threat analysis ({args.count} realizations, "
+        f"capacity {args.capacity_g} g):"
+    )
+    print(format_matrix_report(matrix))
+    return 0
+
+
+def _cmd_correlation(args: argparse.Namespace) -> int:
+    from repro.geo.oahu import build_oahu_catalog
+    from repro.hazards.correlation import analyze_failure_correlation
+
+    ensemble = _load_or_generate(args)
+    catalog = build_oahu_catalog()
+    names = [a.name for a in catalog.control_sites()]
+    report = analyze_failure_correlation(ensemble, names)
+    print("Control-site failure marginals:")
+    for name in names:
+        print(f"  {name:32s} {report.marginals[name]:6.1%}")
+    print()
+    pairs = report.correlated_pairs(args.threshold)
+    if pairs:
+        print(f"Failure-correlated pairs (phi >= {args.threshold}):")
+        for a, b, phi in pairs:
+            print(f"  {a}  <->  {b}   phi={phi:.2f}")
+    else:
+        print(f"No pairs with phi >= {args.threshold}.")
+    print()
+    partners = report.independent_partners(args.anchor)
+    print(f"Independent backup candidates for {args.anchor}:")
+    for name in partners:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_grid_impact(args: argparse.Namespace) -> int:
+    from repro.grid import build_oahu_grid, n_minus_1_report
+
+    grid = build_oahu_grid()
+    report = n_minus_1_report(grid)
+    print("N-1 contingency: load served with vs. without SCADA control")
+    print(f"{'line':55s} {'with':>7s} {'without':>8s}")
+    for entry in sorted(report, key=lambda e: e.served_fraction_without_scada):
+        line = f"{entry.line[0]} -- {entry.line[1]}"
+        print(
+            f"{line:55s} {entry.served_fraction_with_scada:6.1%} "
+            f"{entry.served_fraction_without_scada:7.1%}"
+        )
+    avg_with = sum(e.served_fraction_with_scada for e in report) / len(report)
+    avg_without = sum(e.served_fraction_without_scada for e in report) / len(report)
+    print(f"{'average':55s} {avg_with:6.1%} {avg_without:7.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="compound-threats",
+        description="Compound-threat analysis of power grid SCADA (DSN-W 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ensemble", help="generate hurricane realizations")
+    p.add_argument("--count", type=int, default=DEFAULT_REALIZATIONS)
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--output", default="oahu_ensemble.csv")
+    p.add_argument(
+        "--scenario-file",
+        help="JSON scenario spec (default: the standard Category-2 scenario)",
+    )
+    p.set_defaults(func=_cmd_ensemble)
+
+    p = sub.add_parser("analyze", help="run the compound-threat analysis")
+    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument("--config", action="append", help="architecture name (repeatable)")
+    p.add_argument("--scenario", action="append", help="scenario name (repeatable)")
+    p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
+    p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("figures", help="regenerate all paper figures")
+    p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("siting", help="rank backup control-center sites")
+    p.add_argument("--primary", default=HONOLULU_CC)
+    p.add_argument("--config", default="6-6")
+    p.add_argument(
+        "--objective", choices=["green", "operational", "safety"], default="operational"
+    )
+    p.add_argument("--include-plants", action="store_true")
+    p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
+    p.set_defaults(func=_cmd_siting)
+
+    p = sub.add_parser("bft-demo", help="run the replication engine under faults")
+    p.add_argument("--requests", type=int, default=20)
+    p.add_argument("--byzantine", type=int, default=7, help="replica id to corrupt")
+    p.add_argument("--flood-site", help="site name to flood")
+    p.add_argument("--isolate-site", help="site name to isolate")
+    p.set_defaults(func=_cmd_bft_demo)
+
+    p = sub.add_parser("grid-impact", help="N-1 cascade analysis with/without SCADA")
+    p.set_defaults(func=_cmd_grid_impact)
+
+    p = sub.add_parser("timeline", help="downtime hours per compound event")
+    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument("--scenario", default="hurricane+intrusion+isolation")
+    p.add_argument("--realizations", type=int, default=300)
+    p.add_argument("--attack-delay-hours", type=float, default=6.0)
+    p.add_argument("--isolation-hours", type=float, default=48.0)
+    p.add_argument("--repair-hours", type=float, default=72.0)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
+    p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser(
+        "correlation", help="failure-correlation screening of control sites"
+    )
+    p.add_argument("--threshold", type=float, default=0.8)
+    p.add_argument("--anchor", default=HONOLULU_CC)
+    p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
+    p.set_defaults(func=_cmd_correlation)
+
+    p = sub.add_parser("earthquake", help="run the analysis on the seismic hazard")
+    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument("--count", type=int, default=500)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--capacity-g", type=float, default=0.30)
+    p.set_defaults(func=_cmd_earthquake)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

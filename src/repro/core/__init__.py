@@ -1,0 +1,96 @@
+"""The paper's primary contribution: compound-threat analysis framework."""
+
+from repro.core.attacker import (
+    ExhaustiveAttacker,
+    ProbabilisticAttacker,
+    WorstCaseAttacker,
+)
+from repro.core.evaluator import evaluate, evaluate_table1, safety_compromised
+from repro.core.outcomes import OperationalProfile, ScenarioMatrix
+from repro.core.pipeline import (
+    Attacker,
+    CompoundThreatAnalysis,
+    RealizationOutcome,
+)
+from repro.core.experiments import (
+    ExperimentRecord,
+    records_to_csv,
+    run_experiment_grid,
+)
+from repro.core.realistic import ResourceConstrainedAttacker
+from repro.core.report import (
+    format_matrix_csv,
+    format_matrix_markdown,
+    format_matrix_report,
+    format_profile_table,
+)
+from repro.core.states import STATE_ORDER, OperationalState, worst_state
+from repro.core.stats import (
+    ProportionTest,
+    compare_profiles,
+    required_realizations,
+    two_proportion_test,
+)
+from repro.core.system_state import SiteStatus, SystemState, initial_state
+from repro.core.timeline import (
+    CompoundEventTimeline,
+    DowntimeDistribution,
+    TimelineParams,
+    TimelineResult,
+    TimelineSegment,
+)
+from repro.core.threat import (
+    HURRICANE,
+    HURRICANE_INTRUSION,
+    HURRICANE_INTRUSION_ISOLATION,
+    HURRICANE_ISOLATION,
+    PAPER_SCENARIOS,
+    CyberAttackBudget,
+    ThreatScenario,
+    get_scenario,
+)
+
+__all__ = [
+    "OperationalState",
+    "STATE_ORDER",
+    "worst_state",
+    "SiteStatus",
+    "SystemState",
+    "initial_state",
+    "CyberAttackBudget",
+    "ThreatScenario",
+    "get_scenario",
+    "HURRICANE",
+    "HURRICANE_INTRUSION",
+    "HURRICANE_ISOLATION",
+    "HURRICANE_INTRUSION_ISOLATION",
+    "PAPER_SCENARIOS",
+    "WorstCaseAttacker",
+    "ExhaustiveAttacker",
+    "ProbabilisticAttacker",
+    "ResourceConstrainedAttacker",
+    "evaluate",
+    "evaluate_table1",
+    "safety_compromised",
+    "OperationalProfile",
+    "ScenarioMatrix",
+    "Attacker",
+    "CompoundThreatAnalysis",
+    "RealizationOutcome",
+    "format_profile_table",
+    "format_matrix_report",
+    "format_matrix_csv",
+    "format_matrix_markdown",
+    "CompoundEventTimeline",
+    "TimelineParams",
+    "TimelineResult",
+    "TimelineSegment",
+    "DowntimeDistribution",
+    "ProportionTest",
+    "two_proportion_test",
+    "compare_profiles",
+    "required_realizations",
+    "ExperimentRecord",
+    "run_experiment_grid",
+    "records_to_csv",
+]

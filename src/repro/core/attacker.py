@@ -1,0 +1,239 @@
+"""Cyberattack models (paper Section V-B).
+
+The paper models a *worst-case* attacker: it observes the post-disaster
+system state and spends its budget (intrusions, isolations) to cause the
+maximum possible damage.  Enumerating every combination of targets is
+exact but inefficient; the paper gives a 3-rule greedy algorithm that is
+guaranteed worst-case for the architectures considered:
+
+1. If the attacker can compromise system safety, it does so.
+2. Otherwise it isolates sites in priority order: primary control center
+   first (if still functioning), then the backup, then data centers.
+3. Remaining intrusions go to servers that would otherwise be functional.
+
+:class:`WorstCaseAttacker` implements the greedy algorithm and
+:class:`ExhaustiveAttacker` the brute-force enumeration; the test suite
+and an ablation benchmark verify they always produce states of equal
+severity.  :class:`ProbabilisticAttacker` explores the paper's
+future-work question of attackers whose capabilities only succeed with
+some probability.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluator import evaluate
+from repro.core.system_state import SystemState
+from repro.core.threat import CyberAttackBudget
+from repro.errors import AnalysisError
+from repro.scada.architectures import ArchitectureFamily
+
+
+def _serving_site_order(state: SystemState) -> list[int]:
+    """Functioning site indices in attack-priority order.
+
+    Primary first, then backups, then data centers; ties broken by slot
+    position.  This is both the isolation order (rule 2) and the intrusion
+    placement preference (rule 3: hit the site currently serving).
+    """
+    functioning = state.functioning_sites()
+    return sorted(
+        functioning,
+        key=lambda i: (state.architecture.sites[i].role.attack_priority, i),
+    )
+
+
+class WorstCaseAttacker:
+    """The paper's greedy worst-case attack algorithm.
+
+    The guarantee (same damage severity as exhaustive enumeration) is
+    verified by tests and the attacker ablation benchmark for the paper's
+    architectures, including states that already carry intrusions.  For
+    hand-built active multi-site architectures with *unequal* site sizes
+    the isolation priority order may be suboptimal.
+    """
+
+    name = "worst-case"
+
+    def attack(
+        self,
+        state: SystemState,
+        budget: CyberAttackBudget,
+        rng: np.random.Generator | None = None,
+    ) -> SystemState:
+        del rng  # deterministic attacker
+        if budget.is_empty:
+            return state
+        compromised = self._try_compromise_safety(state, budget)
+        if compromised is not None:
+            return compromised
+        after_isolation = self._apply_isolations(state, budget.isolations)
+        attacked = self._apply_intrusions(after_isolation, budget.intrusions)
+        # Doing nothing is always within the attacker's power: never
+        # return an outcome milder than the starting state (isolating a
+        # site that already hosts the attacker's intrusions would
+        # otherwise *reduce* severity on pre-compromised states).
+        if evaluate(attacked).severity < evaluate(state).severity:
+            return state
+        return attacked
+
+    # -- rule 1 ---------------------------------------------------------
+    def _try_compromise_safety(
+        self, state: SystemState, budget: CyberAttackBudget
+    ) -> SystemState | None:
+        """Break safety if the intrusion budget allows it, else ``None``.
+
+        Accounts for intrusions already present in functioning sites: the
+        attacker only needs to top the count up past ``f``.
+        """
+        arch = state.architecture
+        target = arch.intrusions_f + 1
+        order = _serving_site_order(state)
+        if arch.family is ArchitectureFamily.ACTIVE_MULTISITE:
+            # One global replication group: the functioning-site total
+            # must exceed f.
+            deficit = target - state.total_functioning_intrusions()
+            if deficit <= 0:
+                return state  # safety is already compromised
+            if budget.intrusions < deficit:
+                return None
+            placed = 0
+            result = state
+            for idx in order:
+                if placed >= deficit:
+                    break
+                site = state.sites[idx]
+                count = min(deficit - placed, site.spec.replicas - site.intrusions)
+                if count > 0:
+                    result = result.with_intrusions(idx, count)
+                    placed += count
+            return result if placed >= deficit else None
+        # Per-site groups: some functioning site must exceed f on its own.
+        best: SystemState | None = None
+        for idx in order:
+            site = state.sites[idx]
+            deficit = target - site.intrusions
+            if deficit <= 0:
+                return state  # safety is already compromised
+            capacity = site.spec.replicas - site.intrusions
+            if deficit <= budget.intrusions and deficit <= capacity:
+                if best is None:
+                    best = state.with_intrusions(idx, deficit)
+        return best
+
+    # -- rule 2 ---------------------------------------------------------
+    def _apply_isolations(self, state: SystemState, isolations: int) -> SystemState:
+        result = state
+        for _ in range(isolations):
+            order = _serving_site_order(result)
+            if not order:
+                break
+            result = result.with_isolation(order[0])
+        return result
+
+    # -- rule 3 ---------------------------------------------------------
+    def _apply_intrusions(self, state: SystemState, intrusions: int) -> SystemState:
+        result = state
+        remaining = intrusions
+        for idx in _serving_site_order(result):
+            if remaining == 0:
+                break
+            site = result.sites[idx]
+            count = min(remaining, site.spec.replicas - site.intrusions)
+            if count > 0:
+                result = result.with_intrusions(idx, count)
+                remaining -= count
+        return result
+
+
+class ExhaustiveAttacker:
+    """Brute force: evaluate every target combination, keep the worst.
+
+    Exponential in sites and budget, but both are tiny here.  Used to
+    validate that the greedy algorithm is genuinely worst-case.
+    """
+
+    name = "exhaustive"
+
+    def attack(
+        self,
+        state: SystemState,
+        budget: CyberAttackBudget,
+        rng: np.random.Generator | None = None,
+    ) -> SystemState:
+        del rng  # deterministic attacker
+        best_state = state
+        best_severity = evaluate(state).severity
+        n = len(state.sites)
+        site_indices = range(n)
+
+        isolation_choices = []
+        for k in range(min(budget.isolations, n) + 1):
+            isolation_choices.extend(itertools.combinations(site_indices, k))
+
+        for isolated in isolation_choices:
+            base = state
+            for idx in isolated:
+                base = base.with_isolation(idx)
+            for assignment in self._intrusion_assignments(base, budget.intrusions):
+                candidate = base
+                for idx, count in enumerate(assignment):
+                    if count:
+                        candidate = candidate.with_intrusions(idx, count)
+                severity = evaluate(candidate).severity
+                if severity > best_severity:
+                    best_severity = severity
+                    best_state = candidate
+        return best_state
+
+    @staticmethod
+    def _intrusion_assignments(state: SystemState, total: int):
+        """All per-site *additional* intrusion distributions within budget.
+
+        Each site can absorb at most its remaining uncompromised replicas.
+        """
+        caps = [site.spec.replicas - site.intrusions for site in state.sites]
+        ranges = [range(min(cap, total) + 1) for cap in caps]
+        for combo in itertools.product(*ranges):
+            if sum(combo) <= total:
+                yield combo
+
+
+@dataclass(frozen=True)
+class ProbabilisticAttacker:
+    """Future-work extension: attack capabilities that may fail.
+
+    Each budgeted intrusion succeeds with probability ``p_intrusion`` and
+    each isolation with ``p_isolation``; the realized capabilities are then
+    spent by the worst-case algorithm.  Deterministic given the ``rng``
+    stream, so ensemble analyses remain reproducible.
+    """
+
+    p_intrusion: float = 1.0
+    p_isolation: float = 1.0
+    name: str = "probabilistic"
+
+    def __post_init__(self) -> None:
+        for p in (self.p_intrusion, self.p_isolation):
+            if not 0.0 <= p <= 1.0:
+                raise AnalysisError(f"probability {p} outside [0, 1]")
+
+    def sample_budget(
+        self, budget: CyberAttackBudget, rng: np.random.Generator
+    ) -> CyberAttackBudget:
+        intrusions = int(np.sum(rng.random(budget.intrusions) < self.p_intrusion))
+        isolations = int(np.sum(rng.random(budget.isolations) < self.p_isolation))
+        return CyberAttackBudget(intrusions=intrusions, isolations=isolations)
+
+    def attack(
+        self,
+        state: SystemState,
+        budget: CyberAttackBudget,
+        rng: np.random.Generator,
+    ) -> SystemState:
+        realized = self.sample_budget(budget, rng)
+        return WorstCaseAttacker().attack(state, realized)

@@ -1,0 +1,123 @@
+"""Operational-state evaluation (the paper's Table I).
+
+Maps a :class:`~repro.core.system_state.SystemState` to an operational
+state.  Two implementations are provided:
+
+* :func:`evaluate` -- the *generic* rules, driven by the architecture's
+  family and replication sizing.  These work for any architecture the
+  framework can express (more sites, higher f), and specialize exactly to
+  Table I for the paper's five configurations.
+* :func:`evaluate_table1` -- a literal transcription of Table I for the
+  five named configurations, used as a cross-check oracle in tests.
+
+Safety (gray) semantics: intrusions only count while their site is
+functioning -- servers in a flooded site are down, and servers in an
+isolated site cannot reach the rest of the system.  For the single-site
+and primary-backup families each site runs its own replication group, so
+gray requires more than ``f`` intrusions *within one functioning site*;
+for active multi-site replication the sites form one global group, so
+intrusions across all functioning sites are summed.
+"""
+
+from __future__ import annotations
+
+from repro.core.states import OperationalState
+from repro.core.system_state import SystemState
+from repro.errors import AnalysisError
+from repro.scada.architectures import ArchitectureFamily
+from repro.scada.replication import can_make_progress
+
+
+def safety_compromised(state: SystemState) -> bool:
+    """Whether intrusions exceed what the replication protocol tolerates."""
+    arch = state.architecture
+    if arch.family is ArchitectureFamily.ACTIVE_MULTISITE:
+        effective = state.total_functioning_intrusions()
+    else:
+        effective = state.max_site_intrusions()
+    return effective > arch.intrusions_f
+
+
+def evaluate(state: SystemState) -> OperationalState:
+    """The generic Table-I rules for any expressible architecture."""
+    if safety_compromised(state):
+        return OperationalState.GRAY
+
+    arch = state.architecture
+    if arch.family is ArchitectureFamily.SINGLE_SITE:
+        site = state.sites[0]
+        return OperationalState.GREEN if site.functioning else OperationalState.RED
+
+    if arch.family is ArchitectureFamily.PRIMARY_BACKUP:
+        primary, backup = state.sites
+        if primary.functioning:
+            return OperationalState.GREEN
+        if backup.functioning:
+            return OperationalState.ORANGE
+        return OperationalState.RED
+
+    if arch.family is ArchitectureFamily.ACTIVE_MULTISITE:
+        live = can_make_progress(
+            available_replicas=state.available_replicas(),
+            total_replicas=arch.total_replicas,
+            intrusions_f=arch.intrusions_f,
+            recoveries_k=arch.recoveries_k,
+        )
+        return OperationalState.GREEN if live else OperationalState.RED
+
+    raise AnalysisError(f"unknown architecture family {arch.family!r}")
+
+
+def evaluate_table1(state: SystemState) -> OperationalState:
+    """Literal transcription of the paper's Table I for the five configs.
+
+    Only valid for the named configurations "2", "2-2", "6", "6-6", and
+    "6+6+6"; used as a reference oracle to cross-check :func:`evaluate`.
+    """
+    name = state.architecture.name
+    sites = state.sites
+
+    if name == "2":
+        if sites[0].functioning and sites[0].intrusions >= 1:
+            return OperationalState.GRAY
+        if sites[0].functioning:
+            return OperationalState.GREEN
+        return OperationalState.RED
+
+    if name == "2-2":
+        if any(s.functioning and s.intrusions >= 1 for s in sites):
+            return OperationalState.GRAY
+        primary, backup = sites
+        if primary.functioning:
+            return OperationalState.GREEN
+        if backup.functioning:
+            return OperationalState.ORANGE
+        return OperationalState.RED
+
+    if name == "6":
+        if sites[0].functioning and sites[0].intrusions >= 2:
+            return OperationalState.GRAY
+        if sites[0].functioning:
+            return OperationalState.GREEN
+        return OperationalState.RED
+
+    if name == "6-6":
+        if any(s.functioning and s.intrusions >= 2 for s in sites):
+            return OperationalState.GRAY
+        primary, backup = sites
+        if primary.functioning:
+            return OperationalState.GREEN
+        if backup.functioning:
+            return OperationalState.ORANGE
+        return OperationalState.RED
+
+    if name == "6+6+6":
+        if sum(s.intrusions for s in sites if s.functioning) >= 2:
+            return OperationalState.GRAY
+        up = sum(1 for s in sites if s.functioning)
+        return OperationalState.GREEN if up >= 2 else OperationalState.RED
+
+    raise AnalysisError(
+        f"evaluate_table1 only covers the paper's five configurations, "
+        f"not {name!r}"
+    )

@@ -1,0 +1,98 @@
+"""Declarative experiment grids: sweep everything, get tidy records.
+
+``run_matrix`` covers one placement; real studies sweep placements,
+fragility assumptions, and attacker models too.  The grid runner executes
+the full cross-product and returns flat records (one per cell per
+operational state is avoided -- one record per cell with all four
+probabilities and their confidence intervals), ready for CSV export or a
+dataframe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.outcomes import OperationalProfile
+from repro.core.pipeline import Attacker, CompoundThreatAnalysis
+from repro.core.states import STATE_ORDER
+from repro.core.threat import ThreatScenario
+from repro.errors import AnalysisError
+from repro.hazards.base import HazardEnsemble
+from repro.hazards.fragility import FragilityModel
+from repro.scada.architectures import ArchitectureSpec
+from repro.scada.placement import Placement
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One (architecture, placement, scenario) cell of a grid."""
+
+    architecture: str
+    placement: str
+    scenario: str
+    profile: OperationalProfile
+
+    def to_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "architecture": self.architecture,
+            "placement": self.placement,
+            "scenario": self.scenario,
+            "realizations": self.profile.total,
+        }
+        for state in STATE_ORDER:
+            low, high = self.profile.confidence_interval(state)
+            row[state.value] = self.profile.probability(state)
+            row[f"{state.value}_ci_low"] = low
+            row[f"{state.value}_ci_high"] = high
+        return row
+
+
+def run_experiment_grid(
+    ensemble: HazardEnsemble,
+    architectures: Sequence[ArchitectureSpec],
+    placements: Sequence[Placement],
+    scenarios: Sequence[ThreatScenario],
+    fragility: FragilityModel | None = None,
+    attacker: Attacker | None = None,
+    seed: int = 0,
+) -> list[ExperimentRecord]:
+    """Run the full cross-product of the grid's axes."""
+    if not architectures or not placements or not scenarios:
+        raise AnalysisError("every grid axis needs at least one entry")
+    analysis = CompoundThreatAnalysis(
+        ensemble, fragility=fragility, attacker=attacker, seed=seed
+    )
+    records = []
+    for placement in placements:
+        for scenario in scenarios:
+            for architecture in architectures:
+                profile = analysis.run(architecture, placement, scenario)
+                records.append(
+                    ExperimentRecord(
+                        architecture=architecture.name,
+                        placement=placement.label(),
+                        scenario=scenario.name,
+                        profile=profile,
+                    )
+                )
+    return records
+
+
+def records_to_csv(records: Sequence[ExperimentRecord]) -> str:
+    """Flatten grid records to CSV text."""
+    if not records:
+        raise AnalysisError("no records to export")
+    rows = [record.to_row() for record in records]
+    columns = list(rows[0])
+    lines = [",".join(columns)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row[column]
+            if isinstance(value, float):
+                cells.append(f"{value:.6f}")
+            else:
+                cells.append(str(value).replace(",", ";"))
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Outcome aggregation: operational profiles over an ensemble.
+
+The framework's bottom line (paper Section V-C): for each configuration
+and threat scenario, the fraction of hurricane realizations ending in each
+operational state.  :class:`OperationalProfile` is that distribution;
+:class:`ScenarioMatrix` collects profiles across configurations and
+scenarios -- one matrix row group per paper figure.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.states import STATE_ORDER, OperationalState
+from repro.errors import AnalysisError
+from repro.scada.failover import FailoverPolicy
+
+
+@dataclass(frozen=True)
+class OperationalProfile:
+    """The distribution of operational states over an ensemble."""
+
+    counts: Mapping[OperationalState, int]
+
+    def __post_init__(self) -> None:
+        clean = {s: int(self.counts.get(s, 0)) for s in STATE_ORDER}
+        if any(v < 0 for v in clean.values()):
+            raise AnalysisError("state counts cannot be negative")
+        if sum(clean.values()) == 0:
+            raise AnalysisError("profile must cover at least one realization")
+        object.__setattr__(self, "counts", clean)
+
+    @classmethod
+    def from_states(cls, states: Iterable[OperationalState]) -> "OperationalProfile":
+        return cls(Counter(states))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, state: OperationalState) -> int:
+        return self.counts[state]
+
+    def probability(self, state: OperationalState) -> float:
+        return self.counts[state] / self.total
+
+    def probabilities(self) -> dict[OperationalState, float]:
+        return {s: self.probability(s) for s in STATE_ORDER}
+
+    def confidence_interval(
+        self, state: OperationalState, z: float = 1.96
+    ) -> tuple[float, float]:
+        """Wilson score interval for a state's probability.
+
+        The Monte Carlo estimate is a binomial proportion over the
+        ensemble; the Wilson interval behaves sensibly even at the 0%/100%
+        boundaries the paper's figures are full of.
+        """
+        if z <= 0.0:
+            raise AnalysisError("z must be positive")
+        n = self.total
+        p = self.probability(state)
+        denom = 1.0 + z * z / n
+        center = (p + z * z / (2 * n)) / denom
+        half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+        # Clamp against float error so the interval always contains the
+        # point estimate (exactly 0/1 at the boundaries).
+        return (max(0.0, min(center - half, p)), min(1.0, max(center + half, p)))
+
+    def almost_equal(self, other: "OperationalProfile", tolerance: float = 1e-9) -> bool:
+        """Whether two profiles match state-by-state within ``tolerance``."""
+        return all(
+            abs(self.probability(s) - other.probability(s)) <= tolerance
+            for s in STATE_ORDER
+        )
+
+    def dominates(self, other: "OperationalProfile") -> bool:
+        """Stochastic dominance: at least as much mass at every severity cut.
+
+        True when, for every severity level, this profile has at least the
+        probability of being *at or below* that severity as ``other`` --
+        i.e. this profile is unambiguously no worse.
+        """
+        cumulative_self = 0.0
+        cumulative_other = 0.0
+        for state in STATE_ORDER:
+            cumulative_self += self.probability(state)
+            cumulative_other += other.probability(state)
+            if cumulative_self < cumulative_other - 1e-12:
+                return False
+        return True
+
+    def expected_availability(self, policy: FailoverPolicy | None = None) -> float:
+        """Downtime-weighted availability under a failover timing policy."""
+        policy = policy or FailoverPolicy()
+        return sum(
+            self.probability(s) * policy.availability(s) for s in STATE_ORDER
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"{s.value}={self.probability(s):.1%}"
+            for s in STATE_ORDER
+            if self.counts[s]
+        ]
+        return ", ".join(parts) if parts else "empty"
+
+
+@dataclass
+class ScenarioMatrix:
+    """Profiles indexed by (scenario name, architecture name)."""
+
+    placement_label: str
+    _profiles: dict[tuple[str, str], OperationalProfile] = field(default_factory=dict)
+    _scenario_order: list[str] = field(default_factory=list)
+    _architecture_order: list[str] = field(default_factory=list)
+
+    def add(
+        self, scenario_name: str, architecture_name: str, profile: OperationalProfile
+    ) -> None:
+        key = (scenario_name, architecture_name)
+        if key in self._profiles:
+            raise AnalysisError(f"duplicate matrix entry {key}")
+        self._profiles[key] = profile
+        if scenario_name not in self._scenario_order:
+            self._scenario_order.append(scenario_name)
+        if architecture_name not in self._architecture_order:
+            self._architecture_order.append(architecture_name)
+
+    def get(self, scenario_name: str, architecture_name: str) -> OperationalProfile:
+        try:
+            return self._profiles[(scenario_name, architecture_name)]
+        except KeyError:
+            raise AnalysisError(
+                f"no profile for scenario {scenario_name!r} and architecture "
+                f"{architecture_name!r}"
+            ) from None
+
+    @property
+    def scenario_names(self) -> list[str]:
+        return list(self._scenario_order)
+
+    @property
+    def architecture_names(self) -> list[str]:
+        return list(self._architecture_order)
+
+    def scenario_profiles(self, scenario_name: str) -> dict[str, OperationalProfile]:
+        """Architecture -> profile for one scenario (one paper figure)."""
+        return {
+            arch: self._profiles[(scenario_name, arch)]
+            for arch in self._architecture_order
+            if (scenario_name, arch) in self._profiles
+        }
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Flat records (for CSV/JSON export and tabular reports)."""
+        rows: list[dict[str, object]] = []
+        for scenario in self._scenario_order:
+            for arch in self._architecture_order:
+                key = (scenario, arch)
+                if key not in self._profiles:
+                    continue
+                profile = self._profiles[key]
+                row: dict[str, object] = {
+                    "placement": self.placement_label,
+                    "scenario": scenario,
+                    "architecture": arch,
+                }
+                for state in STATE_ORDER:
+                    row[state.value] = profile.probability(state)
+                rows.append(row)
+        return rows

@@ -1,0 +1,161 @@
+"""The analysis and evaluation pipeline (paper Fig. 5).
+
+Workflow per realization::
+
+    geospatial SCADA topology + hurricane realization
+        -> post-natural-disaster system state       (fragility model)
+        -> post-attack system state                 (worst-case attacker)
+        -> operational state                        (Table I evaluator)
+
+and per (architecture, placement, scenario): the operational profile over
+the whole ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.core.attacker import WorstCaseAttacker
+from repro.core.evaluator import evaluate
+from repro.core.outcomes import OperationalProfile, ScenarioMatrix
+from repro.core.states import OperationalState
+from repro.core.system_state import SystemState, initial_state
+from repro.core.threat import CyberAttackBudget, ThreatScenario
+from repro.errors import AnalysisError
+from repro.hazards.base import HazardEnsemble, HazardRealization
+from repro.hazards.fragility import FragilityModel, ThresholdFragility
+from repro.scada.architectures import ArchitectureSpec
+from repro.scada.placement import Placement
+
+
+class Attacker(Protocol):
+    """Anything that spends an attack budget on a post-disaster state."""
+
+    name: str
+
+    def attack(
+        self,
+        state: SystemState,
+        budget: CyberAttackBudget,
+        rng: np.random.Generator | None = None,
+    ) -> SystemState:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class RealizationOutcome:
+    """Full trace of one realization through the pipeline."""
+
+    realization_index: int
+    post_disaster: SystemState
+    post_attack: SystemState
+    state: OperationalState
+
+
+class CompoundThreatAnalysis:
+    """The paper's data-centric analysis framework.
+
+    Parameters
+    ----------
+    ensemble:
+        Hazard realizations (the natural-disaster input data); any
+        hazard type satisfying :class:`~repro.hazards.base.HazardEnsemble`
+        plugs in (hurricane surge, earthquake, ...).
+    fragility:
+        How inundation depth maps to asset failure; defaults to the
+        paper's 0.5 m threshold rule.
+    attacker:
+        The cyberattack model; defaults to the worst-case attacker.
+    seed:
+        Seeds the rng handed to stochastic attackers (ignored by the
+        deterministic ones), keeping runs reproducible.
+    """
+
+    def __init__(
+        self,
+        ensemble: HazardEnsemble,
+        fragility: FragilityModel | None = None,
+        attacker: Attacker | None = None,
+        seed: int = 0,
+    ) -> None:
+        if len(ensemble) == 0:
+            raise AnalysisError("ensemble must contain realizations")
+        self.ensemble = ensemble
+        self.fragility = fragility or ThresholdFragility()
+        self.attacker = attacker or WorstCaseAttacker()
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    # Per-realization steps (Fig. 5 boxes)
+    # ------------------------------------------------------------------
+    def post_disaster_state(
+        self,
+        architecture: ArchitectureSpec,
+        placement: Placement,
+        realization: HazardRealization,
+        rng: np.random.Generator | None = None,
+    ) -> SystemState:
+        """Apply the natural-disaster impact to a deployed architecture."""
+        failed = realization.failed_assets(self.fragility, rng)
+        return initial_state(architecture, placement, failed)
+
+    def outcome(
+        self,
+        architecture: ArchitectureSpec,
+        placement: Placement,
+        realization: HazardRealization,
+        scenario: ThreatScenario,
+        rng: np.random.Generator | None = None,
+    ) -> RealizationOutcome:
+        """Run one realization through disaster, attack, and evaluation."""
+        post_disaster = self.post_disaster_state(
+            architecture, placement, realization, rng
+        )
+        post_attack = self.attacker.attack(post_disaster, scenario.budget, rng)
+        return RealizationOutcome(
+            realization_index=realization.index,
+            post_disaster=post_disaster,
+            post_attack=post_attack,
+            state=evaluate(post_attack),
+        )
+
+    # ------------------------------------------------------------------
+    # Ensemble-level analysis
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        architecture: ArchitectureSpec,
+        placement: Placement,
+        scenario: ThreatScenario,
+    ) -> OperationalProfile:
+        """Outcome probabilities for one configuration under one scenario."""
+        rng = np.random.default_rng(self._seed)
+        states = [
+            self.outcome(architecture, placement, r, scenario, rng).state
+            for r in self.ensemble
+        ]
+        return OperationalProfile.from_states(states)
+
+    def run_matrix(
+        self,
+        architectures: Sequence[ArchitectureSpec],
+        placement: Placement,
+        scenarios: Sequence[ThreatScenario],
+    ) -> ScenarioMatrix:
+        """Profiles for every (scenario, architecture) pair.
+
+        One scenario row group of the returned matrix corresponds to one
+        figure of the paper.
+        """
+        matrix = ScenarioMatrix(placement_label=placement.label())
+        for scenario in scenarios:
+            for architecture in architectures:
+                matrix.add(
+                    scenario.name,
+                    architecture.name,
+                    self.run(architecture, placement, scenario),
+                )
+        return matrix

@@ -1,0 +1,117 @@
+"""Realistic attacker power (the paper's Section VII open question).
+
+The worst-case model grants the attacker abstract capabilities ("can
+isolate a site").  In practice a site-isolation attack is link flooding
+(Crossfire / Coremelt), and its feasibility depends on the attacker's
+traffic capacity versus the WAN's minimum cut around the target; an
+intrusion is a campaign that succeeds with some probability.
+
+:class:`ResourceConstrainedAttacker` grounds both: it carries a botnet
+flooding capacity (Gb/s) and an intrusion success probability, consults
+the WAN topology for the real cost of each isolation, and then spends the
+*feasible* capabilities with the paper's greedy worst-case strategy.  As
+``flood_capacity_gbps -> inf`` and ``p_intrusion -> 1`` it converges to
+the worst-case attacker, so the paper's model is recovered as a limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.attacker import WorstCaseAttacker, _serving_site_order
+from repro.core.system_state import SystemState
+from repro.core.threat import CyberAttackBudget
+from repro.errors import AnalysisError
+from repro.network.attacks import LinkFloodingAttacker
+from repro.network.topology import WANTopology
+
+
+@dataclass(frozen=True)
+class ResourceConstrainedAttacker:
+    """An attacker whose capabilities have concrete costs.
+
+    Parameters
+    ----------
+    wan:
+        The communication topology connecting the control sites; site
+        nodes must be named by the placed asset names.
+    flood_capacity_gbps:
+        Total DoS traffic the attacker can sustain.  Each isolation spends
+        the capacity of the minimum cut around its target; isolations are
+        skipped when the remaining capacity cannot cover the cheapest
+        viable target.
+    p_intrusion:
+        Probability each budgeted intrusion campaign succeeds.
+    """
+
+    wan: WANTopology
+    flood_capacity_gbps: float = 0.0
+    p_intrusion: float = 1.0
+    name: str = field(default="resource-constrained")
+
+    def __post_init__(self) -> None:
+        if self.flood_capacity_gbps < 0.0:
+            raise AnalysisError("flood capacity cannot be negative")
+        if not 0.0 <= self.p_intrusion <= 1.0:
+            raise AnalysisError("intrusion probability must be in [0, 1]")
+
+    def feasible_isolations(
+        self, state: SystemState, budget_isolations: int
+    ) -> list[int]:
+        """Site indices the attacker can afford to isolate, priority order.
+
+        Walks the serving-site priority order and greedily spends the
+        flooding capacity; a site missing from the WAN model cannot be
+        targeted.
+        """
+        planner = LinkFloodingAttacker(self.wan)
+        remaining = self.flood_capacity_gbps
+        chosen: list[int] = []
+        for idx in _serving_site_order(state):
+            if len(chosen) >= budget_isolations:
+                break
+            name = state.sites[idx].asset_name
+            if name not in self.wan.site_nodes:
+                continue
+            cost = planner.plan_isolation(name).attack_cost_gbps
+            if cost <= remaining:
+                chosen.append(idx)
+                remaining -= cost
+        return chosen
+
+    def attack(
+        self,
+        state: SystemState,
+        budget: CyberAttackBudget,
+        rng: np.random.Generator | None = None,
+    ) -> SystemState:
+        if budget.is_empty:
+            return state
+        if budget.intrusions > 0 and self.p_intrusion < 1.0 and rng is None:
+            raise AnalysisError(
+                "probabilistic intrusions require an rng to sample outcomes"
+            )
+        successful_intrusions = budget.intrusions
+        if self.p_intrusion < 1.0:
+            assert rng is not None
+            successful_intrusions = int(
+                np.sum(rng.random(budget.intrusions) < self.p_intrusion)
+            )
+        greedy = WorstCaseAttacker()
+        # Rule 1 first, exactly as in the worst-case algorithm: if the
+        # realized intrusions can break safety, isolations are moot.
+        intrusion_budget = CyberAttackBudget(intrusions=successful_intrusions)
+        compromised = greedy._try_compromise_safety(state, intrusion_budget)
+        if compromised is not None:
+            return compromised
+        # Rule 2 under the resource constraint: isolate exactly the
+        # affordable targets (which need not be the top-priority ones --
+        # the WorstCaseAttacker cannot be handed a bare count here or it
+        # would "isolate" sites the flooding capacity cannot reach).
+        result = state
+        for idx in self.feasible_isolations(state, budget.isolations):
+            result = result.with_isolation(idx)
+        # Rule 3: spend the realized intrusions on serving sites.
+        return greedy._apply_intrusions(result, successful_intrusions)

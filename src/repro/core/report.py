@@ -1,0 +1,80 @@
+"""Tabular reports of analysis results.
+
+Formats operational profiles the way the paper presents them: one table
+per threat scenario with a row per SCADA configuration and a column per
+operational state.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.outcomes import OperationalProfile, ScenarioMatrix
+from repro.core.states import STATE_ORDER
+
+
+def format_profile_table(
+    profiles: Mapping[str, OperationalProfile],
+    title: str = "",
+) -> str:
+    """A fixed-width table: configuration rows, state-probability columns."""
+    header_cells = ["configuration"] + [s.value for s in STATE_ORDER]
+    rows = [header_cells]
+    for name, profile in profiles.items():
+        rows.append(
+            [name] + [f"{profile.probability(s):6.1%}" for s in STATE_ORDER]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header_cells))]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(rows[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_matrix_report(matrix: ScenarioMatrix) -> str:
+    """All scenarios of a matrix, one table per scenario."""
+    sections = [f"Placement: {matrix.placement_label}"]
+    for scenario in matrix.scenario_names:
+        sections.append("")
+        sections.append(
+            format_profile_table(
+                matrix.scenario_profiles(scenario),
+                title=f"Scenario: {scenario}",
+            )
+        )
+    return "\n".join(sections)
+
+
+def format_matrix_markdown(matrix: ScenarioMatrix) -> str:
+    """The matrix as GitHub-flavored markdown (for docs and reports)."""
+    lines = [f"### Placement: {matrix.placement_label}", ""]
+    for scenario in matrix.scenario_names:
+        lines.append(f"**Scenario: {scenario}**")
+        lines.append("")
+        header = "| configuration | " + " | ".join(s.value for s in STATE_ORDER) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (len(STATE_ORDER) + 1))
+        for name, profile in matrix.scenario_profiles(scenario).items():
+            cells = " | ".join(
+                f"{profile.probability(s):.1%}" for s in STATE_ORDER
+            )
+            lines.append(f"| {name} | {cells} |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def format_matrix_csv(matrix: ScenarioMatrix) -> str:
+    """The matrix as CSV text (placement, scenario, architecture, states)."""
+    columns = ["placement", "scenario", "architecture"] + [
+        s.value for s in STATE_ORDER
+    ]
+    lines = [",".join(columns)]
+    for row in matrix.to_rows():
+        cells = [str(row["placement"]), str(row["scenario"]), str(row["architecture"])]
+        cells += [f"{row[s.value]:.6f}" for s in STATE_ORDER]
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Operational states (the paper's color scheme, Section V).
+
+* **GREEN**  -- fully operational.
+* **ORANGE** -- temporarily down: the primary control center is lost and
+  the system incurs downtime until the cold backup is activated.
+* **RED**    -- not operational until components are repaired or an attack
+  ends.
+* **GRAY**   -- safety compromised: the attacker controls enough servers
+  that the system can behave incorrectly.
+
+Severity orders the states for the worst-case attacker: an attacker
+prefers gray over red over orange over green.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class OperationalState(enum.Enum):
+    GREEN = "green"
+    ORANGE = "orange"
+    RED = "red"
+    GRAY = "gray"
+
+    @property
+    def severity(self) -> int:
+        """0 (green) .. 3 (gray); higher is worse for the defender."""
+        return _SEVERITY[self]
+
+    @property
+    def is_operational(self) -> bool:
+        """Whether the system is serving correctly right now."""
+        return self is OperationalState.GREEN
+
+    @property
+    def is_safe(self) -> bool:
+        """Whether system safety (correctness) is intact."""
+        return self is not OperationalState.GRAY
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_SEVERITY = {
+    OperationalState.GREEN: 0,
+    OperationalState.ORANGE: 1,
+    OperationalState.RED: 2,
+    OperationalState.GRAY: 3,
+}
+
+#: Display order used by every table and figure (matches the paper).
+STATE_ORDER: tuple[OperationalState, ...] = (
+    OperationalState.GREEN,
+    OperationalState.ORANGE,
+    OperationalState.RED,
+    OperationalState.GRAY,
+)
+
+
+def worst_state(states: Iterable[OperationalState]) -> OperationalState:
+    """The highest-severity state in ``states`` (green if empty)."""
+    worst = OperationalState.GREEN
+    for state in states:
+        if state.severity > worst.severity:
+            worst = state
+    return worst

@@ -1,0 +1,127 @@
+"""Statistical utilities for Monte Carlo results.
+
+The case study's headline numbers are binomial proportions over 1000
+realizations.  These helpers answer the questions a careful reader asks:
+is the difference between two configurations statistically real, and how
+many realizations does detecting a given effect require?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.outcomes import OperationalProfile
+from repro.core.states import OperationalState
+from repro.errors import AnalysisError
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def _normal_ppf(p: float) -> float:
+    """Inverse CDF of the standard normal (Acklam-style rational fit).
+
+    Accurate to ~1e-8 over (0, 1); plenty for power calculations.
+    """
+    if not 0.0 < p < 1.0:
+        raise AnalysisError("probability must be in (0, 1)")
+    # Beasley-Springer-Moro coefficients.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        return -_normal_ppf(1.0 - p)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+@dataclass(frozen=True)
+class ProportionTest:
+    """Result of a two-proportion z-test."""
+
+    z: float
+    p_value: float
+    difference: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        if not 0.0 < alpha < 1.0:
+            raise AnalysisError("alpha must be in (0, 1)")
+        return self.p_value < alpha
+
+
+def two_proportion_test(
+    successes_a: int, n_a: int, successes_b: int, n_b: int
+) -> ProportionTest:
+    """Two-sided pooled z-test for a difference between two proportions."""
+    if n_a < 1 or n_b < 1:
+        raise AnalysisError("sample sizes must be positive")
+    if not 0 <= successes_a <= n_a or not 0 <= successes_b <= n_b:
+        raise AnalysisError("successes must lie within sample sizes")
+    p_a = successes_a / n_a
+    p_b = successes_b / n_b
+    pooled = (successes_a + successes_b) / (n_a + n_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / n_a + 1.0 / n_b)
+    if variance == 0.0:
+        # Identical degenerate samples: no evidence of a difference.
+        return ProportionTest(z=0.0, p_value=1.0, difference=p_a - p_b)
+    z = (p_a - p_b) / math.sqrt(variance)
+    return ProportionTest(
+        z=z, p_value=2.0 * _normal_sf(abs(z)), difference=p_a - p_b
+    )
+
+
+def compare_profiles(
+    a: OperationalProfile,
+    b: OperationalProfile,
+    state: OperationalState,
+) -> ProportionTest:
+    """Is the probability of ``state`` different between two profiles?"""
+    return two_proportion_test(a.count(state), a.total, b.count(state), b.total)
+
+
+def required_realizations(
+    p_baseline: float,
+    p_alternative: float,
+    alpha: float = 0.05,
+    power: float = 0.8,
+) -> int:
+    """Realizations per ensemble to detect p_baseline vs p_alternative.
+
+    Standard two-proportion sample size with pooled variance; answers
+    "was the paper's 1000 enough to see this effect?".
+    """
+    for p in (p_baseline, p_alternative):
+        if not 0.0 < p < 1.0:
+            raise AnalysisError("proportions must be in (0, 1)")
+    if p_baseline == p_alternative:
+        raise AnalysisError("proportions must differ")
+    if not 0.0 < alpha < 1.0 or not 0.0 < power < 1.0:
+        raise AnalysisError("alpha and power must be in (0, 1)")
+    z_alpha = _normal_ppf(1.0 - alpha / 2.0)
+    z_beta = _normal_ppf(power)
+    p_bar = (p_baseline + p_alternative) / 2.0
+    numerator = (
+        z_alpha * math.sqrt(2.0 * p_bar * (1.0 - p_bar))
+        + z_beta
+        * math.sqrt(
+            p_baseline * (1.0 - p_baseline) + p_alternative * (1.0 - p_alternative)
+        )
+    ) ** 2
+    return math.ceil(numerator / (p_baseline - p_alternative) ** 2)

@@ -1,0 +1,140 @@
+"""System states: the condition of every control site of a deployment.
+
+A :class:`SystemState` snapshots a deployed architecture at a point in the
+compound-threat timeline: which sites the hurricane flooded, which sites
+the attacker isolated, and how many servers per site are intruded.  The
+analysis pipeline derives a *post-natural-disaster* state from a hurricane
+realization, the attacker transforms it into a *post-attack* state, and
+the evaluator maps that to an operational state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.errors import AnalysisError
+from repro.scada.architectures import ArchitectureSpec, SiteSpec
+from repro.scada.placement import Placement
+
+
+@dataclass(frozen=True)
+class SiteStatus:
+    """One control site's condition.
+
+    ``flooded`` means the hurricane rendered the site non-operational (its
+    servers are down); ``isolated`` means a network attack cut the site off
+    (its servers run but cannot communicate); ``intrusions`` counts the
+    site's servers under attacker control.
+    """
+
+    asset_name: str
+    spec: SiteSpec
+    flooded: bool = False
+    isolated: bool = False
+    intrusions: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.intrusions <= self.spec.replicas:
+            raise AnalysisError(
+                f"site {self.asset_name!r} cannot have {self.intrusions} "
+                f"intrusions with {self.spec.replicas} replicas"
+            )
+
+    @property
+    def functioning(self) -> bool:
+        """Whether the site's servers are up and reachable."""
+        return not self.flooded and not self.isolated
+
+    @property
+    def available_replicas(self) -> int:
+        """Replicas that can participate in operations right now."""
+        return self.spec.replicas if self.functioning else 0
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """A deployed architecture plus the condition of each of its sites."""
+
+    architecture: ArchitectureSpec
+    sites: tuple[SiteStatus, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sites) != len(self.architecture.sites):
+            raise AnalysisError(
+                f"state has {len(self.sites)} sites but architecture "
+                f"{self.architecture.name!r} declares "
+                f"{len(self.architecture.sites)}"
+            )
+        for status, spec in zip(self.sites, self.architecture.sites):
+            if status.spec != spec:
+                raise AnalysisError(
+                    f"site {status.asset_name!r} status spec does not match "
+                    f"the architecture slot {spec}"
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def functioning_sites(self) -> tuple[int, ...]:
+        """Indices of sites that are neither flooded nor isolated."""
+        return tuple(i for i, s in enumerate(self.sites) if s.functioning)
+
+    def available_replicas(self) -> int:
+        """Total replicas in functioning sites."""
+        return sum(s.available_replicas for s in self.sites)
+
+    def intrusions_per_functioning_site(self) -> tuple[int, ...]:
+        return tuple(s.intrusions for s in self.sites if s.functioning)
+
+    def total_functioning_intrusions(self) -> int:
+        return sum(self.intrusions_per_functioning_site())
+
+    def max_site_intrusions(self) -> int:
+        return max(self.intrusions_per_functioning_site(), default=0)
+
+    # ------------------------------------------------------------------
+    # Transitions (used by attackers)
+    # ------------------------------------------------------------------
+    def with_isolation(self, site_index: int) -> "SystemState":
+        """A new state with the given site isolated."""
+        self._check_index(site_index)
+        sites = list(self.sites)
+        sites[site_index] = replace(sites[site_index], isolated=True)
+        return SystemState(self.architecture, tuple(sites))
+
+    def with_intrusions(self, site_index: int, count: int) -> "SystemState":
+        """A new state with ``count`` additional intrusions at a site."""
+        self._check_index(site_index)
+        if count < 0:
+            raise AnalysisError("intrusion count cannot be negative")
+        sites = list(self.sites)
+        site = sites[site_index]
+        sites[site_index] = replace(site, intrusions=site.intrusions + count)
+        return SystemState(self.architecture, tuple(sites))
+
+    def _check_index(self, site_index: int) -> None:
+        if not 0 <= site_index < len(self.sites):
+            raise AnalysisError(
+                f"site index {site_index} outside [0, {len(self.sites)})"
+            )
+
+
+def initial_state(
+    architecture: ArchitectureSpec,
+    placement: Placement,
+    failed_assets: Iterable[str] = (),
+) -> SystemState:
+    """The post-natural-disaster state of a deployment.
+
+    ``failed_assets`` are the asset names rendered non-operational by the
+    disaster (from the fragility model applied to a hurricane realization);
+    any placed site whose asset is in that set starts flooded.
+    """
+    failed = frozenset(failed_assets)
+    asset_names = placement.sites_for(architecture)
+    sites = tuple(
+        SiteStatus(asset_name=name, spec=spec, flooded=name in failed)
+        for name, spec in zip(asset_names, architecture.sites)
+    )
+    return SystemState(architecture, sites)

@@ -1,0 +1,87 @@
+"""The compound threat model (paper Section III-B).
+
+A compound threat has two stages: a natural disaster (modeled by the
+hazard substrate as asset failures), then a cyberattack with a *budget*
+of capabilities -- how many servers the attacker can intrude and how many
+sites it can isolate.  The paper studies four scenarios; the budget
+abstraction also supports stronger attackers for extension studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CyberAttackBudget:
+    """The attacker's capabilities after seeing the disaster outcome."""
+
+    intrusions: int = 0
+    isolations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.intrusions < 0 or self.isolations < 0:
+            raise ConfigurationError("attack budget cannot be negative")
+
+    @property
+    def is_empty(self) -> bool:
+        return self.intrusions == 0 and self.isolations == 0
+
+
+@dataclass(frozen=True)
+class ThreatScenario:
+    """A named compound-threat scenario: hurricane plus an attack budget."""
+
+    name: str
+    budget: CyberAttackBudget
+    description: str = ""
+
+
+#: Baseline: the hurricane alone, no cyberattack.
+HURRICANE = ThreatScenario(
+    "hurricane",
+    CyberAttackBudget(),
+    "Natural disaster only; control sites may flood, no attacker.",
+)
+
+#: Hurricane followed by one successful server intrusion.
+HURRICANE_INTRUSION = ThreatScenario(
+    "hurricane+intrusion",
+    CyberAttackBudget(intrusions=1),
+    "Attacker compromises one SCADA master after the hurricane.",
+)
+
+#: Hurricane followed by one successful site-isolation attack.
+HURRICANE_ISOLATION = ThreatScenario(
+    "hurricane+isolation",
+    CyberAttackBudget(isolations=1),
+    "Attacker isolates one control site from the network after the hurricane.",
+)
+
+#: The full compound threat: hurricane + intrusion + isolation.
+HURRICANE_INTRUSION_ISOLATION = ThreatScenario(
+    "hurricane+intrusion+isolation",
+    CyberAttackBudget(intrusions=1, isolations=1),
+    "Attacker compromises a SCADA master and isolates a control site.",
+)
+
+PAPER_SCENARIOS: tuple[ThreatScenario, ...] = (
+    HURRICANE,
+    HURRICANE_INTRUSION,
+    HURRICANE_ISOLATION,
+    HURRICANE_INTRUSION_ISOLATION,
+)
+
+_BY_NAME = {s.name: s for s in PAPER_SCENARIOS}
+
+
+def get_scenario(name: str) -> ThreatScenario:
+    """Look up one of the paper's four threat scenarios by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown threat scenario {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,330 @@
+"""Compound-event timelines: from operational states to downtime hours.
+
+The static framework classifies each realization into a color; this
+extension rolls the colors out over time.  A compound event unfolds as:
+
+* ``t = 0``               -- disaster impact: flooded sites go down, each
+  with a sampled restoration time;
+* ``t = attack_delay_h``  -- the attacker strikes the post-disaster
+  system (the paper's "aftermath" timing); a site isolation is sustained
+  for ``isolation_duration_h``; a safety-compromising intrusion keeps the
+  system untrusted until incident response finishes;
+* cold-backup activation takes ``cold_activation_h`` whenever service
+  fails over to a cold site (the orange state's price);
+* repairs restore flooded sites; the horizon closes the books.
+
+The result is a piecewise state timeline per realization and, over an
+ensemble, the downtime distribution per architecture -- the quantity a
+resilience planner actually budgets against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attacker import WorstCaseAttacker
+from repro.core.pipeline import Attacker
+from repro.core.states import OperationalState
+from repro.core.system_state import SystemState, initial_state
+from repro.core.threat import ThreatScenario
+from repro.errors import AnalysisError
+from repro.hazards.base import HazardEnsemble, HazardRealization
+from repro.hazards.fragility import FragilityModel, ThresholdFragility
+from repro.scada.architectures import ArchitectureFamily, ArchitectureSpec
+from repro.scada.placement import Placement
+from repro.scada.replication import can_make_progress
+
+
+@dataclass(frozen=True)
+class TimelineParams:
+    """Timing of a compound event."""
+
+    attack_delay_h: float = 6.0
+    isolation_duration_h: float = 48.0
+    cold_activation_h: float = 10.0 / 60.0
+    site_repair_median_h: float = 72.0
+    site_repair_log_sd: float = 0.5
+    intrusion_cleanup_h: float = 24.0
+    horizon_h: float = 14.0 * 24.0
+    repair_crews: int = 0  # 0 = unlimited (all sites repaired in parallel)
+
+    def __post_init__(self) -> None:
+        if self.attack_delay_h < 0 or self.isolation_duration_h < 0:
+            raise AnalysisError("attack timings cannot be negative")
+        if self.cold_activation_h < 0 or self.intrusion_cleanup_h < 0:
+            raise AnalysisError("recovery timings cannot be negative")
+        if self.site_repair_median_h <= 0 or self.site_repair_log_sd < 0:
+            raise AnalysisError("repair distribution must be positive")
+        if self.horizon_h <= self.attack_delay_h:
+            raise AnalysisError("horizon must extend past the attack")
+        if self.repair_crews < 0:
+            raise AnalysisError("repair crews cannot be negative")
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    start_h: float
+    end_h: float
+    state: OperationalState
+
+    @property
+    def duration_h(self) -> float:
+        return self.end_h - self.start_h
+
+
+@dataclass(frozen=True)
+class TimelineResult:
+    """One realization's piecewise operational-state history."""
+
+    segments: tuple[TimelineSegment, ...]
+
+    def hours_in(self, state: OperationalState) -> float:
+        return sum(s.duration_h for s in self.segments if s.state is state)
+
+    @property
+    def unavailable_h(self) -> float:
+        """Hours the system was not serving (orange failovers + red)."""
+        return self.hours_in(OperationalState.ORANGE) + self.hours_in(
+            OperationalState.RED
+        )
+
+    @property
+    def unsafe_h(self) -> float:
+        """Hours the system served while compromised (gray)."""
+        return self.hours_in(OperationalState.GRAY)
+
+    @property
+    def availability(self) -> float:
+        total = self.segments[-1].end_h - self.segments[0].start_h
+        return 1.0 - (self.unavailable_h + self.unsafe_h) / total
+
+
+class CompoundEventTimeline:
+    """Simulates the temporal unfolding of one compound event."""
+
+    def __init__(
+        self,
+        params: TimelineParams | None = None,
+        fragility: FragilityModel | None = None,
+        attacker: Attacker | None = None,
+    ) -> None:
+        self.params = params or TimelineParams()
+        self.fragility = fragility or ThresholdFragility()
+        self.attacker = attacker or WorstCaseAttacker()
+
+    # ------------------------------------------------------------------
+    # Single realization
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        architecture: ArchitectureSpec,
+        placement: Placement,
+        realization: HazardRealization,
+        scenario: ThreatScenario,
+        rng: np.random.Generator,
+    ) -> TimelineResult:
+        p = self.params
+        failed = realization.failed_assets(self.fragility, rng)
+        post_disaster = initial_state(architecture, placement, failed)
+        attacked = self.attacker.attack(post_disaster, scenario.budget, rng)
+
+        # Per-site outage windows.
+        repair_duration: dict[int, float] = {}
+        isolated_until: dict[int, float] = {}
+        intruded: dict[int, int] = {}
+        for idx, (before, after) in enumerate(
+            zip(post_disaster.sites, attacked.sites)
+        ):
+            if before.flooded:
+                repair_duration[idx] = float(
+                    p.site_repair_median_h
+                    * math.exp(rng.normal(0.0, p.site_repair_log_sd))
+                )
+            if after.isolated:
+                isolated_until[idx] = p.attack_delay_h + p.isolation_duration_h
+            if after.intrusions:
+                intruded[idx] = after.intrusions
+        repair_at = self._schedule_repairs(repair_duration)
+
+        cleanup_at = p.attack_delay_h + p.intrusion_cleanup_h
+
+        boundaries = {0.0, p.attack_delay_h, p.horizon_h}
+        boundaries.update(t for t in repair_at.values() if t < p.horizon_h)
+        boundaries.update(t for t in isolated_until.values() if t < p.horizon_h)
+        if intruded:
+            boundaries.add(min(cleanup_at, p.horizon_h))
+        times = sorted(boundaries)
+
+        segments: list[TimelineSegment] = []
+        active_site: int | None = None
+        activation_done = 0.0
+        for t0, t1 in zip(times, times[1:]):
+            functioning = self._functioning_at(
+                architecture, repair_at, isolated_until, t0, p
+            )
+            gray = self._gray_at(architecture, intruded, functioning, t0, cleanup_at, p)
+            if gray:
+                segments.append(TimelineSegment(t0, t1, OperationalState.GRAY))
+                continue
+            if architecture.family is ArchitectureFamily.ACTIVE_MULTISITE:
+                available = sum(
+                    architecture.sites[i].replicas for i in functioning
+                )
+                live = can_make_progress(
+                    available,
+                    architecture.total_replicas,
+                    architecture.intrusions_f,
+                    architecture.recoveries_k,
+                )
+                state = OperationalState.GREEN if live else OperationalState.RED
+                segments.append(TimelineSegment(t0, t1, state))
+                continue
+            # Single-site / primary-backup: sticky serving site with
+            # cold-activation delay on every switch to a cold site.
+            if active_site is not None and active_site not in functioning:
+                active_site = None
+            if active_site is None and functioning:
+                active_site = functioning[0]
+                if architecture.sites[active_site].cold:
+                    activation_done = t0 + p.cold_activation_h
+                else:
+                    activation_done = t0
+            if active_site is None:
+                segments.append(TimelineSegment(t0, t1, OperationalState.RED))
+                continue
+            if activation_done > t0:
+                split = min(activation_done, t1)
+                segments.append(TimelineSegment(t0, split, OperationalState.ORANGE))
+                if split < t1:
+                    segments.append(
+                        TimelineSegment(split, t1, OperationalState.GREEN)
+                    )
+            else:
+                segments.append(TimelineSegment(t0, t1, OperationalState.GREEN))
+
+        return TimelineResult(segments=tuple(self._merge(segments)))
+
+    def _schedule_repairs(self, durations: dict[int, float]) -> dict[int, float]:
+        """Completion time per flooded site, honoring the crew limit.
+
+        With ``repair_crews == 0`` every site is repaired in parallel;
+        otherwise crews take sites in priority order (primary first) and
+        each works one site at a time.
+        """
+        crews = self.params.repair_crews
+        if crews == 0 or len(durations) <= crews:
+            return dict(durations)
+        crew_free = [0.0] * crews
+        completion: dict[int, float] = {}
+        for idx in sorted(durations):  # site order == priority order
+            soonest = min(range(crews), key=lambda c: crew_free[c])
+            finish = crew_free[soonest] + durations[idx]
+            crew_free[soonest] = finish
+            completion[idx] = finish
+        return completion
+
+    @staticmethod
+    def _functioning_at(
+        architecture: ArchitectureSpec,
+        repair_at: dict[int, float],
+        isolated_until: dict[int, float],
+        t: float,
+        p: TimelineParams,
+    ) -> list[int]:
+        out = []
+        for idx in range(architecture.num_sites):
+            if idx in repair_at and t < repair_at[idx]:
+                continue
+            if idx in isolated_until and p.attack_delay_h <= t < isolated_until[idx]:
+                continue
+            out.append(idx)
+        return out
+
+    @staticmethod
+    def _gray_at(
+        architecture: ArchitectureSpec,
+        intruded: dict[int, int],
+        functioning: list[int],
+        t: float,
+        cleanup_at: float,
+        p: TimelineParams,
+    ) -> bool:
+        if not intruded or not (p.attack_delay_h <= t < cleanup_at):
+            return False
+        counts = [
+            count for idx, count in intruded.items() if idx in functioning
+        ]
+        if architecture.family is ArchitectureFamily.ACTIVE_MULTISITE:
+            return sum(counts) > architecture.intrusions_f
+        return max(counts, default=0) > architecture.intrusions_f
+
+    @staticmethod
+    def _merge(segments: list[TimelineSegment]) -> list[TimelineSegment]:
+        merged: list[TimelineSegment] = []
+        for seg in segments:
+            if seg.duration_h <= 0:
+                continue
+            if merged and merged[-1].state is seg.state:
+                merged[-1] = TimelineSegment(
+                    merged[-1].start_h, seg.end_h, seg.state
+                )
+            else:
+                merged.append(seg)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Ensemble-level metrics
+    # ------------------------------------------------------------------
+    def downtime_distribution(
+        self,
+        architecture: ArchitectureSpec,
+        placement: Placement,
+        ensemble: HazardEnsemble,
+        scenario: ThreatScenario,
+        seed: int = 0,
+    ) -> "DowntimeDistribution":
+        rng = np.random.default_rng(seed)
+        unavailable = []
+        unsafe = []
+        for realization in ensemble:
+            result = self.simulate(
+                architecture, placement, realization, scenario, rng
+            )
+            unavailable.append(result.unavailable_h)
+            unsafe.append(result.unsafe_h)
+        return DowntimeDistribution(
+            unavailable_h=np.array(unavailable), unsafe_h=np.array(unsafe)
+        )
+
+
+@dataclass(frozen=True)
+class DowntimeDistribution:
+    """Per-ensemble downtime statistics for one configuration/scenario."""
+
+    unavailable_h: np.ndarray
+    unsafe_h: np.ndarray
+
+    @property
+    def mean_unavailable_h(self) -> float:
+        return float(np.mean(self.unavailable_h))
+
+    @property
+    def mean_unsafe_h(self) -> float:
+        return float(np.mean(self.unsafe_h))
+
+    def quantile_unavailable_h(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError("quantile must be in [0, 1]")
+        return float(np.quantile(self.unavailable_h, q))
+
+    def summary(self) -> str:
+        return (
+            f"unavailable mean={self.mean_unavailable_h:.1f}h "
+            f"p50={self.quantile_unavailable_h(0.5):.1f}h "
+            f"p95={self.quantile_unavailable_h(0.95):.1f}h; "
+            f"unsafe mean={self.mean_unsafe_h:.1f}h"
+        )

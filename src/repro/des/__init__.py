@@ -1,0 +1,5 @@
+"""Discrete-event simulation substrate."""
+
+from repro.des.simulator import EventHandle, Simulator
+
+__all__ = ["Simulator", "EventHandle"]

@@ -1,0 +1,120 @@
+"""A minimal deterministic discrete-event simulator.
+
+The BFT replication engine and failover timing studies run on simulated
+time: events are scheduled at absolute timestamps and executed in order.
+Ties are broken by insertion sequence, so runs are fully deterministic --
+a property the replication safety checks rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import AnalysisError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Run callables at simulated times, in deterministic order."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Run ``action`` after ``delay`` simulated time units."""
+        if delay < 0.0:
+            raise AnalysisError("cannot schedule events in the past")
+        event = _ScheduledEvent(self._now + delay, next(self._sequence), action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Run ``action`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise AnalysisError(
+                f"cannot schedule at {time}; current time is {self._now}"
+            )
+        event = _ScheduledEvent(time, next(self._sequence), action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Execute the next event; ``False`` if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> None:
+        """Run events until the queue drains or ``until`` is reached.
+
+        ``max_events`` guards against runaway event loops (a protocol bug
+        that keeps rescheduling forever); exceeding it raises.
+        """
+        executed = 0
+        while self._queue:
+            next_event = self._queue[0]
+            if next_event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and next_event.time > until:
+                self._now = until
+                return
+            if executed >= max_events:
+                raise AnalysisError(
+                    f"simulation exceeded {max_events} events; likely a "
+                    "scheduling loop"
+                )
+            self.step()
+            executed += 1
+        if until is not None:
+            self._now = max(self._now, until)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the compound-threats analysis library.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still distinguishing failure domains when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture, placement, or scenario was specified inconsistently."""
+
+
+class TopologyError(ReproError):
+    """A geospatial or SCADA topology is malformed or missing an asset."""
+
+
+class HazardError(ReproError):
+    """Hurricane / hazard modeling received invalid physical parameters."""
+
+
+class AnalysisError(ReproError):
+    """The analysis pipeline was driven with incompatible inputs."""
+
+
+class NetworkModelError(ReproError):
+    """The communication network model was queried inconsistently."""
+
+
+class GridModelError(ReproError):
+    """The power grid substrate was built or solved with invalid data."""
+
+
+class ProtocolError(ReproError):
+    """The BFT replication engine detected a protocol-level violation."""
+
+
+class SerializationError(ReproError):
+    """Loading or saving topologies, realizations, or results failed."""

@@ -1,0 +1,55 @@
+"""Geospatial substrate: coordinates, regions, terrain, asset catalogs."""
+
+from repro.geo.catalog import AssetCatalog, AssetRecord, AssetRole
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    LocalProjection,
+    destination_point,
+    haversine_km,
+    initial_bearing_deg,
+    segment_distance_km,
+    unit_vector_deg,
+)
+from repro.geo.oahu import (
+    ALOHANAP,
+    DRFORTRESS,
+    HONOLULU_CC,
+    KAHE_CC,
+    WAIAU_CC,
+    OahuCaseStudy,
+    build_oahu_catalog,
+    build_oahu_region,
+    build_oahu_terrain,
+    oahu_case_study,
+)
+from repro.geo.region import CoastalRegion, ShorelineSegment
+from repro.geo.terrain import Ridge, TerrainModel
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "GeoPoint",
+    "LocalProjection",
+    "haversine_km",
+    "initial_bearing_deg",
+    "destination_point",
+    "segment_distance_km",
+    "unit_vector_deg",
+    "AssetCatalog",
+    "AssetRecord",
+    "AssetRole",
+    "CoastalRegion",
+    "ShorelineSegment",
+    "Ridge",
+    "TerrainModel",
+    "OahuCaseStudy",
+    "oahu_case_study",
+    "build_oahu_region",
+    "build_oahu_terrain",
+    "build_oahu_catalog",
+    "HONOLULU_CC",
+    "WAIAU_CC",
+    "KAHE_CC",
+    "DRFORTRESS",
+    "ALOHANAP",
+]

@@ -1,0 +1,125 @@
+"""Coastal regions: a named closed coastline with segment metadata.
+
+A :class:`CoastalRegion` is the geographic substrate consumed by the
+hurricane surge model.  It is a closed polygon of shoreline vertices
+partitioned into named *segments* (e.g. "south-shore"), each carrying a
+shelf factor that encodes how strongly the local bathymetry amplifies
+wind-driven surge (broad shallow shelves amplify; steep drop-offs do not).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.geo.coords import GeoPoint, LocalProjection, segment_distance_km
+
+
+@dataclass(frozen=True)
+class ShorelineSegment:
+    """A contiguous run of coastline vertices with shared surge behaviour.
+
+    ``shelf_factor`` scales wind-setup surge locally: 1.0 is a typical open
+    coast, >1 a shallow funnel-shaped embayment (harbours), <1 a steep
+    shelf that sheds surge.
+
+    ``onshore_bearing_override`` fixes the onshore forcing direction for
+    the whole segment (compass bearing the surge-driving wind must blow
+    toward).  Open coast segments leave it ``None`` and use the local edge
+    perpendicular; embayments like Pearl Harbor set it to the bay axis,
+    because surge inside a bay is driven by wind through its mouth, not by
+    the zigzag orientation of the inner shoreline.
+    """
+
+    name: str
+    vertices: tuple[GeoPoint, ...]
+    shelf_factor: float = 1.0
+    onshore_bearing_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 2:
+            raise TopologyError(f"segment {self.name!r} needs at least 2 vertices")
+        if self.shelf_factor <= 0.0:
+            raise TopologyError(f"segment {self.name!r} shelf factor must be positive")
+        if self.onshore_bearing_override is not None and not (
+            0.0 <= self.onshore_bearing_override < 360.0
+        ):
+            raise TopologyError(
+                f"segment {self.name!r} onshore bearing must be in [0, 360)"
+            )
+
+
+@dataclass(frozen=True)
+class CoastalRegion:
+    """A named island / coastal region assembled from shoreline segments.
+
+    Segments are ordered and chained: the last vertex of segment *i* should
+    equal (or be adjacent to) the first vertex of segment *i+1*; the overall
+    chain is treated as a closed ring.
+    """
+
+    name: str
+    segments: tuple[ShorelineSegment, ...]
+    centroid: GeoPoint = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise TopologyError(f"region {self.name!r} has no shoreline segments")
+        if self.centroid is None:
+            lats = [v.lat for seg in self.segments for v in seg.vertices]
+            lons = [v.lon for seg in self.segments for v in seg.vertices]
+            object.__setattr__(
+                self, "centroid", GeoPoint(sum(lats) / len(lats), sum(lons) / len(lons))
+            )
+
+    def segment(self, name: str) -> ShorelineSegment:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise TopologyError(f"region {self.name!r} has no segment named {name!r}")
+
+    def all_vertices(self) -> list[GeoPoint]:
+        return [v for seg in self.segments for v in seg.vertices]
+
+    def distance_to_shore_km(self, p: GeoPoint) -> float:
+        """Distance from ``p`` to the nearest shoreline segment edge."""
+        best = math.inf
+        for seg in self.segments:
+            vs = seg.vertices
+            for a, b in zip(vs, vs[1:]):
+                best = min(best, segment_distance_km(p, a, b))
+        return best
+
+    def nearest_segment(self, p: GeoPoint) -> ShorelineSegment:
+        """The shoreline segment whose edges pass closest to ``p``."""
+        best_seg = self.segments[0]
+        best = math.inf
+        for seg in self.segments:
+            vs = seg.vertices
+            for a, b in zip(vs, vs[1:]):
+                d = segment_distance_km(p, a, b)
+                if d < best:
+                    best = d
+                    best_seg = seg
+        return best_seg
+
+    def contains(self, p: GeoPoint) -> bool:
+        """Point-in-polygon test against the closed shoreline ring.
+
+        Uses the even-odd rule in a local tangent plane centred on the
+        region centroid.
+        """
+        proj = LocalProjection(self.centroid)
+        px, py = proj.to_xy(p)
+        ring = [proj.to_xy(v) for v in self.all_vertices()]
+        inside = False
+        n = len(ring)
+        for i in range(n):
+            x1, y1 = ring[i]
+            x2, y2 = ring[(i + 1) % n]
+            if (y1 > py) != (y2 > py):
+                x_cross = x1 + (py - y1) * (x2 - x1) / (y2 - y1)
+                if px < x_cross:
+                    inside = not inside
+        return inside

@@ -1,0 +1,79 @@
+"""Synthetic terrain (digital elevation) models.
+
+The paper's inundation analysis needs ground elevation at asset locations
+and along the near-shore strip onto which the water surface elevation is
+extended.  Real DEMs are not available offline, so we provide a synthetic
+terrain substrate composed of:
+
+* a coastal plain whose elevation rises with distance from the shoreline,
+  and
+* a set of Gaussian mountain ridges (Oahu has two: the Waianae range in
+  the west and the Koolau range in the east).
+
+Asset catalog entries may also pin an exact elevation (used for the case
+study's control sites) independent of the interpolated terrain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.geo.coords import GeoPoint, LocalProjection
+from repro.geo.region import CoastalRegion
+
+
+@dataclass(frozen=True)
+class Ridge:
+    """A Gaussian mountain ridge between two end points.
+
+    Elevation contribution at a point is ``height_m`` scaled by a Gaussian
+    falloff of the distance to the ridge axis with scale ``width_km``.
+    """
+
+    start: GeoPoint
+    end: GeoPoint
+    height_m: float
+    width_km: float
+
+    def __post_init__(self) -> None:
+        if self.height_m <= 0 or self.width_km <= 0:
+            raise TopologyError("ridge height and width must be positive")
+
+    def elevation_at(self, p: GeoPoint) -> float:
+        proj = LocalProjection(self.start)
+        px, py = proj.to_xy(p)
+        ex, ey = proj.to_xy(self.end)
+        seg_len_sq = ex * ex + ey * ey
+        if seg_len_sq == 0.0:
+            d = math.hypot(px, py)
+        else:
+            t = max(0.0, min(1.0, (px * ex + py * ey) / seg_len_sq))
+            d = math.hypot(px - t * ex, py - t * ey)
+        return self.height_m * math.exp(-0.5 * (d / self.width_km) ** 2)
+
+
+@dataclass(frozen=True)
+class TerrainModel:
+    """Synthetic DEM: coastal plain slope plus mountain ridges.
+
+    ``plain_slope_m_per_km`` is the rate at which the coastal plain rises
+    inland from the shoreline; points offshore (outside the region ring)
+    have elevation 0.
+    """
+
+    region: CoastalRegion
+    ridges: tuple[Ridge, ...] = ()
+    plain_slope_m_per_km: float = 4.0
+    shoreline_elevation_m: float = 1.0
+
+    def elevation_at(self, p: GeoPoint) -> float:
+        """Ground elevation in metres above mean sea level at ``p``."""
+        if not self.region.contains(p):
+            return 0.0
+        d_shore = self.region.distance_to_shore_km(p)
+        elev = self.shoreline_elevation_m + self.plain_slope_m_per_km * d_shore
+        for ridge in self.ridges:
+            elev += ridge.elevation_at(p)
+        return elev

@@ -1,0 +1,43 @@
+"""Power grid substrate: bus-branch model, DC power flow, contingencies."""
+
+from repro.grid.contingency import (
+    CascadeResult,
+    Island,
+    NMinus1Entry,
+    n_minus_1_report,
+    simulate_contingency,
+)
+from repro.grid.model import Bus, Generator, GridModel, Line, build_oahu_grid
+from repro.grid.storm_impact import (
+    EnsembleGridImpact,
+    StormGridImpact,
+    damaged_grid,
+    ensemble_grid_impact,
+    storm_grid_impact,
+)
+from repro.grid.powerflow import (
+    PowerFlowResult,
+    proportional_dispatch,
+    solve_dc_powerflow,
+)
+
+__all__ = [
+    "Bus",
+    "Generator",
+    "Line",
+    "GridModel",
+    "build_oahu_grid",
+    "PowerFlowResult",
+    "proportional_dispatch",
+    "solve_dc_powerflow",
+    "CascadeResult",
+    "Island",
+    "NMinus1Entry",
+    "simulate_contingency",
+    "n_minus_1_report",
+    "StormGridImpact",
+    "EnsembleGridImpact",
+    "damaged_grid",
+    "storm_grid_impact",
+    "ensemble_grid_impact",
+]

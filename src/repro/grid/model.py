@@ -1,0 +1,191 @@
+"""A transmission-grid model of the case-study island.
+
+The paper tracks power plants and substations as inundation targets but
+leaves grid electrical behaviour out of scope.  This substrate adds it as
+an extension: a bus-branch model with DC power flow, so analyses can
+quantify what losing SCADA *means* for the grid (no post-contingency
+redispatch -> cascading overloads -> load shed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GridModelError
+from repro.geo.catalog import AssetCatalog, AssetRole
+
+
+@dataclass(frozen=True)
+class Bus:
+    """A transmission bus (collocated with a plant or substation)."""
+
+    name: str
+    demand_mw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.demand_mw < 0:
+            raise GridModelError(f"bus {self.name!r} has negative demand")
+
+
+@dataclass(frozen=True)
+class Generator:
+    """A dispatchable generating unit attached to a bus."""
+
+    name: str
+    bus: str
+    capacity_mw: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_mw <= 0:
+            raise GridModelError(f"generator {self.name!r} needs positive capacity")
+
+
+@dataclass(frozen=True)
+class Line:
+    """A transmission line with DC parameters."""
+
+    a: str
+    b: str
+    reactance_pu: float
+    capacity_mw: float
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise GridModelError("line endpoints must differ")
+        if self.reactance_pu <= 0:
+            raise GridModelError(f"line {self.a}-{self.b} needs positive reactance")
+        if self.capacity_mw <= 0:
+            raise GridModelError(f"line {self.a}-{self.b} needs positive capacity")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.a, self.b)
+
+
+@dataclass
+class GridModel:
+    """Buses, lines, and generators with consistency validation."""
+
+    buses: dict[str, Bus] = field(default_factory=dict)
+    lines: list[Line] = field(default_factory=list)
+    generators: dict[str, Generator] = field(default_factory=dict)
+
+    def add_bus(self, bus: Bus) -> None:
+        if bus.name in self.buses:
+            raise GridModelError(f"duplicate bus {bus.name!r}")
+        self.buses[bus.name] = bus
+
+    def add_line(self, line: Line) -> None:
+        for endpoint in (line.a, line.b):
+            if endpoint not in self.buses:
+                raise GridModelError(f"line endpoint {endpoint!r} is not a bus")
+        self.lines.append(line)
+
+    def add_generator(self, gen: Generator) -> None:
+        if gen.name in self.generators:
+            raise GridModelError(f"duplicate generator {gen.name!r}")
+        if gen.bus not in self.buses:
+            raise GridModelError(f"generator bus {gen.bus!r} is not a bus")
+        self.generators[gen.name] = gen
+
+    @property
+    def total_demand_mw(self) -> float:
+        return sum(b.demand_mw for b in self.buses.values())
+
+    @property
+    def total_capacity_mw(self) -> float:
+        return sum(g.capacity_mw for g in self.generators.values())
+
+    def generation_at(self, bus_name: str) -> float:
+        return sum(
+            g.capacity_mw for g in self.generators.values() if g.bus == bus_name
+        )
+
+    def validate(self) -> None:
+        if len(self.buses) < 2:
+            raise GridModelError("grid needs at least two buses")
+        if not self.lines:
+            raise GridModelError("grid has no lines")
+        if not self.generators:
+            raise GridModelError("grid has no generators")
+        if self.total_capacity_mw < self.total_demand_mw:
+            raise GridModelError(
+                f"capacity {self.total_capacity_mw} MW cannot serve demand "
+                f"{self.total_demand_mw} MW"
+            )
+
+
+def build_oahu_grid(catalog: AssetCatalog | None = None) -> GridModel:
+    """A synthetic Oahu transmission grid over the catalog's assets.
+
+    Loads concentrate in Honolulu; generation sits at the western plants
+    (Kahe, Kalaeloa, H-POWER) and Waiau -- so the dominant flow is the
+    real island's west-to-east corridor.  Values are representative, not
+    utility data.
+    """
+    if catalog is None:
+        from repro.geo.oahu import build_oahu_catalog
+
+        catalog = build_oahu_catalog()
+    grid = GridModel()
+
+    demands = {
+        "Iwilei Substation": 180.0,
+        "Archer Substation": 170.0,
+        "Kamoku Substation": 140.0,
+        "Makalapa Substation": 90.0,
+        "Halawa Substation": 80.0,
+        "Ewa Nui Substation": 110.0,
+        "Koolau Substation": 70.0,
+        "Kaneohe Substation": 90.0,
+        "Waimanalo Substation": 40.0,
+        "Wahiawa Substation": 50.0,
+        "Mililani Substation": 60.0,
+        "Waialua Substation": 25.0,
+        "Kahuku Substation": 20.0,
+        "Waianae Substation": 45.0,
+    }
+    for asset in catalog:
+        if asset.role in (AssetRole.SUBSTATION, AssetRole.POWER_PLANT):
+            grid.add_bus(Bus(asset.name, demands.get(asset.name, 0.0)))
+
+    generators = [
+        Generator("Kahe 1-6", "Kahe Power Plant", 650.0),
+        Generator("Waiau 5-10", "Waiau Power Plant", 450.0),
+        Generator("Kalaeloa CC", "Kalaeloa Power Plant", 200.0),
+        Generator("H-POWER WTE", "H-POWER Plant", 70.0),
+        Generator("Honolulu Peakers", "Honolulu Power Plant", 110.0),
+    ]
+    for gen in generators:
+        grid.add_generator(gen)
+
+    lines = [
+        # Leeward corridor (the island's backbone).
+        Line("Kahe Power Plant", "Waianae Substation", 0.04, 100.0),
+        Line("Kahe Power Plant", "Kalaeloa Power Plant", 0.03, 650.0),
+        Line("Kalaeloa Power Plant", "H-POWER Plant", 0.02, 850.0),
+        Line("H-POWER Plant", "Ewa Nui Substation", 0.02, 950.0),
+        Line("Ewa Nui Substation", "Makalapa Substation", 0.03, 450.0),
+        Line("Makalapa Substation", "Waiau Power Plant", 0.02, 350.0),
+        Line("Waiau Power Plant", "Halawa Substation", 0.02, 850.0),
+        Line("Halawa Substation", "Iwilei Substation", 0.03, 550.0),
+        Line("Iwilei Substation", "Honolulu Power Plant", 0.01, 150.0),
+        Line("Iwilei Substation", "Archer Substation", 0.01, 430.0),
+        Line("Archer Substation", "Kamoku Substation", 0.02, 200.0),
+        # Central / north spine.
+        Line("Waiau Power Plant", "Mililani Substation", 0.05, 120.0),
+        Line("Mililani Substation", "Wahiawa Substation", 0.03, 240.0),
+        Line("Wahiawa Substation", "Waialua Substation", 0.05, 170.0),
+        Line("Waialua Substation", "Kahuku Substation", 0.06, 140.0),
+        # Windward crossings over the Koolau range.
+        Line("Halawa Substation", "Koolau Substation", 0.06, 200.0),
+        Line("Koolau Substation", "Kaneohe Substation", 0.02, 120.0),
+        Line("Kaneohe Substation", "Waimanalo Substation", 0.04, 80.0),
+        Line("Kahuku Substation", "Kaneohe Substation", 0.07, 110.0),
+        # Second leeward path (N-1 relief).
+        Line("Ewa Nui Substation", "Mililani Substation", 0.05, 360.0),
+    ]
+    for line in lines:
+        grid.add_line(line)
+    grid.validate()
+    return grid

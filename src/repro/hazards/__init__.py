@@ -1,0 +1,42 @@
+"""Natural-hazard substrate: hurricanes, earthquakes, asset fragility."""
+
+from repro.hazards.base import HazardEnsemble, HazardRealization
+from repro.hazards.correlation import (
+    CorrelationReport,
+    analyze_failure_correlation,
+    failure_matrix,
+    phi_coefficient,
+)
+from repro.hazards.earthquake import (
+    EarthquakeEnsemble,
+    EarthquakeGenerator,
+    EarthquakeRealization,
+    EarthquakeScenarioSpec,
+    seismic_fragility,
+    standard_oahu_fault,
+)
+from repro.hazards.fragility import (
+    PAPER_FAILURE_THRESHOLD_M,
+    FragilityModel,
+    LogisticFragility,
+    ThresholdFragility,
+)
+
+__all__ = [
+    "HazardEnsemble",
+    "HazardRealization",
+    "CorrelationReport",
+    "analyze_failure_correlation",
+    "failure_matrix",
+    "phi_coefficient",
+    "EarthquakeEnsemble",
+    "EarthquakeGenerator",
+    "EarthquakeRealization",
+    "EarthquakeScenarioSpec",
+    "seismic_fragility",
+    "standard_oahu_fault",
+    "PAPER_FAILURE_THRESHOLD_M",
+    "FragilityModel",
+    "ThresholdFragility",
+    "LogisticFragility",
+]

@@ -1,0 +1,42 @@
+"""Hazard-agnostic interfaces consumed by the analysis pipeline.
+
+The compound threat model is generic in the natural disaster (paper
+Section III-B): the pipeline only needs, per realization, *which assets
+failed*.  Any hazard that yields realizations with a ``failed_assets``
+method and an index therefore plugs in -- the hurricane ensemble is the
+paper's case study, the earthquake ensemble demonstrates the generality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.hazards.fragility import FragilityModel
+
+
+@runtime_checkable
+class HazardRealization(Protocol):
+    """One sampled disaster outcome."""
+
+    index: int
+
+    def failed_assets(
+        self,
+        fragility: FragilityModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> frozenset[str]:
+        """Asset names rendered non-operational in this realization."""
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class HazardEnsemble(Protocol):
+    """An ordered collection of hazard realizations."""
+
+    def __len__(self) -> int:
+        ...  # pragma: no cover - protocol
+
+    def __iter__(self) -> Iterator[HazardRealization]:
+        ...  # pragma: no cover - protocol

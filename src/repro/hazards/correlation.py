@@ -1,0 +1,131 @@
+"""Failure-correlation analysis of hazard ensembles.
+
+The paper's central data insight is a *correlation*: Honolulu and Waiau
+flood in the same realizations, so a backup at Waiau is worthless.  This
+module makes that analysis first-class: pairwise failure correlation
+(phi coefficient) across an ensemble, and a screening utility that flags
+site pairs too correlated to host primary+backup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.hazards.base import HazardEnsemble
+from repro.hazards.fragility import FragilityModel, ThresholdFragility
+
+
+def failure_matrix(
+    ensemble: HazardEnsemble,
+    asset_names: Sequence[str],
+    fragility: FragilityModel | None = None,
+) -> np.ndarray:
+    """(n_realizations, n_assets) boolean failure indicators."""
+    if not asset_names:
+        raise AnalysisError("no assets to analyze")
+    model = fragility or ThresholdFragility()
+    rows = []
+    for realization in ensemble:
+        failed = realization.failed_assets(model)
+        rows.append([name in failed for name in asset_names])
+    return np.array(rows, dtype=bool)
+
+
+def phi_coefficient(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation of two boolean series (the phi coefficient).
+
+    NaN when either series is constant (correlation undefined) -- e.g.
+    an asset that never fails.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise AnalysisError("series must be 1-d and the same length")
+    if a.std() == 0.0 or b.std() == 0.0:
+        return math.nan
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+@dataclass(frozen=True)
+class CorrelationReport:
+    """Pairwise failure correlations over an ensemble."""
+
+    asset_names: tuple[str, ...]
+    marginals: dict[str, float]
+    matrix: np.ndarray  # (n, n) phi coefficients, NaN where undefined
+
+    def correlation(self, a: str, b: str) -> float:
+        try:
+            i = self.asset_names.index(a)
+            j = self.asset_names.index(b)
+        except ValueError as exc:
+            raise AnalysisError(f"unknown asset in ({a!r}, {b!r})") from exc
+        return float(self.matrix[i, j])
+
+    def correlated_pairs(self, threshold: float = 0.8) -> list[tuple[str, str, float]]:
+        """Distinct pairs whose failure correlation reaches ``threshold``.
+
+        These are exactly the pairs that must NOT share primary/backup
+        duty: when one fails the other likely fails too.
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise AnalysisError("threshold must be in (0, 1]")
+        out = []
+        n = len(self.asset_names)
+        for i in range(n):
+            for j in range(i + 1, n):
+                phi = self.matrix[i, j]
+                if not math.isnan(phi) and phi >= threshold:
+                    out.append(
+                        (self.asset_names[i], self.asset_names[j], float(phi))
+                    )
+        return sorted(out, key=lambda t: -t[2])
+
+    def independent_partners(
+        self, anchor: str, threshold: float = 0.2
+    ) -> list[str]:
+        """Assets whose failures are (nearly) independent of ``anchor``.
+
+        Candidates for hosting the backup of a control center at
+        ``anchor``; assets that never fail at all also qualify.
+        """
+        i = self.asset_names.index(anchor) if anchor in self.asset_names else -1
+        if i < 0:
+            raise AnalysisError(f"unknown asset {anchor!r}")
+        out = []
+        for j, name in enumerate(self.asset_names):
+            if name == anchor:
+                continue
+            phi = self.matrix[i, j]
+            never_fails = self.marginals[name] == 0.0
+            if never_fails or (not math.isnan(phi) and abs(phi) <= threshold):
+                out.append(name)
+        return out
+
+
+def analyze_failure_correlation(
+    ensemble: HazardEnsemble,
+    asset_names: Sequence[str],
+    fragility: FragilityModel | None = None,
+) -> CorrelationReport:
+    """Build the pairwise failure-correlation report for an ensemble."""
+    indicators = failure_matrix(ensemble, asset_names, fragility)
+    n = len(asset_names)
+    matrix = np.full((n, n), math.nan)
+    for i in range(n):
+        matrix[i, i] = 1.0 if indicators[:, i].std() > 0 else math.nan
+        for j in range(i + 1, n):
+            phi = phi_coefficient(indicators[:, i], indicators[:, j])
+            matrix[i, j] = phi
+            matrix[j, i] = phi
+    marginals = {
+        name: float(indicators[:, k].mean()) for k, name in enumerate(asset_names)
+    }
+    return CorrelationReport(
+        asset_names=tuple(asset_names), marginals=marginals, matrix=matrix
+    )

@@ -1,0 +1,91 @@
+"""Asset fragility: when does inundation take an asset out of service?
+
+The paper assumes an asset fails when peak inundation exceeds 0.5 m (2 ft),
+the typical switch height in power plants and substations.  That threshold
+rule is the default here; a probabilistic depth-damage curve is provided as
+an extension for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import HazardError
+
+PAPER_FAILURE_THRESHOLD_M = 0.5
+
+
+class FragilityModel(abc.ABC):
+    """Maps inundation depth at an asset to a failure outcome."""
+
+    @abc.abstractmethod
+    def failure_probability(self, depth_m: float) -> float:
+        """Probability the asset fails at the given inundation depth."""
+
+    def fails(self, depth_m: float, rng: np.random.Generator | None = None) -> bool:
+        """Sample (or decide deterministically) whether the asset fails."""
+        p = self.failure_probability(depth_m)
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        if rng is None:
+            raise HazardError(
+                "probabilistic fragility model requires an rng to sample outcomes"
+            )
+        return bool(rng.random() < p)
+
+    def failed_assets(
+        self,
+        depths_m: Mapping[str, float],
+        rng: np.random.Generator | None = None,
+    ) -> frozenset[str]:
+        """The set of asset names that fail under this model."""
+        return frozenset(
+            name for name, depth in depths_m.items() if self.fails(depth, rng)
+        )
+
+
+@dataclass(frozen=True)
+class ThresholdFragility(FragilityModel):
+    """The paper's rule: fail iff depth exceeds the switch height."""
+
+    threshold_m: float = PAPER_FAILURE_THRESHOLD_M
+
+    def __post_init__(self) -> None:
+        if self.threshold_m < 0.0:
+            raise HazardError("fragility threshold cannot be negative")
+
+    def failure_probability(self, depth_m: float) -> float:
+        return 1.0 if depth_m > self.threshold_m else 0.0
+
+
+@dataclass(frozen=True)
+class LogisticFragility(FragilityModel):
+    """Smooth depth-damage curve: P(fail) = sigmoid(steepness*(d - midpoint)).
+
+    An extension used by the threshold-sensitivity ablation; with high
+    steepness it converges to :class:`ThresholdFragility`.
+    """
+
+    midpoint_m: float = PAPER_FAILURE_THRESHOLD_M
+    steepness_per_m: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.midpoint_m < 0.0:
+            raise HazardError("fragility midpoint cannot be negative")
+        if self.steepness_per_m <= 0.0:
+            raise HazardError("fragility steepness must be positive")
+
+    def failure_probability(self, depth_m: float) -> float:
+        x = self.steepness_per_m * (depth_m - self.midpoint_m)
+        # Stable logistic.
+        if x >= 0:
+            return 1.0 / (1.0 + math.exp(-x))
+        z = math.exp(x)
+        return z / (1.0 + z)

@@ -1,0 +1,78 @@
+"""Hurricane hazard substrate: track, wind, surge, inundation, ensembles."""
+
+from repro.hazards.hurricane.ensemble import (
+    EnsembleGenerator,
+    HurricaneEnsemble,
+    HurricaneRealization,
+    HurricaneScenarioSpec,
+    StormParameters,
+)
+from repro.hazards.hurricane.inundation import (
+    Basin,
+    ExtensionParams,
+    InundationField,
+    InundationMapper,
+    smooth_shoreline,
+)
+from repro.hazards.hurricane.mesh import CoastalMesh, MeshNode, build_coastal_mesh
+from repro.hazards.hurricane.standard import (
+    DEFAULT_REALIZATIONS,
+    DEFAULT_SEED,
+    OAHU_SOUTH_SHORE_BASIN,
+    oahu_scenario_for_category,
+    standard_oahu_ensemble,
+    standard_oahu_generator,
+    standard_oahu_scenario,
+)
+from repro.hazards.hurricane.surge import SurgeModel, SurgeModelParams, SurgeResult
+from repro.hazards.hurricane.validation import (
+    WindFieldDiagnostics,
+    diagnose_wind_field,
+    hydrograph,
+)
+from repro.hazards.hurricane.track import (
+    AMBIENT_PRESSURE_MB,
+    StormTrack,
+    TrackPoint,
+    estimate_max_gradient_wind_ms,
+    saffir_simpson_category,
+    synthesize_linear_track,
+)
+from repro.hazards.hurricane.wind import HollandWindField, coriolis_parameter
+
+__all__ = [
+    "AMBIENT_PRESSURE_MB",
+    "DEFAULT_REALIZATIONS",
+    "DEFAULT_SEED",
+    "CoastalMesh",
+    "MeshNode",
+    "build_coastal_mesh",
+    "EnsembleGenerator",
+    "HurricaneEnsemble",
+    "HurricaneRealization",
+    "HurricaneScenarioSpec",
+    "StormParameters",
+    "ExtensionParams",
+    "InundationField",
+    "InundationMapper",
+    "smooth_shoreline",
+    "SurgeModel",
+    "SurgeModelParams",
+    "SurgeResult",
+    "StormTrack",
+    "TrackPoint",
+    "synthesize_linear_track",
+    "saffir_simpson_category",
+    "estimate_max_gradient_wind_ms",
+    "HollandWindField",
+    "coriolis_parameter",
+    "standard_oahu_scenario",
+    "standard_oahu_generator",
+    "standard_oahu_ensemble",
+    "oahu_scenario_for_category",
+    "OAHU_SOUTH_SHORE_BASIN",
+    "WindFieldDiagnostics",
+    "diagnose_wind_field",
+    "hydrograph",
+    "Basin",
+]

@@ -1,0 +1,264 @@
+"""Monte Carlo hurricane ensembles (the paper's 1000 realizations).
+
+The paper generates 1000 ADCIRC realizations of a Category-2 hurricane on a
+planner-supplied track and records the peak inundation at each power asset.
+This module reproduces that pipeline: a base scenario (landfall, heading,
+intensity) is perturbed per realization -- track offset, heading, central
+pressure, storm size, forward speed -- the surge solver produces shoreline
+WSE, and the inundation mapper turns it into per-asset depths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import HazardError
+from repro.geo.catalog import AssetCatalog
+from repro.geo.coords import GeoPoint, destination_point
+from repro.geo.region import CoastalRegion
+from repro.hazards.fragility import FragilityModel, ThresholdFragility
+from repro.hazards.hurricane.inundation import ExtensionParams, InundationField, InundationMapper
+from repro.hazards.hurricane.mesh import build_coastal_mesh
+from repro.hazards.hurricane.surge import SurgeModel, SurgeModelParams
+from repro.hazards.hurricane.track import StormTrack, synthesize_linear_track
+
+
+@dataclass(frozen=True)
+class HurricaneScenarioSpec:
+    """The base storm and its per-realization perturbation magnitudes."""
+
+    name: str
+    base_landfall: GeoPoint
+    base_heading_deg: float
+    track_offset_sd_km: float = 45.0
+    heading_sd_deg: float = 12.0
+    pressure_mean_mb: float = 972.0
+    pressure_sd_mb: float = 7.0
+    pressure_bounds_mb: tuple[float, float] = (956.0, 990.0)
+    rmw_median_km: float = 30.0
+    rmw_log_sd: float = 0.30
+    forward_speed_mean_kmh: float = 18.0
+    forward_speed_sd_kmh: float = 5.0
+    forward_speed_bounds_kmh: tuple[float, float] = (8.0, 35.0)
+
+    def __post_init__(self) -> None:
+        if self.track_offset_sd_km < 0 or self.heading_sd_deg < 0:
+            raise HazardError("perturbation magnitudes cannot be negative")
+        lo, hi = self.pressure_bounds_mb
+        if not lo < hi:
+            raise HazardError("pressure bounds must be an increasing pair")
+
+
+@dataclass(frozen=True)
+class StormParameters:
+    """One realization's sampled storm parameters."""
+
+    landfall: GeoPoint
+    heading_deg: float
+    central_pressure_mb: float
+    rmw_km: float
+    forward_speed_kmh: float
+    track_offset_km: float
+
+    def to_track(self, name: str) -> StormTrack:
+        return synthesize_linear_track(
+            name=name,
+            landfall=self.landfall,
+            heading_deg=self.heading_deg,
+            forward_speed_kmh=self.forward_speed_kmh,
+            central_pressure_mb=self.central_pressure_mb,
+            rmw_km=self.rmw_km,
+        )
+
+
+@dataclass(frozen=True)
+class HurricaneRealization:
+    """One hurricane outcome: storm parameters plus asset inundation."""
+
+    index: int
+    params: StormParameters
+    inundation: InundationField
+
+    def depth_at(self, asset_name: str) -> float:
+        return self.inundation.depth_at(asset_name)
+
+    def failed_assets(
+        self,
+        fragility: FragilityModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> frozenset[str]:
+        model = fragility or ThresholdFragility()
+        return model.failed_assets(self.inundation.depths_m, rng)
+
+
+@dataclass(frozen=True)
+class HurricaneEnsemble:
+    """An ordered collection of hurricane realizations."""
+
+    scenario_name: str
+    realizations: tuple[HurricaneRealization, ...]
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.realizations:
+            raise HazardError("ensemble must contain at least one realization")
+
+    def __len__(self) -> int:
+        return len(self.realizations)
+
+    def __iter__(self) -> Iterator[HurricaneRealization]:
+        return iter(self.realizations)
+
+    def __getitem__(self, index: int) -> HurricaneRealization:
+        return self.realizations[index]
+
+    @property
+    def asset_names(self) -> list[str]:
+        return list(self.realizations[0].inundation.depths_m)
+
+    def depth_matrix(self) -> np.ndarray:
+        """(n_realizations, n_assets) inundation depths."""
+        names = self.asset_names
+        return np.array(
+            [[r.inundation.depths_m[n] for n in names] for r in self.realizations]
+        )
+
+    def flood_probability(
+        self, asset_name: str, fragility: FragilityModel | None = None
+    ) -> float:
+        """Fraction of realizations in which the asset fails."""
+        model = fragility or ThresholdFragility()
+        hits = sum(
+            1
+            for r in self.realizations
+            if model.failure_probability(r.depth_at(asset_name)) >= 1.0
+        )
+        return hits / len(self.realizations)
+
+    def joint_flood_probability(
+        self, names: Sequence[str], fragility: FragilityModel | None = None
+    ) -> float:
+        """Fraction of realizations flooding *all* the named assets."""
+        model = fragility or ThresholdFragility()
+        hits = 0
+        for r in self.realizations:
+            if all(model.failure_probability(r.depth_at(n)) >= 1.0 for n in names):
+                hits += 1
+        return hits / len(self.realizations)
+
+    def conditional_flood_probability(
+        self,
+        target: str,
+        given: str,
+        fragility: FragilityModel | None = None,
+    ) -> float:
+        """P(target floods | given floods); NaN if the condition never occurs."""
+        model = fragility or ThresholdFragility()
+        given_hits = 0
+        both = 0
+        for r in self.realizations:
+            if model.failure_probability(r.depth_at(given)) >= 1.0:
+                given_hits += 1
+                if model.failure_probability(r.depth_at(target)) >= 1.0:
+                    both += 1
+        if given_hits == 0:
+            return math.nan
+        return both / given_hits
+
+    def subset(self, count: int) -> "HurricaneEnsemble":
+        """The first ``count`` realizations (for convergence studies)."""
+        if not 1 <= count <= len(self):
+            raise HazardError(f"subset size {count} outside [1, {len(self)}]")
+        return HurricaneEnsemble(
+            scenario_name=self.scenario_name,
+            realizations=self.realizations[:count],
+            seed=self.seed,
+        )
+
+
+@dataclass
+class EnsembleGenerator:
+    """Generates hurricane ensembles for a region + asset catalog.
+
+    Construction builds the coastal mesh and the (mesh x asset) inundation
+    mapping once; each realization then costs one track sweep of the surge
+    solver plus a matrix-vector product.
+    """
+
+    region: CoastalRegion
+    catalog: AssetCatalog
+    scenario: HurricaneScenarioSpec
+    surge_params: SurgeModelParams = field(default_factory=SurgeModelParams)
+    extension_params: ExtensionParams = field(default_factory=ExtensionParams)
+    mesh_spacing_km: float = 2.0
+
+    def __post_init__(self) -> None:
+        self._mesh = build_coastal_mesh(self.region, self.mesh_spacing_km)
+        self._surge = SurgeModel(self._mesh, self.surge_params)
+        self._mapper = InundationMapper(
+            self.region, self._mesh, self.catalog, self.extension_params
+        )
+
+    @property
+    def mesh_size(self) -> int:
+        return len(self._mesh)
+
+    def sample_parameters(self, rng: np.random.Generator) -> StormParameters:
+        """Draw one realization's storm parameters from the scenario spec."""
+        s = self.scenario
+        offset = float(rng.normal(0.0, s.track_offset_sd_km))
+        heading = float(rng.normal(s.base_heading_deg, s.heading_sd_deg))
+        # Offset the landfall perpendicular to the storm heading, so the
+        # ensemble sweeps the track sideways across the island.
+        landfall = destination_point(s.base_landfall, (heading + 90.0) % 360.0, offset)
+        pressure = float(
+            np.clip(
+                rng.normal(s.pressure_mean_mb, s.pressure_sd_mb),
+                *s.pressure_bounds_mb,
+            )
+        )
+        rmw = float(s.rmw_median_km * math.exp(rng.normal(0.0, s.rmw_log_sd)))
+        speed = float(
+            np.clip(
+                rng.normal(s.forward_speed_mean_kmh, s.forward_speed_sd_kmh),
+                *s.forward_speed_bounds_kmh,
+            )
+        )
+        return StormParameters(
+            landfall=landfall,
+            heading_deg=heading % 360.0,
+            central_pressure_mb=pressure,
+            rmw_km=rmw,
+            forward_speed_kmh=speed,
+            track_offset_km=offset,
+        )
+
+    def realize(self, index: int, params: StormParameters, rng: np.random.Generator) -> HurricaneRealization:
+        """Run the surge + inundation pipeline for one parameter draw."""
+        track = params.to_track(f"{self.scenario.name}-r{index}")
+        surge = self._surge.run(track, rng)
+        depths = self._mapper.depths_from_wse(surge.peak_wse_m)
+        return HurricaneRealization(
+            index=index,
+            params=params,
+            inundation=InundationField(depths_m=depths),
+        )
+
+    def generate(self, count: int = 1000, seed: int = 0) -> HurricaneEnsemble:
+        """Generate a full ensemble deterministically from ``seed``."""
+        if count < 1:
+            raise HazardError("ensemble size must be at least 1")
+        rng = np.random.default_rng(seed)
+        realizations = []
+        for i in range(count):
+            params = self.sample_parameters(rng)
+            realizations.append(self.realize(i, params, rng))
+        return HurricaneEnsemble(
+            scenario_name=self.scenario.name,
+            realizations=tuple(realizations),
+            seed=seed,
+        )

@@ -1,0 +1,116 @@
+"""Diagnostics validating the parametric hurricane model.
+
+ADCIRC users sanity-check their wind forcing before trusting the surge;
+these utilities do the same for the Holland substrate: maximum winds vs.
+Saffir-Simpson expectations, wind-radius metrics (R34/R50/R64, the
+operational size measures), and the translation asymmetry ratio.  Used by
+tests and available to anyone recalibrating the scenario for a different
+basin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HazardError
+from repro.geo.coords import GeoPoint, LocalProjection
+from repro.hazards.hurricane.track import TrackPoint, saffir_simpson_category
+from repro.hazards.hurricane.wind import SURFACE_WIND_FACTOR, HollandWindField
+
+#: Operational wind radii thresholds (m/s): gale, storm, hurricane force.
+R34_MS = 17.5
+R50_MS = 25.7
+R64_MS = 32.9
+
+
+@dataclass(frozen=True)
+class WindFieldDiagnostics:
+    """Summary metrics of one storm instant's wind field."""
+
+    max_surface_wind_ms: float
+    category: int
+    radius_max_wind_km: float
+    r34_km: float
+    r50_km: float
+    r64_km: float
+    asymmetry_ratio: float  # right-side / left-side peak wind
+
+    def consistent_with_category(self, expected: int) -> bool:
+        return self.category == expected
+
+
+def _radius_where_wind_drops_below(
+    field: HollandWindField, threshold_ms: float, max_radius_km: float = 600.0
+) -> float:
+    """Outermost radius (km) where the surface wind reaches ``threshold``."""
+    radii = np.linspace(1.0, max_radius_km, 1200)
+    winds = SURFACE_WIND_FACTOR * field.gradient_wind_ms(radii)
+    reaching = np.where(winds >= threshold_ms)[0]
+    if reaching.size == 0:
+        return 0.0
+    return float(radii[reaching[-1]])
+
+
+def diagnose_wind_field(
+    state: TrackPoint,
+    motion_kmh: float = 0.0,
+    motion_bearing_deg: float = 0.0,
+) -> WindFieldDiagnostics:
+    """Compute the standard diagnostics for one storm state."""
+    field = HollandWindField(
+        state, motion_kmh=motion_kmh, motion_bearing_deg=motion_bearing_deg
+    )
+    radii = np.linspace(1.0, 300.0, 600)
+    surface = SURFACE_WIND_FACTOR * field.gradient_wind_ms(radii)
+    peak_index = int(np.argmax(surface))
+    max_wind = float(surface[peak_index])
+
+    # Asymmetry: peak wind on the right vs. left of the motion vector.
+    projection = LocalProjection(state.center)
+    theta = math.radians(motion_bearing_deg)
+    # Unit vectors perpendicular to motion: right = motion rotated -90.
+    right = (math.cos(theta), -math.sin(theta))
+    left = (-math.cos(theta), math.sin(theta))
+    rmw = state.rmw_km
+    right_xy = np.array([[right[0] * rmw, right[1] * rmw]])
+    left_xy = np.array([[left[0] * rmw, left[1] * rmw]])
+    right_wind = float(np.hypot(*field.wind_vectors(right_xy, projection)[0]))
+    left_wind = float(np.hypot(*field.wind_vectors(left_xy, projection)[0]))
+    if left_wind <= 0.0:
+        raise HazardError("degenerate wind field: zero left-side wind")
+
+    return WindFieldDiagnostics(
+        max_surface_wind_ms=max_wind,
+        category=saffir_simpson_category(max_wind),
+        radius_max_wind_km=float(radii[peak_index]),
+        r34_km=_radius_where_wind_drops_below(field, R34_MS),
+        r50_km=_radius_where_wind_drops_below(field, R50_MS),
+        r64_km=_radius_where_wind_drops_below(field, R64_MS),
+        asymmetry_ratio=right_wind / left_wind,
+    )
+
+
+def hydrograph(
+    surge_model,
+    track,
+    node_index: int,
+    step_h: float = 0.5,
+) -> list[tuple[float, float]]:
+    """Water-level time series at one mesh node over a storm's passage.
+
+    The surge solver normally records only the peak; the hydrograph is
+    the full (time, WSE) series -- the standard way surge models are
+    inspected against gauge data.
+    """
+    if not 0 <= node_index < len(surge_model.mesh):
+        raise HazardError(
+            f"node index {node_index} outside [0, {len(surge_model.mesh)})"
+        )
+    series = []
+    for t in track.times(step_h):
+        wse = surge_model._wse_at_time(track, t)
+        series.append((t, float(wse[node_index])))
+    return series

@@ -1,0 +1,146 @@
+"""Parametric hurricane wind and pressure fields (Holland 1980).
+
+Given a storm state (center, central pressure, radius of maximum winds),
+this module evaluates the surface wind vector and sea-level pressure at
+arbitrary points.  The model is the standard axisymmetric Holland gradient
+wind with:
+
+* a surface-reduction factor applied to the gradient wind,
+* an inward-rotated inflow angle,
+* a forward-motion asymmetry (half the translation velocity added on the
+  storm's right side, the classic first-order correction), and
+* cyclonic (counter-clockwise) rotation for the northern hemisphere.
+
+All wind evaluation is vectorized over numpy arrays of target points so the
+surge solver can sweep a full coastal mesh per time step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HazardError
+from repro.geo.coords import GeoPoint, LocalProjection, unit_vector_deg
+from repro.hazards.hurricane.track import AMBIENT_PRESSURE_MB, TrackPoint
+
+AIR_DENSITY_KG_M3 = 1.15
+EARTH_ROTATION_RAD_S = 7.2921e-5
+SURFACE_WIND_FACTOR = 0.9
+INFLOW_ANGLE_DEG = 20.0
+ASYMMETRY_FACTOR = 0.5
+
+
+def coriolis_parameter(lat_deg: float) -> float:
+    """Coriolis parameter f = 2 * Omega * sin(latitude)."""
+    return 2.0 * EARTH_ROTATION_RAD_S * math.sin(math.radians(lat_deg))
+
+
+@dataclass(frozen=True)
+class HollandWindField:
+    """Holland (1980) wind/pressure field for one storm instant.
+
+    ``motion_kmh`` and ``motion_bearing_deg`` describe storm translation and
+    feed the asymmetry correction.
+    """
+
+    state: TrackPoint
+    motion_kmh: float = 0.0
+    motion_bearing_deg: float = 0.0
+    holland_b: float = 1.4
+
+    def __post_init__(self) -> None:
+        if not 0.8 <= self.holland_b <= 2.5:
+            raise HazardError(f"Holland B {self.holland_b} outside plausible [0.8, 2.5]")
+        if self.motion_kmh < 0.0:
+            raise HazardError("storm motion speed cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Scalar profile
+    # ------------------------------------------------------------------
+    @property
+    def max_gradient_wind_ms(self) -> float:
+        deficit_pa = self.state.pressure_deficit_mb * 100.0
+        return math.sqrt(self.holland_b * deficit_pa / (AIR_DENSITY_KG_M3 * math.e))
+
+    def gradient_wind_ms(self, radius_km: np.ndarray) -> np.ndarray:
+        """Axisymmetric gradient wind speed at the given radii (km)."""
+        r_m = np.asarray(radius_km, dtype=float) * 1000.0
+        r_m = np.maximum(r_m, 1.0)  # avoid the singular storm center
+        rmax_m = self.state.rmw_km * 1000.0
+        deficit_pa = self.state.pressure_deficit_mb * 100.0
+        b = self.holland_b
+        ratio_b = (rmax_m / r_m) ** b
+        f = abs(coriolis_parameter(self.state.center.lat))
+        rf_half = r_m * f / 2.0
+        term = ratio_b * b * deficit_pa / AIR_DENSITY_KG_M3 * np.exp(-ratio_b)
+        return np.sqrt(term + rf_half**2) - rf_half
+
+    def pressure_mb(self, radius_km: np.ndarray) -> np.ndarray:
+        """Sea-level pressure profile p(r) = pc + dP * exp(-(Rmax/r)^B)."""
+        r_m = np.maximum(np.asarray(radius_km, dtype=float) * 1000.0, 1.0)
+        rmax_m = self.state.rmw_km * 1000.0
+        ratio_b = (rmax_m / r_m) ** self.holland_b
+        return self.state.central_pressure_mb + self.state.pressure_deficit_mb * np.exp(-ratio_b)
+
+    # ------------------------------------------------------------------
+    # Vector field
+    # ------------------------------------------------------------------
+    def wind_vectors(self, xy_km: np.ndarray, projection: LocalProjection) -> np.ndarray:
+        """Surface wind (east, north) m/s at planar points ``xy_km``.
+
+        ``xy_km`` has shape (n, 2) in the supplied local projection; the
+        storm center is projected into the same plane.
+        """
+        pts = np.asarray(xy_km, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise HazardError("xy_km must have shape (n, 2)")
+        cx, cy = projection.to_xy(self.state.center)
+        dx = pts[:, 0] - cx
+        dy = pts[:, 1] - cy
+        radius_km = np.hypot(dx, dy)
+        speed = SURFACE_WIND_FACTOR * self.gradient_wind_ms(radius_km)
+
+        # Unit vector from center to point; rotate +90 deg for cyclonic
+        # (counter-clockwise) flow in the northern hemisphere, then rotate
+        # a further INFLOW_ANGLE_DEG toward the center.
+        safe_r = np.maximum(radius_km, 1e-6)
+        ux = dx / safe_r
+        uy = dy / safe_r
+        tangential = np.stack([-uy, ux], axis=1)
+        inflow = math.radians(INFLOW_ANGLE_DEG)
+        cos_a, sin_a = math.cos(inflow), math.sin(inflow)
+        # Rotate the tangential vector by -inflow (toward the center).
+        rot_x = cos_a * tangential[:, 0] + sin_a * (-ux)
+        rot_y = cos_a * tangential[:, 1] + sin_a * (-uy)
+        wind = np.stack([rot_x, rot_y], axis=1) * speed[:, None]
+
+        if self.motion_kmh > 0.0:
+            mx, my = unit_vector_deg(self.motion_bearing_deg)
+            motion_ms = self.motion_kmh / 3.6
+            # The correction decays with distance like the wind profile so
+            # far-field points are not dragged along with the storm.
+            decay = self.gradient_wind_ms(radius_km) / max(self.max_gradient_wind_ms, 1e-9)
+            wind[:, 0] += ASYMMETRY_FACTOR * motion_ms * mx * decay
+            wind[:, 1] += ASYMMETRY_FACTOR * motion_ms * my * decay
+        return wind
+
+    def wind_at(self, point: GeoPoint, projection: LocalProjection | None = None) -> tuple[float, float]:
+        """Convenience scalar wrapper around :meth:`wind_vectors`."""
+        proj = projection or LocalProjection(self.state.center)
+        xy = np.array([proj.to_xy(point)])
+        vec = self.wind_vectors(xy, proj)
+        return float(vec[0, 0]), float(vec[0, 1])
+
+    def pressure_at(self, point: GeoPoint) -> float:
+        """Sea-level pressure (mb) at a point."""
+        proj = LocalProjection(self.state.center)
+        x, y = proj.to_xy(point)
+        return float(self.pressure_mb(np.array([math.hypot(x, y)]))[0])
+
+
+def ambient_pressure_mb() -> float:
+    """The far-field sea-level pressure assumed by the model."""
+    return AMBIENT_PRESSURE_MB

@@ -1,0 +1,38 @@
+"""Serialization: ensembles, topologies, and results."""
+
+from repro.io.realization_io import load_ensemble_csv, save_ensemble_csv
+from repro.io.scenario_io import (
+    load_scenario_json,
+    save_scenario_json,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.io.results_io import (
+    load_matrix_json,
+    matrix_from_dict,
+    matrix_to_dict,
+    save_matrix_json,
+)
+from repro.io.topology_io import (
+    catalog_from_dict,
+    catalog_to_dict,
+    load_catalog_json,
+    save_catalog_json,
+)
+
+__all__ = [
+    "save_ensemble_csv",
+    "load_ensemble_csv",
+    "save_scenario_json",
+    "load_scenario_json",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_catalog_json",
+    "load_catalog_json",
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "save_matrix_json",
+    "load_matrix_json",
+    "matrix_to_dict",
+    "matrix_from_dict",
+]

@@ -1,0 +1,116 @@
+"""Persist and reload hurricane ensembles.
+
+Generating 1000 realizations takes seconds, but pinning the exact dataset
+a result was produced from matters for reproducibility, so ensembles
+round-trip through CSV: one row per realization with the storm parameters
+and the inundation depth at every asset.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import SerializationError
+from repro.geo.coords import GeoPoint
+from repro.hazards.hurricane.ensemble import (
+    HurricaneEnsemble,
+    HurricaneRealization,
+    StormParameters,
+)
+from repro.hazards.hurricane.inundation import InundationField
+
+_PARAM_COLUMNS = [
+    "landfall_lat",
+    "landfall_lon",
+    "heading_deg",
+    "central_pressure_mb",
+    "rmw_km",
+    "forward_speed_kmh",
+    "track_offset_km",
+]
+_DEPTH_PREFIX = "depth:"
+
+
+def save_ensemble_csv(ensemble: HurricaneEnsemble, path: str | Path) -> None:
+    """Write an ensemble to CSV (parameters + per-asset depths)."""
+    path = Path(path)
+    asset_names = ensemble.asset_names
+    header = ["index", "scenario", "seed"] + _PARAM_COLUMNS + [
+        f"{_DEPTH_PREFIX}{name}" for name in asset_names
+    ]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for r in ensemble:
+            p = r.params
+            row = [
+                r.index,
+                ensemble.scenario_name,
+                ensemble.seed if ensemble.seed is not None else "",
+                f"{p.landfall.lat:.6f}",
+                f"{p.landfall.lon:.6f}",
+                f"{p.heading_deg:.4f}",
+                f"{p.central_pressure_mb:.4f}",
+                f"{p.rmw_km:.4f}",
+                f"{p.forward_speed_kmh:.4f}",
+                f"{p.track_offset_km:.4f}",
+            ]
+            row += [f"{r.inundation.depths_m[name]:.6f}" for name in asset_names]
+            writer.writerow(row)
+
+
+def load_ensemble_csv(path: str | Path) -> HurricaneEnsemble:
+    """Reload an ensemble written by :func:`save_ensemble_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such ensemble file: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SerializationError(f"{path} is empty") from None
+        expected_prefix = ["index", "scenario", "seed"] + _PARAM_COLUMNS
+        if header[: len(expected_prefix)] != expected_prefix:
+            raise SerializationError(f"{path} does not look like an ensemble CSV")
+        asset_names = [
+            column[len(_DEPTH_PREFIX):]
+            for column in header[len(expected_prefix):]
+            if column.startswith(_DEPTH_PREFIX)
+        ]
+        if not asset_names:
+            raise SerializationError(f"{path} has no asset depth columns")
+
+        realizations = []
+        scenario_name = ""
+        seed: int | None = None
+        for row in reader:
+            if not row:
+                continue
+            try:
+                index = int(row[0])
+                scenario_name = row[1]
+                seed = int(row[2]) if row[2] else None
+                values = [float(v) for v in row[3:]]
+            except (ValueError, IndexError) as exc:
+                raise SerializationError(f"malformed row in {path}: {row}") from exc
+            params = StormParameters(
+                landfall=GeoPoint(values[0], values[1]),
+                heading_deg=values[2],
+                central_pressure_mb=values[3],
+                rmw_km=values[4],
+                forward_speed_kmh=values[5],
+                track_offset_km=values[6],
+            )
+            depths = dict(zip(asset_names, values[7:]))
+            if len(depths) != len(asset_names):
+                raise SerializationError(f"row {index} in {path} is truncated")
+            realizations.append(
+                HurricaneRealization(index, params, InundationField(depths))
+            )
+    if not realizations:
+        raise SerializationError(f"{path} contains no realizations")
+    return HurricaneEnsemble(
+        scenario_name=scenario_name, realizations=tuple(realizations), seed=seed
+    )

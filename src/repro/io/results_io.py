@@ -1,0 +1,57 @@
+"""Persist and reload analysis results (scenario matrices)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.outcomes import OperationalProfile, ScenarioMatrix
+from repro.core.states import STATE_ORDER, OperationalState
+from repro.errors import SerializationError
+
+
+def matrix_to_dict(matrix: ScenarioMatrix) -> dict:
+    entries = []
+    for scenario in matrix.scenario_names:
+        for arch, profile in matrix.scenario_profiles(scenario).items():
+            entries.append(
+                {
+                    "scenario": scenario,
+                    "architecture": arch,
+                    "counts": {s.value: profile.count(s) for s in STATE_ORDER},
+                }
+            )
+    return {"placement": matrix.placement_label, "entries": entries}
+
+
+def matrix_from_dict(data: dict) -> ScenarioMatrix:
+    try:
+        matrix = ScenarioMatrix(placement_label=data["placement"])
+        for entry in data["entries"]:
+            counts = {
+                OperationalState(state): int(count)
+                for state, count in entry["counts"].items()
+            }
+            matrix.add(
+                entry["scenario"],
+                entry["architecture"],
+                OperationalProfile(counts),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError("malformed results document") from exc
+    return matrix
+
+
+def save_matrix_json(matrix: ScenarioMatrix, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(matrix_to_dict(matrix), indent=2))
+
+
+def load_matrix_json(path: str | Path) -> ScenarioMatrix:
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such results file: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not valid JSON") from exc
+    return matrix_from_dict(data)

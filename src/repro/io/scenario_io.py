@@ -1,0 +1,76 @@
+"""Persist and reload hurricane scenario specifications.
+
+Utilities exchange planning scenarios as files; this round-trips a
+:class:`HurricaneScenarioSpec` through JSON so a study (e.g. a different
+basin, or a planner-supplied track) can be versioned alongside results
+and replayed with ``compound-threats ensemble --scenario-file``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError, SerializationError
+from repro.geo.coords import GeoPoint
+from repro.hazards.hurricane.ensemble import HurricaneScenarioSpec
+
+
+def scenario_to_dict(scenario: HurricaneScenarioSpec) -> dict:
+    return {
+        "name": scenario.name,
+        "base_landfall": {
+            "lat": scenario.base_landfall.lat,
+            "lon": scenario.base_landfall.lon,
+        },
+        "base_heading_deg": scenario.base_heading_deg,
+        "track_offset_sd_km": scenario.track_offset_sd_km,
+        "heading_sd_deg": scenario.heading_sd_deg,
+        "pressure_mean_mb": scenario.pressure_mean_mb,
+        "pressure_sd_mb": scenario.pressure_sd_mb,
+        "pressure_bounds_mb": list(scenario.pressure_bounds_mb),
+        "rmw_median_km": scenario.rmw_median_km,
+        "rmw_log_sd": scenario.rmw_log_sd,
+        "forward_speed_mean_kmh": scenario.forward_speed_mean_kmh,
+        "forward_speed_sd_kmh": scenario.forward_speed_sd_kmh,
+        "forward_speed_bounds_kmh": list(scenario.forward_speed_bounds_kmh),
+    }
+
+
+def scenario_from_dict(data: dict) -> HurricaneScenarioSpec:
+    try:
+        landfall = data["base_landfall"]
+        return HurricaneScenarioSpec(
+            name=data["name"],
+            base_landfall=GeoPoint(landfall["lat"], landfall["lon"]),
+            base_heading_deg=data["base_heading_deg"],
+            track_offset_sd_km=data["track_offset_sd_km"],
+            heading_sd_deg=data["heading_sd_deg"],
+            pressure_mean_mb=data["pressure_mean_mb"],
+            pressure_sd_mb=data["pressure_sd_mb"],
+            pressure_bounds_mb=tuple(data["pressure_bounds_mb"]),
+            rmw_median_km=data["rmw_median_km"],
+            rmw_log_sd=data["rmw_log_sd"],
+            forward_speed_mean_kmh=data["forward_speed_mean_kmh"],
+            forward_speed_sd_kmh=data["forward_speed_sd_kmh"],
+            forward_speed_bounds_kmh=tuple(data["forward_speed_bounds_kmh"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed scenario document: {exc}") from exc
+    except ReproError as exc:
+        raise SerializationError(f"invalid scenario parameters: {exc}") from exc
+
+
+def save_scenario_json(scenario: HurricaneScenarioSpec, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(scenario_to_dict(scenario), indent=2))
+
+
+def load_scenario_json(path: str | Path) -> HurricaneScenarioSpec:
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such scenario file: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not valid JSON") from exc
+    return scenario_from_dict(data)

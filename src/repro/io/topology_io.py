@@ -1,0 +1,68 @@
+"""Persist and reload asset catalogs (the geospatial SCADA topology)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import SerializationError, TopologyError
+from repro.geo.catalog import AssetCatalog, AssetRecord, AssetRole
+from repro.geo.coords import GeoPoint
+
+
+def catalog_to_dict(catalog: AssetCatalog) -> dict:
+    return {
+        "region": catalog.region_name,
+        "assets": [
+            {
+                "name": asset.name,
+                "role": asset.role.value,
+                "lat": asset.location.lat,
+                "lon": asset.location.lon,
+                "elevation_m": asset.elevation_m,
+                "description": asset.description,
+            }
+            for asset in catalog
+        ],
+    }
+
+
+def catalog_from_dict(data: dict) -> AssetCatalog:
+    try:
+        region = data["region"]
+        entries = data["assets"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError("catalog document missing region/assets") from exc
+    records = []
+    for entry in entries:
+        try:
+            records.append(
+                AssetRecord(
+                    name=entry["name"],
+                    role=AssetRole(entry["role"]),
+                    location=GeoPoint(entry["lat"], entry["lon"]),
+                    elevation_m=entry["elevation_m"],
+                    description=entry.get("description", ""),
+                )
+            )
+        except (KeyError, ValueError, TypeError, TopologyError) as exc:
+            raise SerializationError(f"malformed asset entry: {entry}") from exc
+    try:
+        return AssetCatalog.from_records(region, records)
+    except TopologyError as exc:
+        raise SerializationError(str(exc)) from exc
+
+
+def save_catalog_json(catalog: AssetCatalog, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(catalog_to_dict(catalog), indent=2))
+
+
+def load_catalog_json(path: str | Path) -> AssetCatalog:
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such catalog file: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not valid JSON") from exc
+    return catalog_from_dict(data)

@@ -1,0 +1,35 @@
+"""Communication-network substrate: WAN topology and isolation attacks."""
+
+from repro.network.attacks import IsolationPlan, LinkFloodingAttacker
+from repro.network.routing import network_params_from_wan, site_latency_matrix
+from repro.network.interdependency import (
+    OAHU_POP_POWER,
+    InterdependencyAnalysis,
+    InterdependencyParams,
+    InterdependencyResult,
+)
+from repro.network.connectivity import (
+    ConnectivityReport,
+    analyze,
+    isolated_sites,
+    sites_reachable,
+)
+from repro.network.topology import LinkSpec, WANTopology, build_site_wan
+
+__all__ = [
+    "LinkSpec",
+    "WANTopology",
+    "build_site_wan",
+    "IsolationPlan",
+    "LinkFloodingAttacker",
+    "InterdependencyAnalysis",
+    "InterdependencyParams",
+    "InterdependencyResult",
+    "OAHU_POP_POWER",
+    "site_latency_matrix",
+    "network_params_from_wan",
+    "ConnectivityReport",
+    "analyze",
+    "isolated_sites",
+    "sites_reachable",
+]

@@ -1,0 +1,83 @@
+"""Link-flooding site-isolation attacks (Crossfire / Coremelt style).
+
+The attacker cannot break into routers; instead it marshals botnet
+traffic that saturates chosen *links*.  Isolating a site means flooding a
+set of links whose removal disconnects the site from the rest of the
+WAN.  The rational attacker floods the **minimum-capacity edge cut**
+around the target, so the attack cost is the cut's total capacity -- this
+gives the abstract "site isolation" capability of the threat model a
+concrete price and lets extension studies compare targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import NetworkModelError
+from repro.network.topology import WANTopology
+
+
+@dataclass(frozen=True)
+class IsolationPlan:
+    """The links to flood to isolate one site, and what it costs."""
+
+    target: str
+    flooded_links: tuple[tuple[str, str], ...]
+    attack_cost_gbps: float
+
+    @property
+    def link_count(self) -> int:
+        return len(self.flooded_links)
+
+
+class LinkFloodingAttacker:
+    """Plans and applies minimum-cut link-flooding attacks."""
+
+    def __init__(self, topology: WANTopology) -> None:
+        self.topology = topology
+
+    def plan_isolation(self, target_site: str) -> IsolationPlan:
+        """The cheapest set of links whose flooding isolates the target."""
+        if target_site not in self.topology.site_nodes:
+            raise NetworkModelError(f"{target_site!r} is not a control site")
+        graph = self.topology.graph
+        others = [
+            n for n in self.topology.site_nodes if n != target_site
+        ]
+        if not others:
+            # A single-site system has no "rest of the network" to cut it
+            # from; flooding its access links still silences it.
+            cut = set(graph.edges(target_site))
+        else:
+            # Min cut separating the target from every other site: add a
+            # virtual super-sink attached to the other sites.
+            g = graph.copy()
+            sink = "__sink__"
+            for other in others:
+                g.add_edge(other, sink, capacity=float("inf"))
+            cut_value, (reachable, non_reachable) = nx.minimum_cut(
+                g, target_site, sink, capacity="capacity"
+            )
+            cut = {
+                (a, b)
+                for a in reachable
+                for b in g.neighbors(a)
+                if b in non_reachable and b != sink
+            }
+        normalized = tuple(sorted(tuple(sorted(edge)) for edge in cut))
+        cost = sum(self.topology.link_capacity(a, b) for a, b in normalized)
+        return IsolationPlan(target_site, normalized, cost)
+
+    def apply(self, plan: IsolationPlan) -> nx.Graph:
+        """The WAN graph with the plan's links flooded (removed)."""
+        return self.topology.without_links(set(plan.flooded_links))
+
+    def cheapest_target(self, candidates: list[str] | None = None) -> IsolationPlan:
+        """Which control site is cheapest to isolate?"""
+        targets = candidates if candidates is not None else sorted(self.topology.site_nodes)
+        if not targets:
+            raise NetworkModelError("no candidate targets")
+        plans = [self.plan_isolation(t) for t in targets]
+        return min(plans, key=lambda p: (p.attack_cost_gbps, p.target))

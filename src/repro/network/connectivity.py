@@ -1,0 +1,70 @@
+"""Connectivity analysis of the control-site WAN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import NetworkModelError
+from repro.network.topology import WANTopology
+
+
+@dataclass(frozen=True)
+class ConnectivityReport:
+    """Summary of how robustly the control sites are interconnected."""
+
+    connected_site_pairs: int
+    total_site_pairs: int
+    isolated_sites: tuple[str, ...]
+    min_site_edge_connectivity: int
+
+    @property
+    def fully_connected(self) -> bool:
+        return self.connected_site_pairs == self.total_site_pairs
+
+
+def sites_reachable(graph: nx.Graph, a: str, b: str) -> bool:
+    """Whether two sites can communicate over the (possibly attacked) WAN."""
+    if a not in graph or b not in graph:
+        return False
+    return nx.has_path(graph, a, b)
+
+
+def isolated_sites(graph: nx.Graph, site_nodes: set[str]) -> tuple[str, ...]:
+    """Sites that cannot reach any *other* site."""
+    out = []
+    for site in sorted(site_nodes):
+        others = [s for s in site_nodes if s != site]
+        if not others:
+            continue
+        if site not in graph or not any(sites_reachable(graph, site, o) for o in others):
+            out.append(site)
+    return tuple(out)
+
+
+def analyze(topology: WANTopology, graph: nx.Graph | None = None) -> ConnectivityReport:
+    """Connectivity report for the WAN (optionally post-attack)."""
+    g = graph if graph is not None else topology.graph
+    sites = sorted(topology.site_nodes)
+    if len(sites) < 1:
+        raise NetworkModelError("no sites to analyze")
+    pairs = 0
+    connected = 0
+    min_connectivity = None
+    for i, a in enumerate(sites):
+        for b in sites[i + 1 :]:
+            pairs += 1
+            if sites_reachable(g, a, b):
+                connected += 1
+                k = nx.edge_connectivity(g, a, b)
+            else:
+                k = 0
+            if min_connectivity is None or k < min_connectivity:
+                min_connectivity = k
+    return ConnectivityReport(
+        connected_site_pairs=connected,
+        total_site_pairs=pairs,
+        isolated_sites=isolated_sites(g, topology.site_nodes),
+        min_site_edge_connectivity=min_connectivity or 0,
+    )

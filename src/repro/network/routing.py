@@ -1,0 +1,70 @@
+"""Inter-site routing latency derived from the WAN topology.
+
+The replication engine takes intra- and inter-site latencies as inputs;
+this module derives them from the WAN graph (hop count x per-hop delay),
+closing the loop between the network substrate and the BFT substrate: a
+deployment's protocol latency follows from where its sites actually sit
+on the island's network.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.bft.network_sim import NetworkParams
+from repro.errors import NetworkModelError
+from repro.network.topology import WANTopology
+
+DEFAULT_PER_HOP_MS = 2.0
+
+
+def site_latency_matrix(
+    wan: WANTopology, per_hop_ms: float = DEFAULT_PER_HOP_MS
+) -> dict[tuple[str, str], float]:
+    """One-way latency between every pair of control sites (ms).
+
+    Shortest path in hops times the per-hop forwarding delay.  Raises if
+    any site pair is disconnected (a healthy design never is).
+    """
+    if per_hop_ms <= 0:
+        raise NetworkModelError("per-hop latency must be positive")
+    sites = sorted(wan.site_nodes)
+    matrix: dict[tuple[str, str], float] = {}
+    for i, a in enumerate(sites):
+        for b in sites[i + 1 :]:
+            try:
+                hops = nx.shortest_path_length(wan.graph, a, b)
+            except nx.NetworkXNoPath:
+                raise NetworkModelError(
+                    f"sites {a!r} and {b!r} are not connected"
+                ) from None
+            latency = hops * per_hop_ms
+            matrix[(a, b)] = latency
+            matrix[(b, a)] = latency
+    return matrix
+
+
+def network_params_from_wan(
+    wan: WANTopology,
+    per_hop_ms: float = DEFAULT_PER_HOP_MS,
+    intra_site_latency_ms: float = 1.0,
+) -> NetworkParams:
+    """Replication-engine latencies derived from the WAN geometry.
+
+    The engine models one inter-site latency; use the *worst* site pair
+    (protocol rounds complete when the slowest quorum member answers).
+    """
+    if intra_site_latency_ms <= 0:
+        raise NetworkModelError("intra-site latency must be positive")
+    matrix = site_latency_matrix(wan, per_hop_ms)
+    if not matrix:
+        # Single-site deployment: inter-site latency is never exercised,
+        # but NetworkParams requires a positive value.
+        return NetworkParams(
+            intra_site_latency_ms=intra_site_latency_ms,
+            inter_site_latency_ms=intra_site_latency_ms,
+        )
+    return NetworkParams(
+        intra_site_latency_ms=intra_site_latency_ms,
+        inter_site_latency_ms=max(matrix.values()),
+    )

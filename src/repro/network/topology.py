@@ -1,0 +1,123 @@
+"""Wide-area network topology connecting SCADA control sites.
+
+The paper's site-isolation attack is realized by resource-intensive
+link-flooding DoS (Crossfire / Coremelt).  To give that attack a concrete
+mechanism, this module models the WAN as a capacitated graph: control
+sites attach to provider edge routers, which interconnect through a core.
+The attack model (:mod:`repro.network.attacks`) floods the minimum edge
+cut around a target site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import NetworkModelError
+from repro.geo.catalog import AssetCatalog
+from repro.geo.coords import haversine_km
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One WAN link with a flooding capacity (Gb/s)."""
+
+    a: str
+    b: str
+    capacity_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_gbps <= 0:
+            raise NetworkModelError("link capacity must be positive")
+        if self.a == self.b:
+            raise NetworkModelError("self-links are not allowed")
+
+
+class WANTopology:
+    """A capacitated WAN graph with designated control-site nodes."""
+
+    def __init__(self, links: list[LinkSpec], site_nodes: set[str]) -> None:
+        if not links:
+            raise NetworkModelError("topology needs at least one link")
+        self.graph = nx.Graph()
+        for link in links:
+            self.graph.add_edge(link.a, link.b, capacity=link.capacity_gbps)
+        missing = site_nodes - set(self.graph.nodes)
+        if missing:
+            raise NetworkModelError(f"site nodes not in the graph: {sorted(missing)}")
+        self.site_nodes = set(site_nodes)
+
+    @property
+    def router_nodes(self) -> set[str]:
+        return set(self.graph.nodes) - self.site_nodes
+
+    def degree_of(self, node: str) -> int:
+        self._check_node(node)
+        return self.graph.degree(node)
+
+    def link_capacity(self, a: str, b: str) -> float:
+        if not self.graph.has_edge(a, b):
+            raise NetworkModelError(f"no link between {a!r} and {b!r}")
+        return self.graph.edges[a, b]["capacity"]
+
+    def without_links(self, removed: set[tuple[str, str]]) -> nx.Graph:
+        """A copy of the graph with the given links removed."""
+        g = self.graph.copy()
+        for a, b in removed:
+            if g.has_edge(a, b):
+                g.remove_edge(a, b)
+        return g
+
+    def _check_node(self, node: str) -> None:
+        if node not in self.graph:
+            raise NetworkModelError(f"unknown node {node!r}")
+
+
+def build_site_wan(
+    catalog: AssetCatalog,
+    site_names: list[str],
+    redundant_uplinks: int = 2,
+    access_capacity_gbps: float = 10.0,
+    core_capacity_gbps: float = 100.0,
+) -> WANTopology:
+    """A realistic island WAN: core ring + redundant site uplinks.
+
+    Core routers are placed implicitly (four PoPs); each control site gets
+    ``redundant_uplinks`` access links to its geographically nearest core
+    PoPs.  Core links are high-capacity (hard to flood); access links are
+    an order of magnitude smaller -- which is exactly the asymmetry the
+    Crossfire-style attack exploits.
+    """
+    if not site_names:
+        raise NetworkModelError("need at least one control site")
+    if redundant_uplinks < 1:
+        raise NetworkModelError("sites need at least one uplink")
+    pops = ["pop-honolulu", "pop-kapolei", "pop-wahiawa", "pop-kaneohe"]
+    pop_locations = {
+        "pop-honolulu": (21.31, -157.86),
+        "pop-kapolei": (21.33, -158.08),
+        "pop-wahiawa": (21.50, -158.02),
+        "pop-kaneohe": (21.41, -157.80),
+    }
+    links = []
+    ring = pops + [pops[0]]
+    for a, b in zip(ring, ring[1:]):
+        links.append(LinkSpec(a, b, core_capacity_gbps))
+    # Cross-links make the core 3-connected.
+    links.append(LinkSpec("pop-honolulu", "pop-wahiawa", core_capacity_gbps))
+
+    from repro.geo.coords import GeoPoint
+
+    for name in site_names:
+        asset = catalog.get(name)
+        by_distance = sorted(
+            pops,
+            key=lambda p: haversine_km(
+                asset.location, GeoPoint(*pop_locations[p])
+            ),
+        )
+        uplinks = min(redundant_uplinks, len(pops))
+        for pop in by_distance[:uplinks]:
+            links.append(LinkSpec(name, pop, access_capacity_gbps))
+    return WANTopology(links, set(site_names))

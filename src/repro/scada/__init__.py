@@ -1,0 +1,57 @@
+"""SCADA system substrate: architectures, placement, replication sizing."""
+
+from repro.scada.architectures import (
+    CONFIG_2,
+    CONFIG_2_2,
+    CONFIG_6,
+    CONFIG_6_6,
+    CONFIG_6_6_6,
+    PAPER_CONFIGURATIONS,
+    ArchitectureFamily,
+    ArchitectureSpec,
+    SiteRole,
+    SiteSpec,
+    active_multisite,
+    get_architecture,
+    primary_backup,
+    single_site,
+)
+from repro.scada.cost import CostModel, TotalCostAssessment, assess_total_cost
+from repro.scada.failover import FailoverPolicy
+from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU, Placement
+from repro.scada.replication import (
+    MultiSiteSizing,
+    can_make_progress,
+    quorum_size,
+    replicas_for_safety,
+    spire_sizing,
+)
+
+__all__ = [
+    "ArchitectureFamily",
+    "ArchitectureSpec",
+    "SiteRole",
+    "SiteSpec",
+    "single_site",
+    "primary_backup",
+    "active_multisite",
+    "get_architecture",
+    "CONFIG_2",
+    "CONFIG_2_2",
+    "CONFIG_6",
+    "CONFIG_6_6",
+    "CONFIG_6_6_6",
+    "PAPER_CONFIGURATIONS",
+    "Placement",
+    "PLACEMENT_WAIAU",
+    "PLACEMENT_KAHE",
+    "FailoverPolicy",
+    "CostModel",
+    "TotalCostAssessment",
+    "assess_total_cost",
+    "MultiSiteSizing",
+    "replicas_for_safety",
+    "quorum_size",
+    "can_make_progress",
+    "spire_sizing",
+]

@@ -1,0 +1,262 @@
+"""The SCADA architectures analyzed by the paper (Section IV-A).
+
+Five configurations, named by their replica counts per site:
+
+* ``"2"``     -- one control center, primary + hot-standby SCADA master.
+* ``"2-2"``   -- primary control center (2 SMs) plus a *cold* backup
+                 control center (2 SMs) activated after a delay.
+* ``"6"``     -- one control center running intrusion-tolerant replication
+                 with 6 replicas (f=1 intrusion, k=1 proactive recovery).
+* ``"6-6"``   -- "6" plus a cold-backup control center with 6 replicas.
+* ``"6+6+6"`` -- network-attack-resilient intrusion tolerance: 6 *active*
+                 replicas in each of two control centers and one data
+                 center, a single replication group of 18.
+
+The module also exposes generic constructors so deployments beyond the
+paper's five (more sites, higher f) can be analyzed with the same
+framework.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.scada.replication import MultiSiteSizing, replicas_for_safety
+
+
+class ArchitectureFamily(enum.Enum):
+    """The structural family an architecture belongs to.
+
+    The family determines how site availability maps to an operational
+    state (Table I): single-site systems die with their site,
+    primary-backup systems fail over with downtime (orange), and active
+    multi-site systems continue seamlessly while a quorum survives.
+    """
+
+    SINGLE_SITE = "single_site"
+    PRIMARY_BACKUP = "primary_backup"
+    ACTIVE_MULTISITE = "active_multisite"
+
+
+class SiteRole(enum.Enum):
+    """A control site's role, in the attacker's targeting priority order."""
+
+    PRIMARY = "primary"
+    BACKUP = "backup"
+    DATA_CENTER = "data_center"
+
+    @property
+    def attack_priority(self) -> int:
+        """Lower is attacked first (paper Section V-B, rule 2)."""
+        return {"primary": 0, "backup": 1, "data_center": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One control-site slot of an architecture."""
+
+    role: SiteRole
+    replicas: int
+    cold: bool = False  # cold sites need activation (downtime) to serve
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigurationError("a site must host at least one replica")
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A SCADA architecture: site slots plus intrusion-tolerance limits.
+
+    ``intrusions_f`` is the number of simultaneous server intrusions the
+    replication protocol tolerates while remaining safe (0 for the
+    non-intrusion-tolerant "2" family, 1 for the "6" family), and
+    ``recoveries_k`` the number of replicas that may concurrently be down
+    for proactive recovery.
+    """
+
+    name: str
+    family: ArchitectureFamily
+    sites: tuple[SiteSpec, ...]
+    intrusions_f: int = 0
+    recoveries_k: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ConfigurationError(f"architecture {self.name!r} has no sites")
+        if self.intrusions_f < 0 or self.recoveries_k < 0:
+            raise ConfigurationError("f and k cannot be negative")
+        roles = [s.role for s in self.sites]
+        if self.family is ArchitectureFamily.SINGLE_SITE:
+            if len(self.sites) != 1 or roles[0] is not SiteRole.PRIMARY:
+                raise ConfigurationError(
+                    f"single-site architecture {self.name!r} must have exactly "
+                    "one primary site"
+                )
+        elif self.family is ArchitectureFamily.PRIMARY_BACKUP:
+            if len(self.sites) != 2 or roles != [SiteRole.PRIMARY, SiteRole.BACKUP]:
+                raise ConfigurationError(
+                    f"primary-backup architecture {self.name!r} must have a "
+                    "primary site followed by a backup site"
+                )
+            if not self.sites[1].cold:
+                raise ConfigurationError(
+                    f"primary-backup architecture {self.name!r} requires a "
+                    "cold backup site"
+                )
+        else:
+            if len(self.sites) < 3:
+                raise ConfigurationError(
+                    f"active multi-site architecture {self.name!r} needs at "
+                    "least 3 sites"
+                )
+            if any(s.cold for s in self.sites):
+                raise ConfigurationError(
+                    f"active multi-site architecture {self.name!r} cannot "
+                    "have cold sites"
+                )
+        if self.intrusions_f > 0:
+            needed = replicas_for_safety(self.intrusions_f, self.recoveries_k)
+            if self.family is ArchitectureFamily.ACTIVE_MULTISITE:
+                if self.total_replicas < needed:
+                    raise ConfigurationError(
+                        f"architecture {self.name!r} has {self.total_replicas} "
+                        f"replicas but needs {needed} for f={self.intrusions_f}, "
+                        f"k={self.recoveries_k}"
+                    )
+            else:
+                # Per-site replication groups: every site must be able to
+                # run the protocol on its own.
+                for site in self.sites:
+                    if site.replicas < needed:
+                        raise ConfigurationError(
+                            f"site {site.role.value!r} of {self.name!r} has "
+                            f"{site.replicas} replicas but needs {needed} for "
+                            f"f={self.intrusions_f}, k={self.recoveries_k}"
+                        )
+
+    @property
+    def total_replicas(self) -> int:
+        return sum(s.replicas for s in self.sites)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def is_intrusion_tolerant(self) -> bool:
+        return self.intrusions_f > 0
+
+    def multisite_sizing(self) -> MultiSiteSizing:
+        """The replication sizing view of an active multi-site deployment."""
+        if self.family is not ArchitectureFamily.ACTIVE_MULTISITE:
+            raise ConfigurationError(
+                f"{self.name!r} is not an active multi-site architecture"
+            )
+        per_site = {s.replicas for s in self.sites}
+        if len(per_site) != 1:
+            raise ConfigurationError(
+                f"{self.name!r} has uneven site sizes; sizing view requires "
+                "equal replicas per site"
+            )
+        return MultiSiteSizing(
+            num_sites=self.num_sites,
+            replicas_per_site=per_site.pop(),
+            intrusions_f=self.intrusions_f,
+            recoveries_k=self.recoveries_k,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Generic constructors
+# ---------------------------------------------------------------------------
+
+def single_site(replicas: int, intrusions_f: int = 0, recoveries_k: int = 0, name: str | None = None) -> ArchitectureSpec:
+    """A single control center with the given replica count."""
+    return ArchitectureSpec(
+        name=name or str(replicas),
+        family=ArchitectureFamily.SINGLE_SITE,
+        sites=(SiteSpec(SiteRole.PRIMARY, replicas),),
+        intrusions_f=intrusions_f,
+        recoveries_k=recoveries_k,
+    )
+
+
+def primary_backup(replicas: int, intrusions_f: int = 0, recoveries_k: int = 0, name: str | None = None) -> ArchitectureSpec:
+    """A primary control center plus a cold-backup control center."""
+    return ArchitectureSpec(
+        name=name or f"{replicas}-{replicas}",
+        family=ArchitectureFamily.PRIMARY_BACKUP,
+        sites=(
+            SiteSpec(SiteRole.PRIMARY, replicas),
+            SiteSpec(SiteRole.BACKUP, replicas, cold=True),
+        ),
+        intrusions_f=intrusions_f,
+        recoveries_k=recoveries_k,
+    )
+
+
+def active_multisite(
+    replicas_per_site: int,
+    num_sites: int = 3,
+    intrusions_f: int = 1,
+    recoveries_k: int = 1,
+    data_center_sites: int = 1,
+    name: str | None = None,
+) -> ArchitectureSpec:
+    """Active replication across control centers plus data centers.
+
+    The first ``num_sites - data_center_sites`` sites are control centers
+    (a primary followed by backups); the rest are data centers that host
+    replicas only.
+    """
+    if not 0 <= data_center_sites < num_sites:
+        raise ConfigurationError(
+            "data center count must leave at least one control center"
+        )
+    roles: list[SiteRole] = []
+    control_sites = num_sites - data_center_sites
+    for i in range(control_sites):
+        roles.append(SiteRole.PRIMARY if i == 0 else SiteRole.BACKUP)
+    roles.extend([SiteRole.DATA_CENTER] * data_center_sites)
+    return ArchitectureSpec(
+        name=name or "+".join([str(replicas_per_site)] * num_sites),
+        family=ArchitectureFamily.ACTIVE_MULTISITE,
+        sites=tuple(SiteSpec(role, replicas_per_site) for role in roles),
+        intrusions_f=intrusions_f,
+        recoveries_k=recoveries_k,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The paper's five configurations
+# ---------------------------------------------------------------------------
+
+CONFIG_2 = single_site(2)
+CONFIG_2_2 = primary_backup(2)
+CONFIG_6 = single_site(6, intrusions_f=1, recoveries_k=1)
+CONFIG_6_6 = primary_backup(6, intrusions_f=1, recoveries_k=1)
+CONFIG_6_6_6 = active_multisite(6, num_sites=3, intrusions_f=1, recoveries_k=1)
+
+PAPER_CONFIGURATIONS: tuple[ArchitectureSpec, ...] = (
+    CONFIG_2,
+    CONFIG_2_2,
+    CONFIG_6,
+    CONFIG_6_6,
+    CONFIG_6_6_6,
+)
+
+_BY_NAME = {spec.name: spec for spec in PAPER_CONFIGURATIONS}
+
+
+def get_architecture(name: str) -> ArchitectureSpec:
+    """Look up one of the paper's configurations by its name (e.g. "6-6")."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown architecture {name!r}; paper configurations are "
+            f"{sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,100 @@
+"""Deployment cost modeling: what does each architecture's resilience buy?
+
+The paper compares architectures purely on resilience; a utility also
+weighs cost.  This extension prices a deployment (replica servers, owned
+control centers, colocation racks, redundant WAN uplinks) and combines it
+with the timeline extension's downtime distribution into a total annual
+cost -- capital plus expected outage losses -- so "6+6+6 vs 6-6" becomes
+a quantified trade, not a qualitative one.
+
+Figures are representative annual costs in k$ (order-of-magnitude,
+documented defaults); every coefficient is a parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.scada.architectures import ArchitectureSpec, SiteRole
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Annualized cost coefficients (k$/year)."""
+
+    replica_server_cost: float = 25.0
+    control_center_cost: float = 400.0
+    data_center_rack_cost: float = 60.0
+    wan_uplink_cost: float = 30.0
+    uplinks_per_site: int = 2
+
+    def __post_init__(self) -> None:
+        values = (
+            self.replica_server_cost,
+            self.control_center_cost,
+            self.data_center_rack_cost,
+            self.wan_uplink_cost,
+        )
+        if any(v < 0 for v in values):
+            raise ConfigurationError("cost coefficients cannot be negative")
+        if self.uplinks_per_site < 1:
+            raise ConfigurationError("each site needs at least one uplink")
+
+    def annual_cost(self, architecture: ArchitectureSpec) -> float:
+        """Capital + operations cost of a deployment, k$/year."""
+        total = architecture.total_replicas * self.replica_server_cost
+        for site in architecture.sites:
+            if site.role is SiteRole.DATA_CENTER:
+                total += self.data_center_rack_cost
+            else:
+                total += self.control_center_cost
+            total += self.uplinks_per_site * self.wan_uplink_cost
+        return total
+
+
+@dataclass(frozen=True)
+class TotalCostAssessment:
+    """Capital cost plus expected outage losses for one configuration."""
+
+    architecture_name: str
+    annual_deployment_cost: float
+    expected_annual_outage_cost: float
+
+    @property
+    def total_annual_cost(self) -> float:
+        return self.annual_deployment_cost + self.expected_annual_outage_cost
+
+
+def assess_total_cost(
+    architecture: ArchitectureSpec,
+    mean_unavailable_h_per_event: float,
+    mean_unsafe_h_per_event: float,
+    events_per_year: float = 0.25,
+    outage_cost_per_hour: float = 150.0,
+    unsafe_cost_per_hour: float = 600.0,
+    cost_model: CostModel | None = None,
+) -> TotalCostAssessment:
+    """Combine deployment cost with expected compound-event losses.
+
+    ``events_per_year`` is the annual rate of compound events (a damaging
+    hurricane + attack every ~4 years by default); unsafe (gray) hours
+    are costed higher than plain outage hours because an adversary is
+    actively driving the grid.
+    """
+    if mean_unavailable_h_per_event < 0 or mean_unsafe_h_per_event < 0:
+        raise ConfigurationError("mean downtime cannot be negative")
+    if events_per_year < 0:
+        raise ConfigurationError("event rate cannot be negative")
+    if outage_cost_per_hour < 0 or unsafe_cost_per_hour < 0:
+        raise ConfigurationError("hourly costs cannot be negative")
+    model = cost_model or CostModel()
+    outage = events_per_year * (
+        mean_unavailable_h_per_event * outage_cost_per_hour
+        + mean_unsafe_h_per_event * unsafe_cost_per_hour
+    )
+    return TotalCostAssessment(
+        architecture_name=architecture.name,
+        annual_deployment_cost=model.annual_cost(architecture),
+        expected_annual_outage_cost=outage,
+    )

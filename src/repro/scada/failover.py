@@ -1,0 +1,62 @@
+"""Cold-backup failover timing (the cost of the orange state).
+
+Primary-backup architectures restore operation by activating a cold backup,
+which takes minutes (paper Section IV-A).  The analysis framework keeps the
+orange state symbolic; this module quantifies it for downtime-weighted
+availability extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # avoid a runtime scada -> core import cycle
+    from repro.core.states import OperationalState
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """Timing model for post-event service restoration.
+
+    ``cold_activation_minutes`` is how long bringing a cold backup online
+    takes (orange state).  ``red_outage_minutes`` is the assumed outage
+    until repairs restore a non-operational system (red state); gray states
+    are treated as unavailable for the full horizon because the system
+    cannot be trusted even while "up".
+    """
+
+    cold_activation_minutes: float = 10.0
+    red_outage_minutes: float = 24.0 * 60.0
+    horizon_minutes: float = 7.0 * 24.0 * 60.0
+
+    def __post_init__(self) -> None:
+        if self.cold_activation_minutes < 0:
+            raise ConfigurationError("activation time cannot be negative")
+        if self.red_outage_minutes < 0:
+            raise ConfigurationError("red outage time cannot be negative")
+        if self.horizon_minutes <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if self.cold_activation_minutes > self.horizon_minutes:
+            raise ConfigurationError("activation time exceeds the horizon")
+        if self.red_outage_minutes > self.horizon_minutes:
+            raise ConfigurationError("red outage exceeds the horizon")
+
+    def downtime_minutes(self, state: "OperationalState") -> float:
+        """Downtime charged to one event ending in ``state``."""
+        downtime_by_state = {
+            "green": 0.0,
+            "orange": self.cold_activation_minutes,
+            "red": self.red_outage_minutes,
+            "gray": self.horizon_minutes,  # untrusted for the full horizon
+        }
+        try:
+            return downtime_by_state[state.value]
+        except KeyError:
+            raise ConfigurationError(f"unknown operational state {state!r}") from None
+
+    def availability(self, state: OperationalState) -> float:
+        """Fraction of the horizon the system is usable after the event."""
+        return 1.0 - self.downtime_minutes(state) / self.horizon_minutes

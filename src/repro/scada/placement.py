@@ -1,0 +1,94 @@
+"""Placements: assigning architecture site slots to geographic assets.
+
+A placement names the assets that host each control-site slot.  The same
+placement is shared across all five paper configurations: "2" and "6" use
+only the primary, "2-2" and "6-6" add the backup, and "6+6+6" adds the
+data center(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.geo.catalog import AssetCatalog
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.scada.architectures import ArchitectureFamily, ArchitectureSpec, SiteRole
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Asset names hosting the primary, backup, and data-center slots.
+
+    ``extra_backups`` supplies additional backup-role slots for
+    architectures beyond the paper's five (e.g. a five-site active
+    deployment with two backup control centers).
+    """
+
+    primary: str
+    backup: str | None = None
+    data_centers: tuple[str, ...] = field(default=())
+    extra_backups: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        names = self._all_names()
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"placement assigns the same asset to multiple slots: {names}"
+            )
+
+    def _all_names(self) -> list[str]:
+        names = [self.primary]
+        if self.backup is not None:
+            names.append(self.backup)
+        names.extend(self.extra_backups)
+        names.extend(self.data_centers)
+        return names
+
+    def label(self) -> str:
+        """Short human-readable label, e.g. for figure captions."""
+        return " + ".join(self._all_names())
+
+    def sites_for(self, architecture: ArchitectureSpec) -> tuple[str, ...]:
+        """Asset names aligned with the architecture's site slots.
+
+        Raises :class:`ConfigurationError` if the placement does not supply
+        enough assets for the architecture's slots.
+        """
+        backups = [self.backup] if self.backup is not None else []
+        backups.extend(self.extra_backups)
+        pools: dict[SiteRole, list[str]] = {
+            SiteRole.PRIMARY: [self.primary],
+            SiteRole.BACKUP: list(backups),
+            SiteRole.DATA_CENTER: list(self.data_centers),
+        }
+        assigned: list[str] = []
+        for slot in architecture.sites:
+            pool = pools[slot.role]
+            if not pool:
+                raise ConfigurationError(
+                    f"placement {self.label()!r} has no remaining asset for a "
+                    f"{slot.role.value!r} slot of architecture "
+                    f"{architecture.name!r}"
+                )
+            assigned.append(pool.pop(0))
+        return tuple(assigned)
+
+    def validate_against(self, catalog: AssetCatalog) -> None:
+        """Check every placed asset exists and can host control software."""
+        for name in self._all_names():
+            asset = catalog.get(name)  # raises TopologyError if missing
+            if not asset.role.is_control_site:
+                raise TopologyError(
+                    f"asset {name!r} has role {asset.role.value!r} and cannot "
+                    "host SCADA masters"
+                )
+
+
+# The two placements studied by the paper (Sections VI and VII).
+PLACEMENT_WAIAU = Placement(
+    primary=HONOLULU_CC, backup=WAIAU_CC, data_centers=(DRFORTRESS,)
+)
+PLACEMENT_KAHE = Placement(
+    primary=HONOLULU_CC, backup=KAHE_CC, data_centers=(DRFORTRESS,)
+)

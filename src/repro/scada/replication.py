@@ -1,0 +1,136 @@
+"""Replication sizing math for intrusion-tolerant SCADA.
+
+The intrusion-tolerant architectures in the paper come from the Spire line
+of work (Kirsch et al. 2014; Babay et al. 2018): a replicated SCADA master
+needs ``n = 3f + 2k + 1`` replicas to stay safe and live with up to ``f``
+simultaneous Byzantine intrusions while ``k`` replicas are down for
+proactive recovery.  The paper's configuration "6" is exactly f=1, k=1.
+
+For multi-site active replication ("6+6+6"), the system must keep a live
+quorum after losing any one site, which is why 6 replicas are placed in
+each of 3 sites: any 2 sites hold 12 replicas, and ``12 - f - k = 10``
+meets the quorum of 10 out of 18.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def replicas_for_safety(intrusions_f: int, recoveries_k: int = 0) -> int:
+    """Minimum replicas for safety+liveness: ``3f + 2k + 1``."""
+    if intrusions_f < 0 or recoveries_k < 0:
+        raise ConfigurationError("f and k cannot be negative")
+    return 3 * intrusions_f + 2 * recoveries_k + 1
+
+
+def quorum_size(total_replicas: int, intrusions_f: int) -> int:
+    """Byzantine quorum: ``ceil((n + f + 1) / 2)``.
+
+    Any two quorums intersect in at least ``f + 1`` replicas, so at least
+    one correct replica witnesses both -- the standard BFT safety argument.
+    """
+    if total_replicas < 1:
+        raise ConfigurationError("total replicas must be positive")
+    if intrusions_f < 0:
+        raise ConfigurationError("f cannot be negative")
+    if total_replicas < replicas_for_safety(intrusions_f):
+        raise ConfigurationError(
+            f"{total_replicas} replicas cannot tolerate f={intrusions_f} "
+            f"(need at least {replicas_for_safety(intrusions_f)})"
+        )
+    return math.ceil((total_replicas + intrusions_f + 1) / 2)
+
+
+def can_make_progress(
+    available_replicas: int,
+    total_replicas: int,
+    intrusions_f: int,
+    recoveries_k: int = 0,
+) -> bool:
+    """Whether a replica group can order updates.
+
+    ``available_replicas`` are connected and powered; of those, up to ``f``
+    may be Byzantine (they may refuse to help) and up to ``k`` may be down
+    for proactive recovery, so the correct-and-present count must still
+    reach the quorum.
+    """
+    if available_replicas < 0 or available_replicas > total_replicas:
+        raise ConfigurationError(
+            f"available replicas {available_replicas} outside "
+            f"[0, {total_replicas}]"
+        )
+    q = quorum_size(total_replicas, intrusions_f)
+    return available_replicas - intrusions_f - recoveries_k >= q
+
+
+@dataclass(frozen=True)
+class MultiSiteSizing:
+    """Sizing of an active multi-site replication deployment."""
+
+    num_sites: int
+    replicas_per_site: int
+    intrusions_f: int
+    recoveries_k: int
+
+    def __post_init__(self) -> None:
+        if self.num_sites < 3:
+            raise ConfigurationError(
+                "active multi-site replication needs at least 3 sites to "
+                "survive one site loss without downtime"
+            )
+        if self.replicas_per_site < 1:
+            raise ConfigurationError("each site needs at least one replica")
+        if not self.survives_site_losses(1):
+            raise ConfigurationError(
+                f"{self.num_sites} sites x {self.replicas_per_site} replicas "
+                f"cannot make progress after one site loss with "
+                f"f={self.intrusions_f}, k={self.recoveries_k}"
+            )
+
+    @property
+    def total_replicas(self) -> int:
+        return self.num_sites * self.replicas_per_site
+
+    @property
+    def quorum(self) -> int:
+        return quorum_size(self.total_replicas, self.intrusions_f)
+
+    def survives_site_losses(self, lost_sites: int) -> bool:
+        """Whether progress continues after losing ``lost_sites`` sites."""
+        if lost_sites < 0 or lost_sites > self.num_sites:
+            raise ConfigurationError(
+                f"lost sites {lost_sites} outside [0, {self.num_sites}]"
+            )
+        remaining = (self.num_sites - lost_sites) * self.replicas_per_site
+        return can_make_progress(
+            remaining, self.total_replicas, self.intrusions_f, self.recoveries_k
+        )
+
+    def min_sites_for_progress(self) -> int:
+        """Smallest number of functioning sites that can still order updates."""
+        for up in range(1, self.num_sites + 1):
+            lost = self.num_sites - up
+            if self.survives_site_losses(lost):
+                return up
+        raise ConfigurationError(
+            "deployment cannot make progress even with all sites up"
+        )  # pragma: no cover - excluded by __post_init__
+
+
+def spire_sizing(num_sites: int = 3, intrusions_f: int = 1, recoveries_k: int = 1) -> MultiSiteSizing:
+    """The Spire-style sizing: ``3f + 2k + 1`` replicas in *every* site.
+
+    Placing a full safety group per site is conservative but keeps any
+    surviving pair of sites comfortably above quorum -- it is exactly the
+    paper's "6+6+6" for the defaults.
+    """
+    return MultiSiteSizing(
+        num_sites=num_sites,
+        replicas_per_site=replicas_for_safety(intrusions_f, recoveries_k),
+        intrusions_f=intrusions_f,
+        recoveries_k=recoveries_k,
+    )

@@ -1,0 +1,38 @@
+"""Control-site placement optimization (paper Section VII future work)."""
+
+from repro.siting.candidates import control_site_candidates
+from repro.siting.objectives import (
+    GREEN_OBJECTIVE,
+    OPERATIONAL_OBJECTIVE,
+    ROBUST_GREEN_OBJECTIVE,
+    SAFETY_OBJECTIVE,
+    SitingObjective,
+    expected_availability,
+    prob_eventually_operational,
+    prob_green,
+    prob_safe,
+)
+from repro.siting.optimizer import PlacementOptimizer, SitingResult
+from repro.siting.pareto import (
+    DeploymentPoint,
+    evaluate_deployments,
+    pareto_frontier,
+)
+
+__all__ = [
+    "control_site_candidates",
+    "SitingObjective",
+    "GREEN_OBJECTIVE",
+    "OPERATIONAL_OBJECTIVE",
+    "SAFETY_OBJECTIVE",
+    "ROBUST_GREEN_OBJECTIVE",
+    "prob_green",
+    "prob_eventually_operational",
+    "prob_safe",
+    "expected_availability",
+    "PlacementOptimizer",
+    "SitingResult",
+    "DeploymentPoint",
+    "evaluate_deployments",
+    "pareto_frontier",
+]

@@ -1,0 +1,31 @@
+"""Candidate locations for hosting SCADA control software."""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.geo.catalog import AssetCatalog, AssetRole
+
+
+def control_site_candidates(
+    catalog: AssetCatalog,
+    include_plants: bool = False,
+    exclude: frozenset[str] = frozenset(),
+) -> list[str]:
+    """Asset names that could host a control site.
+
+    By default: existing control centers and commercial data centers.
+    ``include_plants=True`` adds power plants, modelling the option of
+    building a hardened control room at a plant (the paper's Kahe backup
+    is exactly this kind of siting).
+    """
+    roles = {AssetRole.CONTROL_CENTER, AssetRole.DATA_CENTER}
+    if include_plants:
+        roles.add(AssetRole.POWER_PLANT)
+    names = [
+        asset.name
+        for asset in catalog
+        if asset.role in roles and asset.name not in exclude
+    ]
+    if not names:
+        raise TopologyError("no candidate control sites in the catalog")
+    return names

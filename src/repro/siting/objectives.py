@@ -1,0 +1,79 @@
+"""Objectives for control-site placement optimization.
+
+The paper's future-work question: *how should we choose additional
+control site locations to maximize availability under compound threats?*
+An objective maps the operational profiles a placement achieves (one per
+threat scenario) to a single score to maximize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.core.outcomes import OperationalProfile
+from repro.core.states import OperationalState
+from repro.errors import AnalysisError
+from repro.scada.failover import FailoverPolicy
+
+ProfileScore = Callable[[OperationalProfile], float]
+
+
+def prob_green(profile: OperationalProfile) -> float:
+    """Probability of uninterrupted, fully operational service."""
+    return profile.probability(OperationalState.GREEN)
+
+
+def prob_eventually_operational(profile: OperationalProfile) -> float:
+    """Probability the system serves after at most a failover (green or
+    orange)."""
+    return profile.probability(OperationalState.GREEN) + profile.probability(
+        OperationalState.ORANGE
+    )
+
+
+def prob_safe(profile: OperationalProfile) -> float:
+    """Probability the system never behaves incorrectly (not gray)."""
+    return 1.0 - profile.probability(OperationalState.GRAY)
+
+
+def expected_availability(policy: FailoverPolicy | None = None) -> ProfileScore:
+    """Downtime-weighted availability under a failover timing policy."""
+    chosen = policy or FailoverPolicy()
+
+    def score(profile: OperationalProfile) -> float:
+        return profile.expected_availability(chosen)
+
+    return score
+
+
+@dataclass(frozen=True)
+class SitingObjective:
+    """A named profile score aggregated across threat scenarios.
+
+    ``aggregate`` is "mean" (balanced) or "min" (worst-scenario robust).
+    """
+
+    name: str
+    profile_score: ProfileScore
+    aggregate: str = "mean"
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in ("mean", "min"):
+            raise AnalysisError(
+                f"aggregate must be 'mean' or 'min', not {self.aggregate!r}"
+            )
+
+    def score(self, profiles: Mapping[str, OperationalProfile]) -> float:
+        if not profiles:
+            raise AnalysisError("no profiles to score")
+        values = [self.profile_score(p) for p in profiles.values()]
+        return min(values) if self.aggregate == "min" else sum(values) / len(values)
+
+
+GREEN_OBJECTIVE = SitingObjective("prob-green", prob_green)
+OPERATIONAL_OBJECTIVE = SitingObjective(
+    "prob-eventually-operational", prob_eventually_operational
+)
+SAFETY_OBJECTIVE = SitingObjective("prob-safe", prob_safe)
+ROBUST_GREEN_OBJECTIVE = SitingObjective("worst-scenario-green", prob_green, "min")

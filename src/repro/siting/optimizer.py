@@ -1,0 +1,126 @@
+"""Placement search: which sites should host the control system?
+
+Answers the paper's Section VII question with the framework itself as the
+evaluation oracle: every candidate placement is scored by running the
+full compound-threat analysis (ensemble x scenarios) and aggregating an
+objective over the resulting operational profiles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.threat import ThreatScenario
+from repro.errors import AnalysisError
+from repro.scada.architectures import ArchitectureSpec
+from repro.scada.placement import Placement
+from repro.siting.objectives import GREEN_OBJECTIVE, SitingObjective
+
+
+@dataclass(frozen=True)
+class SitingResult:
+    """One evaluated placement."""
+
+    placement: Placement
+    score: float
+    profile_summaries: tuple[tuple[str, str], ...]  # (scenario, summary)
+
+    def __str__(self) -> str:
+        return f"{self.placement.label()}: {self.score:.4f}"
+
+
+class PlacementOptimizer:
+    """Searches placements for one architecture under given scenarios."""
+
+    def __init__(
+        self,
+        analysis: CompoundThreatAnalysis,
+        architecture: ArchitectureSpec,
+        scenarios: Sequence[ThreatScenario],
+        objective: SitingObjective = GREEN_OBJECTIVE,
+    ) -> None:
+        if not scenarios:
+            raise AnalysisError("siting needs at least one threat scenario")
+        self.analysis = analysis
+        self.architecture = architecture
+        self.scenarios = list(scenarios)
+        self.objective = objective
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def evaluate(self, placement: Placement) -> SitingResult:
+        profiles = {
+            scenario.name: self.analysis.run(self.architecture, placement, scenario)
+            for scenario in self.scenarios
+        }
+        return SitingResult(
+            placement=placement,
+            score=self.objective.score(profiles),
+            profile_summaries=tuple(
+                (name, profile.summary()) for name, profile in profiles.items()
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Searches
+    # ------------------------------------------------------------------
+    def rank_backups(
+        self,
+        primary: str,
+        candidates: Sequence[str],
+        data_centers: tuple[str, ...] = (),
+    ) -> list[SitingResult]:
+        """Score every candidate backup site, best first.
+
+        Reproduces the paper's Waiau-vs-Kahe comparison when given those
+        two candidates, and answers "where should the backup go?" for any
+        candidate list.
+        """
+        results = []
+        for candidate in candidates:
+            if candidate == primary or candidate in data_centers:
+                continue
+            placement = Placement(
+                primary=primary, backup=candidate, data_centers=data_centers
+            )
+            results.append(self.evaluate(placement))
+        if not results:
+            raise AnalysisError("no usable backup candidates")
+        return sorted(results, key=lambda r: (-r.score, r.placement.label()))
+
+    def best_full_placement(
+        self,
+        candidates: Sequence[str],
+        data_center_slots: int = 1,
+    ) -> SitingResult:
+        """Exhaustive search over (primary, backup, data centers).
+
+        Exponential in slots but candidate lists are small (the island
+        has a handful of hardened facilities).
+        """
+        sites_needed = 2 + data_center_slots
+        if len(candidates) < sites_needed:
+            raise AnalysisError(
+                f"{len(candidates)} candidates cannot fill {sites_needed} slots"
+            )
+        best: SitingResult | None = None
+        for combo in itertools.permutations(candidates, sites_needed):
+            primary, backup = combo[0], combo[1]
+            data_centers = tuple(sorted(combo[2:]))
+            placement = Placement(primary, backup, data_centers)
+            result = self.evaluate(placement)
+            if (
+                best is None
+                or result.score > best.score + 1e-12
+                or (
+                    abs(result.score - best.score) <= 1e-12
+                    and result.placement.label() < best.placement.label()
+                )
+            ):
+                best = result
+        assert best is not None
+        return best

@@ -1,0 +1,84 @@
+"""Cost-resilience Pareto analysis across deployments.
+
+A planner ultimately picks a point on the cost/resilience frontier.
+This module evaluates (architecture, placement) candidates on two axes --
+annual deployment cost and a resilience objective over the threat
+scenarios -- and returns the non-dominated set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.threat import ThreatScenario
+from repro.errors import AnalysisError
+from repro.scada.architectures import ArchitectureSpec
+from repro.scada.cost import CostModel
+from repro.scada.placement import Placement
+from repro.siting.objectives import GREEN_OBJECTIVE, SitingObjective
+
+
+@dataclass(frozen=True)
+class DeploymentPoint:
+    """One candidate deployment on the cost/resilience plane."""
+
+    architecture_name: str
+    placement_label: str
+    annual_cost: float
+    resilience: float
+
+    def dominates(self, other: "DeploymentPoint") -> bool:
+        """No worse on both axes and strictly better on at least one."""
+        no_worse = (
+            self.annual_cost <= other.annual_cost
+            and self.resilience >= other.resilience
+        )
+        strictly_better = (
+            self.annual_cost < other.annual_cost
+            or self.resilience > other.resilience
+        )
+        return no_worse and strictly_better
+
+
+def evaluate_deployments(
+    analysis: CompoundThreatAnalysis,
+    candidates: Sequence[tuple[ArchitectureSpec, Placement]],
+    scenarios: Sequence[ThreatScenario],
+    objective: SitingObjective = GREEN_OBJECTIVE,
+    cost_model: CostModel | None = None,
+) -> list[DeploymentPoint]:
+    """Score every candidate on (annual cost, resilience objective)."""
+    if not candidates:
+        raise AnalysisError("no candidate deployments")
+    if not scenarios:
+        raise AnalysisError("no threat scenarios")
+    model = cost_model or CostModel()
+    points = []
+    for architecture, placement in candidates:
+        profiles = {
+            scenario.name: analysis.run(architecture, placement, scenario)
+            for scenario in scenarios
+        }
+        points.append(
+            DeploymentPoint(
+                architecture_name=architecture.name,
+                placement_label=placement.label(),
+                annual_cost=model.annual_cost(architecture),
+                resilience=objective.score(profiles),
+            )
+        )
+    return points
+
+
+def pareto_frontier(points: Sequence[DeploymentPoint]) -> list[DeploymentPoint]:
+    """The non-dominated subset, cheapest first."""
+    if not points:
+        raise AnalysisError("no points to filter")
+    frontier = [
+        p
+        for p in points
+        if not any(other.dominates(p) for other in points if other is not p)
+    ]
+    return sorted(frontier, key=lambda p: (p.annual_cost, -p.resilience))

@@ -1,0 +1,65 @@
+"""Terminal visualization: stacked bar charts for operational profiles.
+
+Renders the paper's figures as ASCII stacked bars (one bar per SCADA
+configuration, one block character run per operational state).  Pure text
+so benchmarks and the CLI can display results in any terminal or log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.outcomes import OperationalProfile
+from repro.core.states import STATE_ORDER, OperationalState
+
+_STATE_GLYPHS: dict[OperationalState, str] = {
+    OperationalState.GREEN: "#",
+    OperationalState.ORANGE: "o",
+    OperationalState.RED: "x",
+    OperationalState.GRAY: ".",
+}
+
+
+def profile_bar(profile: OperationalProfile, width: int = 50) -> str:
+    """One stacked bar: glyph runs proportional to state probabilities.
+
+    Every nonzero state is guaranteed at least one cell, so rare outcomes
+    stay visible; the remaining cells are apportioned by largest
+    remainder so the total is exactly ``width``.
+    """
+    if width < 4:
+        raise ValueError("bar width must be at least 4")
+    probs = profile.probabilities()
+    runs = {state: (1 if probs[state] > 0 else 0) for state in STATE_ORDER}
+    spare = width - sum(runs.values())
+    ideals = {state: probs[state] * spare for state in STATE_ORDER}
+    for state in STATE_ORDER:
+        runs[state] += int(ideals[state])
+    leftover = width - sum(runs.values())
+    by_remainder = sorted(
+        STATE_ORDER, key=lambda s: ideals[s] - int(ideals[s]), reverse=True
+    )
+    for state in by_remainder[:leftover]:
+        runs[state] += 1
+    return "".join(_STATE_GLYPHS[s] * runs[s] for s in STATE_ORDER)
+
+
+def profile_chart(
+    profiles: Mapping[str, OperationalProfile],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """A figure-style chart: one labeled stacked bar per configuration."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    label_width = max((len(name) for name in profiles), default=0)
+    for name, profile in profiles.items():
+        bar = profile_bar(profile, width)
+        lines.append(f"{name:>{label_width}} |{bar}| {profile.summary()}")
+    legend = "  ".join(
+        f"{_STATE_GLYPHS[s]}={s.value}" for s in STATE_ORDER
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

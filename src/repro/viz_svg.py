@@ -1,0 +1,114 @@
+"""SVG renderings of the paper's figures (no plotting dependencies).
+
+Generates self-contained SVG stacked-bar charts matching the paper's
+figure style: one horizontal bar per configuration, colored by
+operational state.  Written by hand-assembling SVG elements so the
+library stays dependency-free offline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.outcomes import OperationalProfile
+from repro.core.states import STATE_ORDER, OperationalState
+
+_STATE_COLORS: dict[OperationalState, str] = {
+    OperationalState.GREEN: "#2e8b57",
+    OperationalState.ORANGE: "#e8912d",
+    OperationalState.RED: "#c0392b",
+    OperationalState.GRAY: "#7f8c8d",
+}
+
+_BAR_HEIGHT = 26
+_BAR_GAP = 12
+_LABEL_WIDTH = 80
+_CHART_WIDTH = 480
+_MARGIN = 16
+_LEGEND_HEIGHT = 34
+_TITLE_HEIGHT = 30
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_profile_chart_svg(
+    profiles: Mapping[str, OperationalProfile],
+    title: str = "",
+) -> str:
+    """An SVG document: one stacked probability bar per configuration."""
+    rows = list(profiles.items())
+    height = (
+        _TITLE_HEIGHT
+        + len(rows) * (_BAR_HEIGHT + _BAR_GAP)
+        + _LEGEND_HEIGHT
+        + _MARGIN
+    )
+    width = _LABEL_WIDTH + _CHART_WIDTH + 2 * _MARGIN
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN}" y="{_MARGIN + 6}" font-size="14" '
+            f'font-weight="bold">{_escape(title)}</text>'
+        )
+    y = _TITLE_HEIGHT
+    for name, profile in rows:
+        parts.append(
+            f'<text x="{_MARGIN + _LABEL_WIDTH - 8}" y="{y + _BAR_HEIGHT * 0.7:.1f}" '
+            f'font-size="12" text-anchor="end">{_escape(name)}</text>'
+        )
+        x = float(_MARGIN + _LABEL_WIDTH)
+        for state in STATE_ORDER:
+            probability = profile.probability(state)
+            if probability <= 0.0:
+                continue
+            segment = probability * _CHART_WIDTH
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{segment:.2f}" '
+                f'height="{_BAR_HEIGHT}" fill="{_STATE_COLORS[state]}">'
+                f"<title>{_escape(name)}: {state.value} "
+                f"{probability:.1%}</title></rect>"
+            )
+            if probability >= 0.08:
+                parts.append(
+                    f'<text x="{x + segment / 2:.2f}" '
+                    f'y="{y + _BAR_HEIGHT * 0.7:.1f}" font-size="11" '
+                    f'fill="white" text-anchor="middle">'
+                    f"{probability:.1%}</text>"
+                )
+            x += segment
+        y += _BAR_HEIGHT + _BAR_GAP
+
+    legend_x = float(_MARGIN + _LABEL_WIDTH)
+    legend_y = y + 6
+    for state in STATE_ORDER:
+        parts.append(
+            f'<rect x="{legend_x:.1f}" y="{legend_y}" width="14" height="14" '
+            f'fill="{_STATE_COLORS[state]}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 18:.1f}" y="{legend_y + 11}" '
+            f'font-size="11">{state.value}</text>'
+        )
+        legend_x += 95
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_profile_chart_svg(
+    profiles: Mapping[str, OperationalProfile],
+    path: str | Path,
+    title: str = "",
+) -> Path:
+    """Render and write the chart; returns the written path."""
+    path = Path(path)
+    path.write_text(render_profile_chart_svg(profiles, title))
+    return path

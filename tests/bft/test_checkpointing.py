@@ -1,0 +1,86 @@
+"""Tests for checkpointing and protocol-state garbage collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bft.engine import BFTCluster, ClusterSpec
+from repro.bft.replica import Behavior
+from repro.errors import ProtocolError
+
+
+def run_workload(cluster: BFTCluster, requests: int = 60):
+    cluster.submit_workload(requests, interval_ms=20.0)
+    return cluster.run(duration_ms=60_000.0)
+
+
+class TestCheckpointing:
+    def test_stable_checkpoint_advances(self):
+        cluster = BFTCluster(ClusterSpec())
+        report = run_workload(cluster, requests=60)
+        assert report.safety_ok and report.ordered_everywhere
+        # Default interval 20: at 60 executions the stable checkpoint has
+        # reached at least 40 on every correct replica.
+        for replica in cluster.replicas:
+            assert replica.stable_checkpoint_seq >= 40
+
+    def test_protocol_state_is_truncated(self):
+        cluster = BFTCluster(ClusterSpec())
+        run_workload(cluster, requests=60)
+        for replica in cluster.replicas:
+            stable = replica.stable_checkpoint_seq
+            assert all(seq >= stable for seq in replica.committed)
+            assert all(key[1] >= stable for key in replica.prepare_votes)
+            assert all(key[1] >= stable for key in replica.commit_votes)
+            assert all(seq >= stable for seq in replica.accepted)
+
+    def test_executed_log_untouched_by_truncation(self):
+        # Truncation drops protocol staging state, never the application
+        # log: every replica still holds the complete executed history.
+        cluster = BFTCluster(ClusterSpec())
+        run_workload(cluster, requests=60)
+        for replica in cluster.replicas:
+            assert len(replica.executed) == 60
+            seqs = [seq for seq, _, _ in replica.executed]
+            assert seqs == sorted(seqs)
+
+    def test_bounded_state_versus_no_checkpointing(self):
+        # The point of checkpointing: staging state stays bounded.
+        checkpointed = BFTCluster(ClusterSpec())
+        run_workload(checkpointed, requests=80)
+        replica = checkpointed.replicas[1]
+        assert len(replica.commit_votes) < 80
+        assert len(replica.prepare_votes) < 160
+
+    def test_checkpointing_with_byzantine_replica(self):
+        cluster = BFTCluster(ClusterSpec(), byzantine={3: Behavior.EQUIVOCATE})
+        report = run_workload(cluster, requests=60)
+        assert report.safety_ok and report.ordered_everywhere
+        correct = [r for r in cluster.replicas if r.is_correct]
+        assert all(r.stable_checkpoint_seq >= 40 for r in correct)
+
+    def test_checkpointing_with_recovery(self):
+        cluster = BFTCluster(ClusterSpec())
+        cluster.enable_proactive_recovery(period_ms=1500.0, recovery_duration_ms=200.0)
+        report = run_workload(cluster, requests=60)
+        assert report.safety_ok and report.ordered_everywhere
+
+    def test_forged_checkpoint_votes_insufficient(self):
+        # A single Byzantine replica cannot stabilize a bogus checkpoint:
+        # quorum is 4 of 6.
+        from repro.bft.messages import Checkpoint
+
+        cluster = BFTCluster(ClusterSpec())
+        replica = cluster.replicas[1]
+        replica._handle_checkpoint(Checkpoint(100, "ckpt:100:forged", sender=5))
+        assert replica.stable_checkpoint_seq == 0
+
+    def test_invalid_interval_rejected(self):
+        from repro.bft.network_sim import SimNetwork
+        from repro.bft.replica import Replica
+        from repro.des.simulator import Simulator
+
+        sim = Simulator()
+        net = SimNetwork(sim, {i: "s" for i in range(6)})
+        with pytest.raises(ProtocolError):
+            Replica(0, 6, 1, 1, net, sim, checkpoint_interval=0)

@@ -1,0 +1,120 @@
+"""Tests for the intrusion-tolerant SCADA client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bft.client import SCADAClient
+from repro.bft.engine import BFTCluster, ClusterSpec
+from repro.bft.replica import Behavior
+from repro.errors import ProtocolError
+
+
+def make_client(cluster: BFTCluster) -> SCADAClient:
+    return SCADAClient(
+        cluster.simulator, cluster.replicas, f=cluster.spec.f
+    )
+
+
+class TestConfirmation:
+    def test_healthy_cluster_confirms(self):
+        cluster = BFTCluster(ClusterSpec())
+        client = make_client(cluster)
+        rid = client.submit("open-breaker-12", at_ms=0.0)
+        cluster.run(duration_ms=5_000.0)
+        assert client.is_confirmed(rid)
+        assert client.confirmed_count == 1
+        assert client.latency_ms(rid) > 0.0
+
+    def test_latency_is_protocol_round_trips(self):
+        # Three message rounds plus reply: a few intra-site latencies.
+        cluster = BFTCluster(ClusterSpec())
+        client = make_client(cluster)
+        rid = client.submit("cmd", at_ms=0.0)
+        cluster.run(duration_ms=5_000.0)
+        assert 2.0 <= client.latency_ms(rid) <= 50.0
+
+    def test_multiple_requests_all_confirm(self):
+        cluster = BFTCluster(ClusterSpec())
+        client = make_client(cluster)
+        ids = [client.submit(f"cmd-{i}", at_ms=i * 20.0) for i in range(10)]
+        cluster.run(duration_ms=20_000.0)
+        assert all(client.is_confirmed(rid) for rid in ids)
+        stats = client.latency_stats_ms()
+        assert stats["mean"] > 0.0
+        assert stats["p95"] >= stats["median"]
+
+    def test_confirms_despite_byzantine_replica(self):
+        cluster = BFTCluster(ClusterSpec(), byzantine={2: Behavior.SILENT})
+        client = make_client(cluster)
+        rid = client.submit("cmd", at_ms=0.0)
+        cluster.run(duration_ms=10_000.0)
+        assert client.is_confirmed(rid)
+
+    def test_confirms_across_sites(self):
+        cluster = BFTCluster(
+            ClusterSpec(sites=("a", "b", "c"), replicas_per_site=6)
+        )
+        client = make_client(cluster)
+        rid = client.submit("cmd", at_ms=0.0)
+        cluster.run(duration_ms=10_000.0)
+        assert client.is_confirmed(rid)
+
+    def test_stalled_cluster_never_confirms(self):
+        cluster = BFTCluster(
+            ClusterSpec(sites=("a", "b", "c"), replicas_per_site=6)
+        )
+        cluster.flood_site("a")
+        cluster.flood_site("b")
+        client = make_client(cluster)
+        rid = client.submit("cmd", at_ms=0.0)
+        cluster.run(duration_ms=10_000.0)
+        assert not client.is_confirmed(rid)
+        with pytest.raises(ProtocolError):
+            client.latency_ms(rid)
+
+
+class TestReplyQuorum:
+    def test_forged_replies_below_quorum_rejected(self):
+        # f Byzantine replicas (here f=1) cannot confirm a forged outcome:
+        # the client demands f+1 matching reports.
+        cluster = BFTCluster(ClusterSpec())
+        client = make_client(cluster)
+        rid = client.submit("cmd", at_ms=0.0)
+        cluster.simulator.run(until=0.0)  # execute the broadcast event
+        # Deliver a forged report from a single (Byzantine) replica
+        # before the real protocol completes.
+        client.receive_reply(5, rid, f"d{rid}:forged-outcome")
+        assert not client.is_confirmed(rid)
+        cluster.run(duration_ms=5_000.0)
+        assert client.is_confirmed(rid)
+        # The confirmed digest is the genuine one, not the forgery.
+        assert client._pending[rid].confirmed_digest == f"d{rid}:cmd"
+
+    def test_late_replies_ignored_after_confirmation(self):
+        cluster = BFTCluster(ClusterSpec())
+        client = make_client(cluster)
+        rid = client.submit("cmd", at_ms=0.0)
+        cluster.run(duration_ms=5_000.0)
+        confirmed_at = client._pending[rid].confirmed_at
+        client.receive_reply(0, rid, f"d{rid}:cmd")
+        assert client._pending[rid].confirmed_at == confirmed_at
+
+    def test_unknown_request_reply_ignored(self):
+        cluster = BFTCluster(ClusterSpec())
+        client = make_client(cluster)
+        client.receive_reply(0, 999, "d999:x")  # no crash, no state
+        assert client.submitted_count == 0
+
+
+class TestValidation:
+    def test_needs_replicas(self):
+        cluster = BFTCluster(ClusterSpec())
+        with pytest.raises(ProtocolError):
+            SCADAClient(cluster.simulator, [], f=1)
+
+    def test_stats_require_confirmations(self):
+        cluster = BFTCluster(ClusterSpec())
+        client = make_client(cluster)
+        with pytest.raises(ProtocolError):
+            client.latency_stats_ms()

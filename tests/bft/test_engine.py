@@ -1,0 +1,172 @@
+"""End-to-end tests of the BFT cluster under the compound-threat faults.
+
+These demonstrate the properties the analysis framework's Table-I rules
+assume of the intrusion-tolerant architectures: the "6" configuration
+stays safe and live with one Byzantine replica and proactive recovery,
+and the "6+6+6" configuration additionally rides through the loss or
+isolation of a full site.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bft.engine import BFTCluster, ClusterSpec
+from repro.bft.replica import Behavior
+from repro.errors import ProtocolError
+
+SPIRE_SITES = ("control-center-1", "control-center-2", "data-center")
+
+
+def run_cluster(cluster: BFTCluster, requests: int = 15, duration: float = 60_000.0):
+    cluster.submit_workload(requests, interval_ms=50.0)
+    return cluster.run(duration)
+
+
+class TestHealthyCluster:
+    def test_all_replicas_order_everything(self):
+        report = run_cluster(BFTCluster(ClusterSpec()))
+        assert report.safety_ok
+        assert report.ordered_everywhere
+        assert set(report.executed_counts.values()) == {15}
+
+    def test_logs_identical_across_replicas(self):
+        cluster = BFTCluster(ClusterSpec())
+        run_cluster(cluster)
+        reference = cluster.executed_payloads(0)
+        assert reference  # non-empty
+        for rid in range(1, cluster.spec.total_replicas):
+            assert cluster.executed_payloads(rid) == reference
+
+
+class TestByzantineReplicas:
+    def test_silent_backup_tolerated(self):
+        report = run_cluster(
+            BFTCluster(ClusterSpec(), byzantine={3: Behavior.SILENT})
+        )
+        assert report.safety_ok
+        assert report.ordered_everywhere
+
+    def test_silent_primary_rotated_out(self):
+        # Replica 0 is the initial primary; a silent primary forces a
+        # view change, after which ordering resumes.
+        report = run_cluster(
+            BFTCluster(ClusterSpec(), byzantine={0: Behavior.SILENT})
+        )
+        assert report.safety_ok
+        assert report.ordered_everywhere
+
+    def test_equivocating_primary_cannot_break_safety(self):
+        cluster = BFTCluster(ClusterSpec(), byzantine={0: Behavior.EQUIVOCATE})
+        report = run_cluster(cluster)
+        assert report.safety_ok
+        assert report.ordered_everywhere
+        # Every genuine client update was executed by every live replica.
+        for replica in cluster.live_correct_replicas():
+            payloads = set(cluster.executed_payloads(replica.id))
+            assert {f"update-{i}" for i in range(15)} <= payloads
+
+    def test_too_many_byzantine_rejected_up_front(self):
+        with pytest.raises(ProtocolError):
+            BFTCluster(
+                ClusterSpec(),
+                byzantine={0: Behavior.SILENT, 1: Behavior.SILENT},
+            )
+
+
+class TestProactiveRecovery:
+    def test_recovery_cycles_do_not_stall_ordering(self):
+        cluster = BFTCluster(ClusterSpec())
+        cluster.enable_proactive_recovery(period_ms=2000.0, recovery_duration_ms=300.0)
+        report = run_cluster(cluster, requests=30)
+        assert report.safety_ok
+        assert report.ordered_everywhere
+        assert report.recoveries_completed >= 5
+
+    def test_recovery_plus_byzantine(self):
+        # The full f=1, k=1 design point of configuration "6".
+        cluster = BFTCluster(ClusterSpec(), byzantine={4: Behavior.EQUIVOCATE})
+        cluster.enable_proactive_recovery()
+        report = run_cluster(cluster, requests=20)
+        assert report.safety_ok
+        assert report.ordered_everywhere
+
+    def test_bad_recovery_timing_rejected(self):
+        cluster = BFTCluster(ClusterSpec())
+        with pytest.raises(ProtocolError):
+            cluster.enable_proactive_recovery(
+                period_ms=100.0, recovery_duration_ms=200.0
+            )
+
+
+class TestMultiSiteDeployment:
+    def spire(self, **kwargs) -> BFTCluster:
+        return BFTCluster(
+            ClusterSpec(sites=SPIRE_SITES, replicas_per_site=6), **kwargs
+        )
+
+    def test_healthy_three_sites(self):
+        report = run_cluster(self.spire())
+        assert report.safety_ok
+        assert report.ordered_everywhere
+
+    def test_survives_site_isolation(self):
+        cluster = self.spire()
+        cluster.isolate_site("control-center-1")
+        report = run_cluster(cluster)
+        assert report.safety_ok
+        assert report.ordered_everywhere  # remaining 12 replicas stay live
+
+    def test_survives_site_flood(self):
+        cluster = self.spire()
+        cluster.flood_site("control-center-1")
+        report = run_cluster(cluster)
+        assert report.safety_ok
+        assert report.ordered_everywhere
+
+    def test_survives_flood_plus_byzantine_plus_recovery(self):
+        # The compound-threat design point of "6+6+6": one site lost to
+        # the hurricane, one intrusion, one replica recovering.
+        cluster = self.spire(byzantine={7: Behavior.EQUIVOCATE})
+        cluster.flood_site("control-center-1")
+        cluster.enable_proactive_recovery()
+        report = run_cluster(cluster)
+        assert report.safety_ok
+        assert report.ordered_everywhere
+
+    def test_two_sites_down_stalls_but_stays_safe(self):
+        # Matches Table I: "6+6+6" with <2 sites up is red (no progress)
+        # but never gray (no incorrect execution).
+        cluster = self.spire()
+        cluster.flood_site("control-center-1")
+        cluster.flood_site("control-center-2")
+        report = run_cluster(cluster, requests=5, duration=20_000.0)
+        assert report.safety_ok
+        live_counts = [report.executed_counts[r.id] for r in cluster.live_correct_replicas()]
+        assert all(count == 0 for count in live_counts)
+
+    def test_isolated_site_replicas_make_no_progress(self):
+        cluster = self.spire()
+        cluster.isolate_site("data-center")
+        report = run_cluster(cluster, requests=5)
+        assert report.safety_ok
+        isolated_ids = [
+            rid for rid, site in cluster.network.site_of.items()
+            if site == "data-center"
+        ]
+        assert all(report.executed_counts[rid] == 0 for rid in isolated_ids)
+
+
+class TestSpecValidation:
+    def test_undersized_cluster_rejected(self):
+        with pytest.raises(ProtocolError):
+            ClusterSpec(sites=("a",), replicas_per_site=3, f=1, k=1)
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ProtocolError):
+            ClusterSpec(sites=())
+
+    def test_workload_validation(self):
+        cluster = BFTCluster(ClusterSpec())
+        with pytest.raises(ProtocolError):
+            cluster.submit_workload(0)

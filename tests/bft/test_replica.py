@@ -1,0 +1,144 @@
+"""Unit tests for the replica state machine internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bft.engine import BFTCluster, ClusterSpec
+from repro.bft.messages import ClientRequest, PrePrepare, digest_of
+from repro.bft.network_sim import SimNetwork
+from repro.bft.replica import Behavior, Replica
+from repro.des.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.scada.replication import quorum_size
+
+
+def make_replica(rid: int = 1, n: int = 6, behavior: Behavior = Behavior.CORRECT):
+    sim = Simulator()
+    net = SimNetwork(sim, {i: "site" for i in range(n)})
+    replicas = []
+    for i in range(n):
+        r = Replica(i, n, 1, 1, net, sim, behavior if i == rid else Behavior.CORRECT)
+        net.attach(i, r.on_message)
+        replicas.append(r)
+    return sim, net, replicas
+
+
+class TestConstruction:
+    def test_quorum_matches_sizing_math(self):
+        _, _, replicas = make_replica()
+        assert replicas[0].quorum == quorum_size(6, 1) == 4
+
+    def test_undersized_group_rejected(self):
+        sim = Simulator()
+        net = SimNetwork(sim, {i: "s" for i in range(4)})
+        with pytest.raises(ProtocolError):
+            Replica(0, 4, 1, 1, net, sim)
+
+    def test_bad_id_rejected(self):
+        sim = Simulator()
+        net = SimNetwork(sim, {i: "s" for i in range(6)})
+        with pytest.raises(ProtocolError):
+            Replica(6, 6, 1, 1, net, sim)
+
+    def test_primary_rotation(self):
+        _, _, replicas = make_replica()
+        r = replicas[0]
+        assert r.primary_of(0) == 0
+        assert r.primary_of(1) == 1
+        assert r.primary_of(7) == 1  # wraps modulo n
+
+
+class TestOrderingPath:
+    def test_single_request_full_protocol(self):
+        sim, _, replicas = make_replica()
+        request = ClientRequest(0, "open-breaker-7")
+        for r in replicas:
+            r.submit(request)
+        sim.run(until=5_000.0)
+        for r in replicas:
+            assert r.executed == [(0, digest_of(request), "open-breaker-7")]
+
+    def test_duplicate_submission_ordered_once(self):
+        sim, _, replicas = make_replica()
+        request = ClientRequest(0, "cmd")
+        for _ in range(3):
+            for r in replicas:
+                r.submit(request)
+        sim.run(until=5_000.0)
+        assert len(replicas[2].executed) == 1
+
+    def test_sequential_requests_keep_order(self):
+        sim, _, replicas = make_replica()
+        for i in range(5):
+            req = ClientRequest(i, f"cmd-{i}")
+            for r in replicas:
+                r.submit(req)
+        sim.run(until=10_000.0)
+        payloads = [p for _, _, p in replicas[3].executed]
+        assert payloads == [f"cmd-{i}" for i in range(5)]
+
+    def test_preprepare_from_non_primary_ignored(self):
+        sim, _, replicas = make_replica()
+        request = ClientRequest(0, "spoof")
+        bogus = PrePrepare(0, 0, digest_of(request), request, sender=3)
+        replicas[1].on_message(3, bogus)
+        sim.run(until=2_000.0)
+        assert replicas[1].accepted == {}
+
+    def test_conflicting_preprepare_triggers_view_change_vote(self):
+        sim, _, replicas = make_replica()
+        r1 = replicas[1]
+        req_a = ClientRequest(0, "a")
+        req_b = ClientRequest(1, "b")
+        r1.on_message(0, PrePrepare(0, 0, digest_of(req_a), req_a, sender=0))
+        r1.on_message(0, PrePrepare(0, 0, digest_of(req_b), req_b, sender=0))
+        assert 1 in r1.voted_for_view
+
+    def test_view_changing_replica_stops_ordering(self):
+        sim, _, replicas = make_replica()
+        r1 = replicas[1]
+        r1._vote_view_change(1)
+        assert r1._view_changing
+        req = ClientRequest(0, "x")
+        r1.on_message(0, PrePrepare(0, 0, digest_of(req), req, sender=0))
+        assert r1.accepted == {}
+
+    def test_silent_replica_never_sends(self):
+        sim, net, replicas = make_replica(rid=2, behavior=Behavior.SILENT)
+        before = net.messages_sent
+        request = ClientRequest(0, "cmd")
+        replicas[2].submit(request)
+        sim.run(until=1_000.0)
+        assert net.messages_sent == before
+
+
+class TestConflictDetection:
+    def test_conflicting_commit_raises(self):
+        _, _, replicas = make_replica()
+        r = replicas[1]
+        r.requests["dA"] = ClientRequest(0, "a")
+        r.requests["dB"] = ClientRequest(1, "b")
+        r._mark_committed(0, "dA")
+        with pytest.raises(ProtocolError):
+            r._mark_committed(0, "dB")
+
+
+class TestExecutionSemantics:
+    def test_out_of_order_commits_buffered(self):
+        _, _, replicas = make_replica()
+        r = replicas[1]
+        r.requests["d1"] = ClientRequest(1, "second")
+        r.requests["d0"] = ClientRequest(0, "first")
+        r._mark_committed(1, "d1")
+        assert r.executed == []  # waiting for seq 0
+        r._mark_committed(0, "d0")
+        assert [p for _, _, p in r.executed] == ["first", "second"]
+
+    def test_apply_once_across_seqs(self):
+        _, _, replicas = make_replica()
+        r = replicas[1]
+        r.requests["d0"] = ClientRequest(0, "dup")
+        r._mark_committed(0, "d0")
+        r._mark_committed(1, "d0")  # re-ordered after a view change
+        assert len(r.executed) == 1

@@ -1,0 +1,35 @@
+"""Shared fixtures: the standard Oahu geography and hurricane ensemble."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.oahu import build_oahu_catalog, build_oahu_region, build_oahu_terrain
+from repro.hazards.hurricane.standard import standard_oahu_ensemble
+
+
+@pytest.fixture(scope="session")
+def oahu_region():
+    return build_oahu_region()
+
+
+@pytest.fixture(scope="session")
+def oahu_terrain(oahu_region):
+    return build_oahu_terrain(oahu_region)
+
+
+@pytest.fixture(scope="session")
+def oahu_catalog():
+    return build_oahu_catalog()
+
+
+@pytest.fixture(scope="session")
+def standard_ensemble():
+    """The case study's 1000-realization ensemble (cached in-process)."""
+    return standard_oahu_ensemble()
+
+
+@pytest.fixture(scope="session")
+def small_ensemble():
+    """A 100-realization ensemble for cheaper statistical tests."""
+    return standard_oahu_ensemble(count=100, seed=7)

@@ -1,0 +1,157 @@
+"""Tests for the attack models.
+
+The central property (paper Section V-B): the greedy 3-rule algorithm
+produces the same damage severity as brute-force enumeration for every
+configuration, post-disaster state, and budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.attacker import (
+    ExhaustiveAttacker,
+    ProbabilisticAttacker,
+    WorstCaseAttacker,
+)
+from repro.core.evaluator import evaluate
+from repro.core.states import OperationalState
+from repro.core.system_state import initial_state
+from repro.core.threat import CyberAttackBudget
+from repro.errors import AnalysisError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.scada.architectures import PAPER_CONFIGURATIONS, get_architecture
+from repro.scada.placement import PLACEMENT_WAIAU
+
+ASSETS = [HONOLULU_CC, WAIAU_CC, DRFORTRESS]
+
+
+def flooded_subsets(arch):
+    """All hurricane outcomes over the sites an architecture uses."""
+    used = PLACEMENT_WAIAU.sites_for(arch)
+    for mask in itertools.product([False, True], repeat=len(used)):
+        yield {name for name, hit in zip(used, mask) if hit}
+
+
+class TestGreedyEqualsExhaustive:
+    @pytest.mark.parametrize("arch", PAPER_CONFIGURATIONS, ids=lambda a: a.name)
+    def test_all_states_and_budgets(self, arch):
+        greedy = WorstCaseAttacker()
+        brute = ExhaustiveAttacker()
+        for failed in flooded_subsets(arch):
+            base = initial_state(arch, PLACEMENT_WAIAU, failed)
+            for intrusions in range(3):
+                for isolations in range(3):
+                    budget = CyberAttackBudget(intrusions, isolations)
+                    g = evaluate(greedy.attack(base, budget))
+                    b = evaluate(brute.attack(base, budget))
+                    assert g is b, (
+                        f"{arch.name} failed={failed} budget={budget}: "
+                        f"greedy={g} exhaustive={b}"
+                    )
+
+
+class TestWorstCaseRules:
+    def test_rule1_compromises_weak_config(self):
+        state = initial_state(get_architecture("2"), PLACEMENT_WAIAU)
+        attacked = WorstCaseAttacker().attack(state, CyberAttackBudget(intrusions=1))
+        assert evaluate(attacked) is OperationalState.GRAY
+
+    def test_rule1_skipped_when_budget_insufficient(self):
+        state = initial_state(get_architecture("6"), PLACEMENT_WAIAU)
+        attacked = WorstCaseAttacker().attack(state, CyberAttackBudget(intrusions=1))
+        assert evaluate(attacked) is OperationalState.GREEN
+        assert attacked.sites[0].intrusions == 1  # rule 3 still spends it
+
+    def test_rule2_prioritizes_primary(self):
+        state = initial_state(get_architecture("2-2"), PLACEMENT_WAIAU)
+        attacked = WorstCaseAttacker().attack(state, CyberAttackBudget(isolations=1))
+        assert attacked.sites[0].isolated
+        assert not attacked.sites[1].isolated
+        assert evaluate(attacked) is OperationalState.ORANGE
+
+    def test_rule2_falls_through_to_backup(self):
+        state = initial_state(
+            get_architecture("2-2"), PLACEMENT_WAIAU, failed_assets={HONOLULU_CC}
+        )
+        attacked = WorstCaseAttacker().attack(state, CyberAttackBudget(isolations=1))
+        assert attacked.sites[1].isolated
+        assert evaluate(attacked) is OperationalState.RED
+
+    def test_rule3_hits_serving_site(self):
+        # 6-6 under the full compound budget: isolate primary, intrude the
+        # now-serving backup -> orange (paper Section VI-D).
+        state = initial_state(get_architecture("6-6"), PLACEMENT_WAIAU)
+        attacked = WorstCaseAttacker().attack(state, CyberAttackBudget(1, 1))
+        assert attacked.sites[0].isolated
+        assert attacked.sites[1].intrusions == 1
+        assert evaluate(attacked) is OperationalState.ORANGE
+
+    def test_no_attack_on_fully_flooded_system(self):
+        # Paper Section VI-B: if the hurricane already downed everything,
+        # there is nothing to intrude -- red, not gray.
+        state = initial_state(
+            get_architecture("2-2"),
+            PLACEMENT_WAIAU,
+            failed_assets={HONOLULU_CC, WAIAU_CC},
+        )
+        attacked = WorstCaseAttacker().attack(state, CyberAttackBudget(1, 1))
+        assert evaluate(attacked) is OperationalState.RED
+
+    def test_empty_budget_is_identity(self):
+        state = initial_state(get_architecture("6+6+6"), PLACEMENT_WAIAU)
+        assert WorstCaseAttacker().attack(state, CyberAttackBudget()) is state
+
+    def test_666_survives_full_compound_budget(self):
+        state = initial_state(get_architecture("6+6+6"), PLACEMENT_WAIAU)
+        attacked = WorstCaseAttacker().attack(state, CyberAttackBudget(1, 1))
+        assert evaluate(attacked) is OperationalState.GREEN
+
+    def test_666_two_intrusions_goes_gray(self):
+        state = initial_state(get_architecture("6+6+6"), PLACEMENT_WAIAU)
+        attacked = WorstCaseAttacker().attack(state, CyberAttackBudget(intrusions=2))
+        assert evaluate(attacked) is OperationalState.GRAY
+
+
+class TestProbabilisticAttacker:
+    def test_probability_one_matches_worst_case(self):
+        attacker = ProbabilisticAttacker(1.0, 1.0)
+        state = initial_state(get_architecture("2-2"), PLACEMENT_WAIAU)
+        rng = np.random.default_rng(0)
+        attacked = attacker.attack(state, CyberAttackBudget(1, 1), rng)
+        reference = WorstCaseAttacker().attack(state, CyberAttackBudget(1, 1))
+        assert evaluate(attacked) is evaluate(reference)
+
+    def test_probability_zero_is_no_attack(self):
+        attacker = ProbabilisticAttacker(0.0, 0.0)
+        state = initial_state(get_architecture("2"), PLACEMENT_WAIAU)
+        rng = np.random.default_rng(0)
+        attacked = attacker.attack(state, CyberAttackBudget(3, 3), rng)
+        assert evaluate(attacked) is OperationalState.GREEN
+
+    def test_sampled_budget_statistics(self):
+        attacker = ProbabilisticAttacker(p_intrusion=0.3, p_isolation=0.8)
+        rng = np.random.default_rng(1)
+        draws = [
+            attacker.sample_budget(CyberAttackBudget(1, 1), rng) for _ in range(3000)
+        ]
+        assert np.mean([d.intrusions for d in draws]) == pytest.approx(0.3, abs=0.03)
+        assert np.mean([d.isolations for d in draws]) == pytest.approx(0.8, abs=0.03)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(AnalysisError):
+            ProbabilisticAttacker(p_intrusion=1.5)
+
+    def test_deterministic_given_seed(self):
+        attacker = ProbabilisticAttacker(0.5, 0.5)
+        state = initial_state(get_architecture("6-6"), PLACEMENT_WAIAU)
+        outcomes = set()
+        for _ in range(3):
+            rng = np.random.default_rng(99)
+            outcomes.add(
+                evaluate(attacker.attack(state, CyberAttackBudget(2, 2), rng))
+            )
+        assert len(outcomes) == 1

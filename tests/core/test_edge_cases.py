@@ -1,0 +1,137 @@
+"""Edge-case coverage across the core framework's smaller surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.outcomes import OperationalProfile
+from repro.core.states import OperationalState as S
+from repro.core.system_state import initial_state
+from repro.core.threat import CyberAttackBudget
+from repro.errors import AnalysisError, ConfigurationError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.scada.architectures import (
+    ArchitectureFamily,
+    ArchitectureSpec,
+    SiteRole,
+    SiteSpec,
+    get_architecture,
+)
+from repro.scada.placement import Placement
+
+
+def profile(green=0, orange=0, red=0, gray=0) -> OperationalProfile:
+    return OperationalProfile(
+        {S.GREEN: green, S.ORANGE: orange, S.RED: red, S.GRAY: gray}
+    )
+
+
+class TestConfidenceIntervalEdges:
+    def test_z_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            profile(green=10).confidence_interval(S.GREEN, z=0.0)
+
+    def test_boundary_probabilities(self):
+        p = profile(green=100)
+        low, high = p.confidence_interval(S.GREEN)
+        assert low < 1.0 <= high == 1.0
+        low, high = p.confidence_interval(S.RED)
+        assert low == 0.0 <= high < 1.0
+
+    def test_wider_z_widens_interval(self):
+        p = profile(green=90, red=10)
+        narrow = p.confidence_interval(S.RED, z=1.0)
+        wide = p.confidence_interval(S.RED, z=3.0)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+
+class TestPlacementEdges:
+    def test_extra_backups_in_label(self):
+        placement = Placement(
+            primary=HONOLULU_CC,
+            backup=KAHE_CC,
+            extra_backups=(WAIAU_CC,),
+            data_centers=(DRFORTRESS,),
+        )
+        label = placement.label()
+        assert label.index(HONOLULU_CC) < label.index(KAHE_CC) < label.index(WAIAU_CC)
+
+    def test_extra_backup_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Placement(
+                primary=HONOLULU_CC, backup=KAHE_CC, extra_backups=(KAHE_CC,)
+            )
+
+    def test_sites_for_consumes_backups_in_order(self):
+        from repro.scada.architectures import active_multisite
+
+        arch = active_multisite(6, num_sites=4, data_center_sites=1)
+        placement = Placement(
+            primary=HONOLULU_CC,
+            backup=KAHE_CC,
+            extra_backups=(WAIAU_CC,),
+            data_centers=(DRFORTRESS,),
+        )
+        assert placement.sites_for(arch) == (
+            HONOLULU_CC, KAHE_CC, WAIAU_CC, DRFORTRESS,
+        )
+
+
+class TestArchitectureEdges:
+    def test_uneven_multisite_sizing_rejected(self):
+        spec = ArchitectureSpec(
+            "uneven",
+            ArchitectureFamily.ACTIVE_MULTISITE,
+            (
+                SiteSpec(SiteRole.PRIMARY, 8),
+                SiteSpec(SiteRole.BACKUP, 6),
+                SiteSpec(SiteRole.DATA_CENTER, 6),
+            ),
+            intrusions_f=1,
+            recoveries_k=1,
+        )
+        with pytest.raises(ConfigurationError):
+            spec.multisite_sizing()
+
+    def test_zero_f_active_multisite(self):
+        # Crash-only active replication is expressible too.
+        spec = ArchitectureSpec(
+            "crash-multi",
+            ArchitectureFamily.ACTIVE_MULTISITE,
+            tuple(
+                SiteSpec(role, 2)
+                for role in (SiteRole.PRIMARY, SiteRole.BACKUP, SiteRole.DATA_CENTER)
+            ),
+            intrusions_f=0,
+        )
+        assert spec.multisite_sizing().min_sites_for_progress() == 2
+
+
+class TestAttackerEdgesOnPreCompromisedStates:
+    def test_attacker_never_unbreaks_safety(self):
+        from repro.core.attacker import WorstCaseAttacker
+        from repro.core.evaluator import evaluate
+
+        arch = get_architecture("2")
+        placement = Placement(primary=HONOLULU_CC)
+        state = initial_state(arch, placement).with_intrusions(0, 1)
+        assert evaluate(state) is S.GRAY
+        attacked = WorstCaseAttacker().attack(
+            state, CyberAttackBudget(isolations=2)
+        )
+        # Isolating its own compromised site would demote gray to red;
+        # the attacker declines.
+        assert evaluate(attacked) is S.GRAY
+
+    def test_rule1_tops_up_existing_intrusions(self):
+        from repro.core.attacker import WorstCaseAttacker
+        from repro.core.evaluator import evaluate
+
+        arch = get_architecture("6")
+        placement = Placement(primary=HONOLULU_CC)
+        state = initial_state(arch, placement).with_intrusions(0, 1)
+        attacked = WorstCaseAttacker().attack(
+            state, CyberAttackBudget(intrusions=1)
+        )
+        assert evaluate(attacked) is S.GRAY
+        assert attacked.sites[0].intrusions == 2

@@ -1,0 +1,157 @@
+"""Tests for the Table-I evaluator.
+
+The decisive test enumerates *every* reachable site condition for each of
+the five paper configurations and checks the generic evaluator against
+the literal Table-I transcription.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.evaluator import evaluate, evaluate_table1, safety_compromised
+from repro.core.states import OperationalState
+from repro.core.system_state import SiteStatus, SystemState
+from repro.errors import AnalysisError
+from repro.scada.architectures import (
+    PAPER_CONFIGURATIONS,
+    ArchitectureSpec,
+    active_multisite,
+    get_architecture,
+)
+
+SITE_NAMES = ["S0", "S1", "S2", "S3"]
+
+
+def build_state(
+    arch: ArchitectureSpec,
+    flooded: tuple[bool, ...],
+    isolated: tuple[bool, ...],
+    intrusions: tuple[int, ...],
+) -> SystemState:
+    sites = tuple(
+        SiteStatus(SITE_NAMES[i], spec, flooded=flooded[i],
+                   isolated=isolated[i], intrusions=intrusions[i])
+        for i, spec in enumerate(arch.sites)
+    )
+    return SystemState(arch, sites)
+
+
+def all_states(arch: ArchitectureSpec, max_intrusions: int = 2):
+    n = arch.num_sites
+    for flooded in itertools.product([False, True], repeat=n):
+        for isolated in itertools.product([False, True], repeat=n):
+            caps = [min(max_intrusions, s.replicas) for s in arch.sites]
+            for intrusions in itertools.product(*[range(c + 1) for c in caps]):
+                yield build_state(arch, flooded, isolated, intrusions)
+
+
+class TestGenericMatchesTable1:
+    @pytest.mark.parametrize("arch", PAPER_CONFIGURATIONS, ids=lambda a: a.name)
+    def test_exhaustive_agreement(self, arch):
+        for state in all_states(arch):
+            assert evaluate(state) is evaluate_table1(state), (
+                f"{arch.name}: disagreement at "
+                f"flooded={[s.flooded for s in state.sites]} "
+                f"isolated={[s.isolated for s in state.sites]} "
+                f"intrusions={[s.intrusions for s in state.sites]}"
+            )
+
+
+class TestTable1Rows:
+    """Spot-check the explicit rows of Table I."""
+
+    def test_config_2_rows(self):
+        arch = get_architecture("2")
+        up = build_state(arch, (False,), (False,), (0,))
+        assert evaluate(up) is OperationalState.GREEN
+        down = build_state(arch, (True,), (False,), (0,))
+        assert evaluate(down) is OperationalState.RED
+        isolated = build_state(arch, (False,), (True,), (0,))
+        assert evaluate(isolated) is OperationalState.RED
+        intruded = build_state(arch, (False,), (False,), (1,))
+        assert evaluate(intruded) is OperationalState.GRAY
+
+    def test_config_2_2_rows(self):
+        arch = get_architecture("2-2")
+        both_up = build_state(arch, (False, False), (False, False), (0, 0))
+        assert evaluate(both_up) is OperationalState.GREEN
+        primary_down = build_state(arch, (True, False), (False, False), (0, 0))
+        assert evaluate(primary_down) is OperationalState.ORANGE
+        both_down = build_state(arch, (True, True), (False, False), (0, 0))
+        assert evaluate(both_down) is OperationalState.RED
+        backup_intruded = build_state(arch, (True, False), (False, False), (0, 1))
+        assert evaluate(backup_intruded) is OperationalState.GRAY
+
+    def test_config_6_tolerates_one_intrusion(self):
+        arch = get_architecture("6")
+        one = build_state(arch, (False,), (False,), (1,))
+        assert evaluate(one) is OperationalState.GREEN
+        two = build_state(arch, (False,), (False,), (2,))
+        assert evaluate(two) is OperationalState.GRAY
+
+    def test_config_6_6_rows(self):
+        arch = get_architecture("6-6")
+        primary_isolated = build_state(arch, (False, False), (True, False), (0, 1))
+        assert evaluate(primary_isolated) is OperationalState.ORANGE
+        two_in_backup = build_state(arch, (True, False), (False, False), (0, 2))
+        assert evaluate(two_in_backup) is OperationalState.GRAY
+
+    def test_config_6_6_6_rows(self):
+        arch = get_architecture("6+6+6")
+        all_up = build_state(arch, (False,) * 3, (False,) * 3, (0, 0, 0))
+        assert evaluate(all_up) is OperationalState.GREEN
+        one_down = build_state(arch, (True, False, False), (False,) * 3, (0, 0, 0))
+        assert evaluate(one_down) is OperationalState.GREEN
+        two_down = build_state(arch, (True, True, False), (False,) * 3, (0, 0, 0))
+        assert evaluate(two_down) is OperationalState.RED
+        one_intrusion = build_state(arch, (False,) * 3, (False,) * 3, (1, 0, 0))
+        assert evaluate(one_intrusion) is OperationalState.GREEN
+        split_intrusions = build_state(arch, (False,) * 3, (False,) * 3, (1, 1, 0))
+        assert evaluate(split_intrusions) is OperationalState.GRAY
+
+
+class TestSafetySemantics:
+    def test_intrusions_in_flooded_site_do_not_count(self):
+        arch = get_architecture("2")
+        state = build_state(arch, (True,), (False,), (1,))
+        assert not safety_compromised(state)
+        assert evaluate(state) is OperationalState.RED
+
+    def test_intrusions_in_isolated_site_do_not_count(self):
+        arch = get_architecture("6+6+6")
+        state = build_state(arch, (False,) * 3, (True, False, False), (2, 0, 0))
+        assert not safety_compromised(state)
+        # Two sites still up: green.
+        assert evaluate(state) is OperationalState.GREEN
+
+    def test_per_site_groups_need_colocated_intrusions(self):
+        # 6-6: one intrusion in each site does not break either group.
+        arch = get_architecture("6-6")
+        state = build_state(arch, (False, False), (False, False), (1, 1))
+        assert evaluate(state) is OperationalState.GREEN
+
+    def test_global_group_sums_across_sites(self):
+        arch = get_architecture("6+6+6")
+        state = build_state(arch, (False,) * 3, (False,) * 3, (1, 0, 1))
+        assert evaluate(state) is OperationalState.GRAY
+
+
+class TestGeneralizedArchitectures:
+    def test_four_site_deployment_survives_two_losses(self):
+        arch = active_multisite(6, num_sites=4, data_center_sites=2)
+        flooded = (True, True, False, False)
+        state = build_state(arch, flooded, (False,) * 4, (0,) * 4)
+        # 12 of 24 replicas up; quorum is ceil((24+2)/2)=13 -> red.
+        assert evaluate(state) is OperationalState.RED
+        flooded = (True, False, False, False)
+        state = build_state(arch, flooded, (False,) * 4, (0,) * 4)
+        assert evaluate(state) is OperationalState.GREEN
+
+    def test_table1_rejects_unknown_config(self):
+        arch = active_multisite(6, num_sites=4, data_center_sites=2)
+        state = build_state(arch, (False,) * 4, (False,) * 4, (0,) * 4)
+        with pytest.raises(AnalysisError):
+            evaluate_table1(state)

@@ -1,0 +1,89 @@
+"""Tests for the experiment-grid runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import (
+    ExperimentRecord,
+    records_to_csv,
+    run_experiment_grid,
+)
+from repro.core.states import OperationalState as S
+from repro.core.threat import HURRICANE, HURRICANE_ISOLATION, PAPER_SCENARIOS
+from repro.errors import AnalysisError
+from repro.scada.architectures import CONFIG_2, CONFIG_6_6_6, PAPER_CONFIGURATIONS
+from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU
+from tests.core.test_pipeline import toy_ensemble
+
+
+class TestRunGrid:
+    def test_full_cross_product(self):
+        records = run_experiment_grid(
+            toy_ensemble(),
+            [CONFIG_2, CONFIG_6_6_6],
+            [PLACEMENT_WAIAU, PLACEMENT_KAHE],
+            [HURRICANE, HURRICANE_ISOLATION],
+        )
+        assert len(records) == 8
+        keys = {(r.architecture, r.placement, r.scenario) for r in records}
+        assert len(keys) == 8
+
+    def test_matches_direct_analysis(self):
+        from repro.core.pipeline import CompoundThreatAnalysis
+
+        records = run_experiment_grid(
+            toy_ensemble(), [CONFIG_2], [PLACEMENT_WAIAU], [HURRICANE]
+        )
+        direct = CompoundThreatAnalysis(toy_ensemble()).run(
+            CONFIG_2, PLACEMENT_WAIAU, HURRICANE
+        )
+        assert records[0].profile.almost_equal(direct)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_experiment_grid(toy_ensemble(), [], [PLACEMENT_WAIAU], [HURRICANE])
+        with pytest.raises(AnalysisError):
+            run_experiment_grid(toy_ensemble(), [CONFIG_2], [], [HURRICANE])
+        with pytest.raises(AnalysisError):
+            run_experiment_grid(toy_ensemble(), [CONFIG_2], [PLACEMENT_WAIAU], [])
+
+    def test_row_contents(self):
+        records = run_experiment_grid(
+            toy_ensemble(), [CONFIG_2], [PLACEMENT_WAIAU], [HURRICANE]
+        )
+        row = records[0].to_row()
+        assert row["architecture"] == "2"
+        assert row["realizations"] == 10
+        assert row["green"] == pytest.approx(0.9)
+        assert row["green_ci_low"] <= row["green"] <= row["green_ci_high"]
+
+
+class TestCsvExport:
+    def test_csv_shape(self):
+        records = run_experiment_grid(
+            toy_ensemble(),
+            list(PAPER_CONFIGURATIONS),
+            [PLACEMENT_WAIAU],
+            list(PAPER_SCENARIOS),
+        )
+        csv_text = records_to_csv(records)
+        lines = csv_text.splitlines()
+        assert len(lines) == 21  # header + 5 configs x 4 scenarios
+        header = lines[0].split(",")
+        assert "green" in header and "gray_ci_high" in header
+        # Every data line parses to the header width.
+        assert all(len(line.split(",")) == len(header) for line in lines[1:])
+
+    def test_placement_commas_escaped(self):
+        records = run_experiment_grid(
+            toy_ensemble(), [CONFIG_2], [PLACEMENT_WAIAU], [HURRICANE]
+        )
+        csv_text = records_to_csv(records)
+        # Placement labels contain " + " separators, not commas; any
+        # stray comma is replaced so the CSV stays rectangular.
+        assert csv_text.count("\n") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            records_to_csv([])

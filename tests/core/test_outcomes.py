@@ -1,0 +1,107 @@
+"""Tests for operational profiles and scenario matrices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.outcomes import OperationalProfile, ScenarioMatrix
+from repro.core.states import OperationalState as S
+from repro.errors import AnalysisError
+from repro.scada.failover import FailoverPolicy
+
+
+def profile(green=0, orange=0, red=0, gray=0) -> OperationalProfile:
+    return OperationalProfile(
+        {S.GREEN: green, S.ORANGE: orange, S.RED: red, S.GRAY: gray}
+    )
+
+
+class TestOperationalProfile:
+    def test_probabilities_sum_to_one(self):
+        p = profile(green=90, red=10)
+        assert sum(p.probabilities().values()) == pytest.approx(1.0)
+        assert p.probability(S.GREEN) == 0.9
+        assert p.total == 100
+
+    def test_from_states(self):
+        p = OperationalProfile.from_states([S.GREEN, S.GREEN, S.RED])
+        assert p.count(S.GREEN) == 2
+        assert p.count(S.RED) == 1
+        assert p.count(S.GRAY) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            profile()
+
+    def test_rejects_negative(self):
+        with pytest.raises(AnalysisError):
+            OperationalProfile({S.GREEN: -1, S.RED: 2})
+
+    def test_almost_equal(self):
+        assert profile(green=905, red=95).almost_equal(profile(green=181, red=19))
+        assert not profile(green=905, red=95).almost_equal(profile(green=95, red=905))
+
+    def test_dominates(self):
+        better = profile(green=95, red=5)
+        worse = profile(green=90, orange=5, red=5)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_dominates_is_reflexive(self):
+        p = profile(green=90, orange=5, red=4, gray=1)
+        assert p.dominates(p)
+
+    def test_orange_beats_red(self):
+        orange_heavy = profile(green=90, orange=10)
+        red_heavy = profile(green=90, red=10)
+        assert orange_heavy.dominates(red_heavy)
+        assert not red_heavy.dominates(orange_heavy)
+
+    def test_expected_availability_ordering(self):
+        policy = FailoverPolicy()
+        assert profile(green=1).expected_availability(policy) == 1.0
+        assert profile(gray=1).expected_availability(policy) == 0.0
+        mixed = profile(green=90, red=10).expected_availability(policy)
+        assert 0.9 < mixed < 1.0
+
+    def test_summary_mentions_nonzero_states(self):
+        s = profile(green=90, red=10).summary()
+        assert "green" in s and "red" in s and "orange" not in s
+
+
+class TestScenarioMatrix:
+    def make(self) -> ScenarioMatrix:
+        m = ScenarioMatrix("somewhere")
+        m.add("hurricane", "2", profile(green=90, red=10))
+        m.add("hurricane", "6", profile(green=90, red=10))
+        m.add("hurricane+intrusion", "2", profile(red=10, gray=90))
+        return m
+
+    def test_get(self):
+        m = self.make()
+        assert m.get("hurricane", "2").probability(S.GREEN) == 0.9
+
+    def test_get_missing(self):
+        with pytest.raises(AnalysisError):
+            self.make().get("hurricane", "9")
+
+    def test_duplicate_rejected(self):
+        m = self.make()
+        with pytest.raises(AnalysisError):
+            m.add("hurricane", "2", profile(green=1))
+
+    def test_orders_preserved(self):
+        m = self.make()
+        assert m.scenario_names == ["hurricane", "hurricane+intrusion"]
+        assert m.architecture_names == ["2", "6"]
+
+    def test_scenario_profiles_partial(self):
+        m = self.make()
+        profiles = m.scenario_profiles("hurricane+intrusion")
+        assert list(profiles) == ["2"]
+
+    def test_to_rows(self):
+        rows = self.make().to_rows()
+        assert len(rows) == 3
+        assert rows[0]["placement"] == "somewhere"
+        assert rows[0]["green"] == pytest.approx(0.9)

@@ -1,0 +1,182 @@
+"""Property-based tests of framework invariants (hypothesis).
+
+The qualitative correctness of every figure rests on a few monotonicity
+and consistency properties; these are checked over randomly generated
+system states, budgets, and profiles rather than hand-picked cases.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attacker import ExhaustiveAttacker, WorstCaseAttacker
+from repro.core.evaluator import evaluate, evaluate_table1
+from repro.core.outcomes import OperationalProfile
+from repro.core.states import STATE_ORDER, OperationalState
+from repro.core.system_state import SiteStatus, SystemState
+from repro.core.threat import CyberAttackBudget
+from repro.scada.architectures import PAPER_CONFIGURATIONS
+
+ARCH_BY_INDEX = list(PAPER_CONFIGURATIONS)
+
+
+@st.composite
+def system_states(draw):
+    """A random valid state of a random paper configuration."""
+    arch = draw(st.sampled_from(ARCH_BY_INDEX))
+    sites = []
+    for i, spec in enumerate(arch.sites):
+        flooded = draw(st.booleans())
+        isolated = draw(st.booleans())
+        intrusions = draw(st.integers(min_value=0, max_value=min(2, spec.replicas)))
+        sites.append(
+            SiteStatus(
+                f"S{i}", spec, flooded=flooded, isolated=isolated,
+                intrusions=intrusions,
+            )
+        )
+    return SystemState(arch, tuple(sites))
+
+
+budgets = st.builds(
+    CyberAttackBudget,
+    intrusions=st.integers(min_value=0, max_value=3),
+    isolations=st.integers(min_value=0, max_value=3),
+)
+
+
+class TestEvaluatorProperties:
+    @given(system_states())
+    @settings(max_examples=300)
+    def test_generic_always_matches_table1(self, state):
+        assert evaluate(state) is evaluate_table1(state)
+
+    @given(system_states(), st.integers(min_value=0, max_value=2))
+    @settings(max_examples=300)
+    def test_flooding_a_site_never_helps(self, state, site_index):
+        """Severity is monotone in damage: knocking out one more site can
+        only keep or worsen the operational state."""
+        site_index %= len(state.sites)
+        before = evaluate(state)
+        sites = list(state.sites)
+        sites[site_index] = SiteStatus(
+            sites[site_index].asset_name,
+            sites[site_index].spec,
+            flooded=True,
+            isolated=sites[site_index].isolated,
+            # Flooded servers are down: their intrusions stop counting,
+            # so clear them to isolate the flooding effect.
+            intrusions=sites[site_index].intrusions,
+        )
+        after = evaluate(SystemState(state.architecture, tuple(sites)))
+        if before is not OperationalState.GRAY:
+            assert after.severity >= before.severity
+        # Gray can improve to red by flooding (intrusions die with the
+        # site) -- which the paper itself notes in Figure 7.
+
+    @given(system_states(), st.integers(min_value=0, max_value=2))
+    @settings(max_examples=300)
+    def test_isolating_a_site_never_helps_short_of_gray(self, state, site_index):
+        site_index %= len(state.sites)
+        before = evaluate(state)
+        after = evaluate(state.with_isolation(site_index))
+        if before is not OperationalState.GRAY:
+            assert after.severity >= before.severity
+
+    @given(system_states())
+    @settings(max_examples=200)
+    def test_evaluation_is_pure(self, state):
+        assert evaluate(state) is evaluate(state)
+
+
+class TestAttackerProperties:
+    @given(system_states(), budgets)
+    @settings(max_examples=150, deadline=None)
+    def test_greedy_matches_exhaustive(self, state, budget):
+        greedy = evaluate(WorstCaseAttacker().attack(state, budget))
+        brute = evaluate(ExhaustiveAttacker().attack(state, budget))
+        assert greedy is brute
+
+    @given(system_states(), budgets)
+    @settings(max_examples=150, deadline=None)
+    def test_bigger_budget_never_hurts_the_attacker(self, state, budget):
+        attacker = WorstCaseAttacker()
+        base = evaluate(attacker.attack(state, budget))
+        more_intrusions = CyberAttackBudget(budget.intrusions + 1, budget.isolations)
+        more_isolations = CyberAttackBudget(budget.intrusions, budget.isolations + 1)
+        assert evaluate(attacker.attack(state, more_intrusions)).severity >= base.severity
+        assert evaluate(attacker.attack(state, more_isolations)).severity >= base.severity
+
+    @given(system_states(), budgets)
+    @settings(max_examples=150, deadline=None)
+    def test_attack_never_repairs_sites(self, state, budget):
+        attacked = WorstCaseAttacker().attack(state, budget)
+        for before, after in zip(state.sites, attacked.sites):
+            assert after.flooded == before.flooded
+            assert after.isolated >= before.isolated
+            assert after.intrusions >= before.intrusions
+
+    @given(system_states(), budgets)
+    @settings(max_examples=150, deadline=None)
+    def test_attack_spends_within_budget(self, state, budget):
+        attacked = WorstCaseAttacker().attack(state, budget)
+        new_isolations = sum(
+            1
+            for before, after in zip(state.sites, attacked.sites)
+            if after.isolated and not before.isolated
+        )
+        new_intrusions = sum(
+            after.intrusions - before.intrusions
+            for before, after in zip(state.sites, attacked.sites)
+        )
+        assert new_isolations <= budget.isolations
+        assert new_intrusions <= budget.intrusions
+
+
+profile_counts = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=4, max_size=4
+).filter(lambda counts: sum(counts) > 0)
+
+
+class TestProfileProperties:
+    @given(profile_counts)
+    @settings(max_examples=200)
+    def test_probabilities_sum_to_one(self, counts):
+        profile = OperationalProfile(dict(zip(STATE_ORDER, counts)))
+        assert abs(sum(profile.probabilities().values()) - 1.0) < 1e-9
+
+    @given(profile_counts)
+    @settings(max_examples=200)
+    def test_dominates_is_reflexive(self, counts):
+        profile = OperationalProfile(dict(zip(STATE_ORDER, counts)))
+        assert profile.dominates(profile)
+
+    @given(profile_counts, profile_counts, profile_counts)
+    @settings(max_examples=200)
+    def test_dominates_is_transitive(self, a_counts, b_counts, c_counts):
+        a = OperationalProfile(dict(zip(STATE_ORDER, a_counts)))
+        b = OperationalProfile(dict(zip(STATE_ORDER, b_counts)))
+        c = OperationalProfile(dict(zip(STATE_ORDER, c_counts)))
+        if a.dominates(b) and b.dominates(c):
+            assert a.dominates(c)
+
+    @given(profile_counts)
+    @settings(max_examples=200)
+    def test_confidence_interval_contains_estimate(self, counts):
+        profile = OperationalProfile(dict(zip(STATE_ORDER, counts)))
+        for state in STATE_ORDER:
+            low, high = profile.confidence_interval(state)
+            assert 0.0 <= low <= profile.probability(state) <= high <= 1.0
+
+    @given(profile_counts)
+    @settings(max_examples=100)
+    def test_interval_narrows_with_more_data(self, counts):
+        small = OperationalProfile(dict(zip(STATE_ORDER, counts)))
+        big = OperationalProfile(
+            dict(zip(STATE_ORDER, [c * 100 for c in counts]))
+        )
+        for state in STATE_ORDER:
+            lo_s, hi_s = small.confidence_interval(state)
+            lo_b, hi_b = big.confidence_interval(state)
+            assert (hi_b - lo_b) <= (hi_s - lo_s) + 1e-12

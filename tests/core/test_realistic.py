@@ -1,0 +1,154 @@
+"""Tests for the resource-constrained (realistic) attacker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attacker import WorstCaseAttacker
+from repro.core.evaluator import evaluate
+from repro.core.realistic import ResourceConstrainedAttacker
+from repro.core.states import OperationalState as S
+from repro.core.system_state import initial_state
+from repro.core.threat import CyberAttackBudget, HURRICANE_ISOLATION
+from repro.errors import AnalysisError
+from repro.geo.oahu import (
+    DRFORTRESS,
+    HONOLULU_CC,
+    KAHE_CC,
+    WAIAU_CC,
+    build_oahu_catalog,
+)
+from repro.network.topology import build_site_wan
+from repro.scada.architectures import get_architecture
+from repro.scada.placement import PLACEMENT_WAIAU
+
+SITES = [HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS]
+
+
+@pytest.fixture(scope="module")
+def wan():
+    return build_site_wan(build_oahu_catalog(), SITES)
+
+
+# Each site has 2 x 10 Gb/s uplinks, so one isolation costs 20 Gb/s.
+ISOLATION_COST = 20.0
+
+
+class TestFeasibility:
+    def test_no_capacity_no_isolation(self, wan):
+        attacker = ResourceConstrainedAttacker(wan, flood_capacity_gbps=0.0)
+        state = initial_state(get_architecture("2-2"), PLACEMENT_WAIAU)
+        attacked = attacker.attack(state, CyberAttackBudget(isolations=1))
+        assert evaluate(attacked) is S.GREEN  # attack fizzles
+
+    def test_enough_capacity_matches_worst_case(self, wan):
+        attacker = ResourceConstrainedAttacker(wan, flood_capacity_gbps=ISOLATION_COST)
+        state = initial_state(get_architecture("2-2"), PLACEMENT_WAIAU)
+        attacked = attacker.attack(state, CyberAttackBudget(isolations=1))
+        reference = WorstCaseAttacker().attack(state, CyberAttackBudget(isolations=1))
+        assert evaluate(attacked) is evaluate(reference) is S.ORANGE
+
+    def test_capacity_limits_isolation_count(self, wan):
+        # 30 Gb/s buys one isolation (20), not two (40).
+        attacker = ResourceConstrainedAttacker(wan, flood_capacity_gbps=30.0)
+        state = initial_state(get_architecture("2-2"), PLACEMENT_WAIAU)
+        attacked = attacker.attack(state, CyberAttackBudget(isolations=2))
+        assert sum(1 for s in attacked.sites if s.isolated) == 1
+        assert evaluate(attacked) is S.ORANGE
+
+    def test_two_isolations_with_enough_capacity(self, wan):
+        attacker = ResourceConstrainedAttacker(wan, flood_capacity_gbps=40.0)
+        state = initial_state(get_architecture("2-2"), PLACEMENT_WAIAU)
+        attacked = attacker.attack(state, CyberAttackBudget(isolations=2))
+        assert evaluate(attacked) is S.RED
+
+    def test_missing_wan_site_cannot_be_targeted(self, oahu_catalog):
+        # A WAN that only models the primary: the backup is unreachable
+        # by the flooding attack.
+        wan = build_site_wan(oahu_catalog, [HONOLULU_CC])
+        attacker = ResourceConstrainedAttacker(wan, flood_capacity_gbps=1000.0)
+        state = initial_state(get_architecture("2-2"), PLACEMENT_WAIAU)
+        attacked = attacker.attack(state, CyberAttackBudget(isolations=2))
+        assert attacked.sites[0].isolated
+        assert not attacked.sites[1].isolated
+
+
+class TestIntrusionSkill:
+    def test_rule1_respected(self, wan):
+        # With full skill and budget > f, safety is compromised without
+        # wasting capacity on isolations.
+        attacker = ResourceConstrainedAttacker(wan, flood_capacity_gbps=100.0)
+        state = initial_state(get_architecture("2"), PLACEMENT_WAIAU)
+        attacked = attacker.attack(state, CyberAttackBudget(intrusions=1, isolations=1))
+        assert evaluate(attacked) is S.GRAY
+
+    def test_zero_skill_never_intrudes(self, wan):
+        attacker = ResourceConstrainedAttacker(
+            wan, flood_capacity_gbps=0.0, p_intrusion=0.0
+        )
+        rng = np.random.default_rng(0)
+        state = initial_state(get_architecture("2"), PLACEMENT_WAIAU)
+        attacked = attacker.attack(state, CyberAttackBudget(intrusions=3), rng)
+        assert evaluate(attacked) is S.GREEN
+
+    def test_partial_skill_requires_rng(self, wan):
+        attacker = ResourceConstrainedAttacker(wan, p_intrusion=0.5)
+        state = initial_state(get_architecture("2"), PLACEMENT_WAIAU)
+        with pytest.raises(AnalysisError):
+            attacker.attack(state, CyberAttackBudget(intrusions=1))
+
+    def test_partial_skill_statistics(self, wan):
+        attacker = ResourceConstrainedAttacker(wan, p_intrusion=0.4)
+        state = initial_state(get_architecture("2"), PLACEMENT_WAIAU)
+        rng = np.random.default_rng(1)
+        outcomes = [
+            evaluate(attacker.attack(state, CyberAttackBudget(intrusions=1), rng))
+            for _ in range(1000)
+        ]
+        gray_rate = sum(1 for o in outcomes if o is S.GRAY) / len(outcomes)
+        assert 0.33 < gray_rate < 0.47
+
+
+class TestConvergenceToWorstCase:
+    def test_unbounded_attacker_is_worst_case(self, wan):
+        # The paper's model is the limit of infinite resources.
+        strong = ResourceConstrainedAttacker(
+            wan, flood_capacity_gbps=1e9, p_intrusion=1.0
+        )
+        reference = WorstCaseAttacker()
+        for arch_name in ("2", "2-2", "6", "6-6", "6+6+6"):
+            arch = get_architecture(arch_name)
+            state = initial_state(arch, PLACEMENT_WAIAU)
+            for budget in (
+                CyberAttackBudget(1, 0),
+                CyberAttackBudget(0, 1),
+                CyberAttackBudget(1, 1),
+                CyberAttackBudget(2, 2),
+            ):
+                ours = evaluate(strong.attack(state, budget))
+                theirs = evaluate(reference.attack(state, budget))
+                assert ours is theirs, (arch_name, budget)
+
+
+class TestValidation:
+    def test_negative_capacity(self, wan):
+        with pytest.raises(AnalysisError):
+            ResourceConstrainedAttacker(wan, flood_capacity_gbps=-1.0)
+
+    def test_bad_probability(self, wan):
+        with pytest.raises(AnalysisError):
+            ResourceConstrainedAttacker(wan, p_intrusion=1.5)
+
+    def test_works_in_pipeline(self, wan, standard_ensemble):
+        from repro.core.pipeline import CompoundThreatAnalysis
+
+        attacker = ResourceConstrainedAttacker(wan, flood_capacity_gbps=10.0)
+        analysis = CompoundThreatAnalysis(
+            standard_ensemble.subset(100), attacker=attacker
+        )
+        profile = analysis.run(
+            get_architecture("2-2"), PLACEMENT_WAIAU, HURRICANE_ISOLATION
+        )
+        # 10 Gb/s cannot flood the 20 Gb/s cut: the isolation never lands.
+        assert profile.probability(S.ORANGE) == 0.0

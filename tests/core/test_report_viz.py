@@ -1,0 +1,102 @@
+"""Tests for report tables and text charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.outcomes import OperationalProfile, ScenarioMatrix
+from repro.core.report import (
+    format_matrix_csv,
+    format_matrix_report,
+    format_profile_table,
+)
+from repro.core.states import OperationalState as S
+from repro.viz import profile_bar, profile_chart
+
+
+def profile(green=0, orange=0, red=0, gray=0) -> OperationalProfile:
+    return OperationalProfile(
+        {S.GREEN: green, S.ORANGE: orange, S.RED: red, S.GRAY: gray}
+    )
+
+
+def matrix() -> ScenarioMatrix:
+    m = ScenarioMatrix("Honolulu + Waiau")
+    m.add("hurricane", "2", profile(green=905, red=95))
+    m.add("hurricane", "6+6+6", profile(green=905, red=95))
+    m.add("hurricane+intrusion", "2", profile(red=95, gray=905))
+    m.add("hurricane+intrusion", "6+6+6", profile(green=905, red=95))
+    return m
+
+
+class TestProfileTable:
+    def test_contains_all_states_and_configs(self):
+        text = format_profile_table(
+            {"2": profile(green=9, red=1)}, title="Scenario: hurricane"
+        )
+        assert "Scenario: hurricane" in text
+        for col in ("green", "orange", "red", "gray"):
+            assert col in text
+        assert "90.0%" in text
+
+    def test_rows_align(self):
+        text = format_profile_table(
+            {"2": profile(green=9, red=1), "6+6+6": profile(green=10)}
+        )
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[0:1] + lines[2:]}) == 1
+
+
+class TestMatrixReport:
+    def test_report_sections(self):
+        text = format_matrix_report(matrix())
+        assert "Placement: Honolulu + Waiau" in text
+        assert text.count("Scenario:") == 2
+
+    def test_csv(self):
+        text = format_matrix_csv(matrix())
+        lines = text.splitlines()
+        assert lines[0] == "placement,scenario,architecture,green,orange,red,gray"
+        assert len(lines) == 5
+        assert "0.905000" in lines[1]
+
+    def test_markdown(self):
+        from repro.core.report import format_matrix_markdown
+
+        text = format_matrix_markdown(matrix())
+        assert text.startswith("### Placement: Honolulu + Waiau")
+        assert "**Scenario: hurricane**" in text
+        assert "| configuration | green | orange | red | gray |" in text
+        assert "| 2 | 90.5% | 0.0% | 9.5% | 0.0% |" in text
+        # Every table row has the same pipe count (valid markdown table).
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len({row.count("|") for row in rows}) == 1
+
+
+class TestBars:
+    def test_bar_width_respected(self):
+        bar = profile_bar(profile(green=905, red=95), width=40)
+        assert len(bar) == 40
+
+    def test_bar_proportions(self):
+        bar = profile_bar(profile(green=50, red=50), width=40)
+        assert bar.count("#") == 20
+        assert bar.count("x") == 20
+
+    def test_tiny_nonzero_state_still_visible(self):
+        bar = profile_bar(profile(green=999, gray=1), width=20)
+        assert "." in bar
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            profile_bar(profile(green=1), width=2)
+
+    def test_chart_includes_labels_and_legend(self):
+        chart = profile_chart(
+            {"2": profile(green=9, red=1), "6-6": profile(green=10)},
+            title="Figure 6",
+        )
+        assert "Figure 6" in chart
+        assert "legend:" in chart
+        assert " 2 |" in chart or "2 |" in chart
+        assert "6-6" in chart

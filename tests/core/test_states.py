@@ -1,0 +1,43 @@
+"""Tests for operational states."""
+
+from __future__ import annotations
+
+from repro.core.states import STATE_ORDER, OperationalState, worst_state
+
+
+class TestOperationalState:
+    def test_severity_ordering(self):
+        assert (
+            OperationalState.GREEN.severity
+            < OperationalState.ORANGE.severity
+            < OperationalState.RED.severity
+            < OperationalState.GRAY.severity
+        )
+
+    def test_display_order_matches_paper(self):
+        assert [s.value for s in STATE_ORDER] == ["green", "orange", "red", "gray"]
+
+    def test_only_green_is_operational(self):
+        assert OperationalState.GREEN.is_operational
+        assert not any(
+            s.is_operational for s in STATE_ORDER if s is not OperationalState.GREEN
+        )
+
+    def test_only_gray_is_unsafe(self):
+        assert not OperationalState.GRAY.is_safe
+        assert all(s.is_safe for s in STATE_ORDER if s is not OperationalState.GRAY)
+
+    def test_str(self):
+        assert str(OperationalState.ORANGE) == "orange"
+
+
+class TestWorstState:
+    def test_empty_is_green(self):
+        assert worst_state([]) is OperationalState.GREEN
+
+    def test_picks_most_severe(self):
+        states = [OperationalState.ORANGE, OperationalState.RED, OperationalState.GREEN]
+        assert worst_state(states) is OperationalState.RED
+
+    def test_gray_dominates(self):
+        assert worst_state(list(STATE_ORDER)) is OperationalState.GRAY

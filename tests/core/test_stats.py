@@ -1,0 +1,134 @@
+"""Tests for the statistical utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.outcomes import OperationalProfile
+from repro.core.states import OperationalState as S
+from repro.core.stats import (
+    ProportionTest,
+    _normal_ppf,
+    compare_profiles,
+    required_realizations,
+    two_proportion_test,
+)
+from repro.errors import AnalysisError
+
+
+class TestNormalPpf:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(0.5, 0.0), (0.975, 1.959964), (0.025, -1.959964), (0.8, 0.841621)],
+    )
+    def test_known_quantiles(self, p, expected):
+        assert _normal_ppf(p) == pytest.approx(expected, abs=1e-4)
+
+    def test_bounds(self):
+        with pytest.raises(AnalysisError):
+            _normal_ppf(0.0)
+        with pytest.raises(AnalysisError):
+            _normal_ppf(1.0)
+
+    @given(st.floats(min_value=0.001, max_value=0.999))
+    @settings(max_examples=100)
+    def test_symmetry(self, p):
+        assert _normal_ppf(p) == pytest.approx(-_normal_ppf(1.0 - p), abs=1e-6)
+
+
+class TestTwoProportionTest:
+    def test_identical_samples_not_significant(self):
+        result = two_proportion_test(95, 1000, 95, 1000)
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant()
+
+    def test_large_difference_significant(self):
+        result = two_proportion_test(95, 1000, 300, 1000)
+        assert result.significant(0.01)
+        assert result.difference == pytest.approx(-0.205)
+
+    def test_small_difference_in_small_samples_not_significant(self):
+        # 9.5% vs 10.5% at n=100 each is statistical noise.
+        result = two_proportion_test(9, 100, 11, 100)
+        assert not result.significant()
+
+    def test_degenerate_zero_variance(self):
+        result = two_proportion_test(0, 50, 0, 50)
+        assert result.p_value == 1.0
+        result = two_proportion_test(50, 50, 50, 50)
+        assert result.p_value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            two_proportion_test(5, 0, 5, 10)
+        with pytest.raises(AnalysisError):
+            two_proportion_test(11, 10, 5, 10)
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100)
+    def test_p_value_in_range_and_symmetric(self, ka, kb):
+        result = two_proportion_test(ka, 100, kb, 100)
+        mirrored = two_proportion_test(kb, 100, ka, 100)
+        assert 0.0 <= result.p_value <= 1.0
+        assert result.p_value == pytest.approx(mirrored.p_value)
+        assert result.z == pytest.approx(-mirrored.z)
+
+
+class TestCompareProfiles:
+    def test_paper_vs_measured_not_distinguishable(self):
+        # The paper's 9.5% red and our 9.4% red over 1000 realizations
+        # are statistically the same result.
+        paper = OperationalProfile({S.GREEN: 905, S.RED: 95})
+        measured = OperationalProfile({S.GREEN: 906, S.RED: 94})
+        result = compare_profiles(paper, measured, S.RED)
+        assert not result.significant()
+
+    def test_real_architecture_difference_detected(self):
+        # "6+6+6" green 90.6% vs "2-2" green 0% under intrusion: night
+        # and day.
+        strong = OperationalProfile({S.GREEN: 906, S.RED: 94})
+        weak = OperationalProfile({S.GRAY: 906, S.RED: 94})
+        result = compare_profiles(strong, weak, S.GREEN)
+        assert result.significant(1e-6)
+
+
+class TestRequiredRealizations:
+    def test_detecting_waiau_vs_kahe_effect(self):
+        # 9.5% red vs ~0% red is a huge effect: a few dozen realizations
+        # suffice.
+        n = required_realizations(0.095, 0.005)
+        assert n < 150
+
+    def test_tiny_effects_need_huge_ensembles(self):
+        n = required_realizations(0.095, 0.090)
+        assert n > 10_000
+
+    def test_symmetric(self):
+        assert required_realizations(0.1, 0.2) == required_realizations(0.2, 0.1)
+
+    def test_more_power_needs_more_samples(self):
+        lenient = required_realizations(0.1, 0.15, power=0.5)
+        strict = required_realizations(0.1, 0.15, power=0.95)
+        assert strict > lenient
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            required_realizations(0.0, 0.1)
+        with pytest.raises(AnalysisError):
+            required_realizations(0.1, 0.1)
+        with pytest.raises(AnalysisError):
+            required_realizations(0.1, 0.2, alpha=0.0)
+
+
+class TestProportionTestObject:
+    def test_alpha_validation(self):
+        result = ProportionTest(z=2.0, p_value=0.04, difference=0.1)
+        with pytest.raises(AnalysisError):
+            result.significant(alpha=1.5)

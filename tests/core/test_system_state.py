@@ -1,0 +1,102 @@
+"""Tests for system-state snapshots and transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system_state import SiteStatus, SystemState, initial_state
+from repro.errors import AnalysisError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.scada.architectures import CONFIG_2, CONFIG_2_2, CONFIG_6_6, CONFIG_6_6_6
+from repro.scada.placement import PLACEMENT_WAIAU
+
+
+class TestSiteStatus:
+    def test_functioning_logic(self):
+        spec = CONFIG_2.sites[0]
+        assert SiteStatus("A", spec).functioning
+        assert not SiteStatus("A", spec, flooded=True).functioning
+        assert not SiteStatus("A", spec, isolated=True).functioning
+
+    def test_available_replicas(self):
+        spec = CONFIG_6_6.sites[0]
+        assert SiteStatus("A", spec).available_replicas == 6
+        assert SiteStatus("A", spec, flooded=True).available_replicas == 0
+
+    def test_intrusions_bounded_by_replicas(self):
+        spec = CONFIG_2.sites[0]
+        SiteStatus("A", spec, intrusions=2)
+        with pytest.raises(AnalysisError):
+            SiteStatus("A", spec, intrusions=3)
+        with pytest.raises(AnalysisError):
+            SiteStatus("A", spec, intrusions=-1)
+
+
+class TestInitialState:
+    def test_no_failures_all_functioning(self):
+        state = initial_state(CONFIG_6_6_6, PLACEMENT_WAIAU)
+        assert state.functioning_sites() == (0, 1, 2)
+        assert state.available_replicas() == 18
+
+    def test_flooded_assets_marked(self):
+        state = initial_state(
+            CONFIG_6_6_6, PLACEMENT_WAIAU, failed_assets={HONOLULU_CC, WAIAU_CC}
+        )
+        assert state.sites[0].flooded
+        assert state.sites[1].flooded
+        assert not state.sites[2].flooded
+        assert state.functioning_sites() == (2,)
+        assert state.available_replicas() == 6
+
+    def test_unrelated_failures_ignored(self):
+        state = initial_state(
+            CONFIG_2, PLACEMENT_WAIAU, failed_assets={"Kahe Power Plant"}
+        )
+        assert state.sites[0].functioning
+
+    def test_site_names_follow_placement(self):
+        state = initial_state(CONFIG_2_2, PLACEMENT_WAIAU)
+        assert [s.asset_name for s in state.sites] == [HONOLULU_CC, WAIAU_CC]
+
+
+class TestTransitions:
+    def test_with_isolation_is_pure(self):
+        state = initial_state(CONFIG_2_2, PLACEMENT_WAIAU)
+        isolated = state.with_isolation(0)
+        assert isolated.sites[0].isolated
+        assert not state.sites[0].isolated  # original untouched
+
+    def test_with_intrusions_accumulates(self):
+        state = initial_state(CONFIG_6_6, PLACEMENT_WAIAU)
+        s2 = state.with_intrusions(0, 1).with_intrusions(0, 1)
+        assert s2.sites[0].intrusions == 2
+
+    def test_with_intrusions_respects_replica_cap(self):
+        state = initial_state(CONFIG_2, PLACEMENT_WAIAU)
+        with pytest.raises(AnalysisError):
+            state.with_intrusions(0, 3)
+
+    def test_negative_intrusions_rejected(self):
+        state = initial_state(CONFIG_2, PLACEMENT_WAIAU)
+        with pytest.raises(AnalysisError):
+            state.with_intrusions(0, -1)
+
+    def test_bad_index_rejected(self):
+        state = initial_state(CONFIG_2, PLACEMENT_WAIAU)
+        with pytest.raises(AnalysisError):
+            state.with_isolation(5)
+
+
+class TestQueries:
+    def test_intrusion_counting_skips_non_functioning(self):
+        state = initial_state(CONFIG_6_6_6, PLACEMENT_WAIAU)
+        state = state.with_intrusions(0, 1).with_intrusions(2, 1)
+        assert state.total_functioning_intrusions() == 2
+        state = state.with_isolation(0)
+        assert state.total_functioning_intrusions() == 1
+        assert state.max_site_intrusions() == 1
+
+    def test_state_site_count_must_match(self):
+        good = initial_state(CONFIG_2_2, PLACEMENT_WAIAU)
+        with pytest.raises(AnalysisError):
+            SystemState(CONFIG_2, good.sites)

@@ -1,0 +1,47 @@
+"""Tests for the compound threat scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.threat import (
+    HURRICANE,
+    HURRICANE_INTRUSION,
+    HURRICANE_INTRUSION_ISOLATION,
+    HURRICANE_ISOLATION,
+    PAPER_SCENARIOS,
+    CyberAttackBudget,
+    get_scenario,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCyberAttackBudget:
+    def test_empty(self):
+        assert CyberAttackBudget().is_empty
+        assert not CyberAttackBudget(intrusions=1).is_empty
+        assert not CyberAttackBudget(isolations=1).is_empty
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CyberAttackBudget(intrusions=-1)
+        with pytest.raises(ConfigurationError):
+            CyberAttackBudget(isolations=-1)
+
+
+class TestPaperScenarios:
+    def test_four_scenarios(self):
+        assert len(PAPER_SCENARIOS) == 4
+
+    def test_budgets_match_paper(self):
+        assert HURRICANE.budget == CyberAttackBudget(0, 0)
+        assert HURRICANE_INTRUSION.budget == CyberAttackBudget(1, 0)
+        assert HURRICANE_ISOLATION.budget == CyberAttackBudget(0, 1)
+        assert HURRICANE_INTRUSION_ISOLATION.budget == CyberAttackBudget(1, 1)
+
+    def test_lookup(self):
+        assert get_scenario("hurricane+isolation") is HURRICANE_ISOLATION
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("earthquake")

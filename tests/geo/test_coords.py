@@ -1,0 +1,187 @@
+"""Unit and property tests for geographic primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    LocalProjection,
+    destination_point,
+    haversine_km,
+    initial_bearing_deg,
+    segment_distance_km,
+    unit_vector_deg,
+)
+
+HONOLULU = GeoPoint(21.3069, -157.8583)
+KANEOHE = GeoPoint(21.4180, -157.8036)
+
+lat_strategy = st.floats(min_value=-80.0, max_value=80.0)
+lon_strategy = st.floats(min_value=-179.0, max_value=179.0)
+point_strategy = st.builds(GeoPoint, lat_strategy, lon_strategy)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(21.3, -157.8)
+        assert p.lat == 21.3
+        assert p.lon == -157.8
+
+    @pytest.mark.parametrize("lat", [-91.0, 90.5, 180.0])
+    def test_invalid_latitude(self, lat):
+        with pytest.raises(TopologyError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-181.0, 180.5, 720.0])
+    def test_invalid_longitude(self, lon):
+        with pytest.raises(TopologyError):
+            GeoPoint(0.0, lon)
+
+    def test_str_hemispheres(self):
+        assert "N" in str(GeoPoint(21.3, -157.8))
+        assert "W" in str(GeoPoint(21.3, -157.8))
+        assert "S" in str(GeoPoint(-21.3, 157.8))
+        assert "E" in str(GeoPoint(-21.3, 157.8))
+
+    def test_frozen(self):
+        p = GeoPoint(10.0, 20.0)
+        with pytest.raises(AttributeError):
+            p.lat = 11.0  # type: ignore[misc]
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(HONOLULU, HONOLULU) == 0.0
+
+    def test_known_distance_honolulu_kaneohe(self):
+        # ~13.5 km across the Koolau range.
+        d = haversine_km(HONOLULU, KANEOHE)
+        assert 12.0 < d < 15.0
+
+    def test_one_degree_latitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 0.0)
+        expected = math.pi * EARTH_RADIUS_KM / 180.0
+        assert haversine_km(a, b) == pytest.approx(expected, rel=1e-6)
+
+    @given(point_strategy, point_strategy)
+    @settings(max_examples=100)
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a), abs=1e-9)
+
+    @given(point_strategy, point_strategy)
+    @settings(max_examples=100)
+    def test_non_negative_and_bounded(self, a, b):
+        d = haversine_km(a, b)
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+
+class TestBearingAndDestination:
+    def test_due_north(self):
+        assert initial_bearing_deg(GeoPoint(0, 0), GeoPoint(1, 0)) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        assert initial_bearing_deg(GeoPoint(0, 0), GeoPoint(0, 1)) == pytest.approx(90.0)
+
+    def test_due_south(self):
+        assert initial_bearing_deg(GeoPoint(1, 0), GeoPoint(0, 0)) == pytest.approx(180.0)
+
+    @given(point_strategy, st.floats(min_value=0, max_value=359.99),
+           st.floats(min_value=0.1, max_value=500.0))
+    @settings(max_examples=100)
+    def test_destination_distance_roundtrip(self, origin, bearing, distance):
+        dest = destination_point(origin, bearing, distance)
+        assert haversine_km(origin, dest) == pytest.approx(distance, rel=1e-6)
+
+    def test_destination_bearing_consistency(self):
+        dest = destination_point(HONOLULU, 45.0, 50.0)
+        assert initial_bearing_deg(HONOLULU, dest) == pytest.approx(45.0, abs=0.5)
+
+    def test_longitude_wraparound(self):
+        near_dateline = GeoPoint(0.0, 179.5)
+        dest = destination_point(near_dateline, 90.0, 120.0)
+        assert -180.0 <= dest.lon <= 180.0
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self):
+        proj = LocalProjection(HONOLULU)
+        assert proj.to_xy(HONOLULU) == (0.0, 0.0)
+
+    @given(st.floats(min_value=-50, max_value=50), st.floats(min_value=-50, max_value=50))
+    @settings(max_examples=100)
+    def test_roundtrip(self, x, y):
+        proj = LocalProjection(HONOLULU)
+        p = proj.to_point(x, y)
+        rx, ry = proj.to_xy(p)
+        assert rx == pytest.approx(x, abs=1e-9)
+        assert ry == pytest.approx(y, abs=1e-9)
+
+    def test_matches_haversine_at_island_scale(self):
+        proj = LocalProjection(HONOLULU)
+        x, y = proj.to_xy(KANEOHE)
+        planar = math.hypot(x, y)
+        assert planar == pytest.approx(haversine_km(HONOLULU, KANEOHE), rel=0.01)
+
+    def test_north_is_positive_y(self):
+        proj = LocalProjection(HONOLULU)
+        _, y = proj.to_xy(GeoPoint(HONOLULU.lat + 0.1, HONOLULU.lon))
+        assert y > 0
+
+
+class TestSegmentDistance:
+    def test_point_on_segment(self):
+        a = GeoPoint(21.0, -158.0)
+        b = GeoPoint(21.0, -157.8)
+        mid = GeoPoint(21.0, -157.9)
+        assert segment_distance_km(mid, a, b) == pytest.approx(0.0, abs=0.05)
+
+    def test_point_beyond_endpoint_clamps(self):
+        a = GeoPoint(21.0, -158.0)
+        b = GeoPoint(21.0, -157.9)
+        far_east = GeoPoint(21.0, -157.5)
+        assert segment_distance_km(far_east, a, b) == pytest.approx(
+            haversine_km(far_east, b), rel=0.02
+        )
+
+    def test_degenerate_segment(self):
+        a = GeoPoint(21.0, -158.0)
+        p = GeoPoint(21.1, -158.0)
+        assert segment_distance_km(p, a, a) == pytest.approx(
+            haversine_km(p, a), rel=0.01
+        )
+
+    def test_perpendicular_offset(self):
+        a = GeoPoint(21.0, -158.0)
+        b = GeoPoint(21.0, -157.8)
+        north = GeoPoint(21.09, -157.9)  # ~10 km north of the segment
+        assert segment_distance_km(north, a, b) == pytest.approx(10.0, rel=0.02)
+
+
+class TestUnitVector:
+    @pytest.mark.parametrize(
+        "bearing,expected",
+        [
+            (0.0, (0.0, 1.0)),
+            (90.0, (1.0, 0.0)),
+            (180.0, (0.0, -1.0)),
+            (270.0, (-1.0, 0.0)),
+        ],
+    )
+    def test_cardinal_directions(self, bearing, expected):
+        ex, ey = unit_vector_deg(bearing)
+        assert ex == pytest.approx(expected[0], abs=1e-12)
+        assert ey == pytest.approx(expected[1], abs=1e-12)
+
+    @given(st.floats(min_value=0, max_value=360))
+    @settings(max_examples=50)
+    def test_unit_length(self, bearing):
+        ex, ey = unit_vector_deg(bearing)
+        assert math.hypot(ex, ey) == pytest.approx(1.0)

@@ -1,0 +1,73 @@
+"""Tests for the synthetic Oahu case-study geography."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.catalog import AssetRole
+from repro.geo.coords import haversine_km
+from repro.geo.oahu import (
+    ALOHANAP,
+    DRFORTRESS,
+    HONOLULU_CC,
+    KAHE_CC,
+    WAIAU_CC,
+    oahu_case_study,
+)
+
+
+class TestOahuCatalog:
+    def test_all_paper_control_sites_present(self, oahu_catalog):
+        for name in (HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS, ALOHANAP):
+            assert name in oahu_catalog
+
+    def test_control_sites_have_control_roles(self, oahu_catalog):
+        names = {a.name for a in oahu_catalog.control_sites()}
+        assert {HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS, ALOHANAP} <= names
+
+    def test_has_power_plants_and_substations(self, oahu_catalog):
+        assert len(oahu_catalog.with_role(AssetRole.POWER_PLANT)) >= 5
+        assert len(oahu_catalog.with_role(AssetRole.SUBSTATION)) >= 10
+
+    def test_honolulu_and_waiau_share_low_elevation(self, oahu_catalog):
+        # The paper attributes their correlated flooding to similar,
+        # low altitudes.
+        hon = oahu_catalog.get(HONOLULU_CC)
+        wai = oahu_catalog.get(WAIAU_CC)
+        assert hon.elevation_m == pytest.approx(wai.elevation_m)
+        assert hon.elevation_m < 5.0
+
+    def test_kahe_sits_higher(self, oahu_catalog):
+        kahe = oahu_catalog.get(KAHE_CC)
+        assert kahe.elevation_m > 2 * oahu_catalog.get(HONOLULU_CC).elevation_m
+
+    def test_data_centers_are_elevated(self, oahu_catalog):
+        for name in (DRFORTRESS, ALOHANAP):
+            assert oahu_catalog.get(name).elevation_m >= 8.0
+
+    def test_waiau_near_pearl_harbor(self, oahu_catalog):
+        wai = oahu_catalog.get(WAIAU_CC)
+        plant = oahu_catalog.get("Waiau Power Plant")
+        assert haversine_km(wai.location, plant.location) < 1.0
+
+    def test_assets_lie_within_or_near_the_island(self, oahu_region, oahu_catalog):
+        for asset in oahu_catalog:
+            inside = oahu_region.contains(asset.location)
+            near = oahu_region.distance_to_shore_km(asset.location) < 3.0
+            assert inside or near, f"{asset.name} is far offshore"
+
+    def test_honolulu_waiau_separation(self, oahu_catalog):
+        # The two control centers are distinct sites ~8-12 km apart.
+        d = haversine_km(
+            oahu_catalog.get(HONOLULU_CC).location,
+            oahu_catalog.get(WAIAU_CC).location,
+        )
+        assert 5.0 < d < 15.0
+
+
+class TestOahuCaseStudyBundle:
+    def test_bundle_is_consistent(self):
+        bundle = oahu_case_study()
+        assert bundle.region.name == "Oahu"
+        assert bundle.terrain.region is bundle.region
+        assert HONOLULU_CC in bundle.catalog

@@ -1,0 +1,129 @@
+"""Tests for coastal regions and shoreline segments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.geo.coords import GeoPoint
+from repro.geo.region import CoastalRegion, ShorelineSegment
+
+
+def square_region(side_deg: float = 0.2) -> CoastalRegion:
+    """A simple square island centred at (21, -158)."""
+    lat0, lon0 = 21.0, -158.0
+    h = side_deg / 2.0
+    sw = GeoPoint(lat0 - h, lon0 - h)
+    se = GeoPoint(lat0 - h, lon0 + h)
+    ne = GeoPoint(lat0 + h, lon0 + h)
+    nw = GeoPoint(lat0 + h, lon0 - h)
+    return CoastalRegion(
+        "Square",
+        (
+            ShorelineSegment("south", (sw, se), shelf_factor=1.5),
+            ShorelineSegment("east", (se, ne)),
+            ShorelineSegment("north", (ne, nw)),
+            ShorelineSegment("west", (nw, sw), shelf_factor=0.5),
+        ),
+    )
+
+
+class TestShorelineSegment:
+    def test_requires_two_vertices(self):
+        with pytest.raises(TopologyError):
+            ShorelineSegment("bad", (GeoPoint(0, 0),))
+
+    def test_requires_positive_shelf(self):
+        with pytest.raises(TopologyError):
+            ShorelineSegment("bad", (GeoPoint(0, 0), GeoPoint(0, 1)), shelf_factor=0.0)
+
+    @pytest.mark.parametrize("bearing", [-10.0, 360.0, 400.0])
+    def test_invalid_override_bearing(self, bearing):
+        with pytest.raises(TopologyError):
+            ShorelineSegment(
+                "bad",
+                (GeoPoint(0, 0), GeoPoint(0, 1)),
+                onshore_bearing_override=bearing,
+            )
+
+    def test_valid_override_bearing(self):
+        seg = ShorelineSegment(
+            "ok", (GeoPoint(0, 0), GeoPoint(0, 1)), onshore_bearing_override=0.0
+        )
+        assert seg.onshore_bearing_override == 0.0
+
+
+class TestCoastalRegion:
+    def test_requires_segments(self):
+        with pytest.raises(TopologyError):
+            CoastalRegion("empty", ())
+
+    def test_centroid_inside_square(self):
+        region = square_region()
+        assert region.centroid.lat == pytest.approx(21.0, abs=0.01)
+        assert region.centroid.lon == pytest.approx(-158.0, abs=0.01)
+
+    def test_segment_lookup(self):
+        region = square_region()
+        assert region.segment("south").shelf_factor == 1.5
+
+    def test_segment_lookup_missing(self):
+        with pytest.raises(TopologyError):
+            square_region().segment("nope")
+
+    def test_contains_center(self):
+        region = square_region()
+        assert region.contains(GeoPoint(21.0, -158.0))
+
+    def test_does_not_contain_outside(self):
+        region = square_region()
+        assert not region.contains(GeoPoint(22.0, -158.0))
+        assert not region.contains(GeoPoint(21.0, -159.0))
+
+    def test_distance_to_shore_center(self):
+        region = square_region(side_deg=0.2)
+        # Center is ~0.1 deg latitude (~11.1 km) from each edge.
+        d = region.distance_to_shore_km(GeoPoint(21.0, -158.0))
+        assert 9.0 < d < 12.5
+
+    def test_distance_to_shore_on_edge(self):
+        region = square_region()
+        edge_point = GeoPoint(20.9, -158.0)  # on the south edge
+        assert region.distance_to_shore_km(edge_point) < 0.2
+
+    def test_nearest_segment(self):
+        region = square_region()
+        south_point = GeoPoint(20.92, -158.0)
+        assert region.nearest_segment(south_point).name == "south"
+        west_point = GeoPoint(21.0, -158.08)
+        assert region.nearest_segment(west_point).name == "west"
+
+    def test_all_vertices_count(self):
+        region = square_region()
+        assert len(region.all_vertices()) == 8  # 4 segments x 2 vertices
+
+
+class TestOahuRegion:
+    def test_oahu_contains_central_plateau(self, oahu_region):
+        assert oahu_region.contains(GeoPoint(21.47, -158.00))
+
+    def test_oahu_excludes_pearl_harbor_water(self, oahu_region):
+        # The harbor lochs are water: the ring excludes them.
+        assert not oahu_region.contains(GeoPoint(21.355, -157.96))
+
+    def test_oahu_excludes_open_ocean(self, oahu_region):
+        assert not oahu_region.contains(GeoPoint(20.5, -157.5))
+        assert not oahu_region.contains(GeoPoint(21.45, -158.4))
+
+    def test_oahu_has_seven_segments(self, oahu_region):
+        assert len(oahu_region.segments) == 7
+
+    def test_pearl_harbor_is_amplifying(self, oahu_region):
+        assert oahu_region.segment("pearl-harbor").shelf_factor > 1.0
+
+    def test_waianae_coast_sheds_surge(self, oahu_region):
+        assert oahu_region.segment("waianae-coast").shelf_factor < 1.0
+
+    def test_south_shore_overrides_point_north(self, oahu_region):
+        for name in ("ewa-south-shore", "pearl-harbor", "honolulu-waterfront"):
+            assert oahu_region.segment(name).onshore_bearing_override == 0.0

@@ -1,0 +1,72 @@
+"""Tests for the synthetic terrain model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.geo.coords import GeoPoint
+from repro.geo.terrain import Ridge, TerrainModel
+from tests.geo.test_region import square_region
+
+
+class TestRidge:
+    def test_requires_positive_height_and_width(self):
+        a, b = GeoPoint(21.0, -158.0), GeoPoint(21.1, -158.0)
+        with pytest.raises(TopologyError):
+            Ridge(a, b, height_m=0.0, width_km=3.0)
+        with pytest.raises(TopologyError):
+            Ridge(a, b, height_m=100.0, width_km=0.0)
+
+    def test_peak_on_axis(self):
+        ridge = Ridge(GeoPoint(21.0, -158.0), GeoPoint(21.2, -158.0), 500.0, 3.0)
+        on_axis = GeoPoint(21.1, -158.0)
+        assert ridge.elevation_at(on_axis) == pytest.approx(500.0, rel=0.01)
+
+    def test_gaussian_falloff(self):
+        ridge = Ridge(GeoPoint(21.0, -158.0), GeoPoint(21.2, -158.0), 500.0, 3.0)
+        # ~10 km east of the axis: essentially zero.
+        far = GeoPoint(21.1, -157.9)
+        assert ridge.elevation_at(far) < 5.0
+
+    def test_degenerate_ridge_is_a_peak(self):
+        peak = Ridge(GeoPoint(21.0, -158.0), GeoPoint(21.0, -158.0), 300.0, 2.0)
+        assert peak.elevation_at(GeoPoint(21.0, -158.0)) == pytest.approx(300.0)
+
+    def test_beyond_endpoint_decays(self):
+        ridge = Ridge(GeoPoint(21.0, -158.0), GeoPoint(21.1, -158.0), 500.0, 3.0)
+        past_end = GeoPoint(21.3, -158.0)  # ~22 km past the end vertex
+        assert ridge.elevation_at(past_end) < 1.0
+
+
+class TestTerrainModel:
+    def test_offshore_is_sea_level(self):
+        terrain = TerrainModel(region=square_region())
+        assert terrain.elevation_at(GeoPoint(22.0, -158.0)) == 0.0
+
+    def test_inland_rises_with_distance(self):
+        terrain = TerrainModel(region=square_region(), plain_slope_m_per_km=5.0)
+        near_shore = terrain.elevation_at(GeoPoint(20.92, -158.0))
+        center = terrain.elevation_at(GeoPoint(21.0, -158.0))
+        assert center > near_shore > 0.0
+
+    def test_ridge_contributes(self):
+        region = square_region()
+        ridge = Ridge(GeoPoint(20.95, -158.0), GeoPoint(21.05, -158.0), 800.0, 2.0)
+        flat = TerrainModel(region=region)
+        mountainous = TerrainModel(region=region, ridges=(ridge,))
+        p = GeoPoint(21.0, -158.0)
+        assert mountainous.elevation_at(p) > flat.elevation_at(p) + 700.0
+
+
+class TestOahuTerrain:
+    def test_koolau_crest_is_high(self, oahu_terrain):
+        crest = GeoPoint(21.47, -157.835)  # on the Koolau spine
+        assert oahu_terrain.elevation_at(crest) > 400.0
+
+    def test_coastal_plain_is_low(self, oahu_terrain):
+        ewa_plain = GeoPoint(21.32, -158.03)
+        assert oahu_terrain.elevation_at(ewa_plain) < 60.0
+
+    def test_offshore_zero(self, oahu_terrain):
+        assert oahu_terrain.elevation_at(GeoPoint(21.0, -158.0)) == 0.0

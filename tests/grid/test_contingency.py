@@ -1,0 +1,87 @@
+"""Tests for contingency / cascade analysis and the SCADA-value metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GridModelError
+from repro.grid.contingency import n_minus_1_report, simulate_contingency
+from repro.grid.model import build_oahu_grid
+
+BACKBONE = ("Waiau Power Plant", "Halawa Substation")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_oahu_grid()
+
+
+class TestSimulateContingency:
+    def test_no_outage_serves_everything(self, grid):
+        result = simulate_contingency(grid, set(), True)
+        assert result.served_fraction == pytest.approx(1.0)
+        assert result.tripped_lines == ()
+
+    def test_scada_control_prevents_cascade(self, grid):
+        result = simulate_contingency(grid, {BACKBONE}, scada_operational=True)
+        assert result.served_fraction == pytest.approx(1.0)
+        assert result.tripped_lines == ()
+
+    def test_no_scada_cascades(self, grid):
+        result = simulate_contingency(grid, {BACKBONE}, scada_operational=False)
+        assert result.served_fraction < 0.6
+        assert len(result.tripped_lines) >= 3
+        assert result.rounds >= 2
+
+    def test_scada_never_worse(self, grid):
+        for line in grid.lines:
+            with_scada = simulate_contingency(grid, {line.key}, True)
+            without = simulate_contingency(grid, {line.key}, False)
+            assert with_scada.served_fraction >= without.served_fraction - 1e-9, line.key
+
+    def test_radial_outage_sheds_exactly_that_load(self, grid):
+        # Losing the Waianae radial strands its 45 MW.
+        key = ("Kahe Power Plant", "Waianae Substation")
+        result = simulate_contingency(grid, {key}, True)
+        expected = 1.0 - 45.0 / grid.total_demand_mw
+        assert result.served_fraction == pytest.approx(expected)
+
+    def test_unknown_line_rejected(self, grid):
+        with pytest.raises(GridModelError):
+            simulate_contingency(grid, {("a", "b")}, True)
+
+    def test_islands_partition_buses(self, grid):
+        result = simulate_contingency(grid, {BACKBONE}, False)
+        all_buses = set()
+        for island in result.islands:
+            assert not (all_buses & island.buses)
+            all_buses |= island.buses
+        assert all_buses == set(grid.buses)
+
+    def test_blackout_flag(self, grid):
+        result = simulate_contingency(grid, {BACKBONE}, False)
+        assert result.blackout == (result.served_fraction < 0.5)
+
+
+class TestNMinus1Report:
+    def test_covers_every_line(self, grid):
+        report = n_minus_1_report(grid)
+        assert len(report) == len(grid.lines)
+
+    def test_scada_value_is_visible(self, grid):
+        report = n_minus_1_report(grid)
+        avg_with = sum(e.served_fraction_with_scada for e in report) / len(report)
+        avg_without = sum(e.served_fraction_without_scada for e in report) / len(report)
+        assert avg_with > avg_without + 0.05
+
+    def test_islanding_flagged(self, grid):
+        report = n_minus_1_report(grid)
+        radial = next(
+            e for e in report if e.line == ("Kahe Power Plant", "Waianae Substation")
+        )
+        assert radial.islanded
+
+    def test_loadings_reported(self, grid):
+        report = n_minus_1_report(grid)
+        assert all(e.max_loading >= 0.0 for e in report)
+        assert any(e.max_loading > 0.7 for e in report)

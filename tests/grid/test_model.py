@@ -1,0 +1,96 @@
+"""Tests for the grid model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GridModelError
+from repro.grid.model import Bus, Generator, GridModel, Line, build_oahu_grid
+
+
+def tiny_grid() -> GridModel:
+    """Two-bus grid: generator bus feeding a load bus."""
+    grid = GridModel()
+    grid.add_bus(Bus("gen-bus"))
+    grid.add_bus(Bus("load-bus", demand_mw=100.0))
+    grid.add_line(Line("gen-bus", "load-bus", 0.1, 150.0))
+    grid.add_generator(Generator("G1", "gen-bus", 200.0))
+    return grid
+
+
+class TestComponents:
+    def test_bus_rejects_negative_demand(self):
+        with pytest.raises(GridModelError):
+            Bus("b", -1.0)
+
+    def test_generator_needs_capacity(self):
+        with pytest.raises(GridModelError):
+            Generator("g", "b", 0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"a": "x", "b": "x", "reactance_pu": 0.1, "capacity_mw": 10.0},
+            {"a": "x", "b": "y", "reactance_pu": 0.0, "capacity_mw": 10.0},
+            {"a": "x", "b": "y", "reactance_pu": 0.1, "capacity_mw": 0.0},
+        ],
+    )
+    def test_line_validation(self, kwargs):
+        with pytest.raises(GridModelError):
+            Line(**kwargs)
+
+
+class TestGridModel:
+    def test_duplicate_bus_rejected(self):
+        grid = tiny_grid()
+        with pytest.raises(GridModelError):
+            grid.add_bus(Bus("gen-bus"))
+
+    def test_line_endpoints_must_exist(self):
+        grid = tiny_grid()
+        with pytest.raises(GridModelError):
+            grid.add_line(Line("gen-bus", "ghost", 0.1, 10.0))
+
+    def test_generator_bus_must_exist(self):
+        grid = tiny_grid()
+        with pytest.raises(GridModelError):
+            grid.add_generator(Generator("G2", "ghost", 10.0))
+
+    def test_totals(self):
+        grid = tiny_grid()
+        assert grid.total_demand_mw == 100.0
+        assert grid.total_capacity_mw == 200.0
+        assert grid.generation_at("gen-bus") == 200.0
+        assert grid.generation_at("load-bus") == 0.0
+
+    def test_validate_capacity_shortfall(self):
+        grid = GridModel()
+        grid.add_bus(Bus("a", demand_mw=500.0))
+        grid.add_bus(Bus("b"))
+        grid.add_line(Line("a", "b", 0.1, 100.0))
+        grid.add_generator(Generator("G", "b", 100.0))
+        with pytest.raises(GridModelError):
+            grid.validate()
+
+
+class TestOahuGrid:
+    def test_builds_and_validates(self):
+        grid = build_oahu_grid()
+        assert grid.total_capacity_mw > grid.total_demand_mw
+        assert len(grid.buses) >= 15
+        assert len(grid.lines) >= 18
+
+    def test_generation_mirrors_real_fleet(self):
+        grid = build_oahu_grid()
+        # Kahe is the island's largest plant.
+        assert grid.generation_at("Kahe Power Plant") == max(
+            grid.generation_at(b) for b in grid.buses
+        )
+
+    def test_load_concentrated_in_honolulu(self):
+        grid = build_oahu_grid()
+        urban = sum(
+            grid.buses[b].demand_mw
+            for b in ("Iwilei Substation", "Archer Substation", "Kamoku Substation")
+        )
+        assert urban > 0.3 * grid.total_demand_mw

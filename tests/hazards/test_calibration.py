@@ -1,0 +1,84 @@
+"""Calibration facts of the standard Oahu ensemble.
+
+These are the data-level facts the paper's case study rests on
+(Section VI-A); every figure's shape follows from them:
+
+* the Honolulu control center floods in ~9.5% of 1000 realizations,
+* Honolulu and Waiau flood in *exactly the same* realizations, and
+* Kahe and both commercial data centers never flood.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.oahu import (
+    ALOHANAP,
+    DRFORTRESS,
+    HONOLULU_CC,
+    KAHE_CC,
+    WAIAU_CC,
+)
+from repro.hazards.hurricane.standard import (
+    DEFAULT_REALIZATIONS,
+    standard_oahu_ensemble,
+)
+
+
+class TestStandardEnsembleCalibration:
+    def test_size_is_1000(self, standard_ensemble):
+        assert len(standard_ensemble) == DEFAULT_REALIZATIONS == 1000
+
+    def test_honolulu_flood_probability_band(self, standard_ensemble):
+        # Paper: 9.5%; our calibrated surge substrate must land in
+        # [7%, 12%] (DESIGN.md fidelity target).  Measured: 9.4%.
+        p = standard_ensemble.flood_probability(HONOLULU_CC)
+        assert 0.07 <= p <= 0.12
+
+    def test_honolulu_and_waiau_flood_identically(self, standard_ensemble):
+        # Paper Section VI-A: every realization flooding Honolulu floods
+        # Waiau, and both control centers survive together in the rest.
+        hon = np.array([r.depth_at(HONOLULU_CC) > 0.5 for r in standard_ensemble])
+        wai = np.array([r.depth_at(WAIAU_CC) > 0.5 for r in standard_ensemble])
+        assert np.array_equal(hon, wai)
+
+    def test_kahe_never_floods(self, standard_ensemble):
+        # Paper Section VII: Kahe is the site least impacted.
+        assert standard_ensemble.flood_probability(KAHE_CC) == 0.0
+
+    def test_data_centers_never_flood(self, standard_ensemble):
+        assert standard_ensemble.flood_probability(DRFORTRESS) == 0.0
+        assert standard_ensemble.flood_probability(ALOHANAP) == 0.0
+
+    def test_flooding_events_are_substantial(self, standard_ensemble):
+        # The typical flooding realization puts well over the 0.5 m switch
+        # height of water at the control center.  (Marginal realizations
+        # cannot split Honolulu from Waiau: both sites see the *same*
+        # basin water level at the same elevation, so their depths are
+        # equal to the last bit.)
+        depths = [
+            r.depth_at(HONOLULU_CC)
+            for r in standard_ensemble
+            if r.depth_at(HONOLULU_CC) > 0.5
+        ]
+        assert depths, "calibration lost: Honolulu never floods"
+        assert float(np.median(depths)) > 0.6
+
+    def test_honolulu_and_waiau_depths_are_equal(self, standard_ensemble):
+        for r in standard_ensemble:
+            assert r.depth_at(HONOLULU_CC) == r.depth_at(WAIAU_CC)
+
+    def test_other_seeds_preserve_structure(self):
+        # The identical-flooding structure is mechanical (shared basin
+        # water level + equal elevations), not a coincidence of one seed.
+        ens = standard_oahu_ensemble(count=300, seed=9)
+        hon = np.array([r.depth_at(HONOLULU_CC) > 0.5 for r in ens])
+        wai = np.array([r.depth_at(WAIAU_CC) > 0.5 for r in ens])
+        assert np.array_equal(hon, wai)
+
+    def test_south_shore_plants_flood_with_the_basin(self, standard_ensemble):
+        # The Waiau and Honolulu power plants sit in the same littoral
+        # strip at slightly lower pads, so they flood at least as often.
+        p_cc = standard_ensemble.flood_probability(HONOLULU_CC)
+        assert standard_ensemble.flood_probability("Honolulu Power Plant") >= p_cc
+        assert standard_ensemble.flood_probability("Waiau Power Plant") >= p_cc

@@ -1,0 +1,127 @@
+"""Tests for failure-correlation analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.geo.oahu import (
+    ALOHANAP,
+    DRFORTRESS,
+    HONOLULU_CC,
+    KAHE_CC,
+    WAIAU_CC,
+)
+from repro.hazards.correlation import (
+    analyze_failure_correlation,
+    failure_matrix,
+    phi_coefficient,
+)
+
+CONTROL_SITES = [HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS, ALOHANAP]
+
+
+class TestPhiCoefficient:
+    def test_identical_series(self):
+        a = np.array([True, False, True, True, False])
+        assert phi_coefficient(a, a) == pytest.approx(1.0)
+
+    def test_opposite_series(self):
+        a = np.array([True, False, True, False])
+        assert phi_coefficient(a, ~a) == pytest.approx(-1.0)
+
+    def test_independent_series(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(20_000) < 0.5
+        b = rng.random(20_000) < 0.5
+        assert abs(phi_coefficient(a, b)) < 0.03
+
+    def test_constant_series_is_nan(self):
+        a = np.zeros(10, dtype=bool)
+        b = np.array([True] * 5 + [False] * 5)
+        assert math.isnan(phi_coefficient(a, b))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            phi_coefficient(np.zeros(3), np.zeros(4))
+
+
+class TestFailureMatrix:
+    def test_shape_and_content(self, standard_ensemble):
+        m = failure_matrix(standard_ensemble.subset(50), CONTROL_SITES)
+        assert m.shape == (50, len(CONTROL_SITES))
+        assert m.dtype == bool
+
+    def test_requires_assets(self, standard_ensemble):
+        with pytest.raises(AnalysisError):
+            failure_matrix(standard_ensemble, [])
+
+
+class TestCorrelationReport:
+    @pytest.fixture(scope="class")
+    def report(self, standard_ensemble):
+        return analyze_failure_correlation(standard_ensemble, CONTROL_SITES)
+
+    def test_recovers_the_papers_insight(self, report):
+        # Honolulu and Waiau fail identically: phi = 1.
+        assert report.correlation(HONOLULU_CC, WAIAU_CC) == pytest.approx(1.0)
+
+    def test_marginals_match_flood_probabilities(self, report, standard_ensemble):
+        assert report.marginals[HONOLULU_CC] == pytest.approx(
+            standard_ensemble.flood_probability(HONOLULU_CC)
+        )
+        assert report.marginals[KAHE_CC] == 0.0
+
+    def test_never_failing_sites_have_nan_correlation(self, report):
+        assert math.isnan(report.correlation(HONOLULU_CC, KAHE_CC))
+
+    def test_correlated_pairs_flags_the_bad_backup(self, report):
+        pairs = report.correlated_pairs(threshold=0.9)
+        assert (HONOLULU_CC, WAIAU_CC, pytest.approx(1.0)) in [
+            (a, b, pytest.approx(c)) for a, b, c in pairs
+        ]
+
+    def test_independent_partners_for_honolulu(self, report):
+        partners = report.independent_partners(HONOLULU_CC)
+        # Kahe and the data centers never fail: ideal backups.
+        assert KAHE_CC in partners
+        assert DRFORTRESS in partners
+        assert WAIAU_CC not in partners
+
+    def test_unknown_asset_rejected(self, report):
+        with pytest.raises(AnalysisError):
+            report.correlation("Atlantis", HONOLULU_CC)
+        with pytest.raises(AnalysisError):
+            report.independent_partners("Atlantis")
+
+    def test_threshold_validation(self, report):
+        with pytest.raises(AnalysisError):
+            report.correlated_pairs(threshold=0.0)
+
+    def test_matrix_is_symmetric(self, report):
+        m = report.matrix
+        for i in range(m.shape[0]):
+            for j in range(m.shape[1]):
+                a, b = m[i, j], m[j, i]
+                assert (math.isnan(a) and math.isnan(b)) or a == pytest.approx(b)
+
+
+class TestEarthquakeContrast:
+    def test_quake_correlation_is_partial(self, oahu_catalog):
+        from repro.hazards.earthquake import (
+            EarthquakeGenerator,
+            seismic_fragility,
+            standard_oahu_fault,
+        )
+
+        ensemble = EarthquakeGenerator(
+            oahu_catalog, standard_oahu_fault()
+        ).generate(count=500, seed=42)
+        report = analyze_failure_correlation(
+            ensemble, [HONOLULU_CC, WAIAU_CC], seismic_fragility()
+        )
+        phi = report.correlation(HONOLULU_CC, WAIAU_CC)
+        assert 0.1 < phi < 0.95  # correlated, but far from the flood's 1.0

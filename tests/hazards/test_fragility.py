@@ -1,0 +1,96 @@
+"""Tests for asset fragility models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HazardError
+from repro.hazards.fragility import (
+    PAPER_FAILURE_THRESHOLD_M,
+    LogisticFragility,
+    ThresholdFragility,
+)
+
+
+class TestThresholdFragility:
+    def test_paper_default(self):
+        assert ThresholdFragility().threshold_m == PAPER_FAILURE_THRESHOLD_M == 0.5
+
+    def test_strictly_greater_fails(self):
+        model = ThresholdFragility(0.5)
+        assert not model.fails(0.5)
+        assert model.fails(0.5000001)
+        assert not model.fails(0.0)
+
+    def test_no_rng_needed(self):
+        assert ThresholdFragility().fails(1.0) is True
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(HazardError):
+            ThresholdFragility(-0.1)
+
+    def test_failed_assets(self):
+        model = ThresholdFragility(0.5)
+        failed = model.failed_assets({"A": 0.6, "B": 0.4, "C": 2.0})
+        assert failed == frozenset({"A", "C"})
+
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=50)
+    def test_probability_is_step(self, depth):
+        p = ThresholdFragility(0.5).failure_probability(depth)
+        assert p in (0.0, 1.0)
+        assert (p == 1.0) == (depth > 0.5)
+
+
+class TestLogisticFragility:
+    def test_half_probability_at_midpoint(self):
+        model = LogisticFragility(midpoint_m=0.5, steepness_per_m=8.0)
+        assert model.failure_probability(0.5) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        model = LogisticFragility()
+        depths = np.linspace(0.0, 3.0, 50)
+        probs = [model.failure_probability(d) for d in depths]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+
+    def test_steep_limit_approaches_threshold(self):
+        sharp = LogisticFragility(midpoint_m=0.5, steepness_per_m=500.0)
+        assert sharp.failure_probability(0.6) > 0.99
+        assert sharp.failure_probability(0.4) < 0.01
+
+    def test_requires_rng_for_sampling(self):
+        model = LogisticFragility()
+        with pytest.raises(HazardError):
+            model.fails(0.5)  # p == 0.5 needs an rng
+
+    def test_sampling_respects_probability(self):
+        model = LogisticFragility(midpoint_m=0.5, steepness_per_m=8.0)
+        rng = np.random.default_rng(0)
+        outcomes = [model.fails(0.5, rng) for _ in range(2000)]
+        assert 0.42 < np.mean(outcomes) < 0.58
+
+    def test_extreme_depths_one_sided(self):
+        model = LogisticFragility(midpoint_m=0.5, steepness_per_m=8.0)
+        # At 10 m the probability saturates to 1.0 in float arithmetic; at
+        # 0 m it is small (~1.8%) but nonzero, so sampled outcomes are
+        # overwhelmingly (not strictly) one-sided.
+        rng = np.random.default_rng(0)
+        assert all(model.fails(10.0, rng) for _ in range(50))
+        dry = [model.fails(0.0, rng) for _ in range(400)]
+        assert np.mean(dry) < 0.1
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"midpoint_m": -0.1}, {"steepness_per_m": 0.0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(HazardError):
+            LogisticFragility(**kwargs)
+
+    def test_failed_assets_with_rng(self):
+        model = LogisticFragility(midpoint_m=0.5, steepness_per_m=500.0)
+        rng = np.random.default_rng(0)
+        failed = model.failed_assets({"deep": 3.0, "dry": 0.0}, rng)
+        assert failed == frozenset({"deep"})

@@ -1,0 +1,88 @@
+"""Property-based tests of the hazard substrate's numerical invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import GeoPoint
+from repro.hazards.hurricane.inundation import InundationMapper, smooth_shoreline
+from repro.hazards.hurricane.mesh import build_coastal_mesh
+from repro.hazards.hurricane.surge import SurgeModel, SurgeModelParams
+from repro.hazards.hurricane.track import synthesize_linear_track
+from tests.geo.test_region import square_region
+from tests.hazards.test_inundation import coastal_catalog
+
+REGION = square_region(side_deg=0.4)
+MESH = build_coastal_mesh(REGION, spacing_km=2.0)
+
+wse_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=6.0),
+    min_size=len(MESH),
+    max_size=len(MESH),
+).map(lambda xs: np.array(xs))
+
+
+class TestSmoothingProperties:
+    @given(wse_arrays, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_smoothing_bounded_by_extremes(self, wse, window):
+        smoothed = smooth_shoreline(MESH, wse, window)
+        assert np.all(smoothed <= wse.max() + 1e-9)
+        assert np.all(smoothed >= 0.0)
+
+    @given(wse_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_positive_readings_survive(self, wse):
+        # Smoothing repairs zeros; it never zeroes a positive reading
+        # whose window holds any valid data.
+        smoothed = smooth_shoreline(MESH, wse, window=2)
+        positive = wse > 0.0
+        assert np.all(smoothed[positive] > 0.0)
+
+    @given(st.floats(min_value=0.1, max_value=5.0), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_fields_are_fixed_points(self, level, window):
+        wse = np.full(len(MESH), level)
+        assert np.allclose(smooth_shoreline(MESH, wse, window), level)
+
+
+class TestMapperProperties:
+    MAPPER = InundationMapper(REGION, MESH, coastal_catalog(REGION))
+
+    @given(wse_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_depths_nonnegative_and_bounded(self, wse):
+        depths = self.MAPPER.depths_from_wse(wse)
+        for depth in depths.values():
+            assert 0.0 <= depth <= wse.max() + 1e-9
+
+    @given(wse_arrays, st.floats(min_value=1.05, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_water_level(self, wse, factor):
+        base = self.MAPPER.depths_from_wse(wse)
+        raised = self.MAPPER.depths_from_wse(wse * factor)
+        for name in base:
+            assert raised[name] >= base[name] - 1e-9
+
+
+class TestSurgeMonotonicity:
+    @pytest.mark.parametrize("pressures", [(990.0, 975.0), (975.0, 958.0)])
+    def test_deeper_storms_raise_peak_wse_everywhere_it_matters(self, pressures):
+        model = SurgeModel(MESH, SurgeModelParams(dropout_probability=0.0))
+        results = []
+        for pressure in pressures:
+            track = synthesize_linear_track(
+                "t", GeoPoint(20.9, -158.0), heading_deg=0.0,
+                forward_speed_kmh=18.0, central_pressure_mb=pressure, rmw_km=30.0,
+            )
+            results.append(model.run(track))
+        weak, strong = results
+        assert strong.max_wse_m() > weak.max_wse_m()
+        # The exposed (south) shore rises uniformly with intensity.
+        south = MESH.segment_slices()["south"]
+        assert np.all(
+            strong.raw_peak_wse_m[south] >= weak.raw_peak_wse_m[south] - 1e-9
+        )

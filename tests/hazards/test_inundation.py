@@ -1,0 +1,178 @@
+"""Tests for shoreline smoothing, inland extension, and basins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import HazardError
+from repro.geo.catalog import AssetCatalog, AssetRecord, AssetRole
+from repro.geo.coords import GeoPoint
+from repro.hazards.hurricane.inundation import (
+    Basin,
+    ExtensionParams,
+    InundationField,
+    InundationMapper,
+    smooth_shoreline,
+)
+from repro.hazards.hurricane.mesh import build_coastal_mesh
+from tests.geo.test_region import square_region
+
+
+@pytest.fixture(scope="module")
+def region():
+    return square_region(side_deg=0.4)
+
+
+@pytest.fixture(scope="module")
+def mesh(region):
+    return build_coastal_mesh(region, spacing_km=2.0)
+
+
+def coastal_catalog(region) -> AssetCatalog:
+    """Assets on the south shore of the square island."""
+    south_lat = region.centroid.lat - 0.19
+    return AssetCatalog.from_records(
+        "Square",
+        [
+            AssetRecord(
+                "Shore CC", AssetRole.CONTROL_CENTER,
+                GeoPoint(south_lat + 0.005, -158.0), elevation_m=2.0,
+            ),
+            AssetRecord(
+                "Inland DC", AssetRole.DATA_CENTER,
+                GeoPoint(region.centroid.lat, -158.0), elevation_m=5.0,
+            ),
+        ],
+    )
+
+
+class TestSmoothing:
+    def test_repairs_isolated_zero(self, mesh):
+        wse = np.full(len(mesh), 2.0)
+        wse[5] = 0.0  # coarse-mesh dropout
+        smoothed = smooth_shoreline(mesh, wse, window=2)
+        assert smoothed[5] == pytest.approx(2.0)
+
+    def test_window_zero_keeps_values(self, mesh):
+        wse = np.linspace(0.5, 3.0, len(mesh))
+        smoothed = smooth_shoreline(mesh, wse, window=0)
+        assert np.allclose(smoothed, wse)
+
+    def test_all_zero_window_stays_zero(self, mesh):
+        wse = np.zeros(len(mesh))
+        smoothed = smooth_shoreline(mesh, wse, window=2)
+        assert np.all(smoothed == 0.0)
+
+    def test_does_not_cross_segments(self, mesh):
+        # Set one segment hot and its neighbours cold; smoothing must not
+        # bleed heat across the segment boundary.
+        slices = mesh.segment_slices()
+        wse = np.zeros(len(mesh))
+        south = slices["south"]
+        wse[south] = 3.0
+        smoothed = smooth_shoreline(mesh, wse, window=3)
+        east = slices["east"]
+        assert np.all(smoothed[east] == 0.0)
+
+    def test_rejects_negative_window(self, mesh):
+        with pytest.raises(HazardError):
+            smooth_shoreline(mesh, np.zeros(len(mesh)), window=-1)
+
+    def test_rejects_wrong_shape(self, mesh):
+        with pytest.raises(HazardError):
+            smooth_shoreline(mesh, np.zeros(3), window=1)
+
+    def test_preserves_uniform_field(self, mesh):
+        wse = np.full(len(mesh), 1.7)
+        assert np.allclose(smooth_shoreline(mesh, wse, 2), 1.7)
+
+
+class TestExtensionParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"influence_radius_km": 0.0},
+            {"idw_power": 0.0},
+            {"inland_decay_km": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(HazardError):
+            ExtensionParams(**kwargs)
+
+    def test_basin_validation(self):
+        with pytest.raises(HazardError):
+            Basin("b", ())
+        with pytest.raises(HazardError):
+            Basin("b", ("south",), membership_distance_km=0.0)
+
+
+class TestInundationMapper:
+    def test_depth_nonnegative_and_elevation_subtracted(self, region, mesh):
+        catalog = coastal_catalog(region)
+        mapper = InundationMapper(region, mesh, catalog)
+        depths = mapper.depths_from_wse(np.full(len(mesh), 3.0))
+        assert depths["Shore CC"] >= 0.0
+        # Inland DC (center of island, elev 5) must stay dry at 3 m WSE.
+        assert depths["Inland DC"] == 0.0
+
+    def test_zero_wse_means_zero_depth(self, region, mesh):
+        catalog = coastal_catalog(region)
+        mapper = InundationMapper(region, mesh, catalog)
+        depths = mapper.depths_from_wse(np.zeros(len(mesh)))
+        assert all(d == 0.0 for d in depths.values())
+
+    def test_shore_asset_wetter_than_inland(self, region, mesh):
+        catalog = coastal_catalog(region)
+        mapper = InundationMapper(region, mesh, catalog)
+        wse = np.full(len(mesh), 8.0)
+        shore = mapper.wse_at_asset(wse, catalog.get("Shore CC"))
+        inland = mapper.wse_at_asset(wse, catalog.get("Inland DC"))
+        assert shore > inland
+
+    def test_basin_members_share_wse(self, region, mesh):
+        south_lat = region.centroid.lat - 0.19
+        catalog = AssetCatalog.from_records(
+            "Square",
+            [
+                AssetRecord("A", AssetRole.CONTROL_CENTER,
+                            GeoPoint(south_lat + 0.002, -158.05), 2.0),
+                AssetRecord("B", AssetRole.CONTROL_CENTER,
+                            GeoPoint(south_lat + 0.002, -157.95), 2.0),
+            ],
+        )
+        params = ExtensionParams(basins=(Basin("south-basin", ("south",)),))
+        mapper = InundationMapper(region, mesh, catalog, params)
+        rng = np.random.default_rng(3)
+        wse = rng.uniform(0.5, 4.0, len(mesh))
+        wa = mapper.wse_at_asset(wse, catalog.get("A"))
+        wb = mapper.wse_at_asset(wse, catalog.get("B"))
+        assert wa == pytest.approx(wb)
+
+    def test_basin_with_unknown_segment_fails(self, region, mesh):
+        catalog = coastal_catalog(region)
+        params = ExtensionParams(basins=(Basin("ghost", ("no-such-segment",)),))
+        with pytest.raises(HazardError):
+            InundationMapper(region, mesh, catalog, params)
+
+    def test_weights_rows_bounded(self, region, mesh):
+        catalog = coastal_catalog(region)
+        mapper = InundationMapper(region, mesh, catalog)
+        sums = mapper._weights.sum(axis=1)
+        assert np.all(sums <= 1.0 + 1e-9)
+        assert np.all(sums > 0.0)
+
+
+class TestInundationField:
+    def test_depth_lookup(self):
+        field = InundationField({"A": 1.2, "B": 0.0})
+        assert field.depth_at("A") == 1.2
+
+    def test_missing_asset(self):
+        with pytest.raises(HazardError):
+            InundationField({}).depth_at("A")
+
+    def test_flooded_assets_threshold_is_strict(self):
+        field = InundationField({"A": 0.5, "B": 0.51, "C": 0.0})
+        assert field.flooded_assets(0.5) == frozenset({"B"})

@@ -1,0 +1,113 @@
+"""Tests for the surge solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import HazardError
+from repro.geo.coords import GeoPoint
+from repro.hazards.hurricane.mesh import build_coastal_mesh
+from repro.hazards.hurricane.surge import SurgeModel, SurgeModelParams
+from repro.hazards.hurricane.track import synthesize_linear_track
+from tests.geo.test_region import square_region
+
+
+def make_track(landfall=GeoPoint(20.9, -158.0), heading=0.0, pressure=972.0, rmw=30.0):
+    return synthesize_linear_track(
+        "t", landfall, heading_deg=heading, forward_speed_kmh=18.0,
+        central_pressure_mb=pressure, rmw_km=rmw,
+    )
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_coastal_mesh(square_region(side_deg=0.4), spacing_km=2.0)
+
+
+class TestSurgeParams:
+    def test_defaults_valid(self):
+        SurgeModelParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"setup_coefficient": 0.0},
+            {"wave_setup_fraction": 1.5},
+            {"inverse_barometer_m_per_mb": -0.01},
+            {"time_step_h": 0.0},
+            {"dropout_probability": 1.0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(HazardError):
+            SurgeModelParams(**kwargs)
+
+
+class TestSurgeModel:
+    def test_direct_hit_raises_water(self, mesh):
+        model = SurgeModel(mesh, SurgeModelParams(dropout_probability=0.0))
+        result = model.run(make_track())
+        assert result.max_wse_m() > 0.5
+
+    def test_distant_storm_negligible(self, mesh):
+        model = SurgeModel(mesh, SurgeModelParams(dropout_probability=0.0))
+        far_track = make_track(landfall=GeoPoint(15.0, -158.0))
+        # Track stays ~600 km south of the island.
+        far_track = synthesize_linear_track(
+            "far", GeoPoint(15.0, -158.0), heading_deg=270.0,
+            forward_speed_kmh=18.0, central_pressure_mb=972.0, rmw_km=30.0,
+        )
+        result = model.run(far_track)
+        assert result.max_wse_m() < 0.2
+
+    def test_stronger_storm_higher_surge(self, mesh):
+        model = SurgeModel(mesh, SurgeModelParams(dropout_probability=0.0))
+        weak = model.run(make_track(pressure=990.0))
+        strong = model.run(make_track(pressure=958.0))
+        assert strong.max_wse_m() > weak.max_wse_m()
+
+    def test_peak_is_max_over_time(self, mesh):
+        model = SurgeModel(mesh, SurgeModelParams(dropout_probability=0.0))
+        track = make_track()
+        result = model.run(track)
+        # Recompute WSE at each node's recorded peak time: must equal peak.
+        for i in (0, len(mesh) // 2, len(mesh) - 1):
+            t = float(result.peak_time_h[i])
+            wse_t = model._wse_at_time(track, t)[i]
+            assert wse_t == pytest.approx(result.raw_peak_wse_m[i], rel=1e-9)
+
+    def test_no_dropout_without_rng(self, mesh):
+        model = SurgeModel(mesh, SurgeModelParams(dropout_probability=0.5))
+        result = model.run(make_track(), rng=None)
+        assert np.array_equal(result.peak_wse_m, result.raw_peak_wse_m)
+
+    def test_dropout_zeroes_a_subset(self, mesh):
+        model = SurgeModel(mesh, SurgeModelParams(dropout_probability=0.4))
+        rng = np.random.default_rng(1)
+        result = model.run(make_track(), rng)
+        dropped = np.sum((result.peak_wse_m == 0.0) & (result.raw_peak_wse_m > 0.0))
+        kept = np.sum(result.peak_wse_m > 0.0)
+        assert dropped > 0
+        assert kept > 0
+        # Non-dropped readings are untouched.
+        mask = result.peak_wse_m > 0.0
+        assert np.allclose(result.peak_wse_m[mask], result.raw_peak_wse_m[mask])
+
+    def test_dropout_deterministic_under_seed(self, mesh):
+        model = SurgeModel(mesh, SurgeModelParams(dropout_probability=0.3))
+        r1 = model.run(make_track(), np.random.default_rng(42))
+        r2 = model.run(make_track(), np.random.default_rng(42))
+        assert np.array_equal(r1.peak_wse_m, r2.peak_wse_m)
+
+    def test_shelf_factor_amplifies(self, mesh):
+        # South segment has shelf 1.5, west has 0.5: a storm driving
+        # onshore wind everywhere produces higher surge on the south shore
+        # than the west for comparable wind exposure.  Run a direct
+        # northward pass and compare segment maxima.
+        model = SurgeModel(mesh, SurgeModelParams(dropout_probability=0.0))
+        result = model.run(make_track())
+        slices = mesh.segment_slices()
+        south_max = result.raw_peak_wse_m[slices["south"]].max()
+        west_max = result.raw_peak_wse_m[slices["west"]].max()
+        assert south_max > west_max

@@ -1,0 +1,130 @@
+"""Tests for storm tracks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HazardError
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.hazards.hurricane.track import (
+    AMBIENT_PRESSURE_MB,
+    StormTrack,
+    TrackPoint,
+    estimate_max_gradient_wind_ms,
+    saffir_simpson_category,
+    synthesize_linear_track,
+)
+
+LANDFALL = GeoPoint(21.3, -158.0)
+
+
+def simple_track() -> StormTrack:
+    return synthesize_linear_track(
+        "t", LANDFALL, heading_deg=335.0, forward_speed_kmh=18.0,
+        central_pressure_mb=972.0, rmw_km=30.0,
+    )
+
+
+class TestTrackPoint:
+    def test_valid(self):
+        p = TrackPoint(0.0, LANDFALL, 972.0, 30.0)
+        assert p.pressure_deficit_mb == pytest.approx(AMBIENT_PRESSURE_MB - 972.0)
+
+    @pytest.mark.parametrize("pressure", [840.0, 1013.0, 1020.0])
+    def test_invalid_pressure(self, pressure):
+        with pytest.raises(HazardError):
+            TrackPoint(0.0, LANDFALL, pressure, 30.0)
+
+    def test_invalid_rmw(self):
+        with pytest.raises(HazardError):
+            TrackPoint(0.0, LANDFALL, 972.0, 0.0)
+
+
+class TestStormTrack:
+    def test_requires_two_points(self):
+        with pytest.raises(HazardError):
+            StormTrack("t", (TrackPoint(0.0, LANDFALL, 972.0, 30.0),))
+
+    def test_requires_increasing_times(self):
+        pts = (
+            TrackPoint(0.0, LANDFALL, 972.0, 30.0),
+            TrackPoint(0.0, GeoPoint(21.4, -158.0), 972.0, 30.0),
+        )
+        with pytest.raises(HazardError):
+            StormTrack("t", pts)
+
+    def test_interpolation_midpoint(self):
+        pts = (
+            TrackPoint(0.0, GeoPoint(21.0, -158.0), 980.0, 20.0),
+            TrackPoint(2.0, GeoPoint(22.0, -158.0), 960.0, 40.0),
+        )
+        track = StormTrack("t", pts)
+        mid = track.state_at(1.0)
+        assert mid.center.lat == pytest.approx(21.5)
+        assert mid.central_pressure_mb == pytest.approx(970.0)
+        assert mid.rmw_km == pytest.approx(30.0)
+
+    def test_state_outside_interval(self):
+        with pytest.raises(HazardError):
+            simple_track().state_at(1000.0)
+
+    def test_endpoints_exact(self):
+        track = simple_track()
+        assert track.state_at(track.start_time_h).time_h == track.start_time_h
+        assert track.state_at(track.end_time_h).time_h == track.end_time_h
+
+    def test_times_cover_track(self):
+        track = simple_track()
+        times = track.times(1.0)
+        assert times[0] == track.start_time_h
+        assert times[-1] == track.end_time_h
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_times_rejects_bad_step(self):
+        with pytest.raises(HazardError):
+            simple_track().times(0.0)
+
+
+class TestSynthesizedTrack:
+    def test_passes_through_landfall_at_t0(self):
+        track = simple_track()
+        assert haversine_km(track.state_at(0.0).center, LANDFALL) < 0.01
+
+    def test_forward_speed_matches(self):
+        track = simple_track()
+        assert track.forward_speed_kmh_at(0.0) == pytest.approx(18.0, rel=0.01)
+
+    def test_heading_matches(self):
+        track = simple_track()
+        assert track.heading_deg_at(-1.0) == pytest.approx(335.0, abs=1.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(HazardError):
+            synthesize_linear_track(
+                "t", LANDFALL, 335.0, 0.0, 972.0, 30.0
+            )
+
+    def test_rejects_nonpositive_durations(self):
+        with pytest.raises(HazardError):
+            synthesize_linear_track(
+                "t", LANDFALL, 335.0, 18.0, 972.0, 30.0, lead_hours=0.0
+            )
+
+
+class TestIntensityHelpers:
+    @pytest.mark.parametrize(
+        "wind,category",
+        [(20.0, 0), (33.0, 1), (43.0, 2), (49.9, 2), (50.0, 3), (58.0, 4), (70.0, 5)],
+    )
+    def test_saffir_simpson(self, wind, category):
+        assert saffir_simpson_category(wind) == category
+
+    def test_cat2_pressure_gives_cat2_winds(self):
+        # The standard scenario's 972 mb deficit should produce winds in
+        # the Category 1-2 range for the gradient wind.
+        v = estimate_max_gradient_wind_ms(AMBIENT_PRESSURE_MB - 972.0)
+        assert 35.0 < v < 50.0
+
+    def test_rejects_nonpositive_deficit(self):
+        with pytest.raises(HazardError):
+            estimate_max_gradient_wind_ms(0.0)

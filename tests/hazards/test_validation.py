@@ -1,0 +1,104 @@
+"""Tests for the wind-field diagnostics and hydrographs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HazardError
+from repro.geo.coords import GeoPoint
+from repro.hazards.hurricane.mesh import build_coastal_mesh
+from repro.hazards.hurricane.surge import SurgeModel, SurgeModelParams
+from repro.hazards.hurricane.track import TrackPoint, synthesize_linear_track
+from repro.hazards.hurricane.validation import diagnose_wind_field, hydrograph
+from tests.geo.test_region import square_region
+
+CENTER = GeoPoint(21.0, -158.0)
+
+
+def state(pressure: float = 972.0, rmw: float = 35.0) -> TrackPoint:
+    return TrackPoint(0.0, CENTER, pressure, rmw)
+
+
+class TestWindDiagnostics:
+    def test_cat2_pressure_yields_cat1_to_2_surface_winds(self):
+        # 972 mb with the 0.9 surface factor lands at strong Cat 1 /
+        # low Cat 2 surface winds -- the right ballpark for the scenario.
+        diag = diagnose_wind_field(state())
+        assert diag.category in (1, 2)
+        assert 33.0 <= diag.max_surface_wind_ms <= 50.0
+
+    def test_category_scales_with_pressure(self):
+        weak = diagnose_wind_field(state(pressure=990.0))
+        strong = diagnose_wind_field(state(pressure=944.0))
+        assert weak.category < strong.category
+
+    def test_radius_of_maximum_winds_near_rmw(self):
+        diag = diagnose_wind_field(state(rmw=35.0))
+        assert 28.0 <= diag.radius_max_wind_km <= 42.0
+
+    def test_wind_radii_are_nested(self):
+        diag = diagnose_wind_field(state(pressure=958.0))
+        assert diag.r34_km > diag.r50_km > diag.r64_km > 0.0
+        assert diag.r64_km >= diag.radius_max_wind_km * 0.5
+
+    def test_weak_storm_has_no_hurricane_force_radius(self):
+        diag = diagnose_wind_field(state(pressure=1000.0))
+        assert diag.r64_km == 0.0
+
+    def test_stationary_storm_is_symmetric(self):
+        diag = diagnose_wind_field(state(), motion_kmh=0.0)
+        assert diag.asymmetry_ratio == pytest.approx(1.0, abs=0.01)
+
+    def test_moving_storm_favors_the_right_side(self):
+        diag = diagnose_wind_field(state(), motion_kmh=25.0, motion_bearing_deg=0.0)
+        assert diag.asymmetry_ratio > 1.05
+
+    def test_consistency_helper(self):
+        diag = diagnose_wind_field(state(pressure=958.0))
+        assert diag.consistent_with_category(diag.category)
+        assert not diag.consistent_with_category(diag.category + 1)
+
+
+class TestHydrograph:
+    @pytest.fixture(scope="class")
+    def surge_setup(self):
+        mesh = build_coastal_mesh(square_region(side_deg=0.4), spacing_km=2.0)
+        model = SurgeModel(mesh, SurgeModelParams(dropout_probability=0.0))
+        track = synthesize_linear_track(
+            "t", GeoPoint(20.9, -158.0), heading_deg=0.0, forward_speed_kmh=18.0,
+            central_pressure_mb=965.0, rmw_km=30.0,
+        )
+        return model, track
+
+    def test_series_covers_the_track(self, surge_setup):
+        model, track = surge_setup
+        series = hydrograph(model, track, node_index=0)
+        assert series[0][0] == track.start_time_h
+        assert series[-1][0] == track.end_time_h
+
+    def test_rises_and_falls(self, surge_setup):
+        model, track = surge_setup
+        # South-shore node: surge builds toward closest approach, recedes.
+        slices = model.mesh.segment_slices()
+        south_node = slices["south"].start
+        series = hydrograph(model, track, node_index=south_node)
+        levels = [wse for _, wse in series]
+        peak_at = levels.index(max(levels))
+        assert 0 < peak_at < len(levels) - 1
+        assert max(levels) > levels[0] + 0.1
+        assert max(levels) > levels[-1] + 0.1
+
+    def test_peak_matches_surge_result(self, surge_setup):
+        model, track = surge_setup
+        result = model.run(track)
+        slices = model.mesh.segment_slices()
+        south_node = slices["south"].start
+        series = hydrograph(model, track, node_index=south_node, step_h=1.0)
+        assert max(w for _, w in series) == pytest.approx(
+            result.raw_peak_wse_m[south_node], rel=0.02
+        )
+
+    def test_bad_node_index(self, surge_setup):
+        model, track = surge_setup
+        with pytest.raises(HazardError):
+            hydrograph(model, track, node_index=9999)

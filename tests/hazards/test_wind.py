@@ -1,0 +1,145 @@
+"""Tests for the Holland wind/pressure field."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HazardError
+from repro.geo.coords import GeoPoint, LocalProjection
+from repro.hazards.hurricane.track import AMBIENT_PRESSURE_MB, TrackPoint
+from repro.hazards.hurricane.wind import (
+    HollandWindField,
+    SURFACE_WIND_FACTOR,
+    coriolis_parameter,
+)
+
+CENTER = GeoPoint(21.0, -158.0)
+
+
+def field(pressure: float = 972.0, rmw: float = 30.0, **kwargs) -> HollandWindField:
+    return HollandWindField(TrackPoint(0.0, CENTER, pressure, rmw), **kwargs)
+
+
+class TestCoriolis:
+    def test_zero_at_equator(self):
+        assert coriolis_parameter(0.0) == 0.0
+
+    def test_positive_in_north(self):
+        assert coriolis_parameter(21.0) > 0.0
+
+    def test_magnitude_at_45(self):
+        assert coriolis_parameter(45.0) == pytest.approx(1.03e-4, rel=0.01)
+
+
+class TestGradientWindProfile:
+    def test_peak_near_rmw(self):
+        f = field(rmw=30.0)
+        radii = np.linspace(2.0, 150.0, 400)
+        speeds = f.gradient_wind_ms(radii)
+        peak_radius = radii[int(np.argmax(speeds))]
+        assert 25.0 < peak_radius < 36.0
+
+    def test_peak_speed_close_to_theoretical_vmax(self):
+        f = field()
+        radii = np.linspace(2.0, 150.0, 600)
+        peak = float(np.max(f.gradient_wind_ms(radii)))
+        assert peak == pytest.approx(f.max_gradient_wind_ms, rel=0.05)
+
+    def test_weak_near_center_and_far_away(self):
+        f = field(rmw=30.0)
+        near, far = f.gradient_wind_ms(np.array([1.0, 500.0]))
+        assert near < 0.3 * f.max_gradient_wind_ms
+        assert far < 0.3 * f.max_gradient_wind_ms
+
+    def test_deeper_storm_is_stronger(self):
+        weak = field(pressure=990.0)
+        strong = field(pressure=955.0)
+        assert strong.max_gradient_wind_ms > weak.max_gradient_wind_ms
+
+    @given(st.floats(min_value=2.0, max_value=300.0))
+    @settings(max_examples=60)
+    def test_speed_nonnegative(self, radius):
+        f = field()
+        assert float(f.gradient_wind_ms(np.array([radius]))[0]) >= 0.0
+
+
+class TestPressureProfile:
+    def test_central_pressure_at_center(self):
+        f = field(pressure=972.0)
+        assert float(f.pressure_mb(np.array([0.001]))[0]) == pytest.approx(972.0, abs=0.5)
+
+    def test_ambient_far_away(self):
+        f = field(pressure=972.0)
+        assert float(f.pressure_mb(np.array([800.0]))[0]) == pytest.approx(
+            AMBIENT_PRESSURE_MB, abs=1.0
+        )
+
+    def test_monotone_increasing(self):
+        f = field()
+        radii = np.linspace(1.0, 300.0, 100)
+        pressures = f.pressure_mb(radii)
+        assert np.all(np.diff(pressures) >= -1e-9)
+
+
+class TestWindVectors:
+    def test_cyclonic_rotation_northern_hemisphere(self):
+        # A point due east of the center should see wind blowing
+        # northward (counter-clockwise), modulo the inflow angle.
+        f = field(rmw=30.0)
+        proj = LocalProjection(CENTER)
+        wind = f.wind_vectors(np.array([[30.0, 0.0]]), proj)[0]
+        assert wind[1] > 0.0  # northward component dominates
+        assert abs(wind[1]) > abs(wind[0])
+
+    def test_inflow_angle_pulls_wind_inward(self):
+        # East of the center, inflow adds a westward (toward-center)
+        # component.
+        f = field(rmw=30.0)
+        proj = LocalProjection(CENTER)
+        wind = f.wind_vectors(np.array([[30.0, 0.0]]), proj)[0]
+        assert wind[0] < 0.0
+
+    def test_surface_reduction_applied(self):
+        f = field(rmw=30.0)
+        proj = LocalProjection(CENTER)
+        speeds = np.hypot(
+            *f.wind_vectors(np.array([[30.0, 0.0]]), proj).T
+        )
+        assert float(speeds[0]) <= SURFACE_WIND_FACTOR * f.max_gradient_wind_ms * 1.05
+
+    def test_motion_asymmetry_strengthens_right_side(self):
+        # Storm moving north: the right (east) side gains wind relative
+        # to the left (west) side.
+        f = field(rmw=30.0, motion_kmh=20.0, motion_bearing_deg=0.0)
+        proj = LocalProjection(CENTER)
+        pts = np.array([[30.0, 0.0], [-30.0, 0.0]])
+        winds = f.wind_vectors(pts, proj)
+        right_speed = math.hypot(*winds[0])
+        left_speed = math.hypot(*winds[1])
+        assert right_speed > left_speed
+
+    def test_rejects_bad_shape(self):
+        f = field()
+        with pytest.raises(HazardError):
+            f.wind_vectors(np.array([1.0, 2.0, 3.0]), LocalProjection(CENTER))
+
+    def test_wind_at_scalar_wrapper(self):
+        f = field()
+        east_point = GeoPoint(21.0, -157.71)  # ~30 km east
+        wx, wy = f.wind_at(east_point)
+        assert wy > 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_holland_b(self):
+        with pytest.raises(HazardError):
+            field(holland_b=3.0)
+
+    def test_rejects_negative_motion(self):
+        with pytest.raises(HazardError):
+            field(motion_kmh=-5.0)

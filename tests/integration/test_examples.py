@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process via runpy with a temp working
+directory; assertions check the headline lines of the printed study so a
+silent regression in an example is caught by CI, not by a reader.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys, standard_ensemble):
+        out = run_example("quickstart.py", [], capsys)
+        assert "hurricane realizations" in out
+        assert "Scenario: hurricane+intrusion+isolation" in out
+
+    def test_oahu_case_study(self, capsys, tmp_path, standard_ensemble):
+        out = run_example("oahu_case_study.py", [str(tmp_path)], capsys)
+        assert "Figure 6" in out and "Figure 11" in out
+        assert (tmp_path / "oahu_ensemble.csv").exists()
+        assert (tmp_path / "oahu_results_waiau.json").exists()
+        for number in range(6, 12):
+            assert (tmp_path / f"figure_{number:02d}.svg").exists()
+
+    def test_site_placement_study(self, capsys, standard_ensemble):
+        out = run_example("site_placement_study.py", [], capsys)
+        assert "Backup ranking" in out
+        assert "Kahe Control Center" in out
+        assert "Note the reversal" in out
+
+    def test_bft_replication_demo(self, capsys):
+        out = run_example("bft_replication_demo.py", [], capsys)
+        assert out.count("safety preserved: True") == 5
+
+    def test_grid_impact_study(self, capsys, standard_ensemble):
+        out = run_example("grid_impact_study.py", [], capsys)
+        assert "with SCADA control" in out
+        assert "Expected load served" in out
+
+    def test_custom_region_study(self, capsys):
+        out = run_example("custom_region_study.py", [], capsys)
+        assert "Portolan island flood statistics" in out
+        assert "The Oahu lesson generalizes" in out
+
+    def test_realistic_attacker_study(self, capsys, standard_ensemble):
+        out = run_example("realistic_attacker_study.py", [], capsys)
+        assert "Isolation cost per control site" in out
+        assert "Hardening" in out
+
+    def test_multi_hazard_timeline_study(self, capsys, standard_ensemble):
+        out = run_example("multi_hazard_timeline_study.py", [], capsys)
+        assert "EARTHQUAKE (disaster only)" in out
+        assert "Downtime per full compound event" in out

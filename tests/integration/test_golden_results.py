@@ -1,0 +1,83 @@
+"""Golden regression lock: the exact standard-dataset counts.
+
+The standard ensemble (seed 20220522, 1000 realizations) is fully
+deterministic, so the paper-figure counts are locked to the exact values
+EXPERIMENTS.md reports.  Any change to the hazard substrate, fragility,
+attacker, or evaluator that moves these numbers must update EXPERIMENTS.md
+deliberately -- this test makes silent drift impossible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.states import OperationalState as S
+from repro.core.threat import get_scenario
+from repro.scada.architectures import get_architecture
+from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU
+
+FLOOD_COUNT = 94  # Honolulu CC flooding realizations out of 1000
+N = 1000
+
+#: (placement, scenario, architecture) -> expected state counts.
+GOLDEN = {
+    ("waiau", "hurricane", "2"): {S.GREEN: N - FLOOD_COUNT, S.RED: FLOOD_COUNT},
+    ("waiau", "hurricane", "6+6+6"): {S.GREEN: N - FLOOD_COUNT, S.RED: FLOOD_COUNT},
+    ("waiau", "hurricane+intrusion", "2-2"): {
+        S.GRAY: N - FLOOD_COUNT, S.RED: FLOOD_COUNT,
+    },
+    ("waiau", "hurricane+intrusion", "6"): {
+        S.GREEN: N - FLOOD_COUNT, S.RED: FLOOD_COUNT,
+    },
+    ("waiau", "hurricane+isolation", "2"): {S.RED: N},
+    ("waiau", "hurricane+isolation", "6-6"): {
+        S.ORANGE: N - FLOOD_COUNT, S.RED: FLOOD_COUNT,
+    },
+    ("waiau", "hurricane+intrusion+isolation", "6"): {S.RED: N},
+    ("waiau", "hurricane+intrusion+isolation", "6-6"): {
+        S.ORANGE: N - FLOOD_COUNT, S.RED: FLOOD_COUNT,
+    },
+    ("waiau", "hurricane+intrusion+isolation", "6+6+6"): {
+        S.GREEN: N - FLOOD_COUNT, S.RED: FLOOD_COUNT,
+    },
+    ("kahe", "hurricane", "2-2"): {S.GREEN: N - FLOOD_COUNT, S.ORANGE: FLOOD_COUNT},
+    ("kahe", "hurricane", "6+6+6"): {S.GREEN: N},
+    ("kahe", "hurricane+intrusion", "6-6"): {
+        S.GREEN: N - FLOOD_COUNT, S.ORANGE: FLOOD_COUNT,
+    },
+    ("kahe", "hurricane+intrusion", "6+6+6"): {S.GREEN: N},
+    ("kahe", "hurricane+intrusion", "2-2"): {S.GRAY: N},
+}
+
+PLACEMENTS = {"waiau": PLACEMENT_WAIAU, "kahe": PLACEMENT_KAHE}
+
+
+class TestGoldenCounts:
+    def test_flood_count_is_locked(self, standard_ensemble):
+        hits = sum(
+            1
+            for r in standard_ensemble
+            if r.depth_at("Honolulu Control Center") > 0.5
+        )
+        assert hits == FLOOD_COUNT
+
+    @pytest.mark.parametrize(
+        "placement_key,scenario_name,arch_name",
+        sorted(GOLDEN),
+        ids=lambda v: str(v),
+    )
+    def test_profile_counts(
+        self, placement_key, scenario_name, arch_name, standard_ensemble
+    ):
+        analysis = CompoundThreatAnalysis(standard_ensemble)
+        profile = analysis.run(
+            get_architecture(arch_name),
+            PLACEMENTS[placement_key],
+            get_scenario(scenario_name),
+        )
+        expected = GOLDEN[(placement_key, scenario_name, arch_name)]
+        for state in S:
+            assert profile.count(state) == expected.get(state, 0), (
+                placement_key, scenario_name, arch_name, state,
+            )

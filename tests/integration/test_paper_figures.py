@@ -1,0 +1,190 @@
+"""Integration tests: the paper's six result figures, end to end.
+
+Each test runs the full pipeline (standard 1000-realization ensemble,
+worst-case attacker, Table-I evaluation) and asserts the *shape* facts the
+paper reports.  Absolute probabilities are expressed through ``p_flood``
+(the measured Honolulu flooding probability, paper: 9.5%, calibration
+band [7%, 12%]), so the tests pin structure rather than one decimal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.outcomes import ScenarioMatrix
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.states import OperationalState as S
+from repro.core.threat import PAPER_SCENARIOS
+from repro.geo.oahu import HONOLULU_CC
+from repro.scada.architectures import PAPER_CONFIGURATIONS
+from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU
+
+
+@pytest.fixture(scope="module")
+def results(standard_ensemble):
+    analysis = CompoundThreatAnalysis(standard_ensemble)
+    return {
+        "waiau": analysis.run_matrix(
+            PAPER_CONFIGURATIONS, PLACEMENT_WAIAU, PAPER_SCENARIOS
+        ),
+        "kahe": analysis.run_matrix(
+            PAPER_CONFIGURATIONS, PLACEMENT_KAHE, PAPER_SCENARIOS
+        ),
+        "p_flood": standard_ensemble.flood_probability(HONOLULU_CC),
+    }
+
+
+class TestFigure6HurricaneOnly:
+    def test_all_configurations_identical(self, results):
+        matrix = results["waiau"]
+        profiles = matrix.scenario_profiles("hurricane")
+        reference = profiles["2"]
+        for name, profile in profiles.items():
+            assert profile.almost_equal(reference), name
+
+    def test_green_red_split(self, results):
+        p = results["p_flood"]
+        profile = results["waiau"].get("hurricane", "2")
+        assert profile.probability(S.GREEN) == pytest.approx(1 - p)
+        assert profile.probability(S.RED) == pytest.approx(p)
+        assert profile.probability(S.ORANGE) == 0.0
+        assert profile.probability(S.GRAY) == 0.0
+
+    def test_backup_adds_nothing_with_waiau(self, results):
+        # The paper's headline: correlated flooding voids the backup.
+        matrix = results["waiau"]
+        assert matrix.get("hurricane", "2-2").almost_equal(
+            matrix.get("hurricane", "2")
+        )
+        assert matrix.get("hurricane", "6+6+6").almost_equal(
+            matrix.get("hurricane", "2")
+        )
+
+
+class TestFigure7HurricanePlusIntrusion:
+    def test_weak_configs_go_gray(self, results):
+        p = results["p_flood"]
+        for arch in ("2", "2-2"):
+            profile = results["waiau"].get("hurricane+intrusion", arch)
+            assert profile.probability(S.GRAY) == pytest.approx(1 - p)
+            assert profile.probability(S.RED) == pytest.approx(p)
+            assert profile.probability(S.GREEN) == 0.0
+
+    def test_gray_not_total(self, results):
+        # Paper Section VI-B: flooding leaves nothing to intrude, so the
+        # attack cannot reach 100% gray.
+        profile = results["waiau"].get("hurricane+intrusion", "2")
+        assert profile.probability(S.GRAY) < 1.0
+
+    def test_intrusion_tolerant_configs_unchanged(self, results):
+        matrix = results["waiau"]
+        for arch in ("6", "6-6", "6+6+6"):
+            assert matrix.get("hurricane+intrusion", arch).almost_equal(
+                matrix.get("hurricane", arch)
+            ), arch
+
+
+class TestFigure8HurricanePlusIsolation:
+    def test_single_site_configs_always_red(self, results):
+        for arch in ("2", "6"):
+            profile = results["waiau"].get("hurricane+isolation", arch)
+            assert profile.probability(S.RED) == 1.0
+
+    def test_primary_backup_goes_orange(self, results):
+        p = results["p_flood"]
+        for arch in ("2-2", "6-6"):
+            profile = results["waiau"].get("hurricane+isolation", arch)
+            assert profile.probability(S.ORANGE) == pytest.approx(1 - p)
+            assert profile.probability(S.RED) == pytest.approx(p)
+
+    def test_666_shows_no_degradation(self, results):
+        matrix = results["waiau"]
+        assert matrix.get("hurricane+isolation", "6+6+6").almost_equal(
+            matrix.get("hurricane", "6+6+6")
+        )
+
+    def test_all_others_degrade(self, results):
+        matrix = results["waiau"]
+        for arch in ("2", "2-2", "6", "6-6"):
+            isolated = matrix.get("hurricane+isolation", arch)
+            baseline = matrix.get("hurricane", arch)
+            assert baseline.dominates(isolated)
+            assert not isolated.almost_equal(baseline), arch
+
+
+class TestFigure9FullCompound:
+    def test_weak_configs_red_or_gray(self, results):
+        p = results["p_flood"]
+        for arch in ("2", "2-2"):
+            profile = results["waiau"].get("hurricane+intrusion+isolation", arch)
+            assert profile.probability(S.GRAY) == pytest.approx(1 - p)
+            assert profile.probability(S.RED) == pytest.approx(p)
+
+    def test_config_6_always_red(self, results):
+        profile = results["waiau"].get("hurricane+intrusion+isolation", "6")
+        assert profile.probability(S.RED) == 1.0
+
+    def test_config_6_6_is_minimum_survivable(self, results):
+        p = results["p_flood"]
+        profile = results["waiau"].get("hurricane+intrusion+isolation", "6-6")
+        assert profile.probability(S.ORANGE) == pytest.approx(1 - p)
+        assert profile.probability(S.GRAY) == 0.0
+
+    def test_config_666_stays_green(self, results):
+        p = results["p_flood"]
+        profile = results["waiau"].get("hurricane+intrusion+isolation", "6+6+6")
+        assert profile.probability(S.GREEN) == pytest.approx(1 - p)
+        assert profile.probability(S.RED) == pytest.approx(p)
+
+    def test_no_architecture_fully_withstands(self, results):
+        # The paper's conclusion: nothing guarantees 100% green.
+        matrix = results["waiau"]
+        for arch in matrix.architecture_names:
+            profile = matrix.get("hurricane+intrusion+isolation", arch)
+            assert profile.probability(S.GREEN) < 1.0, arch
+
+
+class TestFigure10KaheHurricane:
+    def test_backup_now_restores_operations(self, results):
+        p = results["p_flood"]
+        for arch in ("2-2", "6-6"):
+            profile = results["kahe"].get("hurricane", arch)
+            assert profile.probability(S.ORANGE) == pytest.approx(p)
+            assert profile.probability(S.RED) == 0.0
+
+    def test_666_fully_green(self, results):
+        profile = results["kahe"].get("hurricane", "6+6+6")
+        assert profile.probability(S.GREEN) == 1.0
+
+    def test_single_site_unchanged_by_backup_location(self, results):
+        for arch in ("2", "6"):
+            assert results["kahe"].get("hurricane", arch).almost_equal(
+                results["waiau"].get("hurricane", arch)
+            )
+
+
+class TestFigure11KaheIntrusion:
+    def test_6_6_recovers_via_kahe(self, results):
+        p = results["p_flood"]
+        profile = results["kahe"].get("hurricane+intrusion", "6-6")
+        assert profile.probability(S.GREEN) == pytest.approx(1 - p)
+        assert profile.probability(S.ORANGE) == pytest.approx(p)
+
+    def test_666_continuous_availability(self, results):
+        profile = results["kahe"].get("hurricane+intrusion", "6+6+6")
+        assert profile.probability(S.GREEN) == 1.0
+
+    def test_kahe_improves_intrusion_tolerant_configs(self, results):
+        for scenario in ("hurricane", "hurricane+intrusion"):
+            for arch in ("6-6", "6+6+6"):
+                kahe = results["kahe"].get(scenario, arch)
+                waiau = results["waiau"].get(scenario, arch)
+                assert kahe.dominates(waiau), (scenario, arch)
+
+    def test_kahe_worsens_2_2_under_intrusion(self, results):
+        # A sharp corollary the paper does not spell out: for the
+        # non-intrusion-tolerant "2-2", a hurricane-safe backup means the
+        # attacker *always* finds a functional server to compromise --
+        # 100% gray, strictly worse than with the correlated Waiau backup.
+        profile = results["kahe"].get("hurricane+intrusion", "2-2")
+        assert profile.probability(S.GRAY) == 1.0

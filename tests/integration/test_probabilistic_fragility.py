@@ -1,0 +1,74 @@
+"""End-to-end tests of the probabilistic fragility path in the pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.states import OperationalState as S
+from repro.core.threat import HURRICANE
+from repro.hazards.fragility import LogisticFragility, ThresholdFragility
+from repro.scada.architectures import CONFIG_2
+from repro.scada.placement import PLACEMENT_WAIAU
+
+
+class TestProbabilisticFragilityPipeline:
+    def test_runs_end_to_end(self, standard_ensemble):
+        analysis = CompoundThreatAnalysis(
+            standard_ensemble.subset(200),
+            fragility=LogisticFragility(midpoint_m=0.5, steepness_per_m=8.0),
+            seed=5,
+        )
+        profile = analysis.run(CONFIG_2, PLACEMENT_WAIAU, HURRICANE)
+        assert profile.total == 200
+        # A soft curve floods *some* realizations but not all.
+        assert 0.0 < profile.probability(S.RED) < 1.0
+
+    def test_seeded_runs_are_reproducible(self, standard_ensemble):
+        def run_once() -> float:
+            analysis = CompoundThreatAnalysis(
+                standard_ensemble.subset(150),
+                fragility=LogisticFragility(0.5, 8.0),
+                seed=9,
+            )
+            return analysis.run(CONFIG_2, PLACEMENT_WAIAU, HURRICANE).probability(S.RED)
+
+        assert run_once() == run_once()
+
+    def test_different_seeds_differ(self, standard_ensemble):
+        reds = set()
+        for seed in (1, 2, 3, 4):
+            analysis = CompoundThreatAnalysis(
+                standard_ensemble.subset(150),
+                fragility=LogisticFragility(0.5, 4.0),
+                seed=seed,
+            )
+            reds.add(
+                analysis.run(CONFIG_2, PLACEMENT_WAIAU, HURRICANE).probability(S.RED)
+            )
+        assert len(reds) > 1
+
+    def test_sharp_curve_converges_to_threshold_rule(self, standard_ensemble):
+        ensemble = standard_ensemble.subset(300)
+        sharp = CompoundThreatAnalysis(
+            ensemble, fragility=LogisticFragility(0.5, 1000.0), seed=1
+        ).run(CONFIG_2, PLACEMENT_WAIAU, HURRICANE)
+        step = CompoundThreatAnalysis(
+            ensemble, fragility=ThresholdFragility(0.5)
+        ).run(CONFIG_2, PLACEMENT_WAIAU, HURRICANE)
+        assert abs(
+            sharp.probability(S.RED) - step.probability(S.RED)
+        ) < 0.02
+
+    def test_soft_curve_floods_more_than_step_below_midpoint(self, standard_ensemble):
+        # A soft curve assigns failure probability to sub-threshold depths
+        # (and the south-shore depths cluster below 0.5 m far more often
+        # than above), so the expected red mass grows.
+        ensemble = standard_ensemble.subset(300)
+        soft = CompoundThreatAnalysis(
+            ensemble, fragility=LogisticFragility(0.5, 3.0), seed=2
+        ).run(CONFIG_2, PLACEMENT_WAIAU, HURRICANE)
+        step = CompoundThreatAnalysis(
+            ensemble, fragility=ThresholdFragility(0.5)
+        ).run(CONFIG_2, PLACEMENT_WAIAU, HURRICANE)
+        assert soft.probability(S.RED) > step.probability(S.RED)

@@ -1,0 +1,82 @@
+"""Cross-model consistency: the timeline agrees with the static verdict.
+
+The static framework classifies each realization; the timeline simulates
+it.  Probed during the attack window (after failover transients), the
+two must tell the same story:
+
+* static GREEN  -> the timeline is serving (green) once transients pass;
+* static GRAY   -> the timeline shows a gray window;
+* static RED    -> the timeline is not serving during the attack;
+* static ORANGE -> the timeline shows a failover and then serves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.states import OperationalState as S
+from repro.core.threat import PAPER_SCENARIOS
+from repro.core.timeline import CompoundEventTimeline, TimelineParams
+from repro.scada.architectures import PAPER_CONFIGURATIONS
+from repro.scada.placement import PLACEMENT_WAIAU
+
+PARAMS = TimelineParams(
+    attack_delay_h=6.0,
+    isolation_duration_h=48.0,
+    cold_activation_h=0.25,
+    site_repair_median_h=200.0,  # repairs land after the probe window
+    site_repair_log_sd=0.0,
+    intrusion_cleanup_h=48.0,
+    horizon_h=14 * 24.0,
+)
+
+#: Probe instant: inside the attack window, past any failover transient.
+PROBE_H = 6.0 + 1.0
+
+
+def state_at(result, t: float):
+    for segment in result.segments:
+        if segment.start_h <= t < segment.end_h:
+            return segment.state
+    raise AssertionError(f"no segment covers t={t}")
+
+
+@pytest.mark.slow
+class TestTimelineMatchesStaticVerdict:
+    @pytest.mark.parametrize("arch", PAPER_CONFIGURATIONS, ids=lambda a: a.name)
+    @pytest.mark.parametrize("scenario", PAPER_SCENARIOS, ids=lambda s: s.name)
+    def test_agreement_over_sampled_realizations(
+        self, arch, scenario, standard_ensemble
+    ):
+        analysis = CompoundThreatAnalysis(standard_ensemble)
+        timeline = CompoundEventTimeline(PARAMS)
+        rng = np.random.default_rng(0)
+        # Sample across the outcome space: the first realizations plus
+        # known flooding ones.
+        sample = list(standard_ensemble.subset(20))
+        sample += [
+            r
+            for r in standard_ensemble
+            if r.depth_at("Honolulu Control Center") > 0.5
+        ][:10]
+        for realization in sample:
+            static = analysis.outcome(
+                arch, PLACEMENT_WAIAU, realization, scenario
+            ).state
+            result = timeline.simulate(
+                arch, PLACEMENT_WAIAU, realization, scenario, rng
+            )
+            probed = state_at(result, PROBE_H)
+            context = (arch.name, scenario.name, realization.index, static, probed)
+            if static is S.GREEN:
+                assert probed is S.GREEN, context
+            elif static is S.GRAY:
+                assert probed is S.GRAY, context
+                assert result.unsafe_h > 0.0, context
+            elif static is S.RED:
+                assert probed in (S.RED,), context
+            else:  # ORANGE: failover transient, serving at the probe
+                assert probed in (S.GREEN, S.ORANGE), context
+                assert result.unavailable_h > 0.0, context

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.io.realization_io import load_ensemble_csv
+
+
+class TestEnsembleCommand:
+    def test_generates_csv(self, tmp_path, capsys):
+        out = tmp_path / "ens.csv"
+        code = main(["ensemble", "--count", "10", "--seed", "3", "--output", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert len(load_ensemble_csv(out)) == 10
+        assert "flood probability" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture(scope="class")
+    def small_csv(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "small.csv"
+        main(["ensemble", "--count", "40", "--seed", "2", "--output", str(path)])
+        return str(path)
+
+    def test_tables(self, small_csv, capsys):
+        code = main(["analyze", "--ensemble", small_csv])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario: hurricane" in out
+        assert "6+6+6" in out
+
+    def test_csv_output(self, small_csv, capsys):
+        code = main(["analyze", "--ensemble", small_csv, "--csv"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("placement,scenario,architecture")
+
+    def test_filtered_configs_and_scenarios(self, small_csv, capsys):
+        code = main(
+            [
+                "analyze",
+                "--ensemble", small_csv,
+                "--config", "6+6+6",
+                "--scenario", "hurricane+isolation",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6+6+6" in out
+        assert "Scenario: hurricane+isolation" in out
+        assert "Scenario: hurricane\n" not in out
+
+    def test_unknown_config_is_an_error(self, small_csv, capsys):
+        code = main(["analyze", "--ensemble", small_csv, "--config", "9"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_kahe_placement(self, small_csv, capsys):
+        code = main(["analyze", "--ensemble", small_csv, "--placement", "kahe"])
+        assert code == 0
+        assert "Kahe Control Center" in capsys.readouterr().out
+
+    def test_figures(self, small_csv, capsys):
+        code = main(["figures", "--ensemble", small_csv])
+        assert code == 0
+        out = capsys.readouterr().out
+        for figure in ("Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11"):
+            assert figure in out
+        assert "legend:" in out
+
+    def test_siting(self, small_csv, capsys):
+        code = main(["siting", "--ensemble", small_csv])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Backup ranking" in out
+        assert "Kahe Control Center" in out
+
+
+class TestSimulationCommands:
+    def test_bft_demo(self, capsys):
+        code = main(
+            ["bft-demo", "--requests", "10", "--flood-site", "control-center-1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "safety preserved:     True" in out
+
+    def test_grid_impact(self, capsys):
+        code = main(["grid-impact"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "N-1 contingency" in out
+        assert "average" in out

@@ -1,0 +1,88 @@
+"""Tests for the timeline and earthquake CLI subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def small_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-ext") / "small.csv"
+    assert main(["ensemble", "--count", "40", "--seed", "2", "--output", str(path)]) == 0
+    return str(path)
+
+
+class TestTimelineCommand:
+    def test_default_run(self, small_csv, capsys):
+        code = main(["timeline", "--ensemble", small_csv, "--realizations", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Downtime per compound event" in out
+        for config in ("2", "2-2", "6", "6-6", "6+6+6"):
+            assert f"\n{config} " in out or out.startswith(f"{config} ")
+
+    def test_scenario_selection(self, small_csv, capsys):
+        code = main(
+            [
+                "timeline",
+                "--ensemble", small_csv,
+                "--scenario", "hurricane",
+                "--realizations", "40",
+            ]
+        )
+        assert code == 0
+        assert "hurricane," in capsys.readouterr().out
+
+    def test_unknown_scenario_is_an_error(self, small_csv, capsys):
+        code = main(
+            ["timeline", "--ensemble", small_csv, "--scenario", "volcano"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEarthquakeCommand:
+    def test_default_run(self, capsys):
+        code = main(["earthquake", "--count", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Earthquake compound-threat analysis" in out
+        assert "Scenario: hurricane+intrusion+isolation" in out
+
+    def test_capacity_changes_results(self, capsys):
+        main(["earthquake", "--count", "150", "--capacity-g", "0.2"])
+        fragile = capsys.readouterr().out
+        main(["earthquake", "--count", "150", "--capacity-g", "0.8"])
+        robust = capsys.readouterr().out
+        assert fragile != robust
+
+
+class TestCorrelationCommand:
+    def test_default_run(self, small_csv, capsys):
+        code = main(["correlation", "--ensemble", small_csv])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failure marginals" in out
+        assert "Independent backup candidates" in out
+        assert "Kahe Control Center" in out
+
+    def test_pairs_reported_at_low_threshold(self, small_csv, capsys):
+        code = main(
+            ["correlation", "--ensemble", small_csv, "--threshold", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phi=" in out or "No pairs" in out
+
+    def test_custom_anchor(self, small_csv, capsys):
+        code = main(
+            [
+                "correlation",
+                "--ensemble", small_csv,
+                "--anchor", "Waiau Control Center",
+            ]
+        )
+        assert code == 0
+        assert "Waiau Control Center" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""Round-trip tests for ensemble, catalog, and results serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.outcomes import OperationalProfile, ScenarioMatrix
+from repro.core.states import OperationalState as S
+from repro.errors import SerializationError
+from repro.geo.oahu import HONOLULU_CC, build_oahu_catalog
+from repro.hazards.hurricane.standard import standard_oahu_ensemble
+from repro.io.realization_io import load_ensemble_csv, save_ensemble_csv
+from repro.io.results_io import load_matrix_json, save_matrix_json
+from repro.io.topology_io import load_catalog_json, save_catalog_json
+
+
+class TestEnsembleRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        ensemble = standard_oahu_ensemble(count=25, seed=3)
+        path = tmp_path / "ens.csv"
+        save_ensemble_csv(ensemble, path)
+        loaded = load_ensemble_csv(path)
+        assert len(loaded) == 25
+        assert loaded.scenario_name == ensemble.scenario_name
+        assert loaded.seed == ensemble.seed
+        assert loaded.asset_names == ensemble.asset_names
+        assert np.allclose(
+            loaded.depth_matrix(), ensemble.depth_matrix(), atol=1e-6
+        )
+        for a, b in zip(loaded, ensemble):
+            assert a.params.central_pressure_mb == pytest.approx(
+                b.params.central_pressure_mb, abs=1e-3
+            )
+            assert a.params.landfall.lat == pytest.approx(
+                b.params.landfall.lat, abs=1e-5
+            )
+
+    def test_flood_statistics_survive_roundtrip(self, tmp_path):
+        ensemble = standard_oahu_ensemble(count=50, seed=5)
+        path = tmp_path / "ens.csv"
+        save_ensemble_csv(ensemble, path)
+        loaded = load_ensemble_csv(path)
+        assert loaded.flood_probability(HONOLULU_CC) == pytest.approx(
+            ensemble.flood_probability(HONOLULU_CC)
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_ensemble_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SerializationError):
+            load_ensemble_csv(path)
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(SerializationError):
+            load_ensemble_csv(path)
+
+    def test_malformed_row(self, tmp_path):
+        ensemble = standard_oahu_ensemble(count=3, seed=1)
+        path = tmp_path / "ens.csv"
+        save_ensemble_csv(ensemble, path)
+        lines = path.read_text().splitlines()
+        lines.append("not,a,valid,row")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SerializationError):
+            load_ensemble_csv(path)
+
+
+class TestCatalogRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        catalog = build_oahu_catalog()
+        path = tmp_path / "catalog.json"
+        save_catalog_json(catalog, path)
+        loaded = load_catalog_json(path)
+        assert loaded.names == catalog.names
+        hon = loaded.get(HONOLULU_CC)
+        assert hon.elevation_m == catalog.get(HONOLULU_CC).elevation_m
+        assert hon.role == catalog.get(HONOLULU_CC).role
+        assert hon.location.lat == pytest.approx(
+            catalog.get(HONOLULU_CC).location.lat
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_catalog_json(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_catalog_json(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"region": "X", "assets": [{"name": "a"}]}))
+        with pytest.raises(SerializationError):
+            load_catalog_json(path)
+
+    def test_duplicate_assets_rejected(self, tmp_path):
+        entry = {
+            "name": "A", "role": "substation",
+            "lat": 21.0, "lon": -158.0, "elevation_m": 3.0,
+        }
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps({"region": "X", "assets": [entry, entry]}))
+        with pytest.raises(SerializationError):
+            load_catalog_json(path)
+
+
+class TestMatrixRoundTrip:
+    def make_matrix(self) -> ScenarioMatrix:
+        matrix = ScenarioMatrix("label")
+        matrix.add(
+            "hurricane", "2",
+            OperationalProfile({S.GREEN: 90, S.RED: 10}),
+        )
+        matrix.add(
+            "hurricane+intrusion", "2",
+            OperationalProfile({S.GRAY: 90, S.RED: 10}),
+        )
+        return matrix
+
+    def test_roundtrip(self, tmp_path):
+        matrix = self.make_matrix()
+        path = tmp_path / "results.json"
+        save_matrix_json(matrix, path)
+        loaded = load_matrix_json(path)
+        assert loaded.placement_label == "label"
+        assert loaded.get("hurricane", "2").almost_equal(matrix.get("hurricane", "2"))
+        assert loaded.scenario_names == matrix.scenario_names
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_matrix_json(tmp_path / "nope.json")
+
+    def test_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"placement": "x", "entries": [{"oops": 1}]}))
+        with pytest.raises(SerializationError):
+            load_matrix_json(path)

@@ -1,0 +1,48 @@
+"""The packaged data artifacts stay in sync with the code."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.geo.oahu import build_oahu_catalog
+from repro.hazards.hurricane.standard import standard_oahu_scenario
+from repro.io.scenario_io import load_scenario_json
+from repro.io.topology_io import load_catalog_json
+
+DATA_DIR = Path(__file__).resolve().parents[2] / "data"
+
+
+class TestPackagedData:
+    def test_catalog_file_matches_code(self):
+        packaged = load_catalog_json(DATA_DIR / "oahu_catalog.json")
+        built = build_oahu_catalog()
+        assert packaged.names == built.names
+        for name in built.names:
+            a, b = packaged.get(name), built.get(name)
+            assert a.role == b.role
+            assert a.elevation_m == pytest.approx(b.elevation_m)
+            assert a.location.lat == pytest.approx(b.location.lat)
+            assert a.location.lon == pytest.approx(b.location.lon)
+
+    def test_scenario_file_matches_code(self):
+        packaged = load_scenario_json(DATA_DIR / "oahu_cat2_scenario.json")
+        assert packaged == standard_oahu_scenario()
+
+    def test_scenario_file_drives_the_cli(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io.realization_io import load_ensemble_csv
+
+        out = tmp_path / "ens.csv"
+        code = main(
+            [
+                "ensemble",
+                "--count", "30",
+                "--seed", "20220522",
+                "--scenario-file", str(DATA_DIR / "oahu_cat2_scenario.json"),
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert load_ensemble_csv(out).scenario_name == "oahu-cat2"

@@ -1,0 +1,95 @@
+"""Tests for scenario-spec serialization and the CLI hook."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SerializationError
+from repro.hazards.hurricane.standard import (
+    oahu_scenario_for_category,
+    standard_oahu_scenario,
+)
+from repro.io.scenario_io import (
+    load_scenario_json,
+    save_scenario_json,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_standard_scenario_roundtrips(self, tmp_path):
+        scenario = standard_oahu_scenario()
+        path = tmp_path / "scenario.json"
+        save_scenario_json(scenario, path)
+        loaded = load_scenario_json(path)
+        assert loaded == scenario
+
+    def test_category_scenarios_roundtrip(self, tmp_path):
+        for category in (1, 3, 4):
+            scenario = oahu_scenario_for_category(category)
+            path = tmp_path / f"cat{category}.json"
+            save_scenario_json(scenario, path)
+            assert load_scenario_json(path) == scenario
+
+    def test_dict_roundtrip(self):
+        scenario = standard_oahu_scenario()
+        assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_scenario_json(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(SerializationError):
+            load_scenario_json(path)
+
+    def test_missing_fields(self):
+        with pytest.raises(SerializationError):
+            scenario_from_dict({"name": "x"})
+
+    def test_invalid_physics_rejected(self, tmp_path):
+        data = scenario_to_dict(standard_oahu_scenario())
+        data["base_landfall"]["lat"] = 120.0  # off the planet
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(SerializationError):
+            load_scenario_json(path)
+
+
+class TestCliIntegration:
+    def test_ensemble_from_scenario_file(self, tmp_path, capsys):
+        scenario_path = tmp_path / "cat4.json"
+        save_scenario_json(oahu_scenario_for_category(4), scenario_path)
+        out_csv = tmp_path / "cat4.csv"
+        code = main(
+            [
+                "ensemble",
+                "--count", "60",
+                "--seed", "1",
+                "--scenario-file", str(scenario_path),
+                "--output", str(out_csv),
+            ]
+        )
+        assert code == 0
+        assert out_csv.exists()
+        # Category 4 floods Honolulu far more often than Category 2.
+        from repro.io.realization_io import load_ensemble_csv
+
+        ensemble = load_ensemble_csv(out_csv)
+        assert ensemble.scenario_name == "oahu-cat4"
+        assert ensemble.flood_probability("Honolulu Control Center") > 0.2
+
+    def test_bad_scenario_file_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        code = main(["ensemble", "--count", "5", "--scenario-file", str(path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""Tests for link-flooding isolation attacks and connectivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.network.attacks import LinkFloodingAttacker
+from repro.network.connectivity import analyze, isolated_sites, sites_reachable
+from repro.network.topology import LinkSpec, WANTopology, build_site_wan
+
+SITES = [HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS]
+
+
+@pytest.fixture(scope="module")
+def wan(oahu_catalog):
+    return build_site_wan(oahu_catalog, SITES)
+
+
+@pytest.fixture(scope="module")
+def attacker(wan):
+    return LinkFloodingAttacker(wan)
+
+
+class TestIsolationPlanning:
+    def test_plan_disconnects_target(self, wan, attacker):
+        for target in SITES:
+            plan = attacker.plan_isolation(target)
+            attacked = attacker.apply(plan)
+            others = [s for s in SITES if s != target]
+            assert not any(sites_reachable(attacked, target, o) for o in others), target
+
+    def test_plan_spares_other_sites(self, wan, attacker):
+        plan = attacker.plan_isolation(HONOLULU_CC)
+        attacked = attacker.apply(plan)
+        others = [s for s in SITES if s != HONOLULU_CC]
+        for i, a in enumerate(others):
+            for b in others[i + 1 :]:
+                assert sites_reachable(attacked, a, b)
+
+    def test_min_cut_is_the_access_links(self, wan, attacker):
+        # With 2 x 10G uplinks against a 100G core, the rational cut is
+        # the site's own access links: cost 20G, 2 links.
+        plan = attacker.plan_isolation(HONOLULU_CC)
+        assert plan.attack_cost_gbps == pytest.approx(20.0)
+        assert plan.link_count == 2
+        assert all(HONOLULU_CC in link for link in plan.flooded_links)
+
+    def test_more_uplinks_raise_attack_cost(self, oahu_catalog):
+        cheap = build_site_wan(oahu_catalog, SITES, redundant_uplinks=2)
+        hardened = build_site_wan(oahu_catalog, SITES, redundant_uplinks=4)
+        cost_cheap = LinkFloodingAttacker(cheap).plan_isolation(WAIAU_CC).attack_cost_gbps
+        cost_hard = LinkFloodingAttacker(hardened).plan_isolation(WAIAU_CC).attack_cost_gbps
+        assert cost_hard > cost_cheap
+
+    def test_cheapest_target(self, attacker):
+        plan = attacker.cheapest_target()
+        assert plan.target in SITES
+        # All sites have identical uplink structure, so every plan costs
+        # the same and the tie-break is deterministic (name order).
+        assert plan.attack_cost_gbps == pytest.approx(20.0)
+
+    def test_non_site_target_rejected(self, attacker):
+        with pytest.raises(NetworkModelError):
+            attacker.plan_isolation("pop-honolulu")
+
+    def test_single_site_system(self, oahu_catalog):
+        wan = build_site_wan(oahu_catalog, [HONOLULU_CC])
+        plan = LinkFloodingAttacker(wan).plan_isolation(HONOLULU_CC)
+        assert plan.link_count == 2  # its two access links
+
+
+class TestConnectivityAnalysis:
+    def test_healthy_wan_fully_connected(self, wan):
+        report = analyze(wan)
+        assert report.fully_connected
+        assert report.isolated_sites == ()
+        assert report.min_site_edge_connectivity >= 2
+
+    def test_post_attack_report(self, wan, attacker):
+        plan = attacker.plan_isolation(KAHE_CC)
+        report = analyze(wan, attacker.apply(plan))
+        assert not report.fully_connected
+        assert report.isolated_sites == (KAHE_CC,)
+        assert report.min_site_edge_connectivity == 0
+
+    def test_isolated_sites_on_simple_graph(self):
+        topo = WANTopology(
+            [LinkSpec("a", "r", 1.0), LinkSpec("b", "r", 1.0), LinkSpec("c", "x", 1.0)],
+            {"a", "b", "c"},
+        )
+        assert isolated_sites(topo.graph, topo.site_nodes) == ("c",)
+
+    def test_reachability_handles_missing_nodes(self, wan):
+        assert not sites_reachable(wan.graph, "ghost", HONOLULU_CC)

@@ -1,0 +1,119 @@
+"""Tests for the grid/communications interdependency cascade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.grid.model import build_oahu_grid
+from repro.network.interdependency import (
+    OAHU_POP_POWER,
+    InterdependencyAnalysis,
+    InterdependencyParams,
+)
+from repro.network.topology import build_site_wan
+
+SITES = [HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS]
+BACKBONE = ("Waiau Power Plant", "Halawa Substation")
+
+
+@pytest.fixture(scope="module")
+def analysis(oahu_catalog):
+    return InterdependencyAnalysis(
+        grid=build_oahu_grid(oahu_catalog),
+        wan=build_site_wan(oahu_catalog, SITES),
+    )
+
+
+class TestConstruction:
+    def test_default_mapping_covers_all_pops(self, analysis):
+        assert set(analysis.pop_to_bus) == analysis.wan.router_nodes
+
+    def test_unknown_pop_rejected(self, oahu_catalog):
+        mapping = dict(OAHU_POP_POWER)
+        mapping["pop-atlantis"] = "Iwilei Substation"
+        with pytest.raises(NetworkModelError):
+            InterdependencyAnalysis(
+                build_oahu_grid(oahu_catalog),
+                build_site_wan(oahu_catalog, SITES),
+                pop_to_bus=mapping,
+            )
+
+    def test_unknown_bus_rejected(self, oahu_catalog):
+        mapping = dict(OAHU_POP_POWER)
+        mapping["pop-honolulu"] = "Atlantis Substation"
+        with pytest.raises(NetworkModelError):
+            InterdependencyAnalysis(
+                build_oahu_grid(oahu_catalog),
+                build_site_wan(oahu_catalog, SITES),
+                pop_to_bus=mapping,
+            )
+
+    def test_unmapped_pop_rejected(self, oahu_catalog):
+        mapping = dict(OAHU_POP_POWER)
+        mapping.pop("pop-kaneohe")
+        with pytest.raises(NetworkModelError):
+            InterdependencyAnalysis(
+                build_oahu_grid(oahu_catalog),
+                build_site_wan(oahu_catalog, SITES),
+                pop_to_bus=mapping,
+            )
+
+    def test_params_validation(self):
+        with pytest.raises(NetworkModelError):
+            InterdependencyParams(pop_power_threshold=0.0)
+        with pytest.raises(NetworkModelError):
+            InterdependencyParams(required_connected_sites=0)
+
+
+class TestCascade:
+    def test_no_outage_everything_up(self, analysis):
+        result = analysis.cascade(set())
+        assert result.served_fraction == pytest.approx(1.0)
+        assert result.scada_operational
+        assert result.dead_pops == ()
+        assert result.connected_sites == len(SITES)
+
+    def test_controlled_contingency_keeps_comms(self, analysis):
+        # With SCADA, the backbone outage is fully redispatched: every
+        # island serves 100%, so no PoP dies and SCADA stays up.
+        result = analysis.cascade({BACKBONE})
+        assert result.scada_operational
+        assert result.served_fraction == pytest.approx(1.0)
+
+    def test_uncontrolled_start_amplifies(self, analysis):
+        # Starting without SCADA (e.g. gray after an intrusion), the same
+        # outage cascades, starves PoPs, and partitions the WAN.
+        result = analysis.cascade({BACKBONE}, scada_initially_operational=False)
+        assert not result.scada_operational
+        assert result.served_fraction < 0.6
+        assert len(result.dead_pops) >= 1
+
+    def test_scada_is_monotone_across_coupling(self, analysis):
+        # The coupled fixed point never reports *better* service than the
+        # pure-grid analysis with the same initial SCADA state.
+        from repro.grid.contingency import simulate_contingency
+
+        for outage in ({BACKBONE}, set()):
+            coupled = analysis.cascade(outage)
+            pure = simulate_contingency(analysis.grid, outage, True)
+            assert coupled.served_fraction <= pure.served_fraction + 1e-9
+
+    def test_interdependent_collapse(self, oahu_catalog):
+        # Tighten the coupling: PoPs need 90% service and SCADA needs 3
+        # connected sites.  An uncontrolled start then collapses comms.
+        analysis = InterdependencyAnalysis(
+            grid=build_oahu_grid(oahu_catalog),
+            wan=build_site_wan(oahu_catalog, SITES),
+            params=InterdependencyParams(
+                pop_power_threshold=0.9, required_connected_sites=3
+            ),
+        )
+        result = analysis.cascade({BACKBONE}, scada_initially_operational=False)
+        assert not result.scada_operational
+        assert result.coupled_blackout == (result.served_fraction < 0.5)
+
+    def test_rounds_bounded(self, analysis):
+        result = analysis.cascade({BACKBONE})
+        assert 1 <= result.rounds <= analysis.params.max_rounds

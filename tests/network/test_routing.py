@@ -1,0 +1,80 @@
+"""Tests for WAN-derived latencies and their BFT integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bft.engine import BFTCluster, ClusterSpec
+from repro.errors import NetworkModelError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.network.routing import network_params_from_wan, site_latency_matrix
+from repro.network.topology import LinkSpec, WANTopology, build_site_wan
+
+SITES = [HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS]
+
+
+@pytest.fixture(scope="module")
+def wan(oahu_catalog):
+    return build_site_wan(oahu_catalog, SITES)
+
+
+class TestLatencyMatrix:
+    def test_symmetric_and_positive(self, wan):
+        matrix = site_latency_matrix(wan)
+        for (a, b), latency in matrix.items():
+            assert latency > 0.0
+            assert matrix[(b, a)] == latency
+
+    def test_covers_all_pairs(self, wan):
+        matrix = site_latency_matrix(wan)
+        assert len(matrix) == len(SITES) * (len(SITES) - 1)
+
+    def test_hop_count_scaling(self, wan):
+        fast = site_latency_matrix(wan, per_hop_ms=1.0)
+        slow = site_latency_matrix(wan, per_hop_ms=3.0)
+        for pair in fast:
+            assert slow[pair] == pytest.approx(3.0 * fast[pair])
+
+    def test_nearby_sites_fewer_hops(self, wan):
+        matrix = site_latency_matrix(wan, per_hop_ms=1.0)
+        # Honolulu CC and DRFortress share the Honolulu PoP (2 hops);
+        # Honolulu to Kahe crosses the core (>= 3 hops).
+        assert matrix[(HONOLULU_CC, DRFORTRESS)] < matrix[(HONOLULU_CC, KAHE_CC)]
+
+    def test_disconnected_sites_rejected(self):
+        wan = WANTopology(
+            [LinkSpec("a", "r1", 1.0), LinkSpec("b", "r2", 1.0)], {"a", "b"}
+        )
+        with pytest.raises(NetworkModelError):
+            site_latency_matrix(wan)
+
+    def test_bad_per_hop_rejected(self, wan):
+        with pytest.raises(NetworkModelError):
+            site_latency_matrix(wan, per_hop_ms=0.0)
+
+
+class TestNetworkParamsFromWan:
+    def test_inter_site_is_worst_pair(self, wan):
+        params = network_params_from_wan(wan, per_hop_ms=2.0)
+        matrix = site_latency_matrix(wan, per_hop_ms=2.0)
+        assert params.inter_site_latency_ms == max(matrix.values())
+        assert params.intra_site_latency_ms == 1.0
+
+    def test_single_site_falls_back(self, oahu_catalog):
+        wan = build_site_wan(oahu_catalog, [HONOLULU_CC])
+        params = network_params_from_wan(wan)
+        assert params.inter_site_latency_ms == params.intra_site_latency_ms
+
+    def test_drives_the_bft_engine(self, wan):
+        # The closed loop: WAN geometry -> protocol latencies -> a live
+        # multi-site cluster that still orders the workload.
+        params = network_params_from_wan(wan, per_hop_ms=2.0)
+        spec = ClusterSpec(
+            sites=(HONOLULU_CC, KAHE_CC, DRFORTRESS),
+            replicas_per_site=6,
+            network=params,
+        )
+        cluster = BFTCluster(spec)
+        cluster.submit_workload(10, interval_ms=50.0)
+        report = cluster.run(duration_ms=30_000.0)
+        assert report.safety_ok and report.ordered_everywhere

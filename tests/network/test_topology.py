@@ -1,0 +1,83 @@
+"""Tests for the WAN topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.network.topology import LinkSpec, WANTopology, build_site_wan
+
+SITES = [HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS]
+
+
+@pytest.fixture(scope="module")
+def wan(oahu_catalog):
+    return build_site_wan(oahu_catalog, SITES)
+
+
+class TestLinkSpec:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(NetworkModelError):
+            LinkSpec("a", "b", 0.0)
+
+    def test_rejects_self_link(self):
+        with pytest.raises(NetworkModelError):
+            LinkSpec("a", "a", 10.0)
+
+
+class TestWANTopology:
+    def test_requires_links(self):
+        with pytest.raises(NetworkModelError):
+            WANTopology([], set())
+
+    def test_site_nodes_must_exist(self):
+        with pytest.raises(NetworkModelError):
+            WANTopology([LinkSpec("a", "b", 1.0)], {"ghost"})
+
+    def test_link_capacity_lookup(self):
+        topo = WANTopology([LinkSpec("a", "b", 7.5)], {"a"})
+        assert topo.link_capacity("a", "b") == 7.5
+        with pytest.raises(NetworkModelError):
+            topo.link_capacity("a", "z")
+
+    def test_without_links_is_a_copy(self):
+        topo = WANTopology([LinkSpec("a", "b", 1.0), LinkSpec("b", "c", 1.0)], {"a"})
+        reduced = topo.without_links({("a", "b")})
+        assert not reduced.has_edge("a", "b")
+        assert topo.graph.has_edge("a", "b")  # original intact
+
+
+class TestBuildSiteWan:
+    def test_all_sites_present(self, wan):
+        assert set(SITES) <= set(wan.graph.nodes)
+        assert wan.site_nodes == set(SITES)
+
+    def test_sites_have_redundant_uplinks(self, wan):
+        for site in SITES:
+            assert wan.degree_of(site) == 2
+
+    def test_core_is_larger_capacity(self, wan):
+        core_caps = [
+            wan.graph.edges[a, b]["capacity"]
+            for a, b in wan.graph.edges
+            if a.startswith("pop-") and b.startswith("pop-")
+        ]
+        access_caps = [
+            wan.graph.edges[a, b]["capacity"]
+            for a, b in wan.graph.edges
+            if not (a.startswith("pop-") and b.startswith("pop-"))
+        ]
+        assert min(core_caps) > max(access_caps)
+
+    def test_sites_attach_to_nearest_pops(self, wan):
+        # Kahe (leeward coast) should attach to the Kapolei PoP.
+        assert wan.graph.has_edge(KAHE_CC, "pop-kapolei")
+        # Honolulu CC attaches to the Honolulu PoP.
+        assert wan.graph.has_edge(HONOLULU_CC, "pop-honolulu")
+
+    def test_validation(self, oahu_catalog):
+        with pytest.raises(NetworkModelError):
+            build_site_wan(oahu_catalog, [])
+        with pytest.raises(NetworkModelError):
+            build_site_wan(oahu_catalog, SITES, redundant_uplinks=0)

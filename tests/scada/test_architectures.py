@@ -1,0 +1,171 @@
+"""Tests for the five paper architectures and the generic constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scada.architectures import (
+    CONFIG_2,
+    CONFIG_2_2,
+    CONFIG_6,
+    CONFIG_6_6,
+    CONFIG_6_6_6,
+    PAPER_CONFIGURATIONS,
+    ArchitectureFamily,
+    ArchitectureSpec,
+    SiteRole,
+    SiteSpec,
+    active_multisite,
+    get_architecture,
+    primary_backup,
+    single_site,
+)
+
+
+class TestPaperConfigurations:
+    def test_names(self):
+        assert [c.name for c in PAPER_CONFIGURATIONS] == [
+            "2", "2-2", "6", "6-6", "6+6+6",
+        ]
+
+    def test_config_2(self):
+        assert CONFIG_2.family is ArchitectureFamily.SINGLE_SITE
+        assert CONFIG_2.total_replicas == 2
+        assert CONFIG_2.intrusions_f == 0
+        assert not CONFIG_2.is_intrusion_tolerant
+
+    def test_config_2_2(self):
+        assert CONFIG_2_2.family is ArchitectureFamily.PRIMARY_BACKUP
+        assert CONFIG_2_2.num_sites == 2
+        assert CONFIG_2_2.sites[1].cold
+
+    def test_config_6(self):
+        assert CONFIG_6.family is ArchitectureFamily.SINGLE_SITE
+        assert CONFIG_6.intrusions_f == 1
+        assert CONFIG_6.recoveries_k == 1
+        assert CONFIG_6.total_replicas == 6
+        assert CONFIG_6.is_intrusion_tolerant
+
+    def test_config_6_6(self):
+        assert CONFIG_6_6.family is ArchitectureFamily.PRIMARY_BACKUP
+        assert CONFIG_6_6.total_replicas == 12
+        assert all(s.replicas == 6 for s in CONFIG_6_6.sites)
+
+    def test_config_6_6_6(self):
+        assert CONFIG_6_6_6.family is ArchitectureFamily.ACTIVE_MULTISITE
+        assert CONFIG_6_6_6.total_replicas == 18
+        roles = [s.role for s in CONFIG_6_6_6.sites]
+        assert roles == [SiteRole.PRIMARY, SiteRole.BACKUP, SiteRole.DATA_CENTER]
+        assert not any(s.cold for s in CONFIG_6_6_6.sites)
+
+    def test_6_6_6_sizing_view(self):
+        sizing = CONFIG_6_6_6.multisite_sizing()
+        assert sizing.min_sites_for_progress() == 2
+
+    def test_sizing_view_rejected_for_other_families(self):
+        with pytest.raises(ConfigurationError):
+            CONFIG_6.multisite_sizing()
+
+    def test_lookup(self):
+        assert get_architecture("6-6") is CONFIG_6_6
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_architecture("9-9")
+
+
+class TestSiteRole:
+    def test_attack_priority_order(self):
+        assert (
+            SiteRole.PRIMARY.attack_priority
+            < SiteRole.BACKUP.attack_priority
+            < SiteRole.DATA_CENTER.attack_priority
+        )
+
+
+class TestValidation:
+    def test_site_needs_replicas(self):
+        with pytest.raises(ConfigurationError):
+            SiteSpec(SiteRole.PRIMARY, 0)
+
+    def test_architecture_needs_sites(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureSpec("x", ArchitectureFamily.SINGLE_SITE, ())
+
+    def test_single_site_one_primary_only(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureSpec(
+                "x",
+                ArchitectureFamily.SINGLE_SITE,
+                (SiteSpec(SiteRole.BACKUP, 2),),
+            )
+
+    def test_primary_backup_requires_cold_backup(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureSpec(
+                "x",
+                ArchitectureFamily.PRIMARY_BACKUP,
+                (SiteSpec(SiteRole.PRIMARY, 2), SiteSpec(SiteRole.BACKUP, 2)),
+            )
+
+    def test_active_multisite_needs_three_sites(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureSpec(
+                "x",
+                ArchitectureFamily.ACTIVE_MULTISITE,
+                (SiteSpec(SiteRole.PRIMARY, 6), SiteSpec(SiteRole.BACKUP, 6)),
+                intrusions_f=1,
+            )
+
+    def test_active_multisite_rejects_cold_sites(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureSpec(
+                "x",
+                ArchitectureFamily.ACTIVE_MULTISITE,
+                (
+                    SiteSpec(SiteRole.PRIMARY, 6),
+                    SiteSpec(SiteRole.BACKUP, 6, cold=True),
+                    SiteSpec(SiteRole.DATA_CENTER, 6),
+                ),
+                intrusions_f=1,
+            )
+
+    def test_intrusion_tolerance_needs_enough_replicas(self):
+        with pytest.raises(ConfigurationError):
+            single_site(4, intrusions_f=1, recoveries_k=1)  # needs 6
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            single_site(2, intrusions_f=-1)
+
+
+class TestGenericConstructors:
+    def test_single_site_naming(self):
+        assert single_site(4, intrusions_f=1).name == "4"
+
+    def test_primary_backup_naming(self):
+        assert primary_backup(4, intrusions_f=1).name == "4-4"
+
+    def test_active_multisite_naming(self):
+        assert active_multisite(6).name == "6+6+6"
+
+    def test_active_multisite_roles(self):
+        spec = active_multisite(6, num_sites=4, data_center_sites=2)
+        roles = [s.role for s in spec.sites]
+        assert roles == [
+            SiteRole.PRIMARY,
+            SiteRole.BACKUP,
+            SiteRole.DATA_CENTER,
+            SiteRole.DATA_CENTER,
+        ]
+
+    def test_active_multisite_needs_a_control_center(self):
+        with pytest.raises(ConfigurationError):
+            active_multisite(6, num_sites=3, data_center_sites=3)
+
+    def test_larger_f_deployment(self):
+        # f=2, k=1 needs 9 replicas per site for per-site safety.
+        spec = active_multisite(9, num_sites=3, intrusions_f=2, recoveries_k=1)
+        assert spec.total_replicas == 27
+        assert spec.multisite_sizing().min_sites_for_progress() == 2

@@ -1,0 +1,80 @@
+"""Tests for the deployment cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scada.architectures import (
+    CONFIG_2,
+    CONFIG_2_2,
+    CONFIG_6,
+    CONFIG_6_6,
+    CONFIG_6_6_6,
+)
+from repro.scada.cost import CostModel, assess_total_cost
+
+
+class TestCostModel:
+    def test_config_2_cost(self):
+        model = CostModel()
+        # 2 replicas (50) + 1 control center (400) + 2 uplinks (60).
+        assert model.annual_cost(CONFIG_2) == pytest.approx(510.0)
+
+    def test_data_center_cheaper_than_control_center(self):
+        model = CostModel()
+        # 6+6+6: 18 replicas, 2 CCs + 1 DC, 6 uplinks.
+        expected = 18 * 25.0 + 2 * 400.0 + 60.0 + 3 * 2 * 30.0
+        assert model.annual_cost(CONFIG_6_6_6) == pytest.approx(expected)
+
+    def test_cost_ordering_matches_intuition(self):
+        model = CostModel()
+        costs = [
+            model.annual_cost(c)
+            for c in (CONFIG_2, CONFIG_6, CONFIG_2_2, CONFIG_6_6, CONFIG_6_6_6)
+        ]
+        assert costs == sorted(costs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(replica_server_cost=-1.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(uplinks_per_site=0)
+
+
+class TestTotalCostAssessment:
+    def test_outage_costs_scale_with_downtime(self):
+        cheap = assess_total_cost(CONFIG_2, 1.0, 0.0)
+        expensive = assess_total_cost(CONFIG_2, 50.0, 0.0)
+        assert (
+            expensive.expected_annual_outage_cost
+            > cheap.expected_annual_outage_cost
+        )
+        assert cheap.annual_deployment_cost == expensive.annual_deployment_cost
+
+    def test_unsafe_hours_cost_more(self):
+        outage_only = assess_total_cost(CONFIG_2, 10.0, 0.0)
+        unsafe_only = assess_total_cost(CONFIG_2, 0.0, 10.0)
+        assert (
+            unsafe_only.expected_annual_outage_cost
+            > outage_only.expected_annual_outage_cost
+        )
+
+    def test_resilience_can_pay_for_itself(self):
+        # "6" eats the whole 48 h isolation every event; "6+6+6" pays a
+        # bigger capex but almost no downtime.  At moderate outage prices
+        # the stronger architecture wins on *total* cost.
+        weak = assess_total_cost(
+            CONFIG_6, mean_unavailable_h_per_event=51.0, mean_unsafe_h_per_event=0.0
+        )
+        strong = assess_total_cost(
+            CONFIG_6_6_6, mean_unavailable_h_per_event=5.5, mean_unsafe_h_per_event=0.0
+        )
+        assert strong.annual_deployment_cost > weak.annual_deployment_cost
+        assert strong.total_annual_cost < weak.total_annual_cost
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            assess_total_cost(CONFIG_2, -1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            assess_total_cost(CONFIG_2, 1.0, 0.0, events_per_year=-1.0)

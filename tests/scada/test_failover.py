@@ -1,0 +1,52 @@
+"""Tests for failover timing / availability weighting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.states import OperationalState
+from repro.errors import ConfigurationError
+from repro.scada.failover import FailoverPolicy
+
+
+class TestFailoverPolicy:
+    def test_green_no_downtime(self):
+        assert FailoverPolicy().downtime_minutes(OperationalState.GREEN) == 0.0
+
+    def test_orange_is_activation_time(self):
+        policy = FailoverPolicy(cold_activation_minutes=15.0)
+        assert policy.downtime_minutes(OperationalState.ORANGE) == 15.0
+
+    def test_red_is_repair_outage(self):
+        policy = FailoverPolicy(red_outage_minutes=120.0)
+        assert policy.downtime_minutes(OperationalState.RED) == 120.0
+
+    def test_gray_is_full_horizon(self):
+        policy = FailoverPolicy(horizon_minutes=1000.0, red_outage_minutes=500.0)
+        assert policy.downtime_minutes(OperationalState.GRAY) == 1000.0
+
+    def test_availability_ordering(self):
+        policy = FailoverPolicy()
+        avail = [policy.availability(s) for s in (
+            OperationalState.GREEN,
+            OperationalState.ORANGE,
+            OperationalState.RED,
+            OperationalState.GRAY,
+        )]
+        assert avail[0] == 1.0
+        assert avail[-1] == 0.0
+        assert all(b <= a for a, b in zip(avail, avail[1:]))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cold_activation_minutes": -1.0},
+            {"red_outage_minutes": -1.0},
+            {"horizon_minutes": 0.0},
+            {"cold_activation_minutes": 100.0, "horizon_minutes": 50.0},
+            {"red_outage_minutes": 100.0, "horizon_minutes": 50.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FailoverPolicy(**kwargs)

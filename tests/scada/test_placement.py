@@ -1,0 +1,71 @@
+"""Tests for placements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.scada.architectures import (
+    CONFIG_2,
+    CONFIG_2_2,
+    CONFIG_6,
+    CONFIG_6_6,
+    CONFIG_6_6_6,
+)
+from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU, Placement
+
+
+class TestPlacement:
+    def test_paper_placements(self):
+        assert PLACEMENT_WAIAU.primary == HONOLULU_CC
+        assert PLACEMENT_WAIAU.backup == WAIAU_CC
+        assert PLACEMENT_KAHE.backup == KAHE_CC
+        assert PLACEMENT_WAIAU.data_centers == (DRFORTRESS,)
+
+    def test_duplicate_assets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Placement(primary=HONOLULU_CC, backup=HONOLULU_CC)
+
+    def test_label(self):
+        label = PLACEMENT_WAIAU.label()
+        assert HONOLULU_CC in label and WAIAU_CC in label and DRFORTRESS in label
+
+    def test_sites_for_single_site(self):
+        assert PLACEMENT_WAIAU.sites_for(CONFIG_2) == (HONOLULU_CC,)
+        assert PLACEMENT_WAIAU.sites_for(CONFIG_6) == (HONOLULU_CC,)
+
+    def test_sites_for_primary_backup(self):
+        assert PLACEMENT_WAIAU.sites_for(CONFIG_2_2) == (HONOLULU_CC, WAIAU_CC)
+        assert PLACEMENT_KAHE.sites_for(CONFIG_6_6) == (HONOLULU_CC, KAHE_CC)
+
+    def test_sites_for_multisite(self):
+        assert PLACEMENT_WAIAU.sites_for(CONFIG_6_6_6) == (
+            HONOLULU_CC,
+            WAIAU_CC,
+            DRFORTRESS,
+        )
+
+    def test_missing_backup_slot(self):
+        placement = Placement(primary=HONOLULU_CC)
+        with pytest.raises(ConfigurationError):
+            placement.sites_for(CONFIG_2_2)
+
+    def test_missing_data_center_slot(self):
+        placement = Placement(primary=HONOLULU_CC, backup=WAIAU_CC)
+        with pytest.raises(ConfigurationError):
+            placement.sites_for(CONFIG_6_6_6)
+
+    def test_validate_against_catalog(self, oahu_catalog):
+        PLACEMENT_WAIAU.validate_against(oahu_catalog)
+        PLACEMENT_KAHE.validate_against(oahu_catalog)
+
+    def test_validate_rejects_unknown_asset(self, oahu_catalog):
+        placement = Placement(primary="Atlantis Control Center")
+        with pytest.raises(TopologyError):
+            placement.validate_against(oahu_catalog)
+
+    def test_validate_rejects_non_control_asset(self, oahu_catalog):
+        placement = Placement(primary="Kahe Power Plant")
+        with pytest.raises(TopologyError):
+            placement.validate_against(oahu_catalog)

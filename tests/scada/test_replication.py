@@ -1,0 +1,141 @@
+"""Tests for replication sizing math."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.scada.replication import (
+    MultiSiteSizing,
+    can_make_progress,
+    quorum_size,
+    replicas_for_safety,
+    spire_sizing,
+)
+
+
+class TestReplicasForSafety:
+    @pytest.mark.parametrize(
+        "f,k,expected", [(0, 0, 1), (1, 0, 4), (1, 1, 6), (2, 1, 9), (2, 2, 11)]
+    )
+    def test_formula(self, f, k, expected):
+        assert replicas_for_safety(f, k) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            replicas_for_safety(-1)
+
+
+class TestQuorum:
+    def test_paper_sizes(self):
+        # "6": n=6, f=1 -> quorum 4.  "6+6+6": n=18, f=1 -> quorum 10.
+        assert quorum_size(6, 1) == 4
+        assert quorum_size(18, 1) == 10
+
+    def test_crash_only_majority(self):
+        assert quorum_size(3, 0) == 2
+        assert quorum_size(5, 0) == 3
+
+    def test_rejects_undersized_groups(self):
+        with pytest.raises(ConfigurationError):
+            quorum_size(3, 1)  # needs >= 4 for f=1
+
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=60)
+    def test_quorum_intersection_contains_a_correct_replica(self, f, extra):
+        # Fundamental BFT property: two quorums overlap in > f replicas.
+        n = replicas_for_safety(f) + extra
+        q = quorum_size(n, f)
+        assert 2 * q - n >= f + 1
+
+
+class TestCanMakeProgress:
+    def test_six_replica_group(self):
+        # n=6, f=1, k=1, quorum 4: needs 6 available (4 + f + k).
+        assert can_make_progress(6, 6, 1, 1)
+        assert not can_make_progress(5, 6, 1, 1)
+
+    def test_spire_two_sites_up(self):
+        # 6+6+6: 12 available replicas keep the system live; 6 do not.
+        assert can_make_progress(12, 18, 1, 1)
+        assert not can_make_progress(6, 18, 1, 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            can_make_progress(7, 6, 1, 1)
+        with pytest.raises(ConfigurationError):
+            can_make_progress(-1, 6, 1, 1)
+
+
+class TestMultiSiteSizing:
+    def test_spire_sizing_is_6_per_site(self):
+        sizing = spire_sizing()
+        assert sizing.num_sites == 3
+        assert sizing.replicas_per_site == 6
+        assert sizing.total_replicas == 18
+        assert sizing.quorum == 10
+
+    def test_min_sites_for_progress_is_two(self):
+        assert spire_sizing().min_sites_for_progress() == 2
+
+    def test_survives_one_site_loss_not_two(self):
+        sizing = spire_sizing()
+        assert sizing.survives_site_losses(0)
+        assert sizing.survives_site_losses(1)
+        assert not sizing.survives_site_losses(2)
+
+    def test_rejects_two_sites(self):
+        with pytest.raises(ConfigurationError):
+            MultiSiteSizing(
+                num_sites=2, replicas_per_site=6, intrusions_f=1, recoveries_k=1
+            )
+
+    def test_rejects_undersized_deployment(self):
+        with pytest.raises(ConfigurationError):
+            MultiSiteSizing(
+                num_sites=3, replicas_per_site=1, intrusions_f=1, recoveries_k=1
+            )
+
+    def test_site_loss_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            spire_sizing().survives_site_losses(4)
+
+    def test_larger_fleet_tolerates_more(self):
+        # 4 sites of 6: still one site loss with margin.
+        sizing = spire_sizing(num_sites=4)
+        assert sizing.survives_site_losses(1)
+        assert sizing.min_sites_for_progress() == 3
+
+    @given(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=3, max_value=6),
+    )
+    @settings(max_examples=60)
+    def test_spire_rule_always_survives_one_site(self, f, k, sites):
+        sizing = spire_sizing(num_sites=sites, intrusions_f=f, recoveries_k=k)
+        assert sizing.survives_site_losses(1)
+
+
+class TestFourSiteStructuralLimit:
+    def test_four_equal_sites_cannot_survive_two_losses(self):
+        # Two of four equal sites hold exactly half the replicas --
+        # strictly below any quorum -- and no per-site replica count
+        # fixes that (the limit is structural, not a sizing knob).
+        from repro.scada.architectures import active_multisite
+
+        four = active_multisite(6, num_sites=4, data_center_sites=2)
+        assert not four.multisite_sizing().survives_site_losses(2)
+        for replicas_per_site in (6, 12, 24, 48):
+            total = 4 * replicas_per_site
+            assert not can_make_progress(2 * replicas_per_site, total, 1, 1)
+
+    def test_five_equal_sites_survive_two_losses(self):
+        from repro.scada.architectures import active_multisite
+
+        five = active_multisite(6, num_sites=5, data_center_sites=2)
+        sizing = five.multisite_sizing()
+        assert sizing.survives_site_losses(2)
+        assert sizing.min_sites_for_progress() == 3
