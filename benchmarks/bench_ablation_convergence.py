@@ -26,7 +26,13 @@ def convergence_series(standard_ensemble):
 
 
 def test_ablation_realization_convergence(benchmark, standard_ensemble):
+    # Reuses the session ensemble (disk-cached); the sweep itself touches
+    # sum(SIZES) realizations per iteration, so report that as throughput.
     rows = benchmark(convergence_series, standard_ensemble)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = sum(SIZES) / benchmark.stats.stats.mean
+        benchmark.extra_info["realizations_per_sec"] = rate
+        print(f"\nconvergence sweep: {rate:,.0f} realizations/sec analysed")
 
     print()
     print("Monte Carlo convergence of P(Honolulu CC floods):")

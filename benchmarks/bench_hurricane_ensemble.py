@@ -23,8 +23,13 @@ from repro.hazards.hurricane.standard import standard_oahu_generator
 def test_ensemble_generation(benchmark):
     generator = standard_oahu_generator()
     # Benchmark a 100-realization slice (the full 1000 scales linearly).
-    ensemble = benchmark(generator.generate, 100, 20220522)
-    assert len(ensemble) == 100
+    count = 100
+    ensemble = benchmark(generator.generate, count, 20220522)
+    assert len(ensemble) == count
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = count / benchmark.stats.stats.mean
+        benchmark.extra_info["realizations_per_sec"] = rate
+        print(f"\nensemble generation: {rate:,.0f} realizations/sec")
 
 
 def test_standard_ensemble_statistics(benchmark, standard_ensemble):

@@ -1,13 +1,21 @@
 """Shared benchmark fixtures: the standard ensemble and analyses.
 
 Every paper-figure benchmark consumes the same 1000-realization standard
-ensemble (generated once per session) so timings measure the analysis
-step, and each bench *prints* the rows/series the corresponding paper
-figure reports (run with ``pytest benchmarks/ --benchmark-only -s`` to
-see them).
+ensemble so timings measure the analysis step, and each bench *prints*
+the rows/series the corresponding paper figure reports (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them).
+
+The ensemble comes from the on-disk cache (``REPRO_ENSEMBLE_CACHE``,
+default ``benchmarks/.ensemble_cache``): the first session generates and
+stores it, later sessions load it in well under a second instead of
+re-running 1000 surge simulations.  Set ``REPRO_ENSEMBLE_CACHE=`` (empty)
+to disable the disk cache.
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 import pytest
 
@@ -19,9 +27,17 @@ from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU
 from repro.viz import profile_chart
 
 
+def ensemble_cache_dir() -> str | None:
+    """The benchmarks' disk cache directory, or None when disabled."""
+    configured = os.environ.get("REPRO_ENSEMBLE_CACHE")
+    if configured is not None:
+        return configured or None
+    return str(Path(__file__).parent / ".ensemble_cache")
+
+
 @pytest.fixture(scope="session")
 def standard_ensemble():
-    return standard_oahu_ensemble()
+    return standard_oahu_ensemble(cache_dir=ensemble_cache_dir())
 
 
 @pytest.fixture(scope="session")

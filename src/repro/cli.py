@@ -50,7 +50,12 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         )
     else:
         generator = standard_oahu_generator()
-    ensemble = generator.generate(count=args.count, seed=args.seed)
+    ensemble = generator.generate(
+        count=args.count,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     save_ensemble_csv(ensemble, args.output)
     p = ensemble.flood_probability(HONOLULU_CC)
     print(
@@ -63,7 +68,10 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
 def _load_or_generate(args: argparse.Namespace):
     if getattr(args, "ensemble", None):
         return load_ensemble_csv(args.ensemble)
-    return standard_oahu_ensemble()
+    return standard_oahu_ensemble(
+        n_jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -281,6 +289,21 @@ def _cmd_grid_impact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_perf_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for ensemble generation (output is identical "
+        "for any value)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk ensemble cache (reused across runs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="compound-threats",
@@ -296,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario-file",
         help="JSON scenario spec (default: the standard Category-2 scenario)",
     )
+    _add_perf_args(p)
     p.set_defaults(func=_cmd_ensemble)
 
     p = sub.add_parser("analyze", help="run the compound-threat analysis")
@@ -304,10 +328,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", action="append", help="scenario name (repeatable)")
     p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
     p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+    _add_perf_args(p)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("figures", help="regenerate all paper figures")
     p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
+    _add_perf_args(p)
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("siting", help="rank backup control-center sites")

@@ -87,6 +87,33 @@ class CompoundThreatAnalysis:
         self.fragility = fragility or ThresholdFragility()
         self.attacker = attacker or WorstCaseAttacker()
         self._seed = seed
+        # Failed-asset sets per realization, for deterministic fragility
+        # models.  Keyed by id(); the realizations are kept alive by the
+        # ensemble, so ids are stable for the analysis lifetime.
+        self._failed_cache: dict[int, frozenset[str]] = {}
+
+    def _failed_assets(
+        self,
+        realization: HazardRealization,
+        rng: np.random.Generator | None,
+    ) -> frozenset[str]:
+        """The realization's failed assets, memoized when that is sound.
+
+        A deterministic fragility model never consumes the rng, so its
+        failed-asset set is a pure function of the realization and can be
+        computed once and shared across every (scenario, architecture)
+        cell of :meth:`run_matrix`.  Stochastic models are re-sampled on
+        every call, exactly as before.
+        """
+        if not getattr(self.fragility, "deterministic", False):
+            return realization.failed_assets(self.fragility, rng)
+        key = id(realization)
+        try:
+            return self._failed_cache[key]
+        except KeyError:
+            failed = realization.failed_assets(self.fragility, rng)
+            self._failed_cache[key] = failed
+            return failed
 
     # ------------------------------------------------------------------
     # Per-realization steps (Fig. 5 boxes)
@@ -99,7 +126,7 @@ class CompoundThreatAnalysis:
         rng: np.random.Generator | None = None,
     ) -> SystemState:
         """Apply the natural-disaster impact to a deployed architecture."""
-        failed = realization.failed_assets(self.fragility, rng)
+        failed = self._failed_assets(realization, rng)
         return initial_state(architecture, placement, failed)
 
     def outcome(

@@ -23,6 +23,11 @@ PAPER_FAILURE_THRESHOLD_M = 0.5
 class FragilityModel(abc.ABC):
     """Maps inundation depth at an asset to a failure outcome."""
 
+    #: True when :meth:`failed_assets` is a pure function of the depths --
+    #: no rng draws ever -- so callers may compute it once per realization
+    #: and reuse the result (see ``CompoundThreatAnalysis.run_matrix``).
+    deterministic: bool = False
+
     @abc.abstractmethod
     def failure_probability(self, depth_m: float) -> float:
         """Probability the asset fails at the given inundation depth."""
@@ -54,6 +59,8 @@ class FragilityModel(abc.ABC):
 @dataclass(frozen=True)
 class ThresholdFragility(FragilityModel):
     """The paper's rule: fail iff depth exceeds the switch height."""
+
+    deterministic = True
 
     threshold_m: float = PAPER_FAILURE_THRESHOLD_M
 

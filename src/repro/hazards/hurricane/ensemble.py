@@ -6,11 +6,21 @@ This module reproduces that pipeline: a base scenario (landfall, heading,
 intensity) is perturbed per realization -- track offset, heading, central
 pressure, storm size, forward speed -- the surge solver produces shoreline
 WSE, and the inundation mapper turns it into per-asset depths.
+
+Generation is split into two deterministic passes: a serial parameter pass
+drawing every realization's storm parameters from the single main rng, and
+a realization pass in which realization ``i``'s coarse-mesh dropout rng is
+seeded from ``np.random.SeedSequence(seed).spawn(count)[i]``.  Because no
+rng is shared across realizations in the second pass, it parallelizes over
+a ``ProcessPoolExecutor`` (``n_jobs``) with bit-identical output for any
+worker count, and ensembles can round-trip through the on-disk cache
+(``cache_dir``, see :mod:`repro.io.ensemble_cache`) without drift.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -120,23 +130,50 @@ class HurricaneEnsemble:
     def asset_names(self) -> list[str]:
         return list(self.realizations[0].inundation.depths_m)
 
-    def depth_matrix(self) -> np.ndarray:
-        """(n_realizations, n_assets) inundation depths."""
+    def _depth_data(self) -> tuple[np.ndarray, dict[str, int]]:
+        """The cached (R x A) depth matrix and its name -> column index."""
+        try:
+            return self._depth_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
         names = self.asset_names
-        return np.array(
+        matrix = np.array(
             [[r.inundation.depths_m[n] for n in names] for r in self.realizations]
         )
+        columns = {name: i for i, name in enumerate(names)}
+        # Frozen dataclass: stash the lazily built cache via object.__setattr__.
+        object.__setattr__(self, "_depth_cache", (matrix, columns))
+        return matrix, columns
+
+    def _column(self, asset_name: str) -> np.ndarray:
+        matrix, columns = self._depth_data()
+        try:
+            return matrix[:, columns[asset_name]]
+        except KeyError:
+            raise HazardError(f"no inundation data for asset {asset_name!r}") from None
+
+    @staticmethod
+    def _failure_mask(model: FragilityModel, depths: np.ndarray) -> np.ndarray:
+        """Boolean mask of certain failures (failure probability >= 1)."""
+        if isinstance(model, ThresholdFragility):
+            return depths > model.threshold_m
+        flat = depths.reshape(-1)
+        probs = np.fromiter(
+            (model.failure_probability(float(d)) for d in flat), float, len(flat)
+        )
+        return (probs >= 1.0).reshape(depths.shape)
+
+    def depth_matrix(self) -> np.ndarray:
+        """(n_realizations, n_assets) inundation depths."""
+        matrix, _ = self._depth_data()
+        return matrix.copy()
 
     def flood_probability(
         self, asset_name: str, fragility: FragilityModel | None = None
     ) -> float:
         """Fraction of realizations in which the asset fails."""
         model = fragility or ThresholdFragility()
-        hits = sum(
-            1
-            for r in self.realizations
-            if model.failure_probability(r.depth_at(asset_name)) >= 1.0
-        )
+        hits = int(np.count_nonzero(self._failure_mask(model, self._column(asset_name))))
         return hits / len(self.realizations)
 
     def joint_flood_probability(
@@ -144,11 +181,13 @@ class HurricaneEnsemble:
     ) -> float:
         """Fraction of realizations flooding *all* the named assets."""
         model = fragility or ThresholdFragility()
-        hits = 0
-        for r in self.realizations:
-            if all(model.failure_probability(r.depth_at(n)) >= 1.0 for n in names):
-                hits += 1
-        return hits / len(self.realizations)
+        matrix, columns = self._depth_data()
+        try:
+            cols = [columns[n] for n in names]
+        except KeyError as exc:
+            raise HazardError(f"no inundation data for asset {exc.args[0]!r}") from None
+        mask = self._failure_mask(model, matrix[:, cols]).all(axis=1)
+        return int(np.count_nonzero(mask)) / len(self.realizations)
 
     def conditional_flood_probability(
         self,
@@ -158,15 +197,12 @@ class HurricaneEnsemble:
     ) -> float:
         """P(target floods | given floods); NaN if the condition never occurs."""
         model = fragility or ThresholdFragility()
-        given_hits = 0
-        both = 0
-        for r in self.realizations:
-            if model.failure_probability(r.depth_at(given)) >= 1.0:
-                given_hits += 1
-                if model.failure_probability(r.depth_at(target)) >= 1.0:
-                    both += 1
+        given_mask = self._failure_mask(model, self._column(given))
+        given_hits = int(np.count_nonzero(given_mask))
         if given_hits == 0:
             return math.nan
+        target_mask = self._failure_mask(model, self._column(target))
+        both = int(np.count_nonzero(given_mask & target_mask))
         return both / given_hits
 
     def subset(self, count: int) -> "HurricaneEnsemble":
@@ -248,17 +284,109 @@ class EnsembleGenerator:
             inundation=InundationField(depths_m=depths),
         )
 
-    def generate(self, count: int = 1000, seed: int = 0) -> HurricaneEnsemble:
-        """Generate a full ensemble deterministically from ``seed``."""
+    def sample_all_parameters(self, count: int, seed: int) -> list[StormParameters]:
+        """The serial parameter pass: every realization's storm parameters.
+
+        All draws come from the single main rng in realization order, so the
+        parameter stream is independent of how the realization pass is
+        later scheduled (worker count, caching).
+        """
+        rng = np.random.default_rng(seed)
+        return [self.sample_parameters(rng) for _ in range(count)]
+
+    def _realization_rngs(self, count: int, seed: int) -> list[np.random.Generator]:
+        """One independent dropout rng per realization, spawned from ``seed``."""
+        return [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(seed).spawn(count)
+        ]
+
+    def generate(
+        self,
+        count: int = 1000,
+        seed: int = 0,
+        n_jobs: int = 1,
+        cache_dir: str | None = None,
+    ) -> HurricaneEnsemble:
+        """Generate a full ensemble deterministically from ``seed``.
+
+        ``n_jobs`` parallelizes the realization pass over worker processes;
+        the output is bit-identical for every worker count because each
+        realization owns a spawned rng.  ``cache_dir`` names an on-disk
+        cache directory: a hit (same scenario, surge/extension physics,
+        mesh spacing, seed, and count) loads the stored ensemble instead of
+        regenerating, and corrupt or stale entries are regenerated and
+        overwritten.
+        """
         if count < 1:
             raise HazardError("ensemble size must be at least 1")
-        rng = np.random.default_rng(seed)
-        realizations = []
-        for i in range(count):
-            params = self.sample_parameters(rng)
-            realizations.append(self.realize(i, params, rng))
-        return HurricaneEnsemble(
+        if n_jobs < 1:
+            raise HazardError("n_jobs must be at least 1")
+        if cache_dir is not None:
+            from repro.io.ensemble_cache import load_ensemble_cache
+
+            cached = load_ensemble_cache(cache_dir, self.cache_key(count, seed))
+            if cached is not None:
+                return cached
+
+        params = self.sample_all_parameters(count, seed)
+        rngs = self._realization_rngs(count, seed)
+        if n_jobs == 1:
+            realizations = [
+                self.realize(i, p, rng) for i, (p, rng) in enumerate(zip(params, rngs))
+            ]
+        else:
+            chunksize = max(1, count // (n_jobs * 4))
+            with ProcessPoolExecutor(
+                max_workers=n_jobs,
+                initializer=_init_worker,
+                initargs=(self,),
+            ) as pool:
+                realizations = list(
+                    pool.map(
+                        _realize_in_worker,
+                        range(count),
+                        params,
+                        rngs,
+                        chunksize=chunksize,
+                    )
+                )
+        ensemble = HurricaneEnsemble(
             scenario_name=self.scenario.name,
             realizations=tuple(realizations),
             seed=seed,
         )
+        if cache_dir is not None:
+            from repro.io.ensemble_cache import save_ensemble_cache
+
+            save_ensemble_cache(ensemble, cache_dir, self.cache_key(count, seed))
+        return ensemble
+
+    def cache_key(self, count: int, seed: int) -> str:
+        """Content hash identifying this generator's output for (count, seed)."""
+        from repro.io.ensemble_cache import ensemble_cache_key
+
+        return ensemble_cache_key(
+            scenario=self.scenario,
+            surge_params=self.surge_params,
+            extension_params=self.extension_params,
+            mesh_spacing_km=self.mesh_spacing_km,
+            count=count,
+            seed=seed,
+        )
+
+
+_WORKER_GENERATOR: EnsembleGenerator | None = None
+
+
+def _init_worker(generator: EnsembleGenerator) -> None:
+    """Install the (already-built) generator in a worker process."""
+    global _WORKER_GENERATOR
+    _WORKER_GENERATOR = generator
+
+
+def _realize_in_worker(
+    index: int, params: StormParameters, rng: np.random.Generator
+) -> HurricaneRealization:
+    assert _WORKER_GENERATOR is not None, "worker pool not initialized"
+    return _WORKER_GENERATOR.realize(index, params, rng)

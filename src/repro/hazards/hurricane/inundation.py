@@ -41,17 +41,24 @@ def smooth_shoreline(mesh: CoastalMesh, wse_m: np.ndarray, window: int = 2) -> n
             f"wse array has shape {values.shape}, expected ({len(mesh)},)"
         )
     smoothed = np.empty_like(values)
+    width = 2 * window + 1
     for seg_slice in mesh.segment_slices().values():
         seg = values[seg_slice]
-        out = np.empty_like(seg)
-        n = len(seg)
-        for i in range(n):
-            lo = max(0, i - window)
-            hi = min(n, i + window + 1)
-            chunk = seg[lo:hi]
-            valid = chunk[chunk > 0.0]
-            out[i] = valid.mean() if valid.size else 0.0
-        smoothed[seg_slice] = out
+        # Zero-pad the segment so every node sees a full-width window; the
+        # pad entries are invalid (<= 0) so they drop out of both the sum
+        # and the count, reproducing the clipped-window mean exactly.
+        padded = np.zeros(len(seg) + 2 * window)
+        if window:
+            padded[window:-window] = seg
+        else:
+            padded[:] = seg
+        windows = np.lib.stride_tricks.sliding_window_view(padded, width)
+        valid = windows > 0.0
+        sums = np.where(valid, windows, 0.0).sum(axis=1)
+        counts = valid.sum(axis=1)
+        smoothed[seg_slice] = np.divide(
+            sums, counts, out=np.zeros(len(seg)), where=counts > 0
+        )
     return smoothed
 
 

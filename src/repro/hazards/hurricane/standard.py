@@ -103,11 +103,18 @@ def standard_oahu_generator() -> EnsembleGenerator:
 
 @lru_cache(maxsize=4)
 def standard_oahu_ensemble(
-    count: int = DEFAULT_REALIZATIONS, seed: int = DEFAULT_SEED
+    count: int = DEFAULT_REALIZATIONS,
+    seed: int = DEFAULT_SEED,
+    n_jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> HurricaneEnsemble:
     """The standard 1000-realization ensemble used across the repo.
 
     Deterministic in (count, seed) and cached in-process; all paper-figure
     benchmarks consume ``standard_oahu_ensemble()`` with the defaults.
+    ``n_jobs`` and ``cache_dir`` only change how fast the ensemble arrives
+    (worker processes, on-disk reuse) -- never its contents.
     """
-    return standard_oahu_generator().generate(count=count, seed=seed)
+    return standard_oahu_generator().generate(
+        count=count, seed=seed, n_jobs=n_jobs, cache_dir=cache_dir
+    )

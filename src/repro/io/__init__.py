@@ -1,5 +1,10 @@
 """Serialization: ensembles, topologies, and results."""
 
+from repro.io.ensemble_cache import (
+    ensemble_cache_key,
+    load_ensemble_cache,
+    save_ensemble_cache,
+)
 from repro.io.realization_io import load_ensemble_csv, save_ensemble_csv
 from repro.io.scenario_io import (
     load_scenario_json,
@@ -23,6 +28,9 @@ from repro.io.topology_io import (
 __all__ = [
     "save_ensemble_csv",
     "load_ensemble_csv",
+    "ensemble_cache_key",
+    "save_ensemble_cache",
+    "load_ensemble_cache",
     "save_scenario_json",
     "load_scenario_json",
     "scenario_to_dict",

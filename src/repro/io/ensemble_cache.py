@@ -1,0 +1,174 @@
+"""On-disk hurricane-ensemble cache.
+
+Regenerating the paper's 1000-realization ensemble is the dominant cost of
+every figure and ablation run, yet the output is a pure function of the
+scenario spec, the surge/extension physics, the mesh spacing, and the
+(count, seed) pair.  This module caches that output under a directory:
+
+- ``<key>.npz`` -- compressed arrays: the (R x A) depth matrix and the
+  (R x 7) storm-parameter matrix.  Binary storage round-trips every float
+  bit-exactly (unlike the CSV exchange format in ``realization_io``), so a
+  cache-loaded ensemble is *identical* to the generated one.
+- ``<key>.json`` -- a human-readable sidecar with the key inputs, asset
+  names, scenario name, and seed.
+
+The key is a sha256 over the canonical JSON of everything the ensemble
+depends on, so editing any physics parameter, the scenario, the mesh
+spacing, the seed, or the count changes the key and the stale entry is
+simply never found.  Corrupt entries (truncated npz, mangled sidecar,
+mismatched shapes) load as a miss and are regenerated and overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.geo.coords import GeoPoint
+from repro.hazards.hurricane.ensemble import (
+    HurricaneEnsemble,
+    HurricaneRealization,
+    HurricaneScenarioSpec,
+    StormParameters,
+)
+from repro.hazards.hurricane.inundation import ExtensionParams, InundationField
+from repro.hazards.hurricane.surge import SurgeModelParams
+from repro.io.scenario_io import scenario_to_dict
+
+# Bump when the stored layout changes; old entries then miss cleanly.
+CACHE_FORMAT_VERSION = 1
+
+_PARAM_COLUMNS = (
+    "landfall_lat",
+    "landfall_lon",
+    "heading_deg",
+    "central_pressure_mb",
+    "rmw_km",
+    "forward_speed_kmh",
+    "track_offset_km",
+)
+
+
+def ensemble_cache_key(
+    scenario: HurricaneScenarioSpec,
+    surge_params: SurgeModelParams,
+    extension_params: ExtensionParams,
+    mesh_spacing_km: float,
+    count: int,
+    seed: int,
+) -> str:
+    """Content hash of every input the generated ensemble depends on."""
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "scenario": scenario_to_dict(scenario),
+        "surge_params": dataclasses.asdict(surge_params),
+        "extension_params": dataclasses.asdict(extension_params),
+        "mesh_spacing_km": mesh_spacing_km,
+        "count": count,
+        "seed": seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def _cache_paths(cache_dir: str | Path, key: str) -> tuple[Path, Path]:
+    base = Path(cache_dir)
+    return base / f"ensemble-{key}.npz", base / f"ensemble-{key}.json"
+
+
+def save_ensemble_cache(
+    ensemble: HurricaneEnsemble, cache_dir: str | Path, key: str
+) -> Path:
+    """Write the ensemble under ``cache_dir``; returns the npz path."""
+    npz_path, meta_path = _cache_paths(cache_dir, key)
+    try:
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise SerializationError(
+            f"cannot create ensemble cache directory {str(cache_dir)!r}: {exc}"
+        ) from exc
+    names = ensemble.asset_names
+    depths = ensemble.depth_matrix()
+    params = np.array(
+        [
+            [
+                r.params.landfall.lat,
+                r.params.landfall.lon,
+                r.params.heading_deg,
+                r.params.central_pressure_mb,
+                r.params.rmw_km,
+                r.params.forward_speed_kmh,
+                r.params.track_offset_km,
+            ]
+            for r in ensemble.realizations
+        ]
+    )
+    np.savez_compressed(npz_path, depths=depths, params=params)
+    meta = {
+        "format": CACHE_FORMAT_VERSION,
+        "key": key,
+        "scenario_name": ensemble.scenario_name,
+        "seed": ensemble.seed,
+        "count": len(ensemble),
+        "asset_names": names,
+        "param_columns": list(_PARAM_COLUMNS),
+    }
+    meta_path.write_text(json.dumps(meta, indent=2))
+    return npz_path
+
+
+def load_ensemble_cache(cache_dir: str | Path, key: str) -> HurricaneEnsemble | None:
+    """Load a cached ensemble, or ``None`` on a miss.
+
+    Anything wrong with the entry -- missing files, undecodable npz or
+    JSON, key/format mismatch, inconsistent shapes -- is treated as a
+    miss so the caller regenerates (and overwrites the bad entry).
+    """
+    npz_path, meta_path = _cache_paths(cache_dir, key)
+    if not npz_path.exists() or not meta_path.exists():
+        return None
+    try:
+        meta = json.loads(meta_path.read_text())
+        if meta["format"] != CACHE_FORMAT_VERSION or meta["key"] != key:
+            return None
+        names = list(meta["asset_names"])
+        count = int(meta["count"])
+        with np.load(npz_path) as data:
+            depths = data["depths"]
+            params = data["params"]
+        if depths.shape != (count, len(names)):
+            return None
+        if params.shape != (count, len(_PARAM_COLUMNS)):
+            return None
+        realizations = []
+        for i in range(count):
+            lat, lon, heading, pressure, rmw, speed, offset = params[i]
+            realizations.append(
+                HurricaneRealization(
+                    index=i,
+                    params=StormParameters(
+                        landfall=GeoPoint(float(lat), float(lon)),
+                        heading_deg=float(heading),
+                        central_pressure_mb=float(pressure),
+                        rmw_km=float(rmw),
+                        forward_speed_kmh=float(speed),
+                        track_offset_km=float(offset),
+                    ),
+                    inundation=InundationField(
+                        depths_m=dict(zip(names, depths[i].tolist()))
+                    ),
+                )
+            )
+        return HurricaneEnsemble(
+            scenario_name=meta["scenario_name"],
+            realizations=tuple(realizations),
+            seed=meta["seed"],
+        )
+    except (KeyError, ValueError, OSError, zipfile.BadZipFile, json.JSONDecodeError):
+        return None

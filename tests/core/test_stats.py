@@ -83,18 +83,18 @@ class TestTwoProportionTest:
 
 class TestCompareProfiles:
     def test_paper_vs_measured_not_distinguishable(self):
-        # The paper's 9.5% red and our 9.4% red over 1000 realizations
+        # The paper's 9.5% red and our 9.3% red over 1000 realizations
         # are statistically the same result.
         paper = OperationalProfile({S.GREEN: 905, S.RED: 95})
-        measured = OperationalProfile({S.GREEN: 906, S.RED: 94})
+        measured = OperationalProfile({S.GREEN: 907, S.RED: 93})
         result = compare_profiles(paper, measured, S.RED)
         assert not result.significant()
 
     def test_real_architecture_difference_detected(self):
-        # "6+6+6" green 90.6% vs "2-2" green 0% under intrusion: night
+        # "6+6+6" green 90.7% vs "2-2" green 0% under intrusion: night
         # and day.
-        strong = OperationalProfile({S.GREEN: 906, S.RED: 94})
-        weak = OperationalProfile({S.GRAY: 906, S.RED: 94})
+        strong = OperationalProfile({S.GREEN: 907, S.RED: 93})
+        weak = OperationalProfile({S.GRAY: 907, S.RED: 93})
         result = compare_profiles(strong, weak, S.GREEN)
         assert result.significant(1e-6)
 

@@ -17,7 +17,7 @@ from repro.core.threat import get_scenario
 from repro.scada.architectures import get_architecture
 from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU
 
-FLOOD_COUNT = 94  # Honolulu CC flooding realizations out of 1000
+FLOOD_COUNT = 93  # Honolulu CC flooding realizations out of 1000
 N = 1000
 
 #: (placement, scenario, architecture) -> expected state counts.
