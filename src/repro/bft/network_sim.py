@@ -8,12 +8,23 @@ traffic faster than inter-site -- unless a drop rule applies:
   nor receives;
 * an **isolated site** exchanges no traffic with other sites (the paper's
   site-isolation attack), while intra-site traffic still flows.
+
+Beyond those clean binary faults, :class:`NetworkParams` scripts *lossy*
+inter-site links: a per-message drop probability, a duplication
+probability (the duplicate arrives one extra latency later), and uniform
+latency jitter.  All three draw from one generator seeded by
+``params.seed``, so a run with the same parameters and send sequence
+loses, duplicates, and delays exactly the same messages every time --
+BFT tests can therefore assert hard outcomes under degraded links
+instead of sampling flaky ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable
+
+import numpy as np
 
 from repro.des.simulator import Simulator
 from repro.errors import NetworkModelError
@@ -23,10 +34,29 @@ from repro.errors import NetworkModelError
 class NetworkParams:
     intra_site_latency_ms: float = 1.0
     inter_site_latency_ms: float = 10.0
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    jitter_ms: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.intra_site_latency_ms <= 0 or self.inter_site_latency_ms <= 0:
             raise NetworkModelError("latencies must be positive")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise NetworkModelError("loss probability must be within [0, 1]")
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise NetworkModelError("duplicate probability must be within [0, 1]")
+        if self.jitter_ms < 0:
+            raise NetworkModelError("latency jitter cannot be negative")
+
+    @property
+    def lossy(self) -> bool:
+        """Whether any stochastic degradation knob is turned on."""
+        return (
+            self.loss_probability > 0
+            or self.duplicate_probability > 0
+            or self.jitter_ms > 0
+        )
 
 
 class SimNetwork:
@@ -46,8 +76,11 @@ class SimNetwork:
         self._handlers: dict[int, Callable[[int, object], None]] = {}
         self._down: set[int] = set()
         self._isolated_sites: set[str] = set()
+        self._rng = np.random.default_rng(self.params.seed)
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
 
     # ------------------------------------------------------------------
     # Wiring and fault injection
@@ -98,6 +131,10 @@ class SimNetwork:
 
         Deliverability is evaluated at *delivery* time, so messages in
         flight when a site is isolated are dropped too (conservative).
+        With lossy :class:`NetworkParams`, the message may additionally
+        be dropped outright, duplicated (the copy arrives one extra
+        base latency later), or delayed by uniform jitter -- all drawn
+        deterministically from the seeded generator in send order.
         """
         if dst not in self._handlers:
             raise NetworkModelError(f"replica {dst} is not attached")
@@ -108,6 +145,25 @@ class SimNetwork:
             if same_site
             else self.params.inter_site_latency_ms
         )
+        copies = 1
+        if self.params.lossy:
+            # One draw per knob per send, in fixed order, keeps the fault
+            # sequence a pure function of (seed, send order).
+            p = self.params
+            if p.loss_probability > 0 and self._rng.random() < p.loss_probability:
+                copies = 0
+            if (
+                p.duplicate_probability > 0
+                and self._rng.random() < p.duplicate_probability
+            ):
+                copies += copies and 1
+            if p.jitter_ms > 0:
+                latency += float(self._rng.uniform(0.0, p.jitter_ms))
+        if copies == 0:
+            self.messages_dropped += 1
+            return
+        if copies > 1:
+            self.messages_duplicated += 1
 
         def deliver() -> None:
             if not self._deliverable(src, dst):
@@ -115,7 +171,8 @@ class SimNetwork:
             self.messages_delivered += 1
             self._handlers[dst](src, message)
 
-        self.simulator.schedule(latency, deliver)
+        for copy in range(copies):
+            self.simulator.schedule(latency * (1 + copy), deliver)
 
     def broadcast(self, src: int, message: object, include_self: bool = True) -> None:
         """Send ``message`` to every attached replica (optionally self)."""

@@ -50,11 +50,23 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         )
     else:
         generator = standard_oahu_generator()
+    retry = None
+    if args.max_retries is not None or args.task_timeout is not None:
+        from repro.runtime.controller import RetryPolicy
+
+        kwargs = {}
+        if args.max_retries is not None:
+            kwargs["max_retries"] = args.max_retries
+        if args.task_timeout is not None:
+            kwargs["task_timeout_s"] = args.task_timeout
+        retry = RetryPolicy(**kwargs)
     ensemble = generator.generate(
         count=args.count,
         seed=args.seed,
         n_jobs=args.jobs,
         cache_dir=args.cache_dir,
+        resume=args.resume,
+        retry=retry,
     )
     save_ensemble_csv(ensemble, args.output)
     p = ensemble.flood_probability(HONOLULU_CC)
@@ -71,6 +83,9 @@ def _load_or_generate(args: argparse.Namespace):
     return standard_oahu_ensemble(
         n_jobs=getattr(args, "jobs", 1),
         cache_dir=getattr(args, "cache_dir", None),
+        resume=getattr(args, "resume", False),
+        max_retries=getattr(args, "max_retries", None),
+        task_timeout=getattr(args, "task_timeout", None),
     )
 
 
@@ -301,6 +316,27 @@ def _add_perf_args(p: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="directory for the on-disk ensemble cache (reused across runs)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from its checkpoint shards "
+        "(requires --cache-dir; output is bit-identical to an "
+        "uninterrupted run)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries per realization for crashed/hung/corrupt workers "
+        "(default: 3)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="seconds before a running realization is declared hung and "
+        "its worker replaced (default: no timeout)",
     )
 
 

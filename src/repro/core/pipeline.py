@@ -88,8 +88,10 @@ class CompoundThreatAnalysis:
         self.attacker = attacker or WorstCaseAttacker()
         self._seed = seed
         # Failed-asset sets per realization, for deterministic fragility
-        # models.  Keyed by id(); the realizations are kept alive by the
-        # ensemble, so ids are stable for the analysis lifetime.
+        # models.  Keyed by realization index: indices identify a
+        # realization within the ensemble even when the object is rebuilt
+        # (cache loads, checkpoint resumes), unlike id()s, which are only
+        # stable while the original ensemble objects stay alive.
         self._failed_cache: dict[int, frozenset[str]] = {}
 
     def _failed_assets(
@@ -107,7 +109,7 @@ class CompoundThreatAnalysis:
         """
         if not getattr(self.fragility, "deterministic", False):
             return realization.failed_assets(self.fragility, rng)
-        key = id(realization)
+        key = realization.index
         try:
             return self._failed_cache[key]
         except KeyError:

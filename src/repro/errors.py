@@ -42,3 +42,42 @@ class ProtocolError(ReproError):
 
 class SerializationError(ReproError):
     """Loading or saving topologies, realizations, or results failed."""
+
+
+class RuntimeControlError(ReproError):
+    """Base class for the fault-tolerant run controller's failure domain.
+
+    Subclasses carry a ``retryable`` class attribute: the controller
+    retries retryable failures (with capped exponential backoff) and
+    surfaces fatal ones immediately.  Exceptions raised by the task
+    itself that derive from :class:`ReproError` are treated as fatal --
+    they are deterministic modeling errors that no retry will fix.
+    """
+
+    retryable = False
+
+
+class WorkerCrashError(RuntimeControlError):
+    """A worker process died or its task raised an unexpected exception."""
+
+    retryable = True
+
+
+class WorkerTimeoutError(RuntimeControlError):
+    """A task exceeded its per-task timeout (hung worker)."""
+
+    retryable = True
+
+
+class CorruptResultError(RuntimeControlError):
+    """A worker returned a payload that failed result validation."""
+
+    retryable = True
+
+
+class CheckpointCorruptError(RuntimeControlError):
+    """A checkpoint shard or manifest failed integrity verification."""
+
+
+class RetryExhaustedError(RuntimeControlError):
+    """A task kept failing after every allowed retry."""

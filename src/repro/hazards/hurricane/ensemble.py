@@ -11,18 +11,20 @@ Generation is split into two deterministic passes: a serial parameter pass
 drawing every realization's storm parameters from the single main rng, and
 a realization pass in which realization ``i``'s coarse-mesh dropout rng is
 seeded from ``np.random.SeedSequence(seed).spawn(count)[i]``.  Because no
-rng is shared across realizations in the second pass, it parallelizes over
-a ``ProcessPoolExecutor`` (``n_jobs``) with bit-identical output for any
-worker count, and ensembles can round-trip through the on-disk cache
+rng is shared across realizations in the second pass, the fault-tolerant
+run controller (:mod:`repro.runtime.controller`) parallelizes it over
+worker processes (``n_jobs``) with bit-identical output for any worker
+count -- including across worker retries, pool rebuilds, and checkpointed
+resumes -- and ensembles can round-trip through the on-disk cache
 (``cache_dir``, see :mod:`repro.io.ensemble_cache`) without drift.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
@@ -35,6 +37,10 @@ from repro.hazards.hurricane.inundation import ExtensionParams, InundationField,
 from repro.hazards.hurricane.mesh import build_coastal_mesh
 from repro.hazards.hurricane.surge import SurgeModel, SurgeModelParams
 from repro.hazards.hurricane.track import StormTrack, synthesize_linear_track
+
+if TYPE_CHECKING:  # runtime imports lazily inside generate() (no cycle)
+    from repro.runtime.controller import RetryPolicy
+    from repro.runtime.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -307,59 +313,70 @@ class EnsembleGenerator:
         seed: int = 0,
         n_jobs: int = 1,
         cache_dir: str | None = None,
+        resume: bool = False,
+        retry: "RetryPolicy | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> HurricaneEnsemble:
         """Generate a full ensemble deterministically from ``seed``.
 
-        ``n_jobs`` parallelizes the realization pass over worker processes;
-        the output is bit-identical for every worker count because each
-        realization owns a spawned rng.  ``cache_dir`` names an on-disk
-        cache directory: a hit (same scenario, surge/extension physics,
-        mesh spacing, seed, and count) loads the stored ensemble instead of
-        regenerating, and corrupt or stale entries are regenerated and
-        overwritten.
+        The realization pass is delegated to the fault-tolerant
+        :class:`~repro.runtime.controller.RunController`: ``n_jobs``
+        parallelizes it over worker processes (bit-identical output for
+        every worker count, because each realization owns a spawned rng),
+        failed or hung workers are retried under ``retry`` (a
+        :class:`~repro.runtime.controller.RetryPolicy`), and ``faults``
+        injects a deterministic
+        :class:`~repro.runtime.faults.FaultPlan` for chaos testing.
+
+        ``cache_dir`` names an on-disk cache directory: a hit (same
+        scenario, surge/extension physics, mesh spacing, seed, and count)
+        loads the stored ensemble instead of regenerating, and corrupt or
+        stale entries are quarantined and regenerated.  With a cache
+        directory, per-realization progress is also checkpointed to
+        sharded files under ``run-<key>/``; ``resume=True`` restarts an
+        interrupted run from those shards instead of from scratch.
         """
         if count < 1:
             raise HazardError("ensemble size must be at least 1")
         if n_jobs < 1:
             raise HazardError("n_jobs must be at least 1")
+        if resume and cache_dir is None:
+            raise HazardError("resume requires a cache_dir to hold checkpoints")
+        key = self.cache_key(count, seed)
         if cache_dir is not None:
             from repro.io.ensemble_cache import load_ensemble_cache
 
-            cached = load_ensemble_cache(cache_dir, self.cache_key(count, seed))
+            cached = load_ensemble_cache(cache_dir, key)
             if cached is not None:
                 return cached
 
-        params = self.sample_all_parameters(count, seed)
-        rngs = self._realization_rngs(count, seed)
-        if n_jobs == 1:
-            realizations = [
-                self.realize(i, p, rng) for i, (p, rng) in enumerate(zip(params, rngs))
-            ]
-        else:
-            chunksize = max(1, count // (n_jobs * 4))
-            with ProcessPoolExecutor(
-                max_workers=n_jobs,
-                initializer=_init_worker,
-                initargs=(self,),
-            ) as pool:
-                realizations = list(
-                    pool.map(
-                        _realize_in_worker,
-                        range(count),
-                        params,
-                        rngs,
-                        chunksize=chunksize,
-                    )
-                )
-        ensemble = HurricaneEnsemble(
-            scenario_name=self.scenario.name,
-            realizations=tuple(realizations),
+        from repro.runtime.checkpoint import CheckpointStore
+        from repro.runtime.controller import RunController
+
+        checkpoint = None
+        if cache_dir is not None:
+            checkpoint = CheckpointStore(
+                run_dir=Path(cache_dir) / f"run-{key}",
+                key=key,
+                count=count,
+                seed=seed,
+                scenario_name=self.scenario.name,
+            )
+        controller = RunController(
+            self,
+            count=count,
             seed=seed,
+            n_jobs=n_jobs,
+            policy=retry,
+            faults=faults,
+            checkpoint=checkpoint,
         )
+        ensemble = controller.run(resume=resume)
         if cache_dir is not None:
             from repro.io.ensemble_cache import save_ensemble_cache
 
-            save_ensemble_cache(ensemble, cache_dir, self.cache_key(count, seed))
+            save_ensemble_cache(ensemble, cache_dir, key)
+            checkpoint.discard()
         return ensemble
 
     def cache_key(self, count: int, seed: int) -> str:
@@ -376,17 +393,3 @@ class EnsembleGenerator:
         )
 
 
-_WORKER_GENERATOR: EnsembleGenerator | None = None
-
-
-def _init_worker(generator: EnsembleGenerator) -> None:
-    """Install the (already-built) generator in a worker process."""
-    global _WORKER_GENERATOR
-    _WORKER_GENERATOR = generator
-
-
-def _realize_in_worker(
-    index: int, params: StormParameters, rng: np.random.Generator
-) -> HurricaneRealization:
-    assert _WORKER_GENERATOR is not None, "worker pool not initialized"
-    return _WORKER_GENERATOR.realize(index, params, rng)

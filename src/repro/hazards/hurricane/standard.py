@@ -107,14 +107,33 @@ def standard_oahu_ensemble(
     seed: int = DEFAULT_SEED,
     n_jobs: int = 1,
     cache_dir: str | None = None,
+    resume: bool = False,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> HurricaneEnsemble:
     """The standard 1000-realization ensemble used across the repo.
 
     Deterministic in (count, seed) and cached in-process; all paper-figure
     benchmarks consume ``standard_oahu_ensemble()`` with the defaults.
-    ``n_jobs`` and ``cache_dir`` only change how fast the ensemble arrives
-    (worker processes, on-disk reuse) -- never its contents.
+    The remaining arguments only change how (and how robustly) the
+    ensemble arrives -- worker processes, on-disk reuse, checkpointed
+    resume, retry budget, per-task timeout -- never its contents.
     """
+    retry = None
+    if max_retries is not None or task_timeout is not None:
+        from repro.runtime.controller import RetryPolicy
+
+        kwargs = {}
+        if max_retries is not None:
+            kwargs["max_retries"] = max_retries
+        if task_timeout is not None:
+            kwargs["task_timeout_s"] = task_timeout
+        retry = RetryPolicy(**kwargs)
     return standard_oahu_generator().generate(
-        count=count, seed=seed, n_jobs=n_jobs, cache_dir=cache_dir
+        count=count,
+        seed=seed,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        retry=retry,
     )

@@ -1,0 +1,90 @@
+"""Crash-consistent file writes and corrupt-artifact quarantine.
+
+Every writer in :mod:`repro.io` funnels through this module: content is
+written to a ``<name>.tmp`` sibling and promoted with :func:`os.replace`,
+which is atomic on POSIX and Windows.  A reader therefore only ever sees
+either the previous complete artifact or the new complete artifact --
+never a torn file -- and a writer killed mid-write (power loss,
+``kill -9``, a crashed worker) leaves at worst a ``.tmp`` sibling that the
+next successful write simply replaces.
+
+Readers that *do* encounter a corrupt artifact (one written by an older
+non-atomic writer, or damaged at rest) should call :func:`quarantine_file`
+instead of overwriting it in place: the evidence is preserved under
+``<name>.corrupt`` and a :class:`CorruptArtifactWarning` is emitted so the
+operator learns the cache was damaged rather than silently rebuilt.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+CORRUPT_SUFFIX = ".corrupt"
+TMP_SUFFIX = ".tmp"
+
+
+class CorruptArtifactWarning(RuntimeWarning):
+    """A cached or persisted artifact failed validation and was quarantined."""
+
+
+def _tmp_sibling(path: Path) -> Path:
+    return path.with_name(path.name + TMP_SUFFIX)
+
+
+@contextmanager
+def atomic_path(path: str | Path) -> Iterator[Path]:
+    """Yield a ``.tmp`` sibling to write; atomically promote it on success.
+
+    On an exception inside the block the temporary file is removed and the
+    final path is left exactly as it was -- the write never happened.
+    """
+    final = Path(path)
+    tmp = _tmp_sibling(final)
+    try:
+        yield tmp
+        os.replace(tmp, final)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (tmp sibling + rename)."""
+    with atomic_path(path) as tmp:
+        with tmp.open("w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (tmp sibling + rename)."""
+    with atomic_path(path) as tmp:
+        with tmp.open("wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def quarantine_file(path: str | Path, reason: str) -> Path | None:
+    """Move a damaged artifact to ``<name>.corrupt`` and warn.
+
+    Returns the quarantine path, or ``None`` if the file had already
+    vanished (a concurrent process may have quarantined it first).
+    """
+    original = Path(path)
+    target = original.with_name(original.name + CORRUPT_SUFFIX)
+    try:
+        os.replace(original, target)
+    except FileNotFoundError:
+        return None
+    warnings.warn(
+        f"quarantined corrupt artifact {original} -> {target.name}: {reason}",
+        CorruptArtifactWarning,
+        stacklevel=2,
+    )
+    return target

@@ -16,7 +16,10 @@ The key is a sha256 over the canonical JSON of everything the ensemble
 depends on, so editing any physics parameter, the scenario, the mesh
 spacing, the seed, or the count changes the key and the stale entry is
 simply never found.  Corrupt entries (truncated npz, mangled sidecar,
-mismatched shapes) load as a miss and are regenerated and overwritten.
+mismatched shapes) load as a miss and are quarantined to
+``<name>.corrupt`` so the caller regenerates them without destroying the
+evidence; both files are written atomically (tmp sibling + rename), so a
+writer killed mid-write can never leave a loadable-but-torn entry.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ import numpy as np
 
 from repro.errors import SerializationError
 from repro.geo.coords import GeoPoint
+from repro.io.atomic import atomic_path, atomic_write_text, quarantine_file
 from repro.hazards.hurricane.ensemble import (
     HurricaneEnsemble,
     HurricaneRealization,
@@ -44,7 +48,7 @@ from repro.io.scenario_io import scenario_to_dict
 # Bump when the stored layout changes; old entries then miss cleanly.
 CACHE_FORMAT_VERSION = 1
 
-_PARAM_COLUMNS = (
+PARAM_COLUMNS = (
     "landfall_lat",
     "landfall_lon",
     "heading_deg",
@@ -53,6 +57,33 @@ _PARAM_COLUMNS = (
     "forward_speed_kmh",
     "track_offset_km",
 )
+_PARAM_COLUMNS = PARAM_COLUMNS  # backwards-compatible alias
+
+
+def params_to_row(params: StormParameters) -> list[float]:
+    """Flatten storm parameters into the canonical 7-column row."""
+    return [
+        params.landfall.lat,
+        params.landfall.lon,
+        params.heading_deg,
+        params.central_pressure_mb,
+        params.rmw_km,
+        params.forward_speed_kmh,
+        params.track_offset_km,
+    ]
+
+
+def params_from_row(row) -> StormParameters:
+    """Rebuild storm parameters from a canonical 7-column row."""
+    lat, lon, heading, pressure, rmw, speed, offset = row
+    return StormParameters(
+        landfall=GeoPoint(float(lat), float(lon)),
+        heading_deg=float(heading),
+        central_pressure_mb=float(pressure),
+        rmw_km=float(rmw),
+        forward_speed_kmh=float(speed),
+        track_offset_km=float(offset),
+    )
 
 
 def ensemble_cache_key(
@@ -95,21 +126,10 @@ def save_ensemble_cache(
         ) from exc
     names = ensemble.asset_names
     depths = ensemble.depth_matrix()
-    params = np.array(
-        [
-            [
-                r.params.landfall.lat,
-                r.params.landfall.lon,
-                r.params.heading_deg,
-                r.params.central_pressure_mb,
-                r.params.rmw_km,
-                r.params.forward_speed_kmh,
-                r.params.track_offset_km,
-            ]
-            for r in ensemble.realizations
-        ]
-    )
-    np.savez_compressed(npz_path, depths=depths, params=params)
+    params = np.array([params_to_row(r.params) for r in ensemble.realizations])
+    with atomic_path(npz_path) as tmp:
+        with tmp.open("wb") as handle:
+            np.savez_compressed(handle, depths=depths, params=params)
     meta = {
         "format": CACHE_FORMAT_VERSION,
         "key": key,
@@ -117,49 +137,46 @@ def save_ensemble_cache(
         "seed": ensemble.seed,
         "count": len(ensemble),
         "asset_names": names,
-        "param_columns": list(_PARAM_COLUMNS),
+        "param_columns": list(PARAM_COLUMNS),
     }
-    meta_path.write_text(json.dumps(meta, indent=2))
+    atomic_write_text(meta_path, json.dumps(meta, indent=2))
     return npz_path
 
 
 def load_ensemble_cache(cache_dir: str | Path, key: str) -> HurricaneEnsemble | None:
     """Load a cached ensemble, or ``None`` on a miss.
 
-    Anything wrong with the entry -- missing files, undecodable npz or
-    JSON, key/format mismatch, inconsistent shapes -- is treated as a
-    miss so the caller regenerates (and overwrites the bad entry).
+    Anything wrong with the entry -- undecodable npz or JSON, key/format
+    mismatch, inconsistent shapes -- is treated as a miss so the caller
+    regenerates; the torn or corrupt files are quarantined to
+    ``<name>.corrupt`` (with a :class:`CorruptArtifactWarning`) rather
+    than silently overwritten, so the evidence of the damage survives.
     """
     npz_path, meta_path = _cache_paths(cache_dir, key)
     if not npz_path.exists() or not meta_path.exists():
         return None
     try:
         meta = json.loads(meta_path.read_text())
-        if meta["format"] != CACHE_FORMAT_VERSION or meta["key"] != key:
-            return None
+        if meta["format"] != CACHE_FORMAT_VERSION:
+            return None  # older layout: stale, not corrupt
+        if meta["key"] != key:
+            return _quarantine_entry(npz_path, meta_path, "sidecar key mismatch")
         names = list(meta["asset_names"])
         count = int(meta["count"])
         with np.load(npz_path) as data:
             depths = data["depths"]
             params = data["params"]
-        if depths.shape != (count, len(names)):
-            return None
-        if params.shape != (count, len(_PARAM_COLUMNS)):
-            return None
+        if depths.shape != (count, len(names)) or params.shape != (
+            count,
+            len(PARAM_COLUMNS),
+        ):
+            return _quarantine_entry(npz_path, meta_path, "array shape mismatch")
         realizations = []
         for i in range(count):
-            lat, lon, heading, pressure, rmw, speed, offset = params[i]
             realizations.append(
                 HurricaneRealization(
                     index=i,
-                    params=StormParameters(
-                        landfall=GeoPoint(float(lat), float(lon)),
-                        heading_deg=float(heading),
-                        central_pressure_mb=float(pressure),
-                        rmw_km=float(rmw),
-                        forward_speed_kmh=float(speed),
-                        track_offset_km=float(offset),
-                    ),
+                    params=params_from_row(params[i]),
                     inundation=InundationField(
                         depths_m=dict(zip(names, depths[i].tolist()))
                     ),
@@ -170,5 +187,12 @@ def load_ensemble_cache(cache_dir: str | Path, key: str) -> HurricaneEnsemble | 
             realizations=tuple(realizations),
             seed=meta["seed"],
         )
-    except (KeyError, ValueError, OSError, zipfile.BadZipFile, json.JSONDecodeError):
-        return None
+    except (KeyError, ValueError, OSError, zipfile.BadZipFile, json.JSONDecodeError) as exc:
+        return _quarantine_entry(npz_path, meta_path, f"unreadable entry: {exc}")
+
+
+def _quarantine_entry(npz_path: Path, meta_path: Path, reason: str) -> None:
+    """Quarantine both halves of a damaged cache entry; always a miss."""
+    quarantine_file(npz_path, reason)
+    quarantine_file(meta_path, reason)
+    return None

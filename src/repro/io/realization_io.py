@@ -13,6 +13,7 @@ from pathlib import Path
 
 from repro.errors import SerializationError
 from repro.geo.coords import GeoPoint
+from repro.io.atomic import atomic_path
 from repro.hazards.hurricane.ensemble import (
     HurricaneEnsemble,
     HurricaneRealization,
@@ -39,25 +40,26 @@ def save_ensemble_csv(ensemble: HurricaneEnsemble, path: str | Path) -> None:
     header = ["index", "scenario", "seed"] + _PARAM_COLUMNS + [
         f"{_DEPTH_PREFIX}{name}" for name in asset_names
     ]
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        for r in ensemble:
-            p = r.params
-            row = [
-                r.index,
-                ensemble.scenario_name,
-                ensemble.seed if ensemble.seed is not None else "",
-                f"{p.landfall.lat:.6f}",
-                f"{p.landfall.lon:.6f}",
-                f"{p.heading_deg:.4f}",
-                f"{p.central_pressure_mb:.4f}",
-                f"{p.rmw_km:.4f}",
-                f"{p.forward_speed_kmh:.4f}",
-                f"{p.track_offset_km:.4f}",
-            ]
-            row += [f"{r.inundation.depths_m[name]:.6f}" for name in asset_names]
-            writer.writerow(row)
+    with atomic_path(path) as tmp:
+        with tmp.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            for r in ensemble:
+                p = r.params
+                row = [
+                    r.index,
+                    ensemble.scenario_name,
+                    ensemble.seed if ensemble.seed is not None else "",
+                    f"{p.landfall.lat:.6f}",
+                    f"{p.landfall.lon:.6f}",
+                    f"{p.heading_deg:.4f}",
+                    f"{p.central_pressure_mb:.4f}",
+                    f"{p.rmw_km:.4f}",
+                    f"{p.forward_speed_kmh:.4f}",
+                    f"{p.track_offset_km:.4f}",
+                ]
+                row += [f"{r.inundation.depths_m[name]:.6f}" for name in asset_names]
+                writer.writerow(row)
 
 
 def load_ensemble_csv(path: str | Path) -> HurricaneEnsemble:

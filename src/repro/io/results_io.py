@@ -8,6 +8,7 @@ from pathlib import Path
 from repro.core.outcomes import OperationalProfile, ScenarioMatrix
 from repro.core.states import STATE_ORDER, OperationalState
 from repro.errors import SerializationError
+from repro.io.atomic import atomic_write_text
 
 
 def matrix_to_dict(matrix: ScenarioMatrix) -> dict:
@@ -43,7 +44,7 @@ def matrix_from_dict(data: dict) -> ScenarioMatrix:
 
 
 def save_matrix_json(matrix: ScenarioMatrix, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(matrix_to_dict(matrix), indent=2))
+    atomic_write_text(path, json.dumps(matrix_to_dict(matrix), indent=2))
 
 
 def load_matrix_json(path: str | Path) -> ScenarioMatrix:

@@ -14,6 +14,7 @@ from pathlib import Path
 from repro.errors import ReproError, SerializationError
 from repro.geo.coords import GeoPoint
 from repro.hazards.hurricane.ensemble import HurricaneScenarioSpec
+from repro.io.atomic import atomic_write_text
 
 
 def scenario_to_dict(scenario: HurricaneScenarioSpec) -> dict:
@@ -62,7 +63,7 @@ def scenario_from_dict(data: dict) -> HurricaneScenarioSpec:
 
 
 def save_scenario_json(scenario: HurricaneScenarioSpec, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(scenario_to_dict(scenario), indent=2))
+    atomic_write_text(path, json.dumps(scenario_to_dict(scenario), indent=2))
 
 
 def load_scenario_json(path: str | Path) -> HurricaneScenarioSpec:

@@ -8,6 +8,7 @@ from pathlib import Path
 from repro.errors import SerializationError, TopologyError
 from repro.geo.catalog import AssetCatalog, AssetRecord, AssetRole
 from repro.geo.coords import GeoPoint
+from repro.io.atomic import atomic_write_text
 
 
 def catalog_to_dict(catalog: AssetCatalog) -> dict:
@@ -54,7 +55,7 @@ def catalog_from_dict(data: dict) -> AssetCatalog:
 
 
 def save_catalog_json(catalog: AssetCatalog, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(catalog_to_dict(catalog), indent=2))
+    atomic_write_text(path, json.dumps(catalog_to_dict(catalog), indent=2))
 
 
 def load_catalog_json(path: str | Path) -> AssetCatalog:

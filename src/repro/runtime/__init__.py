@@ -1,0 +1,24 @@
+"""Fault-tolerant run orchestration (checkpoint, retry, fault injection).
+
+The :mod:`repro.runtime` subsystem owns long, parallel realization
+passes: :class:`~repro.runtime.controller.RunController` retries crashed
+or hung workers and validates payloads, progress streams into sharded
+:class:`~repro.runtime.checkpoint.CheckpointStore` files so interrupted
+runs resume bit-identically, and
+:class:`~repro.runtime.faults.FaultPlan` scripts deterministic chaos
+(crashes, kills, hangs, corrupt payloads, torn files) that the test
+suite uses to prove those guarantees.
+"""
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.controller import RetryPolicy, RunController
+from repro.runtime.faults import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "CheckpointStore",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "RunController",
+]

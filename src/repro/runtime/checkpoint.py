@@ -1,0 +1,291 @@
+"""Sharded, crash-consistent checkpoints for long ensemble runs.
+
+A run's progress lives under ``<cache_dir>/run-<key>/``:
+
+* ``shard-<block>.npz`` -- the realizations of one contiguous index block
+  (``shard_size`` wide): an ``indices`` vector plus matching ``depths``
+  and ``params`` row blocks.  A shard may be *partial* (only some of its
+  block completed) -- the ``indices`` vector is authoritative.
+* ``manifest.json`` -- the run identity (cache key, count, seed, scenario
+  name, asset names) and, per persisted shard, its filename, row count,
+  and sha256 checksum.
+
+Every file is written atomically (tmp sibling + ``os.replace``), and the
+manifest is rewritten after each shard flush, so a controller killed at
+*any* instant leaves either the previous or the new consistent state on
+disk.  On resume the store re-verifies everything -- checksum, shapes,
+index ranges, and that each stored parameter row is bit-identical to the
+recomputed serial parameter pass -- and quarantines any shard that fails
+(``<name>.corrupt`` + :class:`CorruptArtifactWarning`) so only its block
+is regenerated.  Because realization ``i`` is a pure function of
+``(seed, i)``, an ensemble resumed from shards is bit-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointCorruptError
+from repro.hazards.hurricane.ensemble import HurricaneRealization
+from repro.hazards.hurricane.inundation import InundationField
+from repro.io.atomic import atomic_path, atomic_write_text, quarantine_file
+from repro.io.ensemble_cache import PARAM_COLUMNS, params_from_row, params_to_row
+
+CHECKPOINT_FORMAT_VERSION = 1
+DEFAULT_SHARD_SIZE = 32
+
+
+def _sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class CheckpointStore:
+    """Persists per-realization progress for one (key, count, seed) run."""
+
+    def __init__(
+        self,
+        run_dir: str | Path,
+        key: str,
+        count: int,
+        seed: int | None,
+        scenario_name: str,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        flush_interval: int | None = None,
+    ) -> None:
+        if count < 1:
+            raise CheckpointCorruptError("checkpointed run needs at least one task")
+        if shard_size < 1:
+            raise CheckpointCorruptError("shard size must be at least 1")
+        self.run_dir = Path(run_dir)
+        self.key = key
+        self.count = count
+        self.seed = seed
+        self.scenario_name = scenario_name
+        self.shard_size = shard_size
+        # How many newly recorded realizations may sit only in memory
+        # before partial shards are flushed to disk.
+        self.flush_interval = flush_interval or shard_size
+        self._results: dict[int, HurricaneRealization] = {}
+        self._asset_names: list[str] | None = None
+        self._dirty_blocks: set[int] = set()
+        self._unflushed = 0
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / "manifest.json"
+
+    def shard_path(self, block: int) -> Path:
+        return self.run_dir / f"shard-{block:05d}.npz"
+
+    def _block_of(self, index: int) -> int:
+        return index // self.shard_size
+
+    def _block_indices(self, block: int) -> range:
+        start = block * self.shard_size
+        return range(start, min(start + self.shard_size, self.count))
+
+    # ------------------------------------------------------------------
+    # Recording progress
+    # ------------------------------------------------------------------
+    def completed_indices(self) -> frozenset[int]:
+        return frozenset(self._results)
+
+    def is_complete(self) -> bool:
+        return len(self._results) == self.count
+
+    def results(self) -> dict[int, HurricaneRealization]:
+        return dict(self._results)
+
+    def record(self, realization: HurricaneRealization) -> None:
+        """Accept one completed realization; flush shards as blocks fill."""
+        index = realization.index
+        if not 0 <= index < self.count:
+            raise CheckpointCorruptError(
+                f"realization index {index} outside run of {self.count}"
+            )
+        if self._asset_names is None:
+            self._asset_names = list(realization.inundation.depths_m)
+        if index in self._results:
+            return
+        self._results[index] = realization
+        block = self._block_of(index)
+        self._dirty_blocks.add(block)
+        self._unflushed += 1
+        block_done = all(i in self._results for i in self._block_indices(block))
+        if block_done or self._unflushed >= self.flush_interval:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write every dirty shard and the manifest, all atomically."""
+        if not self._dirty_blocks:
+            return
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        for block in sorted(self._dirty_blocks):
+            self._write_shard(block)
+        self._dirty_blocks.clear()
+        self._unflushed = 0
+        self._write_manifest()
+
+    def _write_shard(self, block: int) -> None:
+        indices = sorted(
+            i for i in self._block_indices(block) if i in self._results
+        )
+        if not indices:
+            return
+        depths = np.array(
+            [
+                [self._results[i].inundation.depths_m[n] for n in self._asset_names]
+                for i in indices
+            ]
+        )
+        params = np.array([params_to_row(self._results[i].params) for i in indices])
+        with atomic_path(self.shard_path(block)) as tmp:
+            with tmp.open("wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    indices=np.array(indices, dtype=np.int64),
+                    depths=depths,
+                    params=params,
+                )
+
+    def _write_manifest(self) -> None:
+        shards = {}
+        for block in range((self.count + self.shard_size - 1) // self.shard_size):
+            path = self.shard_path(block)
+            if not path.exists():
+                continue
+            n = sum(1 for i in self._block_indices(block) if i in self._results)
+            shards[str(block)] = {
+                "file": path.name,
+                "rows": n,
+                "sha256": _sha256_of(path),
+            }
+        manifest = {
+            "format": CHECKPOINT_FORMAT_VERSION,
+            "key": self.key,
+            "count": self.count,
+            "seed": self.seed,
+            "scenario_name": self.scenario_name,
+            "shard_size": self.shard_size,
+            "asset_names": self._asset_names,
+            "completed": len(self._results),
+            "shards": shards,
+        }
+        atomic_write_text(self.manifest_path, json.dumps(manifest, indent=2))
+
+    # ------------------------------------------------------------------
+    # Loading / resuming
+    # ------------------------------------------------------------------
+    def load(self, expected_params=None) -> dict[int, HurricaneRealization]:
+        """Recover verified progress from disk into the store.
+
+        ``expected_params`` is the recomputed serial parameter pass (a
+        sequence indexed by realization); any shard whose stored rows do
+        not match it bit-for-bit is quarantined, as are shards with bad
+        checksums, undecodable contents, or out-of-range indices.  The
+        surviving realizations are returned (and retained, so subsequent
+        flushes keep them on disk).
+        """
+        self._results.clear()
+        self._dirty_blocks.clear()
+        self._unflushed = 0
+        if not self.manifest_path.exists():
+            return {}
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+            ok = (
+                manifest["format"] == CHECKPOINT_FORMAT_VERSION
+                and manifest["key"] == self.key
+                and manifest["count"] == self.count
+                and manifest["seed"] == self.seed
+                and manifest["shard_size"] == self.shard_size
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, OSError) as exc:
+            quarantine_file(self.manifest_path, f"unreadable manifest: {exc}")
+            return {}
+        if not ok:
+            quarantine_file(self.manifest_path, "manifest does not match this run")
+            return {}
+        names = manifest.get("asset_names")
+        self._asset_names = list(names) if names else None
+        for block_label, entry in sorted(manifest.get("shards", {}).items()):
+            try:
+                block = int(block_label)
+                self._load_shard(block, entry, expected_params)
+            except CheckpointCorruptError as exc:
+                path = self.run_dir / str(entry.get("file", f"shard-{block_label}"))
+                if path.exists():
+                    quarantine_file(path, str(exc))
+        return dict(self._results)
+
+    def _load_shard(self, block: int, entry: dict, expected_params) -> None:
+        path = self.run_dir / entry["file"]
+        if not path.exists():
+            raise CheckpointCorruptError(f"shard file {entry['file']} missing")
+        if _sha256_of(path) != entry.get("sha256"):
+            raise CheckpointCorruptError("shard checksum mismatch")
+        if self._asset_names is None:
+            raise CheckpointCorruptError("manifest lists shards but no asset names")
+        try:
+            with np.load(path) as data:
+                indices = data["indices"]
+                depths = data["depths"]
+                params = data["params"]
+        except Exception as exc:  # zipfile/np errors: torn write survived checksum?
+            raise CheckpointCorruptError(f"undecodable shard: {exc}") from exc
+        n = len(indices)
+        if depths.shape != (n, len(self._asset_names)) or params.shape != (
+            n,
+            len(PARAM_COLUMNS),
+        ):
+            raise CheckpointCorruptError("shard array shapes inconsistent")
+        block_range = self._block_indices(block)
+        for row, raw_index in enumerate(indices):
+            index = int(raw_index)
+            if index not in block_range:
+                raise CheckpointCorruptError(
+                    f"index {index} outside shard block {block}"
+                )
+            stored = params_from_row(params[row])
+            if expected_params is not None and stored != expected_params[index]:
+                raise CheckpointCorruptError(
+                    f"stored parameters for realization {index} diverge from "
+                    "the deterministic parameter pass"
+                )
+            self._results[index] = HurricaneRealization(
+                index=index,
+                params=stored,
+                inundation=InundationField(
+                    depths_m=dict(zip(self._asset_names, depths[row].tolist()))
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget in-memory and on-disk progress (a fresh, non-resumed run)."""
+        self._results.clear()
+        self._dirty_blocks.clear()
+        self._unflushed = 0
+        self._asset_names = None
+        if self.run_dir.exists():
+            shutil.rmtree(self.run_dir)
+
+    def discard(self) -> None:
+        """Delete the run directory (called once the final artifact exists)."""
+        if self.run_dir.exists():
+            shutil.rmtree(self.run_dir)

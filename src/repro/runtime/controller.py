@@ -1,0 +1,366 @@
+"""The fault-tolerant run controller for the parallel realization pass.
+
+:class:`RunController` owns what used to be an unsupervised
+``ProcessPoolExecutor.map``: it submits one task per realization, retries
+retryable failures with capped exponential backoff, enforces a per-task
+timeout on hung workers, survives a collapsed pool
+(``BrokenProcessPool`` after a worker is killed), validates every
+returned payload, and streams completed realizations into a
+:class:`~repro.runtime.checkpoint.CheckpointStore` so an interrupted run
+resumes from its shards to a bit-identical ensemble.
+
+Failure taxonomy (see :mod:`repro.errors`):
+
+* **retryable** -- :class:`WorkerCrashError` (worker died or its task
+  raised an unexpected exception), :class:`WorkerTimeoutError` (task
+  exceeded ``task_timeout_s``), :class:`CorruptResultError` (payload
+  failed validation).  Each retry is charged to the realization; after
+  ``max_retries`` charges the run flushes its checkpoint and raises
+  :class:`RetryExhaustedError`.
+* **fatal** -- any :class:`~repro.errors.ReproError` raised by the task
+  itself: a deterministic modeling error that no retry will fix is
+  surfaced immediately (after flushing the checkpoint).
+
+When a pool collapses, every in-flight task is charged one
+:class:`WorkerCrashError` attempt -- the collapse destroys the evidence
+of which task killed it -- and the pool is rebuilt.  A hung task charges
+only itself; innocent in-flight tasks lost to the rebuild are
+resubmitted without penalty.
+
+Determinism: realization ``i`` consumes only the serial parameter pass's
+``params[i]`` and a generator freshly derived from
+``SeedSequence(seed).spawn(count)[i]`` at every (re)submission, so
+retries, worker counts, pool rebuilds, and resume all produce the same
+bits.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from math import isfinite
+
+import numpy as np
+
+from repro.errors import (
+    CorruptResultError,
+    ReproError,
+    RetryExhaustedError,
+    RuntimeControlError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.hazards.hurricane.ensemble import (
+    EnsembleGenerator,
+    HurricaneEnsemble,
+    HurricaneRealization,
+)
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.faults import FaultPlan
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the controller fights for each realization."""
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    task_timeout_s: float | None = None
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise RuntimeControlError("max_retries cannot be negative")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise RuntimeControlError("backoff durations cannot be negative")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise RuntimeControlError("task timeout must be positive")
+        if self.poll_interval_s <= 0:
+            raise RuntimeControlError("poll interval must be positive")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), capped."""
+        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** max(0, attempt - 1)))
+
+
+class RunController:
+    """Supervises the realization pass of one ensemble generation run."""
+
+    def __init__(
+        self,
+        generator: EnsembleGenerator,
+        count: int,
+        seed: int,
+        n_jobs: int = 1,
+        policy: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        checkpoint: CheckpointStore | None = None,
+    ) -> None:
+        if count < 1:
+            raise RuntimeControlError("run needs at least one realization")
+        if n_jobs < 1:
+            raise RuntimeControlError("n_jobs must be at least 1")
+        self.generator = generator
+        self.count = count
+        self.seed = seed
+        self.n_jobs = n_jobs
+        self.policy = policy or RetryPolicy()
+        self.faults = faults
+        self.checkpoint = checkpoint
+        self._expected_assets = frozenset(a.name for a in generator.catalog)
+        self.retries_by_index: dict[int, int] = {}
+        self.pool_rebuilds = 0
+        self.resumed_realizations = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False) -> HurricaneEnsemble:
+        """Produce the full ensemble, resuming from shards if asked."""
+        params = self.generator.sample_all_parameters(self.count, self.seed)
+        seqs = np.random.SeedSequence(self.seed).spawn(self.count)
+        results: dict[int, HurricaneRealization] = {}
+        if self.checkpoint is not None:
+            if resume:
+                results.update(self.checkpoint.load(expected_params=params))
+                self.resumed_realizations = len(results)
+            else:
+                self.checkpoint.reset()
+        pending = [i for i in range(self.count) if i not in results]
+        try:
+            if self.n_jobs == 1:
+                self._run_inline(pending, params, seqs, results)
+            else:
+                self._run_pool(pending, params, seqs, results)
+        finally:
+            self._flush()
+        ensemble = HurricaneEnsemble(
+            scenario_name=self.generator.scenario.name,
+            realizations=tuple(results[i] for i in range(self.count)),
+            seed=self.seed,
+        )
+        return ensemble
+
+    def _flush(self) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
+
+    def _record(self, results: dict, realization: HurricaneRealization) -> None:
+        results[realization.index] = realization
+        if self.checkpoint is not None:
+            self.checkpoint.record(realization)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _validate(self, index: int, result) -> HurricaneRealization:
+        if not isinstance(result, HurricaneRealization):
+            raise CorruptResultError(
+                f"task {index} returned {type(result).__name__}, not a realization"
+            )
+        if result.index != index:
+            raise CorruptResultError(
+                f"task {index} returned realization {result.index}"
+            )
+        depths = result.inundation.depths_m
+        if set(depths) != self._expected_assets:
+            raise CorruptResultError(f"task {index} returned a wrong asset set")
+        if not all(isfinite(v) for v in depths.values()):
+            raise CorruptResultError(f"task {index} returned non-finite depths")
+        return result
+
+    def _classify(self, exc: BaseException) -> RuntimeControlError | None:
+        """Map a task failure to the taxonomy; ``None`` means fatal."""
+        if isinstance(exc, RuntimeControlError):
+            return exc if exc.retryable else None
+        if isinstance(exc, ReproError):
+            return None  # deterministic modeling error: retries cannot help
+        if isinstance(exc, BrokenProcessPool):
+            return WorkerCrashError(f"worker pool collapsed: {exc}")
+        return WorkerCrashError(f"task raised {type(exc).__name__}: {exc}")
+
+    def _charge(self, index: int, error: RuntimeControlError) -> None:
+        """Charge one retryable failure; raise once the budget is spent."""
+        attempts = self.retries_by_index.get(index, 0) + 1
+        self.retries_by_index[index] = attempts
+        if attempts > self.policy.max_retries:
+            self._flush()
+            raise RetryExhaustedError(
+                f"realization {index} failed {attempts} times "
+                f"(max_retries={self.policy.max_retries}); last error: {error}"
+            ) from error
+
+    def _attempt_of(self, index: int) -> int:
+        return self.retries_by_index.get(index, 0)
+
+    # ------------------------------------------------------------------
+    # Inline (n_jobs == 1) execution
+    # ------------------------------------------------------------------
+    def _run_inline(self, pending, params, seqs, results) -> None:
+        for index in pending:
+            while True:
+                attempt = self._attempt_of(index)
+                rng = np.random.default_rng(seqs[index])
+                try:
+                    if self.faults is not None:
+                        self.faults.apply_before(index, attempt, inline=True)
+                    realization = self.generator.realize(index, params[index], rng)
+                    if self.faults is not None:
+                        realization = self.faults.mangle_result(
+                            index, attempt, realization
+                        )
+                    self._record(results, self._validate(index, realization))
+                    break
+                except Exception as exc:
+                    retryable = self._classify(exc)
+                    if retryable is None:
+                        self._flush()
+                        raise
+                    self._charge(index, retryable)
+                    time.sleep(self.policy.backoff_s(self._attempt_of(index)))
+
+    # ------------------------------------------------------------------
+    # Pooled execution
+    # ------------------------------------------------------------------
+    def _run_pool(self, pending, params, seqs, results) -> None:
+        remaining = set(pending)
+        while remaining:
+            executor = ProcessPoolExecutor(
+                max_workers=self.n_jobs,
+                initializer=_init_worker,
+                initargs=(self.generator, self.faults),
+            )
+            try:
+                rebuild = self._drive_pool(executor, remaining, params, seqs, results)
+            finally:
+                self._terminate_pool(executor)
+            if rebuild:
+                self.pool_rebuilds += 1
+
+    def _submit(self, executor, index, params, seqs) -> Future:
+        return executor.submit(
+            _run_task,
+            index,
+            self._attempt_of(index),
+            params[index],
+            np.random.default_rng(seqs[index]),
+        )
+
+    def _drive_pool(self, executor, remaining, params, seqs, results) -> bool:
+        """Run tasks on one pool; ``True`` means the pool must be rebuilt."""
+        futures: dict[Future, int] = {
+            self._submit(executor, i, params, seqs): i for i in sorted(remaining)
+        }
+        running_since: dict[Future, float] = {}
+        while futures:
+            done, _ = wait(
+                futures, timeout=self.policy.poll_interval_s,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = False
+            retry_now: list[int] = []
+            for future in done:
+                index = futures.pop(future)
+                try:
+                    realization = self._validate(index, future.result())
+                except Exception as exc:
+                    if isinstance(exc, BrokenProcessPool):
+                        broken = True
+                    retryable = self._classify(exc)
+                    if retryable is None:
+                        self._flush()
+                        raise
+                    self._charge(index, retryable)
+                    retry_now.append(index)
+                else:
+                    self._record(results, realization)
+                    remaining.discard(index)
+            if broken:
+                # The collapse destroyed any evidence of which in-flight
+                # task killed the worker: charge them all one attempt.
+                # (retry_now tasks were already charged above; all stay in
+                # ``remaining`` and rerun on the rebuilt pool.)
+                for index in futures.values():
+                    self._charge(
+                        index, WorkerCrashError("worker pool collapsed mid-task")
+                    )
+                return True
+            for index in retry_now:
+                time.sleep(self.policy.backoff_s(self._attempt_of(index)))
+                try:
+                    futures[self._submit(executor, index, params, seqs)] = index
+                except BrokenProcessPool:
+                    return True  # already charged; rerun on the rebuilt pool
+            if self._hung_task(futures, running_since):
+                return True
+        return False
+
+    def _hung_task(self, futures, running_since) -> bool:
+        """Charge any task running past the timeout; ``True`` if one hung."""
+        timeout = self.policy.task_timeout_s
+        if timeout is None:
+            return False
+        now = time.monotonic()
+        for future in futures:
+            if future.running() and future not in running_since:
+                running_since[future] = now
+        for future, started in running_since.items():
+            if future in futures and now - started > timeout:
+                index = futures[future]
+                self._charge(
+                    index,
+                    WorkerTimeoutError(
+                        f"realization {index} still running after {timeout:.3g}s"
+                    ),
+                )
+                return True
+        return False
+
+    @staticmethod
+    def _terminate_pool(executor: ProcessPoolExecutor) -> None:
+        """Stop a pool hard: cancel queued work and kill live workers.
+
+        ``shutdown`` alone would wait on a hung worker forever, so any
+        still-live worker processes are terminated outright (private
+        attribute, guarded -- a missing attribute degrades to a plain
+        shutdown).
+        """
+        executor.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):  # already gone
+                pass
+        for process in list(processes.values()):
+            try:
+                process.join(timeout=5.0)
+            except (OSError, ValueError, AssertionError):
+                pass
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+_WORKER_GENERATOR: EnsembleGenerator | None = None
+_WORKER_FAULTS: FaultPlan | None = None
+
+
+def _init_worker(generator: EnsembleGenerator, faults: FaultPlan | None) -> None:
+    """Install the (already-built) generator and fault plan in a worker."""
+    global _WORKER_GENERATOR, _WORKER_FAULTS
+    _WORKER_GENERATOR = generator
+    _WORKER_FAULTS = faults
+
+
+def _run_task(index, attempt, params, rng) -> HurricaneRealization:
+    assert _WORKER_GENERATOR is not None, "worker pool not initialized"
+    if _WORKER_FAULTS is not None:
+        _WORKER_FAULTS.apply_before(index, attempt)
+    realization = _WORKER_GENERATOR.realize(index, params, rng)
+    if _WORKER_FAULTS is not None:
+        realization = _WORKER_FAULTS.mangle_result(index, attempt, realization)
+    return realization

@@ -140,3 +140,157 @@ class TestValidation:
         sim.run()
         assert net.messages_sent == 2
         assert net.messages_delivered == 1
+
+
+def make_lossy_network(params: NetworkParams):
+    sim = Simulator()
+    site_of = {0: "A", 1: "A", 2: "B"}
+    net = SimNetwork(sim, site_of, params)
+    inboxes: dict[int, list] = {0: [], 1: [], 2: []}
+    for rid in site_of:
+        net.attach(rid, lambda src, msg, rid=rid: inboxes[rid].append((src, msg)))
+    return sim, net, inboxes
+
+
+class TestLossyLinks:
+    """Seeded message loss, duplication, and latency jitter."""
+
+    def test_defaults_are_clean(self):
+        assert not NetworkParams().lossy
+
+    def test_loss_drops_messages_deterministically(self):
+        outcomes = []
+        for _ in range(2):
+            sim, net, inboxes = make_lossy_network(
+                NetworkParams(loss_probability=0.5, seed=42)
+            )
+            for i in range(40):
+                net.send(0, 2, i)
+            sim.run()
+            outcomes.append([msg for _, msg in inboxes[2]])
+        assert outcomes[0] == outcomes[1]  # same seed, same casualties
+        assert 0 < len(outcomes[0]) < 40
+        sim, net, _ = make_lossy_network(NetworkParams(loss_probability=0.5, seed=42))
+        for i in range(40):
+            net.send(0, 2, i)
+        assert net.messages_dropped > 0
+        assert net.messages_sent == 40
+
+    def test_different_seed_different_casualties(self):
+        survivors = []
+        for seed in (1, 2):
+            sim, net, inboxes = make_lossy_network(
+                NetworkParams(loss_probability=0.5, seed=seed)
+            )
+            for i in range(40):
+                net.send(0, 2, i)
+            sim.run()
+            survivors.append([msg for _, msg in inboxes[2]])
+        assert survivors[0] != survivors[1]
+
+    def test_total_loss_delivers_nothing(self):
+        sim, net, inboxes = make_lossy_network(
+            NetworkParams(loss_probability=1.0, seed=0)
+        )
+        for i in range(10):
+            net.send(0, 2, i)
+        sim.run()
+        assert inboxes[2] == []
+        assert net.messages_dropped == 10
+
+    def test_duplication_delivers_twice(self):
+        sim, net, inboxes = make_lossy_network(
+            NetworkParams(duplicate_probability=1.0, seed=0)
+        )
+        net.send(0, 2, "once?")
+        sim.run()
+        assert inboxes[2] == [(0, "once?"), (0, "once?")]
+        assert net.messages_duplicated == 1
+
+    def test_duplicate_arrives_later_than_original(self):
+        params = NetworkParams(duplicate_probability=1.0, seed=0)
+        sim = Simulator()
+        net = SimNetwork(sim, {0: "A", 1: "B"}, params)
+        arrivals: list[float] = []
+        net.attach(0, lambda s, m: None)
+        net.attach(1, lambda s, m: arrivals.append(sim.now))
+        net.send(0, 1, "x")
+        sim.run()
+        assert len(arrivals) == 2
+        assert arrivals[1] == pytest.approx(2 * arrivals[0])
+
+    def test_jitter_delays_but_delivers(self):
+        params = NetworkParams(jitter_ms=5.0, seed=7)
+        sim = Simulator()
+        net = SimNetwork(sim, {0: "A", 1: "B"}, params)
+        arrivals: list[float] = []
+        net.attach(0, lambda s, m: None)
+        net.attach(1, lambda s, m: arrivals.append(sim.now))
+        for _ in range(20):
+            net.send(0, 1, "x")
+        sim.run()
+        assert len(arrivals) == 20
+        base = NetworkParams().inter_site_latency_ms
+        assert all(base <= t <= base + 5.0 for t in arrivals)
+        assert len(set(arrivals)) > 1  # jitter actually spread them
+
+    def test_jitter_is_seeded(self):
+        def run(seed):
+            params = NetworkParams(jitter_ms=5.0, seed=seed)
+            sim = Simulator()
+            net = SimNetwork(sim, {0: "A", 1: "B"}, params)
+            arrivals: list[float] = []
+            net.attach(0, lambda s, m: None)
+            net.attach(1, lambda s, m: arrivals.append(sim.now))
+            for _ in range(10):
+                net.send(0, 1, "x")
+            sim.run()
+            return arrivals
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_dropped_message_is_never_duplicated(self):
+        sim, net, inboxes = make_lossy_network(
+            NetworkParams(loss_probability=1.0, duplicate_probability=1.0, seed=0)
+        )
+        for i in range(10):
+            net.send(0, 2, i)
+        sim.run()
+        assert inboxes[2] == []
+        assert net.messages_duplicated == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_probability": -0.1},
+            {"loss_probability": 1.5},
+            {"duplicate_probability": -0.1},
+            {"duplicate_probability": 1.5},
+            {"jitter_ms": -1.0},
+        ],
+    )
+    def test_knob_validation(self, kwargs):
+        with pytest.raises(NetworkModelError):
+            NetworkParams(**kwargs)
+
+
+class TestLossyCluster:
+    """The BFT engine still orders the workload over degraded links."""
+
+    def test_cluster_survives_lossy_inter_site_links(self):
+        from repro.bft.engine import BFTCluster, ClusterSpec
+
+        spec = ClusterSpec(
+            sites=("control-center-1", "control-center-2", "data-center"),
+            replicas_per_site=6,
+            network=NetworkParams(
+                loss_probability=0.02, duplicate_probability=0.05,
+                jitter_ms=2.0, seed=5,
+            ),
+        )
+        cluster = BFTCluster(spec)
+        cluster.submit_workload(5, interval_ms=50.0)
+        report = cluster.run(duration_ms=60_000.0)
+        assert report.safety_ok
+        assert report.ordered_everywhere

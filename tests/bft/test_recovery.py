@@ -98,3 +98,53 @@ class TestRotation:
         assert report.recoveries_completed >= 3
         # Recovered replicas caught back up via state sync.
         assert report.ordered_everywhere
+
+
+class TestBookkeeping:
+    def test_currently_recovering_tracks_the_down_replica(self):
+        cluster = make_cluster()
+        scheduler = ProactiveRecoveryScheduler(
+            cluster.simulator, cluster.network, cluster.replicas,
+            period_ms=500.0, recovery_duration_ms=200.0,
+        )
+        scheduler.start()
+        observed: list[tuple[float, int | None]] = []
+
+        def sample():
+            observed.append((cluster.simulator.now, scheduler.currently_recovering))
+            cluster.simulator.schedule(50.0, sample)
+
+        cluster.simulator.schedule(0.0, sample)
+        cluster.simulator.run(until=2_000.0)
+        # Before the first period fires, nothing is recovering.
+        assert all(r is None for t, r in observed if t < 500.0)
+        # Mid-recovery the slot names the replica under rejuvenation, and
+        # it is exactly the replica the network reports as down.
+        mid = [r for t, r in observed if 500.0 < t < 700.0]
+        assert mid and all(r == 0 for r in mid)
+        # Between recoveries the slot clears again.
+        between = [r for t, r in observed if 700.0 < t < 1_000.0]
+        assert all(r is None for r in between)
+
+    def test_recoveries_completed_counts_finished_cycles(self):
+        cluster = make_cluster()
+        scheduler = ProactiveRecoveryScheduler(
+            cluster.simulator, cluster.network, cluster.replicas,
+            period_ms=500.0, recovery_duration_ms=100.0,
+        )
+        scheduler.start()
+        # Cycle n finishes at n*(period) + n*(duration): run long enough
+        # for exactly 3 completed recoveries and assert the count matches.
+        cluster.simulator.run(until=3 * (500.0 + 100.0) + 1.0)
+        assert scheduler.recoveries_completed == 3
+
+    def test_replica_is_back_up_after_recovery(self):
+        cluster = make_cluster()
+        scheduler = ProactiveRecoveryScheduler(
+            cluster.simulator, cluster.network, cluster.replicas,
+            period_ms=500.0, recovery_duration_ms=100.0,
+        )
+        scheduler.start()
+        cluster.simulator.run(until=650.0)  # first recovery done at 600
+        assert not cluster.network.is_down(0)
+        assert scheduler.recoveries_completed == 1

@@ -1,0 +1,110 @@
+"""Crash-consistent writers: tmp-sibling + rename, quarantine semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io.atomic import (
+    CorruptArtifactWarning,
+    atomic_path,
+    atomic_write_bytes,
+    atomic_write_text,
+    quarantine_file,
+)
+
+
+class TestAtomicWrites:
+    def test_text_round_trip(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_text(target, '{"ok": true}')
+        assert json.loads(target.read_text()) == {"ok": True}
+
+    def test_bytes_round_trip(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        target = tmp_path / "doc.txt"
+        atomic_write_text(target, "old content")
+        with pytest.raises(RuntimeError):
+            with atomic_path(target) as tmp:
+                tmp.write_text("new partial content")
+                raise RuntimeError("writer died mid-write")
+        assert target.read_text() == "old content"
+
+    def test_failed_first_write_leaves_nothing(self, tmp_path):
+        target = tmp_path / "doc.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_path(target) as tmp:
+                tmp.write_text("partial")
+                raise RuntimeError("boom")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_tmp_sibling_survives_success(self, tmp_path):
+        target = tmp_path / "doc.txt"
+        atomic_write_text(target, "content")
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.txt"]
+
+
+class TestQuarantine:
+    def test_quarantine_moves_and_warns(self, tmp_path):
+        victim = tmp_path / "entry.npz"
+        victim.write_bytes(b"torn")
+        with pytest.warns(CorruptArtifactWarning, match="entry.npz"):
+            moved = quarantine_file(victim, "checksum mismatch")
+        assert moved == tmp_path / "entry.npz.corrupt"
+        assert not victim.exists()
+        assert moved.read_bytes() == b"torn"
+
+    def test_quarantine_of_missing_file_is_a_noop(self, tmp_path):
+        assert quarantine_file(tmp_path / "gone", "whatever") is None
+
+
+class TestWritersAreAtomic:
+    """Every repro.io writer must go through the tmp-sibling protocol."""
+
+    def test_results_writer(self, tmp_path, monkeypatch):
+        from repro.core.outcomes import OperationalProfile, ScenarioMatrix
+        from repro.core.states import OperationalState
+        from repro.io.results_io import save_matrix_json
+
+        matrix = ScenarioMatrix(placement_label="test")
+        matrix.add(
+            "s", "a", OperationalProfile({OperationalState.GREEN: 1})
+        )
+        target = tmp_path / "results.json"
+        save_matrix_json(matrix, target)
+        assert target.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_scenario_writer(self, tmp_path):
+        from repro.hazards.hurricane.standard import standard_oahu_scenario
+        from repro.io.scenario_io import load_scenario_json, save_scenario_json
+
+        target = tmp_path / "scenario.json"
+        save_scenario_json(standard_oahu_scenario(), target)
+        assert load_scenario_json(target) == standard_oahu_scenario()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_catalog_writer(self, tmp_path):
+        from repro.geo.oahu import build_oahu_catalog
+        from repro.io.topology_io import load_catalog_json, save_catalog_json
+
+        target = tmp_path / "catalog.json"
+        save_catalog_json(build_oahu_catalog(), target)
+        assert load_catalog_json(target) is not None
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_ensemble_csv_writer(self, tmp_path):
+        from repro.hazards.hurricane.standard import standard_oahu_generator
+        from repro.io.realization_io import load_ensemble_csv, save_ensemble_csv
+
+        ensemble = standard_oahu_generator().generate(count=4, seed=1)
+        target = tmp_path / "ensemble.csv"
+        save_ensemble_csv(ensemble, target)
+        assert len(load_ensemble_csv(target)) == 4
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -1,0 +1,176 @@
+"""Chaos suite: the ISSUE's acceptance criteria, proven end to end.
+
+* A run whose workers are killed, hung, and corrupted mid-flight by a
+  ``FaultPlan``, then interrupted and resumed via ``resume=True``,
+  produces an ensemble bit-identical (depth matrix *and* parameter
+  matrix) to an uninterrupted ``n_jobs=1`` run with the same seed.
+* A torn cache write (the on-disk half of a ``kill -9``) never yields a
+  loadable-but-wrong entry: the file is quarantined and regenerated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RetryExhaustedError
+from repro.hazards.hurricane.standard import standard_oahu_generator
+from repro.io.atomic import CorruptArtifactWarning
+from repro.io.ensemble_cache import (
+    load_ensemble_cache,
+    params_to_row,
+    save_ensemble_cache,
+)
+from repro.runtime.controller import RetryPolicy
+from repro.runtime.faults import FaultPlan
+
+COUNT = 24
+SEED = 20220522
+
+FAST = RetryPolicy(
+    max_retries=3,
+    backoff_base_s=0.01,
+    backoff_cap_s=0.05,
+    poll_interval_s=0.02,
+    task_timeout_s=2.0,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return standard_oahu_generator()
+
+
+@pytest.fixture(scope="module")
+def oracle(generator):
+    """The uninterrupted single-process run every chaos run must equal."""
+    return generator.generate(count=COUNT, seed=SEED, n_jobs=1)
+
+
+def param_matrix(ensemble) -> np.ndarray:
+    return np.array([params_to_row(r.params) for r in ensemble.realizations])
+
+
+class TestCompoundChaos:
+    def test_killed_hung_corrupted_then_resumed_is_bit_identical(
+        self, generator, oracle, tmp_path
+    ):
+        """The headline guarantee, end to end.
+
+        Phase 1 throws every fault type at the run at once -- a worker
+        kill (pool collapse), a hang (task timeout), a corrupt payload
+        (validation), and an unrecoverable crash that interrupts the run
+        partway.  Phase 2 resumes from the surviving shards with clean
+        workers and must reproduce the oracle bit-for-bit.
+        """
+        chaos = (
+            FaultPlan()
+            .kill(2, times=1)
+            .hang(7, times=1, hang_s=30.0)
+            .corrupt(11, times=1)
+            .crash(21, times=99)  # unrecoverable: interrupts the run
+        )
+        with pytest.raises(RetryExhaustedError):
+            generator.generate(
+                count=COUNT,
+                seed=SEED,
+                n_jobs=2,
+                cache_dir=str(tmp_path),
+                faults=chaos,
+                retry=FAST,
+            )
+        # The interrupted run left checkpoint shards, not a cache entry.
+        run_dirs = [p for p in tmp_path.iterdir() if p.name.startswith("run-")]
+        assert len(run_dirs) == 1
+        assert any(p.name.startswith("shard-") for p in run_dirs[0].iterdir())
+        assert load_ensemble_cache(tmp_path, generator.cache_key(COUNT, SEED)) is None
+
+        resumed = generator.generate(
+            count=COUNT,
+            seed=SEED,
+            n_jobs=2,
+            cache_dir=str(tmp_path),
+            resume=True,
+            retry=FAST,
+        )
+        assert np.array_equal(resumed.depth_matrix(), oracle.depth_matrix())
+        assert np.array_equal(param_matrix(resumed), param_matrix(oracle))
+        # Success promoted the run to a cache entry and removed the shards.
+        assert not run_dirs[0].exists()
+
+    def test_resume_with_corrupted_shard_still_bit_identical(
+        self, generator, oracle, tmp_path
+    ):
+        """Disk chaos on top of worker chaos: a shard is torn post-crash."""
+        chaos = FaultPlan().crash(20, times=99)
+        with pytest.raises(RetryExhaustedError):
+            generator.generate(
+                count=COUNT, seed=SEED, n_jobs=2,
+                cache_dir=str(tmp_path), faults=chaos, retry=FAST,
+            )
+        run_dir = next(p for p in tmp_path.iterdir() if p.name.startswith("run-"))
+        shard = sorted(p for p in run_dir.iterdir() if p.name.startswith("shard-"))[0]
+        FaultPlan(seed=13).corrupt_file(shard)
+
+        with pytest.warns(CorruptArtifactWarning):
+            resumed = generator.generate(
+                count=COUNT, seed=SEED, n_jobs=2,
+                cache_dir=str(tmp_path), resume=True, retry=FAST,
+            )
+        assert np.array_equal(resumed.depth_matrix(), oracle.depth_matrix())
+        assert np.array_equal(param_matrix(resumed), param_matrix(oracle))
+
+    def test_resume_of_untouched_run_regenerates_from_scratch(
+        self, generator, oracle, tmp_path
+    ):
+        """resume=True with no prior run is just a normal (cached) run."""
+        ensemble = generator.generate(
+            count=COUNT, seed=SEED, cache_dir=str(tmp_path), resume=True
+        )
+        assert np.array_equal(ensemble.depth_matrix(), oracle.depth_matrix())
+
+
+class TestTornCacheWrites:
+    def test_torn_npz_is_quarantined_and_regenerated(
+        self, generator, oracle, tmp_path
+    ):
+        """kill -9 mid-write simulation on the final cache artifact."""
+        key = generator.cache_key(COUNT, SEED)
+        npz_path = save_ensemble_cache(oracle, tmp_path, key)
+        FaultPlan().truncate_file(npz_path, keep_fraction=0.4)
+
+        with pytest.warns(CorruptArtifactWarning):
+            miss = load_ensemble_cache(tmp_path, key)
+        assert miss is None
+        assert not npz_path.exists()
+        assert npz_path.with_name(npz_path.name + ".corrupt").exists()
+
+        regenerated = generator.generate(
+            count=COUNT, seed=SEED, cache_dir=str(tmp_path)
+        )
+        assert np.array_equal(regenerated.depth_matrix(), oracle.depth_matrix())
+        # The cache entry is whole again and loads clean.
+        reloaded = load_ensemble_cache(tmp_path, key)
+        assert reloaded is not None
+        assert np.array_equal(reloaded.depth_matrix(), oracle.depth_matrix())
+
+    def test_interrupted_atomic_write_leaves_previous_entry_intact(
+        self, generator, oracle, tmp_path
+    ):
+        """A writer killed before the rename never touches the live file."""
+        from repro.io.atomic import atomic_path
+
+        key = generator.cache_key(COUNT, SEED)
+        npz_path = save_ensemble_cache(oracle, tmp_path, key)
+        before = npz_path.read_bytes()
+
+        class Killed(BaseException):
+            pass
+
+        with pytest.raises(Killed):
+            with atomic_path(npz_path) as tmp:
+                tmp.write_bytes(b"partial garbage")
+                raise Killed()  # the simulated kill -9 mid-write
+        assert npz_path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert load_ensemble_cache(tmp_path, key) is not None

@@ -1,0 +1,185 @@
+"""Checkpoint shards: atomicity, integrity verification, quarantine."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.atomic import CorruptArtifactWarning
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.faults import FaultPlan
+
+COUNT = 20
+SEED = 1234
+SHARD = 8
+
+
+@pytest.fixture(scope="module")
+def generator():
+    from repro.hazards.hurricane.standard import standard_oahu_generator
+
+    return standard_oahu_generator()
+
+
+@pytest.fixture(scope="module")
+def realizations(generator):
+    params = generator.sample_all_parameters(COUNT, SEED)
+    rngs = generator._realization_rngs(COUNT, SEED)
+    return [
+        generator.realize(i, p, rng) for i, (p, rng) in enumerate(zip(params, rngs))
+    ]
+
+
+@pytest.fixture(scope="module")
+def expected_params(generator):
+    return generator.sample_all_parameters(COUNT, SEED)
+
+
+def make_store(tmp_path, **overrides) -> CheckpointStore:
+    defaults = dict(
+        run_dir=tmp_path / "run-abc",
+        key="abc",
+        count=COUNT,
+        seed=SEED,
+        scenario_name="oahu-cat2",
+        shard_size=SHARD,
+    )
+    defaults.update(overrides)
+    return CheckpointStore(**defaults)
+
+
+class TestRoundTrip:
+    def test_full_run_round_trips_bitwise(self, tmp_path, realizations, expected_params):
+        store = make_store(tmp_path)
+        for r in realizations:
+            store.record(r)
+        store.flush()
+        assert store.is_complete()
+
+        fresh = make_store(tmp_path)
+        loaded = fresh.load(expected_params=expected_params)
+        assert sorted(loaded) == list(range(COUNT))
+        for r in realizations:
+            got = loaded[r.index]
+            assert got.params == r.params
+            assert got.inundation.depths_m == r.inundation.depths_m
+
+    def test_partial_progress_survives(self, tmp_path, realizations, expected_params):
+        store = make_store(tmp_path)
+        # Complete one full block and a sliver of another, out of order.
+        for r in realizations[:SHARD] + [realizations[SHARD + 2]]:
+            store.record(r)
+        store.flush()
+
+        loaded = make_store(tmp_path).load(expected_params=expected_params)
+        assert sorted(loaded) == list(range(SHARD)) + [SHARD + 2]
+
+    def test_no_tmp_siblings_after_flush(self, tmp_path, realizations):
+        store = make_store(tmp_path)
+        for r in realizations:
+            store.record(r)
+        store.flush()
+        leftovers = list(store.run_dir.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_duplicate_records_are_idempotent(self, tmp_path, realizations):
+        store = make_store(tmp_path)
+        store.record(realizations[0])
+        store.record(realizations[0])
+        assert store.completed_indices() == frozenset({0})
+
+
+class TestIntegrity:
+    def _full_store(self, tmp_path, realizations) -> CheckpointStore:
+        store = make_store(tmp_path)
+        for r in realizations:
+            store.record(r)
+        store.flush()
+        return store
+
+    def test_corrupted_shard_is_quarantined_not_loaded(
+        self, tmp_path, realizations, expected_params
+    ):
+        store = self._full_store(tmp_path, realizations)
+        victim = store.shard_path(0)
+        FaultPlan(seed=1).corrupt_file(victim)
+
+        fresh = make_store(tmp_path)
+        with pytest.warns(CorruptArtifactWarning):
+            loaded = fresh.load(expected_params=expected_params)
+        # Block 0 lost, quarantined; the others intact.
+        assert sorted(loaded) == list(range(SHARD, COUNT))
+        assert not victim.exists()
+        assert victim.with_name(victim.name + ".corrupt").exists()
+
+    def test_truncated_shard_is_quarantined(
+        self, tmp_path, realizations, expected_params
+    ):
+        store = self._full_store(tmp_path, realizations)
+        FaultPlan().truncate_file(store.shard_path(1), keep_fraction=0.3)
+        with pytest.warns(CorruptArtifactWarning):
+            loaded = make_store(tmp_path).load(expected_params=expected_params)
+        assert sorted(loaded) == list(range(SHARD)) + list(range(2 * SHARD, COUNT))
+
+    def test_mangled_manifest_means_empty_resume(
+        self, tmp_path, realizations, expected_params
+    ):
+        store = self._full_store(tmp_path, realizations)
+        store.manifest_path.write_text("{ not json")
+        with pytest.warns(CorruptArtifactWarning):
+            loaded = make_store(tmp_path).load(expected_params=expected_params)
+        assert loaded == {}
+
+    def test_manifest_for_other_run_is_rejected(
+        self, tmp_path, realizations, expected_params
+    ):
+        store = self._full_store(tmp_path, realizations)
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["seed"] = SEED + 1
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.warns(CorruptArtifactWarning):
+            loaded = make_store(tmp_path).load(expected_params=expected_params)
+        assert loaded == {}
+
+    def test_parameter_drift_is_detected(self, tmp_path, realizations, generator):
+        """Stored parameter rows must match the serial pass bit-for-bit."""
+        self._full_store(tmp_path, realizations)
+        drifted = generator.sample_all_parameters(COUNT, SEED + 1)
+        with pytest.warns(CorruptArtifactWarning):
+            loaded = make_store(tmp_path).load(expected_params=drifted)
+        assert loaded == {}
+
+    def test_missing_shard_file_is_tolerated(
+        self, tmp_path, realizations, expected_params
+    ):
+        store = self._full_store(tmp_path, realizations)
+        store.shard_path(0).unlink()
+        loaded = make_store(tmp_path).load(expected_params=expected_params)
+        assert sorted(loaded) == list(range(SHARD, COUNT))
+
+
+class TestLifecycle:
+    def test_reset_wipes_disk_state(self, tmp_path, realizations):
+        store = make_store(tmp_path)
+        for r in realizations:
+            store.record(r)
+        store.flush()
+        store.reset()
+        assert not store.run_dir.exists()
+        assert make_store(tmp_path).load() == {}
+
+    def test_discard_removes_run_dir(self, tmp_path, realizations):
+        store = make_store(tmp_path)
+        store.record(realizations[0])
+        store.flush()
+        store.discard()
+        assert not store.run_dir.exists()
+
+    def test_block_completion_flushes_automatically(self, tmp_path, realizations):
+        store = make_store(tmp_path)
+        for r in realizations[:SHARD]:
+            store.record(r)
+        # The completed block hit the disk without an explicit flush().
+        assert store.shard_path(0).exists()

@@ -1,0 +1,110 @@
+"""The fault-injection harness itself: deterministic, picklable, scoped."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import RuntimeControlError
+from repro.runtime.faults import FaultKind, FaultPlan, FaultSpec, InjectedCrash
+
+
+class TestFaultSpec:
+    def test_fires_on_first_n_attempts_only(self):
+        spec = FaultSpec(index=3, kind=FaultKind.CRASH, times=2)
+        assert spec.fires_on(0)
+        assert spec.fires_on(1)
+        assert not spec.fires_on(2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"index": -1, "kind": FaultKind.CRASH},
+            {"index": 0, "kind": FaultKind.CRASH, "times": 0},
+            {"index": 0, "kind": FaultKind.HANG, "hang_s": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(RuntimeControlError):
+            FaultSpec(**kwargs)
+
+
+class TestFaultPlan:
+    def test_action_for_respects_attempt(self):
+        plan = FaultPlan().crash(5, times=1)
+        assert plan.action_for(5, 0) is FaultKind.CRASH
+        assert plan.action_for(5, 1) is None
+        assert plan.action_for(6, 0) is None
+
+    def test_one_fault_per_index(self):
+        plan = FaultPlan().crash(1)
+        with pytest.raises(RuntimeControlError):
+            plan.hang(1)
+
+    def test_crash_raises_non_repro_error(self):
+        plan = FaultPlan().crash(0)
+        with pytest.raises(InjectedCrash):
+            plan.apply_before(0, 0)
+
+    def test_kill_downgrades_to_crash_inline(self):
+        plan = FaultPlan().kill(0)
+        with pytest.raises(InjectedCrash):
+            plan.apply_before(0, 0, inline=True)
+
+    def test_hang_inline_raises_after_short_sleep(self):
+        plan = FaultPlan().hang(0, hang_s=100.0)
+        with pytest.raises(InjectedCrash):
+            plan.apply_before(0, 0, inline=True)
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan(seed=9).crash(1).hang(2, hang_s=5.0).corrupt(3)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.action_for(1, 0) is FaultKind.CRASH
+        assert clone.action_for(2, 0) is FaultKind.HANG
+        assert clone.action_for(3, 0) is FaultKind.CORRUPT
+
+    def test_random_plan_is_deterministic(self):
+        a = FaultPlan.random(seed=11, count=200, crash_rate=0.1, hang_rate=0.05)
+        b = FaultPlan.random(seed=11, count=200, crash_rate=0.1, hang_rate=0.05)
+        assert a.specs == b.specs
+        assert a.specs  # rates high enough that some index was chosen
+
+    def test_random_plan_differs_across_seeds(self):
+        a = FaultPlan.random(seed=1, count=200, crash_rate=0.2)
+        b = FaultPlan.random(seed=2, count=200, crash_rate=0.2)
+        assert a.specs != b.specs
+
+    def test_random_rejects_bad_rates(self):
+        with pytest.raises(RuntimeControlError):
+            FaultPlan.random(seed=0, count=10, crash_rate=1.5)
+
+
+class TestDiskFaults:
+    def test_corrupt_file_mangles_content(self, tmp_path):
+        target = tmp_path / "shard.npz"
+        target.write_bytes(b"A" * 1024)
+        FaultPlan(seed=3).corrupt_file(target)
+        data = target.read_bytes()
+        assert len(data) == 1024
+        assert data != b"A" * 1024
+
+    def test_corrupt_file_is_seeded(self, tmp_path):
+        one, two = tmp_path / "a", tmp_path / "b"
+        one.write_bytes(b"A" * 64)
+        two.write_bytes(b"A" * 64)
+        FaultPlan(seed=3).corrupt_file(one)
+        FaultPlan(seed=3).corrupt_file(two)
+        assert one.read_bytes() == two.read_bytes()
+
+    def test_truncate_file(self, tmp_path):
+        target = tmp_path / "shard.npz"
+        target.write_bytes(b"A" * 100)
+        FaultPlan().truncate_file(target, keep_fraction=0.5)
+        assert target.stat().st_size == 50
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(RuntimeControlError):
+            FaultPlan().corrupt_file(tmp_path / "nope")
+        with pytest.raises(RuntimeControlError):
+            FaultPlan().truncate_file(tmp_path / "nope")

@@ -50,3 +50,42 @@ class TestFailoverPolicy:
     def test_validation(self, kwargs):
         with pytest.raises(ConfigurationError):
             FailoverPolicy(**kwargs)
+
+
+class TestAvailabilityMath:
+    def test_unknown_state_rejected(self):
+        class FakeState:
+            value = "purple"
+
+        with pytest.raises(ConfigurationError):
+            FailoverPolicy().downtime_minutes(FakeState())
+
+    def test_availability_is_one_minus_downtime_fraction(self):
+        policy = FailoverPolicy(
+            cold_activation_minutes=30.0,
+            red_outage_minutes=600.0,
+            horizon_minutes=6_000.0,
+        )
+        for state in (
+            OperationalState.GREEN,
+            OperationalState.ORANGE,
+            OperationalState.RED,
+            OperationalState.GRAY,
+        ):
+            expected = 1.0 - policy.downtime_minutes(state) / policy.horizon_minutes
+            assert policy.availability(state) == pytest.approx(expected)
+
+    def test_orange_availability_scales_with_activation_time(self):
+        fast = FailoverPolicy(cold_activation_minutes=5.0)
+        slow = FailoverPolicy(cold_activation_minutes=60.0)
+        assert fast.availability(OperationalState.ORANGE) > slow.availability(
+            OperationalState.ORANGE
+        )
+
+    def test_gray_is_always_zero_availability(self):
+        policy = FailoverPolicy(horizon_minutes=123.0, red_outage_minutes=10.0)
+        assert policy.availability(OperationalState.GRAY) == 0.0
+
+    def test_boundary_policy_red_equals_horizon(self):
+        policy = FailoverPolicy(red_outage_minutes=500.0, horizon_minutes=500.0)
+        assert policy.availability(OperationalState.RED) == 0.0
