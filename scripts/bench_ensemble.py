@@ -9,7 +9,14 @@ Times the standard Oahu ensemble through both surge kernels:
 
 and reports realizations/sec plus the speedup.  The two kernels are
 bitwise-identical (asserted here and in the test suite), so the speedup
-is free.  Run from the repo root::
+is free.
+
+It also *guards the observability layer's disabled cost*: the full
+``generate()`` path (run controller + null observer, the default) is
+timed against a raw ``realize()`` loop with no supervision or telemetry
+at all, and the script fails if the overhead exceeds ``--max-overhead``
+(3% by default).  An enabled-observer run is timed alongside for
+comparison.  Run from the repo root::
 
     PYTHONPATH=src python scripts/bench_ensemble.py [--count 1000] [--output BENCH_ensemble.json]
 """
@@ -18,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import platform
 import time
 from pathlib import Path
@@ -25,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.hazards.hurricane.standard import DEFAULT_SEED, standard_oahu_generator
+from repro.obs import Observability, activate
 
 
 def time_generation(generator, count: int, seed: int) -> tuple[float, object]:
@@ -33,11 +42,78 @@ def time_generation(generator, count: int, seed: int) -> tuple[float, object]:
     return time.perf_counter() - start, ensemble
 
 
+def time_raw_loop(generator, count: int, seed: int) -> tuple[float, object]:
+    """The un-supervised, un-instrumented baseline: a bare realize() loop."""
+    start = time.perf_counter()
+    params = generator.sample_all_parameters(count, seed)
+    seqs = np.random.SeedSequence(seed).spawn(count)
+    realizations = [
+        generator.realize(i, params[i], np.random.default_rng(seqs[i]))
+        for i in range(count)
+    ]
+    return time.perf_counter() - start, realizations
+
+
+def measure_observer_overhead(
+    generator, count: int, seed: int, repeats: int = 5
+) -> dict:
+    """Disabled- and enabled-observer cost relative to the raw loop.
+
+    The three variants are timed in interleaved rounds (raw, disabled,
+    enabled, raw, disabled, ...) after one untimed warm-up, and each
+    takes its best round.  Interleaving plus best-of filters scheduler
+    and frequency-scaling noise far better than timing each variant as
+    one contiguous block: a slow patch of machine time degrades one
+    round of every variant instead of one variant's entire block.
+    """
+
+    def timed_raw() -> float:
+        return time_raw_loop(generator, count, seed)[0]
+
+    def timed_disabled() -> float:
+        return time_generation(generator, count, seed)[0]
+
+    def timed_enabled() -> float:
+        with activate(Observability()):
+            return time_generation(generator, count, seed)[0]
+
+    variants = (timed_raw, timed_disabled, timed_enabled)
+    for fn in variants:  # warm-up: touch every code path once, untimed
+        fn()
+    best = [math.inf] * len(variants)
+    for _ in range(repeats):
+        for i, fn in enumerate(variants):
+            best[i] = min(best[i], fn())
+    raw_s, disabled_s, enabled_s = best
+    return {
+        "count": count,
+        "repeats": repeats,
+        "raw_loop_seconds": round(raw_s, 4),
+        "disabled_seconds": round(disabled_s, 4),
+        "enabled_seconds": round(enabled_s, 4),
+        "disabled_overhead_frac": round(disabled_s / raw_s - 1.0, 4),
+        "enabled_overhead_frac": round(enabled_s / raw_s - 1.0, 4),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--count", type=int, default=1000)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--output", default="BENCH_ensemble.json")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.03,
+        help="fail if the disabled-observer generate() path is more than "
+        "this fraction slower than the raw realize() loop",
+    )
+    parser.add_argument(
+        "--overhead-count",
+        type=int,
+        default=None,
+        help="realizations for the overhead check (default: --count)",
+    )
     args = parser.parse_args(argv)
 
     vec_generator = standard_oahu_generator()
@@ -55,6 +131,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     if not identical:
         raise SystemExit("kernels disagree -- refusing to report a speedup")
+
+    overhead_count = args.overhead_count or args.count
+    print(
+        f"measuring observer overhead over {overhead_count} realizations "
+        f"(budget: {args.max_overhead:.0%} with observers disabled) ..."
+    )
+    observability = measure_observer_overhead(
+        vec_generator, overhead_count, args.seed
+    )
+    observability["max_overhead_frac"] = args.max_overhead
 
     report = {
         "count": args.count,
@@ -74,10 +160,17 @@ def main(argv: list[str] | None = None) -> int:
         },
         "speedup": round(ref_s / vec_s, 2),
         "bitwise_identical": identical,
+        "observability": observability,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"wrote {args.output}")
+    if observability["disabled_overhead_frac"] > args.max_overhead:
+        raise SystemExit(
+            f"disabled-observer overhead "
+            f"{observability['disabled_overhead_frac']:.1%} exceeds the "
+            f"{args.max_overhead:.0%} budget"
+        )
     return 0
 
 

@@ -11,18 +11,23 @@ grid).
 
 Quickstart::
 
-    from repro import (
-        CompoundThreatAnalysis, PAPER_CONFIGURATIONS, PAPER_SCENARIOS,
-        PLACEMENT_WAIAU, standard_oahu_ensemble, format_matrix_report,
-    )
+    from repro import StudyConfig, run_study
 
-    ensemble = standard_oahu_ensemble()         # 1000 realizations
-    analysis = CompoundThreatAnalysis(ensemble)
-    matrix = analysis.run_matrix(
-        PAPER_CONFIGURATIONS, PLACEMENT_WAIAU, PAPER_SCENARIOS
-    )
-    print(format_matrix_report(matrix))
+    result = run_study(StudyConfig())   # the paper's full Oahu matrix
+    print(result.report())              # scenario x architecture tables
+    print(result.run_report())          # stage timings + run counters
+
+``run_study`` is the supported surface: one call generates the
+1000-realization ensemble, runs every (scenario, architecture) cell,
+and wires the observability layer (:mod:`repro.obs`) through each stage
+-- pass ``manifest_out="run_manifest.json"`` to persist the run
+manifest.  The building blocks it composes
+(:func:`standard_oahu_ensemble`, :class:`CompoundThreatAnalysis`, ...)
+remain exported for piecewise use; see ``docs/api_guide.md`` for the
+migration table.
 """
+
+from repro.api import StudyConfig, StudyResult, run_study
 
 from repro.core import (
     PAPER_SCENARIOS,
@@ -49,6 +54,7 @@ from repro.hazards.hurricane import (
     HurricaneScenarioSpec,
     standard_oahu_ensemble,
 )
+from repro.obs import NULL_OBSERVER, Observability, format_run_report
 from repro.scada import (
     PAPER_CONFIGURATIONS,
     PLACEMENT_KAHE,
@@ -59,10 +65,18 @@ from repro.scada import (
     get_architecture,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # the supported facade (see docs/api_guide.md)
+    "StudyConfig",
+    "StudyResult",
+    "run_study",
+    # observability
+    "Observability",
+    "NULL_OBSERVER",
+    "format_run_report",
     # core framework
     "CompoundThreatAnalysis",
     "OperationalState",

@@ -1,0 +1,267 @@
+"""The supported public entrypoint: ``run_study(StudyConfig(...))``.
+
+One call runs the paper's whole workflow -- hurricane ensemble ->
+post-disaster states -> worst-case cyberattack -> outcome matrix -- and
+wires the observability layer (:mod:`repro.obs`) through every stage in
+one place, so scripts and sweeps never instrument by hand::
+
+    from repro import StudyConfig, run_study
+
+    result = run_study(StudyConfig(n_realizations=1000, jobs=4))
+    print(result.report())        # the paper's scenario x architecture tables
+    print(result.run_report())    # stage timings, retry/cache counters
+
+The result is bit-identical to driving ``standard_oahu_ensemble()`` +
+``CompoundThreatAnalysis`` by hand (the legacy surface, which remains
+exported): the facade changes how telemetry and configuration travel,
+never the numbers.  Every run can persist a ``run_manifest.json``
+(config hash, seed, versions, per-stage wall clock, metric snapshot)
+via ``manifest_out`` -- see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.outcomes import ScenarioMatrix
+from repro.core.pipeline import Attacker, CompoundThreatAnalysis
+from repro.core.report import format_matrix_report
+from repro.core.threat import PAPER_SCENARIOS, ThreatScenario, get_scenario
+from repro.errors import ConfigurationError
+from repro.hazards.base import HazardEnsemble
+from repro.hazards.fragility import FragilityModel
+from repro.hazards.hurricane.ensemble import EnsembleGenerator
+from repro.hazards.hurricane.standard import (
+    DEFAULT_REALIZATIONS,
+    DEFAULT_SEED,
+    standard_oahu_generator,
+)
+from repro.obs.manifest import (
+    build_run_manifest,
+    format_run_report,
+    write_json_artifact,
+    write_run_manifest,
+)
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NullObservability,
+    Observability,
+    activate,
+)
+from repro.scada.architectures import (
+    PAPER_CONFIGURATIONS,
+    ArchitectureSpec,
+    get_architecture,
+)
+from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU, Placement
+
+_NAMED_PLACEMENTS = {"waiau": PLACEMENT_WAIAU, "kahe": PLACEMENT_KAHE}
+
+
+@dataclass(frozen=True, kw_only=True)
+class StudyConfig:
+    """Everything one compound-threat study run depends on.
+
+    All fields are keyword-only and default to the paper's case study:
+    ``StudyConfig()`` is the five-configuration, four-scenario Oahu
+    matrix over the standard 1000-realization ensemble.
+
+    Architectures, scenarios, and the placement accept either the
+    library objects or their registry names (``"6+6+6"``,
+    ``"hurricane+intrusion"``, ``"waiau"``).
+    """
+
+    # What to analyze.
+    configurations: Sequence[ArchitectureSpec | str] = PAPER_CONFIGURATIONS
+    placement: Placement | str = PLACEMENT_WAIAU
+    scenarios: Sequence[ThreatScenario | str] = PAPER_SCENARIOS
+    # The natural-disaster input data.
+    n_realizations: int = DEFAULT_REALIZATIONS
+    seed: int = DEFAULT_SEED
+    generator: EnsembleGenerator | None = None
+    ensemble: HazardEnsemble | None = field(default=None, compare=False)
+    # Pipeline models (defaults: 0.5 m threshold, worst-case attacker).
+    fragility: FragilityModel | None = None
+    attacker: Attacker | None = None
+    analysis_seed: int = 0
+    # How the ensemble arrives (never changes its bits).
+    jobs: int = 1
+    cache_dir: str | None = None
+    resume: bool = False
+    max_retries: int | None = None
+    task_timeout: float | None = None
+    # Telemetry.
+    observability: bool = True
+    manifest_out: str | Path | None = None
+    metrics_out: str | Path | None = None
+    trace_out: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_realizations < 1:
+            raise ConfigurationError("n_realizations must be at least 1")
+        if self.jobs < 1:
+            raise ConfigurationError("jobs must be at least 1")
+        if not self.configurations:
+            raise ConfigurationError("study needs at least one configuration")
+        if not self.scenarios:
+            raise ConfigurationError("study needs at least one scenario")
+
+    # ------------------------------------------------------------------
+    # Normalization (names -> library objects)
+    # ------------------------------------------------------------------
+    def resolve_configurations(self) -> list[ArchitectureSpec]:
+        return [
+            get_architecture(c) if isinstance(c, str) else c
+            for c in self.configurations
+        ]
+
+    def resolve_placement(self) -> Placement:
+        if isinstance(self.placement, str):
+            try:
+                return _NAMED_PLACEMENTS[self.placement]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown placement {self.placement!r}; "
+                    f"named placements: {sorted(_NAMED_PLACEMENTS)}"
+                ) from None
+        return self.placement
+
+    def resolve_scenarios(self) -> list[ThreatScenario]:
+        return [
+            get_scenario(s) if isinstance(s, str) else s for s in self.scenarios
+        ]
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """What one :func:`run_study` call produced."""
+
+    config: StudyConfig
+    matrix: ScenarioMatrix
+    manifest: dict
+    ensemble: HazardEnsemble
+    observability: Observability | NullObservability
+
+    def report(self) -> str:
+        """The scenario x architecture outcome tables (paper figures)."""
+        return format_matrix_report(self.matrix)
+
+    def run_report(self) -> str:
+        """Human-readable telemetry: stage timings, counters, events."""
+        return format_run_report(self.manifest)
+
+
+def study_config_hash(
+    config: StudyConfig,
+    *,
+    ensemble_key: str | None = None,
+) -> str:
+    """A stable hash of the study identity (what ran, on which data)."""
+    architectures = [a.name for a in config.resolve_configurations()]
+    scenarios = [s.name for s in config.resolve_scenarios()]
+    payload = {
+        "kind": "repro.study_config",
+        "configurations": architectures,
+        "placement": config.resolve_placement().label(),
+        "scenarios": scenarios,
+        "n_realizations": config.n_realizations,
+        "seed": config.seed,
+        "analysis_seed": config.analysis_seed,
+        "fragility": type(config.fragility).__name__ if config.fragility else None,
+        "attacker": type(config.attacker).__name__ if config.attacker else None,
+        "ensemble_key": ensemble_key,
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def _acquire_ensemble(config: StudyConfig) -> tuple[HazardEnsemble, str | None]:
+    """The study's hazard data plus its content key (for the manifest)."""
+    if config.ensemble is not None:
+        key = getattr(config.ensemble, "seed", None)
+        return config.ensemble, None if key is None else f"prebuilt-seed-{key}"
+    generator = config.generator or standard_oahu_generator()
+    retry = None
+    if config.max_retries is not None or config.task_timeout is not None:
+        from repro.runtime.controller import RetryPolicy
+
+        kwargs = {}
+        if config.max_retries is not None:
+            kwargs["max_retries"] = config.max_retries
+        if config.task_timeout is not None:
+            kwargs["task_timeout_s"] = config.task_timeout
+        retry = RetryPolicy(**kwargs)
+    ensemble = generator.generate(
+        count=config.n_realizations,
+        seed=config.seed,
+        n_jobs=config.jobs,
+        cache_dir=config.cache_dir,
+        resume=config.resume,
+        retry=retry,
+    )
+    return ensemble, generator.cache_key(config.n_realizations, config.seed)
+
+
+def run_study(
+    config: StudyConfig | None = None,
+    *,
+    obs: Observability | NullObservability | None = None,
+) -> StudyResult:
+    """Run one complete study and return its matrix, manifest, and data.
+
+    Telemetry is wired here, once: the observer is activated around the
+    whole run, every downstream stage (ensemble generation, retries,
+    caching, fragility, attacker search, classification) reports into
+    it, and the run manifest is assembled at the end.  Pass
+    ``observability=False`` (or ``obs=NULL_OBSERVER``) to disable all
+    instrumentation; results are bit-identical either way.
+    """
+    config = config or StudyConfig()
+    if obs is None:
+        obs = Observability() if config.observability else NULL_OBSERVER
+    start = time.perf_counter()
+    with activate(obs):
+        with obs.span("run_study"):
+            architectures = config.resolve_configurations()
+            placement = config.resolve_placement()
+            scenarios = config.resolve_scenarios()
+            with obs.span("ensemble.acquire"):
+                ensemble, ensemble_key = _acquire_ensemble(config)
+            analysis = CompoundThreatAnalysis(
+                ensemble,
+                fragility=config.fragility,
+                attacker=config.attacker,
+                seed=config.analysis_seed,
+            )
+            matrix = analysis.run_matrix(architectures, placement, scenarios)
+    wall_clock_s = time.perf_counter() - start
+    manifest = build_run_manifest(
+        config_hash=study_config_hash(config, ensemble_key=ensemble_key),
+        seed=config.seed,
+        n_realizations=len(ensemble),
+        configurations=[a.name for a in architectures],
+        scenarios=[s.name for s in scenarios],
+        placement=placement.label(),
+        obs=obs,
+        wall_clock_s=wall_clock_s,
+    )
+    if config.manifest_out is not None:
+        write_run_manifest(config.manifest_out, manifest)
+    if config.metrics_out is not None and obs.enabled:
+        write_json_artifact(
+            config.metrics_out, obs.metrics.snapshot(), "metrics snapshot"
+        )
+    if config.trace_out is not None and obs.enabled:
+        write_json_artifact(config.trace_out, obs.tracer.to_dict(), "trace tree")
+    return StudyResult(
+        config=config,
+        matrix=matrix,
+        manifest=manifest,
+        ensemble=ensemble,
+        observability=obs,
+    )

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.des.simulator import Simulator
 from repro.errors import NetworkModelError
+from repro.obs.observer import current as current_observer
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,9 @@ class SimNetwork:
         self._down: set[int] = set()
         self._isolated_sites: set[str] = set()
         self._rng = np.random.default_rng(self.params.seed)
+        # Bound at construction: per-message observer calls are skipped
+        # entirely when nobody was observing at network build time.
+        self._obs = current_observer()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -159,6 +163,13 @@ class SimNetwork:
                 copies += copies and 1
             if p.jitter_ms > 0:
                 latency += float(self._rng.uniform(0.0, p.jitter_ms))
+        if self._obs.enabled:
+            self._obs.inc("bft.messages_sent")
+            self._obs.observe("bft.latency_ms", latency)
+            if copies == 0:
+                self._obs.inc("bft.messages_dropped")
+            elif copies > 1:
+                self._obs.inc("bft.messages_duplicated")
         if copies == 0:
             self.messages_dropped += 1
             return
@@ -169,10 +180,22 @@ class SimNetwork:
             if not self._deliverable(src, dst):
                 return
             self.messages_delivered += 1
+            if self._obs.enabled:
+                self._obs.inc("bft.messages_delivered")
             self._handlers[dst](src, message)
 
         for copy in range(copies):
             self.simulator.schedule(latency * (1 + copy), deliver)
+
+    def publish_metrics(self) -> None:
+        """Push the lifetime message totals to the observer's gauges."""
+        obs = self._obs
+        if not obs.enabled:
+            return
+        obs.set_gauge("bft.messages_sent_total", self.messages_sent)
+        obs.set_gauge("bft.messages_delivered_total", self.messages_delivered)
+        obs.set_gauge("bft.messages_dropped_total", self.messages_dropped)
+        obs.set_gauge("bft.messages_duplicated_total", self.messages_duplicated)
 
     def broadcast(self, src: int, message: object, include_self: bool = True) -> None:
         """Send ``message`` to every attached replica (optionally self)."""

@@ -2,8 +2,13 @@
 
 Subcommands mirror the paper's workflow:
 
+* ``run``         -- the supported entrypoint: build a ``StudyConfig``,
+                     call :func:`repro.run_study`, print the matrix, and
+                     optionally persist ``run_manifest.json`` /
+                     ``--metrics-out`` / ``--trace-out`` telemetry.
 * ``ensemble``    -- generate the hurricane realizations (CSV output).
-* ``analyze``     -- run one placement x scenario set and print tables.
+* ``analyze``     -- deprecated alias of ``run`` (old flag spellings
+                     keep working; it routes through the same facade).
 * ``figures``     -- regenerate every paper figure as text charts.
 * ``siting``      -- rank backup control-center locations.
 * ``bft-demo``    -- run the replication engine under compound faults.
@@ -15,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import StudyConfig, run_study
 from repro.core.pipeline import CompoundThreatAnalysis
 from repro.core.report import format_matrix_csv, format_matrix_report
 from repro.core.threat import PAPER_SCENARIOS, get_scenario
@@ -89,25 +95,42 @@ def _load_or_generate(args: argparse.Namespace):
     )
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    ensemble = _load_or_generate(args)
-    analysis = CompoundThreatAnalysis(ensemble)
-    placement = _PLACEMENTS[args.placement]
-    architectures = (
-        [get_architecture(name) for name in args.config]
-        if args.config
-        else list(PAPER_CONFIGURATIONS)
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Build a ``StudyConfig`` from the flags and drive the facade."""
+    if getattr(args, "deprecated_alias", None):
+        print(
+            f"note: `{args.deprecated_alias}` is a deprecated alias of `run` "
+            "and routes through repro.run_study(); its flags keep working.",
+            file=sys.stderr,
+        )
+    ensemble = (
+        load_ensemble_csv(args.ensemble) if getattr(args, "ensemble", None) else None
     )
-    scenarios = (
-        [get_scenario(name) for name in args.scenario]
-        if args.scenario
-        else list(PAPER_SCENARIOS)
+    config = StudyConfig(
+        configurations=tuple(args.config) if args.config else PAPER_CONFIGURATIONS,
+        placement=args.placement,
+        scenarios=tuple(args.scenario) if args.scenario else PAPER_SCENARIOS,
+        n_realizations=args.realizations,
+        seed=args.seed,
+        ensemble=ensemble,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        observability=not args.no_observability,
+        manifest_out=args.manifest_out,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
     )
-    matrix = analysis.run_matrix(architectures, placement, scenarios)
+    result = run_study(config)
     if args.csv:
-        print(format_matrix_csv(matrix))
+        print(format_matrix_csv(result.matrix))
     else:
-        print(format_matrix_report(matrix))
+        print(result.report())
+    if args.run_report:
+        print()
+        print(result.run_report())
     return 0
 
 
@@ -340,12 +363,70 @@ def _add_perf_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--manifest-out",
+        default=None,
+        help="write a run_manifest.json (config hash, versions, stage "
+        "timings, metric snapshot) to this path",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metric snapshot (counters/gauges/histograms) "
+        "as JSON to this path",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the run's span trace tree as JSON to this path",
+    )
+    p.add_argument(
+        "--run-report",
+        action="store_true",
+        help="print the human-readable run report (stage timings, counters) "
+        "after the matrix",
+    )
+    p.add_argument(
+        "--no-observability",
+        action="store_true",
+        help="disable all telemetry collection for this run",
+    )
+
+
+def _add_study_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument("--config", action="append", help="architecture name (repeatable)")
+    p.add_argument("--scenario", action="append", help="scenario name (repeatable)")
+    p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
+    p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+    p.add_argument(
+        "--realizations",
+        "--count",
+        dest="realizations",
+        type=int,
+        default=DEFAULT_REALIZATIONS,
+        help="ensemble size (--count is the deprecated spelling)",
+    )
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_perf_args(p)
+    _add_observability_args(p)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="compound-threats",
         description="Compound-threat analysis of power grid SCADA (DSN-W 2022 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "run",
+        help="run a full study via the run_study() facade (the supported "
+        "entrypoint)",
+    )
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("ensemble", help="generate hurricane realizations")
     p.add_argument("--count", type=int, default=DEFAULT_REALIZATIONS)
@@ -358,14 +439,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_args(p)
     p.set_defaults(func=_cmd_ensemble)
 
-    p = sub.add_parser("analyze", help="run the compound-threat analysis")
-    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
-    p.add_argument("--config", action="append", help="architecture name (repeatable)")
-    p.add_argument("--scenario", action="append", help="scenario name (repeatable)")
-    p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
-    p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
-    _add_perf_args(p)
-    p.set_defaults(func=_cmd_analyze)
+    p = sub.add_parser(
+        "analyze",
+        help="deprecated alias of `run` (kept so existing invocations work)",
+    )
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_run, deprecated_alias="analyze")
 
     p = sub.add_parser("figures", help="regenerate all paper figures")
     p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")

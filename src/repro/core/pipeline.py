@@ -13,6 +13,7 @@ the whole ensemble.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
@@ -27,6 +28,7 @@ from repro.core.threat import CyberAttackBudget, ThreatScenario
 from repro.errors import AnalysisError
 from repro.hazards.base import HazardEnsemble, HazardRealization
 from repro.hazards.fragility import FragilityModel, ThresholdFragility
+from repro.obs.observer import current as current_observer
 from repro.scada.architectures import ArchitectureSpec
 from repro.scada.placement import Placement
 
@@ -111,11 +113,14 @@ class CompoundThreatAnalysis:
             return realization.failed_assets(self.fragility, rng)
         key = realization.index
         try:
-            return self._failed_cache[key]
+            failed = self._failed_cache[key]
         except KeyError:
+            current_observer().inc("pipeline.failed_cache.miss")
             failed = realization.failed_assets(self.fragility, rng)
             self._failed_cache[key] = failed
             return failed
+        current_observer().inc("pipeline.failed_cache.hit")
+        return failed
 
     # ------------------------------------------------------------------
     # Per-realization steps (Fig. 5 boxes)
@@ -162,10 +167,57 @@ class CompoundThreatAnalysis:
     ) -> OperationalProfile:
         """Outcome probabilities for one configuration under one scenario."""
         rng = np.random.default_rng(self._seed)
-        states = [
-            self.outcome(architecture, placement, r, scenario, rng).state
-            for r in self.ensemble
-        ]
+        obs = current_observer()
+        if not obs.enabled:
+            states = [
+                self.outcome(architecture, placement, r, scenario, rng).state
+                for r in self.ensemble
+            ]
+            return OperationalProfile.from_states(states)
+        return self._run_observed(architecture, placement, scenario, rng, obs)
+
+    def _run_observed(
+        self, architecture, placement, scenario, rng, obs
+    ) -> OperationalProfile:
+        """The same per-realization loop, timed stage by stage.
+
+        The three Fig.-5 stages interleave per realization, so each
+        stage's total is accumulated across the whole ensemble and
+        reported as one aggregate child span (plus a histogram sample),
+        rather than allocating thousands of span objects.
+        """
+        perf = time.perf_counter
+        fragility_s = attack_s = classify_s = 0.0
+        states = []
+        with obs.span(
+            "analysis.run", scenario=scenario.name, architecture=architecture.name
+        ):
+            for realization in self.ensemble:
+                t0 = perf()
+                post_disaster = self.post_disaster_state(
+                    architecture, placement, realization, rng
+                )
+                t1 = perf()
+                post_attack = self.attacker.attack(
+                    post_disaster, scenario.budget, rng
+                )
+                t2 = perf()
+                states.append(evaluate(post_attack))
+                t3 = perf()
+                fragility_s += t1 - t0
+                attack_s += t2 - t1
+                classify_s += t3 - t2
+            n = len(states)
+            obs.record_span("pipeline.fragility", fragility_s, realizations=n)
+            obs.record_span("pipeline.attacker_search", attack_s, realizations=n)
+            obs.record_span("pipeline.classification", classify_s, realizations=n)
+            obs.inc("pipeline.realizations", n)
+        for name, total in (
+            ("pipeline.fragility_s", fragility_s),
+            ("pipeline.attacker_search_s", attack_s),
+            ("pipeline.classification_s", classify_s),
+        ):
+            obs.observe(name, total)
         return OperationalProfile.from_states(states)
 
     def run_matrix(
@@ -179,12 +231,18 @@ class CompoundThreatAnalysis:
         One scenario row group of the returned matrix corresponds to one
         figure of the paper.
         """
+        obs = current_observer()
         matrix = ScenarioMatrix(placement_label=placement.label())
-        for scenario in scenarios:
-            for architecture in architectures:
-                matrix.add(
-                    scenario.name,
-                    architecture.name,
-                    self.run(architecture, placement, scenario),
-                )
+        with obs.span(
+            "analysis.run_matrix",
+            placement=placement.label(),
+            cells=len(architectures) * len(scenarios),
+        ):
+            for scenario in scenarios:
+                for architecture in architectures:
+                    matrix.add(
+                        scenario.name,
+                        architecture.name,
+                        self.run(architecture, placement, scenario),
+                    )
         return matrix

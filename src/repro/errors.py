@@ -44,6 +44,18 @@ class SerializationError(ReproError):
     """Loading or saving topologies, realizations, or results failed."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was used inconsistently.
+
+    Raised only for *programming* errors against :mod:`repro.obs`
+    (closing spans out of order, merging incompatible histograms,
+    decreasing a counter).  I/O failures while persisting telemetry are
+    deliberately **not** errors: metric, trace, and manifest writers
+    warn (:class:`repro.obs.ObservabilityWriteWarning`) and continue,
+    so telemetry can never cost a run its results.
+    """
+
+
 class RuntimeControlError(ReproError):
     """Base class for the fault-tolerant run controller's failure domain.
 

@@ -342,42 +342,54 @@ class EnsembleGenerator:
             raise HazardError("n_jobs must be at least 1")
         if resume and cache_dir is None:
             raise HazardError("resume requires a cache_dir to hold checkpoints")
-        key = self.cache_key(count, seed)
-        if cache_dir is not None:
-            from repro.io.ensemble_cache import load_ensemble_cache
+        from repro.obs.observer import current as current_observer
 
-            cached = load_ensemble_cache(cache_dir, key)
-            if cached is not None:
-                return cached
-
-        from repro.runtime.checkpoint import CheckpointStore
-        from repro.runtime.controller import RunController
-
-        checkpoint = None
-        if cache_dir is not None:
-            checkpoint = CheckpointStore(
-                run_dir=Path(cache_dir) / f"run-{key}",
-                key=key,
-                count=count,
-                seed=seed,
-                scenario_name=self.scenario.name,
-            )
-        controller = RunController(
-            self,
+        obs = current_observer()
+        with obs.span(
+            "ensemble.generate",
+            scenario=self.scenario.name,
             count=count,
             seed=seed,
             n_jobs=n_jobs,
-            policy=retry,
-            faults=faults,
-            checkpoint=checkpoint,
-        )
-        ensemble = controller.run(resume=resume)
-        if cache_dir is not None:
-            from repro.io.ensemble_cache import save_ensemble_cache
+        ):
+            key = self.cache_key(count, seed)
+            if cache_dir is not None:
+                from repro.io.ensemble_cache import load_ensemble_cache
 
-            save_ensemble_cache(ensemble, cache_dir, key)
-            checkpoint.discard()
-        return ensemble
+                with obs.span("ensemble.cache_lookup"):
+                    cached = load_ensemble_cache(cache_dir, key)
+                if cached is not None:
+                    return cached
+
+            from repro.runtime.checkpoint import CheckpointStore
+            from repro.runtime.controller import RunController
+
+            checkpoint = None
+            if cache_dir is not None:
+                checkpoint = CheckpointStore(
+                    run_dir=Path(cache_dir) / f"run-{key}",
+                    key=key,
+                    count=count,
+                    seed=seed,
+                    scenario_name=self.scenario.name,
+                )
+            controller = RunController(
+                self,
+                count=count,
+                seed=seed,
+                n_jobs=n_jobs,
+                policy=retry,
+                faults=faults,
+                checkpoint=checkpoint,
+            )
+            ensemble = controller.run(resume=resume)
+            if cache_dir is not None:
+                from repro.io.ensemble_cache import save_ensemble_cache
+
+                with obs.span("ensemble.cache_store"):
+                    save_ensemble_cache(ensemble, cache_dir, key)
+                checkpoint.discard()
+            return ensemble
 
     def cache_key(self, count: int, seed: int) -> str:
         """Content hash identifying this generator's output for (count, seed)."""

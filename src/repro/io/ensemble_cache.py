@@ -35,6 +35,7 @@ import numpy as np
 from repro.errors import SerializationError
 from repro.geo.coords import GeoPoint
 from repro.io.atomic import atomic_path, atomic_write_text, quarantine_file
+from repro.obs.observer import current as current_observer
 from repro.hazards.hurricane.ensemble import (
     HurricaneEnsemble,
     HurricaneRealization,
@@ -140,6 +141,7 @@ def save_ensemble_cache(
         "param_columns": list(PARAM_COLUMNS),
     }
     atomic_write_text(meta_path, json.dumps(meta, indent=2))
+    current_observer().inc("cache.ensemble.store")
     return npz_path
 
 
@@ -152,12 +154,15 @@ def load_ensemble_cache(cache_dir: str | Path, key: str) -> HurricaneEnsemble | 
     ``<name>.corrupt`` (with a :class:`CorruptArtifactWarning`) rather
     than silently overwritten, so the evidence of the damage survives.
     """
+    obs = current_observer()
     npz_path, meta_path = _cache_paths(cache_dir, key)
     if not npz_path.exists() or not meta_path.exists():
+        obs.inc("cache.ensemble.miss")
         return None
     try:
         meta = json.loads(meta_path.read_text())
         if meta["format"] != CACHE_FORMAT_VERSION:
+            obs.inc("cache.ensemble.miss")
             return None  # older layout: stale, not corrupt
         if meta["key"] != key:
             return _quarantine_entry(npz_path, meta_path, "sidecar key mismatch")
@@ -182,6 +187,7 @@ def load_ensemble_cache(cache_dir: str | Path, key: str) -> HurricaneEnsemble | 
                     ),
                 )
             )
+        obs.inc("cache.ensemble.hit")
         return HurricaneEnsemble(
             scenario_name=meta["scenario_name"],
             realizations=tuple(realizations),
@@ -193,6 +199,10 @@ def load_ensemble_cache(cache_dir: str | Path, key: str) -> HurricaneEnsemble | 
 
 def _quarantine_entry(npz_path: Path, meta_path: Path, reason: str) -> None:
     """Quarantine both halves of a damaged cache entry; always a miss."""
+    obs = current_observer()
+    obs.inc("cache.ensemble.quarantined")
+    obs.inc("cache.ensemble.miss")
+    obs.event("cache_quarantine", entry=npz_path.name, reason=reason)
     quarantine_file(npz_path, reason)
     quarantine_file(meta_path, reason)
     return None

@@ -1,0 +1,64 @@
+"""Observability: metrics, tracing, events, and run manifests.
+
+A dependency-free telemetry layer for the analysis pipeline.  The
+pieces:
+
+* :class:`MetricsRegistry` -- counters / gauges / histograms with
+  picklable snapshots that merge across processes
+  (:mod:`repro.obs.metrics`);
+* :class:`Tracer` / spans -- nested wall-clock timers forming a per-run
+  trace tree (:mod:`repro.obs.tracing`);
+* :class:`EventLog` -- a bounded structured log of notable occurrences
+  (:mod:`repro.obs.events`);
+* :class:`Observability` / :data:`NULL_OBSERVER` -- the bundle hot
+  paths talk to, installed with :func:`activate` and looked up with
+  :func:`current`; disabled by default at negligible cost
+  (:mod:`repro.obs.observer`);
+* run manifests -- :func:`build_run_manifest`,
+  :func:`write_run_manifest`, :func:`format_run_report`
+  (:mod:`repro.obs.manifest`).
+
+Instrumentation is wired once at the :func:`repro.api.run_study`
+facade; see ``docs/observability.md`` for the metric names, trace
+format, and manifest schema.
+"""
+
+from repro.obs.events import EventLog
+from repro.obs.manifest import (
+    MANIFEST_REQUIRED_KEYS,
+    MANIFEST_SCHEMA_VERSION,
+    ObservabilityWriteWarning,
+    build_run_manifest,
+    format_run_report,
+    write_json_artifact,
+    write_run_manifest,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NullObservability,
+    Observability,
+    activate,
+    current,
+)
+from repro.obs.tracing import SpanRecord, Tracer
+
+__all__ = [
+    "EventLog",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "Observability",
+    "NullObservability",
+    "NULL_OBSERVER",
+    "activate",
+    "current",
+    "MANIFEST_REQUIRED_KEYS",
+    "MANIFEST_SCHEMA_VERSION",
+    "ObservabilityWriteWarning",
+    "build_run_manifest",
+    "format_run_report",
+    "write_json_artifact",
+    "write_run_manifest",
+]

@@ -1,0 +1,49 @@
+"""Structured event log: notable run occurrences as plain dicts.
+
+Events complement metrics (which aggregate away *when*) and spans (which
+only time code regions): a retry, a pool rebuild, a cache quarantine,
+or a resumed checkpoint each append one timestamped record, so the
+manifest can answer "what exactly happened, in what order" for the rare
+paths that matter during an incident.
+
+The log is bounded: beyond ``max_events`` the oldest records are
+dropped and ``dropped`` counts them, so a pathological run (say, a
+retry storm) cannot grow the manifest without bound.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+DEFAULT_MAX_EVENTS = 1000
+
+
+class EventLog:
+    """A bounded, append-only sequence of structured events."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self._epoch = time.perf_counter()
+        self._events: deque[dict] = deque(maxlen=max_events)
+        self.dropped = 0
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one event; ``kind`` names it, fields carry the detail."""
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        event = {
+            "t_s": round(time.perf_counter() - self._epoch, 6),
+            "kind": kind,
+            **fields,
+        }
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_list(self) -> list[dict]:
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [e for e in self._events if e["kind"] == kind]

@@ -1,0 +1,143 @@
+"""Span tracing: nested wall-clock timers forming a per-run trace tree.
+
+A :class:`Tracer` hands out :func:`~Tracer.span` context managers; spans
+opened while another span is active nest under it, so one ``run_study``
+call produces a tree like::
+
+    run_study                     1.84s
+      ensemble.generate           0.61s
+        ensemble.parameter_pass   0.02s
+        ensemble.realization_pass 0.58s
+      analysis.run_matrix         1.21s
+        analysis.run              0.09s   (x14, one per matrix cell)
+
+Timestamps are ``time.perf_counter()`` offsets from the tracer's epoch,
+so durations are monotonic and immune to wall-clock steps; the absolute
+start time is recorded once on the tracer for the manifest.
+
+:meth:`Tracer.record` appends an already-measured duration as a leaf
+span -- used by hot loops that accumulate a stage total across
+thousands of realizations and report it once, instead of allocating a
+span object per realization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ObservabilityError
+
+
+@dataclass
+class SpanRecord:
+    """One node of the trace tree (times relative to the tracer epoch)."""
+
+    name: str
+    start_s: float
+    duration_s: float | None = None
+    meta: dict = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.duration_s is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "duration_s": (
+                None if self.duration_s is None else round(self.duration_s, 6)
+            ),
+            "meta": dict(self.meta),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _SpanContext:
+    """Context manager closing one span on exit."""
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def __enter__(self) -> SpanRecord:
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self._record, failed=exc is not None)
+
+
+class Tracer:
+    """Builds the trace tree for one run."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.started_at = time.time()
+        self.roots: list[SpanRecord] = []
+        self._stack: list[SpanRecord] = []
+
+    def _now(self) -> float:
+        return time.perf_counter() - self.epoch
+
+    def _attach(self, record: SpanRecord) -> None:
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.roots.append(record)
+
+    def span(self, name: str, **meta) -> _SpanContext:
+        """Open a span; it closes (and records its duration) on exit."""
+        record = SpanRecord(name=name, start_s=self._now(), meta=meta)
+        self._attach(record)
+        self._stack.append(record)
+        return _SpanContext(self, record)
+
+    def _close(self, record: SpanRecord, failed: bool) -> None:
+        if not self._stack or self._stack[-1] is not record:
+            raise ObservabilityError(
+                f"span {record.name!r} closed out of order"
+            )
+        self._stack.pop()
+        record.duration_s = self._now() - record.start_s
+        if failed:
+            record.meta["failed"] = True
+
+    def record(self, name: str, duration_s: float, **meta) -> SpanRecord:
+        """Append an already-measured duration as a closed leaf span."""
+        if duration_s < 0:
+            raise ObservabilityError("span duration cannot be negative")
+        record = SpanRecord(
+            name=name,
+            start_s=self._now(),
+            duration_s=duration_s,
+            meta={"aggregate": True, **meta},
+        )
+        self._attach(record)
+        return record
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def to_dict(self) -> dict:
+        """The whole trace tree as plain JSON."""
+        return {
+            "started_at_unix_s": self.started_at,
+            "spans": [root.to_dict() for root in self.roots],
+        }
+
+    def stage_durations(self) -> dict[str, float]:
+        """Total recorded seconds per span name, over the whole tree."""
+        totals: dict[str, float] = {}
+
+        def walk(record: SpanRecord) -> None:
+            if record.duration_s is not None:
+                totals[record.name] = totals.get(record.name, 0.0) + record.duration_s
+            for child in record.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return totals

@@ -57,6 +57,7 @@ from repro.hazards.hurricane.ensemble import (
     HurricaneEnsemble,
     HurricaneRealization,
 )
+from repro.obs.observer import current as current_observer
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.faults import FaultPlan
 
@@ -114,29 +115,46 @@ class RunController:
         self.retries_by_index: dict[int, int] = {}
         self.pool_rebuilds = 0
         self.resumed_realizations = 0
+        self._obs = current_observer()
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def run(self, resume: bool = False) -> HurricaneEnsemble:
         """Produce the full ensemble, resuming from shards if asked."""
-        params = self.generator.sample_all_parameters(self.count, self.seed)
-        seqs = np.random.SeedSequence(self.seed).spawn(self.count)
+        obs = self._obs = current_observer()
+        with obs.span("ensemble.parameter_pass", count=self.count):
+            params = self.generator.sample_all_parameters(self.count, self.seed)
+            seqs = np.random.SeedSequence(self.seed).spawn(self.count)
         results: dict[int, HurricaneRealization] = {}
         if self.checkpoint is not None:
             if resume:
-                results.update(self.checkpoint.load(expected_params=params))
+                with obs.span("ensemble.checkpoint_load"):
+                    results.update(self.checkpoint.load(expected_params=params))
                 self.resumed_realizations = len(results)
+                if results:
+                    obs.inc("runtime.checkpoint.resumed", len(results))
+                    obs.event(
+                        "checkpoint_resume",
+                        realizations=len(results),
+                        of=self.count,
+                    )
             else:
                 self.checkpoint.reset()
         pending = [i for i in range(self.count) if i not in results]
         try:
-            if self.n_jobs == 1:
-                self._run_inline(pending, params, seqs, results)
-            else:
-                self._run_pool(pending, params, seqs, results)
+            with obs.span(
+                "ensemble.realization_pass",
+                count=len(pending),
+                n_jobs=self.n_jobs,
+            ):
+                if self.n_jobs == 1:
+                    self._run_inline(pending, params, seqs, results)
+                else:
+                    self._run_pool(pending, params, seqs, results)
         finally:
             self._flush()
+        obs.inc("runtime.realizations_completed", len(pending))
         ensemble = HurricaneEnsemble(
             scenario_name=self.generator.scenario.name,
             realizations=tuple(results[i] for i in range(self.count)),
@@ -186,6 +204,14 @@ class RunController:
         """Charge one retryable failure; raise once the budget is spent."""
         attempts = self.retries_by_index.get(index, 0) + 1
         self.retries_by_index[index] = attempts
+        self._obs.inc("runtime.retries")
+        self._obs.inc(f"runtime.retries.{type(error).__name__}")
+        self._obs.event(
+            "retry",
+            realization=index,
+            attempt=attempts,
+            error=type(error).__name__,
+        )
         if attempts > self.policy.max_retries:
             self._flush()
             raise RetryExhaustedError(
@@ -200,11 +226,13 @@ class RunController:
     # Inline (n_jobs == 1) execution
     # ------------------------------------------------------------------
     def _run_inline(self, pending, params, seqs, results) -> None:
+        observed = self._obs.enabled
         for index in pending:
             while True:
                 attempt = self._attempt_of(index)
                 rng = np.random.default_rng(seqs[index])
                 try:
+                    started = time.perf_counter() if observed else 0.0
                     if self.faults is not None:
                         self.faults.apply_before(index, attempt, inline=True)
                     realization = self.generator.realize(index, params[index], rng)
@@ -213,6 +241,11 @@ class RunController:
                             index, attempt, realization
                         )
                     self._record(results, self._validate(index, realization))
+                    if observed:
+                        self._obs.observe(
+                            "runtime.realization_s",
+                            time.perf_counter() - started,
+                        )
                     break
                 except Exception as exc:
                     retryable = self._classify(exc)
@@ -239,6 +272,8 @@ class RunController:
                 self._terminate_pool(executor)
             if rebuild:
                 self.pool_rebuilds += 1
+                self._obs.inc("runtime.pool_rebuilds")
+                self._obs.event("pool_rebuild", remaining=len(remaining))
 
     def _submit(self, executor, index, params, seqs) -> Future:
         return executor.submit(
@@ -251,9 +286,14 @@ class RunController:
 
     def _drive_pool(self, executor, remaining, params, seqs, results) -> bool:
         """Run tasks on one pool; ``True`` means the pool must be rebuilt."""
+        observed = self._obs.enabled
         futures: dict[Future, int] = {
             self._submit(executor, i, params, seqs): i for i in sorted(remaining)
         }
+        # Submit-to-completion latency per future (includes queueing).
+        submitted_at: dict[Future, float] = (
+            {f: time.perf_counter() for f in futures} if observed else {}
+        )
         running_since: dict[Future, float] = {}
         while futures:
             done, _ = wait(
@@ -267,6 +307,7 @@ class RunController:
                 try:
                     realization = self._validate(index, future.result())
                 except Exception as exc:
+                    submitted_at.pop(future, None)
                     if isinstance(exc, BrokenProcessPool):
                         broken = True
                     retryable = self._classify(exc)
@@ -276,6 +317,13 @@ class RunController:
                     self._charge(index, retryable)
                     retry_now.append(index)
                 else:
+                    if observed:
+                        started = submitted_at.pop(future, None)
+                        if started is not None:
+                            self._obs.observe(
+                                "runtime.realization_s",
+                                time.perf_counter() - started,
+                            )
                     self._record(results, realization)
                     remaining.discard(index)
             if broken:
@@ -291,7 +339,10 @@ class RunController:
             for index in retry_now:
                 time.sleep(self.policy.backoff_s(self._attempt_of(index)))
                 try:
-                    futures[self._submit(executor, index, params, seqs)] = index
+                    future = self._submit(executor, index, params, seqs)
+                    futures[future] = index
+                    if observed:
+                        submitted_at[future] = time.perf_counter()
                 except BrokenProcessPool:
                     return True  # already charged; rerun on the rebuilt pool
             if self._hung_task(futures, running_since):

@@ -1,0 +1,253 @@
+"""The ``run_study()`` facade: bit-identical results plus telemetry.
+
+The facade must be a pure repackaging: the matrix it returns is
+bit-identical to driving ``standard_oahu_ensemble`` +
+``CompoundThreatAnalysis`` by hand (including the seed goldens'
+93/1000 green/red split), while the run manifest it assembles carries
+populated per-stage spans and runtime/cache counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro import NULL_OBSERVER, StudyConfig, run_study
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.core.states import OperationalState as S
+from repro.core.threat import PAPER_SCENARIOS
+from repro.errors import ConfigurationError
+from repro.obs import MANIFEST_REQUIRED_KEYS, ObservabilityWriteWarning
+from repro.scada.architectures import PAPER_CONFIGURATIONS
+from repro.scada.placement import PLACEMENT_WAIAU
+
+FLOOD_COUNT = 93
+N = 1000
+
+
+@pytest.fixture(scope="module")
+def golden_result(standard_ensemble):
+    """One full facade run over the standard ensemble, telemetry on."""
+    return run_study(StudyConfig(ensemble=standard_ensemble))
+
+
+class TestStudyConfig:
+    def test_fields_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            StudyConfig(100)  # positional use is an API error
+
+    def test_frozen(self):
+        config = StudyConfig()
+        with pytest.raises(AttributeError):
+            config.seed = 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(n_realizations=0)
+        with pytest.raises(ConfigurationError):
+            StudyConfig(jobs=0)
+        with pytest.raises(ConfigurationError):
+            StudyConfig(configurations=())
+        with pytest.raises(ConfigurationError):
+            StudyConfig(scenarios=())
+
+    def test_names_resolve_to_library_objects(self):
+        config = StudyConfig(
+            configurations=("2", "6+6+6"),
+            scenarios=("hurricane",),
+            placement="kahe",
+        )
+        assert [a.name for a in config.resolve_configurations()] == ["2", "6+6+6"]
+        assert [s.name for s in config.resolve_scenarios()] == ["hurricane"]
+        assert "Kahe" in config.resolve_placement().label()
+
+    def test_unknown_placement_name(self):
+        with pytest.raises(ConfigurationError, match="placement"):
+            StudyConfig(placement="mars").resolve_placement()
+
+
+class TestBitIdenticalToLegacyPath:
+    def test_seed_goldens_reproduce(self, golden_result):
+        """The facade hits the locked 93/1000 green/red split exactly."""
+        hits = sum(
+            1
+            for r in golden_result.ensemble
+            if r.depth_at("Honolulu Control Center") > 0.5
+        )
+        assert hits == FLOOD_COUNT
+        profile = golden_result.matrix.get("hurricane", "2")
+        assert profile.count(S.GREEN) == N - FLOOD_COUNT
+        assert profile.count(S.RED) == FLOOD_COUNT
+
+    def test_every_cell_matches_the_legacy_path(
+        self, golden_result, standard_ensemble
+    ):
+        legacy = CompoundThreatAnalysis(standard_ensemble).run_matrix(
+            PAPER_CONFIGURATIONS, PLACEMENT_WAIAU, PAPER_SCENARIOS
+        )
+        for scenario in PAPER_SCENARIOS:
+            for arch in PAPER_CONFIGURATIONS:
+                facade_profile = golden_result.matrix.get(scenario.name, arch.name)
+                legacy_profile = legacy.get(scenario.name, arch.name)
+                for state in S:
+                    assert facade_profile.count(state) == legacy_profile.count(
+                        state
+                    ), (scenario.name, arch.name, state)
+
+    def test_generated_ensemble_matches_fixture_bits(self, standard_ensemble):
+        """run_study's own generation equals the pinned standard ensemble."""
+        import numpy as np
+
+        result = run_study(
+            StudyConfig(
+                configurations=("2",),
+                scenarios=("hurricane",),
+                n_realizations=200,
+            )
+        )
+        expected = standard_ensemble.depth_matrix()[:200]
+        assert np.array_equal(result.ensemble.depth_matrix(), expected)
+
+    def test_observability_off_is_still_identical(self, standard_ensemble):
+        observed = run_study(
+            StudyConfig(
+                ensemble=standard_ensemble,
+                configurations=("6-6",),
+                scenarios=("hurricane+isolation",),
+            )
+        )
+        dark = run_study(
+            StudyConfig(
+                ensemble=standard_ensemble,
+                configurations=("6-6",),
+                scenarios=("hurricane+isolation",),
+                observability=False,
+            )
+        )
+        profile_a = observed.matrix.get("hurricane+isolation", "6-6")
+        profile_b = dark.matrix.get("hurricane+isolation", "6-6")
+        for state in S:
+            assert profile_a.count(state) == profile_b.count(state)
+        assert dark.observability is NULL_OBSERVER
+        assert dark.manifest["stages"] == {}
+
+
+class TestManifestTelemetry:
+    def test_manifest_schema_and_population(self, golden_result):
+        manifest = golden_result.manifest
+        assert set(manifest) == MANIFEST_REQUIRED_KEYS
+        assert manifest["n_realizations"] == N
+        # Per-stage spans cover the whole pipeline.
+        for stage in (
+            "run_study",
+            "analysis.run_matrix",
+            "analysis.run",
+            "pipeline.fragility",
+            "pipeline.attacker_search",
+            "pipeline.classification",
+        ):
+            assert stage in manifest["stages"], stage
+        counters = manifest["metrics"]["counters"]
+        cells = len(PAPER_SCENARIOS) * len(PAPER_CONFIGURATIONS)
+        assert counters["pipeline.realizations"] == cells * N
+        # Fragility memoization: one miss per realization, the rest hits.
+        assert counters["pipeline.failed_cache.miss"] == N
+        assert counters["pipeline.failed_cache.hit"] == (cells - 1) * N
+
+    def test_manifest_counts_runtime_work_when_generating(self):
+        result = run_study(
+            StudyConfig(
+                configurations=("2",),
+                scenarios=("hurricane",),
+                n_realizations=50,
+                seed=11,
+            )
+        )
+        counters = result.manifest["metrics"]["counters"]
+        assert counters["runtime.realizations_completed"] == 50
+        hist = result.manifest["metrics"]["histograms"]["runtime.realization_s"]
+        assert hist["count"] == 50
+
+    def test_cache_counters_roundtrip(self, tmp_path):
+        config = StudyConfig(
+            configurations=("2",),
+            scenarios=("hurricane",),
+            n_realizations=30,
+            seed=13,
+            cache_dir=str(tmp_path),
+        )
+        cold = run_study(config)
+        warm = run_study(config)
+        cold_counters = cold.manifest["metrics"]["counters"]
+        warm_counters = warm.manifest["metrics"]["counters"]
+        assert cold_counters["cache.ensemble.miss"] == 1
+        assert cold_counters["cache.ensemble.store"] == 1
+        assert warm_counters["cache.ensemble.hit"] == 1
+        assert "runtime.realizations_completed" not in warm_counters
+
+    def test_manifest_written_to_disk(self, tmp_path, standard_ensemble):
+        # CI points REPRO_CI_MANIFEST_DIR at a workspace directory and
+        # uploads the manifest this test writes as a build artifact.
+        out_dir = os.environ.get("REPRO_CI_MANIFEST_DIR")
+        target = (
+            (tmp_path if out_dir is None else __import__("pathlib").Path(out_dir))
+            / "run_manifest.json"
+        )
+        result = run_study(
+            StudyConfig(ensemble=standard_ensemble, manifest_out=target)
+        )
+        on_disk = json.loads(target.read_text())
+        assert on_disk["config_hash"] == result.manifest["config_hash"]
+        assert set(on_disk) == MANIFEST_REQUIRED_KEYS
+
+    def test_failed_metrics_out_warns_and_preserves_results(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("in the way")
+        with pytest.warns(ObservabilityWriteWarning):
+            result = run_study(
+                StudyConfig(
+                    configurations=("2",),
+                    scenarios=("hurricane",),
+                    n_realizations=20,
+                    seed=5,
+                    metrics_out=blocker / "metrics.json",
+                )
+            )
+        # The run itself is unharmed.
+        assert result.matrix.get("hurricane", "2").total == 20
+
+    def test_trace_and_metrics_out(self, tmp_path, standard_ensemble):
+        result = run_study(
+            StudyConfig(
+                ensemble=standard_ensemble,
+                configurations=("2",),
+                scenarios=("hurricane",),
+                metrics_out=tmp_path / "metrics.json",
+                trace_out=tmp_path / "trace.json",
+            )
+        )
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics["counters"]["pipeline.realizations"] == N
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        assert trace["spans"][0]["name"] == "run_study"
+        assert result.manifest["stages"]["run_study"] > 0
+
+    def test_run_report_is_human_readable(self, golden_result):
+        report = golden_result.run_report()
+        assert "Run report" in report
+        assert "pipeline.fragility" in report
+        assert golden_result.manifest["config_hash"] in report
+
+    def test_no_warnings_on_clean_run(self, standard_ensemble):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_study(
+                StudyConfig(
+                    ensemble=standard_ensemble,
+                    configurations=("2",),
+                    scenarios=("hurricane",),
+                )
+            )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -77,6 +79,91 @@ class TestAnalyzeCommand:
         out = capsys.readouterr().out
         assert "Backup ranking" in out
         assert "Kahe Control Center" in out
+
+
+class TestRunCommand:
+    @pytest.fixture(scope="class")
+    def small_csv(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-run") / "small.csv"
+        main(["ensemble", "--count", "40", "--seed", "2", "--output", str(path)])
+        return str(path)
+
+    def test_tables(self, small_csv, capsys):
+        code = main(["run", "--ensemble", small_csv])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Scenario: hurricane" in captured.out
+        assert "6+6+6" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_csv_output(self, small_csv, capsys):
+        code = main(["run", "--ensemble", small_csv, "--csv"])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("placement,scenario,architecture")
+
+    def test_matches_analyze_alias_exactly(self, small_csv, capsys):
+        main(["run", "--ensemble", small_csv, "--csv"])
+        via_run = capsys.readouterr().out
+        main(["analyze", "--ensemble", small_csv, "--csv"])
+        via_alias = capsys.readouterr().out
+        assert via_run == via_alias
+
+    def test_analyze_prints_deprecation_note(self, small_csv, capsys):
+        code = main(["analyze", "--ensemble", small_csv, "--csv"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "deprecated alias" in err
+        assert "run_study" in err
+
+    def test_telemetry_outputs(self, small_csv, tmp_path, capsys):
+        manifest_path = tmp_path / "run_manifest.json"
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "run",
+                "--ensemble", small_csv,
+                "--manifest-out", str(manifest_path),
+                "--metrics-out", str(metrics_path),
+                "--trace-out", str(trace_path),
+                "--run-report",
+            ]
+        )
+        assert code == 0
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["kind"] == "repro.run_manifest"
+        assert "pipeline.fragility" in manifest["stages"]
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["pipeline.realizations"] > 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["spans"][0]["name"] == "run_study"
+        assert "Run report" in capsys.readouterr().out
+
+    def test_failed_manifest_write_warns_but_run_succeeds(
+        self, small_csv, tmp_path, capsys
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory is needed")
+        with pytest.warns(Warning, match="run manifest"):
+            code = main(
+                [
+                    "run",
+                    "--ensemble", small_csv,
+                    "--manifest-out", str(blocker / "run_manifest.json"),
+                ]
+            )
+        assert code == 0  # the analysis still completed and printed
+        assert "Scenario: hurricane" in capsys.readouterr().out
+
+    def test_no_observability_still_analyzes(self, small_csv, capsys):
+        code = main(["run", "--ensemble", small_csv, "--no-observability"])
+        assert code == 0
+        assert "Scenario: hurricane" in capsys.readouterr().out
+
+    def test_unknown_config_is_an_error(self, small_csv, capsys):
+        code = main(["run", "--ensemble", small_csv, "--config", "9"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestSimulationCommands:

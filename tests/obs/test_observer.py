@@ -1,0 +1,88 @@
+"""Observer activation, the null observer, and the event log."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    NULL_OBSERVER,
+    EventLog,
+    Observability,
+    activate,
+    current,
+)
+
+
+class TestActivation:
+    def test_default_is_the_null_observer(self):
+        assert current() is NULL_OBSERVER
+        assert current().enabled is False
+
+    def test_activate_installs_and_restores(self):
+        obs = Observability()
+        with activate(obs):
+            assert current() is obs
+        assert current() is NULL_OBSERVER
+
+    def test_activation_restores_on_exception(self):
+        obs = Observability()
+        try:
+            with activate(obs):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current() is NULL_OBSERVER
+
+    def test_nested_activation(self):
+        outer, inner = Observability(), Observability()
+        with activate(outer):
+            with activate(inner):
+                assert current() is inner
+            assert current() is outer
+
+
+class TestNullObserver:
+    def test_all_calls_are_noops(self):
+        NULL_OBSERVER.inc("c")
+        NULL_OBSERVER.set_gauge("g", 1.0)
+        NULL_OBSERVER.observe("h", 0.5)
+        NULL_OBSERVER.event("e", detail=1)
+        NULL_OBSERVER.record_span("s", 0.1)
+
+    def test_span_is_a_reusable_null_context(self):
+        ctx_a = NULL_OBSERVER.span("a")
+        ctx_b = NULL_OBSERVER.span("b")
+        assert ctx_a is ctx_b  # one shared object: zero per-call allocation
+        with ctx_a:
+            with ctx_b:
+                pass
+
+
+class TestLiveObserver:
+    def test_bundle_wires_through(self):
+        obs = Observability()
+        obs.inc("c", 2)
+        obs.observe("h", 0.5)
+        obs.set_gauge("g", 3)
+        obs.event("retry", realization=7)
+        with obs.span("root"):
+            obs.record_span("stage", 0.25)
+        assert obs.metrics.counter("c") == 2
+        assert obs.metrics.gauge("g") == 3
+        assert obs.events.of_kind("retry")[0]["realization"] == 7
+        assert obs.tracer.roots[0].children[0].name == "stage"
+
+
+class TestEventLog:
+    def test_events_carry_kind_fields_and_time(self):
+        log = EventLog()
+        event = log.emit("retry", realization=3, attempt=1)
+        assert event["kind"] == "retry"
+        assert event["realization"] == 3
+        assert event["t_s"] >= 0
+
+    def test_log_is_bounded_and_counts_drops(self):
+        log = EventLog(max_events=5)
+        for i in range(8):
+            log.emit("tick", i=i)
+        assert len(log) == 5
+        assert log.dropped == 3
+        assert [e["i"] for e in log.to_list()] == [3, 4, 5, 6, 7]

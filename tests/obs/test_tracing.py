@@ -1,0 +1,118 @@
+"""Tracer: span nesting, timing monotonicity, aggregate leaves."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.tracing import Tracer
+
+
+class TestNesting:
+    def test_spans_nest_under_the_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-1"):
+                pass
+            with tracer.span("inner-2"):
+                with tracer.span("leaf"):
+                    pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+        assert tracer.depth == 0
+
+    def test_exception_closes_and_flags_the_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        record = tracer.roots[0]
+        assert record.finished
+        assert record.meta["failed"] is True
+        assert tracer.depth == 0
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        ctx_a = tracer.span("a")
+        ctx_a.__enter__()
+        ctx_b = tracer.span("b")
+        ctx_b.__enter__()
+        with pytest.raises(ObservabilityError):
+            ctx_a.__exit__(None, None, None)
+
+
+class TestTiming:
+    def test_durations_are_monotone_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            time.sleep(0.002)
+            with tracer.span("inner"):
+                time.sleep(0.002)
+            time.sleep(0.002)
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration_s is not None and inner.duration_s is not None
+        assert outer.duration_s >= 0 and inner.duration_s >= 0
+        # A child starts no earlier than its parent and fits inside it.
+        assert inner.start_s >= outer.start_s
+        assert inner.start_s + inner.duration_s <= outer.start_s + outer.duration_s + 1e-9
+        assert inner.duration_s <= outer.duration_s
+
+    def test_sibling_starts_are_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            for name in ("s1", "s2", "s3"):
+                with tracer.span(name):
+                    pass
+        starts = [c.start_s for c in tracer.roots[0].children]
+        assert starts == sorted(starts)
+
+    def test_record_appends_a_closed_aggregate_leaf(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            tracer.record("stage", 1.25, realizations=1000)
+        leaf = tracer.roots[0].children[0]
+        assert leaf.finished
+        assert leaf.duration_s == 1.25
+        assert leaf.meta["aggregate"] is True
+        assert leaf.meta["realizations"] == 1000
+
+    def test_record_rejects_negative_durations(self):
+        with pytest.raises(ObservabilityError):
+            Tracer().record("stage", -0.1)
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        tracer = Tracer()
+        with tracer.span("outer", scenario="hurricane"):
+            with tracer.span("inner"):
+                pass
+        payload = tracer.to_dict()
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["spans"][0]["name"] == "outer"
+        assert parsed["spans"][0]["meta"] == {"scenario": "hurricane"}
+        assert parsed["spans"][0]["children"][0]["name"] == "inner"
+
+    def test_stage_durations_sums_same_named_spans(self):
+        tracer = Tracer()
+        tracer.record("stage", 1.0)
+        tracer.record("stage", 2.0)
+        tracer.record("other", 0.5)
+        totals = tracer.stage_durations()
+        assert totals["stage"] == pytest.approx(3.0)
+        assert totals["other"] == pytest.approx(0.5)
