@@ -28,6 +28,7 @@ migration table.
 """
 
 from repro.api import StudyConfig, StudyResult, run_study
+from repro.sweep import StudyCell, SweepResult, run_sweep, sweep_grid
 
 from repro.core import (
     PAPER_SCENARIOS,
@@ -65,7 +66,7 @@ from repro.scada import (
     get_architecture,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -73,6 +74,11 @@ __all__ = [
     "StudyConfig",
     "StudyResult",
     "run_study",
+    # batch sweeps (see docs/api_guide.md, "Sweeps")
+    "run_sweep",
+    "sweep_grid",
+    "SweepResult",
+    "StudyCell",
     # observability
     "Observability",
     "NULL_OBSERVER",

@@ -21,12 +21,15 @@ via ``manifest_out`` -- see ``docs/observability.md``.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
+
+import numpy as np
 
 from repro.core.outcomes import ScenarioMatrix
 from repro.core.pipeline import Attacker, CompoundThreatAnalysis
@@ -39,6 +42,7 @@ from repro.hazards.hurricane.ensemble import EnsembleGenerator
 from repro.hazards.hurricane.standard import (
     DEFAULT_REALIZATIONS,
     DEFAULT_SEED,
+    shared_standard_generator,
     standard_oahu_generator,
 )
 from repro.obs.manifest import (
@@ -110,6 +114,12 @@ class StudyConfig:
             raise ConfigurationError("study needs at least one configuration")
         if not self.scenarios:
             raise ConfigurationError("study needs at least one scenario")
+        # Registry-name lookups resolve (or raise, listing the available
+        # names) at construction, so a typo'd architecture, scenario, or
+        # placement fails here rather than minutes into a run.
+        self.resolve_configurations()
+        self.resolve_placement()
+        self.resolve_scenarios()
 
     # ------------------------------------------------------------------
     # Normalization (names -> library objects)
@@ -136,6 +146,36 @@ class StudyConfig:
             get_scenario(s) if isinstance(s, str) else s for s in self.scenarios
         ]
 
+    # ------------------------------------------------------------------
+    # Supported derivation API (the sweep engine builds on these)
+    # ------------------------------------------------------------------
+    def replace(self, **overrides) -> "StudyConfig":
+        """A copy with ``overrides`` applied, re-validated on construction.
+
+        The grid builder (:func:`repro.sweep.sweep_grid`) derives every
+        sweep cell this way; user code can too::
+
+            kahe = StudyConfig().replace(placement="kahe")
+        """
+        return dataclasses.replace(self, **overrides)
+
+    def cache_key(self) -> str:
+        """The hazard-determining hash: which ensemble this study consumes.
+
+        Two configs with the same ``cache_key()`` analyze bit-identical
+        hazard data -- only hazard-side fields (the generator's scenario
+        and physics, ``n_realizations``, ``seed``, or a prebuilt
+        ``ensemble``'s contents) enter the hash; analysis-side fields
+        (architectures, scenarios, placement, fragility, attacker,
+        ``analysis_seed``) and delivery knobs (``jobs``, ``cache_dir``,
+        telemetry) never do.  The sweep engine partitions its grid by
+        this key so every group generates its ensemble exactly once.
+        """
+        if self.ensemble is not None:
+            return _prebuilt_ensemble_key(self.ensemble)
+        generator = self.generator or shared_standard_generator()
+        return generator.cache_key(self.n_realizations, self.seed)
+
 
 @dataclass(frozen=True)
 class StudyResult:
@@ -156,6 +196,46 @@ class StudyResult:
         return format_run_report(self.manifest)
 
 
+def _prebuilt_ensemble_key(ensemble: HazardEnsemble) -> str:
+    """A deterministic content key for a user-supplied ensemble.
+
+    Hashes the identity fields plus the depth matrix when the ensemble
+    exposes one, so two prebuilt ensembles with the same bits group into
+    the same sweep ensemble group (and a different seed or subset never
+    collides).
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(
+            {
+                "kind": "repro.prebuilt_ensemble",
+                "scenario_name": getattr(ensemble, "scenario_name", None),
+                "seed": getattr(ensemble, "seed", None),
+                "count": len(ensemble),
+            },
+            sort_keys=True,
+        ).encode()
+    )
+    depth_matrix = getattr(ensemble, "depth_matrix", None)
+    if callable(depth_matrix):
+        digest.update(np.ascontiguousarray(depth_matrix()).tobytes())
+    return f"prebuilt-{digest.hexdigest()[:32]}"
+
+
+def _model_identity(model: object | None) -> str | None:
+    """A stable identity string for a fragility/attacker model.
+
+    Dataclass models (the library's) hash by their repr, so two
+    thresholds differing only in ``threshold_m`` never collide; anything
+    else falls back to its type name.
+    """
+    if model is None:
+        return None
+    if dataclasses.is_dataclass(model):
+        return repr(model)
+    return type(model).__name__
+
+
 def study_config_hash(
     config: StudyConfig,
     *,
@@ -172,8 +252,8 @@ def study_config_hash(
         "n_realizations": config.n_realizations,
         "seed": config.seed,
         "analysis_seed": config.analysis_seed,
-        "fragility": type(config.fragility).__name__ if config.fragility else None,
-        "attacker": type(config.attacker).__name__ if config.attacker else None,
+        "fragility": _model_identity(config.fragility),
+        "attacker": _model_identity(config.attacker),
         "ensemble_key": ensemble_key,
     }
     canonical = json.dumps(payload, sort_keys=True)
@@ -185,17 +265,10 @@ def _acquire_ensemble(config: StudyConfig) -> tuple[HazardEnsemble, str | None]:
     if config.ensemble is not None:
         key = getattr(config.ensemble, "seed", None)
         return config.ensemble, None if key is None else f"prebuilt-seed-{key}"
-    generator = config.generator or standard_oahu_generator()
-    retry = None
-    if config.max_retries is not None or config.task_timeout is not None:
-        from repro.runtime.controller import RetryPolicy
+    from repro.runtime.controller import RetryPolicy
 
-        kwargs = {}
-        if config.max_retries is not None:
-            kwargs["max_retries"] = config.max_retries
-        if config.task_timeout is not None:
-            kwargs["task_timeout_s"] = config.task_timeout
-        retry = RetryPolicy(**kwargs)
+    generator = config.generator or standard_oahu_generator()
+    retry = RetryPolicy.from_options(config.max_retries, config.task_timeout)
     ensemble = generator.generate(
         count=config.n_realizations,
         seed=config.seed,
@@ -230,8 +303,15 @@ def run_study(
             architectures = config.resolve_configurations()
             placement = config.resolve_placement()
             scenarios = config.resolve_scenarios()
-            with obs.span("ensemble.acquire"):
+            if config.ensemble is not None:
+                # A prebuilt ensemble involves no generation work, so no
+                # generation-stage span is recorded: run_report() shows
+                # only stages that actually ran instead of a misleading
+                # zero-duration entry.
                 ensemble, ensemble_key = _acquire_ensemble(config)
+            else:
+                with obs.span("ensemble.acquire"):
+                    ensemble, ensemble_key = _acquire_ensemble(config)
             analysis = CompoundThreatAnalysis(
                 ensemble,
                 fragility=config.fragility,

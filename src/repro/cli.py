@@ -6,9 +6,15 @@ Subcommands mirror the paper's workflow:
                      call :func:`repro.run_study`, print the matrix, and
                      optionally persist ``run_manifest.json`` /
                      ``--metrics-out`` / ``--trace-out`` telemetry.
+* ``sweep``       -- run a grid of studies through
+                     :func:`repro.sweep.run_sweep`: repeatable axis flags
+                     build the cross-product, hazard ensembles are
+                     deduplicated across the grid, and ``--sweep-dir`` /
+                     ``--resume`` checkpoint at study granularity.
 * ``ensemble``    -- generate the hurricane realizations (CSV output).
 * ``analyze``     -- deprecated alias of ``run`` (old flag spellings
-                     keep working; it routes through the same facade).
+                     keep working; it routes through the same facade and
+                     will be removed in 2.0.0).
 * ``figures``     -- regenerate every paper figure as text charts.
 * ``siting``      -- rank backup control-center locations.
 * ``bft-demo``    -- run the replication engine under compound faults.
@@ -95,20 +101,20 @@ def _load_or_generate(args: argparse.Namespace):
     )
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    """Build a ``StudyConfig`` from the flags and drive the facade."""
-    if getattr(args, "deprecated_alias", None):
-        print(
-            f"note: `{args.deprecated_alias}` is a deprecated alias of `run` "
-            "and routes through repro.run_study(); its flags keep working.",
-            file=sys.stderr,
-        )
+def _study_config_from_args(
+    args: argparse.Namespace, *, placement: str | None = None
+) -> StudyConfig:
+    """The one flags -> :class:`StudyConfig` mapping `run` and `sweep` share.
+
+    ``placement`` overrides ``args.placement`` for callers (the sweep)
+    whose placement flag is an axis rather than a single value.
+    """
     ensemble = (
         load_ensemble_csv(args.ensemble) if getattr(args, "ensemble", None) else None
     )
-    config = StudyConfig(
+    return StudyConfig(
         configurations=tuple(args.config) if args.config else PAPER_CONFIGURATIONS,
-        placement=args.placement,
+        placement=placement if placement is not None else args.placement,
         scenarios=tuple(args.scenario) if args.scenario else PAPER_SCENARIOS,
         n_realizations=args.realizations,
         seed=args.seed,
@@ -119,11 +125,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         task_timeout=args.task_timeout,
         observability=not args.no_observability,
-        manifest_out=args.manifest_out,
-        metrics_out=args.metrics_out,
-        trace_out=args.trace_out,
+        manifest_out=getattr(args, "manifest_out", None),
+        metrics_out=getattr(args, "metrics_out", None),
+        trace_out=getattr(args, "trace_out", None),
     )
-    result = run_study(config)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Build a ``StudyConfig`` from the flags and drive the facade."""
+    if getattr(args, "deprecated_alias", None):
+        print(
+            f"note: `{args.deprecated_alias}` is a deprecated alias of `run` "
+            "and will be removed in 2.0.0; its flags keep working and route "
+            "through repro.run_study().",
+            file=sys.stderr,
+        )
+    result = run_study(_study_config_from_args(args))
     if args.csv:
         print(format_matrix_csv(result.matrix))
     else:
@@ -131,6 +148,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.run_report:
         print()
         print(result.run_report())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Build a grid from repeatable axis flags and drive the sweep engine."""
+    from repro.sweep import run_sweep, sweep_grid
+
+    placements = args.placement or ["waiau"]
+    base = _study_config_from_args(args, placement=placements[0])
+    axes: dict = {
+        "configurations": list(args.config)
+        if args.config
+        else [a.name for a in PAPER_CONFIGURATIONS],
+        "scenarios": list(args.scenario)
+        if args.scenario
+        else [s.name for s in PAPER_SCENARIOS],
+    }
+    if len(placements) > 1:
+        axes["placement"] = placements
+    if args.category:
+        axes["category"] = args.category
+    if args.fragility_threshold:
+        axes["threshold"] = args.fragility_threshold
+    grid = sweep_grid(base, **axes)
+    result = run_sweep(
+        grid,
+        jobs=args.jobs,
+        sweep_dir=args.sweep_dir,
+        resume=args.resume,
+        manifest_out=args.sweep_manifest_out,
+        observability=not args.no_observability,
+    )
+    if args.table:
+        rows = result.to_table()
+        columns = list(rows[0]) if rows else []
+        print(",".join(columns))
+        for row in rows:
+            print(",".join(str(row[c]) for c in columns))
+    else:
+        print(result.report())
+    for axis in args.compare or []:
+        print()
+        print(result.compare(axis).format())
+    counters = result.manifest.get("telemetry", {}).get("metrics", {}).get(
+        "counters", {}
+    )
+    print(
+        f"\nsweep: {len(result)} studies, "
+        f"{result.manifest['n_groups']} ensemble group(s), "
+        f"{int(counters.get('sweep.ensemble.generated', 0))} generated, "
+        f"{int(counters.get('sweep.ensemble.reused', 0))} reused, "
+        f"{int(counters.get('sweep.studies_resumed', 0))} resumed",
+        file=sys.stderr,
+    )
+    if args.out:
+        print(f"sweep result written to {result.save_json(args.out)}", file=sys.stderr)
     return 0
 
 
@@ -394,12 +467,11 @@ def _add_observability_args(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_study_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+def _add_common_study_args(p: argparse.ArgumentParser) -> None:
+    """The flags `run` and `sweep` share (everything but placement/output)."""
     p.add_argument("--config", action="append", help="architecture name (repeatable)")
     p.add_argument("--scenario", action="append", help="scenario name (repeatable)")
     p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
-    p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
     p.add_argument(
         "--realizations",
         "--count",
@@ -410,7 +482,65 @@ def _add_study_args(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     _add_perf_args(p)
+
+
+def _add_study_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+    _add_common_study_args(p)
     _add_observability_args(p)
+
+
+def _add_sweep_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--placement",
+        action="append",
+        choices=sorted(_PLACEMENTS),
+        help="placement axis value (repeatable; default: waiau only)",
+    )
+    _add_common_study_args(p)
+    p.add_argument(
+        "--category",
+        action="append",
+        type=int,
+        help="Saffir-Simpson hurricane category axis value (repeatable)",
+    )
+    p.add_argument(
+        "--fragility-threshold",
+        action="append",
+        type=float,
+        help="inundation failure threshold in meters, axis value (repeatable)",
+    )
+    p.add_argument(
+        "--sweep-dir",
+        default=None,
+        help="directory for study-granular sweep checkpoints (shards + "
+        "sweep_manifest.json); required for --resume",
+    )
+    p.add_argument(
+        "--sweep-manifest-out",
+        default=None,
+        help="also write the sweep manifest to this path",
+    )
+    p.add_argument(
+        "--compare",
+        action="append",
+        help="print outcome deltas across this axis, all else held equal "
+        "(repeatable; e.g. placement)",
+    )
+    p.add_argument(
+        "--out", default=None, help="write the full sweep result as JSON here"
+    )
+    p.add_argument(
+        "--table",
+        action="store_true",
+        help="emit one flat CSV row per (study, scenario, architecture)",
+    )
+    p.add_argument(
+        "--no-observability",
+        action="store_true",
+        help="disable all telemetry collection for this sweep",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -427,6 +557,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_study_args(p)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a grid of studies with shared-ensemble dedup and "
+        "study-granular resume",
+    )
+    _add_sweep_args(p)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("ensemble", help="generate hurricane realizations")
     p.add_argument("--count", type=int, default=DEFAULT_REALIZATIONS)

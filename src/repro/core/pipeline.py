@@ -74,6 +74,12 @@ class CompoundThreatAnalysis:
     seed:
         Seeds the rng handed to stochastic attackers (ignored by the
         deterministic ones), keeping runs reproducible.
+    failed_cache:
+        An externally owned failed-asset memo (realization index ->
+        failed set) to use instead of a private one.  The sweep engine
+        passes one dict per (ensemble, fragility) group so every study
+        sharing that pair reuses the fragility pass; only sound when the
+        ensemble and fragility model really are shared.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class CompoundThreatAnalysis:
         fragility: FragilityModel | None = None,
         attacker: Attacker | None = None,
         seed: int = 0,
+        failed_cache: dict[int, frozenset[str]] | None = None,
     ) -> None:
         if len(ensemble) == 0:
             raise AnalysisError("ensemble must contain realizations")
@@ -94,7 +101,9 @@ class CompoundThreatAnalysis:
         # realization within the ensemble even when the object is rebuilt
         # (cache loads, checkpoint resumes), unlike id()s, which are only
         # stable while the original ensemble objects stay alive.
-        self._failed_cache: dict[int, frozenset[str]] = {}
+        self._failed_cache: dict[int, frozenset[str]] = (
+            {} if failed_cache is None else failed_cache
+        )
 
     def _failed_assets(
         self,

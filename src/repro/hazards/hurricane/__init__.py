@@ -20,6 +20,7 @@ from repro.hazards.hurricane.standard import (
     DEFAULT_SEED,
     OAHU_SOUTH_SHORE_BASIN,
     oahu_scenario_for_category,
+    shared_standard_generator,
     standard_oahu_ensemble,
     standard_oahu_generator,
     standard_oahu_scenario,
@@ -68,6 +69,7 @@ __all__ = [
     "coriolis_parameter",
     "standard_oahu_scenario",
     "standard_oahu_generator",
+    "shared_standard_generator",
     "standard_oahu_ensemble",
     "oahu_scenario_for_category",
     "OAHU_SOUTH_SHORE_BASIN",

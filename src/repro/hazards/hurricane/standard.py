@@ -101,6 +101,19 @@ def standard_oahu_generator() -> EnsembleGenerator:
     )
 
 
+@lru_cache(maxsize=1)
+def shared_standard_generator() -> EnsembleGenerator:
+    """The standard generator, built once per process and shared.
+
+    Construction builds the coastal mesh and inundation mapping, which
+    dominates the cost of cheap derived operations like
+    ``StudyConfig.cache_key()``.  Generation methods are pure functions
+    of their arguments, so sharing one instance is always sound; callers
+    must not mutate it.
+    """
+    return standard_oahu_generator()
+
+
 @lru_cache(maxsize=4)
 def standard_oahu_ensemble(
     count: int = DEFAULT_REALIZATIONS,
@@ -119,16 +132,9 @@ def standard_oahu_ensemble(
     ensemble arrives -- worker processes, on-disk reuse, checkpointed
     resume, retry budget, per-task timeout -- never its contents.
     """
-    retry = None
-    if max_retries is not None or task_timeout is not None:
-        from repro.runtime.controller import RetryPolicy
+    from repro.runtime.controller import RetryPolicy
 
-        kwargs = {}
-        if max_retries is not None:
-            kwargs["max_retries"] = max_retries
-        if task_timeout is not None:
-            kwargs["task_timeout_s"] = task_timeout
-        retry = RetryPolicy(**kwargs)
+    retry = RetryPolicy.from_options(max_retries, task_timeout)
     return standard_oahu_generator().generate(
         count=count,
         seed=seed,

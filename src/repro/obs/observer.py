@@ -76,6 +76,16 @@ class Observability:
     def event(self, kind: str, **fields) -> None:
         self.events.emit(kind, **fields)
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a worker process's metric snapshot into this observer.
+
+        Worker processes run with their own observer and ship
+        :meth:`MetricsRegistry.snapshot` payloads back; the parent merges
+        them here so sweep- and run-level metrics aggregate across
+        processes.
+        """
+        self.metrics.merge(snapshot)
+
 
 class NullObservability:
     """The disabled observer: structurally compatible, does nothing."""
@@ -98,6 +108,9 @@ class NullObservability:
         return None
 
     def event(self, kind: str, **fields) -> None:
+        return None
+
+    def merge_snapshot(self, snapshot: dict) -> None:
         return None
 
 

@@ -41,12 +41,16 @@ CHECKPOINT_FORMAT_VERSION = 1
 DEFAULT_SHARD_SIZE = 32
 
 
-def _sha256_of(path: Path) -> str:
+def sha256_of(path: Path) -> str:
+    """Streaming sha256 of a file (checksums for shard/manifest entries)."""
     digest = hashlib.sha256()
     with path.open("rb") as handle:
         for chunk in iter(lambda: handle.read(1 << 16), b""):
             digest.update(chunk)
     return digest.hexdigest()
+
+
+_sha256_of = sha256_of  # backwards-compatible alias
 
 
 class CheckpointStore:

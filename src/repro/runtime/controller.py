@@ -86,6 +86,28 @@ class RetryPolicy:
         """Backoff before retry number ``attempt`` (1-based), capped."""
         return min(self.backoff_cap_s, self.backoff_base_s * (2 ** max(0, attempt - 1)))
 
+    @classmethod
+    def from_options(
+        cls,
+        max_retries: int | None = None,
+        task_timeout_s: float | None = None,
+    ) -> "RetryPolicy | None":
+        """A policy from optional knobs, or ``None`` when both are unset.
+
+        The CLI, facade, and sweep engine all accept independent
+        ``--max-retries`` / ``--task-timeout`` options; this is the one
+        place that turns them into a policy (``None`` means "use the
+        controller's default policy").
+        """
+        if max_retries is None and task_timeout_s is None:
+            return None
+        kwargs: dict = {}
+        if max_retries is not None:
+            kwargs["max_retries"] = max_retries
+        if task_timeout_s is not None:
+            kwargs["task_timeout_s"] = task_timeout_s
+        return cls(**kwargs)
+
 
 class RunController:
     """Supervises the realization pass of one ensemble generation run."""

@@ -1,0 +1,34 @@
+"""Batched multi-study sweeps with shared-ensemble deduplication.
+
+The public surface:
+
+* :func:`sweep_grid` -- build a grid of :class:`~repro.api.StudyConfig`\\ s
+  as the cross-product of per-field axes.
+* :func:`run_sweep` -- execute a grid with ensemble dedup, bounded
+  parallel analysis, and study-granular checkpoint/resume.
+* :class:`SweepResult` / :class:`StudyCell` / :class:`AxisComparison` --
+  the result objects, including per-axis outcome comparisons.
+"""
+
+from repro.sweep.engine import SweepStore, run_sweep, sweep_study_hash
+from repro.sweep.grid import category_generator, sweep_grid
+from repro.sweep.result import (
+    AxisComparison,
+    ComparisonRow,
+    StudyCell,
+    SweepResult,
+    cell_summary,
+)
+
+__all__ = [
+    "AxisComparison",
+    "ComparisonRow",
+    "StudyCell",
+    "SweepResult",
+    "SweepStore",
+    "category_generator",
+    "cell_summary",
+    "run_sweep",
+    "sweep_grid",
+    "sweep_study_hash",
+]

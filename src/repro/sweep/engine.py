@@ -1,0 +1,464 @@
+"""The batch-study scheduler: shared-ensemble dedup + bounded workers.
+
+:func:`run_sweep` executes a grid of :class:`StudyConfig`\\ s the way the
+paper's own results table demands -- many analysis cells over few hazard
+ensembles -- without ever generating the same ensemble twice:
+
+1. **Partition** the grid by :meth:`StudyConfig.cache_key`, the
+   hazard-determining hash.  Every group shares bit-identical hazard
+   data, however much its members differ on the analysis side.
+2. **Acquire** each group's ensemble exactly once, through the existing
+   fault-tolerant path (:class:`~repro.runtime.controller.RunController`
+   + the on-disk :mod:`repro.io.ensemble_cache` when ``cache_dir`` is
+   set on the group's configs).
+3. **Analyze** the group's studies with up to ``jobs`` workers.  Worker
+   processes receive the shared ensemble once (pool initializer), run
+   with their own observer, and ship metric snapshots back for merging;
+   anything unpicklable falls back to the serial path, which shares one
+   fragility memo per (ensemble, fragility) pair across studies.
+4. **Checkpoint** at study granularity: with ``sweep_dir`` set, each
+   finished study lands in a checksummed ``study-<hash>.json`` shard and
+   the sweep manifest is atomically rewritten, so ``resume=True`` skips
+   finished studies and reproduces an identical manifest (modulo the
+   ``telemetry`` section).
+
+Results are bit-identical to independent :func:`repro.run_study` calls
+per cell -- the engine changes scheduling and reuse, never the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.api import StudyConfig, study_config_hash
+from repro.core.outcomes import ScenarioMatrix
+from repro.core.pipeline import CompoundThreatAnalysis
+from repro.errors import ConfigurationError, SerializationError
+from repro.hazards.base import HazardEnsemble
+from repro.hazards.fragility import FragilityModel, ThresholdFragility
+from repro.hazards.hurricane.standard import shared_standard_generator
+from repro.io.atomic import atomic_write_text, quarantine_file
+from repro.io.results_io import matrix_from_dict, matrix_to_dict
+from repro.obs.manifest import write_json_artifact
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NullObservability,
+    Observability,
+    activate,
+)
+from repro.runtime.checkpoint import sha256_of
+from repro.runtime.controller import RetryPolicy
+from repro.sweep.result import StudyCell, SweepResult
+
+SWEEP_MANIFEST_SCHEMA_VERSION = 1
+SWEEP_MANIFEST_FILENAME = "sweep_manifest.json"
+
+
+def sweep_study_hash(config: StudyConfig) -> str:
+    """The resume identity of one study: config hash over its data key."""
+    return study_config_hash(config, ensemble_key=config.cache_key())
+
+
+# ----------------------------------------------------------------------
+# The sweep checkpoint store (sharded results + checksummed manifest)
+# ----------------------------------------------------------------------
+class SweepStore:
+    """Study-granular, crash-consistent sweep progress under ``sweep_dir``.
+
+    The layout follows :mod:`repro.runtime.checkpoint`: one
+    ``study-<hash>.json`` shard per finished study plus a
+    ``sweep_manifest.json`` listing each shard's sha256, every file
+    written atomically (tmp sibling + rename) and the manifest rewritten
+    after each shard, so a sweep killed at any instant leaves a
+    consistent prefix.  On resume every shard is re-verified -- checksum,
+    embedded study hash, matrix decode -- and failures are quarantined
+    (``<name>.corrupt``) so only those studies re-run.  Shard bytes are
+    a pure function of the study identity and its matrix (no timestamps),
+    which is what makes a resumed sweep's manifest bit-identical to an
+    uninterrupted one outside the ``telemetry`` section.
+    """
+
+    def __init__(self, sweep_dir: str | Path) -> None:
+        self.dir = Path(sweep_dir)
+        #: study hash -> {"file", "sha256", "cache_key"} for recorded shards.
+        self.entries: dict[str, dict] = {}
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.dir / SWEEP_MANIFEST_FILENAME
+
+    def shard_path(self, study_hash: str) -> Path:
+        return self.dir / f"study-{study_hash}.json"
+
+    def record(self, cell: StudyCell) -> None:
+        """Persist one finished study shard (deterministic bytes)."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": SWEEP_MANIFEST_SCHEMA_VERSION,
+            "kind": "repro.sweep_study",
+            "study_hash": cell.study_hash,
+            "cache_key": cell.cache_key,
+            "summary": cell.summary(),
+            "matrix": matrix_to_dict(cell.matrix),
+        }
+        path = self.shard_path(cell.study_hash)
+        atomic_write_text(path, json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        self.entries[cell.study_hash] = {
+            "file": path.name,
+            "sha256": sha256_of(path),
+            "cache_key": cell.cache_key,
+        }
+
+    def write_manifest(self, manifest: dict) -> None:
+        self.dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self.manifest_path, json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+        )
+
+    def load(self, wanted: frozenset[str]) -> dict[str, ScenarioMatrix]:
+        """Recover the verified finished studies among ``wanted`` hashes.
+
+        Shards for studies outside this sweep are left untouched (the
+        directory may be shared by overlapping grids).
+        """
+        loaded: dict[str, ScenarioMatrix] = {}
+        if not self.manifest_path.exists():
+            return loaded
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+            entries = manifest["studies"]
+            ok = (
+                manifest["schema_version"] == SWEEP_MANIFEST_SCHEMA_VERSION
+                and manifest["kind"] == "repro.sweep_manifest"
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, OSError) as exc:
+            quarantine_file(self.manifest_path, f"unreadable sweep manifest: {exc}")
+            return loaded
+        if not ok:
+            quarantine_file(self.manifest_path, "manifest is not a sweep manifest")
+            return loaded
+        for study_hash, entry in sorted(entries.items()):
+            if study_hash not in wanted or not entry.get("file"):
+                continue
+            path = self.dir / str(entry["file"])
+            try:
+                loaded[study_hash] = self._load_shard(study_hash, entry, path)
+            except SerializationError as exc:
+                if path.exists():
+                    quarantine_file(path, str(exc))
+                continue
+            self.entries[study_hash] = {
+                "file": path.name,
+                "sha256": entry["sha256"],
+                "cache_key": entry.get("cache_key"),
+            }
+        return loaded
+
+    def _load_shard(self, study_hash: str, entry: dict, path: Path) -> ScenarioMatrix:
+        if not path.exists():
+            raise SerializationError(f"study shard {path.name} missing")
+        if sha256_of(path) != entry.get("sha256"):
+            raise SerializationError("study shard checksum mismatch")
+        try:
+            payload = json.loads(path.read_text())
+            if payload["study_hash"] != study_hash:
+                raise SerializationError(
+                    "study shard hash does not match its manifest entry"
+                )
+            return matrix_from_dict(payload["matrix"])
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise SerializationError(f"undecodable study shard: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Per-study analysis (serial and pooled paths)
+# ----------------------------------------------------------------------
+def _fragility_token(fragility: FragilityModel | None):
+    """A dict key identifying a fragility model for memo sharing."""
+    model = fragility if fragility is not None else ThresholdFragility()
+    try:
+        hash(model)
+    except TypeError:
+        return id(model)
+    return model
+
+
+def _analyze(
+    ensemble: HazardEnsemble, config: StudyConfig, caches: dict
+) -> ScenarioMatrix:
+    """One study's matrix over a shared ensemble.
+
+    ``caches`` maps fragility tokens to failed-asset memos shared across
+    the group's studies (sound because the ensemble is shared and the
+    pipeline only reads the memo for deterministic models).
+    """
+    analysis = CompoundThreatAnalysis(
+        ensemble,
+        fragility=config.fragility,
+        attacker=config.attacker,
+        seed=config.analysis_seed,
+        failed_cache=caches.setdefault(_fragility_token(config.fragility), {}),
+    )
+    return analysis.run_matrix(
+        config.resolve_configurations(),
+        config.resolve_placement(),
+        config.resolve_scenarios(),
+    )
+
+
+_worker_ensemble: HazardEnsemble | None = None
+_worker_caches: dict = {}
+
+
+def _pool_init(ensemble: HazardEnsemble) -> None:
+    """Install the group's shared ensemble in a worker process, once."""
+    global _worker_ensemble
+    _worker_ensemble = ensemble
+    _worker_caches.clear()
+
+
+def _pool_run(config: StudyConfig) -> tuple[dict, dict]:
+    """Run one study in a worker; return (matrix dict, metric snapshot)."""
+    obs = Observability()
+    with activate(obs):
+        matrix = _analyze(_worker_ensemble, config, _worker_caches)
+    return matrix_to_dict(matrix), obs.metrics.snapshot()
+
+
+def _picklable(*objects) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _iter_group_results(
+    ensemble: HazardEnsemble,
+    pending: Sequence[StudyConfig],
+    jobs: int,
+    obs: Observability | NullObservability,
+) -> Iterator[tuple[int, ScenarioMatrix]]:
+    """Yield ``(position, matrix)`` per pending study as each finishes."""
+    if jobs > 1 and len(pending) > 1:
+        # Workers receive the config without its data objects: the
+        # ensemble ships once via the pool initializer and a generator
+        # (with its mesh) never needs to cross the process boundary.
+        stripped = [c.replace(ensemble=None, generator=None) for c in pending]
+        if _picklable(ensemble, *stripped):
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                initializer=_pool_init,
+                initargs=(ensemble,),
+            ) as pool:
+                futures = {
+                    pool.submit(_pool_run, config): pos
+                    for pos, config in enumerate(stripped)
+                }
+                for future in as_completed(futures):
+                    payload, snapshot = future.result()
+                    obs.merge_snapshot(snapshot)
+                    yield futures[future], matrix_from_dict(payload)
+            return
+        obs.event("sweep.parallel_fallback", reason="unpicklable study inputs")
+    caches: dict = {}
+    for pos, config in enumerate(pending):
+        yield pos, _analyze(ensemble, config, caches)
+
+
+def _acquire_group_ensemble(
+    config: StudyConfig, obs: Observability | NullObservability
+) -> HazardEnsemble:
+    """One group's hazard data, generated/loaded exactly once per sweep."""
+    if config.ensemble is not None:
+        obs.inc("sweep.ensemble.prebuilt")
+        return config.ensemble
+    generator = config.generator or shared_standard_generator()
+    retry = RetryPolicy.from_options(config.max_retries, config.task_timeout)
+    with obs.span(
+        "sweep.ensemble.acquire",
+        count=config.n_realizations,
+        seed=config.seed,
+    ):
+        ensemble = generator.generate(
+            count=config.n_realizations,
+            seed=config.seed,
+            n_jobs=config.jobs,
+            cache_dir=config.cache_dir,
+            # Ensemble-level resume needs a cache_dir; sweep-level resume
+            # (finished-study shards) works without one.
+            resume=config.resume and config.cache_dir is not None,
+            retry=retry,
+        )
+    obs.inc("sweep.ensemble.generated")
+    return ensemble
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def _build_manifest(
+    *,
+    hashes: Sequence[str],
+    cache_keys: Sequence[str],
+    groups: dict[str, list[int]],
+    store: SweepStore | None,
+    telemetry: dict | None,
+) -> dict:
+    studies: dict[str, dict] = {}
+    for study_hash, cache_key in zip(hashes, cache_keys):
+        entry = {"cache_key": cache_key}
+        if store is not None and study_hash in store.entries:
+            recorded = store.entries[study_hash]
+            entry["file"] = recorded["file"]
+            entry["sha256"] = recorded["sha256"]
+        studies[study_hash] = entry
+    manifest = {
+        "schema_version": SWEEP_MANIFEST_SCHEMA_VERSION,
+        "kind": "repro.sweep_manifest",
+        "n_studies": len(hashes),
+        "n_groups": len(groups),
+        "groups": {
+            key: [hashes[i] for i in indices] for key, indices in groups.items()
+        },
+        "studies": studies,
+    }
+    if telemetry is not None:
+        # Wall-clock and metric data vary run to run; everything above
+        # this key is deterministic for a given grid (resume-identical).
+        manifest["telemetry"] = telemetry
+    return manifest
+
+
+def run_sweep(
+    configs: Sequence[StudyConfig],
+    *,
+    jobs: int = 1,
+    sweep_dir: str | Path | None = None,
+    resume: bool = False,
+    manifest_out: str | Path | None = None,
+    observability: bool = True,
+    obs: Observability | NullObservability | None = None,
+) -> SweepResult:
+    """Run a batch of studies with shared-ensemble dedup; see module docs.
+
+    ``jobs`` bounds the per-study analysis workers (ensemble generation
+    has its own ``StudyConfig.jobs``).  ``sweep_dir`` enables
+    study-granular checkpointing; ``resume=True`` (requires
+    ``sweep_dir``) loads the verified finished studies and runs only the
+    rest.  ``manifest_out`` writes the sweep manifest to an extra path
+    alongside the one in ``sweep_dir``.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ConfigurationError("sweep needs at least one study config")
+    if jobs < 1:
+        raise ConfigurationError("sweep jobs must be at least 1")
+    if resume and sweep_dir is None:
+        raise ConfigurationError("sweep resume requires a sweep_dir")
+    if obs is None:
+        obs = Observability() if observability else NULL_OBSERVER
+    start = time.perf_counter()
+    with activate(obs):
+        with obs.span("run_sweep", studies=len(configs)):
+            cache_keys = [config.cache_key() for config in configs]
+            hashes = [
+                study_config_hash(config, ensemble_key=key)
+                for config, key in zip(configs, cache_keys)
+            ]
+            seen: dict[str, int] = {}
+            for i, study_hash in enumerate(hashes):
+                if study_hash in seen:
+                    raise ConfigurationError(
+                        f"duplicate study in sweep grid: positions "
+                        f"{seen[study_hash]} and {i} share identity "
+                        f"{study_hash}"
+                    )
+                seen[study_hash] = i
+            groups: dict[str, list[int]] = {}
+            for i, key in enumerate(cache_keys):
+                groups.setdefault(key, []).append(i)
+            obs.set_gauge("sweep.studies", len(configs))
+            obs.set_gauge("sweep.ensemble_groups", len(groups))
+
+            store = SweepStore(sweep_dir) if sweep_dir is not None else None
+            done: dict[str, ScenarioMatrix] = {}
+            if store is not None and resume:
+                with obs.span("sweep.resume_load"):
+                    done = store.load(frozenset(hashes))
+                if done:
+                    obs.inc("sweep.studies_resumed", len(done))
+
+            matrices: dict[int, ScenarioMatrix] = {}
+            resumed_indices: set[int] = set()
+            for key, indices in groups.items():
+                pending: list[int] = []
+                for i in indices:
+                    if hashes[i] in done:
+                        matrices[i] = done[hashes[i]]
+                        resumed_indices.add(i)
+                    else:
+                        pending.append(i)
+                if not pending:
+                    continue
+                ensemble = _acquire_group_ensemble(configs[pending[0]], obs)
+                if len(pending) > 1:
+                    obs.inc("sweep.ensemble.reused", len(pending) - 1)
+                pending_configs = [configs[i] for i in pending]
+                for pos, matrix in _iter_group_results(
+                    ensemble, pending_configs, jobs, obs
+                ):
+                    i = pending[pos]
+                    matrices[i] = matrix
+                    obs.inc("sweep.studies_completed")
+                    if store is not None:
+                        store.record(
+                            StudyCell(
+                                config=configs[i],
+                                study_hash=hashes[i],
+                                cache_key=key,
+                                matrix=matrix,
+                            )
+                        )
+                        store.write_manifest(
+                            _build_manifest(
+                                hashes=hashes,
+                                cache_keys=cache_keys,
+                                groups=groups,
+                                store=store,
+                                telemetry=None,
+                            )
+                        )
+    wall_clock_s = time.perf_counter() - start
+    telemetry = {
+        "wall_clock_s": round(wall_clock_s, 6),
+        "metrics": obs.metrics.snapshot() if obs.enabled else {},
+    }
+    manifest = _build_manifest(
+        hashes=hashes,
+        cache_keys=cache_keys,
+        groups=groups,
+        store=store,
+        telemetry=telemetry,
+    )
+    if store is not None:
+        store.write_manifest(manifest)
+    if manifest_out is not None:
+        write_json_artifact(manifest_out, manifest, "sweep manifest")
+    cells = tuple(
+        StudyCell(
+            config=configs[i],
+            study_hash=hashes[i],
+            cache_key=cache_keys[i],
+            matrix=matrices[i],
+            resumed=i in resumed_indices,
+        )
+        for i in range(len(configs))
+    )
+    return SweepResult(cells=cells, manifest=manifest, observability=obs)

@@ -1,0 +1,275 @@
+"""What a sweep produced: per-study cells plus cross-study comparisons.
+
+:class:`SweepResult` is to :func:`repro.sweep.run_sweep` what
+:class:`~repro.api.StudyResult` is to :func:`repro.run_study`: the
+supported result surface.  Beyond per-study matrices it answers the
+question sweeps exist for -- *what changed across an axis* -- via
+:meth:`SweepResult.compare`, e.g. the paper's Waiau-vs-Kahe siting
+variant where red outcomes convert to orange/green when the backup
+control center moves out of the shared flood basin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.api import StudyConfig, _model_identity
+from repro.core.outcomes import ScenarioMatrix
+from repro.core.report import format_matrix_report
+from repro.core.states import STATE_ORDER
+from repro.errors import ConfigurationError
+from repro.io.atomic import atomic_write_text
+
+SWEEP_RESULT_SCHEMA_VERSION = 1
+
+#: Axes :meth:`SweepResult.compare` accepts (cell summary keys).
+COMPARISON_AXES = (
+    "placement",
+    "hazard_scenario",
+    "fragility",
+    "attacker",
+    "n_realizations",
+    "seed",
+    "analysis_seed",
+)
+
+
+def cell_summary(config: StudyConfig) -> dict:
+    """The JSON-friendly identity of one study (names, never objects)."""
+    if config.ensemble is not None:
+        hazard = getattr(config.ensemble, "scenario_name", "prebuilt")
+    elif config.generator is not None:
+        hazard = config.generator.scenario.name
+    else:
+        from repro.hazards.hurricane.standard import shared_standard_generator
+
+        hazard = shared_standard_generator().scenario.name
+    return {
+        "configurations": [a.name for a in config.resolve_configurations()],
+        "scenarios": [s.name for s in config.resolve_scenarios()],
+        "placement": config.resolve_placement().label(),
+        "hazard_scenario": hazard,
+        "n_realizations": config.n_realizations,
+        "seed": config.seed,
+        "analysis_seed": config.analysis_seed,
+        "fragility": _model_identity(config.fragility),
+        "attacker": _model_identity(config.attacker),
+    }
+
+
+@dataclass(frozen=True)
+class StudyCell:
+    """One study of a sweep: its config, identity hashes, and matrix."""
+
+    config: StudyConfig
+    study_hash: str
+    cache_key: str
+    matrix: ScenarioMatrix
+    resumed: bool = False
+
+    def summary(self) -> dict:
+        return cell_summary(self.config)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One (scenario, architecture) outcome delta across an axis step."""
+
+    baseline: str
+    value: str
+    scenario: str
+    architecture: str
+    #: state name -> probability delta (other minus baseline).
+    deltas: dict
+
+    def is_null(self, tolerance: float = 1e-12) -> bool:
+        return all(abs(d) <= tolerance for d in self.deltas.values())
+
+
+@dataclass(frozen=True)
+class AxisComparison:
+    """Outcome deltas between studies that differ only in one axis."""
+
+    axis: str
+    rows: tuple[ComparisonRow, ...]
+
+    def format(self) -> str:
+        lines = [f"Sweep comparison over {self.axis!r}"]
+        if not self.rows:
+            lines.append(
+                f"  (no study pairs differ only in {self.axis!r})"
+            )
+            return "\n".join(lines)
+        current = None
+        for row in self.rows:
+            pair = (row.baseline, row.value)
+            if pair != current:
+                current = pair
+                lines.append(f"  {row.baseline}  ->  {row.value}")
+            if row.is_null():
+                detail = "no change"
+            else:
+                detail = ", ".join(
+                    f"{state} {delta * 100:+.1f}pp"
+                    for state, delta in row.deltas.items()
+                    if abs(delta) > 1e-12
+                )
+            lines.append(
+                f"    {row.scenario} / {row.architecture}: {detail}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one :func:`repro.sweep.run_sweep` call produced."""
+
+    cells: tuple[StudyCell, ...]
+    manifest: dict
+    observability: object
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def get(self, **selector) -> list[StudyCell]:
+        """Cells whose summary matches every ``selector`` item."""
+        matched = []
+        for cell in self.cells:
+            summary = cell.summary()
+            for key in selector:
+                if key not in summary:
+                    raise ConfigurationError(
+                        f"unknown cell selector {key!r}; summary keys are "
+                        f"{sorted(summary)}"
+                    )
+            if all(summary[k] == v for k, v in selector.items()):
+                matched.append(cell)
+        return matched
+
+    # ------------------------------------------------------------------
+    # Reports and exports
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Per-study matrix tables with a sweep-level header."""
+        groups = self.manifest.get("groups", {})
+        lines = [
+            f"Sweep: {len(self.cells)} studies over "
+            f"{len(groups) or '?'} ensemble group(s)",
+            "=" * 60,
+        ]
+        for i, cell in enumerate(self.cells, 1):
+            summary = cell.summary()
+            lines.append("")
+            lines.append(
+                f"[{i}/{len(self.cells)}] "
+                f"{'+'.join(summary['configurations'])} | "
+                f"{'+'.join(summary['scenarios'])} | "
+                f"{summary['placement']} | "
+                f"hazard {summary['hazard_scenario']} "
+                f"({summary['n_realizations']} realizations, "
+                f"seed {summary['seed']})"
+            )
+            lines.append(format_matrix_report(cell.matrix))
+        return "\n".join(lines)
+
+    def to_table(self) -> list[dict]:
+        """Flat records: one row per (study, scenario, architecture)."""
+        rows = []
+        for cell in self.cells:
+            summary = cell.summary()
+            for row in cell.matrix.to_rows():
+                rows.append(
+                    {
+                        "study_hash": cell.study_hash,
+                        "hazard_scenario": summary["hazard_scenario"],
+                        "n_realizations": summary["n_realizations"],
+                        "seed": summary["seed"],
+                        "fragility": summary["fragility"],
+                        **row,
+                    }
+                )
+        return rows
+
+    def to_json(self) -> dict:
+        from repro.io.results_io import matrix_to_dict
+
+        return {
+            "schema_version": SWEEP_RESULT_SCHEMA_VERSION,
+            "kind": "repro.sweep_result",
+            "studies": [
+                {
+                    "study_hash": cell.study_hash,
+                    "cache_key": cell.cache_key,
+                    "resumed": cell.resumed,
+                    "summary": cell.summary(),
+                    "matrix": matrix_to_dict(cell.matrix),
+                }
+                for cell in self.cells
+            ],
+        }
+
+    def save_json(self, path: str | Path) -> Path:
+        """Atomically write :meth:`to_json` to ``path``."""
+        target = Path(path)
+        atomic_write_text(target, json.dumps(self.to_json(), indent=2) + "\n")
+        return target
+
+    # ------------------------------------------------------------------
+    # Cross-study analysis
+    # ------------------------------------------------------------------
+    def compare(self, axis: str) -> AxisComparison:
+        """Outcome deltas across ``axis``, all else held equal.
+
+        Cells are grouped by their full summary minus ``axis``; within
+        each group the first cell (grid order) is the baseline and every
+        other cell contributes one :class:`ComparisonRow` per matrix
+        cell the two studies share.  ``compare("placement")`` on a
+        Waiau/Kahe grid reproduces the paper's siting finding directly.
+        """
+        if axis not in COMPARISON_AXES:
+            raise ConfigurationError(
+                f"unknown comparison axis {axis!r}; choose from "
+                f"{sorted(COMPARISON_AXES)}"
+            )
+        groups: dict[str, list[StudyCell]] = {}
+        for cell in self.cells:
+            summary = cell.summary()
+            key = json.dumps(
+                {k: v for k, v in summary.items() if k != axis},
+                sort_keys=True,
+                default=str,
+            )
+            groups.setdefault(key, []).append(cell)
+        rows: list[ComparisonRow] = []
+        for cells in groups.values():
+            if len(cells) < 2:
+                continue
+            base = cells[0]
+            base_label = str(base.summary()[axis])
+            for other in cells[1:]:
+                other_label = str(other.summary()[axis])
+                for scenario in base.matrix.scenario_names:
+                    if scenario not in other.matrix.scenario_names:
+                        continue
+                    base_profiles = base.matrix.scenario_profiles(scenario)
+                    other_profiles = other.matrix.scenario_profiles(scenario)
+                    for arch, base_profile in base_profiles.items():
+                        if arch not in other_profiles:
+                            continue
+                        deltas = {
+                            state.value: other_profiles[arch].probability(state)
+                            - base_profile.probability(state)
+                            for state in STATE_ORDER
+                        }
+                        rows.append(
+                            ComparisonRow(
+                                baseline=base_label,
+                                value=other_label,
+                                scenario=scenario,
+                                architecture=arch,
+                                deltas=deltas,
+                            )
+                        )
+        return AxisComparison(axis=axis, rows=tuple(rows))

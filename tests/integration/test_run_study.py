@@ -68,6 +68,38 @@ class TestStudyConfig:
         with pytest.raises(ConfigurationError, match="placement"):
             StudyConfig(placement="mars").resolve_placement()
 
+    def test_registry_typos_fail_at_construction(self):
+        """Bad names raise immediately, not at run time, and list options."""
+        with pytest.raises(ConfigurationError, match="2-2"):
+            StudyConfig(configurations=("2", "2+2"))
+        with pytest.raises(ConfigurationError, match="hurricane"):
+            StudyConfig(scenarios=("hurricane+flooding",))
+        with pytest.raises(ConfigurationError, match="waiau"):
+            StudyConfig(placement="mars")
+
+    def test_replace_returns_validated_copy(self):
+        config = StudyConfig(n_realizations=50)
+        other = config.replace(seed=7, placement="kahe")
+        assert other.seed == 7 and "Kahe" in other.resolve_placement().label()
+        assert config.seed != 7  # original untouched
+        with pytest.raises(ConfigurationError):
+            config.replace(configurations=("nope",))
+
+    def test_cache_key_covers_only_hazard_inputs(self):
+        config = StudyConfig(n_realizations=50)
+        assert config.cache_key() == config.replace(placement="kahe").cache_key()
+        assert config.cache_key() == config.replace(analysis_seed=9).cache_key()
+        assert config.cache_key() != config.replace(seed=1).cache_key()
+        assert config.cache_key() != config.replace(n_realizations=51).cache_key()
+
+    def test_cache_key_of_prebuilt_ensemble_is_content_keyed(
+        self, small_ensemble
+    ):
+        a = StudyConfig(ensemble=small_ensemble)
+        b = StudyConfig(ensemble=small_ensemble, placement="kahe")
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key().startswith("prebuilt-")
+
 
 class TestBitIdenticalToLegacyPath:
     def test_seed_goldens_reproduce(self, golden_result):
@@ -170,6 +202,25 @@ class TestManifestTelemetry:
         assert counters["runtime.realizations_completed"] == 50
         hist = result.manifest["metrics"]["histograms"]["runtime.realization_s"]
         assert hist["count"] == 50
+
+    def test_prebuilt_ensemble_has_no_acquire_stage(self, small_ensemble):
+        """A user-supplied ensemble skips the generation stage entirely --
+        no zero-duration `ensemble.acquire` entry pads the manifest."""
+        result = run_study(
+            StudyConfig(
+                ensemble=small_ensemble,
+                configurations=("2",),
+                scenarios=("hurricane",),
+            )
+        )
+        assert "ensemble.acquire" not in result.manifest["stages"]
+        assert "ensemble.generate" not in result.manifest["stages"]
+        generated = run_study(
+            StudyConfig(
+                configurations=("2",), scenarios=("hurricane",), n_realizations=20
+            )
+        )
+        assert "ensemble.acquire" in generated.manifest["stages"]
 
     def test_cache_counters_roundtrip(self, tmp_path):
         config = StudyConfig(

@@ -1,0 +1,49 @@
+"""Property-style tests for RetryPolicy backoff and its option builder."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.controller import RetryPolicy
+
+policies = st.builds(
+    RetryPolicy,
+    backoff_base_s=st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    backoff_cap_s=st.floats(min_value=0.0, max_value=600.0, allow_nan=False),
+)
+attempts = st.integers(min_value=0, max_value=64)
+
+
+@settings(max_examples=200)
+@given(policy=policies, attempt=attempts)
+def test_backoff_never_exceeds_cap(policy, attempt):
+    assert policy.backoff_s(attempt) <= policy.backoff_cap_s
+
+
+@settings(max_examples=200)
+@given(policy=policies, attempt=attempts)
+def test_backoff_is_monotone_in_attempt(policy, attempt):
+    assert policy.backoff_s(attempt) <= policy.backoff_s(attempt + 1)
+
+
+@settings(max_examples=200)
+@given(policy=policies, attempt=attempts)
+def test_backoff_is_nonnegative(policy, attempt):
+    assert policy.backoff_s(attempt) >= 0.0
+
+
+@given(
+    max_retries=st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+    task_timeout=st.one_of(st.none(), st.floats(min_value=0.1, max_value=1e4)),
+)
+def test_from_options_only_builds_when_asked(max_retries, task_timeout):
+    policy = RetryPolicy.from_options(max_retries, task_timeout)
+    if max_retries is None and task_timeout is None:
+        assert policy is None
+    else:
+        assert isinstance(policy, RetryPolicy)
+        if max_retries is not None:
+            assert policy.max_retries == max_retries
+        if task_timeout is not None:
+            assert policy.task_timeout_s == task_timeout

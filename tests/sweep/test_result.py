@@ -1,0 +1,81 @@
+"""SweepResult: selection, reports, exports, axis comparisons."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import StudyConfig
+from repro.errors import ConfigurationError
+from repro.sweep import run_sweep, sweep_grid
+
+
+@pytest.fixture(scope="module")
+def placement_sweep():
+    grid = sweep_grid(
+        StudyConfig(n_realizations=60),
+        configurations=["2", "2-2"],
+        scenarios=["hurricane"],
+        placement=["waiau", "kahe"],
+    )
+    return run_sweep(grid)
+
+
+def test_len_and_get(placement_sweep):
+    assert len(placement_sweep) == 4
+    cells = placement_sweep.get(configurations=["2"])
+    assert len(cells) == 2
+    assert all(c.summary()["configurations"] == ["2"] for c in cells)
+    assert placement_sweep.get(configurations=["nope"]) == []
+
+
+def test_get_unknown_selector(placement_sweep):
+    with pytest.raises(ConfigurationError, match="unknown cell selector"):
+        placement_sweep.get(architecture="2")
+
+
+def test_report_covers_every_cell(placement_sweep):
+    report = placement_sweep.report()
+    assert "4 studies" in report
+    assert report.count("Scenario: hurricane") == 4
+    assert "Kahe Control Center" in report
+
+
+def test_to_table_is_flat_and_complete(placement_sweep):
+    rows = placement_sweep.to_table()
+    assert len(rows) == 4  # one (study, scenario, architecture) row each
+    for row in rows:
+        assert {"study_hash", "scenario", "architecture", "green", "red"} <= set(row)
+    assert abs(sum(rows[0][s] for s in ("green", "orange", "red", "gray")) - 1) < 1e-9
+
+
+def test_json_round_trip(placement_sweep, tmp_path):
+    path = placement_sweep.save_json(tmp_path / "sweep.json")
+    payload = json.loads(path.read_text())
+    assert payload["kind"] == "repro.sweep_result"
+    assert len(payload["studies"]) == 4
+    hashes = {s["study_hash"] for s in payload["studies"]}
+    assert hashes == {c.study_hash for c in placement_sweep.cells}
+
+
+def test_compare_placement_pairs_all_else_equal(placement_sweep):
+    comparison = placement_sweep.compare("placement")
+    # 2 architectures x 1 scenario, waiau as grid-order baseline.
+    assert len(comparison.rows) == 2
+    for row in comparison.rows:
+        assert "Waiau" in row.baseline and "Kahe" in row.value
+        assert abs(sum(row.deltas.values())) < 1e-9  # probabilities shift, not leak
+    text = comparison.format()
+    assert "Sweep comparison over 'placement'" in text
+
+
+def test_compare_unknown_axis(placement_sweep):
+    with pytest.raises(ConfigurationError, match="comparison axis"):
+        placement_sweep.compare("placements")
+
+
+def test_compare_axis_with_no_pairs(placement_sweep):
+    comparison = placement_sweep.compare("seed")
+    assert comparison.rows == ()
+    assert "no study pairs" in comparison.format()
