@@ -16,7 +16,12 @@ It also *guards the observability layer's disabled cost*: the full
 timed against a raw ``realize()`` loop with no supervision or telemetry
 at all, and the script fails if the overhead exceeds ``--max-overhead``
 (3% by default).  An enabled-observer run is timed alongside for
-comparison.  Run from the repo root::
+comparison.
+
+It likewise guards the *threat-chain executor*: the analysis loop that
+now dispatches through ``ThreatChain.run_state`` is timed against the
+hardcoded pre-refactor three-step body, failing past
+``--max-chain-overhead`` (3% by default).  Run from the repo root::
 
     PYTHONPATH=src python scripts/bench_ensemble.py [--count 1000] [--output BENCH_ensemble.json]
 """
@@ -96,6 +101,65 @@ def measure_observer_overhead(
     }
 
 
+def measure_chain_overhead(ensemble, repeats: int = 5) -> dict:
+    """The chain executor's cost relative to the pre-refactor loop.
+
+    ``CompoundThreatAnalysis.run`` now dispatches each realization
+    through the configured :class:`ThreatChain`; the baseline below is
+    the historical hardcoded three-step body (fragility -> attack ->
+    classify) inlined with the same memoized failed-asset lookup, so the
+    delta is purely the executor's dispatch.  Interleaved best-of
+    rounds, as in :func:`measure_observer_overhead`.
+    """
+    import numpy as np
+
+    from repro.core.evaluator import evaluate
+    from repro.core.outcomes import OperationalProfile
+    from repro.core.pipeline import CompoundThreatAnalysis
+    from repro.core.system_state import initial_state
+    from repro.core.threat import PAPER_SCENARIOS
+    from repro.scada.architectures import get_architecture
+    from repro.scada.placement import PLACEMENT_WAIAU
+
+    analysis = CompoundThreatAnalysis(ensemble)
+    architecture = get_architecture("6+6+6")
+    scenario = PAPER_SCENARIOS[-1]
+    attacker = analysis.attacker
+
+    def timed_hardcoded() -> float:
+        start = time.perf_counter()
+        rng = np.random.default_rng(analysis._seed)
+        states = []
+        for realization in ensemble:
+            failed = analysis._failed_assets(realization, rng)
+            state = initial_state(architecture, PLACEMENT_WAIAU, failed)
+            state = attacker.attack(state, scenario.budget, rng)
+            states.append(evaluate(state))
+        OperationalProfile.from_states(states)
+        return time.perf_counter() - start
+
+    def timed_chained() -> float:
+        start = time.perf_counter()
+        analysis.run(architecture, PLACEMENT_WAIAU, scenario)
+        return time.perf_counter() - start
+
+    variants = (timed_hardcoded, timed_chained)
+    for fn in variants:  # warm-up (also fills the failed-asset memo)
+        fn()
+    best = [math.inf] * len(variants)
+    for _ in range(repeats):
+        for i, fn in enumerate(variants):
+            best[i] = min(best[i], fn())
+    hardcoded_s, chained_s = best
+    return {
+        "count": len(ensemble),
+        "repeats": repeats,
+        "hardcoded_seconds": round(hardcoded_s, 4),
+        "chained_seconds": round(chained_s, 4),
+        "chain_overhead_frac": round(chained_s / hardcoded_s - 1.0, 4),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--count", type=int, default=1000)
@@ -113,6 +177,13 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="realizations for the overhead check (default: --count)",
+    )
+    parser.add_argument(
+        "--max-chain-overhead",
+        type=float,
+        default=0.03,
+        help="fail if the chain executor is more than this fraction slower "
+        "than the hardcoded pre-refactor analysis loop",
     )
     args = parser.parse_args(argv)
 
@@ -142,6 +213,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     observability["max_overhead_frac"] = args.max_overhead
 
+    print(
+        f"measuring threat-chain executor overhead over {args.count} "
+        f"realizations (budget: {args.max_chain_overhead:.0%}) ..."
+    )
+    chain = measure_chain_overhead(vec_ensemble)
+    chain["max_chain_overhead_frac"] = args.max_chain_overhead
+
     report = {
         "count": args.count,
         "seed": args.seed,
@@ -161,6 +239,7 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": round(ref_s / vec_s, 2),
         "bitwise_identical": identical,
         "observability": observability,
+        "threat_chain": chain,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -170,6 +249,12 @@ def main(argv: list[str] | None = None) -> int:
             f"disabled-observer overhead "
             f"{observability['disabled_overhead_frac']:.1%} exceeds the "
             f"{args.max_overhead:.0%} budget"
+        )
+    if chain["chain_overhead_frac"] > args.max_chain_overhead:
+        raise SystemExit(
+            f"threat-chain executor overhead "
+            f"{chain['chain_overhead_frac']:.1%} exceeds the "
+            f"{args.max_chain_overhead:.0%} budget"
         )
     return 0
 

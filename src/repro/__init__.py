@@ -27,25 +27,40 @@ remain exported for piecewise use; see ``docs/api_guide.md`` for the
 migration table.
 """
 
-from repro.api import StudyConfig, StudyResult, run_study
+from repro.api import (
+    StudyConfig,
+    StudyResult,
+    TimelineStudyResult,
+    run_study,
+    run_timeline,
+)
 from repro.sweep import StudyCell, SweepResult, run_sweep, sweep_grid
 
 from repro.core import (
     PAPER_SCENARIOS,
+    ClassificationStage,
     CompoundThreatAnalysis,
     CyberAttackBudget,
+    CyberAttackStage,
     ExhaustiveAttacker,
+    HazardImpactStage,
+    InterdependencyStage,
     OperationalProfile,
     OperationalState,
     ProbabilisticAttacker,
     ScenarioMatrix,
+    Stage,
     SystemState,
+    ThreatChain,
     ThreatScenario,
     WorstCaseAttacker,
+    available_chains,
     evaluate,
     format_matrix_report,
+    get_chain,
     get_scenario,
     initial_state,
+    register_chain,
 )
 from repro.geo import oahu_case_study
 from repro.hazards import LogisticFragility, ThresholdFragility
@@ -66,7 +81,7 @@ from repro.scada import (
     get_architecture,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -74,6 +89,18 @@ __all__ = [
     "StudyConfig",
     "StudyResult",
     "run_study",
+    "run_timeline",
+    "TimelineStudyResult",
+    # threat chains (see docs/architecture.md)
+    "Stage",
+    "ThreatChain",
+    "HazardImpactStage",
+    "InterdependencyStage",
+    "CyberAttackStage",
+    "ClassificationStage",
+    "get_chain",
+    "register_chain",
+    "available_chains",
     # batch sweeps (see docs/api_guide.md, "Sweeps")
     "run_sweep",
     "sweep_grid",

@@ -31,6 +31,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.chain import ThreatChain
+from repro.core.chain import resolve_chain as _resolve_chain
 from repro.core.outcomes import ScenarioMatrix
 from repro.core.pipeline import Attacker, CompoundThreatAnalysis
 from repro.core.report import format_matrix_report
@@ -93,6 +95,10 @@ class StudyConfig:
     fragility: FragilityModel | None = None
     attacker: Attacker | None = None
     analysis_seed: int = 0
+    # The threat chain each realization runs through: a registered name
+    # ("paper", "grid-coupled", "earthquake", ...), a ThreatChain object,
+    # or None for the paper's exact Fig. 5 pipeline.
+    chain: ThreatChain | str | None = None
     # How the ensemble arrives (never changes its bits).
     jobs: int = 1
     cache_dir: str | None = None
@@ -120,6 +126,7 @@ class StudyConfig:
         self.resolve_configurations()
         self.resolve_placement()
         self.resolve_scenarios()
+        self.resolve_chain()
 
     # ------------------------------------------------------------------
     # Normalization (names -> library objects)
@@ -146,6 +153,9 @@ class StudyConfig:
             get_scenario(s) if isinstance(s, str) else s for s in self.scenarios
         ]
 
+    def resolve_chain(self) -> ThreatChain:
+        return _resolve_chain(self.chain)
+
     # ------------------------------------------------------------------
     # Supported derivation API (the sweep engine builds on these)
     # ------------------------------------------------------------------
@@ -167,9 +177,13 @@ class StudyConfig:
         and physics, ``n_realizations``, ``seed``, or a prebuilt
         ``ensemble``'s contents) enter the hash; analysis-side fields
         (architectures, scenarios, placement, fragility, attacker,
-        ``analysis_seed``) and delivery knobs (``jobs``, ``cache_dir``,
-        telemetry) never do.  The sweep engine partitions its grid by
-        this key so every group generates its ensemble exactly once.
+        ``chain``, ``analysis_seed``) and delivery knobs (``jobs``,
+        ``cache_dir``, telemetry) never do.  The sweep engine partitions
+        its grid by this key so every group generates its ensemble
+        exactly once -- which is why the chain stays out: two studies
+        differing only in chain consume the same hazard bits (the chain
+        enters :func:`study_config_hash` instead, so they are still
+        distinct studies).
         """
         if self.ensemble is not None:
             return _prebuilt_ensemble_key(self.ensemble)
@@ -254,6 +268,7 @@ def study_config_hash(
         "analysis_seed": config.analysis_seed,
         "fragility": _model_identity(config.fragility),
         "attacker": _model_identity(config.attacker),
+        "chain": config.resolve_chain().spec(),
         "ensemble_key": ensemble_key,
     }
     canonical = json.dumps(payload, sort_keys=True)
@@ -303,6 +318,7 @@ def run_study(
             architectures = config.resolve_configurations()
             placement = config.resolve_placement()
             scenarios = config.resolve_scenarios()
+            chain = config.resolve_chain()
             if config.ensemble is not None:
                 # A prebuilt ensemble involves no generation work, so no
                 # generation-stage span is recorded: run_report() shows
@@ -317,6 +333,7 @@ def run_study(
                 fragility=config.fragility,
                 attacker=config.attacker,
                 seed=config.analysis_seed,
+                chain=chain,
             )
             matrix = analysis.run_matrix(architectures, placement, scenarios)
     wall_clock_s = time.perf_counter() - start
@@ -327,6 +344,7 @@ def run_study(
         configurations=[a.name for a in architectures],
         scenarios=[s.name for s in scenarios],
         placement=placement.label(),
+        chain=chain.spec(),
         obs=obs,
         wall_clock_s=wall_clock_s,
     )
@@ -341,6 +359,132 @@ def run_study(
     return StudyResult(
         config=config,
         matrix=matrix,
+        manifest=manifest,
+        ensemble=ensemble,
+        observability=obs,
+    )
+
+
+@dataclass(frozen=True)
+class TimelineStudyResult:
+    """What one :func:`run_timeline` call produced."""
+
+    config: StudyConfig
+    params: "TimelineParams"
+    distributions: dict
+    manifest: dict
+    ensemble: HazardEnsemble
+    observability: Observability | NullObservability
+
+    def report(self) -> str:
+        """Downtime tables per scenario (mean / median / p95 / unsafe)."""
+        lines = []
+        scenarios = {s for s, _ in self.distributions}
+        for scenario in sorted(scenarios):
+            lines.append(
+                f"Downtime per compound event ({scenario}, "
+                f"{len(self.ensemble)} realizations):"
+            )
+            lines.append(
+                f"{'configuration':15s} {'mean':>9s} {'median':>9s} "
+                f"{'p95':>9s} {'unsafe':>9s}"
+            )
+            for (s, arch), dist in self.distributions.items():
+                if s != scenario:
+                    continue
+                lines.append(
+                    f"{arch:15s} {dist.mean_unavailable_h:8.1f}h "
+                    f"{dist.quantile_unavailable_h(0.5):8.1f}h "
+                    f"{dist.quantile_unavailable_h(0.95):8.1f}h "
+                    f"{dist.mean_unsafe_h:8.1f}h"
+                )
+        return "\n".join(lines)
+
+    def run_report(self) -> str:
+        return format_run_report(self.manifest)
+
+
+def run_timeline(
+    config: StudyConfig | None = None,
+    *,
+    params: "TimelineParams | None" = None,
+    obs: Observability | NullObservability | None = None,
+) -> TimelineStudyResult:
+    """Roll each realization out in time: the temporal view of a study.
+
+    The spatial study (:func:`run_study`) answers *how bad*; this facade
+    answers *for how long*, simulating the compound event's unfolding
+    (disaster impact -> attack onset -> isolation window -> staged
+    repairs) per realization and aggregating downtime distributions per
+    (scenario, architecture) cell.  It shares the study configuration
+    surface: ensemble acquisition (``jobs``/``cache_dir``/``resume``),
+    fragility/attacker models, ``analysis_seed`` (seeds the rollout's
+    repair/cleanup sampling), and the manifest/metrics/trace artifacts.
+    """
+    from repro.core.timeline import CompoundEventTimeline, TimelineParams
+
+    config = config or StudyConfig()
+    params = params or TimelineParams()
+    if obs is None:
+        obs = Observability() if config.observability else NULL_OBSERVER
+    start = time.perf_counter()
+    with activate(obs):
+        with obs.span("run_timeline"):
+            architectures = config.resolve_configurations()
+            placement = config.resolve_placement()
+            scenarios = config.resolve_scenarios()
+            if config.ensemble is not None:
+                ensemble, ensemble_key = _acquire_ensemble(config)
+            else:
+                with obs.span("ensemble.acquire"):
+                    ensemble, ensemble_key = _acquire_ensemble(config)
+            timeline = CompoundEventTimeline(
+                params,
+                fragility=config.fragility,
+                attacker=config.attacker,
+            )
+            distributions: dict = {}
+            rollout_s = 0.0
+            for scenario in scenarios:
+                for architecture in architectures:
+                    t0 = time.perf_counter()
+                    distributions[(scenario.name, architecture.name)] = (
+                        timeline.downtime_distribution(
+                            architecture,
+                            placement,
+                            ensemble,
+                            scenario,
+                            seed=config.analysis_seed,
+                        )
+                    )
+                    rollout_s += time.perf_counter() - t0
+            obs.record_span(
+                "timeline.rollout", rollout_s, cells=len(distributions)
+            )
+    wall_clock_s = time.perf_counter() - start
+    manifest = build_run_manifest(
+        config_hash=study_config_hash(config, ensemble_key=ensemble_key),
+        seed=config.seed,
+        n_realizations=len(ensemble),
+        configurations=[a.name for a in architectures],
+        scenarios=[s.name for s in scenarios],
+        placement=placement.label(),
+        chain=None,  # the rollout replaces the chain's instantaneous view
+        obs=obs,
+        wall_clock_s=wall_clock_s,
+    )
+    if config.manifest_out is not None:
+        write_run_manifest(config.manifest_out, manifest)
+    if config.metrics_out is not None and obs.enabled:
+        write_json_artifact(
+            config.metrics_out, obs.metrics.snapshot(), "metrics snapshot"
+        )
+    if config.trace_out is not None and obs.enabled:
+        write_json_artifact(config.trace_out, obs.tracer.to_dict(), "trace tree")
+    return TimelineStudyResult(
+        config=config,
+        params=params,
+        distributions=distributions,
         manifest=manifest,
         ensemble=ensemble,
         observability=obs,

@@ -18,7 +18,17 @@ Subcommands mirror the paper's workflow:
 * ``figures``     -- regenerate every paper figure as text charts.
 * ``siting``      -- rank backup control-center locations.
 * ``bft-demo``    -- run the replication engine under compound faults.
-* ``grid-impact`` -- quantify SCADA value via N-1 cascade analysis.
+* ``grid-impact`` -- quantify SCADA value via N-1 cascade analysis, then
+                     run the ``grid-coupled`` threat chain through the
+                     facade.
+* ``timeline``    -- downtime distributions via :func:`repro.run_timeline`.
+* ``earthquake``  -- the seismic hazard through ``run_study`` with the
+                     ``earthquake`` chain.
+
+``run`` and ``sweep`` accept ``--chain`` to pick the threat chain
+(registered presets: ``paper``, ``grid-coupled``, ``earthquake``); the
+facade-backed subcommands all share the ``--jobs``/``--cache-dir`` and
+``--manifest-out``/``--metrics-out``/``--trace-out`` plumbing.
 """
 
 from __future__ import annotations
@@ -26,9 +36,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import StudyConfig, run_study
+from repro.api import StudyConfig, run_study, run_timeline
 from repro.core.pipeline import CompoundThreatAnalysis
-from repro.core.report import format_matrix_csv, format_matrix_report
+from repro.core.report import format_matrix_csv
 from repro.core.threat import PAPER_SCENARIOS, get_scenario
 from repro.errors import ReproError
 from repro.geo.oahu import HONOLULU_CC
@@ -112,6 +122,9 @@ def _study_config_from_args(
     ensemble = (
         load_ensemble_csv(args.ensemble) if getattr(args, "ensemble", None) else None
     )
+    chain = getattr(args, "chain", None)
+    if isinstance(chain, list):  # the sweep's --chain is an axis (append)
+        chain = chain[0] if chain else None
     return StudyConfig(
         configurations=tuple(args.config) if args.config else PAPER_CONFIGURATIONS,
         placement=placement if placement is not None else args.placement,
@@ -119,6 +132,7 @@ def _study_config_from_args(
         n_realizations=args.realizations,
         seed=args.seed,
         ensemble=ensemble,
+        chain=chain,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         resume=args.resume,
@@ -171,6 +185,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["category"] = args.category
     if args.fragility_threshold:
         axes["threshold"] = args.fragility_threshold
+    if args.chain and len(args.chain) > 1:
+        axes["chain"] = args.chain
     grid = sweep_grid(base, **axes)
     result = run_sweep(
         grid,
@@ -297,39 +313,34 @@ def _cmd_bft_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
-    from repro.core.timeline import CompoundEventTimeline, TimelineParams
+    """Downtime rollout via the :func:`repro.run_timeline` facade."""
+    from repro.core.timeline import TimelineParams
 
-    ensemble = _load_or_generate(args)
-    if args.realizations < len(ensemble):
-        ensemble = ensemble.subset(args.realizations)
-    timeline = CompoundEventTimeline(
-        TimelineParams(
+    if not args.scenario:
+        args.scenario = ["hurricane+intrusion+isolation"]
+    config = _study_config_from_args(args)
+    # The rollout's repair/cleanup sampling is seeded separately from the
+    # hazard ensemble, exactly as the pre-facade subcommand did.
+    config = config.replace(analysis_seed=args.timeline_seed)
+    if config.ensemble is not None and args.realizations < len(config.ensemble):
+        config = config.replace(ensemble=config.ensemble.subset(args.realizations))
+    result = run_timeline(
+        config,
+        params=TimelineParams(
             attack_delay_h=args.attack_delay_hours,
             isolation_duration_h=args.isolation_hours,
             site_repair_median_h=args.repair_hours,
-        )
+        ),
     )
-    scenario = get_scenario(args.scenario)
-    placement = _PLACEMENTS[args.placement]
-    print(
-        f"Downtime per compound event ({scenario.name}, "
-        f"{len(ensemble)} realizations, 14-day horizon):"
-    )
-    print(f"{'configuration':15s} {'mean':>9s} {'median':>9s} {'p95':>9s} {'unsafe':>9s}")
-    for arch in PAPER_CONFIGURATIONS:
-        dist = timeline.downtime_distribution(
-            arch, placement, ensemble, scenario, seed=args.seed
-        )
-        print(
-            f"{arch.name:15s} {dist.mean_unavailable_h:8.1f}h "
-            f"{dist.quantile_unavailable_h(0.5):8.1f}h "
-            f"{dist.quantile_unavailable_h(0.95):8.1f}h "
-            f"{dist.mean_unsafe_h:8.1f}h"
-        )
+    print(result.report())
+    if args.run_report:
+        print()
+        print(result.run_report())
     return 0
 
 
 def _cmd_earthquake(args: argparse.Namespace) -> int:
+    """Seismic hazard through the same facade as `run` (chain field set)."""
     from repro.geo.oahu import build_oahu_catalog
     from repro.hazards.earthquake import (
         EarthquakeGenerator,
@@ -338,19 +349,21 @@ def _cmd_earthquake(args: argparse.Namespace) -> int:
     )
 
     generator = EarthquakeGenerator(build_oahu_catalog(), standard_oahu_fault())
-    ensemble = generator.generate(count=args.count, seed=args.seed)
-    analysis = CompoundThreatAnalysis(
-        ensemble, fragility=seismic_fragility(args.capacity_g)
+    ensemble = generator.generate(count=args.realizations, seed=args.seed)
+    config = _study_config_from_args(args).replace(
+        ensemble=ensemble,
+        fragility=seismic_fragility(args.capacity_g),
+        chain=args.chain or "earthquake",
     )
-    placement = _PLACEMENTS[args.placement]
-    matrix = analysis.run_matrix(
-        list(PAPER_CONFIGURATIONS), placement, list(PAPER_SCENARIOS)
-    )
+    result = run_study(config)
     print(
-        f"Earthquake compound-threat analysis ({args.count} realizations, "
+        f"Earthquake compound-threat analysis ({len(ensemble)} realizations, "
         f"capacity {args.capacity_g} g):"
     )
-    print(format_matrix_report(matrix))
+    print(result.report())
+    if args.run_report:
+        print()
+        print(result.run_report())
     return 0
 
 
@@ -397,6 +410,21 @@ def _cmd_grid_impact(args: argparse.Namespace) -> int:
     avg_with = sum(e.served_fraction_with_scada for e in report) / len(report)
     avg_without = sum(e.served_fraction_without_scada for e in report) / len(report)
     print(f"{'average':55s} {avg_with:6.1%} {avg_without:7.1%}")
+    if args.no_study:
+        return 0
+    # The ensemble view: the same grid coupled into the threat chain, so
+    # storm-damaged buses feed WAN partitions feed the attack surface.
+    config = _study_config_from_args(args).replace(chain="grid-coupled")
+    result = run_study(config)
+    print()
+    print(
+        f"Compound study over the grid-coupled chain "
+        f"({len(result.ensemble)} realizations):"
+    )
+    print(result.report())
+    if args.run_report:
+        print()
+        print(result.run_report())
     return 0
 
 
@@ -467,26 +495,60 @@ def _add_observability_args(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_common_study_args(p: argparse.ArgumentParser) -> None:
-    """The flags `run` and `sweep` share (everything but placement/output)."""
+def _add_common_study_args(
+    p: argparse.ArgumentParser,
+    *,
+    default_realizations: int = DEFAULT_REALIZATIONS,
+    default_seed: int = DEFAULT_SEED,
+    include_ensemble: bool = True,
+) -> None:
+    """The study flags every facade-backed subcommand shares.
+
+    ``run``/``sweep`` use the paper defaults; the ``timeline``,
+    ``grid-impact``, and ``earthquake`` subcommands keep their historical
+    ensemble sizes/seeds via the overrides.
+    """
     p.add_argument("--config", action="append", help="architecture name (repeatable)")
     p.add_argument("--scenario", action="append", help="scenario name (repeatable)")
-    p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
+    if include_ensemble:
+        p.add_argument(
+            "--ensemble", help="ensemble CSV (default: regenerate standard)"
+        )
     p.add_argument(
         "--realizations",
         "--count",
         dest="realizations",
         type=int,
-        default=DEFAULT_REALIZATIONS,
+        default=default_realizations,
         help="ensemble size (--count is the deprecated spelling)",
     )
-    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--seed", type=int, default=default_seed)
     _add_perf_args(p)
+
+
+def _add_chain_arg(p: argparse.ArgumentParser, *, repeatable: bool = False) -> None:
+    from repro.core.chain import available_chains
+
+    names = ", ".join(available_chains())
+    if repeatable:
+        p.add_argument(
+            "--chain",
+            action="append",
+            help=f"threat chain axis value (repeatable; registered: {names})",
+        )
+    else:
+        p.add_argument(
+            "--chain",
+            default=None,
+            help=f"threat chain each realization runs through "
+            f"(registered: {names}; default: paper)",
+        )
 
 
 def _add_study_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
     p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+    _add_chain_arg(p)
     _add_common_study_args(p)
     _add_observability_args(p)
 
@@ -498,6 +560,7 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
         choices=sorted(_PLACEMENTS),
         help="placement axis value (repeatable; default: waiau only)",
     )
+    _add_chain_arg(p, repeatable=True)
     _add_common_study_args(p)
     p.add_argument(
         "--category",
@@ -606,18 +669,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--isolate-site", help="site name to isolate")
     p.set_defaults(func=_cmd_bft_demo)
 
-    p = sub.add_parser("grid-impact", help="N-1 cascade analysis with/without SCADA")
+    p = sub.add_parser(
+        "grid-impact",
+        help="N-1 cascade analysis plus the grid-coupled compound study",
+    )
+    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument(
+        "--no-study",
+        action="store_true",
+        help="print only the N-1 table, skip the grid-coupled ensemble study",
+    )
+    _add_common_study_args(p, default_realizations=150)
+    _add_observability_args(p)
     p.set_defaults(func=_cmd_grid_impact)
 
     p = sub.add_parser("timeline", help="downtime hours per compound event")
     p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
-    p.add_argument("--scenario", default="hurricane+intrusion+isolation")
-    p.add_argument("--realizations", type=int, default=300)
     p.add_argument("--attack-delay-hours", type=float, default=6.0)
     p.add_argument("--isolation-hours", type=float, default=48.0)
     p.add_argument("--repair-hours", type=float, default=72.0)
-    p.add_argument("--seed", type=int, default=3)
-    p.add_argument("--ensemble", help="ensemble CSV (default: regenerate standard)")
+    p.add_argument(
+        "--timeline-seed",
+        type=int,
+        default=3,
+        help="seed for the rollout's repair/cleanup sampling (the hazard "
+        "ensemble has its own --seed)",
+    )
+    _add_common_study_args(p, default_realizations=300)
+    _add_observability_args(p)
     p.set_defaults(func=_cmd_timeline)
 
     p = sub.add_parser(
@@ -630,9 +709,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("earthquake", help="run the analysis on the seismic hazard")
     p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
-    p.add_argument("--count", type=int, default=500)
-    p.add_argument("--seed", type=int, default=42)
     p.add_argument("--capacity-g", type=float, default=0.30)
+    _add_chain_arg(p)
+    _add_common_study_args(
+        p, default_realizations=500, default_seed=42, include_ensemble=False
+    )
+    _add_observability_args(p)
     p.set_defaults(func=_cmd_earthquake)
     return parser
 

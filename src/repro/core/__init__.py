@@ -5,6 +5,23 @@ from repro.core.attacker import (
     ProbabilisticAttacker,
     WorstCaseAttacker,
 )
+from repro.core.chain import (
+    CHAIN_EARTHQUAKE,
+    CHAIN_GRID_COUPLED,
+    CHAIN_PAPER,
+    ChainContext,
+    ClassificationStage,
+    CyberAttackStage,
+    HazardImpactStage,
+    InterdependencyStage,
+    NoOpStage,
+    Stage,
+    ThreatChain,
+    available_chains,
+    get_chain,
+    register_chain,
+    resolve_chain,
+)
 from repro.core.evaluator import evaluate, evaluate_table1, safety_compromised
 from repro.core.outcomes import OperationalProfile, ScenarioMatrix
 from repro.core.pipeline import (
@@ -77,6 +94,21 @@ __all__ = [
     "Attacker",
     "CompoundThreatAnalysis",
     "RealizationOutcome",
+    "Stage",
+    "ThreatChain",
+    "ChainContext",
+    "HazardImpactStage",
+    "InterdependencyStage",
+    "CyberAttackStage",
+    "ClassificationStage",
+    "NoOpStage",
+    "CHAIN_PAPER",
+    "CHAIN_GRID_COUPLED",
+    "CHAIN_EARTHQUAKE",
+    "get_chain",
+    "register_chain",
+    "available_chains",
+    "resolve_chain",
     "format_profile_table",
     "format_matrix_report",
     "format_matrix_csv",

@@ -58,6 +58,9 @@ class WorstCaseAttacker:
     """
 
     name = "worst-case"
+    #: Pure function of the state: never consumes the rng, so chains
+    #: whose attack stage uses it keep a deterministic prefix.
+    deterministic = True
 
     def attack(
         self,
@@ -158,6 +161,7 @@ class ExhaustiveAttacker:
     """
 
     name = "exhaustive"
+    deterministic = True
 
     def attack(
         self,
@@ -216,6 +220,10 @@ class ProbabilisticAttacker:
     p_intrusion: float = 1.0
     p_isolation: float = 1.0
     name: str = "probabilistic"
+
+    #: Consumes the rng (capability sampling): stages wrapping it must
+    #: not be treated as a deterministic chain prefix.
+    deterministic = False
 
     def __post_init__(self) -> None:
         for p in (self.p_intrusion, self.p_isolation):

@@ -1,0 +1,671 @@
+"""The composable threat chain: Fig. 5 as a sequence of stage transforms.
+
+The paper's framework is a *pipeline* -- topology + hazard -> post-disaster
+state -> post-attack state -> operational classification -- and every layer
+the reproduction has grown since (grid power-flow cascades, WAN/power
+interdependency, alternative hazards, alternative attackers) is another
+state transform in that pipeline, not a fork of it.  This module makes the
+pipeline explicit:
+
+* :class:`Stage` -- the protocol every transform satisfies: a ``name``, a
+  ``deterministic`` flag, and ``apply(state, ctx, rng) -> state``.
+* :class:`ThreatChain` -- an ordered tuple of stages plus the executor
+  that runs one realization through them and assembles the
+  :class:`RealizationOutcome`.
+* Built-in stages wrapping the existing layers:
+  :class:`HazardImpactStage` (fragility -> flooded sites),
+  :class:`InterdependencyStage` (grid contingency + WAN coupling from
+  :mod:`repro.grid.storm_impact` / :mod:`repro.network.interdependency`),
+  :class:`CyberAttackStage` (any :class:`Attacker`), and
+  :class:`ClassificationStage` (Table I).
+* A registry of named presets (``"paper"``, ``"grid-coupled"``,
+  ``"earthquake"``), looked up like architectures and scenarios, so a
+  :class:`~repro.api.StudyConfig` can select a chain by name.
+
+The ``"paper"`` chain is bit-identical to the historical hardcoded
+three-step loop: same rng consumption order, same states, same
+classification.  ``scripts/bench_ensemble.py`` guards the executor's
+overhead against the hardcoded loop (<3%).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.attacker import WorstCaseAttacker
+from repro.core.evaluator import evaluate
+from repro.core.states import OperationalState
+from repro.core.system_state import SystemState, initial_state
+from repro.core.threat import CyberAttackBudget, ThreatScenario
+from repro.errors import ConfigurationError
+from repro.hazards.base import HazardRealization
+from repro.hazards.fragility import FragilityModel, ThresholdFragility
+from repro.scada.architectures import ArchitectureSpec
+from repro.scada.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.grid.model import GridModel
+    from repro.network.interdependency import InterdependencyParams
+    from repro.network.topology import WANTopology
+
+
+@runtime_checkable
+class Attacker(Protocol):
+    """Anything that spends an attack budget on a post-disaster state."""
+
+    name: str
+
+    def attack(
+        self,
+        state: SystemState,
+        budget: CyberAttackBudget,
+        rng: np.random.Generator | None = None,
+    ) -> SystemState:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class RealizationOutcome:
+    """Full trace of one realization through the pipeline."""
+
+    realization_index: int
+    post_disaster: SystemState
+    post_attack: SystemState
+    state: OperationalState
+
+
+class ChainContext:
+    """Everything one realization's chain run can read (and annotate).
+
+    One context is built per :meth:`CompoundThreatAnalysis.run` call and
+    reused across realizations (the executor resets the per-realization
+    slots), so the hot loop allocates nothing but the states themselves.
+
+    ``fragility`` and ``attacker`` are the *analysis-level* models; stages
+    constructed without their own model inherit these.  ``failed_lookup``
+    is the (possibly memoized) failed-asset function -- the pipeline binds
+    its :meth:`~repro.core.pipeline.CompoundThreatAnalysis._failed_assets`
+    memo here so chains share the fragility pass exactly as the hardcoded
+    loop did.  ``extras`` is a scratch mapping stages use to hand data
+    downstream (e.g. the hazard stage publishes ``"failed_assets"``; the
+    interdependency stage publishes its coupling summary).
+    """
+
+    __slots__ = (
+        "architecture",
+        "placement",
+        "scenario",
+        "realization",
+        "fragility",
+        "attacker",
+        "failed_lookup",
+        "classified",
+        "extras",
+    )
+
+    def __init__(
+        self,
+        architecture: ArchitectureSpec,
+        placement: Placement,
+        scenario: ThreatScenario,
+        realization: HazardRealization | None = None,
+        *,
+        fragility: FragilityModel | None = None,
+        attacker: Attacker | None = None,
+        failed_lookup: Callable[
+            [HazardRealization, np.random.Generator | None], frozenset[str]
+        ]
+        | None = None,
+    ) -> None:
+        self.architecture = architecture
+        self.placement = placement
+        self.scenario = scenario
+        self.realization = realization
+        self.fragility = fragility if fragility is not None else ThresholdFragility()
+        self.attacker = attacker if attacker is not None else WorstCaseAttacker()
+        self.failed_lookup = (
+            failed_lookup if failed_lookup is not None else self._direct_lookup
+        )
+        self.classified: OperationalState | None = None
+        self.extras: dict[str, object] = {}
+
+    def _direct_lookup(
+        self, realization: HazardRealization, rng: np.random.Generator | None
+    ) -> frozenset[str]:
+        return realization.failed_assets(self.fragility, rng)
+
+    def failed_assets(self, rng: np.random.Generator | None) -> frozenset[str]:
+        """The current realization's failed assets (memoized when bound)."""
+        if self.realization is None:
+            raise ConfigurationError("chain context has no realization")
+        return self.failed_lookup(self.realization, rng)
+
+    def base_state(self) -> SystemState:
+        """The deployed architecture untouched by any hazard."""
+        return initial_state(self.architecture, self.placement, ())
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One transform of the threat chain.
+
+    ``deterministic`` declares whether ``apply`` is a pure function of
+    ``(state, ctx.realization)`` -- i.e. never consumes the rng.  The
+    sweep engine only shares fragility memos across studies when the
+    chain's hazard prefix is deterministic, so a stochastic stage must
+    not claim determinism.
+    """
+
+    name: str
+
+    @property
+    def deterministic(self) -> bool:
+        ...  # pragma: no cover - protocol
+
+    def apply(
+        self,
+        state: SystemState | None,
+        ctx: ChainContext,
+        rng: np.random.Generator | None,
+    ) -> SystemState:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class HazardImpactStage:
+    """Fig. 5 box one: natural-disaster impact via the fragility model.
+
+    With ``fragility=None`` (the presets) the stage inherits the
+    analysis-level model through the context's memoized lookup, so the
+    deterministic-fragility failed-asset cache keeps working unchanged.
+    """
+
+    fragility: FragilityModel | None = None
+    name: str = "fragility"
+
+    #: The state this stage produces is the chain's post-disaster state.
+    captures = "post_disaster"
+
+    @property
+    def deterministic(self) -> bool:
+        # An inherited model routes through the pipeline memo, which
+        # itself gates on the model's own `deterministic` flag.
+        if self.fragility is None:
+            return True
+        return bool(getattr(self.fragility, "deterministic", False))
+
+    def apply(
+        self,
+        state: SystemState | None,
+        ctx: ChainContext,
+        rng: np.random.Generator | None,
+    ) -> SystemState:
+        if self.fragility is None:
+            failed = ctx.failed_assets(rng)
+        else:
+            failed = ctx.realization.failed_assets(self.fragility, rng)
+        ctx.extras["failed_assets"] = failed
+        return initial_state(ctx.architecture, ctx.placement, failed)
+
+
+class InterdependencyStage:
+    """Grid/WAN coupling: the disaster's *indirect* control-site outages.
+
+    The same realization that floods control sites also floods grid buses
+    (:mod:`repro.grid.storm_impact`); the surviving grid re-islands under
+    a cascade, WAN PoPs on badly-shed islands go dark, and dark PoPs
+    partition the WAN (:mod:`repro.network.interdependency`).  Control
+    sites cut off from the largest mutually-reachable site group become
+    ``isolated`` in the system state -- so the downstream attack and
+    classification stages see the compound (grid + comms) impact, not
+    just the direct inundation.
+
+    The coupling is deterministic per failed-bus set and memoized on the
+    stage instance, so an ensemble pays one cascade per *distinct* damage
+    pattern (most realizations damage nothing and share one entry).
+    """
+
+    name = "interdependency"
+    deterministic = True
+    captures = "post_disaster"
+
+    def __init__(
+        self,
+        grid: "GridModel | None" = None,
+        wan: "WANTopology | None" = None,
+        pop_to_bus: dict[str, str] | None = None,
+        params: "InterdependencyParams | None" = None,
+    ) -> None:
+        self._grid = grid
+        self._wan = wan
+        self._pop_to_bus = dict(pop_to_bus) if pop_to_bus is not None else None
+        self._params = params
+        self._coupling_cache: dict[frozenset[str], tuple[frozenset[str], dict]] = {}
+
+    def _materialize(self):
+        """Build the default Oahu grid/WAN substrate lazily, once."""
+        from repro.network.interdependency import OAHU_POP_POWER, InterdependencyParams
+
+        if self._params is None:
+            self._params = InterdependencyParams()
+        if self._grid is None:
+            from repro.grid.model import build_oahu_grid
+
+            self._grid = build_oahu_grid()
+        if self._wan is None:
+            from repro.geo.oahu import (
+                DRFORTRESS,
+                HONOLULU_CC,
+                KAHE_CC,
+                WAIAU_CC,
+                build_oahu_catalog,
+            )
+            from repro.network.topology import build_site_wan
+
+            self._wan = build_site_wan(
+                build_oahu_catalog(),
+                [HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS],
+            )
+        if self._pop_to_bus is None:
+            self._pop_to_bus = dict(OAHU_POP_POWER)
+        return self._grid, self._wan, self._pop_to_bus, self._params
+
+    def _coupling(self, failed: frozenset[str]) -> tuple[frozenset[str], dict]:
+        """(isolated control sites, summary) for one damage pattern."""
+        import networkx as nx
+
+        from repro.errors import NetworkModelError
+        from repro.grid.contingency import simulate_contingency
+        from repro.grid.storm_impact import damaged_grid
+
+        grid, wan, pop_to_bus, params = self._materialize()
+        out_buses = frozenset(name for name in failed if name in grid.buses)
+        try:
+            return self._coupling_cache[out_buses]
+        except KeyError:
+            pass
+        survivor, shed = damaged_grid(grid, out_buses)
+        degenerate = (
+            not survivor.lines
+            or not survivor.generators
+            or survivor.total_demand_mw == 0
+        )
+        scada = True
+        rounds = 0
+        served_mw = 0.0
+        while True:
+            rounds += 1
+            if rounds > params.max_rounds:
+                raise NetworkModelError(
+                    "interdependency cascade did not converge"
+                )
+            bus_service: dict[str, float] = {}
+            if not degenerate:
+                cascade = simulate_contingency(survivor, set(), scada)
+                for island in cascade.islands:
+                    fraction = (
+                        island.served_mw / island.demand_mw
+                        if island.demand_mw > 0
+                        else 1.0
+                    )
+                    for bus in island.buses:
+                        bus_service[bus] = fraction
+                served_mw = cascade.served_fraction * survivor.total_demand_mw
+            dead = {
+                pop
+                for pop, bus in pop_to_bus.items()
+                if bus in out_buses
+                or bus_service.get(bus, 0.0) < params.pop_power_threshold
+            }
+            graph = wan.graph.copy()
+            graph.remove_nodes_from(dead)
+            best_group: frozenset[str] = frozenset()
+            for component in nx.connected_components(graph):
+                group = frozenset(component & wan.site_nodes)
+                if len(group) > len(best_group):
+                    best_group = group
+            scada_next = scada and len(best_group) >= params.required_connected_sites
+            if scada_next == scada:
+                break
+            scada = scada_next
+        isolated = frozenset(wan.site_nodes - best_group)
+        summary = {
+            "out_buses": tuple(sorted(out_buses)),
+            "shed_at_damaged_mw": shed,
+            "served_fraction": (
+                served_mw / grid.total_demand_mw if grid.total_demand_mw > 0 else 1.0
+            ),
+            "scada_operational": scada,
+            "dead_pops": tuple(sorted(dead)),
+            "connected_sites": len(best_group),
+            "rounds": rounds,
+        }
+        self._coupling_cache[out_buses] = (isolated, summary)
+        return isolated, summary
+
+    def apply(
+        self,
+        state: SystemState | None,
+        ctx: ChainContext,
+        rng: np.random.Generator | None,
+    ) -> SystemState:
+        if state is None:
+            state = ctx.base_state()
+        failed = ctx.extras.get("failed_assets")
+        if failed is None:
+            failed = ctx.failed_assets(rng)
+            ctx.extras["failed_assets"] = failed
+        isolated, summary = self._coupling(frozenset(failed))
+        ctx.extras["interdependency"] = summary
+        if isolated:
+            for index, site in enumerate(state.sites):
+                if site.asset_name in isolated and not site.isolated:
+                    state = state.with_isolation(index)
+        return state
+
+
+@dataclass(frozen=True)
+class CyberAttackStage:
+    """Fig. 5 box two: the follow-on cyberattack spends its budget.
+
+    With ``attacker=None`` (the presets) the stage inherits the
+    analysis-level attacker from the context, so ``StudyConfig.attacker``
+    and ``CompoundThreatAnalysis(attacker=...)`` keep working.
+    """
+
+    attacker: Attacker | None = None
+    name: str = "cyberattack"
+
+    #: The state this stage produces is the chain's post-attack state.
+    captures = "post_attack"
+
+    @property
+    def deterministic(self) -> bool:
+        # An inherited attacker defaults to the deterministic worst-case
+        # model; an explicit one reports its own flag (absent -> assume
+        # stochastic, the safe direction for memo sharing).
+        if self.attacker is None:
+            return True
+        return bool(getattr(self.attacker, "deterministic", False))
+
+    def apply(
+        self,
+        state: SystemState | None,
+        ctx: ChainContext,
+        rng: np.random.Generator | None,
+    ) -> SystemState:
+        if state is None:
+            state = ctx.base_state()
+        attacker = self.attacker if self.attacker is not None else ctx.attacker
+        return attacker.attack(state, ctx.scenario.budget, rng)
+
+
+@dataclass(frozen=True)
+class ClassificationStage:
+    """Fig. 5 box three: Table I maps the final state to a color."""
+
+    name: str = "classification"
+    deterministic: bool = True
+
+    def apply(
+        self,
+        state: SystemState | None,
+        ctx: ChainContext,
+        rng: np.random.Generator | None,
+    ) -> SystemState:
+        if state is None:
+            state = ctx.base_state()
+        ctx.classified = evaluate(state)
+        return state
+
+
+@dataclass(frozen=True)
+class NoOpStage:
+    """An identity stage; exists for composition tests and as a template."""
+
+    name: str = "noop"
+    deterministic: bool = True
+
+    def apply(
+        self,
+        state: SystemState | None,
+        ctx: ChainContext,
+        rng: np.random.Generator | None,
+    ) -> SystemState:
+        return state
+
+
+@dataclass(frozen=True)
+class ThreatChain:
+    """An ordered pipeline of stages plus its per-realization executor.
+
+    Stage names need not be unique; per-stage timings accumulate by name.
+    A chain without a :class:`ClassificationStage` still classifies: the
+    executor evaluates the final state when no stage did.
+    """
+
+    name: str
+    stages: tuple[Stage, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigurationError("a threat chain needs at least one stage")
+        for stage in self.stages:
+            if not getattr(stage, "name", None) or not hasattr(stage, "apply"):
+                raise ConfigurationError(
+                    f"{stage!r} does not satisfy the Stage protocol "
+                    "(needs a name and an apply method)"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def deterministic_prefix(self) -> tuple[str, ...]:
+        """Names of the leading stages that never consume the rng."""
+        names: list[str] = []
+        for stage in self.stages:
+            if not stage.deterministic:
+                break
+            names.append(stage.name)
+        return tuple(names)
+
+    def hazard_prefix_deterministic(self) -> bool:
+        """Whether the failed-asset memo may be shared across studies.
+
+        True when every stage up to and including the first
+        post-disaster-capturing stage (the hazard impact) is
+        deterministic; a chain with no hazard stage returns False (there
+        is no fragility pass to share).
+        """
+        for stage in self.stages:
+            if not stage.deterministic:
+                return False
+            if getattr(stage, "captures", None) == "post_disaster":
+                return True
+        return False
+
+    def spec(self) -> dict:
+        """The resolved chain description recorded in run manifests."""
+        return {
+            "name": self.name,
+            "stages": [
+                {
+                    "name": stage.name,
+                    "type": type(stage).__name__,
+                    "deterministic": bool(stage.deterministic),
+                }
+                for stage in self.stages
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, ctx: ChainContext, rng: np.random.Generator | None
+    ) -> RealizationOutcome:
+        """One realization through every stage, with state snapshots."""
+        ctx.classified = None
+        ctx.extras.clear()
+        state: SystemState | None = None
+        snapshots: dict[str, SystemState] = {}
+        for stage in self.stages:
+            state = stage.apply(state, ctx, rng)
+            captures = getattr(stage, "captures", None)
+            if captures is not None:
+                snapshots[captures] = state
+        return self._outcome(ctx, state, snapshots)
+
+    def run_state(
+        self, ctx: ChainContext, rng: np.random.Generator | None
+    ) -> OperationalState:
+        """The classification only -- the ensemble loop's fast path."""
+        ctx.classified = None
+        ctx.extras.clear()
+        state: SystemState | None = None
+        for stage in self.stages:
+            state = stage.apply(state, ctx, rng)
+        if ctx.classified is not None:
+            return ctx.classified
+        return evaluate(state if state is not None else ctx.base_state())
+
+    def run_state_timed(
+        self,
+        ctx: ChainContext,
+        rng: np.random.Generator | None,
+        totals: dict[str, float],
+    ) -> OperationalState:
+        """The fast path with per-stage wall-clock accumulated by name."""
+        perf = time.perf_counter
+        ctx.classified = None
+        ctx.extras.clear()
+        state: SystemState | None = None
+        for stage in self.stages:
+            t0 = perf()
+            state = stage.apply(state, ctx, rng)
+            elapsed = perf() - t0
+            name = stage.name
+            totals[name] = totals.get(name, 0.0) + elapsed
+        if ctx.classified is not None:
+            return ctx.classified
+        return evaluate(state if state is not None else ctx.base_state())
+
+    def _outcome(
+        self,
+        ctx: ChainContext,
+        state: SystemState | None,
+        snapshots: dict[str, SystemState],
+    ) -> RealizationOutcome:
+        if state is None:
+            state = ctx.base_state()
+        post_attack = snapshots.get("post_attack", state)
+        post_disaster = snapshots.get("post_disaster", post_attack)
+        classified = ctx.classified
+        if classified is None:
+            classified = evaluate(state)
+        return RealizationOutcome(
+            realization_index=ctx.realization.index,
+            post_disaster=post_disaster,
+            post_attack=post_attack,
+            state=classified,
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry (mirrors architectures / scenarios)
+# ----------------------------------------------------------------------
+_CHAINS: dict[str, ThreatChain] = {}
+
+
+def register_chain(chain: ThreatChain, *, replace: bool = False) -> ThreatChain:
+    """Register a chain under its name; returns it for assignment."""
+    if chain.name in _CHAINS and not replace:
+        raise ConfigurationError(
+            f"threat chain {chain.name!r} is already registered; "
+            "pass replace=True to override"
+        )
+    _CHAINS[chain.name] = chain
+    return chain
+
+
+def get_chain(name: str) -> ThreatChain:
+    """Look up a registered threat chain by name."""
+    try:
+        return _CHAINS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown threat chain {name!r}; registered chains: "
+            f"{sorted(_CHAINS)}"
+        ) from None
+
+
+def available_chains() -> list[str]:
+    """Registered chain names, sorted."""
+    return sorted(_CHAINS)
+
+
+def resolve_chain(chain: "ThreatChain | str | None") -> ThreatChain:
+    """Normalize a chain argument: ``None`` -> paper, name -> registry."""
+    if chain is None:
+        return CHAIN_PAPER
+    if isinstance(chain, str):
+        return get_chain(chain)
+    if not isinstance(chain, ThreatChain):
+        raise ConfigurationError(
+            f"chain must be a ThreatChain or a registered name, "
+            f"not {type(chain).__name__}"
+        )
+    return chain
+
+
+#: The paper's exact Fig. 5 pipeline (bit-identical to the historical
+#: hardcoded loop): fragility -> worst-case attack -> Table I.
+CHAIN_PAPER = register_chain(
+    ThreatChain(
+        name="paper",
+        stages=(HazardImpactStage(), CyberAttackStage(), ClassificationStage()),
+        description="The paper's three-stage pipeline (Fig. 5).",
+    )
+)
+
+#: The paper pipeline with the grid/WAN interdependency coupling between
+#: disaster impact and attack: storm-damaged buses cascade, dark PoPs
+#: partition the WAN, and cut-off control sites enter the attack stage
+#: already isolated.
+CHAIN_GRID_COUPLED = register_chain(
+    ThreatChain(
+        name="grid-coupled",
+        stages=(
+            HazardImpactStage(),
+            InterdependencyStage(),
+            CyberAttackStage(),
+            ClassificationStage(),
+        ),
+        description=(
+            "Fig. 5 plus the grid contingency / WAN interdependency "
+            "coupling between the disaster and the attack."
+        ),
+    )
+)
+
+#: The hazard-agnostic chain for non-inundation disasters: identical
+#: stage structure to "paper", relying only on the hazard substrate's
+#: ``failed_assets`` contract (pair with e.g. ``seismic_fragility()``).
+CHAIN_EARTHQUAKE = register_chain(
+    ThreatChain(
+        name="earthquake",
+        stages=(HazardImpactStage(), CyberAttackStage(), ClassificationStage()),
+        description=(
+            "The Fig. 5 stages over any failed-assets hazard; the "
+            "earthquake ensemble's PGA realizations plug in unchanged."
+        ),
+    )
+)

@@ -9,22 +9,32 @@ Workflow per realization::
 
 and per (architecture, placement, scenario): the operational profile over
 the whole ensemble.
+
+Since the threat-chain refactor the per-realization workflow is owned by
+:mod:`repro.core.chain`: :class:`CompoundThreatAnalysis` resolves a
+:class:`~repro.core.chain.ThreatChain` (default ``"paper"``, the exact
+pipeline above) and delegates every realization to its executor.  The
+class keeps the ensemble/fragility/attacker wiring, the memoized
+failed-asset pass, and the matrix/profile aggregation.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.attacker import WorstCaseAttacker
-from repro.core.evaluator import evaluate
+from repro.core.chain import (
+    Attacker,
+    ChainContext,
+    RealizationOutcome,
+    ThreatChain,
+    resolve_chain,
+)
 from repro.core.outcomes import OperationalProfile, ScenarioMatrix
-from repro.core.states import OperationalState
 from repro.core.system_state import SystemState, initial_state
-from repro.core.threat import CyberAttackBudget, ThreatScenario
+from repro.core.threat import ThreatScenario
 from repro.errors import AnalysisError
 from repro.hazards.base import HazardEnsemble, HazardRealization
 from repro.hazards.fragility import FragilityModel, ThresholdFragility
@@ -32,29 +42,11 @@ from repro.obs.observer import current as current_observer
 from repro.scada.architectures import ArchitectureSpec
 from repro.scada.placement import Placement
 
-
-class Attacker(Protocol):
-    """Anything that spends an attack budget on a post-disaster state."""
-
-    name: str
-
-    def attack(
-        self,
-        state: SystemState,
-        budget: CyberAttackBudget,
-        rng: np.random.Generator | None = None,
-    ) -> SystemState:
-        ...  # pragma: no cover - protocol
-
-
-@dataclass(frozen=True)
-class RealizationOutcome:
-    """Full trace of one realization through the pipeline."""
-
-    realization_index: int
-    post_disaster: SystemState
-    post_attack: SystemState
-    state: OperationalState
+__all__ = [
+    "Attacker",
+    "RealizationOutcome",
+    "CompoundThreatAnalysis",
+]
 
 
 class CompoundThreatAnalysis:
@@ -80,6 +72,10 @@ class CompoundThreatAnalysis:
         passes one dict per (ensemble, fragility) group so every study
         sharing that pair reuses the fragility pass; only sound when the
         ensemble and fragility model really are shared.
+    chain:
+        The threat chain to run each realization through: a registered
+        name, a :class:`~repro.core.chain.ThreatChain`, or ``None`` for
+        the paper's exact three-stage pipeline.
     """
 
     def __init__(
@@ -89,12 +85,14 @@ class CompoundThreatAnalysis:
         attacker: Attacker | None = None,
         seed: int = 0,
         failed_cache: dict[int, frozenset[str]] | None = None,
+        chain: ThreatChain | str | None = None,
     ) -> None:
         if len(ensemble) == 0:
             raise AnalysisError("ensemble must contain realizations")
         self.ensemble = ensemble
         self.fragility = fragility or ThresholdFragility()
         self.attacker = attacker or WorstCaseAttacker()
+        self.chain = resolve_chain(chain)
         self._seed = seed
         # Failed-asset sets per realization, for deterministic fragility
         # models.  Keyed by realization index: indices identify a
@@ -131,6 +129,22 @@ class CompoundThreatAnalysis:
         current_observer().inc("pipeline.failed_cache.hit")
         return failed
 
+    def _context(
+        self,
+        architecture: ArchitectureSpec,
+        placement: Placement,
+        scenario: ThreatScenario,
+    ) -> ChainContext:
+        """One chain context, reused across the whole ensemble loop."""
+        return ChainContext(
+            architecture,
+            placement,
+            scenario,
+            fragility=self.fragility,
+            attacker=self.attacker,
+            failed_lookup=self._failed_assets,
+        )
+
     # ------------------------------------------------------------------
     # Per-realization steps (Fig. 5 boxes)
     # ------------------------------------------------------------------
@@ -153,17 +167,10 @@ class CompoundThreatAnalysis:
         scenario: ThreatScenario,
         rng: np.random.Generator | None = None,
     ) -> RealizationOutcome:
-        """Run one realization through disaster, attack, and evaluation."""
-        post_disaster = self.post_disaster_state(
-            architecture, placement, realization, rng
-        )
-        post_attack = self.attacker.attack(post_disaster, scenario.budget, rng)
-        return RealizationOutcome(
-            realization_index=realization.index,
-            post_disaster=post_disaster,
-            post_attack=post_attack,
-            state=evaluate(post_attack),
-        )
+        """Run one realization through the configured threat chain."""
+        ctx = self._context(architecture, placement, scenario)
+        ctx.realization = realization
+        return self.chain.run(ctx, rng)
 
     # ------------------------------------------------------------------
     # Ensemble-level analysis
@@ -178,10 +185,12 @@ class CompoundThreatAnalysis:
         rng = np.random.default_rng(self._seed)
         obs = current_observer()
         if not obs.enabled:
-            states = [
-                self.outcome(architecture, placement, r, scenario, rng).state
-                for r in self.ensemble
-            ]
+            ctx = self._context(architecture, placement, scenario)
+            chain = self.chain
+            states = []
+            for realization in self.ensemble:
+                ctx.realization = realization
+                states.append(chain.run_state(ctx, rng))
             return OperationalProfile.from_states(states)
         return self._run_observed(architecture, placement, scenario, rng, obs)
 
@@ -190,43 +199,31 @@ class CompoundThreatAnalysis:
     ) -> OperationalProfile:
         """The same per-realization loop, timed stage by stage.
 
-        The three Fig.-5 stages interleave per realization, so each
-        stage's total is accumulated across the whole ensemble and
-        reported as one aggregate child span (plus a histogram sample),
-        rather than allocating thousands of span objects.
+        The chain's stages interleave per realization, so each stage's
+        total is accumulated across the whole ensemble and reported as
+        one aggregate ``pipeline.stage.<name>`` child span (plus a
+        histogram sample), rather than allocating thousands of span
+        objects.
         """
-        perf = time.perf_counter
-        fragility_s = attack_s = classify_s = 0.0
+        ctx = self._context(architecture, placement, scenario)
+        chain = self.chain
+        totals: dict[str, float] = {}
         states = []
         with obs.span(
-            "analysis.run", scenario=scenario.name, architecture=architecture.name
+            "analysis.run",
+            scenario=scenario.name,
+            architecture=architecture.name,
+            chain=chain.name,
         ):
             for realization in self.ensemble:
-                t0 = perf()
-                post_disaster = self.post_disaster_state(
-                    architecture, placement, realization, rng
-                )
-                t1 = perf()
-                post_attack = self.attacker.attack(
-                    post_disaster, scenario.budget, rng
-                )
-                t2 = perf()
-                states.append(evaluate(post_attack))
-                t3 = perf()
-                fragility_s += t1 - t0
-                attack_s += t2 - t1
-                classify_s += t3 - t2
+                ctx.realization = realization
+                states.append(chain.run_state_timed(ctx, rng, totals))
             n = len(states)
-            obs.record_span("pipeline.fragility", fragility_s, realizations=n)
-            obs.record_span("pipeline.attacker_search", attack_s, realizations=n)
-            obs.record_span("pipeline.classification", classify_s, realizations=n)
+            for name, total in totals.items():
+                obs.record_span(f"pipeline.stage.{name}", total, realizations=n)
             obs.inc("pipeline.realizations", n)
-        for name, total in (
-            ("pipeline.fragility_s", fragility_s),
-            ("pipeline.attacker_search_s", attack_s),
-            ("pipeline.classification_s", classify_s),
-        ):
-            obs.observe(name, total)
+        for name, total in totals.items():
+            obs.observe(f"pipeline.stage.{name}_s", total)
         return OperationalProfile.from_states(states)
 
     def run_matrix(

@@ -51,6 +51,9 @@ class ResourceConstrainedAttacker:
     p_intrusion: float = 1.0
     name: str = field(default="resource-constrained")
 
+    #: Samples intrusion success from the rng when p_intrusion < 1.
+    deterministic = False
+
     def __post_init__(self) -> None:
         if self.flood_capacity_gbps < 0.0:
             raise AnalysisError("flood capacity cannot be negative")

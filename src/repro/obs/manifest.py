@@ -40,6 +40,7 @@ MANIFEST_REQUIRED_KEYS = frozenset(
         "configurations",
         "scenarios",
         "placement",
+        "chain",
         "versions",
         "started_at_unix_s",
         "wall_clock_s",
@@ -63,6 +64,7 @@ def build_run_manifest(
     configurations: list[str],
     scenarios: list[str],
     placement: str,
+    chain: dict | None = None,
     obs: Observability | NullObservability,
     wall_clock_s: float,
 ) -> dict:
@@ -88,6 +90,9 @@ def build_run_manifest(
         "configurations": list(configurations),
         "scenarios": list(scenarios),
         "placement": placement,
+        # The resolved threat-chain spec (name + per-stage determinism),
+        # or None for runs without a per-realization chain (timelines).
+        "chain": chain,
         "versions": {
             "repro": repro.__version__,
             "python": platform.python_version(),
@@ -140,6 +145,12 @@ def format_run_report(manifest: dict) -> str:
         f"placement:      {manifest['placement']}",
         f"configurations: {', '.join(manifest['configurations'])}",
         f"scenarios:      {', '.join(manifest['scenarios'])}",
+    ]
+    chain = manifest.get("chain")
+    if chain:
+        stage_names = " -> ".join(s["name"] for s in chain.get("stages", []))
+        lines.append(f"chain:          {chain['name']} ({stage_names})")
+    lines += [
         f"versions:       repro {manifest['versions']['repro']}, "
         f"python {manifest['versions']['python']}, "
         f"numpy {manifest['versions']['numpy']}",

@@ -195,14 +195,24 @@ def _analyze(
 
     ``caches`` maps fragility tokens to failed-asset memos shared across
     the group's studies (sound because the ensemble is shared and the
-    pipeline only reads the memo for deterministic models).
+    pipeline only reads the memo for deterministic models).  A chain
+    whose hazard prefix is *not* deterministic (a stochastic stage runs
+    before or at the hazard impact) gets a private memo: its fragility
+    pass is not a pure function of the realization, so sharing it across
+    studies would leak one study's samples into another.
     """
+    chain = config.resolve_chain()
+    if chain.hazard_prefix_deterministic():
+        failed_cache = caches.setdefault(_fragility_token(config.fragility), {})
+    else:
+        failed_cache = None
     analysis = CompoundThreatAnalysis(
         ensemble,
         fragility=config.fragility,
         attacker=config.attacker,
         seed=config.analysis_seed,
-        failed_cache=caches.setdefault(_fragility_token(config.fragility), {}),
+        failed_cache=failed_cache,
+        chain=chain,
     )
     return analysis.run_matrix(
         config.resolve_configurations(),
@@ -307,13 +317,14 @@ def _build_manifest(
     *,
     hashes: Sequence[str],
     cache_keys: Sequence[str],
+    chains: Sequence[str],
     groups: dict[str, list[int]],
     store: SweepStore | None,
     telemetry: dict | None,
 ) -> dict:
     studies: dict[str, dict] = {}
-    for study_hash, cache_key in zip(hashes, cache_keys):
-        entry = {"cache_key": cache_key}
+    for study_hash, cache_key, chain in zip(hashes, cache_keys, chains):
+        entry = {"cache_key": cache_key, "chain": chain}
         if store is not None and study_hash in store.entries:
             recorded = store.entries[study_hash]
             entry["file"] = recorded["file"]
@@ -368,6 +379,7 @@ def run_sweep(
     with activate(obs):
         with obs.span("run_sweep", studies=len(configs)):
             cache_keys = [config.cache_key() for config in configs]
+            chain_names = [config.resolve_chain().name for config in configs]
             hashes = [
                 study_config_hash(config, ensemble_key=key)
                 for config, key in zip(configs, cache_keys)
@@ -430,6 +442,7 @@ def run_sweep(
                             _build_manifest(
                                 hashes=hashes,
                                 cache_keys=cache_keys,
+                                chains=chain_names,
                                 groups=groups,
                                 store=store,
                                 telemetry=None,
@@ -443,6 +456,7 @@ def run_sweep(
     manifest = _build_manifest(
         hashes=hashes,
         cache_keys=cache_keys,
+        chains=chain_names,
         groups=groups,
         store=store,
         telemetry=telemetry,

@@ -23,6 +23,12 @@ paper-style grids read naturally:
   intensity) and ``threshold`` (inundation failure threshold in
   meters -> a :class:`ThresholdFragility`).
 
+Because ``chain`` is a :class:`StudyConfig` field, it is also a valid
+axis: ``sweep_grid(base, chain=["paper", "grid-coupled"])`` compares
+threat chains over the *same* shared ensemble (the chain never enters
+``cache_key()``), with fragility memos reused across chains whose
+hazard prefix is deterministic.
+
 Every cell is built with :meth:`StudyConfig.replace`, so registry-name
 typos in any axis raise :class:`ConfigurationError` (listing the
 available names) while the grid is being built, not mid-sweep.

@@ -30,6 +30,7 @@ COMPARISON_AXES = (
     "hazard_scenario",
     "fragility",
     "attacker",
+    "chain",
     "n_realizations",
     "seed",
     "analysis_seed",
@@ -56,6 +57,7 @@ def cell_summary(config: StudyConfig) -> dict:
         "analysis_seed": config.analysis_seed,
         "fragility": _model_identity(config.fragility),
         "attacker": _model_identity(config.attacker),
+        "chain": config.resolve_chain().name,
     }
 
 

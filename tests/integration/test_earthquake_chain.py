@@ -1,0 +1,66 @@
+"""The earthquake chain through ``run_study``: golden counts, manifest.
+
+The seismic hazard exercises the chain abstraction end to end: a
+non-hurricane ensemble plugs its ``failed_assets`` contract into the
+same Fig. 5 stages, selected by ``StudyConfig(chain="earthquake")``.
+The counts below were locked from the first run of this configuration
+(200 PGA realizations, seed 42, default 0.30 g capacity).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import StudyConfig, run_study
+from repro.core.states import OperationalState as S
+from repro.hazards.earthquake import (
+    EarthquakeGenerator,
+    seismic_fragility,
+    standard_oahu_fault,
+)
+
+N = 200
+GOLDEN = {
+    ("hurricane", "2"): {S.GREEN: 191, S.RED: 9},
+    ("hurricane", "6+6+6"): {S.GREEN: 197, S.RED: 3},
+    ("hurricane+intrusion+isolation", "2"): {S.GRAY: 191, S.RED: 9},
+    ("hurricane+intrusion+isolation", "6+6+6"): {S.GREEN: 191, S.RED: 9},
+}
+
+
+@pytest.fixture(scope="module")
+def earthquake_result(oahu_catalog):
+    ensemble = EarthquakeGenerator(oahu_catalog, standard_oahu_fault()).generate(
+        count=N, seed=42
+    )
+    config = StudyConfig(
+        ensemble=ensemble,
+        fragility=seismic_fragility(),
+        chain="earthquake",
+        configurations=("2", "6+6+6"),
+        scenarios=("hurricane", "hurricane+intrusion+isolation"),
+    )
+    return run_study(config)
+
+
+class TestEarthquakeChainGolden:
+    def test_golden_counts(self, earthquake_result):
+        for (scenario, arch), expected in GOLDEN.items():
+            profile = earthquake_result.matrix.get(scenario, arch)
+            counts = {s: profile.count(s) for s in S if profile.count(s)}
+            assert counts == expected, (scenario, arch)
+
+    def test_manifest_records_the_resolved_chain(self, earthquake_result):
+        chain = earthquake_result.manifest["chain"]
+        assert chain["name"] == "earthquake"
+        assert [s["name"] for s in chain["stages"]] == [
+            "fragility", "cyberattack", "classification",
+        ]
+
+    def test_per_stage_spans_are_emitted(self, earthquake_result):
+        stages = earthquake_result.manifest["stages"]
+        for name in ("fragility", "cyberattack", "classification"):
+            assert f"pipeline.stage.{name}" in stages
+
+    def test_chain_appears_in_the_run_report(self, earthquake_result):
+        assert "chain:          earthquake" in earthquake_result.run_report()

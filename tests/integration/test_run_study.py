@@ -100,6 +100,26 @@ class TestStudyConfig:
         assert a.cache_key() == b.cache_key()
         assert a.cache_key().startswith("prebuilt-")
 
+    def test_chain_resolves_like_other_registry_names(self):
+        config = StudyConfig(chain="grid-coupled")
+        assert config.resolve_chain().name == "grid-coupled"
+        assert StudyConfig().resolve_chain().name == "paper"
+        with pytest.raises(ConfigurationError, match="grid-coupled"):
+            StudyConfig(chain="grid-copled")
+
+    def test_chain_changes_study_identity_but_not_the_ensemble_key(self):
+        """Chain is study identity (hash) but not hazard input (cache key)."""
+        from repro.api import study_config_hash
+
+        base = StudyConfig(n_realizations=50)
+        coupled = base.replace(chain="grid-coupled")
+        assert base.cache_key() == coupled.cache_key()
+        assert study_config_hash(base) != study_config_hash(coupled)
+        # "paper" explicitly and the default are the same identity.
+        assert study_config_hash(base) == study_config_hash(
+            base.replace(chain="paper")
+        )
+
 
 class TestBitIdenticalToLegacyPath:
     def test_seed_goldens_reproduce(self, golden_result):
@@ -177,9 +197,9 @@ class TestManifestTelemetry:
             "run_study",
             "analysis.run_matrix",
             "analysis.run",
-            "pipeline.fragility",
-            "pipeline.attacker_search",
-            "pipeline.classification",
+            "pipeline.stage.fragility",
+            "pipeline.stage.cyberattack",
+            "pipeline.stage.classification",
         ):
             assert stage in manifest["stages"], stage
         counters = manifest["metrics"]["counters"]
@@ -289,7 +309,7 @@ class TestManifestTelemetry:
     def test_run_report_is_human_readable(self, golden_result):
         report = golden_result.run_report()
         assert "Run report" in report
-        assert "pipeline.fragility" in report
+        assert "pipeline.stage.fragility" in report
         assert golden_result.manifest["config_hash"] in report
 
     def test_no_warnings_on_clean_run(self, standard_ensemble):
@@ -302,3 +322,55 @@ class TestManifestTelemetry:
                     scenarios=("hurricane",),
                 )
             )
+
+
+class TestChainThroughFacade:
+    def test_manifest_records_the_default_chain(self, golden_result):
+        chain = golden_result.manifest["chain"]
+        assert chain["name"] == "paper"
+        assert [s["name"] for s in chain["stages"]] == [
+            "fragility", "cyberattack", "classification",
+        ]
+        assert all(s["deterministic"] for s in chain["stages"])
+
+    def test_grid_coupled_chain_end_to_end(self, small_ensemble):
+        result = run_study(
+            StudyConfig(
+                ensemble=small_ensemble,
+                chain="grid-coupled",
+                configurations=("2", "6+6+6"),
+                scenarios=("hurricane", "hurricane+isolation"),
+            )
+        )
+        assert result.manifest["chain"]["name"] == "grid-coupled"
+        stages = result.manifest["stages"]
+        for name in (
+            "fragility", "interdependency", "cyberattack", "classification",
+        ):
+            assert f"pipeline.stage.{name}" in stages, name
+        for scenario in ("hurricane", "hurricane+isolation"):
+            for arch in ("2", "6+6+6"):
+                profile = result.matrix.get(scenario, arch)
+                assert profile.total == 100
+
+    def test_grid_coupling_never_upgrades_the_paper_outcome(
+        self, small_ensemble
+    ):
+        """Extra isolation can only hold or worsen each cell's profile."""
+        base = run_study(
+            StudyConfig(
+                ensemble=small_ensemble,
+                configurations=("2",),
+                scenarios=("hurricane+isolation",),
+            )
+        ).matrix.get("hurricane+isolation", "2")
+        coupled = run_study(
+            StudyConfig(
+                ensemble=small_ensemble,
+                chain="grid-coupled",
+                configurations=("2",),
+                scenarios=("hurricane+isolation",),
+            )
+        ).matrix.get("hurricane+isolation", "2")
+        assert coupled.count(S.GREEN) <= base.count(S.GREEN)
+        assert coupled.count(S.RED) >= base.count(S.RED)

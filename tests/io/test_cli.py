@@ -132,7 +132,8 @@ class TestRunCommand:
         assert code == 0
         manifest = json.loads(manifest_path.read_text())
         assert manifest["kind"] == "repro.run_manifest"
-        assert "pipeline.fragility" in manifest["stages"]
+        assert "pipeline.stage.fragility" in manifest["stages"]
+        assert manifest["chain"]["name"] == "paper"
         metrics = json.loads(metrics_path.read_text())
         assert metrics["counters"]["pipeline.realizations"] > 0
         trace = json.loads(trace_path.read_text())
@@ -166,6 +167,101 @@ class TestRunCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestChainFlag:
+    @pytest.fixture(scope="class")
+    def small_csv(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("chain") / "small.csv"
+        main(["ensemble", "--count", "40", "--seed", "2", "--output", str(path)])
+        return str(path)
+
+    def test_run_with_grid_coupled_chain(self, small_csv, tmp_path, capsys):
+        manifest_path = tmp_path / "run_manifest.json"
+        code = main(
+            [
+                "run",
+                "--ensemble", small_csv,
+                "--chain", "grid-coupled",
+                "--manifest-out", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        assert "Scenario: hurricane" in capsys.readouterr().out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["chain"]["name"] == "grid-coupled"
+        for name in ("fragility", "interdependency", "cyberattack"):
+            assert f"pipeline.stage.{name}" in manifest["stages"]
+
+    def test_unknown_chain_is_an_error(self, small_csv, capsys):
+        code = main(["run", "--ensemble", small_csv, "--chain", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "grid-coupled" in err  # the message lists registered names
+
+    def test_sweep_chain_axis(self, small_csv, capsys):
+        code = main(
+            [
+                "sweep",
+                "--ensemble", small_csv,
+                "--config", "2",
+                "--scenario", "hurricane+isolation",
+                "--chain", "paper",
+                "--chain", "grid-coupled",
+                "--compare", "chain",
+            ]
+        )
+        assert code == 0
+        out, err = capsys.readouterr()
+        assert "2 studies, 1 ensemble group(s)" in err
+        assert "chain" in out
+
+
+class TestFacadeBackedSubcommands:
+    """timeline / earthquake / grid-impact share run's config plumbing."""
+
+    @pytest.fixture(scope="class")
+    def small_csv(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("facade") / "small.csv"
+        main(["ensemble", "--count", "40", "--seed", "2", "--output", str(path)])
+        return str(path)
+
+    def test_timeline_reports_downtime(self, small_csv, tmp_path, capsys):
+        manifest_path = tmp_path / "timeline_manifest.json"
+        code = main(
+            [
+                "timeline",
+                "--ensemble", small_csv,
+                "--realizations", "40",
+                "--config", "2",
+                "--manifest-out", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Downtime per compound event" in out
+        # Satellite: the shared telemetry flags now work here too.
+        manifest = json.loads(manifest_path.read_text())
+        assert "timeline.rollout" in manifest["stages"]
+        assert manifest["chain"] is None  # the rollout has no chain
+
+    def test_earthquake_runs_the_earthquake_chain(self, tmp_path, capsys):
+        manifest_path = tmp_path / "eq_manifest.json"
+        code = main(
+            [
+                "earthquake",
+                "--realizations", "50",
+                "--config", "2",
+                "--scenario", "hurricane",
+                "--manifest-out", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Earthquake compound-threat analysis" in out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["chain"]["name"] == "earthquake"
+
+
 class TestSimulationCommands:
     def test_bft_demo(self, capsys):
         code = main(
@@ -176,8 +272,17 @@ class TestSimulationCommands:
         assert "safety preserved:     True" in out
 
     def test_grid_impact(self, capsys):
-        code = main(["grid-impact"])
+        code = main(["grid-impact", "--realizations", "30", "--seed", "7"])
         assert code == 0
         out = capsys.readouterr().out
         assert "N-1 contingency" in out
         assert "average" in out
+        # The coupled ensemble study rides along after the N-1 table.
+        assert "Scenario: hurricane" in out
+
+    def test_grid_impact_no_study(self, capsys):
+        code = main(["grid-impact", "--no-study"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "N-1 contingency" in out
+        assert "Scenario:" not in out

@@ -33,6 +33,18 @@ def _sample_manifest() -> dict:
         configurations=["2", "6+6+6"],
         scenarios=["hurricane"],
         placement="Honolulu + Waiau + DRFortress",
+        chain={
+            "name": "paper",
+            "stages": [
+                {"name": "fragility", "type": "HazardImpactStage", "deterministic": True},
+                {"name": "cyberattack", "type": "CyberAttackStage", "deterministic": True},
+                {
+                    "name": "classification",
+                    "type": "ClassificationStage",
+                    "deterministic": True,
+                },
+            ],
+        },
         obs=obs,
         wall_clock_s=1.5,
     )
@@ -119,6 +131,7 @@ class TestRunReport:
         report = format_run_report(_sample_manifest())
         assert "Run report" in report
         assert "config hash:    abc123" in report
+        assert "chain:          paper (fragility -> cyberattack -> classification)" in report
         assert "ensemble.generate" in report
         assert "runtime.realizations_completed" in report
         assert "runtime.realization_s" in report

@@ -97,6 +97,60 @@ def test_analysis_side_fields_do_not_split_groups():
     assert base.replace(n_realizations=26).cache_key() not in keys
 
 
+def test_chain_axis_shares_the_ensemble_and_records_chains():
+    """A chain axis compares chains over one shared hazard ensemble."""
+    grid = small_grid(
+        configurations=["2"],
+        scenarios=["hurricane+isolation"],
+        chain=["paper", "grid-coupled"],
+    )
+    result = run_sweep(grid)
+    c = counters(result)
+    assert c["sweep.ensemble.generated"] == 1
+    assert c["sweep.ensemble.reused"] == 1
+    assert {s["chain"] for s in result.manifest["studies"].values()} == {
+        "paper", "grid-coupled",
+    }
+    # Each cell equals an independent run_study of the same config.
+    for cell in result.cells:
+        solo = run_study(cell.config)
+        assert matrix_to_dict(solo.matrix) == matrix_to_dict(cell.matrix)
+    # The chain name is part of each cell's identity and a compare axis.
+    (coupled,) = result.get(chain="grid-coupled")
+    assert coupled.summary()["chain"] == "grid-coupled"
+    comparison = result.compare("chain")
+    assert comparison.axis == "chain"
+    assert comparison.rows
+
+
+def test_stochastic_chain_prefix_does_not_share_fragility_memos():
+    """Memo sharing is gated on the chain's deterministic hazard prefix."""
+    from repro.core.chain import CHAIN_PAPER, HazardImpactStage, ThreatChain
+
+    class _CoinflipStage:
+        name = "coinflip"
+        deterministic = False
+
+        def apply(self, state, ctx, rng):
+            return state if state is not None else ctx.base_state()
+
+    stochastic = ThreatChain(
+        "stochastic-prefix", (_CoinflipStage(), *CHAIN_PAPER.stages)
+    )
+    assert not stochastic.hazard_prefix_deterministic()
+    base = StudyConfig(n_realizations=25, configurations=("2",))
+    grid = [
+        base.replace(scenarios=("hurricane",), chain=stochastic),
+        base.replace(scenarios=("hurricane+isolation",), chain=stochastic),
+    ]
+    result = run_sweep(grid)
+    c = counters(result)
+    assert c["sweep.ensemble.generated"] == 1
+    # Without sharing, each study runs its own fragility pass (the paper
+    # chain would have shared the memo and shown 25 misses total).
+    assert c["pipeline.failed_cache.miss"] == 50
+
+
 def test_duplicate_studies_rejected():
     config = StudyConfig(n_realizations=20)
     with pytest.raises(ConfigurationError, match="duplicate study"):
