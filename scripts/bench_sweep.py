@@ -81,7 +81,14 @@ def main() -> int:
     counters = result.observability.metrics.snapshot().get("counters", {})
     generated = int(counters.get("sweep.ensemble.generated", 0))
     reused = int(counters.get("sweep.ensemble.reused", 0))
-    print(f"sweep:      {sweep_s:8.2f}s  (generated {generated}, reused {reused})")
+    shared_publish = int(counters.get("sweep.ensemble.shared_publish", 0))
+    shared_mmap = int(counters.get("sweep.ensemble.shared_mmap", 0))
+    shared_attach = int(counters.get("sweep.ensemble.shared_attach", 0))
+    print(
+        f"sweep:      {sweep_s:8.2f}s  (generated {generated}, reused {reused}, "
+        f"shm published {shared_publish}, mmapped {shared_mmap}, "
+        f"worker attaches {shared_attach})"
+    )
     if args.assert_single_generation and generated != 1:
         print(f"FAIL: expected exactly 1 ensemble generation, saw {generated}")
         return 1
@@ -110,6 +117,9 @@ def main() -> int:
         "speedup": round(speedup, 3),
         "ensemble_generated": generated,
         "ensemble_reused": reused,
+        "ensemble_shared_publish": shared_publish,
+        "ensemble_shared_mmap": shared_mmap,
+        "ensemble_shared_attach": shared_attach,
         "python": platform.python_version(),
         "machine": platform.machine(),
     }

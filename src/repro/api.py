@@ -99,6 +99,12 @@ class StudyConfig:
     # ("paper", "grid-coupled", "earthquake", ...), a ThreatChain object,
     # or None for the paper's exact Fig. 5 pipeline.
     chain: ThreatChain | str | None = None
+    # Executor selection (never changes the numbers): None auto-selects
+    # the fused batched executor when the whole chain supports it, False
+    # forces the per-realization loop, True requires batching (raises
+    # when unavailable).  Excluded from study_config_hash -- both
+    # executors are bitwise identical.
+    batch: bool | None = None
     # How the ensemble arrives (never changes its bits).
     jobs: int = 1
     cache_dir: str | None = None
@@ -334,6 +340,7 @@ def run_study(
                 attacker=config.attacker,
                 seed=config.analysis_seed,
                 chain=chain,
+                batch=config.batch,
             )
             matrix = analysis.run_matrix(architectures, placement, scenarios)
     wall_clock_s = time.perf_counter() - start

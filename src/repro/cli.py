@@ -133,6 +133,7 @@ def _study_config_from_args(
         seed=args.seed,
         ensemble=ensemble,
         chain=chain,
+        batch=False if getattr(args, "no_batch", False) else None,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         resume=args.resume,
@@ -523,6 +524,12 @@ def _add_common_study_args(
         help="ensemble size (--count is the deprecated spelling)",
     )
     p.add_argument("--seed", type=int, default=default_seed)
+    p.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="force the per-realization executor instead of the fused "
+        "batched one (results are bitwise identical; diagnostic only)",
+    )
     _add_perf_args(p)
 
 

@@ -26,11 +26,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.evaluator import evaluate
+from repro.core.evaluator import evaluate, evaluate_batch
 from repro.core.system_state import SystemState
 from repro.core.threat import CyberAttackBudget
 from repro.errors import AnalysisError
-from repro.scada.architectures import ArchitectureFamily
+from repro.scada.architectures import ArchitectureFamily, ArchitectureSpec
 
 
 def _serving_site_order(state: SystemState) -> list[int]:
@@ -151,6 +151,111 @@ class WorstCaseAttacker:
                 result = result.with_intrusions(idx, count)
                 remaining -= count
         return result
+
+    # -- the batched kernel ---------------------------------------------
+    def attack_batch(
+        self,
+        architecture: ArchitectureSpec,
+        flooded: np.ndarray,
+        isolated: np.ndarray,
+        intrusions: np.ndarray,
+        budget: CyberAttackBudget,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The greedy algorithm over a whole (realization x site) grid.
+
+        Vectorized transcription of :meth:`attack`, bitwise-identical to
+        applying it row by row (asserted by the batched-executor tests):
+        rule 1 resolves rows where safety can be (or already is)
+        compromised and those rows bypass the final severity guard,
+        exactly as the scalar early returns do; rules 2-3 run on the
+        rest in the same static (attack-priority, slot) order the scalar
+        code follows -- the order never changes mid-attack because
+        isolating or intruding a site cannot revive another.
+
+        Returns the post-attack ``(isolated, intrusions)`` grids.
+        """
+        if budget.is_empty:
+            return isolated, intrusions
+        n_rows, n_sites = flooded.shape
+        order = sorted(
+            range(n_sites),
+            key=lambda i: (architecture.sites[i].role.attack_priority, i),
+        )
+        replicas = np.array(
+            [site.replicas for site in architecture.sites], dtype=np.int64
+        )
+        functioning = ~(flooded | isolated)
+        target = architecture.intrusions_f + 1
+        out_iso = isolated.copy()
+        out_intr = intrusions.copy()
+
+        # Rule 1: rows it resolves (already compromised, or successfully
+        # compromised) never reach rules 2-3 or the severity guard.
+        if architecture.family is ArchitectureFamily.ACTIVE_MULTISITE:
+            total = np.where(functioning, intrusions, 0).sum(axis=1)
+            deficit = target - total
+            already = deficit <= 0
+            attempt = ~already & (deficit <= budget.intrusions)
+            remaining = np.where(attempt, deficit, 0)
+            placed = intrusions.copy()
+            for s in order:
+                capacity = np.where(
+                    functioning[:, s], replicas[s] - intrusions[:, s], 0
+                )
+                take = np.minimum(remaining, capacity)
+                placed[:, s] += take
+                remaining -= take
+            success = attempt & (remaining <= 0)
+            out_intr[success] = placed[success]
+            resolved = already | success
+        else:
+            # Per-site groups: any functioning site already past f wins
+            # outright; otherwise the first functioning site (in order)
+            # whose deficit fits the budget *and* its replica count.
+            already = (np.where(functioning, intrusions, 0) >= target).any(axis=1)
+            chosen = np.full(n_rows, -1, dtype=np.int64)
+            for s in order:
+                hit = (
+                    ~already
+                    & (chosen < 0)
+                    & functioning[:, s]
+                    & (target - intrusions[:, s] <= budget.intrusions)
+                    & (target <= replicas[s])
+                )
+                chosen[hit] = s
+            for s in order:
+                rows = chosen == s
+                out_intr[rows, s] = target
+            resolved = already | (chosen >= 0)
+
+        pending = ~resolved
+        if pending.any():
+            # Rule 2: isolate the first L functioning sites in order.
+            iso23 = isolated.copy()
+            intr23 = intrusions.copy()
+            iso_budget = np.where(pending, budget.isolations, 0)
+            for s in order:
+                hit = functioning[:, s] & (iso_budget > 0)
+                iso23[hit, s] = True
+                iso_budget -= hit
+            # Rule 3: distribute remaining intrusions greedily in order.
+            still_functioning = ~(flooded | iso23)
+            remaining = np.where(pending, budget.intrusions, 0)
+            for s in order:
+                capacity = np.where(
+                    still_functioning[:, s], replicas[s] - intr23[:, s], 0
+                )
+                take = np.minimum(remaining, capacity)
+                intr23[:, s] += take
+                remaining -= take
+            # Doing nothing is always within the attacker's power: never
+            # return an outcome milder than the starting state.
+            before = evaluate_batch(architecture, flooded, isolated, intrusions)
+            after = evaluate_batch(architecture, flooded, iso23, intr23)
+            keep = pending & (after >= before)
+            out_iso[keep] = iso23[keep]
+            out_intr[keep] = intr23[keep]
+        return out_iso, out_intr
 
 
 class ExhaustiveAttacker:

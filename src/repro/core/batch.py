@@ -1,0 +1,253 @@
+"""Fused batched execution of the threat chain (the hot-path kernels).
+
+The per-realization executor (:meth:`~repro.core.chain.ThreatChain.run_state`)
+makes one Python pass per realization; this module holds the structures
+the *batched* executor uses to evaluate the whole (realization x asset)
+grid in a handful of numpy passes: fragility thresholds as one matrix
+comparison, the grid/WAN cascade as one coupling call per *distinct*
+damage pattern, the worst-case attack as a vectorized greedy sweep
+(:meth:`~repro.core.attacker.WorstCaseAttacker.attack_batch`), and
+Table I as a vectorized rule table
+(:func:`~repro.core.evaluator.evaluate_batch`).
+
+Correctness contract: the batched path must be **bitwise identical** to
+looping ``run_state`` over the ensemble.  Everything here is a straight
+vectorization of the scalar code in :mod:`repro.core.evaluator`,
+:mod:`repro.core.attacker`, and :mod:`repro.core.chain` -- never a
+re-derivation -- and ``tests/core/test_batch_properties.py`` compares
+the two element-wise across randomized thresholds, attackers, and asset
+sets for every registered preset.
+
+Batching is only sound for stages that never consume the rng (the
+per-realization loop hands one shared generator down the chain, and a
+fused pass cannot replay its stream draw-for-draw), so batch support is
+gated on the models' ``deterministic`` flags; stochastic models fall
+back to the per-realization executor unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.evaluator import evaluate_batch
+from repro.core.system_state import SiteStatus, SystemState
+from repro.core.threat import ThreatScenario
+from repro.hazards.fragility import FragilityModel
+from repro.scada.architectures import ArchitectureSpec
+from repro.scada.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from repro.core.chain import Attacker
+
+__all__ = [
+    "ChainBatch",
+    "BatchContext",
+    "model_token",
+    "attack_batch_fallback",
+    "classify_batch",
+]
+
+
+def model_token(model: object) -> object:
+    """A dict key identifying a model instance for memoization.
+
+    Hashable models (the library's frozen dataclasses) key by value, so
+    two equal thresholds share one failure matrix; unhashable models
+    fall back to identity.
+    """
+    try:
+        hash(model)
+    except TypeError:
+        return id(model)
+    return model
+
+
+@dataclass(frozen=True, eq=False)
+class ChainBatch:
+    """The batched analogue of a :class:`SystemState` mid-chain.
+
+    All site arrays are aligned ``(n_realizations, n_sites)`` grids in
+    the architecture's slot order.  ``failed`` is the hazard stage's
+    ``(n_realizations, n_assets)`` failed-asset grid handed downstream
+    (the batched analogue of ``ctx.extras["failed_assets"]``); it is
+    ``None`` until a hazard stage runs.  ``classified`` is set by a
+    classification stage: ``(n_realizations,)`` severity codes indexing
+    :data:`~repro.core.states.STATE_ORDER`.
+    """
+
+    flooded: np.ndarray
+    isolated: np.ndarray
+    intrusions: np.ndarray
+    failed: np.ndarray | None = None
+    classified: np.ndarray | None = None
+
+    def replace(self, **changes: object) -> "ChainBatch":
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+class BatchContext:
+    """Everything one batched chain run can read.
+
+    The per-cell analogue of :class:`~repro.core.chain.ChainContext`:
+    one is built per (architecture, placement, scenario) cell, wrapping
+    the ensemble's full ``(n_realizations, n_assets)`` depth matrix
+    instead of one realization.  ``matrix_cache`` is an externally owned
+    memo (model token -> failure matrix) the pipeline shares across
+    cells, so an ensemble pays one fragility pass per distinct model --
+    the batched counterpart of the per-realization failed-asset memo.
+    """
+
+    __slots__ = (
+        "architecture",
+        "placement",
+        "scenario",
+        "fragility",
+        "attacker",
+        "asset_names",
+        "depths",
+        "site_names",
+        "_site_columns",
+        "_matrix_cache",
+    )
+
+    def __init__(
+        self,
+        architecture: ArchitectureSpec,
+        placement: Placement,
+        scenario: ThreatScenario,
+        *,
+        fragility: FragilityModel,
+        attacker: "Attacker",
+        asset_names: list[str],
+        depths: np.ndarray,
+        matrix_cache: dict[object, np.ndarray] | None = None,
+    ) -> None:
+        self.architecture = architecture
+        self.placement = placement
+        self.scenario = scenario
+        self.fragility = fragility
+        self.attacker = attacker
+        self.asset_names = list(asset_names)
+        self.depths = depths
+        self.site_names = placement.sites_for(architecture)
+        columns = {name: i for i, name in enumerate(self.asset_names)}
+        # A placed site absent from the hazard catalog never floods --
+        # exactly as a name missing from a failed-asset set.
+        self._site_columns = tuple(columns.get(n) for n in self.site_names)
+        self._matrix_cache = {} if matrix_cache is None else matrix_cache
+
+    @property
+    def n_realizations(self) -> int:
+        return int(self.depths.shape[0])
+
+    def failure_matrix(self, model: FragilityModel | None = None) -> np.ndarray:
+        """The (memoized) failed-asset grid under ``model``.
+
+        ``None`` selects the analysis-level fragility model, mirroring
+        how stages built without their own model inherit the context's.
+        """
+        resolved = model if model is not None else self.fragility
+        token = model_token(resolved)
+        try:
+            return self._matrix_cache[token]
+        except KeyError:
+            pass
+        matrix = resolved.failure_matrix(self.depths)
+        self._matrix_cache[token] = matrix
+        return matrix
+
+    def flooded_sites(self, failed: np.ndarray) -> np.ndarray:
+        """Map a failed-asset grid onto the placed site slots."""
+        out = np.zeros((self.n_realizations, len(self.site_names)), dtype=bool)
+        for j, col in enumerate(self._site_columns):
+            if col is not None:
+                out[:, j] = failed[:, col]
+        return out
+
+    def fresh_batch(self, failed: np.ndarray) -> ChainBatch:
+        """The batched ``initial_state``: flooded sites, nothing else."""
+        shape = (self.n_realizations, len(self.site_names))
+        return ChainBatch(
+            flooded=self.flooded_sites(failed),
+            isolated=np.zeros(shape, dtype=bool),
+            intrusions=np.zeros(shape, dtype=np.int64),
+            failed=failed,
+        )
+
+    def base_batch(self) -> ChainBatch:
+        """The batched ``base_state``: untouched by any hazard."""
+        shape = (self.n_realizations, len(self.site_names))
+        return ChainBatch(
+            flooded=np.zeros(shape, dtype=bool),
+            isolated=np.zeros(shape, dtype=bool),
+            intrusions=np.zeros(shape, dtype=np.int64),
+        )
+
+    def state_from_rows(
+        self,
+        flooded: np.ndarray,
+        isolated: np.ndarray,
+        intrusions: np.ndarray,
+    ) -> SystemState:
+        """One row of the grid as a scalar :class:`SystemState`."""
+        sites = tuple(
+            SiteStatus(
+                asset_name=name,
+                spec=spec,
+                flooded=bool(flooded[j]),
+                isolated=bool(isolated[j]),
+                intrusions=int(intrusions[j]),
+            )
+            for j, (name, spec) in enumerate(
+                zip(self.site_names, self.architecture.sites)
+            )
+        )
+        return SystemState(self.architecture, sites)
+
+
+def attack_batch_fallback(
+    attacker: "Attacker", ctx: BatchContext, batch: ChainBatch
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batch any *deterministic* attacker by per-pattern replay.
+
+    A deterministic attacker is a pure function of ``(state, budget)``,
+    and the (flooded, isolated, intrusions) grid has far fewer distinct
+    rows than realizations; run the scalar attack once per distinct row
+    and scatter the results.  Used for deterministic attackers without
+    their own ``attack_batch`` (e.g. the exhaustive oracle).
+    """
+    n_sites = len(ctx.site_names)
+    key = np.hstack(
+        [
+            batch.flooded.astype(np.int64),
+            batch.isolated.astype(np.int64),
+            batch.intrusions.astype(np.int64),
+        ]
+    )
+    patterns, inverse = np.unique(key, axis=0, return_inverse=True)
+    inverse = np.asarray(inverse).reshape(-1)
+    iso_out = np.zeros((len(patterns), n_sites), dtype=bool)
+    intr_out = np.zeros((len(patterns), n_sites), dtype=np.int64)
+    budget = ctx.scenario.budget
+    for p, row in enumerate(patterns):
+        state = ctx.state_from_rows(
+            row[:n_sites] != 0,
+            row[n_sites : 2 * n_sites] != 0,
+            row[2 * n_sites :],
+        )
+        attacked = attacker.attack(state, budget, None)
+        for j, site in enumerate(attacked.sites):
+            iso_out[p, j] = site.isolated
+            intr_out[p, j] = site.intrusions
+    return iso_out[inverse], intr_out[inverse]
+
+
+def classify_batch(ctx: BatchContext, batch: ChainBatch) -> np.ndarray:
+    """Severity codes for every realization of a finished batch."""
+    return evaluate_batch(
+        ctx.architecture, batch.flooded, batch.isolated, batch.intrusions
+    )

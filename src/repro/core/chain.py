@@ -37,6 +37,12 @@ from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 import numpy as np
 
 from repro.core.attacker import WorstCaseAttacker
+from repro.core.batch import (
+    BatchContext,
+    ChainBatch,
+    attack_batch_fallback,
+    classify_batch,
+)
 from repro.core.evaluator import evaluate
 from repro.core.states import OperationalState
 from repro.core.system_state import SystemState, initial_state
@@ -175,6 +181,35 @@ class Stage(Protocol):
         ...  # pragma: no cover - protocol
 
 
+@runtime_checkable
+class BatchedStage(Stage, Protocol):
+    """A stage that can also run as one fused pass over the whole grid.
+
+    ``apply_batch`` is the batched analogue of ``apply``: it transforms
+    a :class:`~repro.core.batch.ChainBatch` (``None`` meaning "no stage
+    has run yet", exactly like ``apply``'s ``None`` state) under a
+    :class:`~repro.core.batch.BatchContext` and must be bitwise-faithful
+    to applying the scalar stage per realization.  ``supports_batch``
+    reports whether that is possible for a *specific* context -- a stage
+    wrapping a stochastic model must decline, because a fused pass
+    cannot replay the per-realization rng stream.  The executor
+    (:meth:`ThreatChain.run_batch`) is only selected when every stage of
+    the chain agrees; custom stages without these methods simply keep
+    the per-realization executor.
+    """
+
+    def supports_batch(self, ctx: BatchContext) -> bool:
+        ...  # pragma: no cover - protocol
+
+    def apply_batch(
+        self,
+        batch: ChainBatch | None,
+        ctx: BatchContext,
+        rng: np.random.Generator | None,
+    ) -> ChainBatch:
+        ...  # pragma: no cover - protocol
+
+
 @dataclass(frozen=True)
 class HazardImpactStage:
     """Fig. 5 box one: natural-disaster impact via the fragility model.
@@ -210,6 +245,25 @@ class HazardImpactStage:
             failed = ctx.realization.failed_assets(self.fragility, rng)
         ctx.extras["failed_assets"] = failed
         return initial_state(ctx.architecture, ctx.placement, failed)
+
+    def supports_batch(self, ctx: BatchContext) -> bool:
+        model = self.fragility if self.fragility is not None else ctx.fragility
+        return bool(getattr(model, "deterministic", False))
+
+    def apply_batch(
+        self,
+        batch: ChainBatch | None,
+        ctx: BatchContext,
+        rng: np.random.Generator | None,
+    ) -> ChainBatch:
+        # Like `apply`, the hazard stage ignores any incoming state: its
+        # output is the post-disaster initial state for every realization.
+        fresh = ctx.fresh_batch(ctx.failure_matrix(self.fragility))
+        if batch is not None and batch.classified is not None:
+            # A classification recorded earlier in the chain survives,
+            # exactly as `ctx.classified` does in the scalar executor.
+            fresh = fresh.replace(classified=batch.classified)
+        return fresh
 
 
 class InterdependencyStage:
@@ -367,6 +421,42 @@ class InterdependencyStage:
                     state = state.with_isolation(index)
         return state
 
+    def supports_batch(self, ctx: BatchContext) -> bool:
+        # When no hazard stage ran before us we compute the failed grid
+        # ourselves, which needs a deterministic analysis-level model;
+        # requiring it unconditionally is the conservative gate.
+        return bool(getattr(ctx.fragility, "deterministic", False))
+
+    def apply_batch(
+        self,
+        batch: ChainBatch | None,
+        ctx: BatchContext,
+        rng: np.random.Generator | None,
+    ) -> ChainBatch:
+        from repro.grid.storm_impact import damage_pattern_groups
+
+        if batch is None:
+            batch = ctx.base_batch()
+        failed = batch.failed
+        if failed is None:
+            failed = ctx.failure_matrix()
+            batch = batch.replace(failed=failed)
+        grid, _wan, _pop_to_bus, _params = self._materialize()
+        # One coupling call per distinct damage pattern, through the same
+        # memo the scalar path uses (identical cache keys: both reduce
+        # the failed set to its grid-bus subset before lookup).
+        patterns, inverse = damage_pattern_groups(
+            failed, ctx.asset_names, frozenset(grid.buses)
+        )
+        masks = np.zeros((len(patterns), len(ctx.site_names)), dtype=bool)
+        for p, pattern in enumerate(patterns):
+            isolated, _summary = self._coupling(pattern)
+            if isolated:
+                for j, name in enumerate(ctx.site_names):
+                    if name in isolated:
+                        masks[p, j] = True
+        return batch.replace(isolated=batch.isolated | masks[inverse])
+
 
 @dataclass(frozen=True)
 class CyberAttackStage:
@@ -403,6 +493,36 @@ class CyberAttackStage:
         attacker = self.attacker if self.attacker is not None else ctx.attacker
         return attacker.attack(state, ctx.scenario.budget, rng)
 
+    def supports_batch(self, ctx: BatchContext) -> bool:
+        attacker = self.attacker if self.attacker is not None else ctx.attacker
+        if callable(getattr(attacker, "attack_batch", None)):
+            return True
+        # A deterministic attacker without a native kernel still batches
+        # via per-pattern replay; a stochastic one cannot (rng stream).
+        return bool(getattr(attacker, "deterministic", False))
+
+    def apply_batch(
+        self,
+        batch: ChainBatch | None,
+        ctx: BatchContext,
+        rng: np.random.Generator | None,
+    ) -> ChainBatch:
+        if batch is None:
+            batch = ctx.base_batch()
+        attacker = self.attacker if self.attacker is not None else ctx.attacker
+        native = getattr(attacker, "attack_batch", None)
+        if callable(native):
+            isolated, intrusions = native(
+                ctx.architecture,
+                batch.flooded,
+                batch.isolated,
+                batch.intrusions,
+                ctx.scenario.budget,
+            )
+        else:
+            isolated, intrusions = attack_batch_fallback(attacker, ctx, batch)
+        return batch.replace(isolated=isolated, intrusions=intrusions)
+
 
 @dataclass(frozen=True)
 class ClassificationStage:
@@ -422,6 +542,19 @@ class ClassificationStage:
         ctx.classified = evaluate(state)
         return state
 
+    def supports_batch(self, ctx: BatchContext) -> bool:
+        return True
+
+    def apply_batch(
+        self,
+        batch: ChainBatch | None,
+        ctx: BatchContext,
+        rng: np.random.Generator | None,
+    ) -> ChainBatch:
+        if batch is None:
+            batch = ctx.base_batch()
+        return batch.replace(classified=classify_batch(ctx, batch))
+
 
 @dataclass(frozen=True)
 class NoOpStage:
@@ -437,6 +570,17 @@ class NoOpStage:
         rng: np.random.Generator | None,
     ) -> SystemState:
         return state
+
+    def supports_batch(self, ctx: BatchContext) -> bool:
+        return True
+
+    def apply_batch(
+        self,
+        batch: ChainBatch | None,
+        ctx: BatchContext,
+        rng: np.random.Generator | None,
+    ) -> ChainBatch:
+        return batch if batch is not None else ctx.base_batch()
 
 
 @dataclass(frozen=True)
@@ -557,6 +701,64 @@ class ThreatChain:
         if ctx.classified is not None:
             return ctx.classified
         return evaluate(state if state is not None else ctx.base_state())
+
+    def supports_batch(self, ctx: BatchContext) -> bool:
+        """Whether every stage can run the fused batched pass under ``ctx``.
+
+        A stage participates when it has a callable ``apply_batch`` and
+        its ``supports_batch`` (if any) accepts the context; any custom
+        stage without batch methods keeps the per-realization executor.
+        """
+        for stage in self.stages:
+            if not callable(getattr(stage, "apply_batch", None)):
+                return False
+            probe = getattr(stage, "supports_batch", None)
+            if callable(probe) and not probe(ctx):
+                return False
+        return True
+
+    def run_batch(
+        self, ctx: BatchContext, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        """Every realization through every stage as fused numpy passes.
+
+        Returns ``(n_realizations,)`` severity codes indexing
+        :data:`~repro.core.states.STATE_ORDER` -- the batched analogue of
+        mapping :meth:`run_state` over the ensemble, bitwise identical
+        to it for the built-in stages.
+        """
+        batch: ChainBatch | None = None
+        for stage in self.stages:
+            batch = getattr(stage, "apply_batch")(batch, ctx, rng)
+        return self._batch_codes(ctx, batch)
+
+    def run_batch_timed(
+        self,
+        ctx: BatchContext,
+        rng: np.random.Generator | None,
+        totals: dict[str, float],
+    ) -> np.ndarray:
+        """The batched pass with per-stage wall-clock accumulated by name."""
+        perf = time.perf_counter
+        batch: ChainBatch | None = None
+        for stage in self.stages:
+            t0 = perf()
+            batch = getattr(stage, "apply_batch")(batch, ctx, rng)
+            elapsed = perf() - t0
+            name = stage.name
+            totals[name] = totals.get(name, 0.0) + elapsed
+        return self._batch_codes(ctx, batch)
+
+    def _batch_codes(
+        self, ctx: BatchContext, batch: ChainBatch | None
+    ) -> np.ndarray:
+        # Mirror the scalar executor's tail: a chain that never classified
+        # evaluates its final state (base state when no stage produced one).
+        if batch is None:
+            batch = ctx.base_batch()
+        if batch.classified is not None:
+            return batch.classified
+        return classify_batch(ctx, batch)
 
     def _outcome(
         self,

@@ -14,6 +14,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.core.states import STATE_ORDER, OperationalState
 from repro.errors import AnalysisError
 from repro.scada.failover import FailoverPolicy
@@ -36,6 +38,21 @@ class OperationalProfile:
     @classmethod
     def from_states(cls, states: Iterable[OperationalState]) -> "OperationalProfile":
         return cls(Counter(states))
+
+    @classmethod
+    def from_state_codes(cls, codes: np.ndarray) -> "OperationalProfile":
+        """A profile from severity codes (the batched executor's output).
+
+        ``codes[i]`` indexes :data:`~repro.core.states.STATE_ORDER` --
+        i.e. equals ``state.severity`` -- as produced by
+        :func:`~repro.core.evaluator.evaluate_batch`.
+        """
+        counts = np.bincount(
+            np.asarray(codes, dtype=np.int64), minlength=len(STATE_ORDER)
+        )
+        if counts.size > len(STATE_ORDER):
+            raise AnalysisError("state code outside the operational-state range")
+        return cls({state: int(counts[i]) for i, state in enumerate(STATE_ORDER)})
 
     @property
     def total(self) -> int:

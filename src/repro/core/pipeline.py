@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.attacker import WorstCaseAttacker
+from repro.core.batch import BatchContext
 from repro.core.chain import (
     Attacker,
     ChainContext,
@@ -76,6 +77,14 @@ class CompoundThreatAnalysis:
         The threat chain to run each realization through: a registered
         name, a :class:`~repro.core.chain.ThreatChain`, or ``None`` for
         the paper's exact three-stage pipeline.
+    batch:
+        Executor selection.  ``None`` (the default) auto-selects: the
+        fused batched executor when the ensemble exposes a depth grid
+        and every chain stage supports batching, the per-realization
+        loop otherwise.  ``False`` forces the per-realization loop;
+        ``True`` requires the batched path and raises
+        :class:`~repro.errors.AnalysisError` when it is unavailable.
+        Both executors are bitwise identical for the built-in chains.
     """
 
     def __init__(
@@ -86,6 +95,7 @@ class CompoundThreatAnalysis:
         seed: int = 0,
         failed_cache: dict[int, frozenset[str]] | None = None,
         chain: ThreatChain | str | None = None,
+        batch: bool | None = None,
     ) -> None:
         if len(ensemble) == 0:
             raise AnalysisError("ensemble must contain realizations")
@@ -93,6 +103,7 @@ class CompoundThreatAnalysis:
         self.fragility = fragility or ThresholdFragility()
         self.attacker = attacker or WorstCaseAttacker()
         self.chain = resolve_chain(chain)
+        self.batch = batch
         self._seed = seed
         # Failed-asset sets per realization, for deterministic fragility
         # models.  Keyed by realization index: indices identify a
@@ -102,6 +113,13 @@ class CompoundThreatAnalysis:
         self._failed_cache: dict[int, frozenset[str]] = (
             {} if failed_cache is None else failed_cache
         )
+        # Batched-executor memos, shared across every matrix cell: the
+        # ensemble's depth grid is resolved once, and failure matrices
+        # are cached per fragility model (the batched counterpart of the
+        # per-realization failed-asset memo above).
+        self._batch_depths: tuple[list[str], np.ndarray] | None = None
+        self._batch_probed = False
+        self._failure_matrix_cache: dict[object, np.ndarray] = {}
 
     def _failed_assets(
         self,
@@ -128,6 +146,50 @@ class CompoundThreatAnalysis:
             return failed
         current_observer().inc("pipeline.failed_cache.hit")
         return failed
+
+    def _depth_grid(self) -> tuple[list[str], np.ndarray] | None:
+        """The ensemble's (asset names, depth matrix), probed once.
+
+        ``None`` when the ensemble does not expose a per-asset intensity
+        grid -- the batched executor then stays off and the
+        per-realization loop handles everything, as before.
+        """
+        if not self._batch_probed:
+            self._batch_probed = True
+            names = getattr(self.ensemble, "asset_names", None)
+            view = getattr(self.ensemble, "depth_view", None)
+            if not callable(view):
+                view = getattr(self.ensemble, "depth_matrix", None)
+            if names and callable(view):
+                depths = np.asarray(view())
+                if depths.ndim == 2 and depths.shape == (
+                    len(self.ensemble),
+                    len(names),
+                ):
+                    self._batch_depths = (list(names), depths)
+        return self._batch_depths
+
+    def _batch_context(
+        self,
+        architecture: ArchitectureSpec,
+        placement: Placement,
+        scenario: ThreatScenario,
+    ) -> BatchContext | None:
+        """A batch context for one cell, or ``None`` when unavailable."""
+        grid = self._depth_grid()
+        if grid is None:
+            return None
+        names, depths = grid
+        return BatchContext(
+            architecture,
+            placement,
+            scenario,
+            fragility=self.fragility,
+            attacker=self.attacker,
+            asset_names=names,
+            depths=depths,
+            matrix_cache=self._failure_matrix_cache,
+        )
 
     def _context(
         self,
@@ -182,6 +244,17 @@ class CompoundThreatAnalysis:
         scenario: ThreatScenario,
     ) -> OperationalProfile:
         """Outcome probabilities for one configuration under one scenario."""
+        if self.batch is not False:
+            bctx = self._batch_context(architecture, placement, scenario)
+            if bctx is not None and self.chain.supports_batch(bctx):
+                return self._run_batched(bctx)
+            if self.batch is True:
+                reason = (
+                    "ensemble exposes no per-asset depth grid"
+                    if bctx is None
+                    else f"chain {self.chain.name!r} has unbatchable stages"
+                )
+                raise AnalysisError(f"batched execution required but {reason}")
         rng = np.random.default_rng(self._seed)
         obs = current_observer()
         if not obs.enabled:
@@ -225,6 +298,37 @@ class CompoundThreatAnalysis:
         for name, total in totals.items():
             obs.observe(f"pipeline.stage.{name}_s", total)
         return OperationalProfile.from_states(states)
+
+    def _run_batched(self, bctx: BatchContext) -> OperationalProfile:
+        """One cell via the fused batched executor.
+
+        Deterministic stages never consume the rng (that is exactly the
+        batch-support gate), so no generator is seeded here; the scalar
+        path's generator is untouched by the same stages, keeping the
+        two executors bitwise identical.
+        """
+        obs = current_observer()
+        chain = self.chain
+        if not obs.enabled:
+            codes = chain.run_batch(bctx, None)
+            return OperationalProfile.from_state_codes(codes)
+        totals: dict[str, float] = {}
+        with obs.span(
+            "analysis.run",
+            scenario=bctx.scenario.name,
+            architecture=bctx.architecture.name,
+            chain=chain.name,
+            executor="batched",
+        ):
+            codes = chain.run_batch_timed(bctx, None, totals)
+            n = int(codes.shape[0])
+            for name, total in totals.items():
+                obs.record_span(f"pipeline.stage.{name}", total, realizations=n)
+            obs.inc("pipeline.realizations", n)
+            obs.inc("pipeline.batched_runs")
+        for name, total in totals.items():
+            obs.observe(f"pipeline.stage.{name}_s", total)
+        return OperationalProfile.from_state_codes(codes)
 
     def run_matrix(
         self,

@@ -15,6 +15,9 @@ operational state (can the operators see and steer?) and the grid state
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import GridModelError
 from repro.grid.contingency import simulate_contingency
@@ -127,3 +130,31 @@ def ensemble_grid_impact(
         worst_served_fraction=min(fractions),
         damage_probability=damaged / len(fractions),
     )
+
+
+def damage_pattern_groups(
+    failed: np.ndarray,
+    asset_names: Sequence[str],
+    bus_names: frozenset[str] | set[str],
+) -> tuple[list[frozenset[str]], np.ndarray]:
+    """Distinct grid-damage patterns in a (realization x asset) failure grid.
+
+    Returns ``(patterns, inverse)`` with ``patterns[inverse[i]]`` the set
+    of failed grid buses in realization ``i``.  Only columns naming grid
+    buses enter the dedup, so control-center-only flooding collapses into
+    the no-damage pattern -- which is why the batched interdependency
+    stage pays one cascade per *distinct* damage pattern instead of one
+    per realization (most realizations damage no bus and share one
+    entry, exactly as the per-realization coupling memo does).
+    """
+    columns = [i for i, name in enumerate(asset_names) if name in bus_names]
+    n_rows = int(failed.shape[0])
+    if not columns:
+        return [frozenset()], np.zeros(n_rows, dtype=np.intp)
+    sub = np.asarray(failed, dtype=bool)[:, columns]
+    rows, inverse = np.unique(sub, axis=0, return_inverse=True)
+    names = [asset_names[c] for c in columns]
+    patterns = [
+        frozenset(name for name, hit in zip(names, row) if hit) for row in rows
+    ]
+    return patterns, np.asarray(inverse).reshape(-1)

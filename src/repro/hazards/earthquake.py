@@ -141,6 +141,35 @@ class EarthquakeEnsemble:
     def __getitem__(self, index: int) -> EarthquakeRealization:
         return self.realizations[index]
 
+    @property
+    def asset_names(self) -> list[str]:
+        return list(self.realizations[0].pga_g)
+
+    def _intensity_data(self) -> np.ndarray:
+        """The cached (R x A) peak-ground-acceleration matrix."""
+        try:
+            return self._intensity_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        names = self.asset_names
+        matrix = np.array([[r.pga_g[n] for n in names] for r in self.realizations])
+        object.__setattr__(self, "_intensity_cache", matrix)
+        return matrix
+
+    def depth_matrix(self) -> np.ndarray:
+        """(n_realizations, n_assets) PGA values.
+
+        Named for interface parity with the hurricane ensemble: the
+        batched executor treats any per-asset intensity grid uniformly
+        (the seismic fragility thresholds PGA exactly as the flood
+        fragility thresholds depth).
+        """
+        return self._intensity_data().copy()
+
+    def depth_view(self) -> np.ndarray:
+        """The cached intensity matrix without the defensive copy."""
+        return self._intensity_data()
+
     def failure_probability(
         self, asset_name: str, fragility: FragilityModel | None = None
     ) -> float:

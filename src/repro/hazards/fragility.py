@@ -55,6 +55,27 @@ class FragilityModel(abc.ABC):
             name for name, depth in depths_m.items() if self.fails(depth, rng)
         )
 
+    def failure_matrix(self, depths: np.ndarray) -> np.ndarray:
+        """Vectorized failure mask over a (realization x asset) depth grid.
+
+        The batched executor's fragility pass: one boolean per cell,
+        bitwise-identical to calling :meth:`fails` on each depth.  Only
+        defined for deterministic outcomes -- a probability strictly
+        between 0 and 1 would need an rng draw per cell, so it raises
+        :class:`HazardError` exactly as :meth:`fails` does without an
+        rng (and the batched path falls back to per-realization
+        execution for models whose ``deterministic`` flag is False).
+        """
+        flat = depths.reshape(-1)
+        probs = np.fromiter(
+            (self.failure_probability(float(d)) for d in flat), float, flat.size
+        )
+        if bool(np.any((probs > 0.0) & (probs < 1.0))):
+            raise HazardError(
+                "probabilistic fragility model requires an rng to sample outcomes"
+            )
+        return (probs >= 1.0).reshape(depths.shape)
+
 
 @dataclass(frozen=True)
 class ThresholdFragility(FragilityModel):
@@ -70,6 +91,10 @@ class ThresholdFragility(FragilityModel):
 
     def failure_probability(self, depth_m: float) -> float:
         return 1.0 if depth_m > self.threshold_m else 0.0
+
+    def failure_matrix(self, depths: np.ndarray) -> np.ndarray:
+        """One fused comparison; same bits as the per-depth rule."""
+        return depths > self.threshold_m
 
 
 @dataclass(frozen=True)

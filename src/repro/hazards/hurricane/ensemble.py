@@ -174,6 +174,15 @@ class HurricaneEnsemble:
         matrix, _ = self._depth_data()
         return matrix.copy()
 
+    def depth_view(self) -> np.ndarray:
+        """The cached depth matrix without the defensive copy.
+
+        The batched executor reads this once per analysis; callers must
+        treat it as read-only (it backs every other depth query).
+        """
+        matrix, _ = self._depth_data()
+        return matrix
+
     def flood_probability(
         self, asset_name: str, fragility: FragilityModel | None = None
     ) -> float:

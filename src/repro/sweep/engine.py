@@ -44,6 +44,11 @@ from repro.hazards.fragility import FragilityModel, ThresholdFragility
 from repro.hazards.hurricane.standard import shared_standard_generator
 from repro.io.atomic import atomic_write_text, quarantine_file
 from repro.io.results_io import matrix_from_dict, matrix_to_dict
+from repro.io.shared_ensemble import (
+    attach_shared_ensemble,
+    publish_shared_ensemble,
+    shareable_ensemble,
+)
 from repro.obs.manifest import write_json_artifact
 from repro.obs.observer import (
     NULL_OBSERVER,
@@ -51,6 +56,7 @@ from repro.obs.observer import (
     Observability,
     activate,
 )
+from repro.obs.observer import current as current_observer
 from repro.runtime.checkpoint import sha256_of
 from repro.runtime.controller import RetryPolicy
 from repro.sweep.result import StudyCell, SweepResult
@@ -213,6 +219,7 @@ def _analyze(
         seed=config.analysis_seed,
         failed_cache=failed_cache,
         chain=chain,
+        batch=config.batch,
     )
     return analysis.run_matrix(
         config.resolve_configurations(),
@@ -222,21 +229,52 @@ def _analyze(
 
 
 _worker_ensemble: HazardEnsemble | None = None
+_worker_descriptor: dict | None = None
 _worker_caches: dict = {}
 
 
 def _pool_init(ensemble: HazardEnsemble) -> None:
-    """Install the group's shared ensemble in a worker process, once."""
-    global _worker_ensemble
+    """Install the group's pickled ensemble in a worker process, once.
+
+    Legacy path for ensembles without a depth grid; shareable ensembles
+    go through :func:`_pool_init_shared` and never cross the process
+    boundary as pickled bytes.
+    """
+    global _worker_ensemble, _worker_descriptor
     _worker_ensemble = ensemble
+    _worker_descriptor = None
     _worker_caches.clear()
+
+
+def _pool_init_shared(descriptor: dict) -> None:
+    """Install the group's shared-ensemble descriptor in a worker.
+
+    Only the small descriptor crosses the process boundary; the worker
+    attaches to the shared depth grid lazily on its first task (so the
+    attach counter lands in a task's metric snapshot and gets merged
+    into the sweep manifest).
+    """
+    global _worker_ensemble, _worker_descriptor
+    _worker_ensemble = None
+    _worker_descriptor = descriptor
+    _worker_caches.clear()
+
+
+def _worker_get_ensemble() -> HazardEnsemble:
+    global _worker_ensemble
+    if _worker_ensemble is None:
+        if _worker_descriptor is None:
+            raise ConfigurationError("sweep worker has no ensemble installed")
+        _worker_ensemble = attach_shared_ensemble(_worker_descriptor)
+        current_observer().inc("sweep.ensemble.shared_attach")
+    return _worker_ensemble
 
 
 def _pool_run(config: StudyConfig) -> tuple[dict, dict]:
     """Run one study in a worker; return (matrix dict, metric snapshot)."""
     obs = Observability()
     with activate(obs):
-        matrix = _analyze(_worker_ensemble, config, _worker_caches)
+        matrix = _analyze(_worker_get_ensemble(), config, _worker_caches)
     return matrix_to_dict(matrix), obs.metrics.snapshot()
 
 
@@ -249,34 +287,75 @@ def _picklable(*objects) -> bool:
     return True
 
 
+def _run_pool(
+    pending: Sequence[StudyConfig],
+    jobs: int,
+    obs: Observability | NullObservability,
+    initializer,
+    initarg,
+) -> Iterator[tuple[int, ScenarioMatrix]]:
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending)),
+        initializer=initializer,
+        initargs=(initarg,),
+    ) as pool:
+        futures = {
+            pool.submit(_pool_run, config): pos
+            for pos, config in enumerate(pending)
+        }
+        for future in as_completed(futures):
+            payload, snapshot = future.result()
+            obs.merge_snapshot(snapshot)
+            yield futures[future], matrix_from_dict(payload)
+
+
 def _iter_group_results(
     ensemble: HazardEnsemble,
     pending: Sequence[StudyConfig],
     jobs: int,
     obs: Observability | NullObservability,
+    share_ref: dict | None = None,
 ) -> Iterator[tuple[int, ScenarioMatrix]]:
-    """Yield ``(position, matrix)`` per pending study as each finishes."""
+    """Yield ``(position, matrix)`` per pending study as each finishes.
+
+    ``share_ref`` is an optional pre-existing mmap descriptor for the
+    group's depth grid (the cache sidecar); when absent and the
+    ensemble is shareable, a shared-memory segment is published for the
+    pool's lifetime and unlinked in the ``finally`` -- including on
+    ``KeyboardInterrupt`` or a broken pool.
+    """
     if jobs > 1 and len(pending) > 1:
         # Workers receive the config without its data objects: the
-        # ensemble ships once via the pool initializer and a generator
-        # (with its mesh) never needs to cross the process boundary.
+        # ensemble ships by descriptor (or once via the legacy pickled
+        # initializer) and a generator (with its mesh) never needs to
+        # cross the process boundary.
         stripped = [c.replace(ensemble=None, generator=None) for c in pending]
-        if _picklable(ensemble, *stripped):
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending)),
-                initializer=_pool_init,
-                initargs=(ensemble,),
-            ) as pool:
-                futures = {
-                    pool.submit(_pool_run, config): pos
-                    for pos, config in enumerate(stripped)
-                }
-                for future in as_completed(futures):
-                    payload, snapshot = future.result()
-                    obs.merge_snapshot(snapshot)
-                    yield futures[future], matrix_from_dict(payload)
+        if not _picklable(*stripped):
+            obs.event("sweep.parallel_fallback", reason="unpicklable study inputs")
+        elif share_ref is not None or shareable_ensemble(ensemble):
+            handle = None
+            descriptor = share_ref
+            if descriptor is None:
+                handle = publish_shared_ensemble(ensemble)
+            if handle is not None:
+                descriptor = handle.descriptor
+                obs.inc("sweep.ensemble.shared_publish")
+            else:
+                obs.inc("sweep.ensemble.shared_mmap")
+            try:
+                yield from _run_pool(
+                    stripped, jobs, obs, _pool_init_shared, descriptor
+                )
+            finally:
+                if handle is not None:
+                    handle.close()
+                    handle.unlink()
             return
-        obs.event("sweep.parallel_fallback", reason="unpicklable study inputs")
+        elif _picklable(ensemble):
+            yield from _run_pool(stripped, jobs, obs, _pool_init, ensemble)
+            return
+        else:
+            obs.event("sweep.parallel_fallback", reason="unpicklable ensemble")
     caches: dict = {}
     for pos, config in enumerate(pending):
         yield pos, _analyze(ensemble, config, caches)
@@ -284,11 +363,17 @@ def _iter_group_results(
 
 def _acquire_group_ensemble(
     config: StudyConfig, obs: Observability | NullObservability
-) -> HazardEnsemble:
-    """One group's hazard data, generated/loaded exactly once per sweep."""
+) -> tuple[HazardEnsemble, dict | None]:
+    """One group's hazard data, generated/loaded exactly once per sweep.
+
+    Returns ``(ensemble, share_ref)``: when the ensemble round-tripped
+    through the on-disk cache, ``share_ref`` is the mmap descriptor of
+    its depth sidecar and pool workers map the file directly instead of
+    receiving any copy at all.
+    """
     if config.ensemble is not None:
         obs.inc("sweep.ensemble.prebuilt")
-        return config.ensemble
+        return config.ensemble, None
     generator = config.generator or shared_standard_generator()
     retry = RetryPolicy.from_options(config.max_retries, config.task_timeout)
     with obs.span(
@@ -307,7 +392,16 @@ def _acquire_group_ensemble(
             retry=retry,
         )
     obs.inc("sweep.ensemble.generated")
-    return ensemble
+    share_ref = None
+    if config.cache_dir is not None and hasattr(generator, "cache_key"):
+        from repro.io.ensemble_cache import shared_depth_descriptor
+
+        share_ref = shared_depth_descriptor(
+            config.cache_dir, generator.cache_key(config.n_realizations, config.seed)
+        )
+        if share_ref is not None and share_ref["shape"][0] != len(ensemble):
+            share_ref = None
+    return ensemble, share_ref
 
 
 # ----------------------------------------------------------------------
@@ -419,12 +513,14 @@ def run_sweep(
                         pending.append(i)
                 if not pending:
                     continue
-                ensemble = _acquire_group_ensemble(configs[pending[0]], obs)
+                ensemble, share_ref = _acquire_group_ensemble(
+                    configs[pending[0]], obs
+                )
                 if len(pending) > 1:
                     obs.inc("sweep.ensemble.reused", len(pending) - 1)
                 pending_configs = [configs[i] for i in pending]
                 for pos, matrix in _iter_group_results(
-                    ensemble, pending_configs, jobs, obs
+                    ensemble, pending_configs, jobs, obs, share_ref
                 ):
                     i = pending[pos]
                     matrices[i] = matrix

@@ -49,8 +49,12 @@ def _profiles(matrix):
 
 
 def test_run_matrix_evaluates_fragility_once_per_realization(small_ensemble):
+    # batch=False: this tests the per-realization memo specifically (the
+    # batched executor has its own failure-matrix cache).
     fragility = CountingFragility()
-    analysis = CompoundThreatAnalysis(small_ensemble, fragility=fragility)
+    analysis = CompoundThreatAnalysis(
+        small_ensemble, fragility=fragility, batch=False
+    )
     analysis.run_matrix(
         list(PAPER_CONFIGURATIONS), PLACEMENT_WAIAU, list(PAPER_SCENARIOS)
     )
@@ -59,7 +63,9 @@ def test_run_matrix_evaluates_fragility_once_per_realization(small_ensemble):
 
 def test_unmemoized_pays_the_full_matrix_cost(small_ensemble):
     fragility = UncachedCountingFragility()
-    analysis = CompoundThreatAnalysis(small_ensemble, fragility=fragility)
+    analysis = CompoundThreatAnalysis(
+        small_ensemble, fragility=fragility, batch=False
+    )
     analysis.run_matrix(
         list(PAPER_CONFIGURATIONS), PLACEMENT_WAIAU, list(PAPER_SCENARIOS)
     )

@@ -205,9 +205,12 @@ class TestManifestTelemetry:
         counters = manifest["metrics"]["counters"]
         cells = len(PAPER_SCENARIOS) * len(PAPER_CONFIGURATIONS)
         assert counters["pipeline.realizations"] == cells * N
-        # Fragility memoization: one miss per realization, the rest hits.
-        assert counters["pipeline.failed_cache.miss"] == N
-        assert counters["pipeline.failed_cache.hit"] == (cells - 1) * N
+        # The default executor is the fused batched one: every cell runs
+        # batched and the per-realization fragility memo is never
+        # consulted (the batched path has its own failure-matrix cache).
+        assert counters["pipeline.batched_runs"] == cells
+        assert "pipeline.failed_cache.miss" not in counters
+        assert "pipeline.failed_cache.hit" not in counters
 
     def test_manifest_counts_runtime_work_when_generating(self):
         result = run_study(

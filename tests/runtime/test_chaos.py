@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.api import StudyConfig
 from repro.errors import RetryExhaustedError
 from repro.hazards.hurricane.standard import standard_oahu_generator
 from repro.io.atomic import CorruptArtifactWarning
@@ -21,8 +22,11 @@ from repro.io.ensemble_cache import (
     params_to_row,
     save_ensemble_cache,
 )
+from repro.hazards.fragility import ThresholdFragility
+from repro.io.shared_ensemble import attach_shared_ensemble
 from repro.runtime.controller import RetryPolicy
 from repro.runtime.faults import FaultPlan
+from repro.sweep import run_sweep, sweep_grid
 
 COUNT = 24
 SEED = 20220522
@@ -174,3 +178,71 @@ class TestTornCacheWrites:
         assert npz_path.read_bytes() == before
         assert list(tmp_path.glob("*.tmp")) == []
         assert load_ensemble_cache(tmp_path, key) is not None
+
+
+class ExplodingFragility(ThresholdFragility):
+    """Deterministic fragility that detonates inside the worker."""
+
+    def failure_matrix(self, depths):
+        raise RuntimeError("chaos: fragility exploded in the worker")
+
+    def failed_assets(self, depths_m, rng=None):
+        raise RuntimeError("chaos: fragility exploded in the worker")
+
+
+class TestSharedMemorySegments:
+    """The sweep engine may not leak shm segments, whatever kills it."""
+
+    def _grid(self):
+        return sweep_grid(
+            StudyConfig(n_realizations=30), configurations=["2", "2-2"]
+        )
+
+    def _spy_publish(self, monkeypatch):
+        import repro.sweep.engine as engine
+
+        published: list[dict] = []
+        real = engine.publish_shared_ensemble
+
+        def spying(ensemble):
+            handle = real(ensemble)
+            if handle is not None:
+                published.append(handle.descriptor)
+            return handle
+
+        monkeypatch.setattr(engine, "publish_shared_ensemble", spying)
+        return published
+
+    def test_keyboard_interrupt_unlinks_the_segment(self, monkeypatch):
+        import repro.sweep.engine as engine
+
+        published = self._spy_publish(monkeypatch)
+
+        def interrupted(pending, jobs, obs, initializer, initarg):
+            raise KeyboardInterrupt  # the simulated ^C mid-pool
+
+        monkeypatch.setattr(engine, "_run_pool", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(self._grid(), jobs=2)
+        assert len(published) == 1
+        with pytest.raises(FileNotFoundError):
+            attach_shared_ensemble(published[0])
+
+    def test_worker_failure_unlinks_the_segment(self, monkeypatch):
+        published = self._spy_publish(monkeypatch)
+        grid = [
+            c.replace(fragility=ExplodingFragility()) for c in self._grid()
+        ]
+        with pytest.raises(RuntimeError, match="fragility exploded"):
+            run_sweep(grid, jobs=2)
+        assert len(published) == 1
+        with pytest.raises(FileNotFoundError):
+            attach_shared_ensemble(published[0])
+
+    def test_completed_sweep_leaves_no_live_handles(self):
+        from repro.io.shared_ensemble import _LIVE
+
+        before = set(_LIVE)
+        result = run_sweep(self._grid(), jobs=2)
+        assert len(result) == 2
+        assert set(_LIVE) == before

@@ -179,6 +179,68 @@ def test_parallel_matches_serial_bit_for_bit():
     ]
 
 
+def test_parallel_publishes_shared_memory_ensemble():
+    parallel = run_sweep(small_grid(), jobs=2)
+    c = counters(parallel)
+    # Parent published one segment for the group; workers attached to it
+    # (lazily, so the counter rode back in a task's metric snapshot).
+    assert c["sweep.ensemble.shared_publish"] == 1
+    assert c["sweep.ensemble.shared_attach"] >= 1
+    assert "sweep.ensemble.shared_mmap" not in c
+    serial = run_sweep(small_grid(), jobs=1)
+    for a, b in zip(serial.cells, parallel.cells):
+        assert matrix_to_dict(a.matrix) == matrix_to_dict(b.matrix)
+
+
+def test_cached_group_parallel_maps_the_sidecar(tmp_path):
+    grid = small_grid()
+    grid = [c.replace(cache_dir=tmp_path) for c in grid]
+    result = run_sweep(grid, jobs=2)
+    c = counters(result)
+    # The depth grid came straight off the cache sidecar: no shm segment
+    # was published, workers memory-mapped the file.
+    assert c["sweep.ensemble.shared_mmap"] == 1
+    assert c["sweep.ensemble.shared_attach"] >= 1
+    assert "sweep.ensemble.shared_publish" not in c
+
+
+def test_unpicklable_but_shareable_ensemble_runs_parallel(small_ensemble):
+    from repro.io.shared_ensemble import ArrayBackedEnsemble
+
+    class LocalEnsemble(ArrayBackedEnsemble):
+        """Local class: instances cannot pickle, but the grid can share."""
+
+    prebuilt = LocalEnsemble(
+        scenario_name=small_ensemble.scenario_name,
+        depths=small_ensemble.depth_matrix(),
+        asset_names=list(small_ensemble.asset_names),
+        seed=small_ensemble.seed,
+    )
+    base = StudyConfig(ensemble=prebuilt)
+    grid = sweep_grid(base, configurations=["2", "2-2"])
+    result = run_sweep(grid, jobs=2)
+    c = counters(result)
+    assert c["sweep.ensemble.shared_publish"] == 1
+    assert c["sweep.ensemble.shared_attach"] >= 1
+    # No fallback event fired: the parallel path held.
+    assert not result.observability.events.of_kind("sweep.parallel_fallback")
+    # And the numbers equal the serial oracle.
+    serial = run_sweep(grid, jobs=1)
+    for a, b in zip(serial.cells, result.cells):
+        assert matrix_to_dict(a.matrix) == matrix_to_dict(b.matrix)
+
+
+def test_manifest_records_shared_attach_counter(tmp_path):
+    result = run_sweep(small_grid(), jobs=2, sweep_dir=tmp_path)
+    manifest = json.loads((tmp_path / SWEEP_MANIFEST_FILENAME).read_text())
+    merged = manifest["telemetry"]["metrics"]["counters"]
+    assert merged["sweep.ensemble.shared_attach"] >= 1
+    assert merged["sweep.ensemble.shared_publish"] == 1
+    assert counters(result)["sweep.ensemble.shared_attach"] == merged[
+        "sweep.ensemble.shared_attach"
+    ]
+
+
 # ----------------------------------------------------------------------
 # Checkpoint / resume
 # ----------------------------------------------------------------------
