@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the always-on study service.
+
+Boots ``compound-threats serve`` as a real subprocess, then drives the
+whole service contract over HTTP:
+
+1. submit the paper study and wait for it -- asserting the golden
+   93/1000 red split for architecture "2" under "hurricane" when run at
+   the full 1000 realizations;
+2. submit the identical spec again and assert it is a cache hit served
+   from the persistent result store (no recomputation);
+3. send SIGTERM and assert the server drains cleanly (exit code 0);
+4. replay the journal the dead server left behind and assert it
+   reconstructs the finished job -- the crash-safety contract.
+
+Writes a JSON report (timings + assertions) for the CI artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py \
+        --realizations 1000 --output service_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import JobState, ServiceClient  # noqa: E402
+from repro.service.jobs import JobJournal  # noqa: E402
+from repro.service.store import ResultStore  # noqa: E402
+
+GOLDEN_RED = 93  # architecture "2", "hurricane", 1000 realizations
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_health(client: ServiceClient, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if client.health()["status"] == "ok":
+                return
+        except Exception:
+            time.sleep(0.1)
+    raise SystemExit("service never became healthy")
+
+
+def red_count(result: dict) -> int:
+    for entry in result["matrix"]["entries"]:
+        if entry["architecture"] == "2" and entry["scenario"] == "hurricane":
+            return entry["counts"]["red"]
+    raise SystemExit("no hurricane/2 cell in the service result")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--realizations", type=int, default=1000)
+    parser.add_argument("--output", default="service_smoke.json")
+    parser.add_argument(
+        "--service-dir", default=None,
+        help="service state directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args()
+
+    service_dir = Path(
+        args.service_dir or tempfile.mkdtemp(prefix="service-smoke-")
+    )
+    port = free_port()
+    spec = {
+        "n_realizations": args.realizations,
+        "configurations": ["2"],
+        "scenarios": ["hurricane"],
+    }
+    report: dict = {"port": port, "spec": spec}
+
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--dir", str(service_dir), "--port", str(port),
+        ],
+    )
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=30.0)
+    try:
+        wait_for_health(client)
+
+        # 1. First submission computes the study.
+        start = time.perf_counter()
+        first = client.submit(spec)
+        assert first["cached"] is False, "fresh store must not cache-hit"
+        status = client.wait(first["job_id"], timeout=1800.0)
+        assert status["state"] == "done", f"study failed: {status}"
+        result = client.result(first["job_id"])
+        report["first_run_s"] = round(time.perf_counter() - start, 3)
+        report["red_count"] = red_count(result)
+        if args.realizations == 1000:
+            assert report["red_count"] == GOLDEN_RED, (
+                f"golden violated over HTTP: "
+                f"{report['red_count']}/1000 red, expected {GOLDEN_RED}"
+            )
+
+        # 2. Resubmission is a store hit, not a recomputation.
+        start = time.perf_counter()
+        second = client.submit(spec)
+        assert second["cached"] is True, "identical spec must cache-hit"
+        assert second["state"] == "done"
+        cached = client.result(second["job_id"])
+        assert cached["matrix"] == result["matrix"], "cache changed numbers"
+        report["cached_run_s"] = round(time.perf_counter() - start, 3)
+        counters = client.metrics()["counters"]
+        assert counters.get("service.cache_hits", 0) >= 1
+    finally:
+        # 3. SIGTERM must drain cleanly whatever happened above.
+        server.send_signal(signal.SIGTERM)
+        returncode = server.wait(timeout=60.0)
+    assert returncode == 0, f"serve exited {returncode} on SIGTERM"
+    report["sigterm_exit_code"] = returncode
+
+    # 4. The journal alone reconstructs the finished job, and the store
+    #    still holds the verified result -- restart-safety without a
+    #    running process.
+    replayed = JobJournal(service_dir / "journal.jsonl").replay()
+    done = [r for r in replayed.values() if r.state is JobState.DONE]
+    assert len(done) == 1, f"journal replay found {len(done)} done jobs"
+    assert done[0].job_id == first["job_id"]
+    store = ResultStore(service_dir / "results")
+    assert store.get(done[0].study_hash) is not None, "result lost on disk"
+    report["journal_jobs_done"] = len(done)
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

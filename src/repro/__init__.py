@@ -81,7 +81,7 @@ from repro.scada import (
     get_architecture,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

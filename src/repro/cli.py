@@ -11,6 +11,10 @@ Subcommands mirror the paper's workflow:
                      build the cross-product, hazard ensembles are
                      deduplicated across the grid, and ``--sweep-dir`` /
                      ``--resume`` checkpoint at study granularity.
+* ``serve``       -- run the always-on study service
+                     (:mod:`repro.service`): submit/status/result over
+                     HTTP with a bounded admission queue, persistent
+                     result store, and journal-backed restart recovery.
 * ``ensemble``    -- generate the hurricane realizations (CSV output).
 * ``analyze``     -- deprecated alias of ``run`` (old flag spellings
                      keep working; it routes through the same facade and
@@ -196,6 +200,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         manifest_out=args.sweep_manifest_out,
         observability=not args.no_observability,
+        strict=not args.keep_going,
+        study_deadline_s=args.study_deadline,
+        budget_s=args.sweep_budget,
     )
     if args.table:
         rows = result.to_table()
@@ -221,6 +228,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if args.out:
         print(f"sweep result written to {result.save_json(args.out)}", file=sys.stderr)
+    if result.failures:
+        print(
+            f"sweep: {len(result.failures)} study(ies) FAILED:", file=sys.stderr
+        )
+        for failure in result.failures:
+            print(
+                f"  [{failure.position}] {failure.label}: "
+                f"{failure.error_type}: {failure.message} "
+                f"(after {failure.attempts} attempt(s))",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -429,6 +448,32 @@ def _cmd_grid_impact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on study service until SIGTERM/SIGINT."""
+    from repro.runtime.controller import RetryPolicy
+    from repro.service import ServiceConfig, run_forever
+
+    retry = None
+    if args.max_retries is not None or args.task_timeout is not None:
+        retry = RetryPolicy.from_options(args.max_retries, args.task_timeout)
+    config = ServiceConfig(
+        service_dir=args.dir,
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        retry_after_s=args.retry_after,
+        retry=retry,
+        study_deadline_s=args.study_deadline,
+    )
+    print(
+        f"study service listening on http://{config.host}:{config.port} "
+        f"(state dir: {config.service_dir}, queue capacity: "
+        f"{config.queue_capacity})",
+        file=sys.stderr,
+    )
+    return run_forever(config)
+
+
 def _add_perf_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs",
@@ -611,6 +656,27 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable all telemetry collection for this sweep",
     )
+    p.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="record a failed study and keep running the rest of the grid "
+        "(failures are listed on stderr and exit code is 1), instead of "
+        "aborting the sweep on the first terminal failure",
+    )
+    p.add_argument(
+        "--study-deadline",
+        type=float,
+        default=None,
+        help="seconds before a pooled study is declared hung and its worker "
+        "replaced (default: no deadline)",
+    )
+    p.add_argument(
+        "--sweep-budget",
+        type=float,
+        default=None,
+        help="whole-sweep wall-clock budget in seconds; studies not started "
+        "in time fail fast instead of running (default: no budget)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -635,6 +701,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_args(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the always-on study service (submit/status/result over "
+        "HTTP, bounded queue, journal-backed restart recovery)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument(
+        "--dir",
+        required=True,
+        help="service state directory (job journal + persistent result store)",
+    )
+    p.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=8,
+        help="max queued studies before submissions get 429 (default: 8)",
+    )
+    p.add_argument(
+        "--retry-after",
+        type=int,
+        default=5,
+        help="Retry-After seconds sent with 429 responses (default: 5)",
+    )
+    p.add_argument(
+        "--study-deadline",
+        type=float,
+        default=None,
+        help="per-study wall-clock deadline in seconds (default: none)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries per failed study before it is recorded failed "
+        "(default: 3)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="seconds before a generation worker is declared hung "
+        "(default: no timeout)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("ensemble", help="generate hurricane realizations")
     p.add_argument("--count", type=int, default=DEFAULT_REALIZATIONS)

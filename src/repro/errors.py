@@ -93,3 +93,31 @@ class CheckpointCorruptError(RuntimeControlError):
 
 class RetryExhaustedError(RuntimeControlError):
     """A task kept failing after every allowed retry."""
+
+
+class StudyFailureError(RuntimeControlError):
+    """A supervised study ran out of options (strict-mode surface).
+
+    Raised by :class:`repro.runtime.supervisor.StudySupervisor` when a
+    study fails terminally and ``strict=True``: the message names the
+    study that died (config summary + hash + attempt count) and
+    ``__cause__`` chains the original exception.  The structured
+    failure record rides along as ``failure`` so callers that catch
+    can still account for it.
+    """
+
+    def __init__(self, message: str, *, failure: object | None = None) -> None:
+        super().__init__(message)
+        self.failure = failure
+
+
+class SweepBudgetError(RuntimeControlError):
+    """A batch run hit its whole-sweep wall-clock budget."""
+
+
+class ServiceError(ReproError):
+    """The study service was driven inconsistently (bad state or request)."""
+
+
+class AdmissionError(ServiceError):
+    """The service's bounded job queue rejected a submission (backpressure)."""

@@ -70,6 +70,26 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
             os.fsync(handle.fileno())
 
 
+def append_journal_line(path: str | Path, line: str) -> None:
+    """Durably append one line to an append-only journal.
+
+    The write is flushed and fsynced before returning, so a crash after
+    this call never loses the record.  A crash *during* the call can
+    leave a torn final line -- that is the journal contract: appends are
+    cheap and readers (:meth:`repro.service.JobJournal.replay`) must
+    tolerate exactly one torn line at the tail, which marks the instant
+    of death.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if "\n" in line:
+        raise ValueError("journal records are single lines")
+    with target.open("a") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
 def quarantine_file(path: str | Path, reason: str) -> Path | None:
     """Move a damaged artifact to ``<name>.corrupt`` and warn.
 

@@ -1,18 +1,24 @@
-"""Fault-tolerant run orchestration (checkpoint, retry, fault injection).
+"""Fault-tolerant run orchestration (checkpoint, retry, supervision).
 
-The :mod:`repro.runtime` subsystem owns long, parallel realization
-passes: :class:`~repro.runtime.controller.RunController` retries crashed
-or hung workers and validates payloads, progress streams into sharded
-:class:`~repro.runtime.checkpoint.CheckpointStore` files so interrupted
-runs resume bit-identically, and
-:class:`~repro.runtime.faults.FaultPlan` scripts deterministic chaos
-(crashes, kills, hangs, corrupt payloads, torn files) that the test
-suite uses to prove those guarantees.
+The :mod:`repro.runtime` subsystem owns long, parallel passes at two
+granularities: :class:`~repro.runtime.controller.RunController`
+supervises the per-*realization* pass of ensemble generation (retries
+crashed or hung workers, validates payloads, streams progress into
+sharded :class:`~repro.runtime.checkpoint.CheckpointStore` files so
+interrupted runs resume bit-identically), and
+:class:`~repro.runtime.supervisor.StudySupervisor` supervises
+per-*study* batch execution (fault isolation into
+:class:`~repro.runtime.supervisor.StudyFailure` records, retry with
+backoff, per-study deadlines, a whole-batch time budget, and pool
+rebuild after collapse).  :class:`~repro.runtime.faults.FaultPlan`
+scripts deterministic chaos (crashes, kills, hangs, corrupt payloads,
+torn files) that the test suite uses to prove those guarantees.
 """
 
 from repro.runtime.checkpoint import CheckpointStore
-from repro.runtime.controller import RetryPolicy, RunController
+from repro.runtime.controller import RetryPolicy, RunController, terminate_pool
 from repro.runtime.faults import FaultKind, FaultPlan, FaultSpec
+from repro.runtime.supervisor import StudyFailure, StudySupervisor, SupervisedTask
 
 __all__ = [
     "CheckpointStore",
@@ -21,4 +27,8 @@ __all__ = [
     "FaultSpec",
     "RetryPolicy",
     "RunController",
+    "StudyFailure",
+    "StudySupervisor",
+    "SupervisedTask",
+    "terminate_pool",
 ]

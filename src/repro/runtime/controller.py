@@ -394,25 +394,30 @@ class RunController:
 
     @staticmethod
     def _terminate_pool(executor: ProcessPoolExecutor) -> None:
-        """Stop a pool hard: cancel queued work and kill live workers.
+        terminate_pool(executor)
 
-        ``shutdown`` alone would wait on a hung worker forever, so any
-        still-live worker processes are terminated outright (private
-        attribute, guarded -- a missing attribute degrades to a plain
-        shutdown).
-        """
-        executor.shutdown(wait=False, cancel_futures=True)
-        processes = getattr(executor, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.terminate()
-            except (OSError, ValueError):  # already gone
-                pass
-        for process in list(processes.values()):
-            try:
-                process.join(timeout=5.0)
-            except (OSError, ValueError, AssertionError):
-                pass
+
+def terminate_pool(executor: ProcessPoolExecutor) -> None:
+    """Stop a pool hard: cancel queued work and kill live workers.
+
+    ``shutdown`` alone would wait on a hung worker forever, so any
+    still-live worker processes are terminated outright (private
+    attribute, guarded -- a missing attribute degrades to a plain
+    shutdown).  Shared by :class:`RunController` (realization pass) and
+    :class:`~repro.runtime.supervisor.StudySupervisor` (study pass).
+    """
+    executor.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # already gone
+            pass
+    for process in list(processes.values()):
+        try:
+            process.join(timeout=5.0)
+        except (OSError, ValueError, AssertionError):
+            pass
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,400 @@
+"""Fault-isolated supervision for batch study execution.
+
+The sweep engine's original pool loop called ``future.result()`` bare:
+one poisoned study aborted the whole sweep and discarded every
+in-flight result, and a silently-hung worker could stall the sweep
+forever.  :class:`StudySupervisor` wraps per-study execution the way
+:class:`~repro.runtime.controller.RunController` wraps per-realization
+execution:
+
+* a failing study becomes a recorded :class:`StudyFailure` -- exception
+  type, message, attempt count -- instead of a sweep abort;
+* unexpected failures (worker crashes, collapsed pools, hung studies)
+  are retried with the :class:`~repro.runtime.controller.RetryPolicy`
+  backoff, while deterministic :class:`~repro.errors.ReproError`\\ s
+  fail immediately (no retry can fix a modeling error);
+* a collapsed pool (``BrokenProcessPool``) is rebuilt and the surviving
+  studies resubmitted, mirroring what the run controller already did
+  for ensemble generation but the sweep analysis pass never had;
+* a per-study ``deadline_s`` bounds any one study on the pooled path
+  (the pool is torn down and rebuilt around the hung worker), and a
+  whole-run ``budget_s`` bounds the batch: studies that would start
+  past the budget fail fast with :class:`~repro.errors.SweepBudgetError`
+  instead of running half a grid past its deadline;
+* ``strict=True`` preserves raise-on-failure semantics -- the first
+  terminal failure raises :class:`~repro.errors.StudyFailureError`
+  naming the study that died -- while ``strict=False`` degrades
+  gracefully: the caller receives every completed result plus the
+  failure records.
+
+The supervisor is deliberately generic over *what* a study is: tasks
+carry an opaque payload and the caller supplies the runner (serial) or
+task function + pool initializer (pooled), so the sweep engine and the
+study service can share one failure taxonomy.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import (
+    ReproError,
+    RuntimeControlError,
+    StudyFailureError,
+    SweepBudgetError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.obs.observer import current as current_observer
+from repro.runtime.controller import RetryPolicy, terminate_pool
+
+
+@dataclass(frozen=True)
+class SupervisedTask:
+    """One unit of supervised work: identity plus an opaque payload."""
+
+    #: The caller's index for this task (e.g. the sweep grid position).
+    position: int
+    #: Human-readable identity, used in failure records and messages.
+    label: str
+    #: Stable identity hash (e.g. the study config hash); "" if unknown.
+    study_hash: str
+    #: What the runner / task function receives.
+    payload: object
+
+
+@dataclass(frozen=True)
+class StudyFailure:
+    """The record a failed study leaves behind instead of an exception.
+
+    ``attempts`` counts executions actually charged to the study; a
+    study that never ran (the sweep budget expired first) has zero.
+    """
+
+    position: int
+    study_hash: str
+    label: str
+    error_type: str
+    message: str
+    attempts: int
+
+    def summary(self) -> dict:
+        """JSON-friendly form (lands in manifests and service journals)."""
+        return {
+            "position": self.position,
+            "study_hash": self.study_hash,
+            "label": self.label,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+class StudySupervisor:
+    """Retry, deadline, budget, and failure-isolation for study batches.
+
+    One supervisor instance spans one batch (e.g. one ``run_sweep``
+    call): the time budget starts at construction and attempt counts
+    are charged per task position across pool rebuilds.
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: RetryPolicy | None = None,
+        strict: bool = True,
+        deadline_s: float | None = None,
+        budget_s: float | None = None,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise RuntimeControlError("study deadline must be positive")
+        if budget_s is not None and budget_s <= 0:
+            raise RuntimeControlError("sweep budget must be positive")
+        self.policy = policy or RetryPolicy()
+        self.strict = strict
+        self.deadline_s = deadline_s
+        self.budget_s = budget_s
+        self.attempts: dict[int, int] = {}
+        self.pool_rebuilds = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Budget
+    # ------------------------------------------------------------------
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def budget_exhausted(self) -> bool:
+        return self.budget_s is not None and self.elapsed_s() >= self.budget_s
+
+    def budget_failure(self, task: SupervisedTask) -> StudyFailure:
+        message = (
+            f"sweep time budget ({self.budget_s:.3g}s) exhausted after "
+            f"{self.elapsed_s():.3g}s; study {task.label!r} did not run to "
+            f"completion"
+        )
+        if self.strict:
+            raise SweepBudgetError(message)
+        return self._record_failure(task, SweepBudgetError(message))
+
+    # ------------------------------------------------------------------
+    # Failure accounting
+    # ------------------------------------------------------------------
+    def _retryable(self, exc: BaseException) -> bool:
+        """Whether retrying could possibly change the outcome.
+
+        The taxonomy mirrors :class:`RunController`: deterministic
+        :class:`ReproError`\\ s are fatal (a modeling error re-raises
+        identically on every retry); everything else -- a crashed
+        worker, a collapsed pool, an unexpected exception -- might be
+        environmental, so it gets the retry budget.
+        """
+        if isinstance(exc, RuntimeControlError):
+            return exc.retryable
+        if isinstance(exc, ReproError):
+            return False
+        return True
+
+    def _charge(self, task: SupervisedTask, exc: BaseException) -> bool:
+        """Charge one attempt; ``True`` if the study may retry."""
+        attempts = self.attempts.get(task.position, 0) + 1
+        self.attempts[task.position] = attempts
+        obs = current_observer()
+        obs.inc("supervisor.study_attempts")
+        if not self._retryable(exc):
+            return False
+        if attempts > self.policy.max_retries:
+            return False
+        obs.inc("supervisor.study_retries")
+        obs.event(
+            "study_retry",
+            study=task.label,
+            attempt=attempts,
+            error=type(exc).__name__,
+        )
+        return True
+
+    def _record_failure(
+        self, task: SupervisedTask, exc: BaseException
+    ) -> StudyFailure:
+        failure = StudyFailure(
+            position=task.position,
+            study_hash=task.study_hash,
+            label=task.label,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=self.attempts.get(task.position, 0),
+        )
+        obs = current_observer()
+        obs.inc("supervisor.studies_failed")
+        obs.event(
+            "study_failure",
+            study=task.label,
+            study_hash=task.study_hash,
+            error=failure.error_type,
+            attempts=failure.attempts,
+        )
+        return failure
+
+    def _terminal(
+        self, task: SupervisedTask, exc: BaseException
+    ) -> StudyFailure:
+        """A study is out of options: raise (strict) or record (lenient)."""
+        if self.strict:
+            attempts = self.attempts.get(task.position, 0)
+            raise StudyFailureError(
+                f"study {task.label!r} (hash {task.study_hash or '?'}) "
+                f"failed after {max(attempts, 1)} attempt(s): "
+                f"{type(exc).__name__}: {exc}",
+                failure=self._record_failure(task, exc),
+            ) from exc
+        return self._record_failure(task, exc)
+
+    # ------------------------------------------------------------------
+    # Serial execution
+    # ------------------------------------------------------------------
+    def run_serial(
+        self,
+        tasks: Sequence[SupervisedTask],
+        runner: Callable[[object], object],
+    ) -> Iterator[tuple[SupervisedTask, object]]:
+        """Run tasks inline, yielding ``(task, result-or-StudyFailure)``.
+
+        Per-study deadlines are not enforceable inline (nothing can
+        preempt the running call); the budget is checked between
+        studies, so a batch never *starts* work past its budget.
+        """
+        for task in tasks:
+            if self.budget_exhausted():
+                yield task, self.budget_failure(task)
+                continue
+            while True:
+                try:
+                    result = runner(task.payload)
+                except Exception as exc:
+                    if not self._charge(task, exc):
+                        yield task, self._terminal(task, exc)
+                        break
+                    time.sleep(
+                        self.policy.backoff_s(self.attempts[task.position])
+                    )
+                else:
+                    yield task, result
+                    break
+
+    # ------------------------------------------------------------------
+    # Pooled execution
+    # ------------------------------------------------------------------
+    def run_pool(
+        self,
+        tasks: Sequence[SupervisedTask],
+        jobs: int,
+        task_fn: Callable,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> Iterator[tuple[SupervisedTask, object]]:
+        """Run tasks on a supervised process pool.
+
+        Yields ``(task, result-or-StudyFailure)`` as each study settles.
+        The pool is rebuilt (with the same initializer) after a
+        collapse or a hung study; surviving studies are resubmitted and
+        keep their attempt counters.
+        """
+        remaining: dict[int, SupervisedTask] = {
+            task.position: task for task in tasks
+        }
+        obs = current_observer()
+        while remaining:
+            if self.budget_exhausted():
+                for position in sorted(remaining):
+                    task = remaining.pop(position)
+                    yield task, self.budget_failure(task)
+                return
+            executor = ProcessPoolExecutor(
+                max_workers=min(jobs, len(remaining)),
+                initializer=initializer,
+                initargs=initargs,
+            )
+            rebuilding = False
+            try:
+                for task, outcome, rebuild in self._drive(
+                    executor, remaining, task_fn
+                ):
+                    if task is not None:
+                        yield task, outcome
+                    if rebuild:
+                        rebuilding = True
+            finally:
+                terminate_pool(executor)
+            if rebuilding and remaining:
+                self.pool_rebuilds += 1
+                obs.inc("supervisor.pool_rebuilds")
+                obs.event("supervisor_pool_rebuild", remaining=len(remaining))
+
+    def _drive(
+        self,
+        executor: ProcessPoolExecutor,
+        remaining: dict[int, SupervisedTask],
+        task_fn: Callable,
+    ) -> Iterator[tuple[SupervisedTask | None, object, bool]]:
+        """Drive one pool; the final event may carry ``rebuild=True``.
+
+        Events are ``(task, outcome, rebuild)``; ``task`` is ``None``
+        for a bare rebuild signal.  Settled tasks are removed from
+        ``remaining``; anything left when a rebuild fires reruns on the
+        next pool with its attempt counters intact.
+        """
+        futures: dict[Future, SupervisedTask] = {}
+        for position in sorted(remaining):
+            task = remaining[position]
+            futures[executor.submit(task_fn, task.payload)] = task
+        running_since: dict[Future, float] = {}
+        while futures:
+            if self.budget_exhausted():
+                # The outer loop converts what's left into budget
+                # failures; tearing the pool down cancels in-flight work.
+                yield None, None, True
+                return
+            done, _ = wait(
+                futures,
+                timeout=self.policy.poll_interval_s,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = False
+            retry_now: list[SupervisedTask] = []
+            for future in done:
+                task = futures.pop(future)
+                running_since.pop(future, None)
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    if isinstance(exc, BrokenProcessPool):
+                        broken = True
+                        exc = WorkerCrashError(
+                            f"worker pool collapsed while running study "
+                            f"{task.label!r}: {exc}"
+                        )
+                    if self._charge(task, exc):
+                        retry_now.append(task)
+                    else:
+                        del remaining[task.position]
+                        yield task, self._terminal(task, exc), False
+                else:
+                    del remaining[task.position]
+                    yield task, result, False
+            if broken:
+                # The collapse destroyed the evidence of which in-flight
+                # study killed the worker: charge them all one attempt
+                # (mirroring RunController) and rebuild.
+                for future, task in list(futures.items()):
+                    crash = WorkerCrashError(
+                        f"worker pool collapsed while study {task.label!r} "
+                        f"was in flight"
+                    )
+                    if not self._charge(task, crash):
+                        del remaining[task.position]
+                        yield task, self._terminal(task, crash), False
+                yield None, None, True
+                return
+            for task in retry_now:
+                time.sleep(self.policy.backoff_s(self.attempts[task.position]))
+                try:
+                    futures[executor.submit(task_fn, task.payload)] = task
+                except BrokenProcessPool:
+                    yield None, None, True
+                    return
+            hung = self._hung_study(futures, running_since)
+            if hung is not None:
+                task = hung
+                timeout = WorkerTimeoutError(
+                    f"study {task.label!r} still running after its "
+                    f"{self.deadline_s:.3g}s deadline"
+                )
+                if not self._charge(task, timeout):
+                    del remaining[task.position]
+                    yield task, self._terminal(task, timeout), False
+                # A hung worker cannot be cancelled, only abandoned:
+                # tear the pool down and rerun the survivors.
+                yield None, None, True
+                return
+
+    def _hung_study(
+        self,
+        futures: dict[Future, SupervisedTask],
+        running_since: dict[Future, float],
+    ) -> SupervisedTask | None:
+        """The first study past its deadline, if a deadline is set."""
+        if self.deadline_s is None:
+            return None
+        now = time.monotonic()
+        for future in futures:
+            if future.running() and future not in running_since:
+                running_since[future] = now
+        for future, started in running_since.items():
+            if future in futures and now - started > self.deadline_s:
+                return futures[future]
+        return None

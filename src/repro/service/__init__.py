@@ -1,0 +1,39 @@
+"""The always-on study service: submit studies over HTTP, get results.
+
+Public surface:
+
+* :class:`ServiceConfig` / :class:`StudyService` -- the service itself
+  (bounded admission, journal-backed durability, supervised execution).
+* :func:`run_forever` -- boot, serve, drain on SIGTERM (``repro serve``).
+* :class:`ServiceClient` -- the stdlib HTTP client.
+* :class:`JobQueue` / :class:`JobJournal` / :class:`JobRecord` /
+  :class:`JobState` -- the job-lifecycle building blocks.
+* :class:`ResultStore` -- the content-addressed persistent result cache.
+* :func:`study_config_from_spec` -- JSON spec -> :class:`StudyConfig`.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.jobs import JobJournal, JobQueue, JobRecord, JobState
+from repro.service.server import (
+    ServiceConfig,
+    StudyService,
+    make_server,
+    run_forever,
+    study_config_from_spec,
+)
+from repro.service.store import ResultStore
+
+__all__ = [
+    "JobJournal",
+    "JobQueue",
+    "JobRecord",
+    "JobState",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "StudyService",
+    "make_server",
+    "run_forever",
+    "study_config_from_spec",
+]

@@ -1,0 +1,117 @@
+"""A minimal stdlib client for the study service (urllib, no deps).
+
+The smoke scripts, tests, and CI jobs all talk to ``repro serve``
+through this class, so the HTTP contract is exercised end-to-end the
+way an external consumer would::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    submitted = client.submit({"n_realizations": 1000})
+    status = client.wait(submitted["job_id"], timeout=600)
+    result = client.result(submitted["job_id"])
+
+Every non-2xx response raises :class:`ServiceClientError` carrying the
+HTTP status and the server's JSON error message, so callers branch on
+``status`` (429 -> back off per ``retry_after``) instead of parsing
+prose.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+
+
+class ServiceClientError(ServiceError):
+    """A service request failed; carries the HTTP status and headers."""
+
+    def __init__(
+        self, message: str, *, status: int, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """JSON-over-HTTP access to one study service instance."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw request plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode() or "{}")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode(errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except json.JSONDecodeError:
+                message = raw or str(exc)
+            retry_after = exc.headers.get("Retry-After")
+            raise ServiceClientError(
+                f"{method} {path} -> {exc.code}: {message}",
+                status=exc.code,
+                retry_after=float(retry_after) if retry_after else None,
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                f"{method} {path} unreachable: {exc.reason}", status=0
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # The API surface
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict) -> dict:
+        """Submit a study spec; the response carries ``job_id``/``cached``."""
+        return self._request("POST", "/v1/studies", spec)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def result_for_study(self, study_hash: str) -> dict:
+        return self._request("GET", f"/v1/studies/{study_hash}/result")
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def wait(
+        self, job_id: str, *, timeout: float = 600.0, poll_s: float = 0.2
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {job_id!r} still {status['state']} after "
+                    f"{timeout:.0f}s",
+                    status=0,
+                )
+            time.sleep(poll_s)

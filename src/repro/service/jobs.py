@@ -1,0 +1,252 @@
+"""Job lifecycle for the study service: queue, records, and the journal.
+
+Three pieces, each independently testable:
+
+* :class:`JobRecord` -- one submitted study's mutable lifecycle state
+  (``queued -> running -> done | failed``), with a JSON-friendly
+  :meth:`JobRecord.summary` for status endpoints and journal events.
+* :class:`JobQueue` -- a bounded FIFO with *admission control*: when
+  the queue is full, :meth:`JobQueue.submit` raises
+  :class:`~repro.errors.AdmissionError` instead of blocking or silently
+  dropping, which the HTTP layer converts to ``429 Too Many Requests``
+  with a ``Retry-After`` hint.  Backpressure is always explicit.
+* :class:`JobJournal` -- a crash-safe append-only record of every job
+  transition.  Appends are fsynced lines
+  (:func:`repro.io.atomic.append_journal_line`); replay tolerates one
+  torn line at the tail (the instant the previous process died) and
+  reconstructs the last known state of every job, so a restarted
+  service re-enqueues interrupted work instead of losing it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import AdmissionError, ServiceError
+from repro.io.atomic import append_journal_line, atomic_write_text
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class JobState(str, Enum):
+    """Where a submitted study is in its lifecycle."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+@dataclass
+class JobRecord:
+    """One submitted study: identity, spec, and lifecycle state."""
+
+    job_id: str
+    study_hash: str
+    #: The submitted JSON spec (whitelisted fields only), kept verbatim
+    #: so journal replay can rebuild the exact StudyConfig.
+    spec: dict
+    state: JobState = JobState.QUEUED
+    #: Failure record (error_type / message / attempts) when FAILED.
+    error: dict | None = None
+    #: How many times this job has been (re-)enqueued, counting journal
+    #: recovery; purely informational.
+    enqueues: int = 1
+    #: The observer of the in-flight run; status endpoints read its
+    #: metric snapshot for streaming progress.  Never serialized.
+    obs: object | None = field(default=None, repr=False, compare=False)
+
+    def summary(self) -> dict:
+        """The JSON status document (also the journal event payload)."""
+        payload = {
+            "job_id": self.job_id,
+            "study_hash": self.study_hash,
+            "state": self.state.value,
+            "enqueues": self.enqueues,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobQueue:
+    """A bounded FIFO of :class:`JobRecord`\\ s with explicit admission.
+
+    ``capacity`` bounds *queued* (not running) jobs.  ``submit`` never
+    blocks: a full queue raises :class:`AdmissionError` immediately so
+    the caller can shed load with an honest 429.  ``take`` blocks (with
+    an optional timeout) until a job or :meth:`close` arrives -- the
+    worker's idle loop.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServiceError("job queue capacity must be at least 1")
+        self.capacity = capacity
+        self._items: deque[JobRecord] = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def submit(self, record: JobRecord) -> None:
+        with self._ready:
+            if self._closed:
+                raise ServiceError("job queue is closed (service draining)")
+            if len(self._items) >= self.capacity:
+                raise AdmissionError(
+                    f"job queue full ({self.capacity} queued); retry later"
+                )
+            self._items.append(record)
+            self._ready.notify()
+
+    def take(self, timeout: float | None = None) -> JobRecord | None:
+        """The next job, or ``None`` on timeout / closed-and-empty."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._ready:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._ready.wait(remaining)
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Refuse new work and wake blocked takers (drain begins)."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+
+class JobJournal:
+    """Append-only jsonl journal of job transitions, replayable on boot.
+
+    Every record is one fsynced JSON line with the fields of
+    :meth:`JobRecord.summary` plus ``event`` (``submitted`` / ``started``
+    / ``done`` / ``failed`` / ``requeued``) and, for ``submitted``, the
+    job ``spec``.  :meth:`replay` folds the lines into the final state
+    of each job; a torn final line (mid-append crash) is skipped, and a
+    malformed line *before* the tail stops replay with a
+    :class:`ServiceError` -- that is corruption, not a crash artifact.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, event: str, record: JobRecord) -> None:
+        payload = {
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "event": event,
+            **record.summary(),
+        }
+        if event == "submitted":
+            payload["spec"] = record.spec
+        append_journal_line(self.path, json.dumps(payload, sort_keys=True))
+
+    def _lines(self) -> Iterator[tuple[int, str, bool]]:
+        if not self.path.exists():
+            return
+        raw = self.path.read_text()
+        lines = raw.split("\n")
+        # A complete journal ends with "\n", so the final split element
+        # is empty; anything else there is the torn tail of a crash.
+        torn = lines[-1] != ""
+        body = lines[:-1]
+        for i, line in enumerate(body):
+            yield i, line, False
+        if torn:
+            yield len(body), lines[-1], True
+
+    def replay(self) -> dict[str, JobRecord]:
+        """Fold the journal into each job's last recorded state."""
+        records: dict[str, JobRecord] = {}
+        for lineno, line, is_tail in self._lines():
+            try:
+                payload = json.loads(line)
+                event = payload["event"]
+                job_id = payload["job_id"]
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if is_tail:
+                    # The torn write of the crash instant: the job it
+                    # described is re-derived from the previous lines.
+                    break
+                raise ServiceError(
+                    f"corrupt service journal {self.path} at line "
+                    f"{lineno + 1}: {exc}"
+                ) from exc
+            if event == "submitted":
+                records[job_id] = JobRecord(
+                    job_id=job_id,
+                    study_hash=payload.get("study_hash", ""),
+                    spec=payload.get("spec", {}),
+                    state=JobState.QUEUED,
+                    enqueues=int(payload.get("enqueues", 1)),
+                )
+                continue
+            record = records.get(job_id)
+            if record is None:
+                # A transition for a job whose submission predates a
+                # compaction error; ignore rather than invent a spec.
+                continue
+            if event == "started":
+                record.state = JobState.RUNNING
+            elif event == "requeued":
+                record.state = JobState.QUEUED
+                record.enqueues = int(payload.get("enqueues", record.enqueues))
+            elif event == "done":
+                record.state = JobState.DONE
+            elif event == "failed":
+                record.state = JobState.FAILED
+                record.error = payload.get("error")
+        return records
+
+    def compact(self, records: dict[str, JobRecord]) -> None:
+        """Atomically rewrite the journal to one line per live job.
+
+        Called on clean shutdown: terminal jobs collapse to their final
+        event and interrupted jobs to a fresh ``submitted``, so the next
+        boot replays a minimal journal instead of the full history.
+        """
+        lines = []
+        for job_id in sorted(records):
+            record = records[job_id]
+            payload = {
+                "schema_version": JOURNAL_SCHEMA_VERSION,
+                "event": "submitted",
+                **record.summary(),
+                "spec": record.spec,
+            }
+            lines.append(json.dumps(payload, sort_keys=True))
+            if record.state.terminal:
+                event = "done" if record.state is JobState.DONE else "failed"
+                final = {
+                    "schema_version": JOURNAL_SCHEMA_VERSION,
+                    "event": event,
+                    **record.summary(),
+                }
+                lines.append(json.dumps(final, sort_keys=True))
+        text = "".join(line + "\n" for line in lines)
+        atomic_write_text(self.path, text)

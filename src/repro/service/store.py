@@ -1,0 +1,79 @@
+"""The service's persistent result store, keyed by study identity.
+
+One ``result-<study_config_hash>.json`` per finished study, written
+atomically and verified on read: a matching resubmission is a cache hit
+served straight from disk -- the study never recomputes -- and a
+corrupt file is quarantined (``.corrupt``) and treated as a miss, never
+returned as a wrong answer.  The payload embeds the same matrix
+serialization (:func:`repro.io.results_io.matrix_to_dict`) that
+``run_study`` results round-trip through, so a result fetched over HTTP
+is bit-comparable to a local run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.io.atomic import atomic_write_text, quarantine_file
+
+RESULT_SCHEMA_VERSION = 1
+RESULT_KIND = "repro.service_result"
+
+
+class ResultStore:
+    """Content-addressed study results under ``dir`` (atomic, verified)."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.dir = Path(directory)
+
+    def path(self, study_hash: str) -> Path:
+        return self.dir / f"result-{study_hash}.json"
+
+    def put(self, study_hash: str, payload: dict) -> Path:
+        """Persist one study's result document (idempotent by identity)."""
+        document = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "kind": RESULT_KIND,
+            "study_hash": study_hash,
+            **payload,
+        }
+        self.dir.mkdir(parents=True, exist_ok=True)
+        target = self.path(study_hash)
+        atomic_write_text(
+            target, json.dumps(document, sort_keys=True, indent=2) + "\n"
+        )
+        return target
+
+    def get(self, study_hash: str) -> dict | None:
+        """The stored result document, or ``None`` (missing or quarantined)."""
+        target = self.path(study_hash)
+        if not target.exists():
+            return None
+        try:
+            document = json.loads(target.read_text())
+            ok = (
+                document["kind"] == RESULT_KIND
+                and document["schema_version"] == RESULT_SCHEMA_VERSION
+                and document["study_hash"] == study_hash
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, OSError) as exc:
+            quarantine_file(target, f"unreadable service result: {exc}")
+            return None
+        if not ok:
+            quarantine_file(target, "service result identity mismatch")
+            return None
+        return document
+
+    def __contains__(self, study_hash: str) -> bool:
+        return self.get(study_hash) is not None
+
+    def study_hashes(self) -> list[str]:
+        """Hashes with a result file present (unverified; cheap listing)."""
+        if not self.dir.exists():
+            return []
+        prefix, suffix = "result-", ".json"
+        return sorted(
+            name[len(prefix) : -len(suffix)]
+            for name in (p.name for p in self.dir.glob("result-*.json"))
+        )

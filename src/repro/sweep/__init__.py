@@ -10,6 +10,7 @@ The public surface:
   the result objects, including per-axis outcome comparisons.
 """
 
+from repro.runtime.supervisor import StudyFailure
 from repro.sweep.engine import SweepStore, run_sweep, sweep_study_hash
 from repro.sweep.grid import category_generator, sweep_grid
 from repro.sweep.result import (
@@ -24,6 +25,7 @@ __all__ = [
     "AxisComparison",
     "ComparisonRow",
     "StudyCell",
+    "StudyFailure",
     "SweepResult",
     "SweepStore",
     "category_generator",

@@ -28,10 +28,10 @@ per cell -- the engine changes scheduling and reuse, never the numbers.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Iterator, Sequence
 
@@ -59,7 +59,8 @@ from repro.obs.observer import (
 from repro.obs.observer import current as current_observer
 from repro.runtime.checkpoint import sha256_of
 from repro.runtime.controller import RetryPolicy
-from repro.sweep.result import StudyCell, SweepResult
+from repro.runtime.supervisor import StudyFailure, StudySupervisor, SupervisedTask
+from repro.sweep.result import StudyCell, SweepResult, cell_summary
 
 SWEEP_MANIFEST_SCHEMA_VERSION = 1
 SWEEP_MANIFEST_FILENAME = "sweep_manifest.json"
@@ -230,6 +231,7 @@ def _analyze(
 
 _worker_ensemble: HazardEnsemble | None = None
 _worker_descriptor: dict | None = None
+_worker_fallback_ok: bool = False
 _worker_caches: dict = {}
 
 
@@ -240,33 +242,72 @@ def _pool_init(ensemble: HazardEnsemble) -> None:
     go through :func:`_pool_init_shared` and never cross the process
     boundary as pickled bytes.
     """
-    global _worker_ensemble, _worker_descriptor
+    global _worker_ensemble, _worker_descriptor, _worker_fallback_ok
     _worker_ensemble = ensemble
     _worker_descriptor = None
+    _worker_fallback_ok = False
     _worker_caches.clear()
 
 
-def _pool_init_shared(descriptor: dict) -> None:
+def _pool_init_shared(descriptor: dict, fallback_ok: bool = False) -> None:
     """Install the group's shared-ensemble descriptor in a worker.
 
     Only the small descriptor crosses the process boundary; the worker
     attaches to the shared depth grid lazily on its first task (so the
     attach counter lands in a task's metric snapshot and gets merged
-    into the sweep manifest).
+    into the sweep manifest).  ``fallback_ok`` marks groups whose
+    hazard data is regenerable from the config alone (the standard
+    generator + cache path), enabling the stale-descriptor fallback.
     """
-    global _worker_ensemble, _worker_descriptor
+    global _worker_ensemble, _worker_descriptor, _worker_fallback_ok
     _worker_ensemble = None
     _worker_descriptor = descriptor
+    _worker_fallback_ok = fallback_ok
     _worker_caches.clear()
 
 
-def _worker_get_ensemble() -> HazardEnsemble:
+def _fallback_ensemble(config: StudyConfig) -> HazardEnsemble:
+    """Regenerate a worker's hazard data after a stale shared descriptor.
+
+    Only reachable for standard-generator groups (``fallback_ok``): the
+    config carries everything needed -- count, seed, cache_dir -- so
+    the worker rebuilds through the normal cache-or-generate path
+    (``n_jobs=1``; a worker never nests pools).  Bit-identical to the
+    shared grid it replaces, by the generation determinism guarantee.
+    """
+    generator = shared_standard_generator()
+    return generator.generate(
+        count=config.n_realizations,
+        seed=config.seed,
+        n_jobs=1,
+        cache_dir=config.cache_dir,
+    )
+
+
+def _worker_get_ensemble(config: StudyConfig) -> HazardEnsemble:
     global _worker_ensemble
     if _worker_ensemble is None:
         if _worker_descriptor is None:
             raise ConfigurationError("sweep worker has no ensemble installed")
-        _worker_ensemble = attach_shared_ensemble(_worker_descriptor)
-        current_observer().inc("sweep.ensemble.shared_attach")
+        obs = current_observer()
+        try:
+            _worker_ensemble = attach_shared_ensemble(_worker_descriptor)
+        except (OSError, SerializationError) as exc:
+            # A crashed producer may have unlinked the shm segment (or
+            # the mmap sidecar vanished) under us.  Degrade to
+            # cache/regeneration instead of killing the worker -- but
+            # only when the group's hazard data is rebuildable from the
+            # config; custom generators and prebuilt ensembles were
+            # stripped before the process boundary and cannot be.
+            if not _worker_fallback_ok:
+                raise SerializationError(
+                    f"stale shared-ensemble descriptor and no regeneration "
+                    f"path for this group's custom hazard data: {exc}"
+                ) from exc
+            obs.inc("sweep.ensemble.attach_fallback")
+            _worker_ensemble = _fallback_ensemble(config)
+        else:
+            obs.inc("sweep.ensemble.shared_attach")
     return _worker_ensemble
 
 
@@ -274,7 +315,7 @@ def _pool_run(config: StudyConfig) -> tuple[dict, dict]:
     """Run one study in a worker; return (matrix dict, metric snapshot)."""
     obs = Observability()
     with activate(obs):
-        matrix = _analyze(_worker_get_ensemble(), config, _worker_caches)
+        matrix = _analyze(_worker_get_ensemble(config), config, _worker_caches)
     return matrix_to_dict(matrix), obs.metrics.snapshot()
 
 
@@ -282,55 +323,74 @@ def _picklable(*objects) -> bool:
     try:
         for obj in objects:
             pickle.dumps(obj)
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError):
+        # Exactly the failures pickling an unsupported object raises.
+        # Anything else -- KeyboardInterrupt, SystemExit, MemoryError --
+        # propagates instead of being silently read as "not picklable".
         return False
     return True
 
 
 def _run_pool(
-    pending: Sequence[StudyConfig],
+    tasks: Sequence[SupervisedTask],
     jobs: int,
     obs: Observability | NullObservability,
     initializer,
-    initarg,
-) -> Iterator[tuple[int, ScenarioMatrix]]:
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(pending)),
-        initializer=initializer,
-        initargs=(initarg,),
-    ) as pool:
-        futures = {
-            pool.submit(_pool_run, config): pos
-            for pos, config in enumerate(pending)
-        }
-        for future in as_completed(futures):
-            payload, snapshot = future.result()
+    initargs: tuple,
+    supervisor: StudySupervisor,
+) -> Iterator[tuple[int, ScenarioMatrix | StudyFailure]]:
+    """Supervised pool execution: yields settled studies, never hangs.
+
+    The supervisor bounds every wait (its poll interval), detects
+    collapsed pools and rebuilds them, enforces the per-study deadline,
+    and converts terminal failures into :class:`StudyFailure` records
+    (or raises, naming the study, under ``strict``) -- replacing the
+    old bare ``as_completed`` + ``future.result()`` loop that hung on a
+    silently-dead worker and aborted the sweep on the first error.
+    """
+    for task, outcome in supervisor.run_pool(
+        tasks, jobs, _pool_run, initializer=initializer, initargs=initargs
+    ):
+        if isinstance(outcome, StudyFailure):
+            yield task.position, outcome
+        else:
+            payload, snapshot = outcome
             obs.merge_snapshot(snapshot)
-            yield futures[future], matrix_from_dict(payload)
+            yield task.position, matrix_from_dict(payload)
 
 
 def _iter_group_results(
     ensemble: HazardEnsemble,
-    pending: Sequence[StudyConfig],
+    tasks: Sequence[SupervisedTask],
     jobs: int,
     obs: Observability | NullObservability,
+    supervisor: StudySupervisor,
     share_ref: dict | None = None,
-) -> Iterator[tuple[int, ScenarioMatrix]]:
-    """Yield ``(position, matrix)`` per pending study as each finishes.
+    fallback_ok: bool = False,
+) -> Iterator[tuple[int, ScenarioMatrix | StudyFailure]]:
+    """Yield ``(grid position, matrix-or-failure)`` per task as each settles.
 
-    ``share_ref`` is an optional pre-existing mmap descriptor for the
-    group's depth grid (the cache sidecar); when absent and the
-    ensemble is shareable, a shared-memory segment is published for the
-    pool's lifetime and unlinked in the ``finally`` -- including on
-    ``KeyboardInterrupt`` or a broken pool.
+    Each task's payload is its full :class:`StudyConfig` (with any data
+    objects still attached); the pool path strips those before the
+    process boundary.  ``share_ref`` is an optional pre-existing mmap
+    descriptor for the group's depth grid (the cache sidecar); when
+    absent and the ensemble is shareable, a shared-memory segment is
+    published for the pool's lifetime and unlinked in the ``finally``
+    -- including on ``KeyboardInterrupt`` or a broken pool.
     """
-    if jobs > 1 and len(pending) > 1:
+    if jobs > 1 and len(tasks) > 1:
         # Workers receive the config without its data objects: the
         # ensemble ships by descriptor (or once via the legacy pickled
         # initializer) and a generator (with its mesh) never needs to
         # cross the process boundary.
-        stripped = [c.replace(ensemble=None, generator=None) for c in pending]
-        if not _picklable(*stripped):
+        stripped = [
+            dataclasses.replace(
+                task,
+                payload=task.payload.replace(ensemble=None, generator=None),
+            )
+            for task in tasks
+        ]
+        if not _picklable(*(task.payload for task in stripped)):
             obs.event("sweep.parallel_fallback", reason="unpicklable study inputs")
         elif share_ref is not None or shareable_ensemble(ensemble):
             handle = None
@@ -344,7 +404,8 @@ def _iter_group_results(
                 obs.inc("sweep.ensemble.shared_mmap")
             try:
                 yield from _run_pool(
-                    stripped, jobs, obs, _pool_init_shared, descriptor
+                    stripped, jobs, obs, _pool_init_shared,
+                    (descriptor, fallback_ok), supervisor,
                 )
             finally:
                 if handle is not None:
@@ -352,13 +413,19 @@ def _iter_group_results(
                     handle.unlink()
             return
         elif _picklable(ensemble):
-            yield from _run_pool(stripped, jobs, obs, _pool_init, ensemble)
+            yield from _run_pool(
+                stripped, jobs, obs, _pool_init, (ensemble,), supervisor
+            )
             return
         else:
             obs.event("sweep.parallel_fallback", reason="unpicklable ensemble")
     caches: dict = {}
-    for pos, config in enumerate(pending):
-        yield pos, _analyze(ensemble, config, caches)
+
+    def _serial_runner(config: StudyConfig) -> ScenarioMatrix:
+        return _analyze(ensemble, config, caches)
+
+    for task, outcome in supervisor.run_serial(tasks, _serial_runner):
+        yield task.position, outcome
 
 
 def _acquire_group_ensemble(
@@ -407,6 +474,19 @@ def _acquire_group_ensemble(
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
+def _study_label(summary: dict) -> str:
+    """A short human-readable study name for failure records and errors."""
+    label = (
+        f"{'+'.join(summary['configurations'])} | "
+        f"{'+'.join(summary['scenarios'])} | "
+        f"{summary['placement']}"
+    )
+    chain = summary.get("chain")
+    if chain and chain != "paper":
+        label += f" | chain={chain}"
+    return label
+
+
 def _build_manifest(
     *,
     hashes: Sequence[str],
@@ -450,6 +530,10 @@ def run_sweep(
     manifest_out: str | Path | None = None,
     observability: bool = True,
     obs: Observability | NullObservability | None = None,
+    strict: bool = True,
+    retry: RetryPolicy | None = None,
+    study_deadline_s: float | None = None,
+    budget_s: float | None = None,
 ) -> SweepResult:
     """Run a batch of studies with shared-ensemble dedup; see module docs.
 
@@ -459,6 +543,18 @@ def run_sweep(
     ``sweep_dir``) loads the verified finished studies and runs only the
     rest.  ``manifest_out`` writes the sweep manifest to an extra path
     alongside the one in ``sweep_dir``.
+
+    Every study runs under a :class:`StudySupervisor`: retryable
+    failures (crashed workers, hung studies past ``study_deadline_s``)
+    are retried per ``retry`` (default :class:`RetryPolicy`), and a
+    terminally-failed study either aborts the sweep with a
+    :class:`~repro.errors.StudyFailureError` naming the study
+    (``strict=True``, the default -- matching the historical behavior)
+    or becomes a :class:`StudyFailure` on ``SweepResult.failures``
+    while every other cell still completes (``strict=False``).
+    ``budget_s`` bounds the whole sweep's wall clock: studies not
+    started when it expires fail with
+    :class:`~repro.errors.SweepBudgetError` instead of running.
     """
     configs = list(configs)
     if not configs:
@@ -501,7 +597,23 @@ def run_sweep(
                 if done:
                     obs.inc("sweep.studies_resumed", len(done))
 
+            supervisor = StudySupervisor(
+                policy=retry,
+                strict=strict,
+                deadline_s=study_deadline_s,
+                budget_s=budget_s,
+            )
+            tasks_by_index = {
+                i: SupervisedTask(
+                    position=i,
+                    label=_study_label(cell_summary(configs[i])),
+                    study_hash=hashes[i],
+                    payload=configs[i],
+                )
+                for i in range(len(configs))
+            }
             matrices: dict[int, ScenarioMatrix] = {}
+            failures: dict[int, StudyFailure] = {}
             resumed_indices: set[int] = set()
             for key, indices in groups.items():
                 pending: list[int] = []
@@ -513,17 +625,37 @@ def run_sweep(
                         pending.append(i)
                 if not pending:
                     continue
+                if supervisor.budget_exhausted():
+                    # Never start a group past the sweep budget; strict
+                    # mode raises SweepBudgetError from inside here.
+                    for i in pending:
+                        failures[i] = supervisor.budget_failure(
+                            tasks_by_index[i]
+                        )
+                        obs.inc("sweep.studies_failed")
+                    continue
                 ensemble, share_ref = _acquire_group_ensemble(
                     configs[pending[0]], obs
                 )
                 if len(pending) > 1:
                     obs.inc("sweep.ensemble.reused", len(pending) - 1)
-                pending_configs = [configs[i] for i in pending]
-                for pos, matrix in _iter_group_results(
-                    ensemble, pending_configs, jobs, obs, share_ref
+                pending_tasks = [tasks_by_index[i] for i in pending]
+                first = configs[pending[0]]
+                fallback_ok = first.ensemble is None and first.generator is None
+                for i, outcome in _iter_group_results(
+                    ensemble,
+                    pending_tasks,
+                    jobs,
+                    obs,
+                    supervisor,
+                    share_ref,
+                    fallback_ok,
                 ):
-                    i = pending[pos]
-                    matrices[i] = matrix
+                    if isinstance(outcome, StudyFailure):
+                        failures[i] = outcome
+                        obs.inc("sweep.studies_failed")
+                        continue
+                    matrices[i] = outcome
                     obs.inc("sweep.studies_completed")
                     if store is not None:
                         store.record(
@@ -531,7 +663,7 @@ def run_sweep(
                                 config=configs[i],
                                 study_hash=hashes[i],
                                 cache_key=key,
-                                matrix=matrix,
+                                matrix=outcome,
                             )
                         )
                         store.write_manifest(
@@ -549,6 +681,13 @@ def run_sweep(
         "wall_clock_s": round(wall_clock_s, 6),
         "metrics": obs.metrics.snapshot() if obs.enabled else {},
     }
+    if failures:
+        # Failure records vary run to run (chaos, deadlines), so they
+        # live in the telemetry section: the deterministic part of the
+        # manifest stays resume-identical.
+        telemetry["failures"] = [
+            failures[i].summary() for i in sorted(failures)
+        ]
     manifest = _build_manifest(
         hashes=hashes,
         cache_keys=cache_keys,
@@ -570,5 +709,11 @@ def run_sweep(
             resumed=i in resumed_indices,
         )
         for i in range(len(configs))
+        if i in matrices
     )
-    return SweepResult(cells=cells, manifest=manifest, observability=obs)
+    return SweepResult(
+        cells=cells,
+        manifest=manifest,
+        observability=obs,
+        failures=tuple(failures[i] for i in sorted(failures)),
+    )

@@ -126,14 +126,26 @@ class AxisComparison:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Everything one :func:`repro.sweep.run_sweep` call produced."""
+    """Everything one :func:`repro.sweep.run_sweep` call produced.
+
+    ``cells`` holds the *completed* studies; with ``strict=False`` a
+    terminally-failed study appears in ``failures`` (as a
+    :class:`~repro.runtime.supervisor.StudyFailure`) instead of as a
+    cell, so a partial sweep is still a usable result.
+    """
 
     cells: tuple[StudyCell, ...]
     manifest: dict
     observability: object
+    failures: tuple = ()
 
     def __len__(self) -> int:
         return len(self.cells)
+
+    @property
+    def ok(self) -> bool:
+        """True when every study in the grid completed."""
+        return not self.failures
 
     def get(self, **selector) -> list[StudyCell]:
         """Cells whose summary matches every ``selector`` item."""
@@ -161,6 +173,14 @@ class SweepResult:
             f"{len(groups) or '?'} ensemble group(s)",
             "=" * 60,
         ]
+        if self.failures:
+            lines.append(f"FAILED studies: {len(self.failures)}")
+            for failure in self.failures:
+                lines.append(
+                    f"  [{failure.position}] {failure.label}: "
+                    f"{failure.error_type}: {failure.message} "
+                    f"(after {failure.attempts} attempt(s))"
+                )
         for i, cell in enumerate(self.cells, 1):
             summary = cell.summary()
             lines.append("")
@@ -210,6 +230,7 @@ class SweepResult:
                 }
                 for cell in self.cells
             ],
+            "failures": [failure.summary() for failure in self.failures],
         }
 
     def save_json(self, path: str | Path) -> Path:

@@ -262,6 +262,76 @@ class TestFacadeBackedSubcommands:
         assert manifest["chain"]["name"] == "earthquake"
 
 
+class TestTopLevelErrorHandler:
+    """Any ReproError exits 2 with one `error:` line, never a traceback."""
+
+    def test_configuration_error_is_one_line_exit_2(self, capsys):
+        code = main(["run", "--realizations", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # exactly one line, no traceback
+        assert "n_realizations" in err
+
+    def test_serialization_error_is_one_line_exit_2(self, tmp_path, capsys):
+        garbage = tmp_path / "not_an_ensemble.csv"
+        garbage.write_text("this,is,not\nan,ensemble,file\n")
+        code = main(["run", "--ensemble", str(garbage)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+        assert "ensemble" in err
+
+    def test_missing_ensemble_file_is_one_line_exit_2(self, tmp_path, capsys):
+        code = main(["run", "--ensemble", str(tmp_path / "nope.csv")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no such ensemble file" in err
+
+
+class TestSweepRobustnessFlags:
+    @pytest.fixture(scope="class")
+    def small_csv(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-sweep") / "small.csv"
+        main(["ensemble", "--count", "40", "--seed", "2", "--output", str(path)])
+        return str(path)
+
+    def test_exhausted_budget_without_keep_going_exits_2(
+        self, small_csv, capsys
+    ):
+        code = main(
+            [
+                "sweep",
+                "--ensemble", small_csv,
+                "--config", "2",
+                "--scenario", "hurricane",
+                "--scenario", "hurricane+isolation",
+                "--sweep-budget", "1e-9",
+            ]
+        )
+        assert code == 2  # strict mode: SweepBudgetError -> ReproError exit
+        assert "budget" in capsys.readouterr().err
+
+    def test_keep_going_lists_failures_and_exits_1(self, small_csv, capsys):
+        code = main(
+            [
+                "sweep",
+                "--ensemble", small_csv,
+                "--config", "2",
+                "--scenario", "hurricane",
+                "--scenario", "hurricane+isolation",
+                "--sweep-budget", "1e-9",
+                "--keep-going",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "SweepBudgetError" in err
+
+
 class TestSimulationCommands:
     def test_bft_demo(self, capsys):
         code = main(

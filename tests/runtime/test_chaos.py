@@ -10,11 +10,16 @@
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.api import StudyConfig
-from repro.errors import RetryExhaustedError
+from repro.errors import RetryExhaustedError, StudyFailureError
+from repro.io.results_io import matrix_to_dict
 from repro.hazards.hurricane.standard import standard_oahu_generator
 from repro.io.atomic import CorruptArtifactWarning
 from repro.io.ensemble_cache import (
@@ -37,6 +42,13 @@ FAST = RetryPolicy(
     backoff_cap_s=0.05,
     poll_interval_s=0.02,
     task_timeout_s=2.0,
+)
+
+NO_RETRY = RetryPolicy(
+    max_retries=0,
+    backoff_base_s=0.01,
+    backoff_cap_s=0.02,
+    poll_interval_s=0.02,
 )
 
 
@@ -190,6 +202,54 @@ class ExplodingFragility(ThresholdFragility):
         raise RuntimeError("chaos: fragility exploded in the worker")
 
 
+@dataclass(frozen=True)
+class CrashOnceFragility(ThresholdFragility):
+    """Kills its whole worker process the first time it is evaluated.
+
+    The sentinel file makes the crash one-shot across process
+    boundaries: the first evaluation writes it and ``os._exit``\\ s (a
+    real worker death -- no exception, no cleanup), so the pool
+    collapses with ``BrokenProcessPool``; the supervised retry finds the
+    sentinel and computes the normal threshold rule, bit-identical to
+    plain :class:`ThresholdFragility`.
+    """
+
+    sentinel: str = ""
+
+    def _crash_once(self) -> None:
+        if not os.path.exists(self.sentinel):
+            Path(self.sentinel).write_text("worker died here")
+            os._exit(1)
+
+    def failure_matrix(self, depths):
+        self._crash_once()
+        return super().failure_matrix(depths)
+
+    def failed_assets(self, depths_m, rng=None):
+        self._crash_once()
+        return super().failed_assets(depths_m, rng)
+
+
+@dataclass(frozen=True)
+class FlakyOnceFragility(ThresholdFragility):
+    """Raises (an ordinary exception) on first evaluation, then recovers."""
+
+    sentinel: str = ""
+
+    def _fail_once(self) -> None:
+        if not os.path.exists(self.sentinel):
+            Path(self.sentinel).write_text("failed here")
+            raise RuntimeError("chaos: transient fragility failure")
+
+    def failure_matrix(self, depths):
+        self._fail_once()
+        return super().failure_matrix(depths)
+
+    def failed_assets(self, depths_m, rng=None):
+        self._fail_once()
+        return super().failed_assets(depths_m, rng)
+
+
 class TestSharedMemorySegments:
     """The sweep engine may not leak shm segments, whatever kills it."""
 
@@ -218,8 +278,9 @@ class TestSharedMemorySegments:
 
         published = self._spy_publish(monkeypatch)
 
-        def interrupted(pending, jobs, obs, initializer, initarg):
+        def interrupted(*args, **kwargs):
             raise KeyboardInterrupt  # the simulated ^C mid-pool
+            yield  # pragma: no cover - marks this as a generator stand-in
 
         monkeypatch.setattr(engine, "_run_pool", interrupted)
         with pytest.raises(KeyboardInterrupt):
@@ -233,8 +294,10 @@ class TestSharedMemorySegments:
         grid = [
             c.replace(fragility=ExplodingFragility()) for c in self._grid()
         ]
-        with pytest.raises(RuntimeError, match="fragility exploded"):
-            run_sweep(grid, jobs=2)
+        # Strict mode (the default) still surfaces the failure -- now as
+        # a StudyFailureError naming the study, chaining the original.
+        with pytest.raises(StudyFailureError, match="fragility exploded"):
+            run_sweep(grid, jobs=2, retry=NO_RETRY)
         assert len(published) == 1
         with pytest.raises(FileNotFoundError):
             attach_shared_ensemble(published[0])
@@ -246,3 +309,153 @@ class TestSharedMemorySegments:
         result = run_sweep(self._grid(), jobs=2)
         assert len(result) == 2
         assert set(_LIVE) == before
+
+
+def _small_grid():
+    return sweep_grid(
+        StudyConfig(n_realizations=30), configurations=["2", "2-2"]
+    )
+
+
+class TestSupervisedSweepChaos:
+    """Sweep-level fault isolation: the ISSUE's supervisor guarantees."""
+
+    def test_killed_sweep_worker_is_retried_and_sweep_completes(
+        self, tmp_path
+    ):
+        """A worker hard-killed mid-study costs a retry, never the sweep."""
+        grid = _small_grid()
+        chaos = list(grid)
+        chaos[1] = chaos[1].replace(
+            fragility=CrashOnceFragility(sentinel=str(tmp_path / "crashed"))
+        )
+        result = run_sweep(chaos, jobs=2, retry=FAST)
+        assert len(result) == 2
+        assert result.ok
+        # The retried study's numbers are the plain threshold rule's.
+        clean = run_sweep(grid, jobs=1)
+        for cell, expected in zip(result.cells, clean.cells):
+            assert matrix_to_dict(cell.matrix) == matrix_to_dict(
+                expected.matrix
+            )
+        counters = result.observability.metrics.snapshot()["counters"]
+        assert counters["supervisor.pool_rebuilds"] >= 1
+        assert counters["supervisor.study_retries"] >= 1
+        assert counters["sweep.studies_completed"] == 2
+
+    def test_poison_study_fails_alone_with_partial_results(self):
+        """strict=False: one poisoned cell, every other cell still lands."""
+        grid = _small_grid()
+        chaos = list(grid)
+        chaos[1] = chaos[1].replace(fragility=ExplodingFragility())
+        result = run_sweep(chaos, jobs=2, strict=False, retry=FAST)
+        assert not result.ok
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.position == 1
+        assert failure.error_type == "RuntimeError"
+        assert "fragility exploded" in failure.message
+        # The unexpected error was retried per policy before giving up.
+        assert failure.attempts == FAST.max_retries + 1
+        # Fault isolation: the healthy study completed bit-identically.
+        assert len(result.cells) == 1
+        clean = run_sweep(grid, jobs=1)
+        assert matrix_to_dict(result.cells[0].matrix) == matrix_to_dict(
+            clean.cells[0].matrix
+        )
+        # The failure is on the manifest's telemetry side, never in the
+        # deterministic (resume-identity) section.
+        recorded = result.manifest["telemetry"]["failures"]
+        assert [f["position"] for f in recorded] == [1]
+        counters = result.observability.metrics.snapshot()["counters"]
+        assert counters["sweep.studies_failed"] == 1
+
+    def test_failed_study_reruns_on_resume_bit_identically(self, tmp_path):
+        """A partial sweep + resume equals an uninterrupted sweep."""
+        from tests.sweep.test_engine import manifest_identity
+
+        sentinel = tmp_path / "flaked"
+        grid = [
+            c.replace(
+                fragility=FlakyOnceFragility(sentinel=str(sentinel))
+            )
+            for c in _small_grid()
+        ]
+        sweep_dir = tmp_path / "sweep"
+        partial = run_sweep(
+            grid,
+            jobs=1,
+            sweep_dir=sweep_dir,
+            strict=False,
+            retry=NO_RETRY,
+        )
+        # The first study flaked (writing the sentinel); with retries off
+        # it is a recorded failure and only the second study checkpointed.
+        assert len(partial.failures) == 1
+        assert len(partial.cells) == 1
+
+        resumed = run_sweep(
+            grid, jobs=1, sweep_dir=sweep_dir, resume=True, retry=NO_RETRY
+        )
+        assert resumed.ok
+        assert len(resumed) == 2
+        resumed_flags = {
+            cell.study_hash: cell.resumed for cell in resumed.cells
+        }
+        assert sorted(resumed_flags.values()) == [False, True]
+
+        # An uninterrupted run of the same (now-calm) grid is identical
+        # outside the telemetry section.
+        fresh = run_sweep(grid, jobs=1, sweep_dir=tmp_path / "fresh")
+        assert manifest_identity(resumed.manifest) == manifest_identity(
+            fresh.manifest
+        )
+        for cell, expected in zip(resumed.cells, fresh.cells):
+            assert matrix_to_dict(cell.matrix) == matrix_to_dict(
+                expected.matrix
+            )
+
+    def test_stale_shared_descriptor_falls_back_to_regeneration(
+        self, monkeypatch
+    ):
+        """Workers attaching to a vanished shm segment regenerate instead.
+
+        ``attach_shared_ensemble`` is patched to raise before the pool
+        forks, so every worker inherits the fault (fork start method).
+        The grid's hazard data comes from the standard generator, so the
+        fallback path is legal and must reproduce the shared grid's
+        numbers exactly.
+        """
+        import repro.sweep.engine as engine
+
+        def stale(descriptor):
+            raise FileNotFoundError("chaos: shm segment unlinked under us")
+
+        monkeypatch.setattr(engine, "attach_shared_ensemble", stale)
+        grid = _small_grid()
+        result = run_sweep(grid, jobs=2, retry=NO_RETRY)
+        assert result.ok
+        assert len(result) == 2
+        counters = result.observability.metrics.snapshot()["counters"]
+        assert counters["sweep.ensemble.attach_fallback"] >= 1
+        clean = run_sweep(grid, jobs=1)
+        for cell, expected in zip(result.cells, clean.cells):
+            assert matrix_to_dict(cell.matrix) == matrix_to_dict(
+                expected.matrix
+            )
+
+    def test_stale_descriptor_without_regeneration_path_is_fatal(
+        self, monkeypatch, tmp_path
+    ):
+        """Prebuilt hazard data cannot be regenerated inside a worker."""
+        import repro.sweep.engine as engine
+        from repro.hazards.hurricane.standard import standard_oahu_generator
+
+        def stale(descriptor):
+            raise FileNotFoundError("chaos: shm segment unlinked under us")
+
+        monkeypatch.setattr(engine, "attach_shared_ensemble", stale)
+        ensemble = standard_oahu_generator().generate(count=30, seed=7)
+        grid = [c.replace(ensemble=ensemble) for c in _small_grid()]
+        with pytest.raises(StudyFailureError, match="no regeneration path"):
+            run_sweep(grid, jobs=2, retry=NO_RETRY)

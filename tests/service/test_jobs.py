@@ -1,0 +1,161 @@
+"""Job queue admission control and the crash-safe journal."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service import JobJournal, JobQueue, JobRecord, JobState
+
+
+def record(i: int, state: JobState = JobState.QUEUED) -> JobRecord:
+    return JobRecord(
+        job_id=f"job-{i:06d}-abcd1234",
+        study_hash=f"hash-{i}",
+        spec={"n_realizations": 10 + i},
+        state=state,
+    )
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        queue = JobQueue(capacity=3)
+        for i in range(3):
+            queue.submit(record(i))
+        taken = [queue.take(timeout=0.1).job_id for _ in range(3)]
+        assert taken == [record(i).job_id for i in range(3)]
+
+    def test_full_queue_rejects_with_admission_error(self):
+        queue = JobQueue(capacity=2)
+        queue.submit(record(0))
+        queue.submit(record(1))
+        with pytest.raises(AdmissionError, match="full"):
+            queue.submit(record(2))
+        # The rejection is explicit backpressure, never a silent drop:
+        # both admitted jobs are still there.
+        assert len(queue) == 2
+
+    def test_take_times_out_empty(self):
+        assert JobQueue(capacity=1).take(timeout=0.05) is None
+
+    def test_close_wakes_blocked_taker(self):
+        queue = JobQueue(capacity=1)
+        results = []
+
+        def taker():
+            results.append(queue.take(timeout=5.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_closed_queue_refuses_submissions(self):
+        queue = JobQueue(capacity=1)
+        queue.close()
+        with pytest.raises(ServiceError, match="clos"):
+            queue.submit(record(0))
+
+    def test_close_still_drains_queued_work(self):
+        queue = JobQueue(capacity=2)
+        queue.submit(record(0))
+        queue.close()
+        assert queue.take(timeout=0.1).job_id == record(0).job_id
+        assert queue.take(timeout=0.1) is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServiceError):
+            JobQueue(capacity=0)
+
+
+class TestJobJournal:
+    def test_round_trip_lifecycle(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        job = record(1)
+        journal.append("submitted", job)
+        job.state = JobState.RUNNING
+        journal.append("started", job)
+        job.state = JobState.DONE
+        journal.append("done", job)
+        replayed = journal.replay()
+        assert replayed[job.job_id].state is JobState.DONE
+        assert replayed[job.job_id].spec == {"n_realizations": 11}
+
+    def test_interrupted_job_replays_as_its_last_state(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        job = record(1)
+        journal.append("submitted", job)
+        job.state = JobState.RUNNING
+        journal.append("started", job)
+        # Crash here: no terminal event.
+        replayed = journal.replay()
+        assert replayed[job.job_id].state is JobState.RUNNING
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        job = record(1)
+        journal.append("submitted", job)
+        # The torn half-line a kill -9 mid-append leaves behind (no
+        # trailing newline, truncated JSON).
+        with path.open("a") as handle:
+            handle.write('{"event": "done", "job_id": "job-0000')
+        replayed = journal.replay()
+        assert replayed[job.job_id].state is JobState.QUEUED
+
+    def test_corruption_before_the_tail_is_an_error(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.append("submitted", record(1))
+        with path.open("a") as handle:
+            handle.write("garbage line\n")  # complete line = corruption
+        journal.append("submitted", record(2))
+        with pytest.raises(ServiceError, match="corrupt"):
+            journal.replay()
+
+    def test_failed_job_keeps_its_error(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        job = record(1)
+        journal.append("submitted", job)
+        job.state = JobState.FAILED
+        job.error = {"error_type": "WorkerCrashError", "attempts": 4}
+        journal.append("failed", job)
+        replayed = journal.replay()
+        assert replayed[job.job_id].state is JobState.FAILED
+        assert replayed[job.job_id].error["error_type"] == "WorkerCrashError"
+
+    def test_compact_collapses_history(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        job = record(1)
+        journal.append("submitted", job)
+        for _ in range(5):
+            job.state = JobState.RUNNING
+            journal.append("started", job)
+            job.state = JobState.QUEUED
+            job.enqueues += 1
+            journal.append("requeued", job)
+        job.state = JobState.DONE
+        journal.append("done", job)
+        before = len(path.read_text().splitlines())
+        journal.compact(journal.replay())
+        after = len(path.read_text().splitlines())
+        assert after < before
+        replayed = journal.replay()
+        assert replayed[job.job_id].state is JobState.DONE
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        job = record(1)
+        journal.append("submitted", job)
+        journal.append("started", job)
+        for line in path.read_text().splitlines():
+            payload = json.loads(line)
+            assert payload["schema_version"] == 1
+            assert payload["job_id"] == job.job_id

@@ -1,0 +1,56 @@
+"""The persistent result store: atomicity, verification, quarantine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io.atomic import CorruptArtifactWarning
+from repro.service import ResultStore
+
+HASH = "a" * 32
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(HASH, {"matrix": {"entries": []}, "summary": {"seed": 1}})
+        document = store.get(HASH)
+        assert document["kind"] == "repro.service_result"
+        assert document["study_hash"] == HASH
+        assert document["summary"] == {"seed": 1}
+        assert HASH in store
+        assert store.study_hashes() == [HASH]
+
+    def test_missing_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(HASH) is None
+        assert HASH not in store
+
+    def test_corrupt_file_is_quarantined_not_returned(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(HASH, {"matrix": {}})
+        store.path(HASH).write_text("{not json")
+        with pytest.warns(CorruptArtifactWarning):
+            assert store.get(HASH) is None
+        assert store.path(HASH).with_name(
+            store.path(HASH).name + ".corrupt"
+        ).exists()
+
+    def test_identity_mismatch_is_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(HASH, {"matrix": {}})
+        # A result renamed to the wrong hash must never be served.
+        document = json.loads(store.path(HASH).read_text())
+        other = "b" * 32
+        store.dir.mkdir(exist_ok=True)
+        store.path(other).write_text(json.dumps(document))
+        with pytest.warns(CorruptArtifactWarning):
+            assert store.get(other) is None
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(HASH, {"matrix": {"entries": [1]}})
+        store.put(HASH, {"matrix": {"entries": [1]}})
+        assert store.study_hashes() == [HASH]
