@@ -22,7 +22,7 @@ from repro.core.stats import compare_profiles, required_realizations
 from repro.core.states import OperationalState
 from repro.core.threat import HURRICANE, HURRICANE_INTRUSION_ISOLATION
 from repro.core.timeline import CompoundEventTimeline, TimelineParams
-from repro.geo.oahu import HONOLULU_CC, WAIAU_CC, build_oahu_catalog
+from repro.geo import HONOLULU_CC, WAIAU_CC, build_oahu_catalog
 from repro.hazards.earthquake import (
     EarthquakeGenerator,
     seismic_fragility,

@@ -23,7 +23,7 @@ from repro import (
     standard_oahu_ensemble,
 )
 from repro.core.states import OperationalState
-from repro.geo.oahu import HONOLULU_CC, WAIAU_CC
+from repro.geo import HONOLULU_CC, WAIAU_CC
 from repro.io.realization_io import save_ensemble_csv
 from repro.io.results_io import save_matrix_json
 from repro.viz import profile_chart

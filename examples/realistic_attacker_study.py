@@ -22,7 +22,7 @@ from repro import CompoundThreatAnalysis, standard_oahu_ensemble
 from repro.core.realistic import ResourceConstrainedAttacker
 from repro.core.states import OperationalState
 from repro.core.threat import HURRICANE_INTRUSION_ISOLATION
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC, build_oahu_catalog
+from repro.geo import DRFORTRESS, HONOLULU_CC, WAIAU_CC, build_oahu_catalog
 from repro.network.attacks import LinkFloodingAttacker
 from repro.network.topology import build_site_wan
 from repro.scada.architectures import CONFIG_6_6, CONFIG_6_6_6

@@ -17,7 +17,7 @@ Usage::
 """
 
 from repro import CompoundThreatAnalysis, PAPER_SCENARIOS, standard_oahu_ensemble
-from repro.geo.oahu import HONOLULU_CC, build_oahu_catalog
+from repro.geo import HONOLULU_CC, build_oahu_catalog
 from repro.scada.architectures import CONFIG_2_2, CONFIG_6_6, CONFIG_6_6_6
 from repro.siting.candidates import control_site_candidates
 from repro.siting.objectives import (

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the scenario-pack catalog.
+
+Exercises the whole pack lifecycle the way a user would:
+
+1. build the example Portolan pack (``examples/make_toy_pack.py``) as a
+   directory *and* a zip archive;
+2. run ``compound-threats pack validate`` / ``pack info`` on both forms;
+3. register the pack and run a 3-cell region x hazard sweep
+   (oahu x {hurricane, flood} plus portolan x hurricane), asserting the
+   engine generated each shared ensemble exactly once -- the
+   ``sweep.ensemble.generated`` counter must equal the number of
+   distinct ``StudyConfig.cache_key()`` values in the grid;
+4. tamper with a pack data file and assert loading now fails with the
+   content-hash mismatch error.
+
+Writes a JSON report (assertions + counters) for the CI artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/pack_smoke.py --output pack_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "examples"))
+
+from make_toy_pack import main as make_pack_main  # noqa: E402
+
+from repro import StudyConfig, run_sweep  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.errors import SerializationError  # noqa: E402
+from repro.scenarios import load_scenario_pack, register_scenario_pack  # noqa: E402
+
+REALIZATIONS = 60  # small but nonzero: the counters, not the physics
+
+
+def check(report: dict, name: str, ok: bool, detail: str = "") -> None:
+    report["checks"].append({"name": name, "ok": bool(ok), "detail": detail})
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {name}" + (f" ({detail})" if detail else ""))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, help="JSON report path")
+    args = parser.parse_args()
+    report: dict = {"checks": [], "started_unix_s": time.time()}
+
+    with tempfile.TemporaryDirectory(prefix="pack-smoke-") as tmp:
+        pack_dir = Path(tmp) / "portolan-pack"
+
+        # 1. Build the example pack (directory + zip) via its own CLI.
+        rc = make_pack_main(["--out", str(pack_dir), "--zip"])
+        check(report, "make_toy_pack builds", rc == 0)
+        pack_zip = pack_dir.with_suffix(".zip")
+        check(report, "zip archive written", pack_zip.is_file())
+
+        # 2. The pack CLI validates both on-disk forms.
+        rc = cli_main(["pack", "validate", str(pack_dir)])
+        check(report, "pack validate (directory)", rc == 0)
+        rc = cli_main(["pack", "validate", str(pack_zip)])
+        check(report, "pack validate (zip)", rc == 0)
+        rc = cli_main(["pack", "info", str(pack_dir)])
+        check(report, "pack info", rc == 0)
+
+        # 3. Register it and sweep 3 region x hazard cells.
+        pack = register_scenario_pack(pack_dir, replace=True)
+        check(report, "pack registers as region", pack.name == "portolan")
+        base = StudyConfig(n_realizations=REALIZATIONS)
+        grid = [
+            base.replace(region="oahu", hazard="hurricane"),
+            base.replace(region="oahu", hazard="flood"),
+            base.replace(region="portolan", hazard="hurricane"),
+        ]
+        distinct_keys = {config.cache_key() for config in grid}
+        result = run_sweep(grid)
+        counters = (
+            result.manifest.get("telemetry", {})
+            .get("metrics", {})
+            .get("counters", {})
+        )
+        generated = int(counters.get("sweep.ensemble.generated", -1))
+        report["counters"] = {k: v for k, v in sorted(counters.items())}
+        report["distinct_cache_keys"] = len(distinct_keys)
+        check(report, "sweep completed", result.ok, f"{len(result)} cells")
+        check(
+            report,
+            "each shared ensemble generated exactly once",
+            generated == len(distinct_keys),
+            f"generated={generated}, distinct cache keys={len(distinct_keys)}",
+        )
+
+        # 4. Tampering with a data file must fail the content-hash check.
+        flood_file = pack_dir / "flood.json"
+        doc = json.loads(flood_file.read_text())
+        doc["discharge_median_m3s"] = 9999.0
+        flood_file.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        try:
+            load_scenario_pack(pack_dir)
+        except SerializationError as exc:
+            check(
+                report,
+                "tampered pack rejected",
+                "content-hash mismatch" in str(exc),
+                str(exc)[:100],
+            )
+        else:
+            check(report, "tampered pack rejected", False, "load succeeded")
+
+    report["wall_clock_s"] = time.time() - report["started_unix_s"]
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.output}")
+    failed = [c for c in report["checks"] if not c["ok"]]
+    if failed:
+        print(f"pack smoke: {len(failed)} check(s) FAILED", file=sys.stderr)
+        return 1
+    print(f"pack smoke: all {len(report['checks'])} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,11 @@ manifest.  The building blocks it composes
 (:func:`standard_oahu_ensemble`, :class:`CompoundThreatAnalysis`, ...)
 remain exported for piecewise use; see ``docs/api_guide.md`` for the
 migration table.
+
+The scenario catalog names studies instead of wiring objects:
+``StudyConfig(region="oahu", hazard="earthquake")`` selects a registered
+:class:`Region` and hazard family, and :func:`register_scenario_pack`
+adds new regions from on-disk packs (see ``docs/scenario_packs.md``).
 """
 
 from repro.api import (
@@ -71,6 +76,19 @@ from repro.hazards.hurricane import (
     standard_oahu_ensemble,
 )
 from repro.obs import NULL_OBSERVER, Observability, format_run_report
+from repro.scenarios import (
+    HazardFamily,
+    Region,
+    ScenarioPack,
+    available_hazard_families,
+    available_regions,
+    get_hazard_family,
+    get_region,
+    load_scenario_pack,
+    register_hazard_family,
+    register_region,
+    register_scenario_pack,
+)
 from repro.scada import (
     PAPER_CONFIGURATIONS,
     PLACEMENT_KAHE,
@@ -81,7 +99,7 @@ from repro.scada import (
     get_architecture,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -126,6 +144,18 @@ __all__ = [
     "ExhaustiveAttacker",
     "ProbabilisticAttacker",
     "format_matrix_report",
+    # scenario catalog (see docs/scenario_packs.md)
+    "Region",
+    "get_region",
+    "register_region",
+    "available_regions",
+    "HazardFamily",
+    "get_hazard_family",
+    "register_hazard_family",
+    "available_hazard_families",
+    "ScenarioPack",
+    "load_scenario_pack",
+    "register_scenario_pack",
     # hazard substrate
     "HurricaneEnsemble",
     "HurricaneScenarioSpec",

@@ -27,7 +27,12 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hazards.base import Hazard
+    from repro.scenarios.hazards import HazardFamily
+    from repro.scenarios.regions import Region
 
 import numpy as np
 
@@ -64,9 +69,11 @@ from repro.scada.architectures import (
     ArchitectureSpec,
     get_architecture,
 )
-from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU, Placement
-
-_NAMED_PLACEMENTS = {"waiau": PLACEMENT_WAIAU, "kahe": PLACEMENT_KAHE}
+from repro.scada.placement import (
+    PLACEMENT_WAIAU,
+    Placement,
+    get_placement,
+)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -86,9 +93,16 @@ class StudyConfig:
     configurations: Sequence[ArchitectureSpec | str] = PAPER_CONFIGURATIONS
     placement: Placement | str = PLACEMENT_WAIAU
     scenarios: Sequence[ThreatScenario | str] = PAPER_SCENARIOS
-    # The natural-disaster input data.
+    # The natural-disaster input data.  ``region``/``hazard`` select a
+    # registered region and hazard family from the scenario catalog
+    # (:mod:`repro.scenarios`); naming either defaults the other to the
+    # paper's cell ("oahu" / "hurricane").  ``generator`` and
+    # ``ensemble`` remain the escape hatches for hand-built hazard data
+    # and are mutually exclusive with catalog selection.
     n_realizations: int = DEFAULT_REALIZATIONS
     seed: int = DEFAULT_SEED
+    region: str | None = None
+    hazard: str | None = None
     generator: EnsembleGenerator | None = None
     ensemble: HazardEnsemble | None = field(default=None, compare=False)
     # Pipeline models (defaults: 0.5 m threshold, worst-case attacker).
@@ -118,21 +132,55 @@ class StudyConfig:
     trace_out: str | Path | None = None
 
     def __post_init__(self) -> None:
+        # Construction-time validation reports *every* problem at once:
+        # a sweep author fixing a 50-cell grid should see all the typos
+        # in one traceback, not one per run attempt.
+        problems: list[str] = []
         if self.n_realizations < 1:
-            raise ConfigurationError("n_realizations must be at least 1")
+            problems.append("n_realizations must be at least 1")
         if self.jobs < 1:
-            raise ConfigurationError("jobs must be at least 1")
+            problems.append("jobs must be at least 1")
         if not self.configurations:
-            raise ConfigurationError("study needs at least one configuration")
+            problems.append("study needs at least one configuration")
         if not self.scenarios:
-            raise ConfigurationError("study needs at least one scenario")
+            problems.append("study needs at least one scenario")
+        if self.generator is not None and (
+            self.region is not None or self.hazard is not None
+        ):
+            problems.append(
+                "generator= cannot be combined with region=/hazard= "
+                "(pass an explicit generator or a catalog name, not both)"
+            )
+        if self.ensemble is not None and (
+            self.region is not None or self.hazard is not None
+        ):
+            problems.append(
+                "ensemble= cannot be combined with region=/hazard= "
+                "(pass prebuilt hazard data or a catalog name, not both)"
+            )
         # Registry-name lookups resolve (or raise, listing the available
-        # names) at construction, so a typo'd architecture, scenario, or
-        # placement fails here rather than minutes into a run.
-        self.resolve_configurations()
-        self.resolve_placement()
-        self.resolve_scenarios()
-        self.resolve_chain()
+        # names) at construction, so a typo'd architecture, scenario,
+        # placement, region, or hazard fails here rather than minutes
+        # into a run.
+        for check in (
+            self.resolve_configurations,
+            self.resolve_placement,
+            self.resolve_scenarios,
+            self._validate_catalog_names,
+            self.resolve_chain,
+        ):
+            try:
+                check()
+            except ConfigurationError as exc:
+                problems.append(str(exc))
+        problems = list(dict.fromkeys(problems))
+        if len(problems) == 1:
+            raise ConfigurationError(problems[0])
+        if problems:
+            raise ConfigurationError(
+                f"invalid StudyConfig ({len(problems)} problems): "
+                + "; ".join(problems)
+            )
 
     # ------------------------------------------------------------------
     # Normalization (names -> library objects)
@@ -145,13 +193,7 @@ class StudyConfig:
 
     def resolve_placement(self) -> Placement:
         if isinstance(self.placement, str):
-            try:
-                return _NAMED_PLACEMENTS[self.placement]
-            except KeyError:
-                raise ConfigurationError(
-                    f"unknown placement {self.placement!r}; "
-                    f"named placements: {sorted(_NAMED_PLACEMENTS)}"
-                ) from None
+            return get_placement(self.placement)
         return self.placement
 
     def resolve_scenarios(self) -> list[ThreatScenario]:
@@ -160,7 +202,87 @@ class StudyConfig:
         ]
 
     def resolve_chain(self) -> ThreatChain:
-        return _resolve_chain(self.chain)
+        chain = self.chain
+        if chain is None:
+            family = self.resolve_hazard_family()
+            if family is not None and family.default_chain is not None:
+                chain = family.default_chain
+        return _resolve_chain(chain)
+
+    # ------------------------------------------------------------------
+    # Scenario-catalog resolution (region/hazard names -> objects)
+    # ------------------------------------------------------------------
+    def _effective_catalog_names(self) -> tuple[str | None, str | None]:
+        """(region, hazard) with either defaulting the other to the paper's."""
+        region, hazard = self.region, self.hazard
+        if region is None and hazard is not None:
+            region = "oahu"
+        if hazard is None and region is not None:
+            hazard = "hurricane"
+        return region, hazard
+
+    def _validate_catalog_names(self) -> None:
+        region = self.resolve_region()
+        family = self.resolve_hazard_family()
+        if region is not None and family is not None:
+            if family.name not in region.available_hazards():
+                raise ConfigurationError(
+                    f"region {region.name!r} has no {family.name!r} hazard "
+                    f"scenario; available hazards: {region.available_hazards()}"
+                )
+        self.resolve_fragility()
+
+    def resolve_region(self) -> "Region | None":
+        """The registered :class:`~repro.scenarios.Region`, or None."""
+        region_name, _ = self._effective_catalog_names()
+        if region_name is None:
+            return None
+        from repro.scenarios import get_region
+
+        return get_region(region_name)
+
+    def resolve_hazard_family(self) -> "HazardFamily | None":
+        """The registered hazard family, or None when not catalog-driven."""
+        _, hazard_name = self._effective_catalog_names()
+        if hazard_name is None:
+            return None
+        from repro.scenarios import get_hazard_family
+
+        return get_hazard_family(hazard_name)
+
+    def resolve_generator(self) -> "Hazard | None":
+        """The hazard generator this study uses, or None for the default.
+
+        An explicit ``generator=`` wins; otherwise a region/hazard
+        selection resolves through the scenario catalog (memoized per
+        region, so repeated studies share one built generator); with
+        neither, None -- callers fall back to the paper's standard Oahu
+        hurricane generator.
+        """
+        if self.generator is not None:
+            return self.generator
+        region_name, hazard_name = self._effective_catalog_names()
+        if region_name is None or hazard_name is None:
+            return None
+        from repro.scenarios import get_region
+
+        return get_region(region_name).hazard(hazard_name)
+
+    def resolve_fragility(self) -> FragilityModel | None:
+        """The fragility model, honoring the hazard family's default.
+
+        ``fragility=None`` historically meant "the paper's 0.5 m depth
+        threshold"; with a hazard family selected it means that family's
+        natural default instead (e.g. PGA capacity for earthquakes), so
+        ``StudyConfig(hazard="earthquake")`` never thresholds PGA in
+        metres of water.
+        """
+        if self.fragility is not None:
+            return self.fragility
+        family = self.resolve_hazard_family()
+        if family is None:
+            return None
+        return family.default_fragility()
 
     # ------------------------------------------------------------------
     # Supported derivation API (the sweep engine builds on these)
@@ -193,7 +315,7 @@ class StudyConfig:
         """
         if self.ensemble is not None:
             return _prebuilt_ensemble_key(self.ensemble)
-        generator = self.generator or shared_standard_generator()
+        generator = self.resolve_generator() or shared_standard_generator()
         return generator.cache_key(self.n_realizations, self.seed)
 
 
@@ -272,11 +394,18 @@ def study_config_hash(
         "n_realizations": config.n_realizations,
         "seed": config.seed,
         "analysis_seed": config.analysis_seed,
-        "fragility": _model_identity(config.fragility),
+        "fragility": _model_identity(config.resolve_fragility()),
         "attacker": _model_identity(config.attacker),
         "chain": config.resolve_chain().spec(),
         "ensemble_key": ensemble_key,
     }
+    # Catalog selection enters the hash only when used, so every hash
+    # minted before the scenario catalog existed stays valid (service
+    # result stores keyed by study_config_hash keep their cache hits).
+    if config.region is not None:
+        payload["region"] = config.region
+    if config.hazard is not None:
+        payload["hazard"] = config.hazard
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:32]
 
@@ -288,7 +417,7 @@ def _acquire_ensemble(config: StudyConfig) -> tuple[HazardEnsemble, str | None]:
         return config.ensemble, None if key is None else f"prebuilt-seed-{key}"
     from repro.runtime.controller import RetryPolicy
 
-    generator = config.generator or standard_oahu_generator()
+    generator = config.resolve_generator() or standard_oahu_generator()
     retry = RetryPolicy.from_options(config.max_retries, config.task_timeout)
     ensemble = generator.generate(
         count=config.n_realizations,
@@ -336,7 +465,7 @@ def run_study(
                     ensemble, ensemble_key = _acquire_ensemble(config)
             analysis = CompoundThreatAnalysis(
                 ensemble,
-                fragility=config.fragility,
+                fragility=config.resolve_fragility(),
                 attacker=config.attacker,
                 seed=config.analysis_seed,
                 chain=chain,
@@ -352,6 +481,8 @@ def run_study(
         scenarios=[s.name for s in scenarios],
         placement=placement.label(),
         chain=chain.spec(),
+        region=config.region,
+        hazard=config.hazard,
         obs=obs,
         wall_clock_s=wall_clock_s,
     )
@@ -447,7 +578,7 @@ def run_timeline(
                     ensemble, ensemble_key = _acquire_ensemble(config)
             timeline = CompoundEventTimeline(
                 params,
-                fragility=config.fragility,
+                fragility=config.resolve_fragility(),
                 attacker=config.attacker,
             )
             distributions: dict = {}
@@ -477,6 +608,8 @@ def run_timeline(
         scenarios=[s.name for s in scenarios],
         placement=placement.label(),
         chain=None,  # the rollout replaces the chain's instantaneous view
+        region=config.region,
+        hazard=config.hazard,
         obs=obs,
         wall_clock_s=wall_clock_s,
     )

@@ -15,6 +15,8 @@ Subcommands mirror the paper's workflow:
                      (:mod:`repro.service`): submit/status/result over
                      HTTP with a bounded admission queue, persistent
                      result store, and journal-backed restart recovery.
+* ``pack``        -- validate or describe a scenario pack
+                     (``pack validate PATH`` / ``pack info PATH``).
 * ``ensemble``    -- generate the hurricane realizations (CSV output).
 * ``analyze``     -- deprecated alias of ``run`` (old flag spellings
                      keep working; it routes through the same facade and
@@ -30,7 +32,9 @@ Subcommands mirror the paper's workflow:
                      ``earthquake`` chain.
 
 ``run`` and ``sweep`` accept ``--chain`` to pick the threat chain
-(registered presets: ``paper``, ``grid-coupled``, ``earthquake``); the
+(registered presets: ``paper``, ``grid-coupled``, ``earthquake``,
+``flood``) and ``--region``/``--hazard`` to pick from the scenario
+catalog (``--pack PATH`` registers a scenario pack first); the
 facade-backed subcommands all share the ``--jobs``/``--cache-dir`` and
 ``--manifest-out``/``--metrics-out``/``--trace-out`` plumbing.
 """
@@ -45,7 +49,7 @@ from repro.core.pipeline import CompoundThreatAnalysis
 from repro.core.report import format_matrix_csv
 from repro.core.threat import PAPER_SCENARIOS, get_scenario
 from repro.errors import ReproError
-from repro.geo.oahu import HONOLULU_CC
+from repro.geo import HONOLULU_CC
 from repro.hazards.hurricane.standard import (
     DEFAULT_REALIZATIONS,
     DEFAULT_SEED,
@@ -54,15 +58,26 @@ from repro.hazards.hurricane.standard import (
 )
 from repro.io.realization_io import load_ensemble_csv, save_ensemble_csv
 from repro.scada.architectures import PAPER_CONFIGURATIONS, get_architecture
-from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU
+from repro.scada.placement import (
+    PLACEMENT_KAHE,
+    PLACEMENT_WAIAU,
+    available_placements,
+)
 from repro.viz import profile_chart
 
-_PLACEMENTS = {"waiau": PLACEMENT_WAIAU, "kahe": PLACEMENT_KAHE}
+
+def _register_packs(args: argparse.Namespace) -> None:
+    """Register every ``--pack`` path before configs are built."""
+    from repro.scenarios import register_scenario_pack
+
+    for path in getattr(args, "pack", None) or []:
+        pack = register_scenario_pack(path, replace=True)
+        print(f"registered scenario pack {pack.name!r} from {path}", file=sys.stderr)
 
 
 def _cmd_ensemble(args: argparse.Namespace) -> int:
     if args.scenario_file:
-        from repro.geo.oahu import build_oahu_catalog, build_oahu_region
+        from repro.geo import build_oahu_catalog, build_oahu_region
         from repro.hazards.hurricane.ensemble import EnsembleGenerator
         from repro.hazards.hurricane.inundation import ExtensionParams
         from repro.hazards.hurricane.standard import OAHU_SOUTH_SHORE_BASIN
@@ -129,6 +144,12 @@ def _study_config_from_args(
     chain = getattr(args, "chain", None)
     if isinstance(chain, list):  # the sweep's --chain is an axis (append)
         chain = chain[0] if chain else None
+    region = getattr(args, "region", None)
+    if isinstance(region, list):  # the sweep's --region is an axis (append)
+        region = region[0] if region else None
+    hazard = getattr(args, "hazard", None)
+    if isinstance(hazard, list):  # the sweep's --hazard is an axis (append)
+        hazard = hazard[0] if hazard else None
     return StudyConfig(
         configurations=tuple(args.config) if args.config else PAPER_CONFIGURATIONS,
         placement=placement if placement is not None else args.placement,
@@ -137,6 +158,8 @@ def _study_config_from_args(
         seed=args.seed,
         ensemble=ensemble,
         chain=chain,
+        region=region,
+        hazard=hazard,
         batch=False if getattr(args, "no_batch", False) else None,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -159,6 +182,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "through repro.run_study().",
             file=sys.stderr,
         )
+    _register_packs(args)
     result = run_study(_study_config_from_args(args))
     if args.csv:
         print(format_matrix_csv(result.matrix))
@@ -174,6 +198,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     """Build a grid from repeatable axis flags and drive the sweep engine."""
     from repro.sweep import run_sweep, sweep_grid
 
+    _register_packs(args)
     placements = args.placement or ["waiau"]
     base = _study_config_from_args(args, placement=placements[0])
     axes: dict = {
@@ -192,6 +217,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["threshold"] = args.fragility_threshold
     if args.chain and len(args.chain) > 1:
         axes["chain"] = args.chain
+    if args.region and len(args.region) > 1:
+        axes["region"] = args.region
+    if args.hazard and len(args.hazard) > 1:
+        axes["hazard"] = args.hazard
     grid = sweep_grid(base, **axes)
     result = run_sweep(
         grid,
@@ -289,7 +318,7 @@ def _cmd_siting(args: argparse.Namespace) -> int:
     }
     ensemble = _load_or_generate(args)
     analysis = CompoundThreatAnalysis(ensemble)
-    from repro.geo.oahu import build_oahu_catalog
+    from repro.geo import build_oahu_catalog
 
     catalog = build_oahu_catalog()
     candidates = control_site_candidates(
@@ -361,7 +390,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 def _cmd_earthquake(args: argparse.Namespace) -> int:
     """Seismic hazard through the same facade as `run` (chain field set)."""
-    from repro.geo.oahu import build_oahu_catalog
+    from repro.geo import build_oahu_catalog
     from repro.hazards.earthquake import (
         EarthquakeGenerator,
         seismic_fragility,
@@ -388,7 +417,7 @@ def _cmd_earthquake(args: argparse.Namespace) -> int:
 
 
 def _cmd_correlation(args: argparse.Namespace) -> int:
-    from repro.geo.oahu import build_oahu_catalog
+    from repro.geo import build_oahu_catalog
     from repro.hazards.correlation import analyze_failure_correlation
 
     ensemble = _load_or_generate(args)
@@ -472,6 +501,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return run_forever(config)
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    """Validate or describe a scenario pack without running a study."""
+    from repro.scenarios import load_scenario_pack
+
+    pack = load_scenario_pack(args.path)
+    if args.action == "validate":
+        print(
+            f"ok: scenario pack {pack.name!r} (schema v{pack.schema_version}, "
+            f"digest {pack.digest}) validates"
+        )
+        return 0
+    info = pack.info()
+    width = max(len(k) for k in info)
+    for key, value in info.items():
+        if isinstance(value, dict):
+            value = ", ".join(
+                f"{name} ({digest[:12]})" for name, digest in sorted(value.items())
+            )
+        elif isinstance(value, (list, tuple)):
+            value = ", ".join(str(v) for v in value)
+        print(f"{key:<{width}s}  {value}")
+    return 0
 
 
 def _add_perf_args(p: argparse.ArgumentParser) -> None:
@@ -597,10 +650,47 @@ def _add_chain_arg(p: argparse.ArgumentParser, *, repeatable: bool = False) -> N
         )
 
 
+def _add_catalog_args(p: argparse.ArgumentParser, *, repeatable: bool = False) -> None:
+    """The scenario-catalog flags: region/hazard names plus pack paths."""
+    p.add_argument(
+        "--pack",
+        action="append",
+        metavar="PATH",
+        help="scenario pack (directory or .zip) to register before the "
+        "study is built; its region becomes addressable via --region "
+        "(repeatable)",
+    )
+    if repeatable:
+        p.add_argument(
+            "--region",
+            action="append",
+            help="registered region axis value (repeatable; default: oahu)",
+        )
+        p.add_argument(
+            "--hazard",
+            action="append",
+            help="hazard family axis value, e.g. hurricane/earthquake/flood "
+            "(repeatable; default: hurricane)",
+        )
+    else:
+        p.add_argument(
+            "--region",
+            default=None,
+            help="registered region to study (default: oahu)",
+        )
+        p.add_argument(
+            "--hazard",
+            default=None,
+            help="hazard family to generate, e.g. hurricane/earthquake/flood "
+            "(default: hurricane)",
+        )
+
+
 def _add_study_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument("--placement", choices=available_placements(), default="waiau")
     p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
     _add_chain_arg(p)
+    _add_catalog_args(p)
     _add_common_study_args(p)
     _add_observability_args(p)
 
@@ -609,10 +699,11 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--placement",
         action="append",
-        choices=sorted(_PLACEMENTS),
+        choices=available_placements(),
         help="placement axis value (repeatable; default: waiau only)",
     )
     _add_chain_arg(p, repeatable=True)
+    _add_catalog_args(p, repeatable=True)
     _add_common_study_args(p)
     p.add_argument(
         "--category",
@@ -748,6 +839,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_serve)
 
+    p = sub.add_parser(
+        "pack",
+        help="validate or describe a scenario pack (directory or .zip)",
+    )
+    p.add_argument(
+        "action",
+        choices=["validate", "info"],
+        help="validate: check the manifest and content hashes; "
+        "info: print the pack summary",
+    )
+    p.add_argument("path", help="pack directory or .zip archive")
+    p.set_defaults(func=_cmd_pack)
+
     p = sub.add_parser("ensemble", help="generate hurricane realizations")
     p.add_argument("--count", type=int, default=DEFAULT_REALIZATIONS)
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
@@ -792,7 +896,7 @@ def build_parser() -> argparse.ArgumentParser:
         "grid-impact",
         help="N-1 cascade analysis plus the grid-coupled compound study",
     )
-    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument("--placement", choices=available_placements(), default="waiau")
     p.add_argument(
         "--no-study",
         action="store_true",
@@ -803,7 +907,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_grid_impact)
 
     p = sub.add_parser("timeline", help="downtime hours per compound event")
-    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument("--placement", choices=available_placements(), default="waiau")
     p.add_argument("--attack-delay-hours", type=float, default=6.0)
     p.add_argument("--isolation-hours", type=float, default=48.0)
     p.add_argument("--repair-hours", type=float, default=72.0)
@@ -827,7 +931,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_correlation)
 
     p = sub.add_parser("earthquake", help="run the analysis on the seismic hazard")
-    p.add_argument("--placement", choices=sorted(_PLACEMENTS), default="waiau")
+    p.add_argument("--placement", choices=available_placements(), default="waiau")
     p.add_argument("--capacity-g", type=float, default=0.30)
     _add_chain_arg(p)
     _add_common_study_args(

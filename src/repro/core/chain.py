@@ -50,6 +50,7 @@ from repro.core.threat import CyberAttackBudget, ThreatScenario
 from repro.errors import ConfigurationError
 from repro.hazards.base import HazardRealization
 from repro.hazards.fragility import FragilityModel, ThresholdFragility
+from repro.registry import Registry
 from repro.scada.architectures import ArchitectureSpec
 from repro.scada.placement import Placement
 
@@ -311,7 +312,7 @@ class InterdependencyStage:
 
             self._grid = build_oahu_grid()
         if self._wan is None:
-            from repro.geo.oahu import (
+            from repro.geo import (
                 DRFORTRESS,
                 HONOLULU_CC,
                 KAHE_CC,
@@ -784,34 +785,22 @@ class ThreatChain:
 # ----------------------------------------------------------------------
 # Registry (mirrors architectures / scenarios)
 # ----------------------------------------------------------------------
-_CHAINS: dict[str, ThreatChain] = {}
+_CHAINS: Registry[ThreatChain] = Registry("threat chain", plural="chains")
 
 
 def register_chain(chain: ThreatChain, *, replace: bool = False) -> ThreatChain:
     """Register a chain under its name; returns it for assignment."""
-    if chain.name in _CHAINS and not replace:
-        raise ConfigurationError(
-            f"threat chain {chain.name!r} is already registered; "
-            "pass replace=True to override"
-        )
-    _CHAINS[chain.name] = chain
-    return chain
+    return _CHAINS.register(chain.name, chain, replace=replace)
 
 
 def get_chain(name: str) -> ThreatChain:
     """Look up a registered threat chain by name."""
-    try:
-        return _CHAINS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown threat chain {name!r}; registered chains: "
-            f"{sorted(_CHAINS)}"
-        ) from None
+    return _CHAINS.get(name)
 
 
 def available_chains() -> list[str]:
     """Registered chain names, sorted."""
-    return sorted(_CHAINS)
+    return _CHAINS.available()
 
 
 def resolve_chain(chain: "ThreatChain | str | None") -> ThreatChain:
@@ -868,6 +857,21 @@ CHAIN_EARTHQUAKE = register_chain(
         description=(
             "The Fig. 5 stages over any failed-assets hazard; the "
             "earthquake ensemble's PGA realizations plug in unchanged."
+        ),
+    )
+)
+
+#: Riverine flooding shares the hurricane's intensity measure (depth in
+#: metres), so the flood preset is the same stage structure again -- the
+#: flood ensemble's depth realizations plug straight into the default
+#: ThresholdFragility.
+CHAIN_FLOOD = register_chain(
+    ThreatChain(
+        name="flood",
+        stages=(HazardImpactStage(), CyberAttackStage(), ClassificationStage()),
+        description=(
+            "The Fig. 5 stages over the riverine flood ensemble's "
+            "depth realizations."
         ),
     )
 )

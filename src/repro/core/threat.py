@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -74,14 +75,18 @@ PAPER_SCENARIOS: tuple[ThreatScenario, ...] = (
     HURRICANE_INTRUSION_ISOLATION,
 )
 
-_BY_NAME = {s.name: s for s in PAPER_SCENARIOS}
+_BY_NAME: Registry[ThreatScenario] = Registry(
+    "threat scenario", plural="threat scenarios"
+)
+for _scenario in PAPER_SCENARIOS:
+    _BY_NAME.register(_scenario.name, _scenario)
 
 
 def get_scenario(name: str) -> ThreatScenario:
     """Look up one of the paper's four threat scenarios by name."""
-    try:
-        return _BY_NAME[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown threat scenario {name!r}; choose from {sorted(_BY_NAME)}"
-        ) from None
+    return _BY_NAME.get(name)
+
+
+def available_scenarios() -> list[str]:
+    """Registered threat-scenario names, sorted."""
+    return _BY_NAME.available()

@@ -11,7 +11,7 @@ from repro.geo.coords import (
     segment_distance_km,
     unit_vector_deg,
 )
-from repro.geo.oahu import (
+from repro.geo._oahu_data import (
     ALOHANAP,
     DRFORTRESS,
     HONOLULU_CC,

@@ -1,0 +1,332 @@
+"""Synthetic reconstruction of the Oahu, Hawaii case-study geography.
+
+The paper's Fig. 4 shows the real Oahu power-asset topology (control
+center, power plants, substations, and the DRFortress / AlohaNAP data
+centers).  That GIS dataset is not publicly available, so this module
+reconstructs a geographically faithful synthetic equivalent:
+
+* a closed coastline polygon approximating Oahu, partitioned into named
+  shoreline segments with bathymetry-derived shelf factors (Pearl Harbor
+  and the Ewa plain sit on a broad shallow shelf; the Waianae coast drops
+  off steeply),
+* a terrain model with the island's two mountain ranges (Waianae range in
+  the west, Koolau range in the east), and
+* an asset catalog with the control sites named by the paper (Honolulu,
+  Waiau, Kahe, DRFortress, AlohaNAP) plus representative power plants and
+  substations.
+
+Coordinates are real-world approximations; elevations are synthetic but
+ordered consistently with the paper's findings (Honolulu and Waiau are
+low-lying and share the southern-shore surge exposure; Kahe and the data
+centers sit higher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.catalog import AssetCatalog, AssetRecord, AssetRole
+from repro.geo.coords import GeoPoint
+from repro.geo.region import CoastalRegion, ShorelineSegment
+from repro.geo.terrain import Ridge, TerrainModel
+
+# Names used throughout the case study (placements, figures, tests).
+HONOLULU_CC = "Honolulu Control Center"
+WAIAU_CC = "Waiau Control Center"
+KAHE_CC = "Kahe Control Center"
+DRFORTRESS = "DRFortress Data Center"
+ALOHANAP = "AlohaNAP Data Center"
+
+_KAENA = GeoPoint(21.575, -158.281)
+_MAKAHA = GeoPoint(21.475, -158.221)
+_WAIANAE = GeoPoint(21.440, -158.186)
+_KAHE_PT = GeoPoint(21.355, -158.131)
+_BARBERS_PT = GeoPoint(21.297, -158.106)
+_EWA = GeoPoint(21.305, -158.020)
+_PEARL_MOUTH = GeoPoint(21.320, -157.968)
+_PEARL_WEST = GeoPoint(21.355, -157.985)
+_PEARL_HEAD = GeoPoint(21.385, -157.955)
+_PEARL_EAST = GeoPoint(21.360, -157.935)
+_PEARL_EXIT = GeoPoint(21.325, -157.950)
+_HONOLULU_HARBOR = GeoPoint(21.305, -157.870)
+_WAIKIKI = GeoPoint(21.275, -157.825)
+_DIAMOND_HEAD = GeoPoint(21.255, -157.805)
+_KOKO_HEAD = GeoPoint(21.260, -157.700)
+_MAKAPUU = GeoPoint(21.310, -157.650)
+_WAIMANALO = GeoPoint(21.345, -157.695)
+_KAILUA = GeoPoint(21.400, -157.735)
+_KANEOHE = GeoPoint(21.460, -157.780)
+_LAIE = GeoPoint(21.645, -157.920)
+_KAHUKU = GeoPoint(21.710, -157.980)
+_WAIMEA = GeoPoint(21.640, -158.065)
+_HALEIWA = GeoPoint(21.595, -158.110)
+_MOKULEIA = GeoPoint(21.580, -158.190)
+
+
+def build_oahu_region() -> CoastalRegion:
+    """The Oahu coastline as a ring of named shoreline segments.
+
+    Shelf factors encode local surge amplification: the south shore and
+    the Pearl Harbor embayment sit on a broad shallow shelf that funnels
+    wind-driven surge; the Waianae (leeward-west) coast has a steep
+    offshore drop-off that sheds it.
+    """
+    segments = (
+        ShorelineSegment(
+            "waianae-coast",
+            (_KAENA, _MAKAHA, _WAIANAE, _KAHE_PT, _BARBERS_PT),
+            shelf_factor=0.70,
+        ),
+        ShorelineSegment(
+            "ewa-south-shore",
+            (_BARBERS_PT, _EWA, _PEARL_MOUTH),
+            shelf_factor=1.30,
+            # The Ewa plain fronts a broad south-facing reef shelf: surge is
+            # driven by southerly flow regardless of polygon edge direction.
+            onshore_bearing_override=0.0,
+        ),
+        ShorelineSegment(
+            "pearl-harbor",
+            (_PEARL_MOUTH, _PEARL_WEST, _PEARL_HEAD, _PEARL_EAST, _PEARL_EXIT),
+            shelf_factor=1.55,
+            # Pearl Harbor is an embayment opening due south: surge inside
+            # the lochs is driven by southerly flow through the mouth, so
+            # the whole segment is forced along the bay axis (toward north)
+            # rather than by the zigzag inner-shore perpendiculars.
+            onshore_bearing_override=0.0,
+        ),
+        ShorelineSegment(
+            "honolulu-waterfront",
+            (_PEARL_EXIT, _HONOLULU_HARBOR, _WAIKIKI, _DIAMOND_HEAD),
+            shelf_factor=1.25,
+            # Like the Ewa shore, the Honolulu waterfront's fringing reef
+            # responds to southerly onshore flow (the coarse polygon's
+            # WNW-ESE trend would otherwise mis-aim the local normals).
+            onshore_bearing_override=0.0,
+        ),
+        ShorelineSegment(
+            "southeast-coast",
+            (_DIAMOND_HEAD, _KOKO_HEAD, _MAKAPUU),
+            shelf_factor=0.85,
+        ),
+        ShorelineSegment(
+            "windward-coast",
+            (_MAKAPUU, _WAIMANALO, _KAILUA, _KANEOHE, _LAIE, _KAHUKU),
+            shelf_factor=1.05,
+        ),
+        ShorelineSegment(
+            "north-shore",
+            (_KAHUKU, _WAIMEA, _HALEIWA, _MOKULEIA, _KAENA),
+            shelf_factor=1.00,
+        ),
+    )
+    return CoastalRegion("Oahu", segments)
+
+
+def build_oahu_terrain(region: CoastalRegion | None = None) -> TerrainModel:
+    """Synthetic Oahu DEM: coastal plain plus the two mountain ranges."""
+    region = region or build_oahu_region()
+    ridges = (
+        # Waianae range (west), crest ~1200 m.
+        Ridge(GeoPoint(21.42, -158.15), GeoPoint(21.52, -158.20), 1200.0, 4.0),
+        # Koolau range (east), crest ~900 m, long spine.
+        Ridge(GeoPoint(21.32, -157.72), GeoPoint(21.62, -157.95), 900.0, 4.5),
+    )
+    return TerrainModel(
+        region=region,
+        ridges=ridges,
+        plain_slope_m_per_km=5.0,
+        shoreline_elevation_m=1.0,
+    )
+
+
+def build_oahu_catalog() -> AssetCatalog:
+    """The power assets tracked by the case study (paper Fig. 4).
+
+    Control-site elevations drive the headline result: Honolulu and Waiau
+    are low-lying (2-3 m pads near the southern shore) so a strong
+    southern-shore surge floods both; Kahe's control facility sits on a
+    bluff above the plant and the commercial data centers are in elevated
+    inland facilities.
+    """
+    records = [
+        # --- Control sites -------------------------------------------------
+        AssetRecord(
+            HONOLULU_CC,
+            AssetRole.CONTROL_CENTER,
+            GeoPoint(21.307, -157.858),
+            elevation_m=2.6,
+            description="Primary utility control center, downtown Honolulu waterfront",
+        ),
+        AssetRecord(
+            WAIAU_CC,
+            AssetRole.CONTROL_CENTER,
+            GeoPoint(21.372, -157.940),
+            # Same pad elevation as Honolulu: the paper attributes their
+            # correlated flooding to "similar altitude levels".
+            elevation_m=2.6,
+            description="Backup control facility at the Waiau plant, Pearl Harbor shore",
+        ),
+        AssetRecord(
+            KAHE_CC,
+            AssetRole.CONTROL_CENTER,
+            GeoPoint(21.356, -158.127),
+            elevation_m=16.0,
+            description="Control facility on the bluff above Kahe Point plant",
+        ),
+        AssetRecord(
+            DRFORTRESS,
+            AssetRole.DATA_CENTER,
+            GeoPoint(21.330, -157.870),
+            elevation_m=12.0,
+            description="Commercial colocation data center, Iwilei (hardened, elevated)",
+        ),
+        AssetRecord(
+            ALOHANAP,
+            AssetRole.DATA_CENTER,
+            GeoPoint(21.332, -158.022),
+            elevation_m=10.0,
+            description="Commercial data center, Kapolei",
+        ),
+        # --- Power plants --------------------------------------------------
+        AssetRecord(
+            "Kahe Power Plant",
+            AssetRole.POWER_PLANT,
+            GeoPoint(21.354, -158.129),
+            elevation_m=6.0,
+            description="Largest oil-fired plant, leeward coast",
+        ),
+        AssetRecord(
+            "Waiau Power Plant",
+            AssetRole.POWER_PLANT,
+            GeoPoint(21.371, -157.938),
+            elevation_m=2.2,
+            description="Oil-fired plant on Pearl Harbor's East Loch",
+        ),
+        AssetRecord(
+            "Kalaeloa Power Plant",
+            AssetRole.POWER_PLANT,
+            GeoPoint(21.303, -158.091),
+            elevation_m=4.5,
+            description="Combined-cycle plant, Campbell Industrial Park",
+        ),
+        AssetRecord(
+            "Honolulu Power Plant",
+            AssetRole.POWER_PLANT,
+            GeoPoint(21.306, -157.866),
+            elevation_m=2.3,
+            description="Downtown waterfront peaking plant",
+        ),
+        AssetRecord(
+            "H-POWER Plant",
+            AssetRole.POWER_PLANT,
+            GeoPoint(21.308, -158.100),
+            elevation_m=5.0,
+            description="Waste-to-energy plant, Kapolei",
+        ),
+        # --- Substations ----------------------------------------------------
+        AssetRecord(
+            "Archer Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.315, -157.855),
+            elevation_m=3.5,
+        ),
+        AssetRecord(
+            "Iwilei Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.318, -157.868),
+            elevation_m=2.8,
+        ),
+        AssetRecord(
+            "Makalapa Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.355, -157.945),
+            elevation_m=2.5,
+        ),
+        AssetRecord(
+            "Halawa Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.375, -157.915),
+            elevation_m=8.0,
+        ),
+        AssetRecord(
+            "Ewa Nui Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.330, -158.030),
+            elevation_m=6.5,
+        ),
+        AssetRecord(
+            "Kamoku Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.290, -157.825),
+            elevation_m=4.0,
+        ),
+        AssetRecord(
+            "Koolau Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.400, -157.790),
+            elevation_m=60.0,
+        ),
+        AssetRecord(
+            "Kaneohe Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.420, -157.795),
+            elevation_m=12.0,
+        ),
+        AssetRecord(
+            "Waimanalo Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.345, -157.715),
+            elevation_m=5.5,
+        ),
+        AssetRecord(
+            "Wahiawa Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.500, -158.020),
+            elevation_m=270.0,
+        ),
+        AssetRecord(
+            "Mililani Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.450, -158.010),
+            elevation_m=180.0,
+        ),
+        AssetRecord(
+            "Waialua Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.575, -158.120),
+            elevation_m=9.0,
+        ),
+        AssetRecord(
+            "Kahuku Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.690, -157.975),
+            elevation_m=7.0,
+        ),
+        AssetRecord(
+            "Waianae Substation",
+            AssetRole.SUBSTATION,
+            GeoPoint(21.438, -158.180),
+            elevation_m=8.5,
+        ),
+    ]
+    return AssetCatalog.from_records("Oahu", records)
+
+
+@dataclass(frozen=True)
+class OahuCaseStudy:
+    """Bundle of the three geographic inputs used by the case study."""
+
+    region: CoastalRegion
+    terrain: TerrainModel
+    catalog: AssetCatalog
+
+
+def oahu_case_study() -> OahuCaseStudy:
+    """Build the full synthetic Oahu geography used across the repo."""
+    region = build_oahu_region()
+    return OahuCaseStudy(
+        region=region,
+        terrain=build_oahu_terrain(region),
+        catalog=build_oahu_catalog(),
+    )

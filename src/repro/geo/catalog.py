@@ -3,7 +3,7 @@
 The analysis framework (paper Fig. 5) takes a *geospatial SCADA topology*
 as input: the set of power assets (control centers, data centers, power
 plants, substations) with their locations and ground elevations.  This
-module defines the region-agnostic catalog types; :mod:`repro.geo.oahu`
+module defines the region-agnostic catalog types; :mod:`repro.geo._oahu_data`
 instantiates them for the case study.
 """
 

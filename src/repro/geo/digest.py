@@ -1,0 +1,70 @@
+"""Content fingerprints for geography objects.
+
+Ensemble cache keys must cover the geography a hazard acts on, not just
+the hazard's scenario parameters: two regions can share an identical
+storm specification yet produce entirely different inundation fields.
+These helpers reduce :class:`~repro.geo.region.CoastalRegion` and
+:class:`~repro.geo.catalog.AssetCatalog` to canonical JSON-able payloads
+and hash them, so generators can fold "which coastline, which assets"
+into their ``cache_key``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.geo.catalog import AssetCatalog
+from repro.geo.region import CoastalRegion
+
+__all__ = [
+    "catalog_fingerprint",
+    "region_fingerprint",
+    "geo_content_key",
+]
+
+
+def region_fingerprint(region: CoastalRegion) -> dict[str, Any]:
+    """Canonical payload capturing every surge-relevant region field."""
+    return {
+        "name": region.name,
+        "segments": [
+            {
+                "name": seg.name,
+                "vertices": [[v.lat, v.lon] for v in seg.vertices],
+                "shelf_factor": seg.shelf_factor,
+                "onshore_bearing_override": seg.onshore_bearing_override,
+            }
+            for seg in region.segments
+        ],
+    }
+
+
+def catalog_fingerprint(catalog: AssetCatalog) -> dict[str, Any]:
+    """Canonical payload capturing every hazard-relevant asset field."""
+    return {
+        "region_name": catalog.region_name,
+        "assets": [
+            {
+                "name": rec.name,
+                "role": rec.role.value,
+                "location": [rec.location.lat, rec.location.lon],
+                "elevation_m": rec.elevation_m,
+            }
+            for rec in catalog
+        ],
+    }
+
+
+def geo_content_key(
+    catalog: AssetCatalog, region: CoastalRegion | None = None
+) -> str:
+    """Short content hash over a catalog (and optional coastline)."""
+    payload: dict[str, Any] = {"catalog": catalog_fingerprint(catalog)}
+    if region is not None:
+        payload["region"] = region_fingerprint(region)
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    )
+    return digest.hexdigest()[:32]

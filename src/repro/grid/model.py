@@ -124,7 +124,7 @@ def build_oahu_grid(catalog: AssetCatalog | None = None) -> GridModel:
     utility data.
     """
     if catalog is None:
-        from repro.geo.oahu import build_oahu_catalog
+        from repro.geo import build_oahu_catalog
 
         catalog = build_oahu_catalog()
     grid = GridModel()

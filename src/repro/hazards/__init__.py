@@ -1,6 +1,6 @@
-"""Natural-hazard substrate: hurricanes, earthquakes, asset fragility."""
+"""Natural-hazard substrate: hurricanes, earthquakes, floods, fragility."""
 
-from repro.hazards.base import HazardEnsemble, HazardRealization
+from repro.hazards.base import Hazard, HazardEnsemble, HazardRealization
 from repro.hazards.correlation import (
     CorrelationReport,
     analyze_failure_correlation,
@@ -15,6 +15,14 @@ from repro.hazards.earthquake import (
     seismic_fragility,
     standard_oahu_fault,
 )
+from repro.hazards.flood import (
+    FloodEnsemble,
+    FloodGenerator,
+    FloodRealization,
+    RiverineFloodScenarioSpec,
+    flood_fragility,
+    standard_oahu_flood,
+)
 from repro.hazards.fragility import (
     PAPER_FAILURE_THRESHOLD_M,
     FragilityModel,
@@ -23,6 +31,7 @@ from repro.hazards.fragility import (
 )
 
 __all__ = [
+    "Hazard",
     "HazardEnsemble",
     "HazardRealization",
     "CorrelationReport",
@@ -35,6 +44,12 @@ __all__ = [
     "EarthquakeScenarioSpec",
     "seismic_fragility",
     "standard_oahu_fault",
+    "FloodEnsemble",
+    "FloodGenerator",
+    "FloodRealization",
+    "RiverineFloodScenarioSpec",
+    "flood_fragility",
+    "standard_oahu_flood",
     "PAPER_FAILURE_THRESHOLD_M",
     "FragilityModel",
     "ThresholdFragility",

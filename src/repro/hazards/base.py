@@ -40,3 +40,43 @@ class HazardEnsemble(Protocol):
 
     def __iter__(self) -> Iterator[HazardRealization]:
         ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class Hazard(Protocol):
+    """A hazard family's ensemble generator.
+
+    Every hazard family (hurricane surge, earthquake shaking, riverine
+    flooding, ...) exposes the same four capabilities so the study
+    facade, sweep engine, and ensemble cache can treat them uniformly:
+
+    * ``generate(count, seed, ...)`` -- sample ``count`` realizations
+      into a :class:`HazardEnsemble`.  Implementations accept (and may
+      ignore) the delivery keywords ``n_jobs``, ``cache_dir``,
+      ``resume``, ``retry``, and ``faults`` so callers never need to
+      know whether generation is parallel or cached.
+    * per-asset intensity sampling -- the returned ensemble exposes
+      ``depth_matrix()``/``depth_view()`` (the family's intensity
+      measure: inundation depth, PGA, flood stage) for the batched
+      executor and fragility models.
+    * ``cache_key(count, seed)`` -- a content hash covering the scenario
+      parameters *and* the geography they act on, so two generators
+      share cached ensembles iff they would generate identical data.
+    * ``deterministic`` -- True when ``generate`` is a pure function of
+      ``(count, seed)``; lets schedulers cache/regenerate freely.
+    """
+
+    deterministic: bool
+
+    def generate(
+        self,
+        count: int,
+        seed: int,
+        **delivery: object,
+    ) -> HazardEnsemble:
+        """Sample ``count`` realizations deterministically from ``seed``."""
+        ...  # pragma: no cover - protocol
+
+    def cache_key(self, count: int, seed: int) -> str:
+        """Content hash identifying the generated ensemble."""
+        ...  # pragma: no cover - protocol

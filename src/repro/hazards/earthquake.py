@@ -183,7 +183,14 @@ class EarthquakeEnsemble:
 
 
 class EarthquakeGenerator:
-    """Samples earthquake realizations over an asset catalog."""
+    """Samples earthquake realizations over an asset catalog.
+
+    Implements the :class:`repro.hazards.base.Hazard` protocol:
+    generation is a pure function of ``(count, seed)`` and ``cache_key``
+    covers the fault scenario plus the asset catalog it shakes.
+    """
+
+    deterministic = True
 
     def __init__(self, catalog: AssetCatalog, scenario: EarthquakeScenarioSpec) -> None:
         if len(catalog) == 0:
@@ -217,7 +224,15 @@ class EarthquakeGenerator:
             pga_g=dict(zip(self._names, pga.tolist())),
         )
 
-    def generate(self, count: int = 1000, seed: int = 0) -> EarthquakeEnsemble:
+    def generate(
+        self, count: int = 1000, seed: int = 0, **delivery: object
+    ) -> EarthquakeEnsemble:
+        """Sample ``count`` realizations (pure in ``count``/``seed``).
+
+        Generation is cheap (no mesh solve), so the :class:`Hazard`
+        delivery keywords (``n_jobs``, ``cache_dir``, ``resume``, ...)
+        are accepted and ignored.
+        """
         if count < 1:
             raise HazardError("ensemble size must be at least 1")
         rng = np.random.default_rng(seed)
@@ -225,6 +240,25 @@ class EarthquakeGenerator:
         return EarthquakeEnsemble(
             scenario_name=self.scenario.name, realizations=realizations, seed=seed
         )
+
+    def cache_key(self, count: int, seed: int) -> str:
+        """Content hash over the fault scenario, catalog, count, and seed."""
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        from repro.geo.digest import geo_content_key
+
+        payload = {
+            "format": 1,
+            "kind": "repro.earthquake",
+            "scenario": asdict(self.scenario),
+            "geo": geo_content_key(self.catalog),
+            "count": count,
+            "seed": seed,
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:32]
 
 
 def standard_oahu_fault() -> EarthquakeScenarioSpec:

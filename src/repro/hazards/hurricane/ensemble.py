@@ -247,12 +247,17 @@ class EnsembleGenerator:
     extension_params: ExtensionParams = field(default_factory=ExtensionParams)
     mesh_spacing_km: float = 2.0
 
+    deterministic = True
+
     def __post_init__(self) -> None:
         self._mesh = build_coastal_mesh(self.region, self.mesh_spacing_km)
         self._surge = SurgeModel(self._mesh, self.surge_params)
         self._mapper = InundationMapper(
             self.region, self._mesh, self.catalog, self.extension_params
         )
+        from repro.geo.digest import geo_content_key
+
+        self._geo_key = geo_content_key(self.catalog, self.region)
 
     @property
     def mesh_size(self) -> int:
@@ -411,6 +416,7 @@ class EnsembleGenerator:
             mesh_spacing_km=self.mesh_spacing_km,
             count=count,
             seed=seed,
+            geo_key=self._geo_key,
         )
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.geo.coords import GeoPoint
-from repro.geo.oahu import build_oahu_catalog, build_oahu_region
+from repro.geo import build_oahu_catalog, build_oahu_region
 from repro.hazards.hurricane.ensemble import (
     EnsembleGenerator,
     HurricaneEnsemble,

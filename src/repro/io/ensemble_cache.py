@@ -94,8 +94,15 @@ def ensemble_cache_key(
     mesh_spacing_km: float,
     count: int,
     seed: int,
+    geo_key: str | None = None,
 ) -> str:
-    """Content hash of every input the generated ensemble depends on."""
+    """Content hash of every input the generated ensemble depends on.
+
+    ``geo_key`` is the :func:`repro.geo.digest.geo_content_key` of the
+    coastline + catalog the scenario acts on; generators always pass it
+    so two regions with identical storm parameters never share a cache
+    entry.
+    """
     payload = {
         "format": CACHE_FORMAT_VERSION,
         "scenario": scenario_to_dict(scenario),
@@ -105,6 +112,8 @@ def ensemble_cache_key(
         "count": count,
         "seed": seed,
     }
+    if geo_key is not None:
+        payload["geo"] = geo_key
     canonical = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(canonical.encode()).hexdigest()[:32]
 

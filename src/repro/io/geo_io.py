@@ -1,0 +1,178 @@
+"""JSON round-trips for geography and non-hurricane hazard scenarios.
+
+Scenario packs (:mod:`repro.scenarios.pack`) ship a region as data
+files: a coastline document, an asset-catalog document, and one scenario
+document per hazard family.  These helpers convert each of those objects
+to and from plain JSON-able dicts with the same error discipline as
+:mod:`repro.io.scenario_io` -- malformed documents raise
+:class:`~repro.errors.SerializationError`, never ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError, SerializationError
+from repro.geo.catalog import AssetCatalog, AssetRecord, AssetRole
+from repro.geo.coords import GeoPoint
+from repro.geo.region import CoastalRegion, ShorelineSegment
+from repro.hazards.earthquake import AttenuationParams, EarthquakeScenarioSpec
+from repro.hazards.flood import RiverineFloodScenarioSpec
+
+__all__ = [
+    "region_to_dict",
+    "region_from_dict",
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "earthquake_scenario_to_dict",
+    "earthquake_scenario_from_dict",
+    "flood_scenario_to_dict",
+    "flood_scenario_from_dict",
+]
+
+
+def _point(data: dict) -> GeoPoint:
+    return GeoPoint(data["lat"], data["lon"])
+
+
+def _point_dict(point: GeoPoint) -> dict:
+    return {"lat": point.lat, "lon": point.lon}
+
+
+def region_to_dict(region: CoastalRegion) -> dict:
+    return {
+        "name": region.name,
+        "segments": [
+            {
+                "name": seg.name,
+                "vertices": [_point_dict(v) for v in seg.vertices],
+                "shelf_factor": seg.shelf_factor,
+                "onshore_bearing_override": seg.onshore_bearing_override,
+            }
+            for seg in region.segments
+        ],
+    }
+
+
+def region_from_dict(data: dict) -> CoastalRegion:
+    try:
+        segments = tuple(
+            ShorelineSegment(
+                name=seg["name"],
+                vertices=tuple(_point(v) for v in seg["vertices"]),
+                shelf_factor=seg.get("shelf_factor", 1.0),
+                onshore_bearing_override=seg.get("onshore_bearing_override"),
+            )
+            for seg in data["segments"]
+        )
+        return CoastalRegion(name=data["name"], segments=segments)
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed coastline document: {exc}") from exc
+    except ReproError as exc:
+        raise SerializationError(f"invalid coastline parameters: {exc}") from exc
+
+
+def catalog_to_dict(catalog: AssetCatalog) -> dict:
+    return {
+        "region_name": catalog.region_name,
+        "assets": [
+            {
+                "name": rec.name,
+                "role": rec.role.value,
+                "location": _point_dict(rec.location),
+                "elevation_m": rec.elevation_m,
+                "description": rec.description,
+            }
+            for rec in catalog
+        ],
+    }
+
+
+def catalog_from_dict(data: dict) -> AssetCatalog:
+    try:
+        records = [
+            AssetRecord(
+                name=rec["name"],
+                role=AssetRole(rec["role"]),
+                location=_point(rec["location"]),
+                elevation_m=rec["elevation_m"],
+                description=rec.get("description", ""),
+            )
+            for rec in data["assets"]
+        ]
+        return AssetCatalog.from_records(data["region_name"], records)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed asset-catalog document: {exc}") from exc
+    except ReproError as exc:
+        raise SerializationError(f"invalid asset-catalog parameters: {exc}") from exc
+
+
+def earthquake_scenario_to_dict(scenario: EarthquakeScenarioSpec) -> dict:
+    return {
+        "name": scenario.name,
+        "fault_start": _point_dict(scenario.fault_start),
+        "fault_end": _point_dict(scenario.fault_end),
+        "depth_km": scenario.depth_km,
+        "magnitude_min": scenario.magnitude_min,
+        "magnitude_max": scenario.magnitude_max,
+        "gutenberg_richter_b": scenario.gutenberg_richter_b,
+        "attenuation": {
+            "a": scenario.attenuation.a,
+            "b": scenario.attenuation.b,
+            "c": scenario.attenuation.c,
+            "d_km": scenario.attenuation.d_km,
+        },
+    }
+
+
+def earthquake_scenario_from_dict(data: dict) -> EarthquakeScenarioSpec:
+    try:
+        att = data.get("attenuation")
+        attenuation = (
+            AttenuationParams(
+                a=att["a"], b=att["b"], c=att["c"], d_km=att["d_km"]
+            )
+            if att is not None
+            else AttenuationParams()
+        )
+        return EarthquakeScenarioSpec(
+            name=data["name"],
+            fault_start=_point(data["fault_start"]),
+            fault_end=_point(data["fault_end"]),
+            depth_km=data.get("depth_km", 10.0),
+            magnitude_min=data.get("magnitude_min", 6.0),
+            magnitude_max=data.get("magnitude_max", 7.8),
+            gutenberg_richter_b=data.get("gutenberg_richter_b", 1.0),
+            attenuation=attenuation,
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed earthquake scenario: {exc}") from exc
+    except ReproError as exc:
+        raise SerializationError(f"invalid earthquake parameters: {exc}") from exc
+
+
+def flood_scenario_to_dict(scenario: RiverineFloodScenarioSpec) -> dict:
+    return {
+        "name": scenario.name,
+        "channel": [_point_dict(v) for v in scenario.channel],
+        "discharge_median_m3s": scenario.discharge_median_m3s,
+        "discharge_log_sd": scenario.discharge_log_sd,
+        "rating_depth_m": scenario.rating_depth_m,
+        "rating_exponent": scenario.rating_exponent,
+        "floodplain_width_km": scenario.floodplain_width_km,
+    }
+
+
+def flood_scenario_from_dict(data: dict) -> RiverineFloodScenarioSpec:
+    try:
+        return RiverineFloodScenarioSpec(
+            name=data["name"],
+            channel=tuple(_point(v) for v in data["channel"]),
+            discharge_median_m3s=data.get("discharge_median_m3s", 350.0),
+            discharge_log_sd=data.get("discharge_log_sd", 0.55),
+            rating_depth_m=data.get("rating_depth_m", 2.6),
+            rating_exponent=data.get("rating_exponent", 0.45),
+            floodplain_width_km=data.get("floodplain_width_km", 1.8),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed flood scenario: {exc}") from exc
+    except ReproError as exc:
+        raise SerializationError(f"invalid flood parameters: {exc}") from exc

@@ -41,6 +41,8 @@ MANIFEST_REQUIRED_KEYS = frozenset(
         "scenarios",
         "placement",
         "chain",
+        "region",
+        "hazard",
         "versions",
         "started_at_unix_s",
         "wall_clock_s",
@@ -65,6 +67,8 @@ def build_run_manifest(
     scenarios: list[str],
     placement: str,
     chain: dict | None = None,
+    region: str | None = None,
+    hazard: str | None = None,
     obs: Observability | NullObservability,
     wall_clock_s: float,
 ) -> dict:
@@ -93,6 +97,9 @@ def build_run_manifest(
         # The resolved threat-chain spec (name + per-stage determinism),
         # or None for runs without a per-realization chain (timelines).
         "chain": chain,
+        # Scenario-catalog selection, or None for the classic Oahu path.
+        "region": region,
+        "hazard": hazard,
         "versions": {
             "repro": repro.__version__,
             "python": platform.python_version(),

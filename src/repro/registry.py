@@ -1,0 +1,83 @@
+"""Generic named registries.
+
+Every look-up-by-name surface in the package (threat chains, placements,
+architectures, threat scenarios, regions, hazard families, scenario
+packs) is backed by one :class:`Registry` so the ergonomics are uniform:
+
+* ``register(name, value)`` refuses to silently clobber an existing
+  entry unless ``replace=True`` is passed;
+* ``get(name)`` raises :class:`~repro.errors.ConfigurationError` with a
+  message that lists the valid names;
+* ``available()`` returns the sorted names for CLIs and error messages.
+
+The class is deliberately tiny -- a dict plus consistent error
+messages -- so domain modules keep owning their registration helpers
+(``register_chain``, ``register_region``, ...) and only delegate the
+bookkeeping here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+__all__ = ["Registry"]
+
+
+class Registry(Generic[T]):
+    """A named collection of ``T`` with consistent errors.
+
+    ``kind`` is the singular noun used in error messages ("threat
+    chain", "region"); ``plural`` defaults to ``kind + "s"`` and names
+    the listing in unknown-name errors ("registered chains: [...]").
+    """
+
+    def __init__(self, kind: str, *, plural: str | None = None) -> None:
+        self.kind = kind
+        self.plural = plural if plural is not None else kind + "s"
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, value: T, *, replace: bool = False) -> T:
+        """Add ``value`` under ``name``; refuse duplicates unless ``replace``."""
+        if not name:
+            raise ConfigurationError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries and not replace:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered; "
+                "pass replace=True to override"
+            )
+        self._entries[name] = value
+        return value
+
+    def get(self, name: str) -> T:
+        """Look up ``name`` or raise listing the registered names."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; registered {self.plural}: "
+                f"{self.available()}"
+            ) from None
+
+    def available(self) -> List[str]:
+        """Sorted registered names."""
+        return sorted(self._entries)
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` if present (no error when absent)."""
+        self._entries.pop(name, None)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, entries={self.available()})"

@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.registry import Registry
 from repro.scada.replication import MultiSiteSizing, replicas_for_safety
 
 
@@ -248,15 +249,16 @@ PAPER_CONFIGURATIONS: tuple[ArchitectureSpec, ...] = (
     CONFIG_6_6_6,
 )
 
-_BY_NAME = {spec.name: spec for spec in PAPER_CONFIGURATIONS}
+_BY_NAME: Registry[ArchitectureSpec] = Registry("architecture")
+for _spec in PAPER_CONFIGURATIONS:
+    _BY_NAME.register(_spec.name, _spec)
 
 
 def get_architecture(name: str) -> ArchitectureSpec:
     """Look up one of the paper's configurations by its name (e.g. "6-6")."""
-    try:
-        return _BY_NAME[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown architecture {name!r}; paper configurations are "
-            f"{sorted(_BY_NAME)}"
-        ) from None
+    return _BY_NAME.get(name)
+
+
+def available_architectures() -> list[str]:
+    """Registered architecture names, sorted."""
+    return _BY_NAME.available()

@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.geo.catalog import AssetCatalog
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.registry import Registry
 from repro.scada.architectures import ArchitectureFamily, ArchitectureSpec, SiteRole
 
 
@@ -92,3 +93,27 @@ PLACEMENT_WAIAU = Placement(
 PLACEMENT_KAHE = Placement(
     primary=HONOLULU_CC, backup=KAHE_CC, data_centers=(DRFORTRESS,)
 )
+
+
+_PLACEMENTS: Registry[Placement] = Registry("placement")
+
+
+def register_placement(
+    name: str, placement: Placement, *, replace: bool = False
+) -> Placement:
+    """Register a placement under a short name (e.g. for CLI/sweep use)."""
+    return _PLACEMENTS.register(name, placement, replace=replace)
+
+
+def get_placement(name: str) -> Placement:
+    """Look up a registered placement by name."""
+    return _PLACEMENTS.get(name)
+
+
+def available_placements() -> list[str]:
+    """Registered placement names, sorted."""
+    return _PLACEMENTS.available()
+
+
+register_placement("waiau", PLACEMENT_WAIAU)
+register_placement("kahe", PLACEMENT_KAHE)

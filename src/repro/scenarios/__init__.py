@@ -1,0 +1,60 @@
+"""Scenario catalog: regions, hazard families, and scenario packs.
+
+The data-driven face of the study stack.  A *region* bundles geography
+(coastline, asset catalog, terrain, grid) with one scenario per hazard
+*family* (hurricane, earthquake, flood); a *scenario pack* ships a
+region as schema-validated, content-hashed data files.  Studies select
+both by name::
+
+    from repro import StudyConfig, run_study
+
+    result = run_study(StudyConfig(region="oahu", hazard="flood"))
+
+and sweeps treat ``region`` and ``hazard`` as axes, sharing each
+distinct ensemble exactly once.  See ``docs/scenario_packs.md``.
+"""
+
+from repro.scenarios.hazards import (
+    HazardFamily,
+    HurricaneHazardSpec,
+    available_hazard_families,
+    get_hazard_family,
+    register_hazard_family,
+)
+from repro.scenarios.regions import (
+    Region,
+    available_regions,
+    get_region,
+    register_region,
+    unregister_region,
+)
+
+# Registering Oahu is an import side effect, exactly like the chain
+# presets in repro.core.chain.
+from repro.scenarios.oahu import OAHU_REGION  # noqa: E402  (isort: after registries)
+from repro.scenarios.pack import (
+    PACK_SCHEMA_VERSION,
+    ScenarioPack,
+    load_scenario_pack,
+    register_scenario_pack,
+    write_scenario_pack,
+)
+
+__all__ = [
+    "Region",
+    "register_region",
+    "get_region",
+    "available_regions",
+    "unregister_region",
+    "HazardFamily",
+    "HurricaneHazardSpec",
+    "register_hazard_family",
+    "get_hazard_family",
+    "available_hazard_families",
+    "OAHU_REGION",
+    "ScenarioPack",
+    "PACK_SCHEMA_VERSION",
+    "load_scenario_pack",
+    "register_scenario_pack",
+    "write_scenario_pack",
+]

@@ -1,0 +1,228 @@
+"""Hazard-family registry: how each family builds generators from regions.
+
+A :class:`HazardFamily` is the data-driven description of one hazard
+kind: how to build a :class:`~repro.hazards.base.Hazard` generator from
+a :class:`~repro.scenarios.regions.Region`'s scenario entry, which
+fragility model is its natural default (inundation depth thresholds for
+water hazards, PGA capacity for shaking), which threat-chain preset
+pairs with it, and how its scenario round-trips through pack JSON.
+
+Three families ship built in -- ``hurricane``, ``earthquake``, and
+``flood`` -- and new ones register through :func:`register_hazard_family`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hazards.base import Hazard
+    from repro.hazards.fragility import FragilityModel
+    from repro.scenarios.regions import Region
+
+__all__ = [
+    "HurricaneHazardSpec",
+    "HazardFamily",
+    "register_hazard_family",
+    "get_hazard_family",
+    "available_hazard_families",
+]
+
+
+@dataclass(frozen=True)
+class HurricaneHazardSpec:
+    """A region's hurricane entry: storm scenario + surge-model options.
+
+    The storm parameters alone don't determine the generator -- basin
+    extensions and mesh resolution are regional modelling choices -- so
+    the hurricane family's region entry carries all three.
+    """
+
+    scenario: Any  # HurricaneScenarioSpec
+    basins: tuple = ()
+    mesh_spacing_km: float = 2.0
+
+
+def _build_hurricane(region: "Region") -> "Hazard":
+    from repro.hazards.hurricane.ensemble import EnsembleGenerator
+    from repro.hazards.hurricane.inundation import ExtensionParams
+
+    spec = region.hazard_spec("hurricane")
+    if not isinstance(spec, HurricaneHazardSpec):
+        spec = HurricaneHazardSpec(scenario=spec)
+    return EnsembleGenerator(
+        region=region.coastal(),
+        catalog=region.catalog(),
+        scenario=spec.scenario,
+        extension_params=ExtensionParams(basins=tuple(spec.basins)),
+        mesh_spacing_km=spec.mesh_spacing_km,
+    )
+
+
+def _build_earthquake(region: "Region") -> "Hazard":
+    from repro.hazards.earthquake import EarthquakeGenerator
+
+    return EarthquakeGenerator(region.catalog(), region.hazard_spec("earthquake"))
+
+
+def _build_flood(region: "Region") -> "Hazard":
+    from repro.hazards.flood import FloodGenerator
+
+    return FloodGenerator(region.catalog(), region.hazard_spec("flood"))
+
+
+def _hurricane_default_fragility() -> "FragilityModel | None":
+    return None  # ThresholdFragility(PAPER_FAILURE_THRESHOLD_M) downstream default
+
+
+def _earthquake_default_fragility() -> "FragilityModel | None":
+    from repro.hazards.earthquake import seismic_fragility
+
+    return seismic_fragility()
+
+
+def _flood_default_fragility() -> "FragilityModel | None":
+    return None  # flood depths use the same 0.5 m threshold as surge
+
+
+def _hurricane_spec_to_dict(spec: Any) -> dict:
+    from repro.io.scenario_io import scenario_to_dict
+
+    if not isinstance(spec, HurricaneHazardSpec):
+        spec = HurricaneHazardSpec(scenario=spec)
+    from dataclasses import asdict
+
+    return {
+        "scenario": scenario_to_dict(spec.scenario),
+        "basins": [asdict(b) for b in spec.basins],
+        "mesh_spacing_km": spec.mesh_spacing_km,
+    }
+
+
+def _hurricane_spec_from_dict(data: dict) -> Any:
+    from repro.errors import SerializationError
+    from repro.hazards.hurricane.inundation import Basin
+    from repro.io.scenario_io import scenario_from_dict
+
+    try:
+        basins = tuple(
+            Basin(
+                name=b["name"],
+                segment_names=tuple(b["segment_names"]),
+                membership_distance_km=b.get("membership_distance_km", 3.0),
+            )
+            for b in data.get("basins", [])
+        )
+        return HurricaneHazardSpec(
+            scenario=scenario_from_dict(data["scenario"]),
+            basins=basins,
+            mesh_spacing_km=data.get("mesh_spacing_km", 2.0),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed hurricane hazard entry: {exc}") from exc
+
+
+def _earthquake_spec_to_dict(spec: Any) -> dict:
+    from repro.io.geo_io import earthquake_scenario_to_dict
+
+    return earthquake_scenario_to_dict(spec)
+
+
+def _flood_spec_to_dict(spec: Any) -> dict:
+    from repro.io.geo_io import flood_scenario_to_dict
+
+    return flood_scenario_to_dict(spec)
+
+
+def _earthquake_spec_from_dict(data: dict) -> Any:
+    from repro.io.geo_io import earthquake_scenario_from_dict
+
+    return earthquake_scenario_from_dict(data)
+
+
+def _flood_spec_from_dict(data: dict) -> Any:
+    from repro.io.geo_io import flood_scenario_from_dict
+
+    return flood_scenario_from_dict(data)
+
+
+@dataclass(frozen=True)
+class HazardFamily:
+    """One hazard kind: region->generator builder plus family defaults."""
+
+    name: str
+    description: str
+    build: Callable[["Region"], "Hazard"]
+    default_fragility: Callable[[], "FragilityModel | None"] = lambda: None
+    default_chain: str | None = None
+    spec_to_dict: Callable[[Any], dict] | None = None
+    spec_from_dict: Callable[[dict], Any] | None = None
+    requires_coastline: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("hazard family name must be non-empty")
+
+
+_FAMILIES: Registry[HazardFamily] = Registry(
+    "hazard family", plural="hazard families"
+)
+
+
+def register_hazard_family(
+    family: HazardFamily, *, replace: bool = False
+) -> HazardFamily:
+    """Register a family under its name; returns it for assignment."""
+    return _FAMILIES.register(family.name, family, replace=replace)
+
+
+def get_hazard_family(name: str) -> HazardFamily:
+    """Look up a registered hazard family by name."""
+    return _FAMILIES.get(name)
+
+
+def available_hazard_families() -> list[str]:
+    """Registered hazard-family names, sorted."""
+    return _FAMILIES.available()
+
+
+FAMILY_HURRICANE = register_hazard_family(
+    HazardFamily(
+        name="hurricane",
+        description="Hurricane storm-surge inundation (the paper's hazard).",
+        build=_build_hurricane,
+        default_fragility=_hurricane_default_fragility,
+        default_chain=None,  # the paper chain is already the global default
+        spec_to_dict=_hurricane_spec_to_dict,
+        spec_from_dict=_hurricane_spec_from_dict,
+        requires_coastline=True,
+    )
+)
+
+FAMILY_EARTHQUAKE = register_hazard_family(
+    HazardFamily(
+        name="earthquake",
+        description="Fault-rupture PGA shaking with soft-soil amplification.",
+        build=_build_earthquake,
+        default_fragility=_earthquake_default_fragility,
+        default_chain="earthquake",
+        spec_to_dict=_earthquake_spec_to_dict,
+        spec_from_dict=_earthquake_spec_from_dict,
+    )
+)
+
+FAMILY_FLOOD = register_hazard_family(
+    HazardFamily(
+        name="flood",
+        description="Riverine flooding from lognormal peak discharge.",
+        build=_build_flood,
+        default_fragility=_flood_default_fragility,
+        default_chain="flood",
+        spec_to_dict=_flood_spec_to_dict,
+        spec_from_dict=_flood_spec_from_dict,
+    )
+)

@@ -1,0 +1,65 @@
+"""Oahu as the first registered region.
+
+The paper's case study, re-expressed as catalog data: the same
+geography builders that used to be reached through ``repro.geo.oahu``
+module state, bundled with one scenario per hazard family.  The
+hurricane entry is overridden to reuse
+:func:`~repro.hazards.hurricane.standard.shared_standard_generator`, so
+``StudyConfig(region="oahu", hazard="hurricane")`` resolves to the
+*identical* generator object the classic no-argument ``StudyConfig()``
+path uses -- the paper goldens (93/1000 red) are bit-identical by
+construction, not by coincidence.
+"""
+
+from __future__ import annotations
+
+from repro.geo._oahu_data import (
+    build_oahu_catalog,
+    build_oahu_region,
+    build_oahu_terrain,
+)
+from repro.hazards.earthquake import standard_oahu_fault
+from repro.hazards.flood import standard_oahu_flood
+from repro.hazards.hurricane.standard import (
+    OAHU_SOUTH_SHORE_BASIN,
+    shared_standard_generator,
+    standard_oahu_scenario,
+)
+from repro.scenarios.hazards import HurricaneHazardSpec
+from repro.scenarios.regions import Region, register_region
+
+__all__ = ["build_oahu_region_entry", "OAHU_REGION"]
+
+
+def _build_grid():
+    from repro.grid.model import build_oahu_grid
+
+    return build_oahu_grid()
+
+
+def build_oahu_region_entry() -> Region:
+    """The Oahu case-study bundle (unregistered; see ``OAHU_REGION``)."""
+    return Region(
+        name="oahu",
+        description=(
+            "The paper's Oahu, Hawaii case study: synthetic coastline, "
+            "24-asset catalog, and one scenario per hazard family."
+        ),
+        build_catalog=build_oahu_catalog,
+        build_coastal=build_oahu_region,
+        build_terrain=build_oahu_terrain,
+        build_grid=_build_grid,
+        hazard_specs={
+            "hurricane": HurricaneHazardSpec(
+                scenario=standard_oahu_scenario(),
+                basins=(OAHU_SOUTH_SHORE_BASIN,),
+            ),
+            "earthquake": standard_oahu_fault(),
+            "flood": standard_oahu_flood(),
+        },
+        hazard_overrides={"hurricane": shared_standard_generator},
+    )
+
+
+#: Registered at import of :mod:`repro.scenarios`.
+OAHU_REGION = register_region(build_oahu_region_entry())

@@ -1,0 +1,313 @@
+"""Versioned scenario packs: regions as data files.
+
+A scenario pack is a directory (or zip) containing a ``scenario.json``
+manifest plus the data files it references::
+
+    my-region/
+      scenario.json      <- manifest: name, schema_version, file hashes
+      assets.json        <- asset catalog (repro.io.geo_io.catalog_*)
+      coastline.json     <- optional coastline (region_*)
+      hurricane.json     <- one scenario file per hazard family
+      flood.json
+
+The manifest records a sha256 for every data file; loading re-hashes
+each file and refuses to proceed on mismatch, so a pack edited after it
+was written fails loudly instead of silently reusing stale cached
+ensembles.  The surviving content *also* flows into ensemble cache keys
+(generators hash the geography + scenario they were built from), so two
+packs differing in any data file never share a cache entry.
+
+``schema_version`` is bumped only for breaking manifest changes; loaders
+must reject versions they don't understand rather than guess (see
+``docs/scenario_packs.md`` for the policy).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigurationError, SerializationError
+from repro.geo.catalog import AssetCatalog
+from repro.geo.region import CoastalRegion
+from repro.io.atomic import atomic_write_text
+from repro.io.geo_io import (
+    catalog_from_dict,
+    catalog_to_dict,
+    region_from_dict,
+    region_to_dict,
+)
+from repro.scenarios.hazards import get_hazard_family
+from repro.scenarios.regions import Region, register_region
+
+__all__ = [
+    "PACK_SCHEMA_VERSION",
+    "PACK_KIND",
+    "MANIFEST_NAME",
+    "ScenarioPack",
+    "load_scenario_pack",
+    "register_scenario_pack",
+    "write_scenario_pack",
+]
+
+PACK_SCHEMA_VERSION = 1
+PACK_KIND = "repro.scenario_pack"
+MANIFEST_NAME = "scenario.json"
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """A validated scenario pack: manifest metadata plus the built region."""
+
+    name: str
+    description: str
+    schema_version: int
+    path: Path
+    digest: str
+    region: Region = field(compare=False)
+    manifest: Mapping[str, Any] = field(compare=False)
+
+    def info(self) -> dict[str, Any]:
+        """Human-facing summary (the ``pack info`` CLI payload)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "schema_version": self.schema_version,
+            "path": str(self.path),
+            "digest": self.digest,
+            "hazards": self.region.available_hazards(),
+            "assets": len(self.region.catalog()),
+            "has_coastline": self.region.build_coastal is not None,
+            "files": dict(self.manifest.get("files", {})),
+        }
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _make_reader(path: Path) -> Callable[[str], bytes]:
+    """A filename->bytes reader over a pack directory or zip archive."""
+    if path.is_dir():
+
+        def read_dir(name: str) -> bytes:
+            file_path = path / name
+            if not file_path.is_file():
+                raise SerializationError(
+                    f"scenario pack {path} is missing file {name!r}"
+                )
+            return file_path.read_bytes()
+
+        return read_dir
+    if path.is_file() and zipfile.is_zipfile(path):
+        archive = zipfile.ZipFile(path)
+        names = set(archive.namelist())
+        # Tolerate a single top-level folder inside the archive.
+        prefix = ""
+        if MANIFEST_NAME not in names:
+            tops = {n.split("/", 1)[0] for n in names if "/" in n}
+            for top in sorted(tops):
+                if f"{top}/{MANIFEST_NAME}" in names:
+                    prefix = f"{top}/"
+                    break
+
+        def read_zip(name: str) -> bytes:
+            try:
+                return archive.read(prefix + name)
+            except KeyError:
+                raise SerializationError(
+                    f"scenario pack {path} is missing file {name!r}"
+                ) from None
+
+        return read_zip
+    raise SerializationError(
+        f"no scenario pack at {path}: expected a directory or zip archive "
+        f"containing {MANIFEST_NAME}"
+    )
+
+
+def _parse_json(raw: bytes, label: str) -> Any:
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"{label} is not valid JSON: {exc}") from exc
+
+
+def _require(manifest: Mapping[str, Any], key: str, kind: type, label: str) -> Any:
+    value = manifest.get(key)
+    if not isinstance(value, kind) or (kind is str and not value):
+        raise SerializationError(
+            f"malformed scenario pack manifest in {label}: "
+            f"{key!r} must be a non-empty {kind.__name__}"
+        )
+    return value
+
+
+def load_scenario_pack(path: str | Path) -> ScenarioPack:
+    """Load and validate a scenario pack from a directory or zip.
+
+    Raises :class:`~repro.errors.SerializationError` on a malformed
+    manifest, a missing data file, or a content-hash mismatch, and
+    :class:`~repro.errors.ConfigurationError` for unknown hazard
+    families.
+    """
+    path = Path(path)
+    read = _make_reader(path)
+    manifest = _parse_json(read(MANIFEST_NAME), f"{path}/{MANIFEST_NAME}")
+    if not isinstance(manifest, dict):
+        raise SerializationError(
+            f"malformed scenario pack manifest in {path}: expected an object"
+        )
+    if manifest.get("kind") != PACK_KIND:
+        raise SerializationError(
+            f"{path} is not a scenario pack: manifest kind is "
+            f"{manifest.get('kind')!r}, expected {PACK_KIND!r}"
+        )
+    version = manifest.get("schema_version")
+    if version != PACK_SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported scenario pack schema_version {version!r} in {path}; "
+            f"this build reads version {PACK_SCHEMA_VERSION}"
+        )
+    name = _require(manifest, "name", str, str(path))
+    description = manifest.get("description", "")
+    region_entry = _require(manifest, "region", dict, str(path))
+    hazards_entry = _require(manifest, "hazards", dict, str(path))
+    files_entry = _require(manifest, "files", dict, str(path))
+
+    # Verify every declared file's content hash before trusting any of it.
+    contents: dict[str, bytes] = {}
+    for file_name, expected in sorted(files_entry.items()):
+        raw = read(file_name)
+        actual = _sha256(raw)
+        if actual != expected:
+            raise SerializationError(
+                f"content-hash mismatch for {file_name!r} in scenario pack "
+                f"{path}: manifest says {expected}, file hashes to {actual} "
+                f"(the pack was modified after it was written; rebuild it "
+                f"rather than editing data files in place)"
+            )
+        contents[file_name] = raw
+
+    def declared(file_name: str, role: str) -> bytes:
+        if file_name not in contents:
+            raise SerializationError(
+                f"scenario pack {path}: {role} file {file_name!r} is not "
+                f"listed in the manifest 'files' hash map"
+            )
+        return contents[file_name]
+
+    assets_name = _require(region_entry, "assets", str, str(path))
+    catalog = catalog_from_dict(
+        _parse_json(declared(assets_name, "asset"), assets_name)
+    )
+    coastal: CoastalRegion | None = None
+    coast_name = region_entry.get("coastline")
+    if coast_name is not None:
+        coastal = region_from_dict(
+            _parse_json(declared(coast_name, "coastline"), coast_name)
+        )
+
+    hazard_specs: dict[str, Any] = {}
+    for family_name, file_name in sorted(hazards_entry.items()):
+        family = get_hazard_family(family_name)
+        if family.spec_from_dict is None:
+            raise ConfigurationError(
+                f"hazard family {family_name!r} does not support scenario packs"
+            )
+        if family.requires_coastline and coastal is None:
+            raise SerializationError(
+                f"scenario pack {path}: hazard family {family_name!r} "
+                f"requires a coastline file but the pack declares none"
+            )
+        spec_doc = _parse_json(declared(file_name, family_name), file_name)
+        hazard_specs[family_name] = family.spec_from_dict(spec_doc)
+
+    digest = _sha256(
+        json.dumps(manifest, sort_keys=True, separators=(",", ":")).encode()
+    )
+    region = Region(
+        name=name,
+        description=description,
+        build_catalog=lambda: catalog,
+        build_coastal=(lambda: coastal) if coastal is not None else None,
+        hazard_specs=hazard_specs,
+    )
+    return ScenarioPack(
+        name=name,
+        description=description,
+        schema_version=version,
+        path=path,
+        digest=digest,
+        region=region,
+        manifest=manifest,
+    )
+
+
+def register_scenario_pack(
+    path: str | Path, *, replace: bool = False
+) -> ScenarioPack:
+    """Load a pack and register its region under the pack's name."""
+    pack = load_scenario_pack(path)
+    register_region(pack.region, replace=replace)
+    return pack
+
+
+def write_scenario_pack(
+    directory: str | Path,
+    *,
+    name: str,
+    catalog: AssetCatalog,
+    description: str = "",
+    coastal: CoastalRegion | None = None,
+    hazards: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write a pack directory (data files + hashed manifest); returns it.
+
+    ``hazards`` maps family names to that family's scenario object (the
+    hurricane family accepts either a bare ``HurricaneScenarioSpec`` or
+    a :class:`~repro.scenarios.hazards.HurricaneHazardSpec`).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    files: dict[str, str] = {}
+
+    def emit(file_name: str, payload: Any) -> None:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        atomic_write_text(directory / file_name, text)
+        files[file_name] = _sha256(text.encode())
+
+    emit("assets.json", catalog_to_dict(catalog))
+    region_entry: dict[str, str] = {"assets": "assets.json"}
+    if coastal is not None:
+        emit("coastline.json", region_to_dict(coastal))
+        region_entry["coastline"] = "coastline.json"
+
+    hazards_entry: dict[str, str] = {}
+    for family_name, spec in sorted((hazards or {}).items()):
+        family = get_hazard_family(family_name)
+        if family.spec_to_dict is None:
+            raise ConfigurationError(
+                f"hazard family {family_name!r} does not support scenario packs"
+            )
+        file_name = f"{family_name}.json"
+        emit(file_name, family.spec_to_dict(spec))
+        hazards_entry[family_name] = file_name
+
+    manifest = {
+        "schema_version": PACK_SCHEMA_VERSION,
+        "kind": PACK_KIND,
+        "name": name,
+        "description": description,
+        "region": region_entry,
+        "hazards": hazards_entry,
+        "files": files,
+    }
+    atomic_write_text(
+        directory / MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True)
+    )
+    return directory

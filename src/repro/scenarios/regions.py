@@ -1,0 +1,158 @@
+"""First-class regions: named bundles of geography + hazard scenarios.
+
+A :class:`Region` packages everything a study needs to know about a
+place -- coastline, asset catalog, terrain, grid topology, and the
+hazard scenario each family uses there -- behind lazy, memoized
+accessors.  Regions live in a :class:`~repro.registry.Registry` so
+``StudyConfig(region="oahu", hazard="earthquake")`` is pure data: the
+facade resolves the name, asks the region for that family's generator,
+and the rest of the stack (cache, sweep dedup, batched executor) is
+unchanged.
+
+Oahu is registered at import time (see :mod:`repro.scenarios.oahu`);
+scenario packs register further regions from data files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.geo.catalog import AssetCatalog
+from repro.geo.digest import geo_content_key
+from repro.geo.region import CoastalRegion
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geo.terrain import TerrainModel
+    from repro.hazards.base import Hazard
+
+__all__ = [
+    "Region",
+    "register_region",
+    "get_region",
+    "available_regions",
+    "unregister_region",
+]
+
+
+@dataclass
+class Region:
+    """A registered region: lazy geography factories + hazard scenarios.
+
+    ``build_*`` fields are zero-argument factories so registration stays
+    cheap -- nothing is constructed until a study asks for it, and each
+    product is memoized per :class:`Region` instance.  ``hazard_specs``
+    maps hazard-family names ("hurricane", "earthquake", "flood") to the
+    family's scenario object for this region; ``hazard_overrides`` lets
+    a region supply a prebuilt generator for a family (Oahu's hurricane
+    entry reuses the process-wide standard generator so the paper
+    goldens are bit-identical by construction).
+    """
+
+    name: str
+    build_catalog: Callable[[], AssetCatalog]
+    description: str = ""
+    build_coastal: Callable[[], CoastalRegion] | None = None
+    build_terrain: Callable[[], "TerrainModel"] | None = None
+    build_grid: Callable[[], Any] | None = None
+    hazard_specs: Mapping[str, Any] = field(default_factory=dict)
+    hazard_overrides: Mapping[str, Callable[[], "Hazard"]] = field(
+        default_factory=dict
+    )
+    _built: Dict[str, Any] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("region name must be a non-empty string")
+
+    def _memo(self, key: str, factory: Callable[[], Any]) -> Any:
+        if key not in self._built:
+            self._built[key] = factory()
+        return self._built[key]
+
+    def catalog(self) -> AssetCatalog:
+        """The region's asset catalog (built once, memoized)."""
+        return self._memo("catalog", self.build_catalog)
+
+    def coastal(self) -> CoastalRegion:
+        """The region's coastline, or raise if it has none."""
+        if self.build_coastal is None:
+            raise ConfigurationError(
+                f"region {self.name!r} has no coastline data"
+            )
+        return self._memo("coastal", self.build_coastal)
+
+    def terrain(self) -> "TerrainModel":
+        """The region's terrain model, or raise if it has none."""
+        if self.build_terrain is None:
+            raise ConfigurationError(
+                f"region {self.name!r} has no terrain data"
+            )
+        return self._memo("terrain", self.build_terrain)
+
+    def grid(self) -> Any:
+        """The region's grid topology, or raise if it has none."""
+        if self.build_grid is None:
+            raise ConfigurationError(
+                f"region {self.name!r} has no grid topology"
+            )
+        return self._memo("grid", self.build_grid)
+
+    def available_hazards(self) -> list[str]:
+        """Hazard-family names this region has scenarios for."""
+        return sorted(set(self.hazard_specs) | set(self.hazard_overrides))
+
+    def hazard_spec(self, family: str) -> Any:
+        """The scenario object for ``family``, or raise listing families."""
+        try:
+            return self.hazard_specs[family]
+        except KeyError:
+            raise ConfigurationError(
+                f"region {self.name!r} has no {family!r} hazard scenario; "
+                f"available hazards: {self.available_hazards()}"
+            ) from None
+
+    def hazard(self, family: str) -> "Hazard":
+        """Build (and memoize) the ``family`` generator for this region."""
+        key = f"hazard:{family}"
+        if key in self._built:
+            return self._built[key]
+        override = self.hazard_overrides.get(family)
+        if override is not None:
+            generator = override()
+        else:
+            from repro.scenarios.hazards import get_hazard_family
+
+            generator = get_hazard_family(family).build(self)
+        self._built[key] = generator
+        return generator
+
+    def geo_key(self) -> str:
+        """Content hash of the region's catalog (+ coastline if any)."""
+        coastal = self.coastal() if self.build_coastal is not None else None
+        return geo_content_key(self.catalog(), coastal)
+
+
+_REGIONS: Registry[Region] = Registry("region")
+
+
+def register_region(region: Region, *, replace: bool = False) -> Region:
+    """Register a region under its name; returns it for assignment."""
+    return _REGIONS.register(region.name, region, replace=replace)
+
+
+def get_region(name: str) -> Region:
+    """Look up a registered region by name."""
+    return _REGIONS.get(name)
+
+
+def available_regions() -> list[str]:
+    """Registered region names, sorted."""
+    return _REGIONS.available()
+
+
+def unregister_region(name: str) -> None:
+    """Remove a region registration (used by tests and pack reloads)."""
+    _REGIONS.unregister(name)

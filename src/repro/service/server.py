@@ -73,6 +73,8 @@ _SPEC_FIELDS = frozenset(
         "scenarios",
         "n_realizations",
         "seed",
+        "region",
+        "hazard",
         "analysis_seed",
         "chain",
         "batch",
@@ -87,8 +89,8 @@ def study_config_from_spec(spec: dict) -> StudyConfig:
     """Build a :class:`StudyConfig` from a submitted JSON spec.
 
     Only registry-name-addressable fields are accepted (architectures,
-    scenarios, placement, chain by name; fragility via
-    ``fragility_threshold`` in meters); unknown fields raise
+    scenarios, placement, chain, region, and hazard by name; fragility
+    via ``fragility_threshold`` in meters); unknown fields raise
     :class:`ServiceError` so a typo'd submission fails loudly at the
     front door instead of silently running the default study.
     """
@@ -107,6 +109,8 @@ def study_config_from_spec(spec: dict) -> StudyConfig:
         "scenarios",
         "n_realizations",
         "seed",
+        "region",
+        "hazard",
         "analysis_seed",
         "chain",
         "batch",

@@ -210,12 +210,14 @@ def _analyze(
     """
     chain = config.resolve_chain()
     if chain.hazard_prefix_deterministic():
-        failed_cache = caches.setdefault(_fragility_token(config.fragility), {})
+        failed_cache = caches.setdefault(
+            _fragility_token(config.resolve_fragility()), {}
+        )
     else:
         failed_cache = None
     analysis = CompoundThreatAnalysis(
         ensemble,
-        fragility=config.fragility,
+        fragility=config.resolve_fragility(),
         attacker=config.attacker,
         seed=config.analysis_seed,
         failed_cache=failed_cache,
@@ -269,13 +271,14 @@ def _pool_init_shared(descriptor: dict, fallback_ok: bool = False) -> None:
 def _fallback_ensemble(config: StudyConfig) -> HazardEnsemble:
     """Regenerate a worker's hazard data after a stale shared descriptor.
 
-    Only reachable for standard-generator groups (``fallback_ok``): the
-    config carries everything needed -- count, seed, cache_dir -- so
+    Only reachable for groups whose hazard data is rebuildable from the
+    config alone (``fallback_ok``): the standard Oahu generator or a
+    region/hazard catalog selection -- count, seed, cache_dir -- so
     the worker rebuilds through the normal cache-or-generate path
     (``n_jobs=1``; a worker never nests pools).  Bit-identical to the
     shared grid it replaces, by the generation determinism guarantee.
     """
-    generator = shared_standard_generator()
+    generator = config.resolve_generator() or shared_standard_generator()
     return generator.generate(
         count=config.n_realizations,
         seed=config.seed,
@@ -441,7 +444,7 @@ def _acquire_group_ensemble(
     if config.ensemble is not None:
         obs.inc("sweep.ensemble.prebuilt")
         return config.ensemble, None
-    generator = config.generator or shared_standard_generator()
+    generator = config.resolve_generator() or shared_standard_generator()
     retry = RetryPolicy.from_options(config.max_retries, config.task_timeout)
     with obs.span(
         "sweep.ensemble.acquire",

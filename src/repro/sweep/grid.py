@@ -42,7 +42,7 @@ from typing import Sequence
 
 from repro.api import StudyConfig
 from repro.errors import ConfigurationError
-from repro.geo.oahu import build_oahu_catalog, build_oahu_region
+from repro.geo import build_oahu_catalog, build_oahu_region
 from repro.hazards.fragility import ThresholdFragility
 from repro.hazards.hurricane.ensemble import EnsembleGenerator
 from repro.hazards.hurricane.inundation import ExtensionParams
@@ -105,6 +105,12 @@ def sweep_grid(base: StudyConfig | None = None, **axes: Sequence) -> list[StudyC
     ``StudyConfig()``, the paper's case study).  Axis order follows the
     keyword order, and the product iterates the *last* axis fastest, so
     the grid order is deterministic and reads like nested loops.
+
+    Every ``StudyConfig`` field is an axis -- including the scenario
+    catalog's ``region=`` and ``hazard=`` names, so
+    ``sweep_grid(region=["oahu", "portolan"], hazard=["hurricane",
+    "flood"])`` runs the full matrix while the engine still generates
+    each distinct ensemble (by cache key) exactly once.
     """
     base = base or StudyConfig()
     valid = {f.name for f in dataclass_fields(StudyConfig)}

@@ -27,6 +27,8 @@ SWEEP_RESULT_SCHEMA_VERSION = 1
 #: Axes :meth:`SweepResult.compare` accepts (cell summary keys).
 COMPARISON_AXES = (
     "placement",
+    "region",
+    "hazard",
     "hazard_scenario",
     "fragility",
     "attacker",
@@ -36,26 +38,41 @@ COMPARISON_AXES = (
     "analysis_seed",
 )
 
+#: Summary keys that are *consequences* of an axis choice, excluded from
+#: the all-else-equal grouping when comparing over that axis (a hazard
+#: family change necessarily changes the resolved scenario name, default
+#: chain, and default fragility -- those deltas ARE the comparison).
+_AXIS_DERIVED_KEYS = {
+    "region": ("hazard_scenario",),
+    "hazard": ("hazard_scenario", "chain", "fragility"),
+}
+
 
 def cell_summary(config: StudyConfig) -> dict:
     """The JSON-friendly identity of one study (names, never objects)."""
     if config.ensemble is not None:
         hazard = getattr(config.ensemble, "scenario_name", "prebuilt")
-    elif config.generator is not None:
-        hazard = config.generator.scenario.name
     else:
-        from repro.hazards.hurricane.standard import shared_standard_generator
+        generator = config.resolve_generator()
+        if generator is not None:
+            hazard = getattr(
+                getattr(generator, "scenario", None), "name", type(generator).__name__
+            )
+        else:
+            from repro.hazards.hurricane.standard import shared_standard_generator
 
-        hazard = shared_standard_generator().scenario.name
+            hazard = shared_standard_generator().scenario.name
     return {
         "configurations": [a.name for a in config.resolve_configurations()],
         "scenarios": [s.name for s in config.resolve_scenarios()],
         "placement": config.resolve_placement().label(),
+        "region": config.region,
+        "hazard": config.hazard,
         "hazard_scenario": hazard,
         "n_realizations": config.n_realizations,
         "seed": config.seed,
         "analysis_seed": config.analysis_seed,
-        "fragility": _model_identity(config.fragility),
+        "fragility": _model_identity(config.resolve_fragility()),
         "attacker": _model_identity(config.attacker),
         "chain": config.resolve_chain().name,
     }
@@ -256,11 +273,12 @@ class SweepResult:
                 f"unknown comparison axis {axis!r}; choose from "
                 f"{sorted(COMPARISON_AXES)}"
             )
+        excluded = {axis, *_AXIS_DERIVED_KEYS.get(axis, ())}
         groups: dict[str, list[StudyCell]] = {}
         for cell in self.cells:
             summary = cell.summary()
             key = json.dumps(
-                {k: v for k, v in summary.items() if k != axis},
+                {k: v for k, v in summary.items() if k not in excluded},
                 sort_keys=True,
                 default=str,
             )

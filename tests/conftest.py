@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.geo.oahu import build_oahu_catalog, build_oahu_region, build_oahu_terrain
+from repro.geo import build_oahu_catalog, build_oahu_region, build_oahu_terrain
 from repro.hazards.hurricane.standard import standard_oahu_ensemble
 
 

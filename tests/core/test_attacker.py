@@ -22,7 +22,7 @@ from repro.core.states import OperationalState
 from repro.core.system_state import initial_state
 from repro.core.threat import CyberAttackBudget
 from repro.errors import AnalysisError
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, WAIAU_CC
 from repro.scada.architectures import PAPER_CONFIGURATIONS, get_architecture
 from repro.scada.placement import PLACEMENT_WAIAU
 

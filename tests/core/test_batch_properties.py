@@ -19,7 +19,7 @@ from repro.core.chain import available_chains, get_chain
 from repro.core.pipeline import CompoundThreatAnalysis
 from repro.core.states import STATE_ORDER
 from repro.core.threat import CyberAttackBudget, ThreatScenario
-from repro.geo.oahu import build_oahu_catalog
+from repro.geo import build_oahu_catalog
 from repro.hazards.fragility import ThresholdFragility
 from repro.io.shared_ensemble import ArrayBackedEnsemble
 from repro.scada.architectures import PAPER_CONFIGURATIONS

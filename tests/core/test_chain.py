@@ -31,7 +31,7 @@ from repro.core.system_state import initial_state
 from repro.core.threat import PAPER_SCENARIOS
 from repro.errors import ConfigurationError
 from repro.geo.coords import GeoPoint
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, WAIAU_CC
 from repro.hazards.fragility import ThresholdFragility
 from repro.hazards.hurricane.ensemble import (
     HurricaneEnsemble,

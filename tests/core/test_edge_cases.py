@@ -9,7 +9,7 @@ from repro.core.states import OperationalState as S
 from repro.core.system_state import initial_state
 from repro.core.threat import CyberAttackBudget
 from repro.errors import AnalysisError, ConfigurationError
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
 from repro.scada.architectures import (
     ArchitectureFamily,
     ArchitectureSpec,

@@ -16,7 +16,7 @@ from repro.core.threat import (
     PAPER_SCENARIOS,
 )
 from repro.geo.coords import GeoPoint
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, WAIAU_CC
 from repro.hazards.hurricane.ensemble import (
     HurricaneEnsemble,
     HurricaneRealization,

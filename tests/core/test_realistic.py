@@ -12,7 +12,7 @@ from repro.core.states import OperationalState as S
 from repro.core.system_state import initial_state
 from repro.core.threat import CyberAttackBudget, HURRICANE_ISOLATION
 from repro.errors import AnalysisError
-from repro.geo.oahu import (
+from repro.geo import (
     DRFORTRESS,
     HONOLULU_CC,
     KAHE_CC,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.system_state import SiteStatus, SystemState, initial_state
 from repro.errors import AnalysisError
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, WAIAU_CC
 from repro.scada.architectures import CONFIG_2, CONFIG_2_2, CONFIG_6_6, CONFIG_6_6_6
 from repro.scada.placement import PLACEMENT_WAIAU
 

@@ -19,7 +19,7 @@ from repro.core.timeline import (
     TimelineSegment,
 )
 from repro.errors import AnalysisError
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, WAIAU_CC
 from repro.scada.architectures import get_architecture
 from repro.scada.placement import PLACEMENT_WAIAU
 from tests.core.test_pipeline import realization, toy_ensemble

@@ -9,7 +9,7 @@ from repro.core.states import OperationalState as S
 from repro.core.threat import HURRICANE
 from repro.core.timeline import CompoundEventTimeline, TimelineParams
 from repro.errors import AnalysisError
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, WAIAU_CC
 from repro.scada.architectures import get_architecture
 from repro.scada.placement import PLACEMENT_WAIAU
 from tests.core.test_pipeline import realization

@@ -6,7 +6,7 @@ import pytest
 
 from repro.geo.catalog import AssetRole
 from repro.geo.coords import haversine_km
-from repro.geo.oahu import (
+from repro.geo import (
     ALOHANAP,
     DRFORTRESS,
     HONOLULU_CC,

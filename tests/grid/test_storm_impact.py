@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.geo.oahu import HONOLULU_CC
+from repro.geo import HONOLULU_CC
 from repro.grid.model import build_oahu_grid
 from repro.grid.storm_impact import (
     damaged_grid,

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.errors import AnalysisError
-from repro.geo.oahu import (
+from repro.geo import (
     ALOHANAP,
     DRFORTRESS,
     HONOLULU_CC,

@@ -10,7 +10,7 @@ from repro.core.states import OperationalState as S
 from repro.core.threat import HURRICANE, HURRICANE_ISOLATION
 from repro.errors import HazardError
 from repro.geo.coords import GeoPoint, haversine_km
-from repro.geo.oahu import HONOLULU_CC, KAHE_CC, WAIAU_CC, build_oahu_catalog
+from repro.geo import HONOLULU_CC, KAHE_CC, WAIAU_CC, build_oahu_catalog
 from repro.hazards.base import HazardEnsemble, HazardRealization
 from repro.hazards.earthquake import (
     AttenuationParams,

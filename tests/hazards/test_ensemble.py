@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.errors import HazardError
-from repro.geo.oahu import HONOLULU_CC, WAIAU_CC, build_oahu_catalog, build_oahu_region
+from repro.geo import HONOLULU_CC, WAIAU_CC, build_oahu_catalog, build_oahu_region
 from repro.hazards.fragility import ThresholdFragility
 from repro.hazards.hurricane.ensemble import (
     EnsembleGenerator,

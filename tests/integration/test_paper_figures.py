@@ -15,7 +15,7 @@ from repro.core.outcomes import ScenarioMatrix
 from repro.core.pipeline import CompoundThreatAnalysis
 from repro.core.states import OperationalState as S
 from repro.core.threat import PAPER_SCENARIOS
-from repro.geo.oahu import HONOLULU_CC
+from repro.geo import HONOLULU_CC
 from repro.scada.architectures import PAPER_CONFIGURATIONS
 from repro.scada.placement import PLACEMENT_KAHE, PLACEMENT_WAIAU
 

@@ -91,7 +91,7 @@ class TestWritersAreAtomic:
         assert list(tmp_path.glob("*.tmp")) == []
 
     def test_catalog_writer(self, tmp_path):
-        from repro.geo.oahu import build_oahu_catalog
+        from repro.geo import build_oahu_catalog
         from repro.io.topology_io import load_catalog_json, save_catalog_json
 
         target = tmp_path / "catalog.json"

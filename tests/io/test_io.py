@@ -10,7 +10,7 @@ import pytest
 from repro.core.outcomes import OperationalProfile, ScenarioMatrix
 from repro.core.states import OperationalState as S
 from repro.errors import SerializationError
-from repro.geo.oahu import HONOLULU_CC, build_oahu_catalog
+from repro.geo import HONOLULU_CC, build_oahu_catalog
 from repro.hazards.hurricane.standard import standard_oahu_ensemble
 from repro.io.realization_io import load_ensemble_csv, save_ensemble_csv
 from repro.io.results_io import load_matrix_json, save_matrix_json

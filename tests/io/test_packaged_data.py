@@ -6,7 +6,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.geo.oahu import build_oahu_catalog
+from repro.geo import build_oahu_catalog
 from repro.hazards.hurricane.standard import standard_oahu_scenario
 from repro.io.scenario_io import load_scenario_json
 from repro.io.topology_io import load_catalog_json

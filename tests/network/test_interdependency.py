@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import NetworkModelError
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
 from repro.grid.model import build_oahu_grid
 from repro.network.interdependency import (
     OAHU_POP_POWER,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bft.engine import BFTCluster, ClusterSpec
 from repro.errors import NetworkModelError
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
 from repro.network.routing import network_params_from_wan, site_latency_matrix
 from repro.network.topology import LinkSpec, WANTopology, build_site_wan
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import NetworkModelError
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
 from repro.network.topology import LinkSpec, WANTopology, build_site_wan
 
 SITES = [HONOLULU_CC, WAIAU_CC, KAHE_CC, DRFORTRESS]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError, TopologyError
-from repro.geo.oahu import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.geo import DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
 from repro.scada.architectures import (
     CONFIG_2,
     CONFIG_2_2,

@@ -1,0 +1,173 @@
+"""StudyConfig's region/hazard naming: validation, equivalence, sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import StudyConfig, run_study, study_config_hash
+from repro.errors import ConfigurationError
+
+
+class TestAggregateValidation:
+    def test_single_problem_keeps_the_classic_message(self):
+        with pytest.raises(ConfigurationError) as err:
+            StudyConfig(n_realizations=0)
+        assert "n_realizations must be at least 1" in str(err.value)
+        assert "invalid StudyConfig" not in str(err.value)
+
+    def test_all_problems_reported_in_one_error(self):
+        with pytest.raises(ConfigurationError) as err:
+            StudyConfig(
+                n_realizations=0,
+                jobs=0,
+                region="nowhere",
+                hazard="bogus",
+            )
+        message = str(err.value)
+        assert "invalid StudyConfig (4 problems)" in message
+        assert "n_realizations must be at least 1" in message
+        assert "jobs must be at least 1" in message
+        assert "unknown region 'nowhere'" in message
+        assert "unknown hazard family 'bogus'" in message
+
+    def test_bad_registry_names_are_caught_at_construction(self):
+        for kwargs in (
+            {"configurations": ("not-an-arch",)},
+            {"scenarios": ("not-a-scenario",)},
+            {"placement": "not-a-placement"},
+            {"chain": "not-a-chain"},
+        ):
+            with pytest.raises(ConfigurationError, match="unknown"):
+                StudyConfig(**kwargs)
+
+    def test_generator_conflicts_with_catalog_names(self):
+        from repro.hazards.hurricane.standard import standard_oahu_generator
+
+        with pytest.raises(ConfigurationError, match="generator="):
+            StudyConfig(generator=standard_oahu_generator(), region="oahu")
+
+    def test_region_without_registered_hazard_family(self):
+        with pytest.raises(ConfigurationError, match="earthquake"):
+            # oahu registers all three families, so ask for a family that
+            # exists in the registry but not in a stub region.
+            from repro.scenarios import Region, register_region, unregister_region
+
+            register_region(
+                Region(name="barren", build_catalog=lambda: None)
+            )
+            try:
+                StudyConfig(region="barren", hazard="earthquake")
+            finally:
+                unregister_region("barren")
+
+
+class TestCatalogEquivalence:
+    """Naming the paper study must be bit-identical to the classic path."""
+
+    def test_cache_key_and_hash_are_unchanged_for_the_default_path(self):
+        classic = StudyConfig(n_realizations=120)
+        named = StudyConfig(n_realizations=120, region="oahu", hazard="hurricane")
+        assert classic.cache_key() == named.cache_key()
+        # The hash *does* differ (region/hazard are identity fields), but
+        # the classic config's hash must not change across this release.
+        assert study_config_hash(classic) != study_config_hash(named)
+
+    def test_named_study_matches_the_classic_matrix(self):
+        classic = run_study(StudyConfig(n_realizations=120))
+        named = run_study(
+            StudyConfig(n_realizations=120, region="oahu", hazard="hurricane")
+        )
+        assert classic.matrix.to_rows() == named.matrix.to_rows()
+
+    def test_partial_naming_defaults_the_other_axis(self):
+        assert (
+            StudyConfig(n_realizations=50, region="oahu").cache_key()
+            == StudyConfig(n_realizations=50).cache_key()
+        )
+        assert (
+            StudyConfig(n_realizations=50, hazard="hurricane").cache_key()
+            == StudyConfig(n_realizations=50).cache_key()
+        )
+
+    def test_hazard_families_pick_their_default_chain_and_fragility(self):
+        from repro.hazards.earthquake import seismic_fragility
+
+        flood = StudyConfig(region="oahu", hazard="flood", n_realizations=10)
+        assert flood.resolve_chain().name == "flood"
+        quake = StudyConfig(region="oahu", hazard="earthquake", n_realizations=10)
+        assert quake.resolve_chain().name == "earthquake"
+        assert quake.resolve_fragility() == seismic_fragility()
+        classic = StudyConfig(n_realizations=10)
+        assert classic.resolve_chain().name == "paper"
+        assert classic.resolve_fragility() is None
+
+    def test_manifest_records_region_and_hazard(self):
+        result = run_study(
+            StudyConfig(
+                region="oahu",
+                hazard="flood",
+                n_realizations=30,
+                configurations=("2",),
+                scenarios=("hurricane",),
+            )
+        )
+        assert result.manifest["region"] == "oahu"
+        assert result.manifest["hazard"] == "flood"
+        classic = run_study(
+            StudyConfig(
+                n_realizations=30, configurations=("2",), scenarios=("hurricane",)
+            )
+        )
+        assert classic.manifest["region"] is None
+        assert classic.manifest["hazard"] is None
+
+
+class TestRegionHazardSweep:
+    def test_sweep_generates_each_shared_ensemble_once(self):
+        from repro.sweep import run_sweep, sweep_grid
+
+        base = StudyConfig(
+            n_realizations=40, configurations=("2",), scenarios=("hurricane",)
+        )
+        grid = sweep_grid(
+            base, region=["oahu"], hazard=["hurricane", "earthquake", "flood"]
+        )
+        assert len(grid) == 3
+        distinct_keys = {config.cache_key() for config in grid}
+        assert len(distinct_keys) == 3
+        result = run_sweep(grid)
+        counters = result.manifest["telemetry"]["metrics"]["counters"]
+        assert int(counters["sweep.ensemble.generated"]) == len(distinct_keys)
+
+    def test_hazard_is_a_comparison_axis(self):
+        from repro.sweep import run_sweep, sweep_grid
+
+        base = StudyConfig(
+            n_realizations=40, configurations=("2",), scenarios=("hurricane",)
+        )
+        result = run_sweep(sweep_grid(base, hazard=["hurricane", "flood"]))
+        comparison = result.compare("hazard")
+        assert comparison.rows, "hazard axis should produce comparison rows"
+        assert comparison.rows[0].baseline == "hurricane"
+        assert comparison.rows[0].value == "flood"
+
+
+class TestServiceSpec:
+    def test_region_and_hazard_are_accepted_spec_fields(self):
+        from repro.service.server import study_config_from_spec
+
+        config = study_config_from_spec(
+            {"region": "oahu", "hazard": "flood", "n_realizations": 25}
+        )
+        assert config.region == "oahu"
+        assert config.hazard == "flood"
+        direct = StudyConfig(region="oahu", hazard="flood", n_realizations=25)
+        assert config.cache_key() == direct.cache_key()
+        assert study_config_hash(config) == study_config_hash(direct)
+
+    def test_unknown_spec_field_still_rejected(self):
+        from repro.errors import ServiceError
+        from repro.service.server import study_config_from_spec
+
+        with pytest.raises(ServiceError, match="unknown study spec field"):
+            study_config_from_spec({"reigon": "oahu"})

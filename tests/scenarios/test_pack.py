@@ -1,0 +1,157 @@
+"""Scenario packs: write -> load -> study round trips, tamper detection."""
+
+from __future__ import annotations
+
+import json
+import zipfile
+
+import pytest
+
+from repro.api import StudyConfig, run_study
+from repro.errors import ConfigurationError, SerializationError
+from repro.geo import build_oahu_catalog, build_oahu_region
+from repro.hazards.flood import standard_oahu_flood
+from repro.hazards.hurricane.standard import (
+    OAHU_SOUTH_SHORE_BASIN,
+    standard_oahu_scenario,
+)
+from repro.scenarios import (
+    HurricaneHazardSpec,
+    get_region,
+    load_scenario_pack,
+    register_scenario_pack,
+    unregister_region,
+    write_scenario_pack,
+)
+from repro.scenarios.pack import MANIFEST_NAME, PACK_SCHEMA_VERSION
+
+
+@pytest.fixture()
+def oahu_pack_dir(tmp_path):
+    """An on-disk pack carrying the same content as the in-code Oahu entry."""
+    return write_scenario_pack(
+        tmp_path / "oahu-pack",
+        name="oahu-from-pack",
+        description="Oahu rebuilt from data files",
+        catalog=build_oahu_catalog(),
+        coastal=build_oahu_region(),
+        hazards={
+            "hurricane": HurricaneHazardSpec(
+                scenario=standard_oahu_scenario(),
+                basins=(OAHU_SOUTH_SHORE_BASIN,),
+            ),
+            "flood": standard_oahu_flood(),
+        },
+    )
+
+
+class TestPackRoundTrip:
+    def test_load_validates_and_reports(self, oahu_pack_dir):
+        pack = load_scenario_pack(oahu_pack_dir)
+        assert pack.name == "oahu-from-pack"
+        assert pack.schema_version == PACK_SCHEMA_VERSION
+        assert pack.region.available_hazards() == ["flood", "hurricane"]
+        info = pack.info()
+        assert info["assets"] == len(build_oahu_catalog())
+        assert info["has_coastline"] is True
+        assert set(info["files"]) == {
+            "assets.json", "coastline.json", "hurricane.json", "flood.json",
+        }
+
+    def test_pack_generators_match_in_code_cache_keys(self, oahu_pack_dir):
+        """The pack reconstructs content-identical hazards: same geography
+        and scenario parameters hash to the same ensemble cache keys."""
+        region = load_scenario_pack(oahu_pack_dir).region
+        oahu = get_region("oahu")
+        for family in ("hurricane", "flood"):
+            assert region.hazard(family).cache_key(
+                count=50, seed=3
+            ) == oahu.hazard(family).cache_key(count=50, seed=3)
+
+    def test_study_through_a_pack_is_bit_identical(self, oahu_pack_dir):
+        """pack -> register -> StudyConfig(region=...) -> run_study equals
+        the in-code configuration, bit for bit."""
+        register_scenario_pack(oahu_pack_dir)
+        try:
+            config = StudyConfig(
+                region="oahu-from-pack",
+                hazard="flood",
+                n_realizations=80,
+                configurations=("2", "6+6+6"),
+            )
+            baseline = config.replace(region="oahu")
+            assert config.cache_key() == baseline.cache_key()
+            assert (
+                run_study(config).matrix.to_rows()
+                == run_study(baseline).matrix.to_rows()
+            )
+        finally:
+            unregister_region("oahu-from-pack")
+
+    def test_zip_form_loads_identically(self, oahu_pack_dir, tmp_path):
+        archive = tmp_path / "oahu-pack.zip"
+        with zipfile.ZipFile(archive, "w") as zf:
+            for file_path in sorted(oahu_pack_dir.iterdir()):
+                # A top-level folder inside the zip must be tolerated.
+                zf.write(file_path, f"oahu-pack/{file_path.name}")
+        pack = load_scenario_pack(archive)
+        assert pack.digest == load_scenario_pack(oahu_pack_dir).digest
+        assert pack.region.hazard("flood").cache_key(
+            count=10, seed=0
+        ) == load_scenario_pack(oahu_pack_dir).region.hazard("flood").cache_key(
+            count=10, seed=0
+        )
+
+
+class TestPackValidation:
+    def test_tampered_data_file_is_rejected(self, oahu_pack_dir):
+        flood_file = oahu_pack_dir / "flood.json"
+        doc = json.loads(flood_file.read_text())
+        doc["discharge_median_m3s"] = 99999.0
+        flood_file.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        with pytest.raises(SerializationError) as err:
+            load_scenario_pack(oahu_pack_dir)
+        message = str(err.value)
+        assert "content-hash mismatch" in message
+        assert "flood.json" in message
+        assert "rebuild it" in message
+
+    def test_missing_file_is_rejected(self, oahu_pack_dir):
+        (oahu_pack_dir / "hurricane.json").unlink()
+        with pytest.raises(SerializationError, match="missing file"):
+            load_scenario_pack(oahu_pack_dir)
+
+    def test_unknown_schema_version_is_rejected(self, oahu_pack_dir):
+        manifest_file = oahu_pack_dir / MANIFEST_NAME
+        manifest = json.loads(manifest_file.read_text())
+        manifest["schema_version"] = 99
+        manifest_file.write_text(json.dumps(manifest))
+        with pytest.raises(SerializationError, match="schema_version"):
+            load_scenario_pack(oahu_pack_dir)
+
+    def test_not_a_pack_is_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="no scenario pack"):
+            load_scenario_pack(tmp_path / "nope")
+
+    def test_unknown_hazard_family_is_rejected(self, oahu_pack_dir):
+        manifest_file = oahu_pack_dir / MANIFEST_NAME
+        manifest = json.loads(manifest_file.read_text())
+        manifest["hazards"]["tsunami"] = "flood.json"
+        manifest_file.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigurationError, match="tsunami"):
+            load_scenario_pack(oahu_pack_dir)
+
+    def test_hurricane_pack_without_coastline_is_rejected(self, tmp_path):
+        pack_dir = write_scenario_pack(
+            tmp_path / "no-coast",
+            name="no-coast",
+            catalog=build_oahu_catalog(),
+            hazards={
+                "hurricane": HurricaneHazardSpec(
+                    scenario=standard_oahu_scenario(),
+                    basins=(OAHU_SOUTH_SHORE_BASIN,),
+                )
+            },
+        )
+        with pytest.raises(SerializationError, match="coastline"):
+            load_scenario_pack(pack_dir)

@@ -1,0 +1,97 @@
+"""The generic name registry every catalog in the package shares."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.registry import Registry
+
+
+class TestRegistry:
+    def test_register_get_roundtrip(self):
+        reg: Registry[int] = Registry("widget")
+        reg.register("a", 1)
+        assert reg.get("a") == 1
+        assert "a" in reg
+        assert len(reg) == 1
+
+    def test_available_is_sorted(self):
+        reg: Registry[int] = Registry("widget")
+        for name in ("zeta", "alpha", "mid"):
+            reg.register(name, 0)
+        assert reg.available() == ["alpha", "mid", "zeta"]
+        assert list(reg) == ["alpha", "mid", "zeta"]
+
+    def test_unknown_name_lists_registered_entries(self):
+        reg: Registry[int] = Registry("widget")
+        reg.register("a", 1)
+        reg.register("b", 2)
+        with pytest.raises(ConfigurationError) as err:
+            reg.get("nope")
+        assert "unknown widget 'nope'" in str(err.value)
+        assert "['a', 'b']" in str(err.value)
+
+    def test_duplicate_requires_replace(self):
+        reg: Registry[int] = Registry("widget")
+        reg.register("a", 1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.register("a", 2)
+        assert reg.get("a") == 1
+        reg.register("a", 2, replace=True)
+        assert reg.get("a") == 2
+
+    def test_plural_appears_in_error(self):
+        reg: Registry[int] = Registry("hazard family", plural="hazard families")
+        with pytest.raises(ConfigurationError, match="hazard families"):
+            reg.get("x")
+
+    def test_unregister_is_idempotent(self):
+        reg: Registry[int] = Registry("widget")
+        reg.register("a", 1)
+        reg.unregister("a")
+        assert "a" not in reg
+        reg.unregister("a")  # cleanup paths may run twice; must not raise
+
+
+class TestUnifiedRegistries:
+    """Every catalog speaks the same dialect: available_*/get_*/errors."""
+
+    def test_all_catalogs_expose_available_and_get(self):
+        from repro.core.chain import available_chains, get_chain
+        from repro.core.threat import available_scenarios, get_scenario
+        from repro.scada.architectures import (
+            available_architectures,
+            get_architecture,
+        )
+        from repro.scada.placement import available_placements, get_placement
+        from repro.scenarios import (
+            available_hazard_families,
+            available_regions,
+            get_hazard_family,
+            get_region,
+        )
+
+        for available, get in [
+            (available_chains, get_chain),
+            (available_scenarios, get_scenario),
+            (available_architectures, get_architecture),
+            (available_placements, get_placement),
+            (available_regions, get_region),
+            (available_hazard_families, get_hazard_family),
+        ]:
+            names = available()
+            assert names == sorted(names) and names
+            assert get(names[0]) is not None
+            with pytest.raises(ConfigurationError, match="unknown"):
+                get("definitely-not-registered")
+
+    def test_builtin_entries(self):
+        from repro.core.chain import available_chains
+        from repro.scada.placement import available_placements
+        from repro.scenarios import available_hazard_families, available_regions
+
+        assert "oahu" in available_regions()
+        assert available_hazard_families() == ["earthquake", "flood", "hurricane"]
+        assert available_placements() == ["kahe", "waiau"]
+        assert "flood" in available_chains()

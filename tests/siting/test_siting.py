@@ -10,7 +10,7 @@ from repro.core.states import OperationalState as S
 from repro.core.threat import HURRICANE, HURRICANE_INTRUSION, PAPER_SCENARIOS
 from repro.errors import AnalysisError, TopologyError
 from repro.geo.catalog import AssetCatalog
-from repro.geo.oahu import ALOHANAP, DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
+from repro.geo import ALOHANAP, DRFORTRESS, HONOLULU_CC, KAHE_CC, WAIAU_CC
 from repro.scada.architectures import CONFIG_6_6, CONFIG_6_6_6
 from repro.siting.candidates import control_site_candidates
 from repro.siting.objectives import (
