@@ -1,0 +1,289 @@
+"""Tail-risk sampling benchmark -> BENCH_tail.json.
+
+Proves the adaptive variance-reduction engine's headline claim end to
+end on a genuinely rare event:
+
+1. **Define the rare event.** The standard Oahu hurricane scenario with
+   a forecast-cone-wide landfall uncertainty (``--offset-sd``, default
+   300 km vs the paper's 45 km) and a raised fragility threshold
+   (``--threshold``, default 1.25 m).  A red outcome for hurricane /
+   configuration "2" then requires a direct hit through a ~50 km
+   corridor by an intense storm: P(red) is a few tenths of a percent.
+2. **Bound it adaptively.** An :class:`AdaptivePlan` over a corridor-
+   stratified base (fine equal-allocation bins across the damage
+   corridor, two coarse off-corridor bins) runs rounds until the red
+   estimate's 95% CI half-width is within ``--target-ci`` (10%)
+   relative.  The gate compares the realizations it consumed against
+   the plain-MC requirement ``n = z^2 (1-p) / (r^2 p)`` at the measured
+   p-hat and fails unless the saving clears ``--min-saving`` (5x).
+3. **Check unbiasedness.** A plain-MC reference run and a default
+   importance-sampling run estimate the same probability; the benchmark
+   fails if either weighted estimate falls outside the combined
+   3-sigma interval of the reference.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_tail.py [--target-ci 0.10] [--min-saving 5]
+
+Needs only numpy + networkx (the tier-1 runtime); the coarse coastal
+mesh (``--mesh-spacing``, default 12 km) keeps generation tractable.
+CI runs this as the tail-smoke job; the committed ``BENCH_tail.json``
+comes from the full default run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import StudyConfig, run_study
+from repro.core.states import OperationalState
+from repro.hazards import ThresholdFragility
+from repro.hazards.hurricane.standard import standard_oahu_generator
+from repro.sampling import AdaptivePlan, StratifiedPlan, run_adaptive_study
+
+RED = OperationalState.RED
+Z95 = 1.96
+
+#: The damage corridor for the default event, measured from a 30k plain
+#: reference sweep: red events live in track offsets of [-47, +5] km.
+#: The stratified base covers [-64, +19] km (margin on both sides) in
+#: 3.75 km bins; everything outside lands in the two coarse tail bins.
+CORRIDOR_KM = (-64.0, 19.0)
+CORRIDOR_BIN_KM = 3.75
+
+
+def tail_generator(mesh_spacing_km: float, offset_sd_km: float):
+    """The standard generator, coarse mesh, forecast-cone track spread."""
+    base = standard_oahu_generator()
+    scenario = dataclasses.replace(
+        base.scenario, track_offset_sd_km=offset_sd_km
+    )
+    return dataclasses.replace(
+        base, scenario=scenario, mesh_spacing_km=mesh_spacing_km
+    )
+
+
+def corridor_plan(offset_sd_km: float) -> StratifiedPlan:
+    """Fine equal-allocation bins across the damage corridor."""
+    lo, hi = CORRIDOR_KM
+    edges_sd = np.arange(lo, hi + CORRIDOR_BIN_KM / 2, CORRIDOR_BIN_KM)
+    return StratifiedPlan(
+        edges_sd=tuple(round(e / offset_sd_km, 6) for e in edges_sd),
+        allocation="equal",
+    )
+
+
+def study_config(args, sampling) -> StudyConfig:
+    return StudyConfig(
+        configurations=["2"],
+        scenarios=["hurricane"],
+        generator=tail_generator(args.mesh_spacing, args.offset_sd),
+        fragility=ThresholdFragility(threshold_m=args.threshold),
+        n_realizations=args.plain_count,
+        seed=args.seed,
+        sampling=sampling,
+        observability=False,
+    )
+
+
+def plain_requirement(p: float, target_rel_ci: float) -> float:
+    """Plain-MC realizations needed for the same relative 95% CI."""
+    return Z95**2 * (1.0 - p) / (target_rel_ci**2 * p)
+
+
+def binomial_halfwidth(p: float, n: int, z: float = Z95) -> float:
+    return z * math.sqrt(p * (1.0 - p) / n)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mesh-spacing",
+        type=float,
+        default=12.0,
+        help="coastal mesh spacing in km (coarser = cheaper generation)",
+    )
+    parser.add_argument(
+        "--offset-sd",
+        type=float,
+        default=300.0,
+        help="track-offset sigma in km (wide = rare direct hits)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fragility threshold in metres (higher = rarer red)",
+    )
+    parser.add_argument("--round-size", type=int, default=2500)
+    parser.add_argument("--max-rounds", type=int, default=40)
+    parser.add_argument(
+        "--target-ci",
+        type=float,
+        default=0.10,
+        help="adaptive stop: relative 95%% CI half-width on P(red)",
+    )
+    parser.add_argument(
+        "--min-saving",
+        type=float,
+        default=5.0,
+        help="fail unless plain-MC requirement / adaptive spend clears this",
+    )
+    parser.add_argument(
+        "--max-p",
+        type=float,
+        default=0.01,
+        help="fail unless the bounded event is at most this rare",
+    )
+    parser.add_argument(
+        "--plain-count",
+        type=int,
+        default=24_000,
+        help="realizations for the plain/importance unbiasedness runs",
+    )
+    parser.add_argument("--output", default="BENCH_tail.json")
+    args = parser.parse_args(argv)
+
+    plan = AdaptivePlan(
+        base=corridor_plan(args.offset_sd),
+        round_size=args.round_size,
+        max_rounds=args.max_rounds,
+        target_rel_ci=args.target_ci,
+    )
+    print(
+        f"adaptive run: corridor-stratified base "
+        f"({plan.resolved_base().n_bins} bins), rounds of "
+        f"{args.round_size}, target +/-{args.target_ci:.0%} on P(red) ..."
+    )
+    start = time.perf_counter()
+    adaptive = run_adaptive_study(study_config(args, plan))
+    adaptive_s = time.perf_counter() - start
+    print(adaptive.report())
+    print(f"adaptive run took {adaptive_s:.1f}s")
+
+    p_hat = adaptive.p_hat
+    n_adaptive = adaptive.total_realizations
+    n_plain = plain_requirement(p_hat, args.target_ci)
+    saving = n_plain / n_adaptive
+    print(
+        f"plain MC would need ~{n_plain:,.0f} realizations for the same "
+        f"CI; adaptive used {n_adaptive:,} ({saving:.1f}x fewer)"
+    )
+
+    # The loss tail flows straight off the adaptive study's weights.
+    curve = adaptive.result.exceedance("loss_usd")
+    eal = adaptive.result.expected_annual_loss()
+
+    print(f"plain reference run ({args.plain_count} realizations) ...")
+    plain = run_study(study_config(args, None))
+    plain_profile = plain.matrix.get("hurricane", "2")
+    p_plain = plain_profile.probability(RED)
+    half_plain = binomial_halfwidth(p_plain, args.plain_count, z=3.0)
+
+    print(f"importance run ({args.plain_count} realizations, default plan) ...")
+    importance = run_study(study_config(args, "importance"))
+    importance_profile = importance.matrix.get("hurricane", "2")
+    p_importance = importance_profile.probability(RED)
+
+    def unbiased(p_weighted: float, halfwidth_weighted: float) -> bool:
+        bound = math.sqrt(halfwidth_weighted**2 + half_plain**2)
+        return abs(p_weighted - p_plain) <= bound
+
+    importance_ok = unbiased(
+        p_importance, importance_profile.ci_halfwidth(RED, z=3.0)
+    )
+    adaptive_profile = adaptive.result.matrix.get("hurricane", "2")
+    adaptive_ok = unbiased(p_hat, adaptive_profile.ci_halfwidth(RED, z=3.0))
+
+    report = {
+        "event": {
+            "cell": ["hurricane", "2"],
+            "state": "red",
+            "offset_sd_km": args.offset_sd,
+            "threshold_m": args.threshold,
+            "mesh_spacing_km": args.mesh_spacing,
+            "seed": args.seed,
+        },
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "adaptive": {
+            "base_bins": plan.resolved_base().n_bins,
+            "round_size": args.round_size,
+            "rounds": len(adaptive.rounds),
+            "converged": adaptive.converged,
+            "total_realizations": n_adaptive,
+            "p_hat": p_hat,
+            "rel_ci_halfwidth": adaptive.rel_ci_halfwidth,
+            "ci95": list(adaptive.confidence_interval()),
+            "effective_sample_size": adaptive_profile.effective_sample_size,
+            "seconds": round(adaptive_s, 1),
+        },
+        "plain_requirement": {
+            "target_rel_ci": args.target_ci,
+            "realizations": round(n_plain),
+            "saving": round(saving, 1),
+            "min_saving": args.min_saving,
+        },
+        "unbiasedness": {
+            "reference_realizations": args.plain_count,
+            "p_plain": p_plain,
+            "p_importance": p_importance,
+            "importance_within_ci": importance_ok,
+            "adaptive_within_ci": adaptive_ok,
+        },
+        "loss_tail": {
+            "eal_usd": eal.eal_usd,
+            "mean_event_loss_usd": eal.mean_event_loss_usd,
+            "loss_usd_at_p_0.01": curve.level_at_probability(0.01),
+            "loss_usd_at_p_0.001": curve.level_at_probability(0.001),
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.output}")
+
+    failures = []
+    if not adaptive.converged:
+        failures.append(
+            f"adaptive did not reach +/-{args.target_ci:.0%} in "
+            f"{len(adaptive.rounds)} rounds"
+        )
+    if p_hat > args.max_p:
+        failures.append(
+            f"event is not rare enough: p_hat={p_hat:.4f} > {args.max_p}"
+        )
+    if saving < args.min_saving:
+        failures.append(
+            f"saving {saving:.1f}x is below the {args.min_saving:.0f}x floor"
+        )
+    if not importance_ok:
+        failures.append(
+            f"importance estimate {p_importance:.5f} is outside the "
+            f"reference CI around {p_plain:.5f}"
+        )
+    if not adaptive_ok:
+        failures.append(
+            f"adaptive estimate {p_hat:.5f} is outside the reference CI "
+            f"around {p_plain:.5f}"
+        )
+    if failures:
+        raise SystemExit("; ".join(failures))
+    print(
+        f"PASS: +/-{args.target_ci:.0%} on a {p_hat:.2%} event with "
+        f"{saving:.1f}x fewer realizations than plain MC, unbiased "
+        f"within CI"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,9 +9,13 @@ whole service contract over HTTP:
    the full 1000 realizations;
 2. submit the identical spec again and assert it is a cache hit served
    from the persistent result store (no recomputation);
-3. send SIGTERM and assert the server drains cleanly (exit code 0);
-4. replay the journal the dead server left behind and assert it
-   reconstructs the finished job -- the crash-safety contract.
+3. submit a long adaptive-sampling study, cancel it mid-run over
+   ``DELETE /v1/jobs/<id>``, and assert it lands terminal ``cancelled``
+   (and that cancelling it again answers 409);
+4. send SIGTERM and assert the server drains cleanly (exit code 0);
+5. replay the journal the dead server left behind and assert it
+   reconstructs the finished job AND the cancellation -- the
+   crash-safety contract.
 
 Writes a JSON report (timings + assertions) for the CI artifact.
 
@@ -35,7 +39,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.service import JobState, ServiceClient  # noqa: E402
+from repro.service import JobState, ServiceClient, ServiceClientError  # noqa: E402
 from repro.service.jobs import JobJournal  # noqa: E402
 from repro.service.store import ResultStore  # noqa: E402
 
@@ -122,23 +126,62 @@ def main() -> int:
         report["cached_run_s"] = round(time.perf_counter() - start, 3)
         counters = client.metrics()["counters"]
         assert counters.get("service.cache_hits", 0) >= 1
+
+        # 3. A running adaptive study cancels at its round boundary.
+        adaptive = client.submit(
+            {
+                "n_realizations": args.realizations,
+                "configurations": ["2"],
+                "scenarios": ["hurricane"],
+                "sampling": {
+                    "plan": "adaptive",
+                    "round_size": 100,
+                    "max_rounds": 200,
+                    "target_rel_ci": 0.0001,
+                },
+            }
+        )
+        cancel_id = adaptive["job_id"]
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if client.status(cancel_id)["state"] == "running":
+                break
+            time.sleep(0.1)
+        start = time.perf_counter()
+        client.cancel(cancel_id)
+        cancelled = client.wait(cancel_id, timeout=300.0)
+        assert cancelled["state"] == "cancelled", (
+            f"adaptive job should cancel, got {cancelled['state']}"
+        )
+        report["cancel_s"] = round(time.perf_counter() - start, 3)
+        try:
+            client.cancel(cancel_id)
+            raise SystemExit("cancelling a terminal job must answer 409")
+        except ServiceClientError as exc:
+            assert exc.status == 409, f"expected 409, got {exc.status}"
     finally:
-        # 3. SIGTERM must drain cleanly whatever happened above.
+        # 4. SIGTERM must drain cleanly whatever happened above.
         server.send_signal(signal.SIGTERM)
         returncode = server.wait(timeout=60.0)
     assert returncode == 0, f"serve exited {returncode} on SIGTERM"
     report["sigterm_exit_code"] = returncode
 
-    # 4. The journal alone reconstructs the finished job, and the store
-    #    still holds the verified result -- restart-safety without a
-    #    running process.
+    # 5. The journal alone reconstructs the finished job and the
+    #    cancellation, and the store still holds the verified result --
+    #    restart-safety without a running process.
     replayed = JobJournal(service_dir / "journal.jsonl").replay()
     done = [r for r in replayed.values() if r.state is JobState.DONE]
     assert len(done) == 1, f"journal replay found {len(done)} done jobs"
     assert done[0].job_id == first["job_id"]
+    replayed_cancel = [
+        r for r in replayed.values() if r.state is JobState.CANCELLED
+    ]
+    assert len(replayed_cancel) == 1, "journal lost the cancellation"
+    assert replayed_cancel[0].job_id == cancel_id
     store = ResultStore(service_dir / "results")
     assert store.get(done[0].study_hash) is not None, "result lost on disk"
     report["journal_jobs_done"] = len(done)
+    report["journal_jobs_cancelled"] = len(replayed_cancel)
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

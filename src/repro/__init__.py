@@ -30,6 +30,14 @@ The scenario catalog names studies instead of wiring objects:
 ``StudyConfig(region="oahu", hazard="earthquake")`` selects a registered
 :class:`Region` and hazard family, and :func:`register_scenario_pack`
 adds new regions from on-disk packs (see ``docs/scenario_packs.md``).
+
+Tail-risk estimation rides the same facade:
+``StudyConfig(sampling="importance")`` reweights the hazard draw toward
+damaging tracks (unbiased, with honest CIs),
+:func:`repro.sampling.run_adaptive_study` runs rounds until a target CI,
+and :meth:`StudyResult.exceedance` /
+:meth:`StudyResult.expected_annual_loss` turn any study into loss
+exceedance curves (see ``docs/tail_risk.md``).
 """
 
 from repro.api import (
@@ -40,6 +48,20 @@ from repro.api import (
     run_timeline,
 )
 from repro.sweep import StudyCell, SweepResult, run_sweep, sweep_grid
+
+# Importing repro.sampling also registers the "tail-risk" threat chain.
+from repro.sampling import (
+    AdaptivePlan,
+    ExceedanceCurve,
+    ExpectedAnnualLoss,
+    ImportancePlan,
+    LossModel,
+    SamplingPlan,
+    StratifiedPlan,
+    WeightedProfile,
+    available_sampling_plans,
+    run_adaptive_study,
+)
 
 from repro.core import (
     PAPER_SCENARIOS,
@@ -99,7 +121,7 @@ from repro.scada import (
     get_architecture,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -124,6 +146,17 @@ __all__ = [
     "sweep_grid",
     "SweepResult",
     "StudyCell",
+    # tail-risk sampling and impacts (see docs/tail_risk.md)
+    "SamplingPlan",
+    "StratifiedPlan",
+    "ImportancePlan",
+    "AdaptivePlan",
+    "available_sampling_plans",
+    "run_adaptive_study",
+    "WeightedProfile",
+    "ExceedanceCurve",
+    "ExpectedAnnualLoss",
+    "LossModel",
     # observability
     "Observability",
     "NULL_OBSERVER",

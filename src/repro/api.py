@@ -31,6 +31,8 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hazards.base import Hazard
+    from repro.sampling.impact import ExceedanceCurve, ExpectedAnnualLoss, LossModel
+    from repro.sampling.plans import SamplingPlan
     from repro.scenarios.hazards import HazardFamily
     from repro.scenarios.regions import Region
 
@@ -113,6 +115,14 @@ class StudyConfig:
     # ("paper", "grid-coupled", "earthquake", ...), a ThreatChain object,
     # or None for the paper's exact Fig. 5 pipeline.
     chain: ThreatChain | str | None = None
+    # How realizations are drawn and weighted: a registered plan name
+    # ("plain", "stratified", "importance", "adaptive"), a
+    # :class:`~repro.sampling.SamplingPlan`, a spec dict, or None.
+    # None and "plain" are the paper's sampler and take the exact legacy
+    # code path (bitwise identical, same study/cache hashes); any other
+    # plan reshapes the track-offset draw and aggregates under unbiased
+    # importance weights (see docs/tail_risk.md).
+    sampling: "SamplingPlan | str | dict | None" = None
     # Executor selection (never changes the numbers): None auto-selects
     # the fused batched executor when the whole chain supports it, False
     # forces the per-realization loop, True requires batching (raises
@@ -168,6 +178,7 @@ class StudyConfig:
             self.resolve_scenarios,
             self._validate_catalog_names,
             self.resolve_chain,
+            self._validate_sampling,
         ):
             try:
                 check()
@@ -208,6 +219,40 @@ class StudyConfig:
             if family is not None and family.default_chain is not None:
                 chain = family.default_chain
         return _resolve_chain(chain)
+
+    def resolve_sampling(self) -> "SamplingPlan | None":
+        """The normalized sampling plan (None means the plain legacy path)."""
+        from repro.sampling.plans import resolve_sampling
+
+        return resolve_sampling(self.sampling)
+
+    def _validate_sampling(self) -> None:
+        from repro.sampling.plans import AdaptivePlan, StratifiedPlan, is_plain
+
+        plan = self.resolve_sampling()
+        if is_plain(plan):
+            return
+        assert plan is not None
+        if self.ensemble is not None:
+            raise ConfigurationError(
+                "sampling= cannot reshape a prebuilt ensemble=; pass a "
+                "generator or a region/hazard selection instead"
+            )
+        generator = self.resolve_generator() or shared_standard_generator()
+        if not isinstance(generator, EnsembleGenerator):
+            raise ConfigurationError(
+                f"sampling plan {plan.name!r} reshapes hurricane track "
+                f"parameters; the resolved generator "
+                f"({type(generator).__name__}) does not sample them"
+            )
+        # A stratified allocation must fit the realization budget; check
+        # at construction so a sweep cell fails here, not mid-run.
+        if isinstance(plan, StratifiedPlan):
+            plan.allocate(self.n_realizations)
+        elif isinstance(plan, AdaptivePlan):
+            base = plan.resolved_base()
+            if isinstance(base, StratifiedPlan):
+                base.allocate(plan.round_size)
 
     # ------------------------------------------------------------------
     # Scenario-catalog resolution (region/hazard names -> objects)
@@ -316,6 +361,14 @@ class StudyConfig:
         if self.ensemble is not None:
             return _prebuilt_ensemble_key(self.ensemble)
         generator = self.resolve_generator() or shared_standard_generator()
+        plan = self.resolve_sampling()
+        if plan is not None and plan.name != "plain":
+            # A plan-sampled ensemble has different bits than the plain
+            # one; fold the plan into the key so sweep groups and disk
+            # caches never mix them.  Plain/None keep the legacy key.
+            from repro.sampling.generation import PlanSampledGenerator
+
+            generator = PlanSampledGenerator(generator, plan)  # type: ignore[arg-type]
         return generator.cache_key(self.n_realizations, self.seed)
 
 
@@ -328,6 +381,11 @@ class StudyResult:
     manifest: dict
     ensemble: HazardEnsemble
     observability: Observability | NullObservability
+    #: Per-realization importance weights (index order), or None for the
+    #: plain unweighted path.  Recomputable from the ensemble's stored
+    #: parameters, so results stay bit-reproducible across cache loads
+    #: and checkpoint resumes.
+    weights: np.ndarray | None = field(default=None, compare=False)
 
     def report(self) -> str:
         """The scenario x architecture outcome tables (paper figures)."""
@@ -336,6 +394,53 @@ class StudyResult:
     def run_report(self) -> str:
         """Human-readable telemetry: stage timings, counters, events."""
         return format_run_report(self.manifest)
+
+    # ------------------------------------------------------------------
+    # Impact aggregates (see docs/tail_risk.md)
+    # ------------------------------------------------------------------
+    def impacts(self, *, loss_model: "LossModel | None" = None):
+        """Per-realization load-shed / loss arrays (weighted aggregates).
+
+        One DC load-flow cascade per distinct damage pattern, broadcast
+        over the ensemble; the default :class:`~repro.sampling.LossModel`
+        result is computed once and cached on the result object.
+        """
+        from repro.sampling.impact import compute_impacts
+
+        if loss_model is None:
+            try:
+                return self._impact_cache  # type: ignore[attr-defined]
+            except AttributeError:
+                pass
+        result = compute_impacts(
+            self.ensemble,
+            fragility=self.config.resolve_fragility(),
+            weights=self.weights,
+            loss_model=loss_model,
+        )
+        if loss_model is None:
+            # Frozen dataclass: stash the lazily built cache.
+            object.__setattr__(self, "_impact_cache", result)
+        return result
+
+    def exceedance(
+        self,
+        metric: str = "loss_usd",
+        *,
+        loss_model: "LossModel | None" = None,
+    ) -> "ExceedanceCurve":
+        """The weighted exceedance curve P(metric > level).
+
+        ``metric`` is ``"loss_usd"`` (default), ``"shed_mw"``, or
+        ``"served_fraction"``.
+        """
+        return self.impacts(loss_model=loss_model).exceedance(metric)
+
+    def expected_annual_loss(
+        self, *, loss_model: "LossModel | None" = None
+    ) -> "ExpectedAnnualLoss":
+        """Weighted mean event loss annualized by the event rate."""
+        return self.impacts(loss_model=loss_model).expected_annual_loss()
 
 
 def _prebuilt_ensemble_key(ensemble: HazardEnsemble) -> str:
@@ -406,6 +511,11 @@ def study_config_hash(
         payload["region"] = config.region
     if config.hazard is not None:
         payload["hazard"] = config.hazard
+    # Same contract for sampling: plain/None never enters, so hashes
+    # minted before the sampling subsystem existed stay valid too.
+    sampling_plan = config.resolve_sampling()
+    if sampling_plan is not None and sampling_plan.name != "plain":
+        payload["sampling"] = sampling_plan.spec()
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:32]
 
@@ -418,6 +528,11 @@ def _acquire_ensemble(config: StudyConfig) -> tuple[HazardEnsemble, str | None]:
     from repro.runtime.controller import RetryPolicy
 
     generator = config.resolve_generator() or standard_oahu_generator()
+    plan = config.resolve_sampling()
+    if plan is not None and plan.name != "plain":
+        from repro.sampling.generation import PlanSampledGenerator
+
+        generator = PlanSampledGenerator(generator, plan)  # type: ignore[arg-type]
     retry = RetryPolicy.from_options(config.max_retries, config.task_timeout)
     ensemble = generator.generate(
         count=config.n_realizations,
@@ -428,6 +543,37 @@ def _acquire_ensemble(config: StudyConfig) -> tuple[HazardEnsemble, str | None]:
         retry=retry,
     )
     return ensemble, generator.cache_key(config.n_realizations, config.seed)
+
+
+def _study_weights(
+    config: StudyConfig, ensemble: HazardEnsemble
+) -> np.ndarray | None:
+    """Per-realization weights under the config's plan (None for plain).
+
+    A pure function of (plan, stored track parameters), so cached and
+    resumed ensembles reweight bit-identically.
+    """
+    plan = config.resolve_sampling()
+    if plan is None or plan.name == "plain":
+        return None
+    generator = config.resolve_generator() or shared_standard_generator()
+    sd_km = float(generator.scenario.track_offset_sd_km)
+    return plan.weights_for(ensemble, sd_km)
+
+
+def _record_sampling_metrics(obs, plan, weights: np.ndarray) -> None:
+    """The ``sampling.*`` counters and gauges for one weighted pass."""
+    if not obs.enabled:
+        return
+    sum_w = float(weights.sum())
+    sum_w2 = float((weights**2).sum())
+    obs.inc("sampling.weighted_runs")
+    obs.event("sampling.plan", plan=plan.name)
+    obs.set_gauge("sampling.sum_weights", sum_w)
+    obs.set_gauge(
+        "sampling.ess", sum_w**2 / sum_w2 if sum_w2 > 0 else 0.0
+    )
+    obs.observe("sampling.weight_max", float(weights.max()))
 
 
 def run_study(
@@ -445,6 +591,13 @@ def run_study(
     instrumentation; results are bit-identical either way.
     """
     config = config or StudyConfig()
+    plan = config.resolve_sampling()
+    if plan is not None and plan.name == "adaptive":
+        # The adaptive controller owns its own round loop; its final
+        # merged result is a StudyResult like any other.
+        from repro.sampling.adaptive import run_adaptive_study
+
+        return run_adaptive_study(config, obs=obs).result
     if obs is None:
         obs = Observability() if config.observability else NULL_OBSERVER
     start = time.perf_counter()
@@ -463,6 +616,9 @@ def run_study(
             else:
                 with obs.span("ensemble.acquire"):
                     ensemble, ensemble_key = _acquire_ensemble(config)
+            weights = _study_weights(config, ensemble)
+            if weights is not None:
+                _record_sampling_metrics(obs, plan, weights)
             analysis = CompoundThreatAnalysis(
                 ensemble,
                 fragility=config.resolve_fragility(),
@@ -470,6 +626,7 @@ def run_study(
                 seed=config.analysis_seed,
                 chain=chain,
                 batch=config.batch,
+                weights=weights,
             )
             matrix = analysis.run_matrix(architectures, placement, scenarios)
     wall_clock_s = time.perf_counter() - start
@@ -486,6 +643,8 @@ def run_study(
         obs=obs,
         wall_clock_s=wall_clock_s,
     )
+    if plan is not None and plan.name != "plain":
+        manifest["sampling"] = plan.spec()
     if config.manifest_out is not None:
         write_run_manifest(config.manifest_out, manifest)
     if config.metrics_out is not None and obs.enabled:
@@ -500,6 +659,7 @@ def run_study(
         manifest=manifest,
         ensemble=ensemble,
         observability=obs,
+        weights=weights,
     )
 
 
@@ -562,6 +722,13 @@ def run_timeline(
     from repro.core.timeline import CompoundEventTimeline, TimelineParams
 
     config = config or StudyConfig()
+    timeline_plan = config.resolve_sampling()
+    if timeline_plan is not None and timeline_plan.name != "plain":
+        raise ConfigurationError(
+            "run_timeline does not support sampling plans yet; its "
+            "downtime distributions are unweighted (use sampling=None "
+            "or 'plain')"
+        )
     params = params or TimelineParams()
     if obs is None:
         obs = Observability() if config.observability else NULL_OBSERVER

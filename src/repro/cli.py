@@ -33,10 +33,14 @@ Subcommands mirror the paper's workflow:
 
 ``run`` and ``sweep`` accept ``--chain`` to pick the threat chain
 (registered presets: ``paper``, ``grid-coupled``, ``earthquake``,
-``flood``) and ``--region``/``--hazard`` to pick from the scenario
-catalog (``--pack PATH`` registers a scenario pack first); the
-facade-backed subcommands all share the ``--jobs``/``--cache-dir`` and
-``--manifest-out``/``--metrics-out``/``--trace-out`` plumbing.
+``flood``, ``tail-risk``) and ``--region``/``--hazard`` to pick from
+the scenario catalog (``--pack PATH`` registers a scenario pack first);
+the facade-backed subcommands all share the ``--jobs``/``--cache-dir``
+and ``--manifest-out``/``--metrics-out``/``--trace-out`` plumbing.
+``run`` also accepts ``--sampling`` (a registered plan name or a JSON
+spec) and ``--target-ci`` (promotes the plan to an adaptive run that
+stops at the requested relative CI); ``sweep`` takes ``--sampling`` as
+a repeatable axis.
 """
 
 from __future__ import annotations
@@ -64,6 +68,25 @@ from repro.scada.placement import (
     available_placements,
 )
 from repro.viz import profile_chart
+
+
+def _parse_sampling(value: str | None):
+    """A ``--sampling`` flag value: a plan name or an inline JSON spec."""
+    if value is None:
+        return None
+    text = value.strip()
+    if text.startswith("{"):
+        import json
+
+        from repro.errors import ConfigurationError
+
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"--sampling JSON spec is invalid: {exc}"
+            ) from exc
+    return text
 
 
 def _register_packs(args: argparse.Namespace) -> None:
@@ -150,6 +173,15 @@ def _study_config_from_args(
     hazard = getattr(args, "hazard", None)
     if isinstance(hazard, list):  # the sweep's --hazard is an axis (append)
         hazard = hazard[0] if hazard else None
+    sampling = getattr(args, "sampling", None)
+    if isinstance(sampling, list):  # the sweep's --sampling is an axis (append)
+        sampling = sampling[0] if sampling else None
+    if sampling is not None or getattr(args, "target_ci", None) is not None:
+        from repro.sampling.plans import sampling_from_options
+
+        sampling = sampling_from_options(
+            _parse_sampling(sampling), getattr(args, "target_ci", None)
+        )
     return StudyConfig(
         configurations=tuple(args.config) if args.config else PAPER_CONFIGURATIONS,
         placement=placement if placement is not None else args.placement,
@@ -160,6 +192,7 @@ def _study_config_from_args(
         chain=chain,
         region=region,
         hazard=hazard,
+        sampling=sampling,
         batch=False if getattr(args, "no_batch", False) else None,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -176,14 +209,28 @@ def _study_config_from_args(
 def _cmd_run(args: argparse.Namespace) -> int:
     """Build a ``StudyConfig`` from the flags and drive the facade."""
     if getattr(args, "deprecated_alias", None):
+        from repro._deprecation import deprecation_message
+
+        # The canonical message (with the removal release) comes from the
+        # shared deprecation registry; see repro._deprecation.
         print(
-            f"note: `{args.deprecated_alias}` is a deprecated alias of `run` "
-            "and will be removed in 2.0.0; its flags keep working and route "
-            "through repro.run_study().",
+            f"note: `{args.deprecated_alias}` is a deprecated alias of "
+            "`run`: "
+            + deprecation_message(f"compound-threats {args.deprecated_alias}")
+            + " (flags keep working and route through repro.run_study())",
             file=sys.stderr,
         )
     _register_packs(args)
-    result = run_study(_study_config_from_args(args))
+    config = _study_config_from_args(args)
+    plan = config.resolve_sampling()
+    if plan is not None and plan.name == "adaptive":
+        from repro.sampling import run_adaptive_study
+
+        adaptive = run_adaptive_study(config)
+        print(adaptive.report(), file=sys.stderr)
+        result = adaptive.result
+    else:
+        result = run_study(config)
     if args.csv:
         print(format_matrix_csv(result.matrix))
     else:
@@ -221,6 +268,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["region"] = args.region
     if args.hazard and len(args.hazard) > 1:
         axes["hazard"] = args.hazard
+    if args.sampling and len(args.sampling) > 1:
+        axes["sampling"] = [_parse_sampling(value) for value in args.sampling]
     grid = sweep_grid(base, **axes)
     result = run_sweep(
         grid,
@@ -686,11 +735,43 @@ def _add_catalog_args(p: argparse.ArgumentParser, *, repeatable: bool = False) -
         )
 
 
+def _add_sampling_args(
+    p: argparse.ArgumentParser, *, repeatable: bool = False
+) -> None:
+    """The tail-risk sampling flags (see docs/tail_risk.md)."""
+    if repeatable:
+        p.add_argument(
+            "--sampling",
+            action="append",
+            help="sampling plan axis value: a registered name (plain, "
+            "stratified, importance) or an inline JSON spec "
+            "(repeatable; default: plain only)",
+        )
+        return
+    p.add_argument(
+        "--sampling",
+        default=None,
+        help="sampling plan: a registered name (plain, stratified, "
+        "importance, adaptive) or an inline JSON spec like "
+        '\'{"plan": "importance", "scale": 3.0}\' (default: plain, '
+        "the paper's sampler)",
+    )
+    p.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        help="run adaptively until the target outcome's 95%% CI half-width "
+        "is at most this fraction of the estimate (promotes --sampling "
+        "to the adaptive plan's per-round base; default base: importance)",
+    )
+
+
 def _add_study_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--placement", choices=available_placements(), default="waiau")
     p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
     _add_chain_arg(p)
     _add_catalog_args(p)
+    _add_sampling_args(p)
     _add_common_study_args(p)
     _add_observability_args(p)
 
@@ -704,6 +785,7 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
     )
     _add_chain_arg(p, repeatable=True)
     _add_catalog_args(p, repeatable=True)
+    _add_sampling_args(p, repeatable=True)
     _add_common_study_args(p)
     p.add_argument(
         "--category",

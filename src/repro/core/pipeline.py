@@ -85,6 +85,13 @@ class CompoundThreatAnalysis:
         ``True`` requires the batched path and raises
         :class:`~repro.errors.AnalysisError` when it is unavailable.
         Both executors are bitwise identical for the built-in chains.
+    weights:
+        Optional per-realization importance weights (one per ensemble
+        member, in index order).  When given, every profile is a
+        :class:`~repro.sampling.weighted.WeightedProfile` aggregating
+        the reweighted outcome tallies; ``None`` (the default) keeps
+        the historical unweighted :class:`OperationalProfile` path
+        byte for byte.
     """
 
     def __init__(
@@ -96,9 +103,18 @@ class CompoundThreatAnalysis:
         failed_cache: dict[int, frozenset[str]] | None = None,
         chain: ThreatChain | str | None = None,
         batch: bool | None = None,
+        weights: np.ndarray | None = None,
     ) -> None:
         if len(ensemble) == 0:
             raise AnalysisError("ensemble must contain realizations")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (len(ensemble),):
+                raise AnalysisError(
+                    f"weights shape {weights.shape} does not match "
+                    f"ensemble size {len(ensemble)}"
+                )
+        self.weights = weights
         self.ensemble = ensemble
         self.fragility = fragility or ThresholdFragility()
         self.attacker = attacker or WorstCaseAttacker()
@@ -237,6 +253,21 @@ class CompoundThreatAnalysis:
     # ------------------------------------------------------------------
     # Ensemble-level analysis
     # ------------------------------------------------------------------
+    def _profile_from_states(self, states) -> OperationalProfile:
+        if self.weights is None:
+            return OperationalProfile.from_states(states)
+        from repro.sampling.weighted import WeightedProfile
+
+        # WeightedProfile duck-types the OperationalProfile read surface.
+        return WeightedProfile.from_states(states, self.weights)  # type: ignore[return-value]
+
+    def _profile_from_codes(self, codes: np.ndarray) -> OperationalProfile:
+        if self.weights is None:
+            return OperationalProfile.from_state_codes(codes)
+        from repro.sampling.weighted import WeightedProfile
+
+        return WeightedProfile.from_state_codes(codes, self.weights)  # type: ignore[return-value]
+
     def run(
         self,
         architecture: ArchitectureSpec,
@@ -264,7 +295,7 @@ class CompoundThreatAnalysis:
             for realization in self.ensemble:
                 ctx.realization = realization
                 states.append(chain.run_state(ctx, rng))
-            return OperationalProfile.from_states(states)
+            return self._profile_from_states(states)
         return self._run_observed(architecture, placement, scenario, rng, obs)
 
     def _run_observed(
@@ -297,7 +328,7 @@ class CompoundThreatAnalysis:
             obs.inc("pipeline.realizations", n)
         for name, total in totals.items():
             obs.observe(f"pipeline.stage.{name}_s", total)
-        return OperationalProfile.from_states(states)
+        return self._profile_from_states(states)
 
     def _run_batched(self, bctx: BatchContext) -> OperationalProfile:
         """One cell via the fused batched executor.
@@ -311,7 +342,7 @@ class CompoundThreatAnalysis:
         chain = self.chain
         if not obs.enabled:
             codes = chain.run_batch(bctx, None)
-            return OperationalProfile.from_state_codes(codes)
+            return self._profile_from_codes(codes)
         totals: dict[str, float] = {}
         with obs.span(
             "analysis.run",
@@ -328,7 +359,7 @@ class CompoundThreatAnalysis:
             obs.inc("pipeline.batched_runs")
         for name, total in totals.items():
             obs.observe(f"pipeline.stage.{name}_s", total)
-        return OperationalProfile.from_state_codes(codes)
+        return self._profile_from_codes(codes)
 
     def run_matrix(
         self,

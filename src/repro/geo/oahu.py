@@ -21,9 +21,9 @@ thin PEP 562 shim that forwards attribute access with a warning.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any
 
+from repro._deprecation import warn_deprecated
 from repro.geo import _oahu_data
 
 _FORWARDED = (
@@ -44,13 +44,9 @@ __all__ = list(_FORWARDED)
 
 def __getattr__(name: str) -> Any:
     if name in _FORWARDED:
-        warnings.warn(
-            f"repro.geo.oahu.{name} is deprecated and will be removed in "
-            f"2.0.0; import it from repro.geo or use "
-            f'repro.scenarios.get_region("oahu")',
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        # The message (and the removal release it names) comes from the
+        # shared deprecation registry, so the runway test covers it.
+        warn_deprecated("repro.geo.oahu", detail=name)
         return getattr(_oahu_data, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 

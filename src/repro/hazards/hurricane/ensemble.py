@@ -263,10 +263,24 @@ class EnsembleGenerator:
     def mesh_size(self) -> int:
         return len(self._mesh)
 
-    def sample_parameters(self, rng: np.random.Generator) -> StormParameters:
-        """Draw one realization's storm parameters from the scenario spec."""
+    def sample_parameters(
+        self,
+        rng: np.random.Generator,
+        *,
+        offset_km: float | None = None,
+    ) -> StormParameters:
+        """Draw one realization's storm parameters from the scenario spec.
+
+        ``offset_km`` overrides the track-offset draw (no rng consumed
+        for it): the hook :mod:`repro.sampling` uses to substitute a
+        variance-reduced offset stream.  The default ``None`` keeps the
+        historical draw order bit-identical.
+        """
         s = self.scenario
-        offset = float(rng.normal(0.0, s.track_offset_sd_km))
+        if offset_km is None:
+            offset = float(rng.normal(0.0, s.track_offset_sd_km))
+        else:
+            offset = float(offset_km)
         heading = float(rng.normal(s.base_heading_deg, s.heading_sd_deg))
         # Offset the landfall perpendicular to the storm heading, so the
         # ensemble sweeps the track sideways across the island.

@@ -1,0 +1,115 @@
+"""Tail-risk sampling: variance-reduction plans, weights, and impacts.
+
+The package behind ``StudyConfig(sampling=...)``:
+
+* :mod:`~repro.sampling.plans` -- the frozen, registry-backed
+  :class:`SamplingPlan` family (``plain``, ``stratified``,
+  ``importance``, ``adaptive``) and its resolution helpers;
+* :mod:`~repro.sampling.generation` -- :class:`PlanSampledGenerator`,
+  which reshapes only the track-offset draw while reusing the
+  checkpointed, cache-aware generation pipeline verbatim;
+* :mod:`~repro.sampling.weighted` -- :class:`WeightedProfile`, the
+  self-normalized weighted estimator with exact merges;
+* :mod:`~repro.sampling.impact` -- the DC load-flow
+  :class:`LoadShedStage`, :class:`EconomicLossStage`, and the
+  :class:`ExceedanceCurve` / :class:`ExpectedAnnualLoss` aggregates;
+* :mod:`~repro.sampling.adaptive` -- :func:`run_adaptive_study`, the
+  round-based controller that stops at a target CI half-width.
+
+Importing this package also registers the ``"tail-risk"`` threat chain:
+the paper pipeline with the grid impact stages spliced in between
+hazard damage and the cyber attack, so per-realization load-shed and
+economic-loss extras ride along with the usual state classification.
+
+See ``docs/tail_risk.md`` for the estimator math and usage guidance.
+"""
+
+from __future__ import annotations
+
+from repro.core.chain import (
+    ClassificationStage,
+    CyberAttackStage,
+    HazardImpactStage,
+    ThreatChain,
+    register_chain,
+)
+from repro.sampling.adaptive import (
+    AdaptiveStudyResult,
+    CancelToken,
+    RoundSummary,
+    run_adaptive_study,
+)
+from repro.sampling.generation import PlanSampledGenerator, maybe_plan_sampled
+from repro.sampling.impact import (
+    EconomicLossStage,
+    ExceedanceCurve,
+    ExpectedAnnualLoss,
+    GridImpact,
+    ImpactResult,
+    LoadShedStage,
+    LossModel,
+    compute_impacts,
+)
+from repro.sampling.plans import (
+    AdaptivePlan,
+    ImportancePlan,
+    PlainPlan,
+    SamplingPlan,
+    StratifiedPlan,
+    available_sampling_plans,
+    is_plain,
+    register_sampling_plan,
+    resolve_sampling,
+    sampling_from_options,
+)
+from repro.sampling.weighted import WeightedProfile
+
+__all__ = [
+    "AdaptivePlan",
+    "AdaptiveStudyResult",
+    "CancelToken",
+    "CHAIN_TAIL_RISK",
+    "EconomicLossStage",
+    "ExceedanceCurve",
+    "ExpectedAnnualLoss",
+    "GridImpact",
+    "ImpactResult",
+    "ImportancePlan",
+    "LoadShedStage",
+    "LossModel",
+    "PlainPlan",
+    "PlanSampledGenerator",
+    "RoundSummary",
+    "SamplingPlan",
+    "StratifiedPlan",
+    "WeightedProfile",
+    "available_sampling_plans",
+    "compute_impacts",
+    "is_plain",
+    "maybe_plan_sampled",
+    "register_sampling_plan",
+    "resolve_sampling",
+    "run_adaptive_study",
+    "sampling_from_options",
+]
+
+#: The paper pipeline with grid impact stages spliced in: realizations
+#: pick up ``load_shed`` / ``economic_loss`` extras (consumed by
+#: :func:`compute_impacts` callers) while classification is unchanged.
+CHAIN_TAIL_RISK = register_chain(
+    ThreatChain(
+        name="tail-risk",
+        stages=(
+            HazardImpactStage(),
+            LoadShedStage(),
+            EconomicLossStage(),
+            CyberAttackStage(),
+            ClassificationStage(),
+        ),
+        description=(
+            "Paper pipeline plus DC load-flow shed and economic loss "
+            "stages between hazard damage and the cyber attack."
+        ),
+    ),
+    replace=True,
+)

@@ -1,0 +1,184 @@
+"""Weighted outcome aggregation: OperationalProfile under importance weights.
+
+:class:`WeightedProfile` is the reweighted counterpart of
+:class:`~repro.core.outcomes.OperationalProfile` and duck-types its
+read surface (``probability``, ``count``, ``total``,
+``confidence_interval``, ``probabilities``, ``summary``), so report
+formatters, ``matrix_to_dict``, and sweep comparisons consume either
+interchangeably.  The estimator is the self-normalized (ratio) form
+
+    p_hat(s) = sum_i w_i * 1{state_i = s} / sum_i w_i,
+
+whose probabilities sum to one across states; its delta-method variance
+
+    Var(p_hat) ~ sum_i w_i^2 * (1{state_i = s} - p_hat)^2 / (sum_i w_i)^2
+
+drives :meth:`confidence_interval`, and the effective sample size
+``(sum w)^2 / sum w^2`` quantifies how much weight dispersion cost.
+Profiles :meth:`merge` exactly (all aggregates are sums), which is what
+lets the adaptive controller combine rounds in O(1) per round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.states import STATE_ORDER, OperationalState
+from repro.errors import AnalysisError
+
+__all__ = ["WeightedProfile"]
+
+
+@dataclass(frozen=True)
+class WeightedProfile:
+    """Per-state weighted tallies of an ensemble's outcomes."""
+
+    #: state -> sum of weights of realizations classified to it.
+    weighted: Mapping[OperationalState, float]
+    #: state -> sum of squared weights (for the variance estimator).
+    weighted_sq: Mapping[OperationalState, float]
+    #: state -> raw realization count (unweighted).
+    raw: Mapping[OperationalState, int]
+
+    def __post_init__(self) -> None:
+        for name in ("weighted", "weighted_sq", "raw"):
+            cleaned = {
+                state: value
+                for state, value in getattr(self, name).items()
+                if value
+            }
+            object.__setattr__(self, name, cleaned)
+        if any(v < 0 for v in self.weighted.values()):
+            raise AnalysisError("importance weights cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_states(
+        cls, states: Iterable[OperationalState], weights: np.ndarray
+    ) -> "WeightedProfile":
+        codes = np.fromiter(
+            (STATE_ORDER.index(state) for state in states), dtype=np.int64
+        )
+        return cls.from_state_codes(codes, weights)
+
+    @classmethod
+    def from_state_codes(
+        cls, codes: np.ndarray, weights: np.ndarray
+    ) -> "WeightedProfile":
+        """From severity codes (indexing ``STATE_ORDER``) plus weights."""
+        codes = np.asarray(codes)
+        weights = np.asarray(weights, dtype=float)
+        if codes.shape != weights.shape:
+            raise AnalysisError(
+                f"weights shape {weights.shape} does not match outcomes "
+                f"shape {codes.shape}"
+            )
+        n_states = len(STATE_ORDER)
+        w = np.bincount(codes, weights=weights, minlength=n_states)
+        w2 = np.bincount(codes, weights=weights**2, minlength=n_states)
+        n = np.bincount(codes, minlength=n_states)
+        return cls(
+            weighted={s: float(w[i]) for i, s in enumerate(STATE_ORDER)},
+            weighted_sq={s: float(w2[i]) for i, s in enumerate(STATE_ORDER)},
+            raw={s: int(n[i]) for i, s in enumerate(STATE_ORDER)},
+        )
+
+    def merge(self, other: "WeightedProfile") -> "WeightedProfile":
+        """Exact combination of two disjoint batches (sums of sums)."""
+        return WeightedProfile(
+            weighted={
+                s: self.weighted.get(s, 0.0) + other.weighted.get(s, 0.0)
+                for s in STATE_ORDER
+            },
+            weighted_sq={
+                s: self.weighted_sq.get(s, 0.0) + other.weighted_sq.get(s, 0.0)
+                for s in STATE_ORDER
+            },
+            raw={
+                s: self.raw.get(s, 0) + other.raw.get(s, 0) for s in STATE_ORDER
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # The OperationalProfile read surface
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Raw realization count (matches the unweighted profile's total)."""
+        return sum(self.raw.values())
+
+    @property
+    def sum_weights(self) -> float:
+        return sum(self.weighted.values())
+
+    @property
+    def sum_squared_weights(self) -> float:
+        return sum(self.weighted_sq.values())
+
+    @property
+    def effective_sample_size(self) -> float:
+        """Kish ESS: how many plain-MC realizations the weights are worth."""
+        w2 = self.sum_squared_weights
+        return self.sum_weights**2 / w2 if w2 > 0 else 0.0
+
+    def count(self, state: OperationalState) -> int:
+        """Raw realizations classified to ``state`` (unweighted)."""
+        return self.raw.get(state, 0)
+
+    def probability(self, state: OperationalState) -> float:
+        """The self-normalized weighted estimate of P(state)."""
+        total_w = self.sum_weights
+        if total_w == 0:
+            raise AnalysisError("profile contains no realizations")
+        return self.weighted.get(state, 0.0) / total_w
+
+    def probabilities(self) -> dict[OperationalState, float]:
+        return {s: self.probability(s) for s in STATE_ORDER}
+
+    def variance(self, state: OperationalState) -> float:
+        """Delta-method variance of :meth:`probability`."""
+        total_w = self.sum_weights
+        if total_w == 0:
+            raise AnalysisError("profile contains no realizations")
+        p = self.weighted.get(state, 0.0) / total_w
+        w2_state = self.weighted_sq.get(state, 0.0)
+        w2_rest = self.sum_squared_weights - w2_state
+        return ((1.0 - p) ** 2 * w2_state + p**2 * w2_rest) / total_w**2
+
+    def confidence_interval(
+        self, state: OperationalState, z: float = 1.96
+    ) -> tuple[float, float]:
+        """Normal-approximation CI on the weighted probability."""
+        p = self.probability(state)
+        half = z * math.sqrt(self.variance(state))
+        return (max(0.0, p - half), min(1.0, p + half))
+
+    def ci_halfwidth(self, state: OperationalState, z: float = 1.96) -> float:
+        return z * math.sqrt(self.variance(state))
+
+    def relative_ci_halfwidth(
+        self, state: OperationalState, z: float = 1.96
+    ) -> float:
+        """CI half-width relative to the estimate (inf while p_hat = 0)."""
+        p = self.probability(state)
+        if p <= 0.0:
+            return math.inf
+        return self.ci_halfwidth(state, z) / p
+
+    def summary(self) -> dict[str, float]:
+        return {state.value: self.probability(state) for state in STATE_ORDER}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        parts = ", ".join(
+            f"{s.value}={self.probability(s):.4f}" for s in STATE_ORDER
+        )
+        return (
+            f"WeightedProfile({parts}, n={self.total}, "
+            f"ess={self.effective_sample_size:.1f})"
+        )

@@ -87,6 +87,10 @@ class ServiceClient:
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}")
 
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a job (``DELETE /v1/jobs/<id>``); 409 if already terminal."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
     def result(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}/result")
 
@@ -106,7 +110,7 @@ class ServiceClient:
         deadline = time.monotonic() + timeout
         while True:
             status = self.status(job_id)
-            if status["state"] in ("done", "failed"):
+            if status["state"] in ("done", "failed", "cancelled"):
                 return status
             if time.monotonic() >= deadline:
                 raise ServiceClientError(

@@ -3,7 +3,8 @@
 Three pieces, each independently testable:
 
 * :class:`JobRecord` -- one submitted study's mutable lifecycle state
-  (``queued -> running -> done | failed``), with a JSON-friendly
+  (``queued -> running -> done | failed | cancelled``), with a
+  JSON-friendly
   :meth:`JobRecord.summary` for status endpoints and journal events.
 * :class:`JobQueue` -- a bounded FIFO with *admission control*: when
   the queue is full, :meth:`JobQueue.submit` raises
@@ -42,10 +43,11 @@ class JobState(str, Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED)
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
 
 
 @dataclass
@@ -66,6 +68,10 @@ class JobRecord:
     #: The observer of the in-flight run; status endpoints read its
     #: metric snapshot for streaming progress.  Never serialized.
     obs: object | None = field(default=None, repr=False, compare=False)
+    #: The cooperative :class:`~repro.sampling.CancelToken` of the
+    #: in-flight run (adaptive studies stop at their next round
+    #: boundary when it trips).  Never serialized.
+    cancel: object | None = field(default=None, repr=False, compare=False)
 
     def summary(self) -> dict:
         """The JSON status document (also the journal event payload)."""
@@ -114,6 +120,20 @@ class JobQueue:
             self._items.append(record)
             self._ready.notify()
 
+    def remove(self, job_id: str) -> bool:
+        """Withdraw a queued job (cancellation); False if not queued.
+
+        Atomic with respect to :meth:`take`: a job is either removed
+        here (and never runs) or already claimed by the worker (and the
+        caller must cancel it cooperatively instead).
+        """
+        with self._ready:
+            for record in self._items:
+                if record.job_id == job_id:
+                    self._items.remove(record)
+                    return True
+            return False
+
     def take(self, timeout: float | None = None) -> JobRecord | None:
         """The next job, or ``None`` on timeout / closed-and-empty."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -146,7 +166,8 @@ class JobJournal:
 
     Every record is one fsynced JSON line with the fields of
     :meth:`JobRecord.summary` plus ``event`` (``submitted`` / ``started``
-    / ``done`` / ``failed`` / ``requeued``) and, for ``submitted``, the
+    / ``done`` / ``failed`` / ``requeued`` / ``cancel_requested`` /
+    ``cancelled``) and, for ``submitted``, the
     job ``spec``.  :meth:`replay` folds the lines into the final state
     of each job; a torn final line (mid-append crash) is skipped, and a
     malformed line *before* the tail stops replay with a
@@ -221,6 +242,10 @@ class JobJournal:
             elif event == "failed":
                 record.state = JobState.FAILED
                 record.error = payload.get("error")
+            elif event == "cancelled":
+                record.state = JobState.CANCELLED
+            # "cancel_requested" is advisory (the request, not the
+            # outcome); replay state comes from the terminal event.
         return records
 
     def compact(self, records: dict[str, JobRecord]) -> None:
@@ -241,7 +266,10 @@ class JobJournal:
             }
             lines.append(json.dumps(payload, sort_keys=True))
             if record.state.terminal:
-                event = "done" if record.state is JobState.DONE else "failed"
+                event = {
+                    JobState.DONE: "done",
+                    JobState.CANCELLED: "cancelled",
+                }.get(record.state, "failed")
                 final = {
                     "schema_version": JOURNAL_SCHEMA_VERSION,
                     "event": event,

@@ -10,7 +10,12 @@ stdlib (:mod:`http.server`) -- zero new dependencies:
   + ``Retry-After`` when the bounded queue is full (admission control,
   never a silent drop), ``503`` while draining, ``400`` on a bad spec.
 * ``GET /v1/jobs/<id>``         -- job status, including a live metric
-  snapshot of the in-flight run (streamed progress).
+  snapshot of the in-flight run (streamed progress; adaptive-sampling
+  jobs expose per-round ``sampling.p_hat`` / ``sampling.ci_rel_halfwidth``).
+* ``DELETE /v1/jobs/<id>``      -- cancel a job: a queued job is
+  withdrawn immediately, a running adaptive-sampling job stops at its
+  next round boundary (partial merged result discarded, job marked
+  ``cancelled``), a finished job answers ``409``.
 * ``GET /v1/jobs/<id>/result``  -- the finished result document.
 * ``GET /v1/studies/<hash>/result`` -- results by study identity.
 * ``GET /v1/health``            -- queue depth, state counts, uptime.
@@ -81,6 +86,8 @@ _SPEC_FIELDS = frozenset(
         "jobs",
         "cache_dir",
         "fragility_threshold",
+        "sampling",
+        "target_ci",
     }
 )
 
@@ -123,6 +130,17 @@ def study_config_from_spec(spec: dict) -> StudyConfig:
         kwargs["fragility"] = ThresholdFragility(
             threshold_m=float(spec["fragility_threshold"])
         )
+    if "sampling" in spec or "target_ci" in spec:
+        # "sampling" is a plan name or spec dict; "target_ci" promotes
+        # the plan to an adaptive run targeting that relative CI.
+        from repro.sampling.plans import sampling_from_options
+
+        try:
+            kwargs["sampling"] = sampling_from_options(
+                spec.get("sampling"), spec.get("target_ci")
+            )
+        except ReproError as exc:
+            raise ServiceError(f"bad sampling spec: {exc}") from exc
     try:
         return StudyConfig(**kwargs)
     except TypeError as exc:
@@ -296,9 +314,14 @@ class StudyService:
             self._execute(job)
 
     def _execute(self, job: JobRecord) -> None:
+        from repro.sampling.adaptive import CancelToken
+
         with self._lock:
             job.state = JobState.RUNNING
             job.obs = Observability()
+            if job.cancel is None:
+                job.cancel = CancelToken()
+            token = job.cancel
         self.journal.append("started", job)
         supervisor = StudySupervisor(
             policy=self.config.retry,
@@ -314,7 +337,9 @@ class StudyService:
         )
         with activate(job.obs):
             ((_, outcome),) = list(
-                supervisor.run_serial([task], self._run_one)
+                supervisor.run_serial(
+                    [task], lambda cfg: self._run_one(cfg, token)
+                )
             )
         if isinstance(outcome, StudyFailure):
             with self._lock:
@@ -323,20 +348,101 @@ class StudyService:
             self.journal.append("failed", job)
             self.obs.inc("service.jobs_failed")
             return
+        if isinstance(outcome, dict) and outcome.pop("_cancelled", False):
+            # An adaptive run stopped at a round boundary on request:
+            # the partial merged result is discarded (never stored under
+            # the study hash -- a resubmission must compute the full
+            # answer), and the job lands terminal-cancelled.
+            with self._lock:
+                job.state = JobState.CANCELLED
+            self.journal.append("cancelled", job)
+            self.obs.inc("service.jobs_cancelled")
+            return
         self.store.put(job.study_hash, outcome)
         with self._lock:
             job.state = JobState.DONE
         self.journal.append("done", job)
         self.obs.inc("service.jobs_done")
 
-    def _run_one(self, config: StudyConfig) -> dict:
-        """Execute one study and shape its result document."""
+    def _run_one(self, config: StudyConfig, token=None) -> dict:
+        """Execute one study and shape its result document.
+
+        Adaptive-sampling studies run through the round controller with
+        the job's cancel token and stream per-round progress into the
+        job's observer; a cancelled run returns a ``_cancelled`` marker
+        (not an exception -- the supervisor would retry one).
+        """
+        plan = config.resolve_sampling()
+        if plan is not None and plan.name == "adaptive":
+            from repro.obs.observer import current as current_observer
+            from repro.sampling.adaptive import run_adaptive_study
+
+            try:
+                adaptive = run_adaptive_study(
+                    config, obs=current_observer(), cancel=token
+                )
+            except ConfigurationError:
+                # Cancelled before the first round completed: there is
+                # no partial estimate to document, but the job is
+                # cancelled, not failed.
+                if token is not None and token.cancelled:
+                    return {"_cancelled": True}
+                raise
+            document = {
+                "summary": cell_summary(config),
+                "matrix": matrix_to_dict(adaptive.result.matrix),
+                "manifest": adaptive.result.manifest,
+            }
+            if adaptive.cancelled:
+                document["_cancelled"] = True
+            return document
         result = run_study(config)
         return {
             "summary": cell_summary(config),
             "matrix": matrix_to_dict(result.matrix),
             "manifest": result.manifest,
         }
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> dict:
+        """Cancel one job; returns its (possibly updated) summary.
+
+        A queued job is withdrawn from the queue and lands terminal
+        ``cancelled`` immediately.  A running job gets its cooperative
+        token tripped: an adaptive-sampling study stops at its next
+        round boundary (and then lands ``cancelled``); other studies
+        run to completion (the token has no safe preemption point), so
+        the response carries ``cancel_requested`` rather than a state
+        change.  A terminal job raises :class:`ServiceError` (HTTP 409).
+        """
+        from repro.sampling.adaptive import CancelToken
+
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown job {job_id!r}")
+            if job.state.terminal:
+                raise ServiceError(
+                    f"job {job_id!r} is already {job.state.value}"
+                )
+            if job.state is JobState.QUEUED and self.queue.remove(job_id):
+                job.state = JobState.CANCELLED
+                self.journal.append("cancelled", job)
+                self.obs.inc("service.jobs_cancelled")
+                return job.summary()
+            # Running -- or claimed by the worker between our checks.
+            # Both assignments of job.cancel happen under self._lock, so
+            # the token we trip here is the one the worker uses.
+            if job.cancel is None:
+                job.cancel = CancelToken()
+            job.cancel.cancel()  # type: ignore[attr-defined]
+            self.journal.append("cancel_requested", job)
+            self.obs.inc("service.cancel_requests")
+            payload = job.summary()
+            payload["cancel_requested"] = True
+            return payload
 
     # ------------------------------------------------------------------
     # Read surface
@@ -521,6 +627,20 @@ class _Handler(BaseHTTPRequestHandler):
             message = str(exc)
             code = 404 if ("unknown job" in message or "no stored" in message) else 409
             self._send_json(code, {"error": message})
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server contract)
+        parts = [p for p in self.path.split("/") if p]
+        if len(parts) != 3 or parts[:2] != ["v1", "jobs"]:
+            self._send_json(404, {"error": f"no such endpoint {self.path}"})
+            return
+        try:
+            payload = self.service.cancel(parts[2])
+        except ServiceError as exc:
+            message = str(exc)
+            code = 404 if "unknown job" in message else 409
+            self._send_json(code, {"error": message})
+        else:
+            self._send_json(200, payload)
 
 
 def make_server(service: StudyService) -> ThreadingHTTPServer:

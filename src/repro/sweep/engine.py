@@ -35,7 +35,7 @@ import time
 from pathlib import Path
 from typing import Iterator, Sequence
 
-from repro.api import StudyConfig, study_config_hash
+from repro.api import StudyConfig, _study_weights, study_config_hash
 from repro.core.outcomes import ScenarioMatrix
 from repro.core.pipeline import CompoundThreatAnalysis
 from repro.errors import ConfigurationError, SerializationError
@@ -223,6 +223,10 @@ def _analyze(
         failed_cache=failed_cache,
         chain=chain,
         batch=config.batch,
+        # Weights are a pure function of (plan, stored track offsets), so
+        # pool workers recompute them bit-identically from the config --
+        # no weight arrays ever cross the process boundary.
+        weights=_study_weights(config, ensemble),
     )
     return analysis.run_matrix(
         config.resolve_configurations(),
@@ -278,7 +282,12 @@ def _fallback_ensemble(config: StudyConfig) -> HazardEnsemble:
     (``n_jobs=1``; a worker never nests pools).  Bit-identical to the
     shared grid it replaces, by the generation determinism guarantee.
     """
-    generator = config.resolve_generator() or shared_standard_generator()
+    from repro.sampling.generation import maybe_plan_sampled
+
+    generator = maybe_plan_sampled(
+        config.resolve_generator() or shared_standard_generator(),
+        config.resolve_sampling(),
+    )
     return generator.generate(
         count=config.n_realizations,
         seed=config.seed,
@@ -444,7 +453,15 @@ def _acquire_group_ensemble(
     if config.ensemble is not None:
         obs.inc("sweep.ensemble.prebuilt")
         return config.ensemble, None
-    generator = config.resolve_generator() or shared_standard_generator()
+    from repro.sampling.generation import maybe_plan_sampled
+
+    # A sampling plan reshapes the hazard draw, so it participates in the
+    # group's identity (via StudyConfig.cache_key) and in generation here;
+    # plain/None keeps the exact legacy generator and cache keys.
+    generator = maybe_plan_sampled(
+        config.resolve_generator() or shared_standard_generator(),
+        config.resolve_sampling(),
+    )
     retry = RetryPolicy.from_options(config.max_retries, config.task_timeout)
     with obs.span(
         "sweep.ensemble.acquire",
@@ -562,6 +579,15 @@ def run_sweep(
     configs = list(configs)
     if not configs:
         raise ConfigurationError("sweep needs at least one study config")
+    for i, config in enumerate(configs):
+        plan = config.resolve_sampling()
+        if plan is not None and plan.name == "adaptive":
+            raise ConfigurationError(
+                f"sweep position {i}: adaptive sampling is study-level "
+                "(its round loop owns realization counts); run it via "
+                "repro.sampling.run_adaptive_study, or sweep its base "
+                "plan directly"
+            )
     if jobs < 1:
         raise ConfigurationError("sweep jobs must be at least 1")
     if resume and sweep_dir is None:

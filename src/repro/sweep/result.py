@@ -33,6 +33,7 @@ COMPARISON_AXES = (
     "fragility",
     "attacker",
     "chain",
+    "sampling",
     "n_realizations",
     "seed",
     "analysis_seed",
@@ -41,10 +42,12 @@ COMPARISON_AXES = (
 #: Summary keys that are *consequences* of an axis choice, excluded from
 #: the all-else-equal grouping when comparing over that axis (a hazard
 #: family change necessarily changes the resolved scenario name, default
-#: chain, and default fragility -- those deltas ARE the comparison).
+#: chain, and default fragility -- those deltas ARE the comparison; a
+#: sampling-plan change carries its full parameter spec along).
 _AXIS_DERIVED_KEYS = {
     "region": ("hazard_scenario",),
     "hazard": ("hazard_scenario", "chain", "fragility"),
+    "sampling": ("sampling_spec",),
 }
 
 
@@ -62,6 +65,7 @@ def cell_summary(config: StudyConfig) -> dict:
             from repro.hazards.hurricane.standard import shared_standard_generator
 
             hazard = shared_standard_generator().scenario.name
+    plan = config.resolve_sampling()
     return {
         "configurations": [a.name for a in config.resolve_configurations()],
         "scenarios": [s.name for s in config.resolve_scenarios()],
@@ -75,6 +79,10 @@ def cell_summary(config: StudyConfig) -> dict:
         "fragility": _model_identity(config.resolve_fragility()),
         "attacker": _model_identity(config.attacker),
         "chain": config.resolve_chain().name,
+        "sampling": plan.name if plan is not None else "plain",
+        "sampling_spec": (
+            plan.spec() if plan is not None and plan.name != "plain" else None
+        ),
     }
 
 

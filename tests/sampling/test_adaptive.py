@@ -1,0 +1,145 @@
+"""The adaptive round controller: convergence, diagnostics, cancellation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import StudyConfig
+from repro.errors import ConfigurationError
+from repro.sampling import (
+    AdaptivePlan,
+    CancelToken,
+    WeightedProfile,
+    run_adaptive_study,
+)
+
+
+def adaptive_config(**plan_overrides) -> StudyConfig:
+    options = {
+        "base": "importance",
+        "round_size": 30,
+        "max_rounds": 4,
+        "target_rel_ci": 0.9,
+    }
+    options.update(plan_overrides)
+    plan = AdaptivePlan(**options)
+    return StudyConfig(
+        configurations=["2"],
+        scenarios=["hurricane"],
+        sampling=plan,
+        observability=False,
+    )
+
+
+class _TripAfterChecks:
+    """A cancel token that trips after ``checks`` round-boundary checks."""
+
+    def __init__(self, checks: int) -> None:
+        self.checks = checks
+        self.seen = 0
+
+    @property
+    def cancelled(self) -> bool:
+        self.seen += 1
+        return self.seen > self.checks
+
+
+class TestController:
+    def test_runs_rounds_until_the_lenient_target(self):
+        adaptive = run_adaptive_study(adaptive_config())
+        assert 1 <= len(adaptive.rounds) <= 4
+        assert adaptive.total_realizations == 30 * len(adaptive.rounds)
+        assert adaptive.converged or len(adaptive.rounds) == 4
+        # Round indices and totals are consistent.
+        for i, summary in enumerate(adaptive.rounds):
+            assert summary.index == i
+            assert summary.n_realizations == 30
+            assert summary.total_realizations == 30 * (i + 1)
+
+    def test_result_wraps_a_weighted_study(self):
+        adaptive = run_adaptive_study(adaptive_config())
+        result = adaptive.result
+        assert len(result.ensemble) == adaptive.total_realizations
+        assert result.weights is not None
+        assert len(result.weights) == adaptive.total_realizations
+        profile = result.matrix.get("hurricane", "2")
+        assert isinstance(profile, WeightedProfile)
+        assert profile.total == adaptive.total_realizations
+        # Realizations are re-indexed across round boundaries.
+        indices = [r.index for r in result.ensemble.realizations]
+        assert indices == list(range(adaptive.total_realizations))
+
+    def test_manifest_documents_the_rounds(self):
+        adaptive = run_adaptive_study(adaptive_config())
+        meta = adaptive.result.manifest["adaptive"]
+        assert meta["rounds"] == len(adaptive.rounds)
+        assert meta["converged"] is adaptive.converged
+        assert meta["total_realizations"] == adaptive.total_realizations
+        assert meta["target"]["scenario"] == "hurricane"
+        assert meta["target"]["state"] == "red"
+        assert adaptive.result.manifest["sampling"]["plan"] == "adaptive"
+
+    def test_report_renders_the_round_table(self):
+        adaptive = run_adaptive_study(adaptive_config())
+        report = adaptive.report()
+        assert "Adaptive sampling" in report
+        assert "p_hat" in report
+        lo, hi = adaptive.confidence_interval()
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_reruns_are_deterministic(self):
+        first = run_adaptive_study(adaptive_config())
+        second = run_adaptive_study(adaptive_config())
+        assert first.rounds == second.rounds
+        assert np.array_equal(first.result.weights, second.result.weights)
+
+
+class TestCancellation:
+    def test_cancel_stops_at_the_next_round_boundary(self):
+        token = _TripAfterChecks(1)
+        adaptive = run_adaptive_study(
+            adaptive_config(target_rel_ci=0.001), cancel=token
+        )
+        assert adaptive.cancelled
+        assert not adaptive.converged
+        assert len(adaptive.rounds) == 1
+        # The partial estimate is still a full weighted study.
+        assert adaptive.total_realizations == 30
+        assert "cancelled at a round boundary" in adaptive.report()
+        assert adaptive.result.manifest["adaptive"]["cancelled"] is True
+
+    def test_cancel_before_any_round_raises(self):
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(ConfigurationError, match="before its first round"):
+            run_adaptive_study(adaptive_config(), cancel=token)
+
+    def test_token_is_one_way_and_thread_safe_shaped(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+        token.cancel()  # idempotent
+        assert token.cancelled
+
+
+class TestValidation:
+    def test_requires_an_adaptive_plan(self):
+        config = StudyConfig(sampling="importance", observability=False)
+        with pytest.raises(ConfigurationError, match="adaptive sampling plan"):
+            run_adaptive_study(config)
+
+    def test_rejects_prebuilt_ensembles(self, small_ensemble):
+        # StudyConfig itself refuses the combination at construction.
+        with pytest.raises(ConfigurationError, match="prebuilt ensemble"):
+            StudyConfig(
+                ensemble=small_ensemble,
+                sampling="adaptive",
+                observability=False,
+            )
+
+    def test_target_cell_must_be_in_the_study(self):
+        config = adaptive_config(scenario="hurricane+intrusion")
+        with pytest.raises(ConfigurationError, match="not in the"):
+            run_adaptive_study(config)

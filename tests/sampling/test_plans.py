@@ -1,0 +1,231 @@
+"""Sampling plans: registry, spec round-trips, and estimator math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sampling import (
+    AdaptivePlan,
+    ImportancePlan,
+    PlainPlan,
+    SamplingPlan,
+    StratifiedPlan,
+    available_sampling_plans,
+    is_plain,
+    resolve_sampling,
+    sampling_from_options,
+)
+from repro.sampling.plans import ensemble_track_offsets, normal_cdf
+
+SD_KM = 40.0
+
+
+class TestRegistry:
+    def test_builtin_plans_are_registered(self):
+        assert available_sampling_plans() == [
+            "adaptive",
+            "importance",
+            "plain",
+            "stratified",
+        ]
+
+    def test_resolve_by_name_uses_defaults(self):
+        plan = resolve_sampling("importance")
+        assert isinstance(plan, ImportancePlan)
+        assert plan.scale == 3.0
+
+    def test_resolve_none_stays_none(self):
+        assert resolve_sampling(None) is None
+
+    def test_resolve_unknown_name_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            resolve_sampling("antithetic")
+
+    def test_resolve_passes_plan_objects_through(self):
+        plan = StratifiedPlan(allocation="equal")
+        assert resolve_sampling(plan) is plan
+
+    def test_spec_round_trips_through_resolve(self):
+        for plan in (
+            PlainPlan(),
+            StratifiedPlan(allocation="equal"),
+            ImportancePlan(shift_sd=1.0, scale=2.5),
+            AdaptivePlan(base=StratifiedPlan(), round_size=100),
+        ):
+            assert resolve_sampling(plan.spec()) == plan
+
+    def test_spec_dict_rejects_unknown_options(self):
+        with pytest.raises(ConfigurationError, match="unknown importance"):
+            resolve_sampling({"plan": "importance", "sigma": 2.0})
+
+    def test_spec_dict_needs_a_plan_name(self):
+        with pytest.raises(ConfigurationError, match="'plan' name"):
+            resolve_sampling({"scale": 2.0})
+
+    def test_is_plain(self):
+        assert is_plain(None)
+        assert is_plain(PlainPlan())
+        assert not is_plain(ImportancePlan())
+
+
+class TestSamplingFromOptions:
+    def test_target_ci_promotes_to_adaptive(self):
+        plan = sampling_from_options("importance", 0.05)
+        assert isinstance(plan, AdaptivePlan)
+        assert plan.target_rel_ci == 0.05
+        assert isinstance(plan.resolved_base(), ImportancePlan)
+
+    def test_target_ci_alone_defaults_the_base_to_importance(self):
+        plan = sampling_from_options(None, 0.2)
+        assert isinstance(plan, AdaptivePlan)
+        assert plan.resolved_base() == ImportancePlan()
+
+    def test_target_ci_retunes_an_adaptive_plan(self):
+        plan = sampling_from_options(AdaptivePlan(round_size=50), 0.07)
+        assert plan.round_size == 50
+        assert plan.target_rel_ci == 0.07
+
+    def test_no_target_passes_the_plan_through(self):
+        assert sampling_from_options("stratified") == StratifiedPlan()
+
+
+class TestStratifiedMath:
+    def test_bin_probabilities_sum_to_one(self):
+        plan = StratifiedPlan()
+        probs = plan.bin_probabilities()
+        assert len(probs) == plan.n_bins
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_default_tail_bins_have_the_two_sided_2sd_mass(self):
+        probs = StratifiedPlan().bin_probabilities()
+        expected_tail = normal_cdf(-2.0)
+        assert np.isclose(probs[0], expected_tail)
+        assert np.isclose(probs[-1], expected_tail)
+
+    def test_allocation_sums_to_count_and_covers_every_bin(self):
+        for allocation in ("proportional", "equal"):
+            plan = StratifiedPlan(allocation=allocation)
+            for count in (plan.n_bins, 60, 97, 250):
+                counts = plan.allocate(count)
+                assert counts.sum() == count
+                assert (counts >= 1).all()
+
+    def test_offsets_land_in_their_allocated_bins(self):
+        plan = StratifiedPlan(allocation="equal")
+        rng = np.random.default_rng(3)
+        offsets = plan.sample_offsets(70, rng, SD_KM)
+        counts = plan.allocate(70)
+        bins = plan._bin_of(offsets, SD_KM)
+        observed = np.bincount(bins, minlength=plan.n_bins)
+        assert (observed == counts).all()
+
+    def test_weights_sum_to_the_unweighted_count(self):
+        # Sum over bins of n_k * (p_k * N / n_k) = N * sum(p_k) = N,
+        # up to float accumulation of the erf-based bin masses.
+        plan = StratifiedPlan(allocation="equal")
+        rng = np.random.default_rng(11)
+        offsets = plan.sample_offsets(60, rng, SD_KM)
+        weights = plan.offset_weights(offsets, SD_KM)
+        assert np.isclose(weights.sum(), 60.0)
+        assert (weights > 0).all()
+
+    def test_equal_allocation_downweights_the_tails(self):
+        plan = StratifiedPlan(allocation="equal")
+        rng = np.random.default_rng(5)
+        offsets = plan.sample_offsets(140, rng, SD_KM)
+        weights = plan.offset_weights(offsets, SD_KM)
+        tail = np.abs(offsets) > 2.0 * SD_KM
+        assert weights[tail].max() < weights[~tail].min()
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            StratifiedPlan(edges_sd=(1.0, 1.0))
+
+    def test_too_few_realizations_for_the_bins(self):
+        with pytest.raises(ConfigurationError, match="at least"):
+            StratifiedPlan().allocate(3)
+
+
+class TestImportanceMath:
+    def test_weights_are_the_exact_likelihood_ratio(self):
+        plan = ImportancePlan(scale=3.0)
+        offsets = np.array([0.0, SD_KM, -2.0 * SD_KM])
+        weights = plan.offset_weights(offsets, SD_KM)
+        z = offsets / SD_KM
+        expected = plan.scale * np.exp(0.5 * ((z / plan.scale) ** 2 - z**2))
+        assert np.allclose(weights, expected)
+
+    def test_unshifted_weights_are_bounded_by_scale(self):
+        plan = ImportancePlan(scale=3.0)
+        rng = np.random.default_rng(2)
+        offsets = plan.sample_offsets(500, rng, SD_KM)
+        weights = plan.offset_weights(offsets, SD_KM)
+        assert weights.max() <= plan.scale + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        scale=st.floats(1.2, 5.0),
+        shift=st.floats(-1.5, 1.5),
+        seed=st.integers(0, 2**20),
+    )
+    def test_mean_weight_is_one(self, scale, shift, seed):
+        # E_g[f/g] = 1 for any proposal: the sample mean of the weights
+        # converges to 1, which is what makes the estimator unbiased.
+        plan = ImportancePlan(shift_sd=shift, scale=scale)
+        rng = np.random.default_rng(seed)
+        offsets = plan.sample_offsets(4000, rng, SD_KM)
+        weights = plan.offset_weights(offsets, SD_KM)
+        se = weights.std() / np.sqrt(len(weights))
+        assert abs(weights.mean() - 1.0) < 5 * se + 1e-3
+
+    def test_scale_below_one_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="scale >= 1"):
+            ImportancePlan(scale=0.5)
+
+    def test_shift_requires_widening(self):
+        with pytest.raises(ConfigurationError, match="shifted proposal"):
+            ImportancePlan(shift_sd=1.0, scale=1.0)
+
+
+class TestAdaptivePlan:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="round_size"):
+            AdaptivePlan(round_size=5)
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            AdaptivePlan(max_rounds=0)
+        with pytest.raises(ConfigurationError, match="target_rel_ci"):
+            AdaptivePlan(target_rel_ci=1.5)
+        with pytest.raises(ConfigurationError, match="outcome state"):
+            AdaptivePlan(state="melted")
+        with pytest.raises(ConfigurationError, match="cannot nest"):
+            AdaptivePlan(base=AdaptivePlan())
+
+    def test_delegates_sampling_to_its_base(self):
+        plan = AdaptivePlan(base="stratified")
+        rng1, rng2 = np.random.default_rng(9), np.random.default_rng(9)
+        base_offsets = StratifiedPlan().sample_offsets(40, rng1, SD_KM)
+        offsets = plan.sample_offsets(40, rng2, SD_KM)
+        assert np.array_equal(offsets, base_offsets)
+        assert np.array_equal(
+            plan.offset_weights(offsets, SD_KM),
+            StratifiedPlan().offset_weights(offsets, SD_KM),
+        )
+
+
+class TestEnsembleOffsets:
+    def test_reads_stored_track_offsets(self, small_ensemble):
+        offsets = ensemble_track_offsets(small_ensemble)
+        assert len(offsets) == len(small_ensemble)
+        expected = [r.params.track_offset_km for r in small_ensemble.realizations]
+        assert np.array_equal(offsets, np.array(expected))
+
+    def test_rejects_ensembles_without_track_parameters(self):
+        class Bare:
+            realizations = (object(),)
+
+        with pytest.raises(ConfigurationError, match="track_offset_km"):
+            ensemble_track_offsets(Bare())

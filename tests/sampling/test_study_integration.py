@@ -1,0 +1,112 @@
+"""Sampling plans through run_study: invariance, unbiasedness, resume.
+
+The statistical contract is the whole point of the API: ``plain`` takes
+the exact legacy path (the golden 93/1000 tests pin that bitwise), and
+every other plan must estimate the *same* probabilities, just tighter.
+The property tests here check the weighted estimates against the paper's
+plain-MC red probability within their own confidence intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import StudyConfig, run_study, study_config_hash
+from repro.core import OperationalProfile, OperationalState
+from repro.sampling import StratifiedPlan, WeightedProfile
+
+RED = OperationalState.RED
+
+#: The paper's plain-MC estimate of P(red) for hurricane / config "2"
+#: over the standard 1000-realization ensemble (the golden 93/1000).
+GOLDEN_RED = 93 / 1000
+GOLDEN_VAR = GOLDEN_RED * (1 - GOLDEN_RED) / 1000
+
+
+def small_config(sampling, *, n=120, seed=0, **overrides) -> StudyConfig:
+    return StudyConfig(
+        configurations=["2"],
+        scenarios=["hurricane"],
+        n_realizations=n,
+        seed=seed,
+        sampling=sampling,
+        observability=False,
+        **overrides,
+    )
+
+
+class TestPlainPath:
+    def test_plain_study_keeps_the_legacy_surface(self):
+        result = run_study(small_config(None, n=30))
+        assert result.weights is None
+        profile = result.matrix.get("hurricane", "2")
+        assert isinstance(profile, OperationalProfile)
+        assert "sampling" not in result.manifest
+
+    def test_plain_name_and_none_share_the_study_hash(self):
+        assert study_config_hash(small_config(None)) == study_config_hash(
+            small_config("plain")
+        )
+
+    def test_non_plain_plans_change_the_study_hash(self):
+        assert study_config_hash(small_config(None)) != study_config_hash(
+            small_config("importance")
+        )
+
+
+class TestWeightedStudies:
+    def test_weighted_study_carries_weights_and_profiles(self):
+        result = run_study(small_config("stratified", n=60))
+        assert result.weights is not None
+        assert len(result.weights) == 60
+        assert np.isclose(result.weights.sum(), 60.0)
+        profile = result.matrix.get("hurricane", "2")
+        assert isinstance(profile, WeightedProfile)
+        assert profile.total == 60
+        assert result.manifest["sampling"]["plan"] == "stratified"
+
+    def test_exceedance_flows_from_a_weighted_study(self):
+        result = run_study(small_config("importance", n=40))
+        curve = result.exceedance("loss_usd")
+        assert curve.probability_exceeding(-1.0) == pytest.approx(1.0)
+        eal = result.expected_annual_loss()
+        assert eal.mean_event_loss_usd >= 0.0
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(seed=st.integers(0, 2**20))
+    def test_stratified_estimate_covers_the_plain_golden(self, seed):
+        plan = StratifiedPlan(allocation="equal")
+        result = run_study(small_config(plan, seed=seed))
+        profile = result.matrix.get("hurricane", "2")
+        p = profile.probability(RED)
+        bound = 3.0 * np.sqrt(profile.variance(RED) + GOLDEN_VAR)
+        assert abs(p - GOLDEN_RED) <= bound
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(seed=st.integers(0, 2**20))
+    def test_importance_estimate_covers_the_plain_golden(self, seed):
+        result = run_study(small_config("importance", seed=seed))
+        profile = result.matrix.get("hurricane", "2")
+        p = profile.probability(RED)
+        bound = 3.0 * np.sqrt(profile.variance(RED) + GOLDEN_VAR)
+        assert abs(p - GOLDEN_RED) <= bound
+        # The wider proposal should actually hit the tail more often.
+        assert profile.count(RED) > 0
+
+
+class TestResume:
+    def test_resumed_weights_are_bit_identical(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        config = small_config("stratified", n=60, cache_dir=cache)
+        first = run_study(config)
+        resumed = run_study(
+            small_config("stratified", n=60, cache_dir=cache, resume=True)
+        )
+        assert np.array_equal(first.weights, resumed.weights)
+        assert np.isclose(resumed.weights.sum(), 60.0)
+        first_profile = first.matrix.get("hurricane", "2")
+        resumed_profile = resumed.matrix.get("hurricane", "2")
+        assert first_profile.probability(RED) == resumed_profile.probability(RED)

@@ -1,0 +1,121 @@
+"""WeightedProfile: the reweighted OperationalProfile counterpart."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.states import STATE_ORDER, OperationalState
+from repro.errors import AnalysisError
+from repro.sampling import WeightedProfile
+
+RED = OperationalState.RED
+GREEN = OperationalState.GREEN
+
+
+def profile_of(states, weights) -> WeightedProfile:
+    return WeightedProfile.from_states(states, np.asarray(weights, dtype=float))
+
+
+class TestConstruction:
+    def test_unit_weights_reproduce_plain_frequencies(self):
+        states = [GREEN, GREEN, RED, GREEN]
+        profile = profile_of(states, np.ones(4))
+        assert profile.total == 4
+        assert profile.count(RED) == 1
+        assert profile.probability(RED) == pytest.approx(0.25)
+        assert profile.effective_sample_size == pytest.approx(4.0)
+
+    def test_weighted_probability_is_the_ratio_estimator(self):
+        profile = profile_of([RED, GREEN], [0.5, 1.5])
+        assert profile.probability(RED) == pytest.approx(0.5 / 2.0)
+        assert sum(profile.probabilities().values()) == pytest.approx(1.0)
+
+    def test_state_codes_match_from_states(self):
+        states = [RED, GREEN, RED]
+        weights = np.array([2.0, 1.0, 0.5])
+        codes = np.array([STATE_ORDER.index(s) for s in states])
+        assert WeightedProfile.from_state_codes(codes, weights) == profile_of(
+            states, weights
+        )
+
+    def test_shape_mismatch_is_rejected(self):
+        with pytest.raises(AnalysisError, match="does not match"):
+            profile_of([RED], np.ones(2))
+
+    def test_negative_weights_are_rejected(self):
+        with pytest.raises(AnalysisError, match="negative"):
+            profile_of([RED, GREEN], [-1.0, 2.0])
+
+    def test_empty_profile_refuses_estimates(self):
+        profile = profile_of([], np.array([]))
+        with pytest.raises(AnalysisError, match="no realizations"):
+            profile.probability(RED)
+
+
+class TestStatistics:
+    def test_unit_weight_variance_matches_binomial(self):
+        n, k = 200, 18
+        states = [RED] * k + [GREEN] * (n - k)
+        profile = profile_of(states, np.ones(n))
+        p = k / n
+        assert profile.variance(RED) == pytest.approx(p * (1 - p) / n)
+
+    def test_confidence_interval_brackets_and_clamps(self):
+        profile = profile_of([RED] + [GREEN] * 9, np.ones(10))
+        low, high = profile.confidence_interval(RED)
+        assert 0.0 <= low < 0.1 < high <= 1.0
+        assert profile.ci_halfwidth(RED) == pytest.approx(
+            1.96 * np.sqrt(profile.variance(RED))
+        )
+
+    def test_relative_ci_is_infinite_while_no_hits(self):
+        profile = profile_of([GREEN] * 5, np.ones(5))
+        assert profile.relative_ci_halfwidth(RED) == np.inf
+
+    def test_dispersed_weights_shrink_the_ess(self):
+        even = profile_of([RED, GREEN, RED, GREEN], np.ones(4))
+        skewed = profile_of([RED, GREEN, RED, GREEN], [10.0, 0.1, 0.1, 0.1])
+        assert even.effective_sample_size == pytest.approx(4.0)
+        assert skewed.effective_sample_size < 1.5
+
+
+class TestMerge:
+    def test_merge_equals_single_batch(self):
+        states = [RED, GREEN, RED, GREEN, GREEN, RED]
+        weights = np.array([0.5, 1.0, 2.0, 0.25, 1.5, 3.0])
+        merged = profile_of(states[:3], weights[:3]).merge(
+            profile_of(states[3:], weights[3:])
+        )
+        assert merged == profile_of(states, weights)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        codes=st.lists(st.integers(0, len(STATE_ORDER) - 1), min_size=2, max_size=40),
+        split=st.integers(1, 39),
+        seed=st.integers(0, 2**16),
+    )
+    def test_merge_is_exact_for_any_split(self, codes, split, seed):
+        split = min(split, len(codes) - 1)
+        weights = np.random.default_rng(seed).uniform(0.01, 5.0, len(codes))
+        codes = np.array(codes)
+        whole = WeightedProfile.from_state_codes(codes, weights)
+        parts = WeightedProfile.from_state_codes(
+            codes[:split], weights[:split]
+        ).merge(WeightedProfile.from_state_codes(codes[split:], weights[split:]))
+        for state in STATE_ORDER:
+            assert parts.count(state) == whole.count(state)
+            assert parts.weighted.get(state, 0.0) == pytest.approx(
+                whole.weighted.get(state, 0.0)
+            )
+            assert parts.weighted_sq.get(state, 0.0) == pytest.approx(
+                whole.weighted_sq.get(state, 0.0)
+            )
+
+    def test_summary_duck_types_operational_profile(self):
+        profile = profile_of([RED, GREEN], np.ones(2))
+        summary = profile.summary()
+        assert set(summary) == {s.value for s in STATE_ORDER}
+        assert summary["red"] == pytest.approx(0.5)

@@ -1,0 +1,71 @@
+"""Sampling as a sweep axis: grids, compare(), and the adaptive guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import StudyConfig
+from repro.errors import ConfigurationError
+from repro.sampling import WeightedProfile
+from repro.sweep import run_sweep, sweep_grid
+from repro.sweep.result import cell_summary
+
+
+@pytest.fixture(scope="module")
+def sampling_sweep():
+    grid = sweep_grid(
+        StudyConfig(n_realizations=60, observability=False),
+        configurations=["2"],
+        scenarios=["hurricane"],
+        sampling=[None, "stratified", "importance"],
+    )
+    return run_sweep(grid)
+
+
+def test_grid_varies_the_sampling_axis(sampling_sweep):
+    assert len(sampling_sweep) == 3
+    names = {cell.summary()["sampling"] for cell in sampling_sweep.cells}
+    assert names == {"plain", "stratified", "importance"}
+
+
+def test_plain_cell_keeps_the_legacy_path(sampling_sweep):
+    plain = next(
+        c for c in sampling_sweep.cells if c.summary()["sampling"] == "plain"
+    )
+    assert not isinstance(plain.matrix.get("hurricane", "2"), WeightedProfile)
+    weighted = next(
+        c for c in sampling_sweep.cells if c.summary()["sampling"] == "importance"
+    )
+    assert isinstance(weighted.matrix.get("hurricane", "2"), WeightedProfile)
+
+
+def test_compare_groups_across_sampling_plans(sampling_sweep):
+    """Regression: the derived ``sampling_spec`` key must not split the
+    all-else-equal groups, or compare("sampling") never finds a pair."""
+    comparison = sampling_sweep.compare("sampling")
+    assert len(comparison.rows) == 2
+    assert {row.value for row in comparison.rows} == {"stratified", "importance"}
+    assert all(row.baseline == "plain" for row in comparison.rows)
+    for row in comparison.rows:
+        # Different estimators of the same probability: deltas are small.
+        assert abs(row.deltas["red"]) < 0.25
+
+
+def test_cell_summary_carries_the_spec_only_for_non_plain():
+    plain = cell_summary(StudyConfig(n_realizations=10))
+    assert plain["sampling"] == "plain"
+    assert plain["sampling_spec"] is None
+    weighted = cell_summary(StudyConfig(n_realizations=10, sampling="importance"))
+    assert weighted["sampling"] == "importance"
+    assert weighted["sampling_spec"]["plan"] == "importance"
+
+
+def test_adaptive_is_rejected_as_a_sweep_cell():
+    grid = sweep_grid(
+        StudyConfig(n_realizations=60, observability=False),
+        configurations=["2"],
+        scenarios=["hurricane"],
+        sampling=["adaptive"],
+    )
+    with pytest.raises(ConfigurationError, match="run_adaptive_study"):
+        run_sweep(grid)
