@@ -90,3 +90,9 @@ register_deprecation(
     "compound-threats run",
     removal_release="2.0.0",
 )
+register_deprecation(
+    "repro.core.batch.attack_batch_fallback",
+    "a native attack_batch on the attacker (repro.core.attacker) or "
+    "CyberAttackStage's automatic per-pattern replay",
+    removal_release="2.0.0",
+)

@@ -27,10 +27,55 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.evaluator import evaluate, evaluate_batch
-from repro.core.system_state import SystemState
+from repro.core.system_state import SiteStatus, SystemState
 from repro.core.threat import CyberAttackBudget
 from repro.errors import AnalysisError
 from repro.scada.architectures import ArchitectureFamily, ArchitectureSpec
+
+
+def _replay_rows(
+    attacker: "ExhaustiveAttacker | WorstCaseAttacker",
+    architecture: ArchitectureSpec,
+    flooded: np.ndarray,
+    isolated: np.ndarray,
+    intrusions: np.ndarray,
+    budget: CyberAttackBudget,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batch a deterministic attacker by replaying distinct rows.
+
+    The scalar ``attack`` is a pure function of ``(state, budget)`` and
+    never reads site *names*, so each distinct (flooded, isolated,
+    intrusions) row is attacked once on a placeholder-named state and
+    the result scattered back to every realization sharing it.
+    """
+    n_sites = flooded.shape[1]
+    key = np.hstack(
+        [
+            flooded.astype(np.int64),
+            isolated.astype(np.int64),
+            intrusions.astype(np.int64),
+        ]
+    )
+    patterns, inverse = np.unique(key, axis=0, return_inverse=True)
+    inverse = np.asarray(inverse).reshape(-1)
+    iso_out = np.zeros((len(patterns), n_sites), dtype=bool)
+    intr_out = np.zeros((len(patterns), n_sites), dtype=np.int64)
+    for p, row in enumerate(patterns):
+        sites = tuple(
+            SiteStatus(
+                asset_name=f"site-{j}",
+                spec=spec,
+                flooded=bool(row[j]),
+                isolated=bool(row[n_sites + j]),
+                intrusions=int(row[2 * n_sites + j]),
+            )
+            for j, spec in enumerate(architecture.sites)
+        )
+        attacked = attacker.attack(SystemState(architecture, sites), budget, None)
+        for j, site in enumerate(attacked.sites):
+            iso_out[p, j] = site.isolated
+            intr_out[p, j] = site.intrusions
+    return iso_out[inverse], intr_out[inverse]
 
 
 def _serving_site_order(state: SystemState) -> list[int]:
@@ -160,6 +205,7 @@ class WorstCaseAttacker:
         isolated: np.ndarray,
         intrusions: np.ndarray,
         budget: CyberAttackBudget,
+        draws: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """The greedy algorithm over a whole (realization x site) grid.
 
@@ -173,7 +219,10 @@ class WorstCaseAttacker:
         isolating or intruding a site cannot revive another.
 
         Returns the post-attack ``(isolated, intrusions)`` grids.
+        ``draws`` is part of the unified ``attack_batch`` signature (the
+        RNG-draw contract); a deterministic attacker ignores it.
         """
+        del draws  # deterministic attacker
         if budget.is_empty:
             return isolated, intrusions
         n_rows, n_sites = flooded.shape
@@ -299,6 +348,25 @@ class ExhaustiveAttacker:
                     best_state = candidate
         return best_state
 
+    def attack_batch(
+        self,
+        architecture: ArchitectureSpec,
+        flooded: np.ndarray,
+        isolated: np.ndarray,
+        intrusions: np.ndarray,
+        budget: CyberAttackBudget,
+        draws: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exhaustive enumeration once per distinct pre-attack pattern.
+
+        Native batched kernel under the unified ``attack_batch``
+        signature; replaces routing through the deprecated
+        ``repro.core.batch.attack_batch_fallback``.  ``draws`` is
+        ignored (deterministic attacker).
+        """
+        del draws  # deterministic attacker
+        return _replay_rows(self, architecture, flooded, isolated, intrusions, budget)
+
     @staticmethod
     def _intrusion_assignments(state: SystemState, total: int):
         """All per-site *additional* intrusion distributions within budget.
@@ -350,3 +418,75 @@ class ProbabilisticAttacker:
     ) -> SystemState:
         realized = self.sample_budget(budget, rng)
         return WorstCaseAttacker().attack(state, realized)
+
+    # -- the RNG-draw contract ------------------------------------------
+    def batch_draws(self, budget: CyberAttackBudget) -> int:
+        """Uniform draws one scalar :meth:`attack` call consumes.
+
+        :meth:`sample_budget` draws ``rng.random(budget.intrusions)``
+        then ``rng.random(budget.isolations)`` -- a fixed count per
+        realization, which is exactly what lets the batched executor
+        replay the stream with one matrix draw.
+        """
+        return budget.intrusions + budget.isolations
+
+    def attack_batch(
+        self,
+        architecture: ArchitectureSpec,
+        flooded: np.ndarray,
+        isolated: np.ndarray,
+        intrusions: np.ndarray,
+        budget: CyberAttackBudget,
+        draws: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Capability sampling + the worst-case kernel, fully batched.
+
+        ``draws`` must be the ``(n_realizations, batch_draws(budget))``
+        uniform block whose row ``r`` replays realization ``r``'s scalar
+        stream: the first ``budget.intrusions`` columns are the
+        intrusion capability draws, the rest the isolation draws --
+        identical comparisons to :meth:`sample_budget`.  Rows are then
+        grouped by realized budget (at most ``(intrusions + 1) *
+        (isolations + 1)`` groups) and each group runs the worst-case
+        attacker's native batched kernel, which is bitwise-faithful to
+        the scalar greedy algorithm per row.
+        """
+        if self.batch_draws(budget) == 0:
+            # An empty budget samples nothing and attacks nothing; the
+            # scalar path consumes zero draws too (rng.random(0) twice).
+            return isolated, intrusions
+        if draws is None:
+            raise AnalysisError(
+                "probabilistic attacker needs the executor's draw block "
+                "(the RNG-draw contract) to run batched"
+            )
+        expected = (flooded.shape[0], self.batch_draws(budget))
+        if draws.shape != expected:
+            raise AnalysisError(
+                f"draw block shape {draws.shape} does not match "
+                f"expected {expected}"
+            )
+        realized_intr = (draws[:, : budget.intrusions] < self.p_intrusion).sum(axis=1)
+        realized_iso = (draws[:, budget.intrusions :] < self.p_isolation).sum(axis=1)
+        out_iso = isolated.copy()
+        out_intr = intrusions.copy()
+        worst = WorstCaseAttacker()
+        codes = realized_intr * (budget.isolations + 1) + realized_iso
+        for code in np.unique(codes):
+            realized = CyberAttackBudget(
+                intrusions=int(code) // (budget.isolations + 1),
+                isolations=int(code) % (budget.isolations + 1),
+            )
+            if realized.is_empty:
+                continue  # WorstCaseAttacker.attack returns state unchanged
+            rows = codes == code
+            iso_g, intr_g = worst.attack_batch(
+                architecture,
+                flooded[rows],
+                isolated[rows],
+                intrusions[rows],
+                realized,
+            )
+            out_iso[rows] = iso_g
+            out_intr[rows] = intr_g
+        return out_iso, out_intr

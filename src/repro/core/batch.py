@@ -18,11 +18,20 @@ re-derivation -- and ``tests/core/test_batch_properties.py`` compares
 the two element-wise across randomized thresholds, attackers, and asset
 sets for every registered preset.
 
-Batching is only sound for stages that never consume the rng (the
-per-realization loop hands one shared generator down the chain, and a
-fused pass cannot replay its stream draw-for-draw), so batch support is
-gated on the models' ``deterministic`` flags; stochastic models fall
-back to the per-realization executor unchanged.
+Stochastic stages batch too, under the **RNG-draw contract**: every
+stochastic model consumes a *fixed number* of uniform draws per
+realization (``rng.random(shape)``, never data-dependent), so the
+per-realization loop's interleaved stream is fixed-stride and the
+batched executor can replay it exactly -- one
+``rng.random((n_realizations, total_draws))`` matrix draw fills
+row-major, which is the same generator stream as ``n`` successive
+per-realization draws, and each stage reads its column block.  Stages
+declare their capability (and per-realization draw count) through
+:class:`BatchSupport`; :meth:`~repro.core.chain.ThreatChain.batch_plan`
+folds the declarations into a :class:`ChainBatchPlan` the executor and
+``run_batch`` auto-selection consult.  A stage whose model cannot
+honor the contract declines with a reason, and the analysis falls back
+to the per-realization executor (counter ``batch.fallback``).
 """
 
 from __future__ import annotations
@@ -33,9 +42,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro.core.evaluator import evaluate_batch
 from repro.core.system_state import SiteStatus, SystemState
 from repro.core.threat import ThreatScenario
+from repro.errors import AnalysisError
 from repro.hazards.fragility import FragilityModel
 from repro.scada.architectures import ArchitectureSpec
 from repro.scada.placement import Placement
@@ -44,12 +55,85 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
     from repro.core.chain import Attacker
 
 __all__ = [
+    "BatchSupport",
+    "ChainBatchPlan",
     "ChainBatch",
     "BatchContext",
     "model_token",
     "attack_batch_fallback",
     "classify_batch",
 ]
+
+
+@dataclass(frozen=True)
+class BatchSupport:
+    """One stage's batch-capability declaration for a specific context.
+
+    The richer successor of the bare ``supports_batch`` boolean:
+    ``ok`` says whether the stage can run the fused pass, ``reason``
+    names the obstacle when it cannot (surfaced through the
+    ``batch.fallback`` counter and ``batch=True`` errors), and
+    ``draws`` declares how many uniform rng doubles one *scalar*
+    application of the stage consumes per realization -- the stage's
+    stride in the RNG-draw contract (0 for deterministic stages).
+    """
+
+    ok: bool
+    reason: str | None = None
+    draws: int = 0
+
+
+@dataclass(frozen=True)
+class ChainBatchPlan:
+    """A whole chain's batch verdict plus its per-stage draw layout.
+
+    Built by :meth:`~repro.core.chain.ThreatChain.batch_plan` from the
+    stages' :class:`BatchSupport` declarations.  ``stage_draws[i]`` is
+    stage ``i``'s per-realization draw count; the executor materializes
+    the scalar loop's whole stream as one
+    ``rng.random((n_realizations, total_draws))`` matrix (row-major
+    fill == per-realization draw order) and hands each stage its
+    column block.
+    """
+
+    ok: bool
+    reason: str | None = None
+    stage_draws: tuple[int, ...] = ()
+    #: Name of the declining stage when ``not ok`` (None when the whole
+    #: context is unusable, e.g. no depth grid); keys the per-reason
+    #: ``batch.fallback.reason.*`` counter split.
+    stage: str | None = None
+
+    @property
+    def total_draws(self) -> int:
+        """Uniform doubles one realization consumes across the chain."""
+        return sum(self.stage_draws)
+
+    def draw_blocks(
+        self, n_realizations: int, rng: np.random.Generator | None
+    ) -> tuple[np.ndarray | None, ...]:
+        """Per-stage draw blocks replaying the scalar stream exactly.
+
+        One ``rng.random((n, total))`` draw consumes the identical
+        PCG64 stream as ``n`` successive per-realization scalar draws
+        (numpy fills C-contiguous row-major), so slicing row ``r``'s
+        columns reproduces realization ``r``'s draws bit for bit.
+        """
+        total = self.total_draws
+        if total == 0:
+            return tuple(None for _ in self.stage_draws)
+        if rng is None:
+            raise AnalysisError(
+                f"chain draw plan needs an rng: stages consume "
+                f"{total} stochastic draws per realization"
+            )
+        matrix = rng.random((n_realizations, total))
+        blocks: list[np.ndarray | None] = []
+        offset = 0
+        for count in self.stage_draws:
+            blocks.append(matrix[:, offset : offset + count] if count else None)
+            offset += count
+        return tuple(blocks)
 
 
 def model_token(model: object) -> object:
@@ -110,6 +194,7 @@ class BatchContext:
         "asset_names",
         "depths",
         "site_names",
+        "draws",
         "_site_columns",
         "_matrix_cache",
     )
@@ -139,6 +224,11 @@ class BatchContext:
         # exactly as a name missing from a failed-asset set.
         self._site_columns = tuple(columns.get(n) for n in self.site_names)
         self._matrix_cache = {} if matrix_cache is None else matrix_cache
+        #: The executor assigns the current stage's uniform draw block
+        #: ((n_realizations, stage_draws) or ``None``) here immediately
+        #: before each ``apply_batch`` call -- the batched analogue of
+        #: handing the shared generator down the scalar chain.
+        self.draws: np.ndarray | None = None
 
     @property
     def n_realizations(self) -> int:
@@ -157,6 +247,26 @@ class BatchContext:
         except KeyError:
             pass
         matrix = resolved.failure_matrix(self.depths)
+        self._matrix_cache[token] = matrix
+        return matrix
+
+    def probability_matrix(self, model: FragilityModel | None = None) -> np.ndarray:
+        """The (memoized) failure-probability grid under ``model``.
+
+        The stochastic counterpart of :meth:`failure_matrix`: a pure
+        function of the depth grid (no draws), so it shares the same
+        externally owned memo across matrix cells -- each cell then
+        samples its own fresh draw block against it.  The sampled
+        boolean outcomes are never cached (they depend on the cell's
+        rng stream).
+        """
+        resolved = model if model is not None else self.fragility
+        token = ("probability", model_token(resolved))
+        try:
+            return self._matrix_cache[token]
+        except KeyError:
+            pass
+        matrix = resolved.probability_matrix(self.depths)
         self._matrix_cache[token] = matrix
         return matrix
 
@@ -212,13 +322,29 @@ class BatchContext:
 def attack_batch_fallback(
     attacker: "Attacker", ctx: BatchContext, batch: ChainBatch
 ) -> tuple[np.ndarray, np.ndarray]:
+    """Deprecated alias for the per-pattern deterministic-attacker replay.
+
+    The library's own attackers all carry a native ``attack_batch``
+    under the unified RNG-draw signature now (the exhaustive oracle's
+    is this same per-pattern replay); custom deterministic attackers
+    without one are still replayed automatically by
+    :class:`~repro.core.chain.CyberAttackStage`.  Calling this public
+    shim warns; it is removed in 2.0.0.
+    """
+    warn_deprecated("repro.core.batch.attack_batch_fallback")
+    return _replay_attack_batch(attacker, ctx, batch)
+
+
+def _replay_attack_batch(
+    attacker: "Attacker", ctx: BatchContext, batch: ChainBatch
+) -> tuple[np.ndarray, np.ndarray]:
     """Batch any *deterministic* attacker by per-pattern replay.
 
     A deterministic attacker is a pure function of ``(state, budget)``,
     and the (flooded, isolated, intrusions) grid has far fewer distinct
     rows than realizations; run the scalar attack once per distinct row
-    and scatter the results.  Used for deterministic attackers without
-    their own ``attack_batch`` (e.g. the exhaustive oracle).
+    and scatter the results.  Used for custom deterministic attackers
+    without their own ``attack_batch``.
     """
     n_sites = len(ctx.site_names)
     key = np.hstack(

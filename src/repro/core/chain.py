@@ -39,8 +39,10 @@ import numpy as np
 from repro.core.attacker import WorstCaseAttacker
 from repro.core.batch import (
     BatchContext,
+    BatchSupport,
     ChainBatch,
-    attack_batch_fallback,
+    ChainBatchPlan,
+    _replay_attack_batch,
     classify_batch,
 )
 from repro.core.evaluator import evaluate
@@ -191,12 +193,20 @@ class BatchedStage(Stage, Protocol):
     has run yet", exactly like ``apply``'s ``None`` state) under a
     :class:`~repro.core.batch.BatchContext` and must be bitwise-faithful
     to applying the scalar stage per realization.  ``supports_batch``
-    reports whether that is possible for a *specific* context -- a stage
-    wrapping a stochastic model must decline, because a fused pass
-    cannot replay the per-realization rng stream.  The executor
-    (:meth:`ThreatChain.run_batch`) is only selected when every stage of
-    the chain agrees; custom stages without these methods simply keep
-    the per-realization executor.
+    reports whether that is possible for a *specific* context.
+
+    A stage wrapping a *stochastic* model batches under the RNG-draw
+    contract: it additionally implements ``batch_support(ctx,
+    upstream_failed=...) -> BatchSupport`` declaring how many uniform
+    draws one scalar application consumes per realization, and its
+    ``apply_batch`` reads the executor-provided ``ctx.draws`` column
+    block instead of the rng.  :meth:`ThreatChain.batch_plan` folds the
+    declarations into a :class:`~repro.core.batch.ChainBatchPlan`;
+    ``upstream_failed`` tells the stage whether a failed-grid-producing
+    stage precedes it in the chain.  Stages without ``batch_support``
+    are consulted through the boolean ``supports_batch`` and declared
+    draw-free; custom stages without any batch methods simply keep the
+    per-realization executor.
     """
 
     def supports_batch(self, ctx: BatchContext) -> bool:
@@ -225,6 +235,10 @@ class HazardImpactStage:
 
     #: The state this stage produces is the chain's post-disaster state.
     captures = "post_disaster"
+    #: Its batched pass publishes the failed-asset grid (``batch.failed``)
+    #: for downstream stages -- ``batch_plan`` tracks this so stages after
+    #: it know they will be fed the grid instead of computing their own.
+    emits_failed_grid = True
 
     @property
     def deterministic(self) -> bool:
@@ -248,8 +262,23 @@ class HazardImpactStage:
         return initial_state(ctx.architecture, ctx.placement, failed)
 
     def supports_batch(self, ctx: BatchContext) -> bool:
+        return self.batch_support(ctx).ok
+
+    def batch_support(
+        self, ctx: BatchContext, upstream_failed: bool = False
+    ) -> BatchSupport:
         model = self.fragility if self.fragility is not None else ctx.fragility
-        return bool(getattr(model, "deterministic", False))
+        if getattr(model, "deterministic", False):
+            return BatchSupport(True)
+        if not getattr(model, "batch_sampling", False):
+            return BatchSupport(
+                False,
+                f"fragility model {type(model).__name__} does not declare "
+                "the RNG-draw batch-sampling contract",
+            )
+        # One uniform draw per asset per realization -- the scalar
+        # failed_assets stride under the RNG-draw contract.
+        return BatchSupport(True, draws=len(ctx.asset_names))
 
     def apply_batch(
         self,
@@ -259,7 +288,22 @@ class HazardImpactStage:
     ) -> ChainBatch:
         # Like `apply`, the hazard stage ignores any incoming state: its
         # output is the post-disaster initial state for every realization.
-        fresh = ctx.fresh_batch(ctx.failure_matrix(self.fragility))
+        model = self.fragility if self.fragility is not None else ctx.fragility
+        if getattr(model, "deterministic", False):
+            failed = ctx.failure_matrix(self.fragility)
+        else:
+            if ctx.draws is None:
+                raise ConfigurationError(
+                    "batched stochastic fragility needs the executor's "
+                    "draw block (run through ThreatChain.run_batch)"
+                )
+            # Probabilities are a pure function of the depth grid and
+            # memoized across cells; the sampled outcomes are not (each
+            # cell draws its own fresh stream, like the scalar loop).
+            failed = model.sample_failure_matrix(
+                ctx.depths, ctx.draws, probabilities=ctx.probability_matrix(model)
+            )
+        fresh = ctx.fresh_batch(failed)
         if batch is not None and batch.classified is not None:
             # A classification recorded earlier in the chain survives,
             # exactly as `ctx.classified` does in the scalar executor.
@@ -287,6 +331,9 @@ class InterdependencyStage:
     name = "interdependency"
     deterministic = True
     captures = "post_disaster"
+    #: Its batched pass back-fills ``batch.failed`` when no hazard stage
+    #: ran before it, so downstream stages see the grid either way.
+    emits_failed_grid = True
 
     def __init__(
         self,
@@ -423,10 +470,23 @@ class InterdependencyStage:
         return state
 
     def supports_batch(self, ctx: BatchContext) -> bool:
-        # When no hazard stage ran before us we compute the failed grid
-        # ourselves, which needs a deterministic analysis-level model;
-        # requiring it unconditionally is the conservative gate.
-        return bool(getattr(ctx.fragility, "deterministic", False))
+        return self.batch_support(ctx).ok
+
+    def batch_support(
+        self, ctx: BatchContext, upstream_failed: bool = False
+    ) -> BatchSupport:
+        # Fed an upstream failed grid (the registered chains always put
+        # a hazard stage first) the coupling is a pure function of it --
+        # stochastic fragility included, since the hazard stage already
+        # sampled.  Only when the stage would have to compute the grid
+        # itself does it need a deterministic analysis-level model.
+        if upstream_failed or getattr(ctx.fragility, "deterministic", False):
+            return BatchSupport(True)
+        return BatchSupport(
+            False,
+            "no upstream hazard stage and the analysis fragility model "
+            "is stochastic; the coupling cannot sample it",
+        )
 
     def apply_batch(
         self,
@@ -495,12 +555,28 @@ class CyberAttackStage:
         return attacker.attack(state, ctx.scenario.budget, rng)
 
     def supports_batch(self, ctx: BatchContext) -> bool:
+        return self.batch_support(ctx).ok
+
+    def batch_support(
+        self, ctx: BatchContext, upstream_failed: bool = False
+    ) -> BatchSupport:
         attacker = self.attacker if self.attacker is not None else ctx.attacker
-        if callable(getattr(attacker, "attack_batch", None)):
-            return True
-        # A deterministic attacker without a native kernel still batches
-        # via per-pattern replay; a stochastic one cannot (rng stream).
-        return bool(getattr(attacker, "deterministic", False))
+        if getattr(attacker, "deterministic", False):
+            # Deterministic attackers batch draw-free: a native kernel
+            # when they have one, per-pattern replay otherwise.
+            return BatchSupport(True)
+        # A stochastic attacker batches under the RNG-draw contract: it
+        # must declare its per-realization draw count (batch_draws) and
+        # provide a native kernel consuming the executor's draw block.
+        counter = getattr(attacker, "batch_draws", None)
+        if callable(counter) and callable(getattr(attacker, "attack_batch", None)):
+            return BatchSupport(True, draws=int(counter(ctx.scenario.budget)))
+        label = getattr(attacker, "name", type(attacker).__name__)
+        return BatchSupport(
+            False,
+            f"attacker {label!r} is stochastic without an RNG-draw "
+            "batched kernel (attack_batch + batch_draws)",
+        )
 
     def apply_batch(
         self,
@@ -513,15 +589,27 @@ class CyberAttackStage:
         attacker = self.attacker if self.attacker is not None else ctx.attacker
         native = getattr(attacker, "attack_batch", None)
         if callable(native):
-            isolated, intrusions = native(
-                ctx.architecture,
-                batch.flooded,
-                batch.isolated,
-                batch.intrusions,
-                ctx.scenario.budget,
-            )
+            if ctx.draws is not None:
+                isolated, intrusions = native(
+                    ctx.architecture,
+                    batch.flooded,
+                    batch.isolated,
+                    batch.intrusions,
+                    ctx.scenario.budget,
+                    draws=ctx.draws,
+                )
+            else:
+                # Draw-free stages keep the historical 5-argument call,
+                # so custom attackers with the old signature still work.
+                isolated, intrusions = native(
+                    ctx.architecture,
+                    batch.flooded,
+                    batch.isolated,
+                    batch.intrusions,
+                    ctx.scenario.budget,
+                )
         else:
-            isolated, intrusions = attack_batch_fallback(attacker, ctx, batch)
+            isolated, intrusions = _replay_attack_batch(attacker, ctx, batch)
         return batch.replace(isolated=isolated, intrusions=intrusions)
 
 
@@ -545,6 +633,11 @@ class ClassificationStage:
 
     def supports_batch(self, ctx: BatchContext) -> bool:
         return True
+
+    def batch_support(
+        self, ctx: BatchContext, upstream_failed: bool = False
+    ) -> BatchSupport:
+        return BatchSupport(True)
 
     def apply_batch(
         self,
@@ -704,33 +797,78 @@ class ThreatChain:
         return evaluate(state if state is not None else ctx.base_state())
 
     def supports_batch(self, ctx: BatchContext) -> bool:
-        """Whether every stage can run the fused batched pass under ``ctx``.
+        """Whether every stage can run the fused batched pass under ``ctx``."""
+        return self.batch_plan(ctx).ok
 
-        A stage participates when it has a callable ``apply_batch`` and
-        its ``supports_batch`` (if any) accepts the context; any custom
-        stage without batch methods keeps the per-realization executor.
+    def batch_plan(self, ctx: BatchContext) -> ChainBatchPlan:
+        """The chain's batch capability and per-stage rng-draw layout.
+
+        Walks the stages collecting their :class:`BatchSupport`
+        declarations (falling back to the boolean ``supports_batch``
+        probe for stages without one -- those are treated as draw-free).
+        ``upstream_failed`` tracks whether a failed-grid-producing stage
+        precedes, so e.g. the interdependency coupling batches under
+        stochastic fragility whenever a hazard stage feeds it.  A stage
+        without ``apply_batch``, or one that declines, yields a
+        not-``ok`` plan whose reason names the obstacle; ``run_batch``
+        auto-selection and the ``batch.fallback`` counter consume it.
         """
+        stage_draws: list[int] = []
+        upstream_failed = False
         for stage in self.stages:
             if not callable(getattr(stage, "apply_batch", None)):
-                return False
-            probe = getattr(stage, "supports_batch", None)
-            if callable(probe) and not probe(ctx):
-                return False
-        return True
+                return ChainBatchPlan(
+                    False,
+                    f"stage {stage.name!r} has no batched implementation",
+                    stage=stage.name,
+                )
+            probe = getattr(stage, "batch_support", None)
+            if callable(probe):
+                support = probe(ctx, upstream_failed=upstream_failed)
+                if not support.ok:
+                    return ChainBatchPlan(
+                        False,
+                        f"stage {stage.name!r}: {support.reason}",
+                        stage=stage.name,
+                    )
+                stage_draws.append(int(support.draws))
+            else:
+                legacy = getattr(stage, "supports_batch", None)
+                if callable(legacy) and not legacy(ctx):
+                    return ChainBatchPlan(
+                        False,
+                        f"stage {stage.name!r} declines batching",
+                        stage=stage.name,
+                    )
+                stage_draws.append(0)
+            if getattr(stage, "emits_failed_grid", False):
+                upstream_failed = True
+        return ChainBatchPlan(True, None, tuple(stage_draws))
 
     def run_batch(
-        self, ctx: BatchContext, rng: np.random.Generator | None
+        self,
+        ctx: BatchContext,
+        rng: np.random.Generator | None,
+        plan: ChainBatchPlan | None = None,
     ) -> np.ndarray:
         """Every realization through every stage as fused numpy passes.
 
         Returns ``(n_realizations,)`` severity codes indexing
         :data:`~repro.core.states.STATE_ORDER` -- the batched analogue of
         mapping :meth:`run_state` over the ensemble, bitwise identical
-        to it for the built-in stages.
+        to it for the built-in stages.  Stochastic stages replay the
+        scalar loop's rng stream from one up-front matrix draw (the
+        RNG-draw contract): the executor hands each stage its column
+        block through ``ctx.draws``.
         """
+        blocks = self._draw_blocks(ctx, rng, plan)
         batch: ChainBatch | None = None
-        for stage in self.stages:
-            batch = getattr(stage, "apply_batch")(batch, ctx, rng)
+        try:
+            for stage, block in zip(self.stages, blocks):
+                ctx.draws = block
+                batch = getattr(stage, "apply_batch")(batch, ctx, rng)
+        finally:
+            ctx.draws = None
         return self._batch_codes(ctx, batch)
 
     def run_batch_timed(
@@ -738,17 +876,36 @@ class ThreatChain:
         ctx: BatchContext,
         rng: np.random.Generator | None,
         totals: dict[str, float],
+        plan: ChainBatchPlan | None = None,
     ) -> np.ndarray:
         """The batched pass with per-stage wall-clock accumulated by name."""
         perf = time.perf_counter
+        blocks = self._draw_blocks(ctx, rng, plan)
         batch: ChainBatch | None = None
-        for stage in self.stages:
-            t0 = perf()
-            batch = getattr(stage, "apply_batch")(batch, ctx, rng)
-            elapsed = perf() - t0
-            name = stage.name
-            totals[name] = totals.get(name, 0.0) + elapsed
+        try:
+            for stage, block in zip(self.stages, blocks):
+                t0 = perf()
+                ctx.draws = block
+                batch = getattr(stage, "apply_batch")(batch, ctx, rng)
+                elapsed = perf() - t0
+                name = stage.name
+                totals[name] = totals.get(name, 0.0) + elapsed
+        finally:
+            ctx.draws = None
         return self._batch_codes(ctx, batch)
+
+    def _draw_blocks(
+        self,
+        ctx: BatchContext,
+        rng: np.random.Generator | None,
+        plan: ChainBatchPlan | None,
+    ) -> tuple[np.ndarray | None, ...]:
+        """Materialize the per-stage draw blocks for one batched run."""
+        if plan is None:
+            plan = self.batch_plan(ctx)
+        if not plan.ok or len(plan.stage_draws) != len(self.stages):
+            return tuple(None for _ in self.stages)
+        return plan.draw_blocks(ctx.n_realizations, rng)
 
     def _batch_codes(
         self, ctx: BatchContext, batch: ChainBatch | None

@@ -73,6 +73,12 @@ class CompoundThreatAnalysis:
         passes one dict per (ensemble, fragility) group so every study
         sharing that pair reuses the fragility pass; only sound when the
         ensemble and fragility model really are shared.
+    matrix_cache:
+        An externally owned batched-executor memo (model token ->
+        failure/probability grid).  Unlike ``failed_cache`` it is sound
+        for stochastic fragility too -- the cached grids are pure
+        functions of the shared depth grid; sampled outcomes are never
+        stored -- so the sweep engine shares one per ensemble group.
     chain:
         The threat chain to run each realization through: a registered
         name, a :class:`~repro.core.chain.ThreatChain`, or ``None`` for
@@ -80,8 +86,11 @@ class CompoundThreatAnalysis:
     batch:
         Executor selection.  ``None`` (the default) auto-selects: the
         fused batched executor when the ensemble exposes a depth grid
-        and every chain stage supports batching, the per-realization
-        loop otherwise.  ``False`` forces the per-realization loop;
+        and every chain stage supports batching (stochastic fragility
+        models and attackers included, via the RNG-draw contract --
+        see :meth:`~repro.core.chain.ThreatChain.batch_plan`), the
+        per-realization loop otherwise (counter ``batch.fallback``
+        records why).  ``False`` forces the per-realization loop;
         ``True`` requires the batched path and raises
         :class:`~repro.errors.AnalysisError` when it is unavailable.
         Both executors are bitwise identical for the built-in chains.
@@ -104,6 +113,7 @@ class CompoundThreatAnalysis:
         chain: ThreatChain | str | None = None,
         batch: bool | None = None,
         weights: np.ndarray | None = None,
+        matrix_cache: dict[object, np.ndarray] | None = None,
     ) -> None:
         if len(ensemble) == 0:
             raise AnalysisError("ensemble must contain realizations")
@@ -130,12 +140,19 @@ class CompoundThreatAnalysis:
             {} if failed_cache is None else failed_cache
         )
         # Batched-executor memos, shared across every matrix cell: the
-        # ensemble's depth grid is resolved once, and failure matrices
-        # are cached per fragility model (the batched counterpart of the
-        # per-realization failed-asset memo above).
+        # ensemble's depth grid is resolved once, and failure matrices /
+        # probability grids are cached per fragility model (the batched
+        # counterpart of the per-realization failed-asset memo above).
+        # Both entry kinds are pure functions of (depths, model) -- the
+        # stochastic path samples fresh draws *against* the cached
+        # probability grid, never caching outcomes -- so the sweep
+        # engine may pass one externally owned ``matrix_cache`` per
+        # shared ensemble and every study reuses the grids.
         self._batch_depths: tuple[list[str], np.ndarray] | None = None
         self._batch_probed = False
-        self._failure_matrix_cache: dict[object, np.ndarray] = {}
+        self._failure_matrix_cache: dict[object, np.ndarray] = (
+            {} if matrix_cache is None else matrix_cache
+        )
 
     def _failed_assets(
         self,
@@ -277,15 +294,18 @@ class CompoundThreatAnalysis:
         """Outcome probabilities for one configuration under one scenario."""
         if self.batch is not False:
             bctx = self._batch_context(architecture, placement, scenario)
-            if bctx is not None and self.chain.supports_batch(bctx):
-                return self._run_batched(bctx)
+            plan = self.chain.batch_plan(bctx) if bctx is not None else None
+            if plan is not None and plan.ok:
+                return self._run_batched(bctx, plan)
+            if plan is None:
+                reason = "ensemble exposes no per-asset depth grid"
+                slug = "no_depth_grid"
+            else:
+                reason = f"chain {self.chain.name!r} is unbatchable: {plan.reason}"
+                slug = f"stage.{plan.stage}" if plan.stage else "unbatchable"
             if self.batch is True:
-                reason = (
-                    "ensemble exposes no per-asset depth grid"
-                    if bctx is None
-                    else f"chain {self.chain.name!r} has unbatchable stages"
-                )
                 raise AnalysisError(f"batched execution required but {reason}")
+            self._note_fallback(reason, slug)
         rng = np.random.default_rng(self._seed)
         obs = current_observer()
         if not obs.enabled:
@@ -330,18 +350,40 @@ class CompoundThreatAnalysis:
             obs.observe(f"pipeline.stage.{name}_s", total)
         return self._profile_from_states(states)
 
-    def _run_batched(self, bctx: BatchContext) -> OperationalProfile:
+    def _note_fallback(self, reason: str, slug: str) -> None:
+        """Record one silent batch-to-scalar fallback with its reason.
+
+        Counters are flat name -> value maps, so the reason rides as a
+        suffixed counter (plus a structured event); `format_run_report`
+        surfaces both the total and the per-reason split, so users can
+        tell *why* a run is on the slow path.
+        """
+        obs = current_observer()
+        obs.inc("batch.fallback")
+        obs.inc(f"batch.fallback.reason.{slug}")
+        obs.event("batch.fallback", reason=reason, chain=self.chain.name)
+
+    def _run_batched(
+        self, bctx: BatchContext, plan=None
+    ) -> OperationalProfile:
         """One cell via the fused batched executor.
 
-        Deterministic stages never consume the rng (that is exactly the
-        batch-support gate), so no generator is seeded here; the scalar
-        path's generator is untouched by the same stages, keeping the
-        two executors bitwise identical.
+        Deterministic chains consume no draws, so no generator is
+        seeded (the scalar path's generator is equally untouched) --
+        that keeps the historical deterministic path byte for byte.
+        Stochastic chains get a fresh ``default_rng(seed)`` per cell,
+        exactly mirroring the scalar ``run()``'s per-call generator, so
+        the matrix draw replays the identical stream.
         """
+        if plan is None:
+            plan = self.chain.batch_plan(bctx)
+        rng = (
+            np.random.default_rng(self._seed) if plan.total_draws > 0 else None
+        )
         obs = current_observer()
         chain = self.chain
         if not obs.enabled:
-            codes = chain.run_batch(bctx, None)
+            codes = chain.run_batch(bctx, rng, plan)
             return self._profile_from_codes(codes)
         totals: dict[str, float] = {}
         with obs.span(
@@ -351,7 +393,7 @@ class CompoundThreatAnalysis:
             chain=chain.name,
             executor="batched",
         ):
-            codes = chain.run_batch_timed(bctx, None, totals)
+            codes = chain.run_batch_timed(bctx, rng, totals, plan)
             n = int(codes.shape[0])
             for name, total in totals.items():
                 obs.record_span(f"pipeline.stage.{name}", total, realizations=n)

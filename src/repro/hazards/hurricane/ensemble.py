@@ -263,6 +263,16 @@ class EnsembleGenerator:
     def mesh_size(self) -> int:
         return len(self._mesh)
 
+    @property
+    def asset_order(self) -> tuple[str, ...]:
+        """Asset names in depth-mapping order (the catalog's order).
+
+        Every realization's ``depths_m`` mapping iterates in exactly this
+        order; the run controller's in-place shared-memory transport
+        relies on it to lay depth rows out column-for-column.
+        """
+        return tuple(self._mapper.asset_names)
+
     def sample_parameters(
         self,
         rng: np.random.Generator,
@@ -344,6 +354,7 @@ class EnsembleGenerator:
         resume: bool = False,
         retry: "RetryPolicy | None" = None,
         faults: "FaultPlan | None" = None,
+        transport: str = "auto",
     ) -> HurricaneEnsemble:
         """Generate a full ensemble deterministically from ``seed``.
 
@@ -355,6 +366,9 @@ class EnsembleGenerator:
         :class:`~repro.runtime.controller.RetryPolicy`), and ``faults``
         injects a deterministic
         :class:`~repro.runtime.faults.FaultPlan` for chaos testing.
+        ``transport`` picks how pooled workers return depths: ``"auto"``
+        (in-place shared-memory rows when pooled), ``"inplace"``, or
+        ``"pickle"`` (the historical per-result pickling baseline).
 
         ``cache_dir`` names an on-disk cache directory: a hit (same
         scenario, surge/extension physics, mesh spacing, seed, and count)
@@ -409,6 +423,7 @@ class EnsembleGenerator:
                 policy=retry,
                 faults=faults,
                 checkpoint=checkpoint,
+                transport=transport,
             )
             ensemble = controller.run(resume=resume)
             if cache_dir is not None:

@@ -173,6 +173,21 @@ def format_run_report(manifest: dict) -> str:
         ):
             lines.append(f"  {name:<{width}s}  {seconds:9.3f}s")
     counters = (manifest.get("metrics") or {}).get("counters") or {}
+    fallbacks = counters.get("batch.fallback", 0)
+    if fallbacks:
+        # Why a run is on the slow path should not hide in the generic
+        # counter dump: call out each scalar-loop fallback and its reason.
+        prefix = "batch.fallback.reason."
+        lines.append("")
+        lines.append(
+            f"Batch fallbacks: {fallbacks:g} cell(s) used the "
+            "per-realization loop:"
+        )
+        for name in sorted(counters):
+            if name.startswith(prefix):
+                lines.append(
+                    f"  {name[len(prefix):]}: {counters[name]:g}"
+                )
     if counters:
         lines.append("")
         lines.append("Counters:")

@@ -32,6 +32,17 @@ Determinism: realization ``i`` consumes only the serial parameter pass's
 ``SeedSequence(seed).spawn(count)[i]`` at every (re)submission, so
 retries, worker counts, pool rebuilds, and resume all produce the same
 bits.
+
+Transport: pooled runs default to the *in-place* depth transport -- a
+parent-owned shared-memory board
+(:class:`~repro.io.shared_ensemble.DepthShardBoard`) that workers write
+each realization's depth row into directly, returning only a light
+:class:`DepthShard` payload instead of pickling the per-asset mapping
+back through the result pipe.  Every row is still validated through the
+same ``_validate`` path, faults and retries behave identically (a retry
+rewrites the same bits), and the finished board primes the ensemble's
+depth-matrix cache.  ``transport="pickle"`` pins the historical
+per-result pickling baseline.
 """
 
 from __future__ import annotations
@@ -56,10 +67,29 @@ from repro.hazards.hurricane.ensemble import (
     EnsembleGenerator,
     HurricaneEnsemble,
     HurricaneRealization,
+    StormParameters,
 )
+from repro.hazards.hurricane.inundation import InundationField
+from repro.io.shared_ensemble import DepthShardBoard
 from repro.obs.observer import current as current_observer
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.faults import FaultPlan
+
+#: Transport choices for pooled runs: how workers return depths.
+TRANSPORTS = ("auto", "inplace", "pickle")
+
+
+@dataclass(frozen=True)
+class DepthShard:
+    """A worker's light result payload under the in-place transport.
+
+    The realization's depth row already sits in the parent-owned
+    :class:`~repro.io.shared_ensemble.DepthShardBoard` at ``index``; only
+    the storm parameters (a handful of floats) cross the result pipe.
+    """
+
+    index: int
+    params: StormParameters
 
 
 @dataclass(frozen=True)
@@ -121,11 +151,16 @@ class RunController:
         policy: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
         checkpoint: CheckpointStore | None = None,
+        transport: str = "auto",
     ) -> None:
         if count < 1:
             raise RuntimeControlError("run needs at least one realization")
         if n_jobs < 1:
             raise RuntimeControlError("n_jobs must be at least 1")
+        if transport not in TRANSPORTS:
+            raise RuntimeControlError(
+                f"unknown transport {transport!r}; pick one of {TRANSPORTS}"
+            )
         self.generator = generator
         self.count = count
         self.seed = seed
@@ -133,7 +168,17 @@ class RunController:
         self.policy = policy or RetryPolicy()
         self.faults = faults
         self.checkpoint = checkpoint
+        self.transport = transport
         self._expected_assets = frozenset(a.name for a in generator.catalog)
+        self._asset_order: tuple[str, ...] = tuple(
+            getattr(generator, "asset_order", ()) or ()
+        )
+        if transport == "inplace" and not self._asset_order:
+            raise RuntimeControlError(
+                "in-place transport needs a generator exposing asset_order"
+            )
+        self._board: DepthShardBoard | None = None
+        self._board_matrix: "np.ndarray | None" = None
         self.retries_by_index: dict[int, int] = {}
         self.pool_rebuilds = 0
         self.resumed_realizations = 0
@@ -182,6 +227,14 @@ class RunController:
             realizations=tuple(results[i] for i in range(self.count)),
             seed=self.seed,
         )
+        if self._board_matrix is not None:
+            # The in-place transport already holds the full (R x A) depth
+            # matrix: prime the ensemble's lazy cache so the batched
+            # executor never re-walks a million per-realization dicts.
+            columns = {name: i for i, name in enumerate(self._asset_order)}
+            object.__setattr__(
+                ensemble, "_depth_cache", (self._board_matrix, columns)
+            )
         return ensemble
 
     def _flush(self) -> None:
@@ -196,6 +249,37 @@ class RunController:
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
+    def _accept(self, index: int, payload) -> HurricaneRealization:
+        """Validate one pooled result and rebuild it if it is a shard.
+
+        Workers on the in-place transport return a :class:`DepthShard`
+        whose depth row already sits on the shared board.  The same
+        guarantees as ``_validate`` hold -- index, asset-set, and
+        finiteness -- but each check runs where it is cheap: the asset
+        set was enforced in the worker before the row could land (the
+        board's column order *is* the catalog's), the index is compared
+        directly, and finiteness is one vectorized pass over the row
+        instead of a Python walk over the rebuilt mapping.  Any other
+        payload (pickled transport, or a mangled result) goes through
+        ``_validate`` untouched.
+        """
+        if self._board is None or not isinstance(payload, DepthShard):
+            return self._validate(index, payload)
+        if payload.index != index:
+            raise CorruptResultError(
+                f"task {index} returned realization {payload.index}"
+            )
+        row = self._board.view[index]
+        if not bool(np.isfinite(row).all()):
+            raise CorruptResultError(f"task {index} returned non-finite depths")
+        return HurricaneRealization(
+            index=index,
+            params=payload.params,
+            inundation=InundationField(
+                depths_m=dict(zip(self._board.asset_names, row.tolist()))
+            ),
+        )
+
     def _validate(self, index: int, result) -> HurricaneRealization:
         if not isinstance(result, HurricaneRealization):
             raise CorruptResultError(
@@ -280,22 +364,76 @@ class RunController:
     # ------------------------------------------------------------------
     # Pooled execution
     # ------------------------------------------------------------------
+    def _use_inplace(self) -> bool:
+        if self.transport == "pickle":
+            return False
+        return bool(self._asset_order)
+
+    def _publish_board(self, results) -> "DepthShardBoard | None":
+        """Create the in-place depth board, or ``None`` for pickling.
+
+        Rows already settled before the pool starts (checkpoint-resumed
+        realizations) are copied in by the parent so a completed board
+        always holds the full matrix.  A board that cannot be created
+        (no shared memory on this host) degrades to the pickled
+        transport rather than failing the run.
+        """
+        if not self._use_inplace():
+            return None
+        try:
+            board = DepthShardBoard.create(self.count, self._asset_order)
+        except (OSError, ValueError) as exc:
+            if self.transport == "inplace":
+                raise RuntimeControlError(
+                    f"in-place transport unavailable: {exc}"
+                ) from exc
+            return None
+        for realization in results.values():
+            depths = realization.inundation.depths_m
+            board.view[realization.index, :] = np.fromiter(
+                (depths[name] for name in self._asset_order),
+                dtype=np.float64,
+                count=len(self._asset_order),
+            )
+        return board
+
     def _run_pool(self, pending, params, seqs, results) -> None:
         remaining = set(pending)
-        while remaining:
-            executor = ProcessPoolExecutor(
-                max_workers=self.n_jobs,
-                initializer=_init_worker,
-                initargs=(self.generator, self.faults),
-            )
-            try:
-                rebuild = self._drive_pool(executor, remaining, params, seqs, results)
-            finally:
-                self._terminate_pool(executor)
-            if rebuild:
-                self.pool_rebuilds += 1
-                self._obs.inc("runtime.pool_rebuilds")
-                self._obs.event("pool_rebuild", remaining=len(remaining))
+        board = self._board = self._publish_board(results)
+        self._obs.event(
+            "generation_transport",
+            transport="inplace" if board is not None else "pickle",
+            n_jobs=self.n_jobs,
+        )
+        initargs = (
+            self.generator,
+            self.faults,
+            board.descriptor if board is not None else None,
+        )
+        try:
+            while remaining:
+                executor = ProcessPoolExecutor(
+                    max_workers=self.n_jobs,
+                    initializer=_init_worker,
+                    initargs=initargs,
+                )
+                try:
+                    rebuild = self._drive_pool(
+                        executor, remaining, params, seqs, results
+                    )
+                finally:
+                    self._terminate_pool(executor)
+                if rebuild:
+                    self.pool_rebuilds += 1
+                    self._obs.inc("runtime.pool_rebuilds")
+                    self._obs.event("pool_rebuild", remaining=len(remaining))
+            if board is not None:
+                self._board_matrix = board.snapshot()
+        finally:
+            self._board = None
+            if board is not None:
+                board.close()
+                board.unlink()
 
     def _submit(self, executor, index, params, seqs) -> Future:
         return executor.submit(
@@ -327,7 +465,7 @@ class RunController:
             for future in done:
                 index = futures.pop(future)
                 try:
-                    realization = self._validate(index, future.result())
+                    realization = self._accept(index, future.result())
                 except Exception as exc:
                     submitted_at.pop(future, None)
                     if isinstance(exc, BrokenProcessPool):
@@ -425,20 +563,59 @@ def terminate_pool(executor: ProcessPoolExecutor) -> None:
 # ----------------------------------------------------------------------
 _WORKER_GENERATOR: EnsembleGenerator | None = None
 _WORKER_FAULTS: FaultPlan | None = None
+_WORKER_BOARD: DepthShardBoard | None = None
 
 
-def _init_worker(generator: EnsembleGenerator, faults: FaultPlan | None) -> None:
+def _init_worker(
+    generator: EnsembleGenerator,
+    faults: FaultPlan | None,
+    board_descriptor: dict | None = None,
+) -> None:
     """Install the (already-built) generator and fault plan in a worker."""
-    global _WORKER_GENERATOR, _WORKER_FAULTS
+    global _WORKER_GENERATOR, _WORKER_FAULTS, _WORKER_BOARD
     _WORKER_GENERATOR = generator
     _WORKER_FAULTS = faults
+    _WORKER_BOARD = (
+        DepthShardBoard.attach(board_descriptor)
+        if board_descriptor is not None
+        else None
+    )
 
 
-def _run_task(index, attempt, params, rng) -> HurricaneRealization:
+def _write_shard(index: int, realization) -> object:
+    """Write the realization's depth row in place; return a light shard.
+
+    The asset set is validated *in the worker* -- a row with missing or
+    extra assets must never land on the board -- and a mismatch raises
+    the same retryable :class:`CorruptResultError` the parent would have
+    raised.  A payload that is not a realization at all, or one claiming
+    a foreign index, is returned unwritten so the parent's validation
+    reports it exactly as the pickled transport would (depth *values*
+    are also still re-checked parent-side: a non-finite row is caught by
+    ``_validate`` and the retry overwrites it).
+    """
+    board = _WORKER_BOARD
+    assert board is not None
+    if not isinstance(realization, HurricaneRealization):
+        return realization
+    if realization.index != index:
+        return realization
+    depths = realization.inundation.depths_m
+    if tuple(depths) != board.asset_names:
+        raise CorruptResultError(f"task {index} produced a wrong asset set")
+    board.view[index, :] = np.fromiter(
+        depths.values(), dtype=np.float64, count=len(board.asset_names)
+    )
+    return DepthShard(index=index, params=realization.params)
+
+
+def _run_task(index, attempt, params, rng) -> object:
     assert _WORKER_GENERATOR is not None, "worker pool not initialized"
     if _WORKER_FAULTS is not None:
         _WORKER_FAULTS.apply_before(index, attempt)
     realization = _WORKER_GENERATOR.realize(index, params, rng)
     if _WORKER_FAULTS is not None:
         realization = _WORKER_FAULTS.mangle_result(index, attempt, realization)
-    return realization
+    if _WORKER_BOARD is None:
+        return realization
+    return _write_shard(index, realization)

@@ -221,6 +221,11 @@ def _analyze(
         attacker=config.attacker,
         seed=config.analysis_seed,
         failed_cache=failed_cache,
+        # The batched grids (failure masks, probability grids) are pure
+        # functions of (shared depths, model), so one group-wide memo is
+        # sound even for stochastic chains -- unlike the scalar
+        # failed-asset memo above, which is gated on determinism.
+        matrix_cache=caches.setdefault("__matrix__", {}),
         chain=chain,
         batch=config.batch,
         # Weights are a pure function of (plan, stored track offsets), so

@@ -128,25 +128,78 @@ def _tiny_ensemble(n=6, n_assets=4, seed=3):
     )
 
 
-def test_stochastic_fragility_falls_back_to_per_realization(small_ensemble):
+def test_stochastic_fragility_batches_bitwise_identically(small_ensemble):
+    """LogisticFragility runs batched now, under the RNG-draw contract."""
     analysis = CompoundThreatAnalysis(
         small_ensemble, fragility=LogisticFragility(), seed=5
     )
     bctx = analysis._batch_context(
         PAPER_CONFIGURATIONS[0], PLACEMENT_WAIAU, PAPER_SCENARIOS[0]
     )
-    assert not analysis.chain.supports_batch(bctx)
+    assert analysis.chain.supports_batch(bctx)
+    plan = analysis.chain.batch_plan(bctx)
+    assert plan.ok
+    # One draw per asset per realization, charged to the hazard stage.
+    assert plan.stage_draws[0] == len(small_ensemble.asset_names)
+    assert plan.total_draws == len(small_ensemble.asset_names)
+    forced = CompoundThreatAnalysis(
+        small_ensemble, fragility=LogisticFragility(), seed=5, batch=True
+    )
+    oracle = CompoundThreatAnalysis(
+        small_ensemble, fragility=LogisticFragility(), seed=5, batch=False
+    )
+    args = (PAPER_CONFIGURATIONS[0], PLACEMENT_WAIAU, PAPER_SCENARIOS[0])
+    assert forced.run(*args).counts == oracle.run(*args).counts
+
+
+def test_fragility_without_contract_falls_back(small_ensemble):
+    """A model that disclaims batch_sampling keeps the scalar loop."""
+
+    class LegacySampler(LogisticFragility):
+        batch_sampling = False
+
+    analysis = CompoundThreatAnalysis(
+        small_ensemble, fragility=LegacySampler(), seed=5
+    )
+    bctx = analysis._batch_context(
+        PAPER_CONFIGURATIONS[0], PLACEMENT_WAIAU, PAPER_SCENARIOS[0]
+    )
+    plan = analysis.chain.batch_plan(bctx)
+    assert not plan.ok
+    assert plan.stage == "fragility"
+    assert "batch-sampling contract" in plan.reason
     # Auto mode silently uses the scalar loop...
     profile = analysis.run(
         PAPER_CONFIGURATIONS[0], PLACEMENT_WAIAU, PAPER_SCENARIOS[0]
     )
     assert profile.total == len(small_ensemble)
-    # ...and forcing batch refuses loudly.
+    # ...and forcing batch refuses loudly, naming the stage's reason.
     forced = CompoundThreatAnalysis(
-        small_ensemble, fragility=LogisticFragility(), seed=5, batch=True
+        small_ensemble, fragility=LegacySampler(), seed=5, batch=True
     )
     with pytest.raises(AnalysisError, match="unbatchable"):
         forced.run(PAPER_CONFIGURATIONS[0], PLACEMENT_WAIAU, PAPER_SCENARIOS[0])
+
+
+def test_silent_fallback_emits_counter_and_reason(small_ensemble):
+    """Auto-mode scalar fallbacks are observable: counter, reason, event."""
+    from repro.obs import Observability, activate
+
+    class LegacySampler(LogisticFragility):
+        batch_sampling = False
+
+    obs = Observability()
+    with activate(obs):
+        analysis = CompoundThreatAnalysis(
+            small_ensemble, fragility=LegacySampler(), seed=5
+        )
+        analysis.run(PAPER_CONFIGURATIONS[0], PLACEMENT_WAIAU, PAPER_SCENARIOS[0])
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["batch.fallback"] == 1
+    assert counters["batch.fallback.reason.stage.fragility"] == 1
+    events = [e for e in obs.events.to_list() if e["kind"] == "batch.fallback"]
+    assert len(events) == 1
+    assert "batch-sampling contract" in events[0]["reason"]
 
 
 def test_custom_stage_without_batch_support_falls_back(small_ensemble):

@@ -42,6 +42,7 @@ class TestRegistry:
         names = {record.name for record in public_deprecations()}
         assert "repro.geo.oahu" in names
         assert "compound-threats analyze" in names
+        assert "repro.core.batch.attack_batch_fallback" in names
 
     def test_message_renders_subject_replacement_and_release(self):
         record = Deprecation("old.thing", "new.thing", "9.0.0")
@@ -68,6 +69,18 @@ class TestDeprecatedSurfaces:
         record = get_deprecation("repro.geo.oahu")
         with pytest.warns(DeprecationWarning, match=record.removal_release):
             oahu.oahu_case_study
+
+    def test_attack_batch_fallback_warns_and_still_delegates(self, monkeypatch):
+        from repro.core import batch as batch_mod
+
+        record = get_deprecation("repro.core.batch.attack_batch_fallback")
+        sentinel = (object(), object())
+        monkeypatch.setattr(
+            batch_mod, "_replay_attack_batch", lambda *args: sentinel
+        )
+        with pytest.warns(DeprecationWarning, match=record.removal_release):
+            result = batch_mod.attack_batch_fallback(None, None, None)
+        assert result is sentinel
 
     def test_analyze_alias_prints_the_registry_message(self):
         record = get_deprecation("compound-threats analyze")

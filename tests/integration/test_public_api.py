@@ -15,7 +15,7 @@ class TestTopLevelExports:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     def test_subpackage_exports_resolve(self):
         import repro.bft as bft

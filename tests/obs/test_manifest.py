@@ -153,3 +153,28 @@ class TestRunReport:
         report = format_run_report(manifest)
         assert "Run report" in report
         assert "Counters" not in report
+
+    def test_report_calls_out_batch_fallbacks_with_reasons(self):
+        obs = Observability()
+        with obs.span("run_study"):
+            obs.inc("batch.fallback", 3)
+            obs.inc("batch.fallback.reason.stage.fragility", 2)
+            obs.inc("batch.fallback.reason.no_depth_grid", 1)
+        manifest = build_run_manifest(
+            config_hash="abc",
+            seed=0,
+            n_realizations=1,
+            configurations=["2"],
+            scenarios=["hurricane"],
+            placement="p",
+            obs=obs,
+            wall_clock_s=0.1,
+        )
+        report = format_run_report(manifest)
+        assert "Batch fallbacks: 3 cell(s) used the per-realization loop:" in report
+        assert "stage.fragility: 2" in report
+        assert "no_depth_grid: 1" in report
+
+    def test_report_omits_fallback_callout_when_none(self):
+        report = format_run_report(_sample_manifest())
+        assert "Batch fallbacks" not in report
